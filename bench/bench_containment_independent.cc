@@ -1,0 +1,90 @@
+// T1-CONT-indep: containment with independent accesses (Π2P-complete).
+//
+// The engine's independent fast path enumerates homomorphisms of the
+// fixed-relation part into the configuration and freezes the rest; cost
+// grows with the configuration (candidate homomorphisms) and the container
+// size (the coNP check per candidate).
+#include <benchmark/benchmark.h>
+
+#include "containment/access_containment.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace {
+
+// Scenario: accessible binary E, fixed unary Fixed (no method); q1 asks
+// for an E-edge anchored in Fixed; q2 sweeps a chain pattern.
+struct IndepSetup {
+  rar::Scenario scenario;
+  rar::UnionQuery q1;
+  rar::UnionQuery q2;
+};
+
+IndepSetup MakeIndepSetup(int conf_size, int chain_len) {
+  IndepSetup s;
+  s.scenario.schema = std::make_shared<rar::Schema>();
+  rar::Schema& schema = *s.scenario.schema;
+  rar::DomainId d = schema.AddDomain("D");
+  rar::RelationId e =
+      *schema.AddRelation("E", std::vector<rar::DomainId>{d, d});
+  rar::RelationId fixed =
+      *schema.AddRelation("Fixed", std::vector<rar::DomainId>{d});
+  s.scenario.acs = rar::AccessMethodSet(s.scenario.schema.get());
+  (void)*s.scenario.acs.Add("e_any", e, {0}, /*dependent=*/false);
+
+  s.scenario.conf = rar::Configuration(s.scenario.schema.get());
+  for (int i = 0; i < conf_size; ++i) {
+    rar::Value v = schema.InternConstant("v" + std::to_string(i));
+    s.scenario.conf.AddFact(rar::Fact(fixed, {v}));
+  }
+
+  rar::ConjunctiveQuery q1;
+  rar::VarId x = q1.AddVar("X", d);
+  rar::VarId y = q1.AddVar("Y", d);
+  q1.atoms.push_back(rar::Atom{fixed, {rar::Term::MakeVar(x)}});
+  q1.atoms.push_back(
+      rar::Atom{e, {rar::Term::MakeVar(x), rar::Term::MakeVar(y)}});
+  (void)q1.Validate(schema);
+  s.q1.disjuncts.push_back(std::move(q1));
+
+  rar::ConjunctiveQuery q2;
+  std::vector<rar::VarId> zs;
+  for (int i = 0; i <= chain_len; ++i) {
+    zs.push_back(q2.AddVar("Z" + std::to_string(i), d));
+  }
+  for (int i = 0; i < chain_len; ++i) {
+    q2.atoms.push_back(rar::Atom{
+        e, {rar::Term::MakeVar(zs[i]), rar::Term::MakeVar(zs[i + 1])}});
+  }
+  (void)q2.Validate(schema);
+  s.q2.disjuncts.push_back(std::move(q2));
+  return s;
+}
+
+void BM_IndependentContainment_ConfSweep(benchmark::State& state) {
+  const int conf_size = static_cast<int>(state.range(0));
+  IndepSetup s = MakeIndepSetup(conf_size, 2);
+  rar::ContainmentEngine engine(*s.scenario.schema, s.scenario.acs);
+  for (auto _ : state) {
+    auto dec = engine.Contained(s.q1, s.q2, s.scenario.conf);
+    benchmark::DoNotOptimize(dec.ok());
+  }
+  state.SetLabel("conf size " + std::to_string(conf_size));
+}
+BENCHMARK(BM_IndependentContainment_ConfSweep)->RangeMultiplier(2)->Range(2, 64);
+
+void BM_IndependentContainment_ContainerSweep(benchmark::State& state) {
+  const int chain_len = static_cast<int>(state.range(0));
+  IndepSetup s = MakeIndepSetup(8, chain_len);
+  rar::ContainmentEngine engine(*s.scenario.schema, s.scenario.acs);
+  for (auto _ : state) {
+    auto dec = engine.Contained(s.q1, s.q2, s.scenario.conf);
+    benchmark::DoNotOptimize(dec.ok());
+  }
+  state.SetLabel("container chain " + std::to_string(chain_len));
+}
+BENCHMARK(BM_IndependentContainment_ContainerSweep)->DenseRange(1, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

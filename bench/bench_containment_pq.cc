@@ -1,0 +1,82 @@
+// T1-CONT-dep-PQ / T1-LTR-dep-PQ: positive-query containment under access
+// limitations (co2NEXPTIME) and the Prop 3.4 LTR route for UCQs.
+//
+// The swept parameter is the number of disjuncts: the engine must find a
+// witness per contained-disjunct (or exhaust them all), and the container
+// is re-evaluated against every disjunct — the PQ-vs-CQ exponential gap of
+// Table 1 shows up as multiplicative disjunct cost on top of the CQ core.
+#include <benchmark/benchmark.h>
+
+#include "containment/access_containment.h"
+#include "relevance/ltr_dependent.h"
+#include "workload/generators.h"
+
+namespace {
+
+// Builds a UCQ of `k` disjuncts over the chain scenario's binary relation:
+// disjunct i is an (i+1)-step chain *conjoined with a self-loop atom*
+// R(Z,Z). Every disjunct is contained in R(X,X), so the engine must
+// exhaust the witness space of each one — per-disjunct work that grows
+// with the union size (the PQ-vs-CQ gap of Table 1).
+rar::UnionQuery LoopedChainUnion(const rar::ChainFamily& family,
+                                 int disjuncts) {
+  rar::UnionQuery out;
+  for (int i = 1; i <= disjuncts; ++i) {
+    rar::ChainFamily sub = rar::MakeChainFamily(i + 1);
+    rar::ConjunctiveQuery d = sub.contained.disjuncts[0];
+    rar::VarId z = d.AddVar("Z", 0);
+    d.atoms.push_back(
+        rar::Atom{0, {rar::Term::MakeVar(z), rar::Term::MakeVar(z)}});
+    out.disjuncts.push_back(std::move(d));
+  }
+  for (auto& d : out.disjuncts) (void)d.Validate(*family.scenario.schema);
+  return out;
+}
+
+void BM_Containment_UnionDisjuncts(benchmark::State& state) {
+  const int disjuncts = static_cast<int>(state.range(0));
+  rar::ChainFamily family = rar::MakeChainFamily(2);
+  rar::UnionQuery q1 = LoopedChainUnion(family, disjuncts);
+  rar::ContainmentEngine engine(*family.scenario.schema,
+                                family.scenario.acs);
+  rar::ContainmentOptions opts;
+  opts.max_aux_facts = disjuncts + 2;
+  for (auto _ : state) {
+    auto dec = engine.Contained(q1, family.container, family.scenario.conf,
+                                opts);
+    benchmark::DoNotOptimize(dec.ok() && dec->contained);
+  }
+  state.SetLabel(std::to_string(disjuncts) + " disjuncts");
+}
+// ~6x per extra disjunct on the reference machine (0.35ms -> 2.6s at 6);
+// capped at 5 to keep the suite runnable.
+BENCHMARK(BM_Containment_UnionDisjuncts)->DenseRange(1, 5);
+
+void BM_LtrDependent_UnionViaProp34(benchmark::State& state) {
+  // LTR of a Boolean access for a UCQ via the Prop 3.4 rewrite: the
+  // IsBind expansion doubles disjuncts per accessed-relation occurrence.
+  const int disjuncts = static_cast<int>(state.range(0));
+  rar::ChainFamily family = rar::MakeChainFamily(2);
+  rar::UnionQuery q = LoopedChainUnion(family, disjuncts);
+  // A Boolean method over R; the probed fact R(c1,c1) is unknown and
+  // completes the self-loop conjunct of every disjunct.
+  rar::AccessMethodSet acs = family.scenario.acs;
+  rar::AccessMethodId r_bool =
+      *acs.Add("r_bool", 0, {0, 1}, /*dependent=*/true);
+  rar::Access probe{r_bool,
+                    {family.scenario.schema->InternConstant("c1"),
+                     family.scenario.schema->InternConstant("c1")}};
+  rar::ContainmentOptions opts;
+  opts.max_aux_facts = disjuncts + 2;
+  for (auto _ : state) {
+    auto ltr = rar::IsLongTermRelevantDependentUCQ(
+        family.scenario.conf, acs, probe, q, opts);
+    benchmark::DoNotOptimize(ltr.ok());
+  }
+  state.SetLabel(std::to_string(disjuncts) + " disjuncts via Prop 3.4");
+}
+BENCHMARK(BM_LtrDependent_UnionViaProp34)->DenseRange(1, 5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// T1-IR-data / T1-CONT-data (Prop 5.7): data complexity — every problem
+// is polynomial once the queries are fixed.
+//
+// Fixed query, configuration size swept geometrically: runtimes should
+// grow polynomially (roughly linearly here), in contrast to the
+// exponential combined-complexity sweeps of the other benches.
+#include <benchmark/benchmark.h>
+
+#include "containment/access_containment.h"
+#include "query/parser.h"
+#include "relevance/immediate.h"
+#include "relevance/ltr_independent.h"
+#include "util/rng.h"
+
+namespace {
+
+struct DataSetup {
+  std::shared_ptr<rar::Schema> schema;
+  rar::AccessMethodSet acs{nullptr};
+  rar::Configuration conf{nullptr};
+  rar::UnionQuery query;
+  rar::Access probe;
+};
+
+DataSetup MakeDataSetup(int conf_size, bool independent) {
+  DataSetup s;
+  s.schema = std::make_shared<rar::Schema>();
+  rar::Schema& schema = *s.schema;
+  rar::DomainId d = schema.AddDomain("D");
+  rar::RelationId e =
+      *schema.AddRelation("E", std::vector<rar::DomainId>{d, d});
+  rar::RelationId f =
+      *schema.AddRelation("F", std::vector<rar::DomainId>{d});
+  s.acs = rar::AccessMethodSet(s.schema.get());
+  (void)*s.acs.Add("e_acc", e, {0}, /*dependent=*/!independent);
+  (void)*s.acs.Add("f_acc", f, {0}, /*dependent=*/!independent);
+
+  s.conf = rar::Configuration(s.schema.get());
+  rar::Rng rng(31);
+  std::vector<rar::Value> nodes;
+  for (int i = 0; i < conf_size; ++i) {
+    nodes.push_back(schema.InternConstant("n" + std::to_string(i)));
+  }
+  for (int i = 0; i < conf_size * 2; ++i) {
+    s.conf.AddFact(rar::Fact(e, {rng.Pick(nodes), rng.Pick(nodes)}));
+  }
+  for (int i = 0; i < conf_size / 2; ++i) {
+    s.conf.AddFact(rar::Fact(f, {rng.Pick(nodes)}));
+  }
+  auto q = rar::ParseUCQ(schema, "E(X, Y) & E(Y, Z) & F(Z)");
+  s.query = *q;
+  s.probe = rar::Access{1, {nodes[0]}};  // F(n0)?
+  return s;
+}
+
+void BM_DataComplexity_IR(benchmark::State& state) {
+  DataSetup s = MakeDataSetup(static_cast<int>(state.range(0)), false);
+  for (auto _ : state) {
+    bool ir = rar::IsImmediatelyRelevant(s.conf, s.acs, s.probe, s.query);
+    benchmark::DoNotOptimize(ir);
+  }
+  state.SetLabel("fixed query, conf nodes " +
+                 std::to_string(state.range(0)));
+}
+BENCHMARK(BM_DataComplexity_IR)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_DataComplexity_LTRIndependent(benchmark::State& state) {
+  // The Σ2P engine's data complexity is polynomial of degree ~|vars(Q)|
+  // (assignment enumeration over the active domain); a two-variable query
+  // keeps the sweep quadratic, which the measurements should reflect.
+  DataSetup s = MakeDataSetup(static_cast<int>(state.range(0)), true);
+  auto q = rar::ParseUCQ(*s.schema, "E(X, Y) & F(Y)");
+  for (auto _ : state) {
+    bool ltr = rar::IsLongTermRelevantIndependent(s.conf, s.acs, s.probe,
+                                                  *q);
+    benchmark::DoNotOptimize(ltr);
+  }
+  state.SetLabel("fixed 2-var query, conf nodes " +
+                 std::to_string(state.range(0)));
+}
+BENCHMARK(BM_DataComplexity_LTRIndependent)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_DataComplexity_Containment(benchmark::State& state) {
+  DataSetup s = MakeDataSetup(static_cast<int>(state.range(0)), false);
+  auto q2 = rar::ParseUCQ(*s.schema, "E(X, X)");
+  rar::ContainmentEngine engine(*s.schema, s.acs);
+  rar::ContainmentOptions opts;
+  opts.max_aux_facts = 3;
+  for (auto _ : state) {
+    auto dec = engine.Contained(s.query, *q2, s.conf, opts);
+    benchmark::DoNotOptimize(dec.ok());
+  }
+  state.SetLabel("fixed queries, conf nodes " +
+                 std::to_string(state.range(0)));
+}
+BENCHMARK(BM_DataComplexity_Containment)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// REDUCTIONS: the Section 3 reductions are polynomial-time — their build
+// cost must scale polynomially (near-linearly) in the input size, in
+// contrast to the decision procedures they connect.
+#include <benchmark/benchmark.h>
+
+#include "transform/config_folding.h"
+#include "transform/containment_to_ltr.h"
+#include "transform/ltr_to_containment.h"
+#include "workload/generators.h"
+
+namespace {
+
+void BM_Reduction_Prop34Build(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  rar::ChainFamily family = rar::MakeChainFamily(len);
+  rar::AccessMethodSet acs = family.scenario.acs;
+  rar::AccessMethodId r_bool =
+      *acs.Add("r_bool", 0, {0, 1}, /*dependent=*/true);
+  rar::Access probe{r_bool,
+                    {family.scenario.schema->InternConstant("c0"),
+                     family.scenario.schema->InternConstant("c1")}};
+  for (auto _ : state) {
+    auto inst = rar::BuildLtrToContainment(*family.scenario.schema, acs,
+                                           family.scenario.conf, probe,
+                                           family.contained);
+    benchmark::DoNotOptimize(inst.ok());
+  }
+  state.SetLabel("Prop 3.4 build, chain " + std::to_string(len));
+}
+BENCHMARK(BM_Reduction_Prop34Build)->DenseRange(2, 16, 2);
+
+void BM_Reduction_Prop33PQBuild(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  rar::ChainFamily family = rar::MakeChainFamily(len);
+  for (auto _ : state) {
+    auto inst = rar::BuildContainmentToLtrPQ(
+        *family.scenario.schema, family.scenario.acs, family.scenario.conf,
+        family.contained, family.container);
+    benchmark::DoNotOptimize(inst.ok());
+  }
+  state.SetLabel("Prop 3.3 (PQ) build, chain " + std::to_string(len));
+}
+BENCHMARK(BM_Reduction_Prop33PQBuild)->DenseRange(2, 16, 2);
+
+void BM_Reduction_Prop33CQBuild(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  rar::ChainFamily family = rar::MakeChainFamily(len);
+  for (auto _ : state) {
+    auto inst = rar::BuildContainmentToLtrCQ(
+        *family.scenario.schema, family.scenario.acs, family.scenario.conf,
+        family.contained.disjuncts[0], family.container.disjuncts[0]);
+    benchmark::DoNotOptimize(inst.ok());
+  }
+  state.SetLabel("Prop 3.3 (CQ coding) build, chain " + std::to_string(len));
+}
+BENCHMARK(BM_Reduction_Prop33CQBuild)->DenseRange(2, 16, 2);
+
+void BM_Reduction_Prop36Fold(benchmark::State& state) {
+  const int facts = static_cast<int>(state.range(0));
+  rar::ChainFamily family = rar::MakeChainFamily(3);
+  // Grow the configuration.
+  rar::Configuration conf = family.scenario.conf;
+  const rar::Schema& schema = *family.scenario.schema;
+  for (int i = 0; i < facts; ++i) {
+    conf.AddFact(rar::Fact(
+        0, {schema.InternConstant("f" + std::to_string(i)),
+            schema.InternConstant("f" + std::to_string(i + 1))}));
+  }
+  for (auto _ : state) {
+    auto folded = rar::FoldConfigurationIntoQuery(
+        schema, family.scenario.acs, conf, family.contained);
+    benchmark::DoNotOptimize(folded.ok());
+  }
+  state.SetLabel("Prop 3.6 fold, " + std::to_string(facts) + " facts");
+}
+BENCHMARK(BM_Reduction_Prop36Fold)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

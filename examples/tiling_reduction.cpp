@@ -1,0 +1,107 @@
+// Tiling reductions end to end: builds the Theorem 5.1 (NEXPTIME) and
+// Prop 6.2 (PSPACE) encodings for small tiling instances, runs the generic
+// containment engine on them, and shows the tiling <-> non-containment
+// correspondence — the executable content of the paper's hardness proofs.
+#include <cstdio>
+
+#include "containment/access_containment.h"
+#include "hardness/encode_nexptime.h"
+#include "hardness/encode_pspace.h"
+#include "hardness/tiling.h"
+
+int main() {
+  using namespace rar;
+  std::printf("=== rar tiling-reduction demo ===\n");
+
+  // ---- Theorem 5.1: 2^n x 2^n corridor, n = 1.
+  std::printf("\n[Theorem 5.1] 2x2 corridor, checkerboard constraints\n");
+  {
+    TilingInstance inst = tilings::Checkerboard();
+    inst.initial_tiles = {0, 1};
+    bool tileable = SolveFixedCorridor(inst, 2, 2);
+    auto enc = EncodeNexptimeTiling(inst, 1);
+    if (!enc.ok()) {
+      std::printf("encoding failed: %s\n", enc.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %s\n", enc->notes.c_str());
+    std::printf("  direct solver: tileable = %s\n", tileable ? "yes" : "no");
+    std::printf("  Q1: %s\n",
+                enc->contained.disjuncts[0].ToString(*enc->schema).c_str());
+    std::printf("  Q2: %d atoms of circuit + 4 Tile atoms\n",
+                enc->container.disjuncts[0].num_atoms());
+
+    ContainmentEngine engine(*enc->schema, enc->acs);
+    ContainmentOptions opts;
+    opts.max_aux_facts = 4;
+    auto dec = engine.Contained(enc->contained, enc->container, enc->conf,
+                                opts);
+    if (!dec.ok()) {
+      std::printf("engine failed: %s\n", dec.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  engine: contained = %s (patterns=%ld aux=%ld "
+                "q2checks=%ld)\n", dec->contained ? "yes" : "no",
+                dec->stats.patterns_tried, dec->stats.aux_facts_tried,
+                dec->stats.q2_checks);
+    if (dec->witness.has_value()) {
+      std::printf("  the witness chain (a correct tiling!):\n");
+      RelationId tile = enc->schema->FindRelation("Tile");
+      for (const Fact& f : dec->witness->final_config.FactsOf(tile)) {
+        std::printf("    %s\n", f.ToString(*enc->schema).c_str());
+      }
+    }
+  }
+
+  // ---- Theorem 5.1 on an unsolvable instance.
+  std::printf("\n[Theorem 5.1] same corridor, vertical constraints removed"
+              " (unsolvable)\n");
+  {
+    TilingInstance inst = tilings::VerticallyBlocked();
+    inst.initial_tiles = {0, 1};
+    auto enc = EncodeNexptimeTiling(inst, 1);
+    if (!enc.ok()) return 1;
+    ContainmentEngine engine(*enc->schema, enc->acs);
+    ContainmentOptions opts;
+    opts.max_aux_facts = 4;
+    auto dec = engine.Contained(enc->contained, enc->container, enc->conf,
+                                opts);
+    if (!dec.ok()) return 1;
+    std::printf("  direct solver: tileable = %s\n",
+                SolveFixedCorridor(inst, 2, 2) ? "yes" : "no");
+    std::printf("  engine: contained = %s (search complete = %s)\n",
+                dec->contained ? "yes" : "no",
+                dec->stats.complete ? "yes" : "no");
+  }
+
+  // ---- Prop 6.2: width-n corridor with binary relations.
+  std::printf("\n[Prop 6.2] width-2 corridor, initial row (0,1), final row"
+              " (1,0)\n");
+  {
+    TilingInstance inst = tilings::Checkerboard();
+    auto enc = EncodePspaceTiling(inst, {0, 1}, {1, 0});
+    if (!enc.ok()) return 1;
+    std::printf("  %s\n", enc->notes.c_str());
+    bool reachable = SolveCorridorReachability(inst, {0, 1}, {1, 0}, 8);
+    std::printf("  direct solver: reachable = %s\n",
+                reachable ? "yes" : "no");
+    ContainmentEngine engine(*enc->schema, enc->acs);
+    ContainmentOptions opts;
+    opts.max_aux_facts = 6;
+    auto dec = engine.Contained(enc->contained, enc->container, enc->conf,
+                                opts);
+    if (!dec.ok()) return 1;
+    std::printf("  engine: contained = %s\n",
+                dec->contained ? "yes" : "no");
+    if (dec->witness.has_value()) {
+      std::printf("  witness path (the second row being built):\n");
+      for (const AccessStep& step : dec->witness->steps) {
+        std::printf("    %s\n",
+                    step.access.ToString(*enc->schema, enc->acs).c_str());
+      }
+    }
+  }
+
+  std::printf("\nDone.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "access/access_method.h"
+
+#include <algorithm>
+
+namespace rar {
+
+const std::vector<AccessMethodId> AccessMethodSet::kNoMethods;
+
+Result<AccessMethodId> AccessMethodSet::Add(std::string_view name,
+                                            RelationId relation,
+                                            std::vector<int> input_positions,
+                                            bool dependent) {
+  if (schema_ == nullptr) {
+    return Status::FailedPrecondition("access method set has no schema");
+  }
+  if (relation >= schema_->num_relations()) {
+    return Status::NotFound("relation id out of range");
+  }
+  if (Find(name) != kInvalidId) {
+    return Status::InvalidArgument("duplicate access method name: " +
+                                   std::string(name));
+  }
+  const Relation& rel = schema_->relation(relation);
+  for (size_t i = 0; i < input_positions.size(); ++i) {
+    if (input_positions[i] < 0 || input_positions[i] >= rel.arity()) {
+      return Status::InvalidArgument("input position out of range for " +
+                                     rel.name);
+    }
+    if (i > 0 && input_positions[i] <= input_positions[i - 1]) {
+      return Status::InvalidArgument(
+          "input positions must be strictly increasing");
+    }
+  }
+  methods_.push_back(AccessMethod{std::string(name), relation,
+                                  std::move(input_positions), dependent});
+  AccessMethodId id = static_cast<AccessMethodId>(methods_.size() - 1);
+  by_relation_[relation].push_back(id);
+  return id;
+}
+
+Result<AccessMethodId> AccessMethodSet::AddNamed(
+    std::string_view name, std::string_view relation,
+    const std::vector<std::string>& input_attrs, bool dependent) {
+  if (schema_ == nullptr) {
+    return Status::FailedPrecondition("access method set has no schema");
+  }
+  RelationId rel = schema_->FindRelation(relation);
+  if (rel == kInvalidId) {
+    return Status::NotFound("relation not in schema: " +
+                            std::string(relation));
+  }
+  std::vector<int> positions;
+  const Relation& r = schema_->relation(rel);
+  for (const std::string& attr : input_attrs) {
+    int pos = -1;
+    for (int i = 0; i < r.arity(); ++i) {
+      if (r.attributes[i].name == attr) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos < 0) {
+      return Status::NotFound("attribute " + attr + " not in relation " +
+                              r.name);
+    }
+    positions.push_back(pos);
+  }
+  std::sort(positions.begin(), positions.end());
+  return Add(name, rel, std::move(positions), dependent);
+}
+
+AccessMethodId AccessMethodSet::Find(std::string_view name) const {
+  for (size_t i = 0; i < methods_.size(); ++i) {
+    if (methods_[i].name == name) return static_cast<AccessMethodId>(i);
+  }
+  return kInvalidId;
+}
+
+const std::vector<AccessMethodId>& AccessMethodSet::MethodsOf(
+    RelationId rel) const {
+  auto it = by_relation_.find(rel);
+  return it == by_relation_.end() ? kNoMethods : it->second;
+}
+
+bool AccessMethodSet::AllIndependent() const {
+  for (const AccessMethod& m : methods_) {
+    if (m.dependent) return false;
+  }
+  return true;
+}
+
+std::string Access::ToString(const Schema& schema,
+                             const AccessMethodSet& acs) const {
+  const AccessMethod& m = acs.method(method);
+  const Relation& rel = schema.relation(m.relation);
+  std::string out = rel.name;
+  out += "[" + m.name + "](";
+  int next_input = 0;
+  for (int pos = 0; pos < rel.arity(); ++pos) {
+    if (pos > 0) out += ", ";
+    if (next_input < m.num_inputs() && m.input_positions[next_input] == pos) {
+      out += schema.ValueToString(binding[next_input]);
+      ++next_input;
+    } else {
+      out += "?";
+    }
+  }
+  out += ")";
+  return out;
+}
+
+Status CheckWellFormed(const Configuration& conf, const AccessMethodSet& acs,
+                       const Access& access) {
+  if (access.method >= acs.size()) {
+    return Status::NotFound("access method id out of range");
+  }
+  const AccessMethod& m = acs.method(access.method);
+  if (static_cast<int>(access.binding.size()) != m.num_inputs()) {
+    return Status::InvalidArgument("binding width mismatch for method " +
+                                   m.name);
+  }
+  if (!m.dependent) return Status::OK();
+  const Schema& schema = *acs.schema();
+  const Relation& rel = schema.relation(m.relation);
+  for (int i = 0; i < m.num_inputs(); ++i) {
+    DomainId dom = rel.attributes[m.input_positions[i]].domain;
+    if (!conf.AdomContains(access.binding[i], dom)) {
+      return Status::FailedPrecondition(
+          "dependent access " + m.name + ": binding value " +
+          schema.ValueToString(access.binding[i]) +
+          " not in the active domain of domain " + schema.domain_name(dom));
+    }
+  }
+  return Status::OK();
+}
+
+bool FactMatchesAccess(const AccessMethodSet& acs, const Access& access,
+                       const Fact& fact) {
+  const AccessMethod& m = acs.method(access.method);
+  if (fact.relation != m.relation) return false;
+  for (int i = 0; i < m.num_inputs(); ++i) {
+    if (fact.values[m.input_positions[i]] != access.binding[i]) return false;
+  }
+  return true;
+}
+
+Result<Configuration> ApplyAccess(const Configuration& conf,
+                                  const AccessMethodSet& acs,
+                                  const Access& access,
+                                  const std::vector<Fact>& response) {
+  RAR_RETURN_NOT_OK(CheckWellFormed(conf, acs, access));
+  const AccessMethod& m = acs.method(access.method);
+  for (const Fact& f : response) {
+    if (!FactMatchesAccess(acs, access, f)) {
+      return Status::InvalidArgument(
+          "response fact does not match the access binding on method " +
+          m.name);
+    }
+    if (static_cast<int>(f.values.size()) !=
+        acs.schema()->relation(m.relation).arity()) {
+      return Status::InvalidArgument("response fact arity mismatch");
+    }
+  }
+  Configuration next = conf;
+  for (const Fact& f : response) next.AddFact(f);
+  return next;
+}
+
+}  // namespace rar

@@ -1,0 +1,135 @@
+// Access methods and accesses (Section 2, "Modeling data sources").
+//
+// An access method names a relation and the subset of its attributes that
+// must be bound on input. Methods are *dependent* (input values must already
+// be in the configuration's active domain, with matching abstract domains)
+// or *independent* (any value may be guessed). An *access* pairs a method
+// with a concrete binding of its input attributes. A method with every
+// attribute in its input set gives Boolean accesses ("is this tuple
+// there?"); a method with no input attributes gives free accesses.
+#ifndef RAR_ACCESS_ACCESS_METHOD_H_
+#define RAR_ACCESS_ACCESS_METHOD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/configuration.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// Dense id of an access method within an AccessMethodSet.
+using AccessMethodId = uint32_t;
+
+/// \brief One access method: relation + input positions + dependence flag.
+struct AccessMethod {
+  std::string name;
+  RelationId relation = kInvalidId;
+  /// Attribute positions (0-based, strictly increasing) bound on input.
+  std::vector<int> input_positions;
+  /// Dependent methods require binding values to come from the active
+  /// domain of the current configuration; independent methods accept any.
+  bool dependent = true;
+
+  int num_inputs() const { return static_cast<int>(input_positions.size()); }
+  bool IsInputPosition(int pos) const {
+    for (int p : input_positions) {
+      if (p == pos) return true;
+    }
+    return false;
+  }
+};
+
+/// \brief The set ACS of access methods over a schema.
+class AccessMethodSet {
+ public:
+  AccessMethodSet() = default;
+  explicit AccessMethodSet(const Schema* schema) : schema_(schema) {}
+
+  const Schema* schema() const { return schema_; }
+
+  /// Declares a method. Input positions must be valid for the relation and
+  /// strictly increasing; names must be unique.
+  Result<AccessMethodId> Add(std::string_view name, RelationId relation,
+                             std::vector<int> input_positions,
+                             bool dependent);
+
+  /// Convenience: declares a method by relation/attribute names.
+  Result<AccessMethodId> AddNamed(std::string_view name,
+                                  std::string_view relation,
+                                  const std::vector<std::string>& input_attrs,
+                                  bool dependent);
+
+  const AccessMethod& method(AccessMethodId id) const { return methods_[id]; }
+  size_t size() const { return methods_.size(); }
+
+  AccessMethodId Find(std::string_view name) const;
+
+  /// All methods on a given relation (possibly empty: such relations have
+  /// fixed content equal to the initial configuration).
+  const std::vector<AccessMethodId>& MethodsOf(RelationId rel) const;
+
+  /// True when the relation has at least one access method.
+  bool HasMethod(RelationId rel) const { return !MethodsOf(rel).empty(); }
+
+  /// True when every method in the set is independent.
+  bool AllIndependent() const;
+
+  /// True when the method admits Boolean accesses (every attribute input).
+  bool IsBoolean(AccessMethodId id) const {
+    return methods_[id].num_inputs() ==
+           schema_->relation(methods_[id].relation).arity();
+  }
+
+  /// True when the method admits free accesses (no attribute is input).
+  bool IsFree(AccessMethodId id) const {
+    return methods_[id].input_positions.empty();
+  }
+
+ private:
+  const Schema* schema_ = nullptr;
+  std::vector<AccessMethod> methods_;
+  std::unordered_map<RelationId, std::vector<AccessMethodId>> by_relation_;
+
+  static const std::vector<AccessMethodId> kNoMethods;
+};
+
+/// \brief An access: a method plus a binding for its input attributes.
+struct Access {
+  AccessMethodId method = kInvalidId;
+  /// Values for the method's input positions, in position order.
+  std::vector<Value> binding;
+
+  bool operator==(const Access& o) const {
+    return method == o.method && binding == o.binding;
+  }
+
+  std::string ToString(const Schema& schema, const AccessMethodSet& acs) const;
+};
+
+/// Returns OK iff `access` is well-formed at `conf` (Section 2): the method
+/// exists, the binding has the right width, and — for dependent methods —
+/// every binding value inhabits the corresponding attribute domain in
+/// Adom(conf).
+Status CheckWellFormed(const Configuration& conf, const AccessMethodSet& acs,
+                       const Access& access);
+
+/// True iff `fact` is a possible response tuple for `access`: same relation
+/// and agreeing with the binding on every input position.
+bool FactMatchesAccess(const AccessMethodSet& acs, const Access& access,
+                       const Fact& fact);
+
+/// Applies a well-formed access: returns the successor configuration
+/// conf + response. Every response fact must match the access (clause (ii)
+/// of the successor definition). Soundness against a hidden instance is the
+/// simulator's concern, not checked here.
+Result<Configuration> ApplyAccess(const Configuration& conf,
+                                  const AccessMethodSet& acs,
+                                  const Access& access,
+                                  const std::vector<Fact>& response);
+
+}  // namespace rar
+
+#endif  // RAR_ACCESS_ACCESS_METHOD_H_

@@ -1,0 +1,59 @@
+#include "access/accessible.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/combinatorics.h"
+
+namespace rar {
+
+AccessiblePart ComputeAccessiblePart(const Configuration& instance,
+                                     const AccessMethodSet& acs,
+                                     const Configuration& initial,
+                                     int max_rounds) {
+  const Schema& schema = *acs.schema();
+  AccessiblePart out;
+  out.closure = initial;
+  std::set<std::pair<AccessMethodId, std::vector<Value>>> done;
+
+  for (out.rounds = 0; out.rounds < max_rounds; ++out.rounds) {
+    bool progress = false;
+    for (AccessMethodId mid = 0; mid < acs.size(); ++mid) {
+      const AccessMethod& m = acs.method(mid);
+      const Relation& rel = schema.relation(m.relation);
+
+      std::vector<std::vector<Value>> slots;
+      std::vector<int> sizes;
+      bool feasible = true;
+      for (int pos : m.input_positions) {
+        slots.push_back(
+            out.closure.AdomOfDomain(rel.attributes[pos].domain));
+        sizes.push_back(static_cast<int>(slots.back().size()));
+        if (slots.back().empty()) feasible = false;
+      }
+      if (!feasible) continue;
+
+      ForEachProduct(sizes, [&](const std::vector<int>& choice) {
+        std::vector<Value> binding;
+        binding.reserve(choice.size());
+        for (size_t i = 0; i < choice.size(); ++i) {
+          binding.push_back(slots[i][choice[i]]);
+        }
+        if (!done.insert({mid, binding}).second) return false;
+        ++out.accesses;
+        Access access{mid, binding};
+        for (const Fact& f : instance.FactsOf(m.relation)) {
+          if (FactMatchesAccess(acs, access, f)) {
+            progress |= out.closure.AddFact(f);
+          }
+        }
+        return false;
+      });
+    }
+    if (!progress) break;
+  }
+  return out;
+}
+
+}  // namespace rar

@@ -1,0 +1,43 @@
+// The accessible part of an instance (Li–Chang / Section 7).
+//
+// Given a hidden instance, the access methods, and an initial
+// configuration, the *accessible part* is the set of facts obtainable by
+// exhaustive querying: the least fixpoint of "perform every well-formed
+// access against the instance with exact responses". This is the
+// recursive, exhaustive enumeration underlying the complete-answer
+// algorithms of Li [18] and Duschka–Levy's inverse rules [13], which the
+// paper contrasts with relevance-guided access (Section 7: "no check is
+// made for the relevance of an access"). The mediator benchmarks use it as
+// the crawl ceiling; certain answers over the accessible part are the
+// *maximally contained answers* obtainable by any strategy.
+#ifndef RAR_ACCESS_ACCESSIBLE_H_
+#define RAR_ACCESS_ACCESSIBLE_H_
+
+#include "access/access_method.h"
+#include "relational/configuration.h"
+
+namespace rar {
+
+/// \brief Result of the accessible-part fixpoint.
+struct AccessiblePart {
+  /// The initial configuration plus every obtainable fact.
+  Configuration closure;
+  /// Accesses performed by the fixpoint (each (method, binding) once).
+  long accesses = 0;
+  /// Fixpoint rounds.
+  int rounds = 0;
+};
+
+/// Computes the accessible part of `instance` from `initial` under exact
+/// responses. Dependent bindings are drawn from the evolving typed active
+/// domain; independent methods are probed with every known value of their
+/// input domains (probing unknown constants cannot help against an exact
+/// source). `max_rounds` is a safety valve for pathological schemas.
+AccessiblePart ComputeAccessiblePart(const Configuration& instance,
+                                     const AccessMethodSet& acs,
+                                     const Configuration& initial,
+                                     int max_rounds = 1000);
+
+}  // namespace rar
+
+#endif  // RAR_ACCESS_ACCESSIBLE_H_

@@ -1,0 +1,51 @@
+#include "access/path.h"
+
+namespace rar {
+
+Result<Configuration> AccessPath::Replay() const {
+  Configuration conf = initial_;
+  for (const AccessStep& step : steps_) {
+    RAR_ASSIGN_OR_RETURN(conf, ApplyAccess(conf, *acs_, step.access,
+                                           step.response));
+  }
+  return conf;
+}
+
+Result<AccessPath> AccessPath::Truncate() const {
+  if (steps_.empty()) {
+    return Status::FailedPrecondition("cannot truncate an empty path");
+  }
+  AccessPath truncated(initial_, acs_);
+  Configuration conf = initial_;
+  for (size_t i = 1; i < steps_.size(); ++i) {
+    const AccessStep& step = steps_[i];
+    Result<Configuration> next =
+        ApplyAccess(conf, *acs_, step.access, step.response);
+    if (!next.ok()) break;  // first ill-formed access ends the prefix
+    conf = std::move(next).value();
+    truncated.Append(step);
+  }
+  return truncated;
+}
+
+Result<Configuration> AccessPath::ReplayTruncation() const {
+  RAR_ASSIGN_OR_RETURN(AccessPath truncated, Truncate());
+  return truncated.Replay();
+}
+
+std::string AccessPath::ToString() const {
+  std::string out;
+  const Schema& schema = *initial_.schema();
+  for (const AccessStep& step : steps_) {
+    out += step.access.ToString(schema, *acs_);
+    out += " -> {";
+    for (size_t i = 0; i < step.response.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += step.response[i].ToString(schema);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace rar

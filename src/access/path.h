@@ -1,0 +1,71 @@
+// Access paths and truncation (Section 2, "Long-term impact").
+//
+// A path is a sequence of accesses with their (sound) responses, starting
+// from a configuration. The *truncated path* drops the initial access and
+// keeps the longest prefix of the remaining accesses that stays well-formed
+// — exactly the paper's definition. Long-term relevance compares certain
+// answers after a path with certain answers after its truncation.
+#ifndef RAR_ACCESS_PATH_H_
+#define RAR_ACCESS_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "access/access_method.h"
+#include "relational/configuration.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief One step of a path: an access and the tuples it returned.
+struct AccessStep {
+  Access access;
+  std::vector<Fact> response;
+};
+
+/// \brief An access path: initial configuration + steps.
+///
+/// Paths are data; `Replay` validates well-formedness step by step and
+/// produces the final configuration, so any engine-constructed witness can
+/// be independently re-checked against the Section 2 semantics.
+class AccessPath {
+ public:
+  AccessPath(Configuration initial, const AccessMethodSet* acs)
+      : initial_(std::move(initial)), acs_(acs) {}
+
+  const Configuration& initial() const { return initial_; }
+  const std::vector<AccessStep>& steps() const { return steps_; }
+  size_t size() const { return steps_.size(); }
+
+  void Append(AccessStep step) { steps_.push_back(std::move(step)); }
+
+  /// Removes the last step (no-op on an empty path). Used by backtracking
+  /// searches that extend and retract candidate paths.
+  void PopBack() {
+    if (!steps_.empty()) steps_.pop_back();
+  }
+
+  /// Replays the whole path, checking each access is well-formed at the
+  /// configuration reached so far; returns the final configuration.
+  Result<Configuration> Replay() const;
+
+  /// The paper's truncation: drop the first access, then keep the longest
+  /// prefix of the remaining steps (with their original responses) in which
+  /// every access is well-formed at the evolving configuration. Returns the
+  /// truncated path (possibly empty). Requires a non-empty path.
+  Result<AccessPath> Truncate() const;
+
+  /// Final configuration of the truncation (initial config when empty).
+  Result<Configuration> ReplayTruncation() const;
+
+  std::string ToString() const;
+
+ private:
+  Configuration initial_;
+  const AccessMethodSet* acs_;
+  std::vector<AccessStep> steps_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_ACCESS_PATH_H_

@@ -1,0 +1,135 @@
+// Query containment under access limitations (Definition 3.1, Section 5).
+//
+// Q1 ⊑_{ACS,Conf} Q2 holds iff every configuration reachable from Conf by a
+// well-formed access path that satisfies Q1 also satisfies Q2. The engine
+// decides this by searching for a *non-containment witness*: a reachable
+// configuration where some disjunct of Q1 holds and Q2 fails.
+//
+// The search follows the structure the paper's upper-bound proofs justify
+// (the Calì–Martinenghi "crayfish chase": tree-like witnesses in which
+// every fresh element outside the homomorphic image of Q1 is produced by
+// one access and consumed by at most one access):
+//
+//   1. enumerate canonical homomorphism patterns of a Q1-disjunct — each
+//      variable maps to a typed active-domain constant or to a labelled
+//      null, with explicit branching over null coalescing (coalescing can
+//      be *required* for schedulability under dependent accesses);
+//   2. greedily schedule the pattern's facts with `CheckSetReachability`;
+//      when stuck, branch over *auxiliary production facts*: one response
+//      fact of some access method placeable right now, whose inputs are
+//      chosen among accessible values (or fresh guesses for independent
+//      methods) and whose outputs are fresh nulls or currently-missing
+//      values;
+//   3. prune any branch whose partial configuration already satisfies Q2
+//      (Q2 is monotone, so such a branch can never yield a witness);
+//   4. on success, replay the witness as an explicit well-formed access
+//      path and re-verify Q1 ∧ ¬Q2 on its final configuration.
+//
+// Found witnesses are always sound. "Contained" answers are exact whenever
+// the search was exhaustive within its budgets (`WitnessSearchStats::
+// complete`); the theory-exact budget is exponential (Theorem 5.2), so
+// callers choose budgets via ContainmentOptions.
+//
+// When every method is independent the engine dispatches to the simpler
+// Π2P procedure of Section 4: atoms over relations without methods must
+// map into Conf and everything else is frozen maximally fresh.
+#ifndef RAR_CONTAINMENT_ACCESS_CONTAINMENT_H_
+#define RAR_CONTAINMENT_ACCESS_CONTAINMENT_H_
+
+#include <optional>
+#include <vector>
+
+#include "access/access_method.h"
+#include "access/path.h"
+#include "access/reachability.h"
+#include "query/query.h"
+#include "relational/configuration.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// Budgets and switches for the containment witness search.
+struct ContainmentOptions {
+  /// Maximum auxiliary production facts per homomorphism pattern.
+  /// The theory-complete value is exponential in the query sizes
+  /// (Theorem 5.2); the default suits the paper's examples and the test
+  /// workloads, and benches raise it explicitly for the tiling encodings.
+  int max_aux_facts = 8;
+  /// Hard cap on explored search nodes (patterns + auxiliary attempts);
+  /// 0 = unlimited.
+  long node_budget = 5000000;
+  /// Re-verify every witness by replaying its access path (cheap; keep on).
+  bool verify_witnesses = true;
+};
+
+/// \brief A concrete refutation of containment.
+struct NonContainmentWitness {
+  /// The reachable configuration where Q1 holds and Q2 fails.
+  Configuration final_config;
+  /// A well-formed access path from the start configuration realizing it.
+  std::vector<AccessStep> steps;
+  /// Which disjunct of Q1 is witnessed.
+  int disjunct_index = 0;
+};
+
+/// \brief Search accounting, exposed for benches and completeness checks.
+struct WitnessSearchStats {
+  long patterns_tried = 0;
+  long aux_facts_tried = 0;
+  long q2_checks = 0;
+  /// True when the search space was fully explored within the budgets; a
+  /// "contained" verdict with complete == true is exact for the configured
+  /// max_aux_facts horizon.
+  bool complete = true;
+};
+
+/// \brief Outcome of a containment query.
+struct ContainmentDecision {
+  bool contained = true;
+  std::optional<NonContainmentWitness> witness;  ///< set when !contained
+  WitnessSearchStats stats;
+};
+
+/// \brief Decides Q1 ⊑_{ACS,Conf} Q2 for Boolean UCQs (PQs arrive here via
+/// ToDnf; a UCQ is contained iff each disjunct is).
+class ContainmentEngine {
+ public:
+  ContainmentEngine(const Schema& schema, const AccessMethodSet& acs)
+      : schema_(schema), acs_(acs) {}
+
+  /// Decides containment starting from `conf`. Queries must be Boolean and
+  /// validated. The caller is responsible for the paper's standing
+  /// assumption that query constants are present in the configuration
+  /// (see SeedQueryConstants).
+  Result<ContainmentDecision> Contained(const UnionQuery& q1,
+                                        const UnionQuery& q2,
+                                        const Configuration& conf,
+                                        const ContainmentOptions& options = {});
+
+  /// Convenience overloads.
+  Result<ContainmentDecision> Contained(const ConjunctiveQuery& q1,
+                                        const ConjunctiveQuery& q2,
+                                        const Configuration& conf,
+                                        const ContainmentOptions& options = {});
+
+  /// Achievability: is there a reachable configuration satisfying `q`?
+  /// Equivalent to the negation of `q ⊑ false` (containment in the empty
+  /// union); used by the general-access LTR extension.
+  Result<ContainmentDecision> Achievable(const UnionQuery& q,
+                                         const Configuration& conf,
+                                         const ContainmentOptions& options = {});
+
+ private:
+  const Schema& schema_;
+  const AccessMethodSet& acs_;
+};
+
+/// Registers every constant of the query, typed by its positions' domains,
+/// as a seed of `conf` — the paper's assumption that query constants are
+/// available for dependent accesses (end of Section 2).
+void SeedQueryConstants(Configuration* conf, const UnionQuery& q,
+                        const Schema& schema);
+
+}  // namespace rar
+
+#endif  // RAR_CONTAINMENT_ACCESS_CONTAINMENT_H_

@@ -1,0 +1,128 @@
+// A tiny circuit compiler: appends And/Or/Eq atoms to a conjunctive query
+// under construction, returning wire terms.
+//
+// The hardness encodings express "something is wrong with the model" as a
+// Boolean circuit evaluated by the homomorphism: the configuration carries
+// the full truth tables of And/Or/Eq, every gate is an atom whose output
+// is a fresh wire variable, and the homomorphism is forced to assign each
+// wire the gate's value. This is the paper's "coding Boolean operations in
+// relations" device (proofs of Prop 3.3, Theorem 5.1, Prop 6.2).
+#ifndef RAR_HARDNESS_BOOL_CIRCUIT_H_
+#define RAR_HARDNESS_BOOL_CIRCUIT_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace rar {
+
+/// \brief Emits gate atoms into a CQ and hands out wire terms.
+class BoolCircuit {
+ public:
+  /// `zero`/`one` are the interned Boolean constants of the schema.
+  BoolCircuit(ConjunctiveQuery* cq, RelationId and_rel, RelationId or_rel,
+              RelationId eq_rel, Value zero, Value one)
+      : cq_(cq), and_rel_(and_rel), or_rel_(or_rel), eq_rel_(eq_rel),
+        zero_(zero), one_(one) {}
+
+  Term ZeroConst() const { return Term::MakeConst(zero_); }
+  Term OneConst() const { return Term::MakeConst(one_); }
+
+  /// w = a AND b.
+  Term And(Term a, Term b) { return Gate(and_rel_, a, b, "and"); }
+  /// w = a OR b.
+  Term Or(Term a, Term b) { return Gate(or_rel_, a, b, "or"); }
+  /// w = (a == b)  (XNOR).
+  Term Eq(Term a, Term b) { return Gate(eq_rel_, a, b, "eq"); }
+  /// w = NOT a  (via Eq with the zero constant).
+  Term Not(Term a) { return Eq(a, ZeroConst()); }
+  /// w = (a == 0) — alias of Not, named for bit tests.
+  Term IsZero(Term a) { return Not(a); }
+  /// w = (a == 1).
+  Term IsOne(Term a) { return Eq(a, OneConst()); }
+
+  /// Fold of And over a list (empty list -> constant one).
+  Term AndAll(const std::vector<Term>& terms) {
+    if (terms.empty()) return OneConst();
+    Term acc = terms[0];
+    for (size_t i = 1; i < terms.size(); ++i) acc = And(acc, terms[i]);
+    return acc;
+  }
+  /// Fold of Or over a list (empty list -> constant zero).
+  Term OrAll(const std::vector<Term>& terms) {
+    if (terms.empty()) return ZeroConst();
+    Term acc = terms[0];
+    for (size_t i = 1; i < terms.size(); ++i) acc = Or(acc, terms[i]);
+    return acc;
+  }
+
+  /// Pins a term to zero: emits And(t, t, 0) — satisfied iff t = 0.
+  void AssertZero(Term t) {
+    Atom atom;
+    atom.relation = and_rel_;
+    atom.terms = {t, t, ZeroConst()};
+    cq_->atoms.push_back(std::move(atom));
+  }
+
+  /// s = "the bit-vector x is the numeric predecessor of y" (MSB first):
+  /// some position i has x_i=0, y_i=1, equal bits before i, and x=1/y=0
+  /// after i (binary increment). The vectors must have equal width.
+  Term Successor(const std::vector<Term>& x, const std::vector<Term>& y) {
+    std::vector<Term> cases;
+    for (size_t i = 0; i < x.size(); ++i) {
+      std::vector<Term> parts;
+      for (size_t j = 0; j < i; ++j) parts.push_back(Eq(x[j], y[j]));
+      parts.push_back(IsZero(x[i]));
+      parts.push_back(IsOne(y[i]));
+      for (size_t j = i + 1; j < x.size(); ++j) {
+        parts.push_back(IsOne(x[j]));
+        parts.push_back(IsZero(y[j]));
+      }
+      cases.push_back(AndAll(parts));
+    }
+    return OrAll(cases);
+  }
+
+  /// s = "the bit-vectors are equal".
+  Term VectorEq(const std::vector<Term>& x, const std::vector<Term>& y) {
+    std::vector<Term> parts;
+    for (size_t i = 0; i < x.size(); ++i) parts.push_back(Eq(x[i], y[i]));
+    return AndAll(parts);
+  }
+
+  /// s = "the bit-vector equals the constant `value`" (MSB first).
+  Term VectorIs(const std::vector<Term>& x, uint64_t value) {
+    std::vector<Term> parts;
+    const size_t n = x.size();
+    for (size_t i = 0; i < n; ++i) {
+      bool bit = (value >> (n - 1 - i)) & 1;
+      parts.push_back(bit ? IsOne(x[i]) : IsZero(x[i]));
+    }
+    return AndAll(parts);
+  }
+
+  /// Number of gate atoms emitted so far.
+  int gates() const { return gates_; }
+
+ private:
+  Term Gate(RelationId rel, Term a, Term b, const char* prefix) {
+    VarId w = cq_->AddVar(std::string(prefix) + "_w" +
+                          std::to_string(gates_));
+    Atom atom;
+    atom.relation = rel;
+    atom.terms = {a, b, Term::MakeVar(w)};
+    cq_->atoms.push_back(std::move(atom));
+    ++gates_;
+    return Term::MakeVar(w);
+  }
+
+  ConjunctiveQuery* cq_;
+  RelationId and_rel_, or_rel_, eq_rel_;
+  Value zero_, one_;
+  int gates_ = 0;
+};
+
+}  // namespace rar
+
+#endif  // RAR_HARDNESS_BOOL_CIRCUIT_H_

@@ -1,0 +1,119 @@
+#include "hardness/encode_dp.h"
+
+#include <set>
+
+namespace rar {
+
+namespace {
+
+// The relations mentioned by a query or a fact list.
+std::set<RelationId> MentionedRelations(const ConjunctiveQuery& q,
+                                        const std::vector<Fact>& facts) {
+  std::set<RelationId> out;
+  for (const Atom& atom : q.atoms) out.insert(atom.relation);
+  for (const Fact& f : facts) out.insert(f.relation);
+  return out;
+}
+
+}  // namespace
+
+Result<EncodedRelevance> EncodeDpHardness(const Schema& base,
+                                          const ConjunctiveQuery& q1,
+                                          const std::vector<Fact>& i1,
+                                          const ConjunctiveQuery& q2,
+                                          const std::vector<Fact>& i2) {
+  if (base.num_domains() != 1) {
+    return Status::InvalidArgument(
+        "the DP coding is untyped: base schema must have one domain");
+  }
+  if (!q1.IsBoolean() || !q2.IsBoolean()) {
+    return Status::InvalidArgument("q1/q2 must be Boolean");
+  }
+  std::set<RelationId> rels1 = MentionedRelations(q1, i1);
+  std::set<RelationId> rels2 = MentionedRelations(q2, i2);
+  for (RelationId rel : rels1) {
+    if (rels2.count(rel)) {
+      return Status::InvalidArgument(
+          "q1/i1 and q2/i2 must use disjoint relations");
+    }
+  }
+
+  EncodedRelevance out;
+  out.schema = std::make_shared<Schema>();
+  Schema& schema = *out.schema;
+  DomainId d = schema.AddDomain("D");
+
+  // Lift every base relation to arity+1 (ids preserved by construction).
+  for (RelationId rel = 0; rel < base.num_relations(); ++rel) {
+    const Relation& r = base.relation(rel);
+    std::vector<DomainId> domains(r.arity() + 1, d);
+    RAR_ASSIGN_OR_RETURN(RelationId lifted,
+                         schema.AddRelation(r.name, domains));
+    if (lifted != rel) return Status::Internal("relation ids not preserved");
+  }
+  RAR_ASSIGN_OR_RETURN(RelationId r_rel,
+                       schema.AddRelation("R_dp", std::vector<DomainId>{d}));
+
+  out.acs = AccessMethodSet(out.schema.get());
+  RAR_ASSIGN_OR_RETURN(AccessMethodId r_access,
+                       out.acs.Add("r_check", r_rel, {0}, /*dependent=*/true));
+
+  Value a = schema.InternConstant("tag_a");
+  Value b = schema.InternConstant("tag_b");
+
+  // Configuration: tagged instances, the all-b / all-a padding tuples,
+  // and R(a).
+  out.conf = Configuration(out.schema.get());
+  auto add_tagged = [&](const Fact& f, Value tag) {
+    Fact lifted = f;
+    lifted.values.push_back(tag);
+    out.conf.AddFact(lifted);
+  };
+  for (const Fact& f : i1) add_tagged(f, a);
+  for (const Fact& f : i2) add_tagged(f, b);
+  for (RelationId rel : rels1) {
+    Fact pad(rel, std::vector<Value>(base.relation(rel).arity() + 1, b));
+    out.conf.AddFact(pad);
+  }
+  for (RelationId rel : rels2) {
+    Fact pad(rel, std::vector<Value>(base.relation(rel).arity() + 1, a));
+    out.conf.AddFact(pad);
+  }
+  out.conf.AddFact(Fact(r_rel, {a}));
+  // The binding value b must be usable in the (dependent) Boolean access;
+  // it inhabits the domain via the padding tuples already, but seed it for
+  // robustness against empty rels1.
+  out.conf.AddSeedConstant(b, d);
+
+  // Q = ∃x Q'1(x) ∧ Q'2(x) ∧ R(x): merge the two queries into one variable
+  // table, adding the shared tag variable to every subgoal.
+  ConjunctiveQuery q;
+  VarId tag = q.AddVar("XTag");
+  auto lift_into = [&](const ConjunctiveQuery& src) {
+    std::vector<VarId> remap(src.num_vars());
+    for (int v = 0; v < src.num_vars(); ++v) {
+      remap[v] = q.AddVar(src.var_names[v] + "_" +
+                          std::to_string(q.num_vars()));
+    }
+    for (const Atom& atom : src.atoms) {
+      Atom lifted = atom;
+      for (Term& t : lifted.terms) {
+        if (t.is_var()) t.var = remap[t.var];
+      }
+      lifted.terms.push_back(Term::MakeVar(tag));
+      q.atoms.push_back(std::move(lifted));
+    }
+  };
+  lift_into(q1);
+  lift_into(q2);
+  q.atoms.push_back(Atom{r_rel, {Term::MakeVar(tag)}});
+  RAR_RETURN_NOT_OK(q.Validate(schema));
+  out.query.disjuncts.push_back(std::move(q));
+
+  out.access = Access{r_access, {b}};
+  out.notes = "Prop 4.1 DP coding: R(tag_b)? is IR iff q1 is false on i1 "
+              "and q2 is true on i2";
+  return out;
+}
+
+}  // namespace rar

@@ -1,0 +1,50 @@
+// Proposition 4.1 (hardness direction): the DP-hardness coding that turns
+// a pair (Q1, I1), (Q2, I2) of Boolean CQ/instance problems over disjoint
+// relation sets into one immediate-relevance question.
+//
+// Every relation gets an extra tag attribute; I1's facts are tagged `a`,
+// I2's facts are tagged `b`; each Sch1 relation additionally holds an
+// all-`b` tuple and each Sch2 relation an all-`a` tuple; R is a fresh
+// unary relation with the only access method (Boolean, dependent), and
+// R(a) is in the configuration. With Q'i the tag-lifted queries,
+//
+//   Q = ∃x Q'1(x) ∧ Q'2(x) ∧ R(x),
+//
+// the access R(b)? is immediately relevant for Q iff Q1 is NOT true in I1
+// and Q2 IS true in I2 — a DP-complete combination.
+#ifndef RAR_HARDNESS_ENCODE_DP_H_
+#define RAR_HARDNESS_ENCODE_DP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/access_method.h"
+#include "query/query.h"
+#include "relational/configuration.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief A generated relevance instance.
+struct EncodedRelevance {
+  std::shared_ptr<Schema> schema;
+  AccessMethodSet acs;
+  Configuration conf;
+  UnionQuery query;
+  Access access;
+  std::string notes;
+};
+
+/// Builds the Prop 4.1 instance. `base` must use a single abstract domain
+/// (the coding is untyped, as in the paper); q1/i1 and q2/i2 must mention
+/// disjoint sets of `base` relations.
+Result<EncodedRelevance> EncodeDpHardness(const Schema& base,
+                                          const ConjunctiveQuery& q1,
+                                          const std::vector<Fact>& i1,
+                                          const ConjunctiveQuery& q2,
+                                          const std::vector<Fact>& i2);
+
+}  // namespace rar
+
+#endif  // RAR_HARDNESS_ENCODE_DP_H_

@@ -1,0 +1,277 @@
+#include "hardness/encode_nexptime.h"
+
+#include <string>
+#include <vector>
+
+#include "hardness/bool_circuit.h"
+
+namespace rar {
+
+namespace {
+
+// Emits a complete binary-operator truth table into the configuration.
+void AddTruthTable(Configuration* conf, RelationId rel, Value zero, Value one,
+                   bool (*op)(bool, bool)) {
+  const Value bits[2] = {zero, one};
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      conf->AddFact(Fact(rel, {bits[a], bits[b], bits[op(a, b)]}));
+    }
+  }
+}
+
+}  // namespace
+
+Result<EncodedContainment> EncodeNexptimeTiling(const TilingInstance& tiling,
+                                                int n) {
+  if (n < 1 || n > 16) {
+    return Status::InvalidArgument("corridor exponent n must be in [1,16]");
+  }
+  const int k = tiling.num_tile_types;
+  if (k < 1) return Status::InvalidArgument("no tile types");
+  const int m = static_cast<int>(tiling.initial_tiles.size());
+  if (m < 2) {
+    return Status::InvalidArgument(
+        "the encoding needs at least two initial tiles (the first tile has "
+        "no producer, so pairs involving only it would be undetectable)");
+  }
+  if (static_cast<uint64_t>(m) > (uint64_t{1} << n)) {
+    return Status::InvalidArgument("more initial tiles than first-row cells");
+  }
+  for (int j = 0; j < m; ++j) {
+    int t = tiling.initial_tiles[j];
+    if (t < 0 || t >= k) return Status::InvalidArgument("bad initial tile");
+    if (j > 0 && !tiling.HorizontalOk(tiling.initial_tiles[j - 1], t)) {
+      return Status::InvalidArgument(
+          "initial tiles violate the horizontal constraints");
+    }
+  }
+
+  EncodedContainment out;
+  out.schema = std::make_shared<Schema>();
+  Schema& schema = *out.schema;
+  DomainId B = schema.AddDomain("B");  // booleans
+  DomainId T = schema.AddDomain("T");  // tile types
+  DomainId C = schema.AddDomain("C");  // chain links
+
+  RAR_ASSIGN_OR_RETURN(RelationId bool_rel,
+                       schema.AddRelation("Bool", std::vector<DomainId>{B}));
+  RAR_ASSIGN_OR_RETURN(RelationId tiletype_rel,
+                       schema.AddRelation("TileType",
+                                          std::vector<DomainId>{T}));
+  RAR_ASSIGN_OR_RETURN(RelationId sametile_rel,
+                       schema.AddRelation("SameTile",
+                                          std::vector<DomainId>{T, T, B}));
+  RAR_ASSIGN_OR_RETURN(RelationId horiz_rel,
+                       schema.AddRelation("Horiz",
+                                          std::vector<DomainId>{T, T, B}));
+  RAR_ASSIGN_OR_RETURN(RelationId vert_rel,
+                       schema.AddRelation("Vert",
+                                          std::vector<DomainId>{T, T, B}));
+  RAR_ASSIGN_OR_RETURN(RelationId and_rel,
+                       schema.AddRelation("And",
+                                          std::vector<DomainId>{B, B, B}));
+  RAR_ASSIGN_OR_RETURN(RelationId or_rel,
+                       schema.AddRelation("Or",
+                                          std::vector<DomainId>{B, B, B}));
+  RAR_ASSIGN_OR_RETURN(RelationId eq_rel,
+                       schema.AddRelation("Eq",
+                                          std::vector<DomainId>{B, B, B}));
+  // Tile(type, row bits (MSB first), col bits, link-in, link-out).
+  std::vector<DomainId> tile_domains;
+  tile_domains.push_back(T);
+  for (int i = 0; i < 2 * n; ++i) tile_domains.push_back(B);
+  tile_domains.push_back(C);
+  tile_domains.push_back(C);
+  RAR_ASSIGN_OR_RETURN(RelationId tile_rel,
+                       schema.AddRelation("Tile", tile_domains));
+
+  // The single access method: every attribute but the chain output.
+  out.acs = AccessMethodSet(out.schema.get());
+  std::vector<int> inputs;
+  for (int pos = 0; pos < 2 * n + 2; ++pos) inputs.push_back(pos);
+  RAR_RETURN_NOT_OK(
+      out.acs.Add("tile_access", tile_rel, inputs, /*dependent=*/true)
+          .status());
+
+  // Constants.
+  Value zero = schema.InternConstant("0");
+  Value one = schema.InternConstant("1");
+  std::vector<Value> types;
+  for (int t = 0; t < k; ++t) {
+    types.push_back(schema.InternConstant("t" + std::to_string(t)));
+  }
+  std::vector<Value> links;
+  for (int j = 0; j <= m; ++j) {
+    links.push_back(schema.InternConstant("c" + std::to_string(j)));
+  }
+
+  // Configuration: truth tables, type tables, constraint tables, initial
+  // chained tiles.
+  out.conf = Configuration(out.schema.get());
+  Configuration& conf = out.conf;
+  conf.AddFact(Fact(bool_rel, {zero}));
+  conf.AddFact(Fact(bool_rel, {one}));
+  for (int t = 0; t < k; ++t) conf.AddFact(Fact(tiletype_rel, {types[t]}));
+  const Value bits[2] = {zero, one};
+  for (int a = 0; a < k; ++a) {
+    for (int b = 0; b < k; ++b) {
+      conf.AddFact(Fact(sametile_rel, {types[a], types[b], bits[a == b]}));
+      conf.AddFact(
+          Fact(horiz_rel, {types[a], types[b], bits[tiling.HorizontalOk(a, b)]}));
+      conf.AddFact(
+          Fact(vert_rel, {types[a], types[b], bits[tiling.VerticalOk(a, b)]}));
+    }
+  }
+  AddTruthTable(&conf, and_rel, zero, one, [](bool a, bool b) { return a && b; });
+  AddTruthTable(&conf, or_rel, zero, one, [](bool a, bool b) { return a || b; });
+  AddTruthTable(&conf, eq_rel, zero, one, [](bool a, bool b) { return a == b; });
+
+  auto coordinate_bits = [&](uint64_t value) {
+    std::vector<Value> vec;
+    for (int i = 0; i < n; ++i) {
+      vec.push_back(bits[(value >> (n - 1 - i)) & 1]);
+    }
+    return vec;
+  };
+  for (int j = 0; j < m; ++j) {
+    std::vector<Value> vals;
+    vals.push_back(types[tiling.initial_tiles[j]]);
+    for (const Value& b : coordinate_bits(0)) vals.push_back(b);  // row 0
+    for (const Value& b : coordinate_bits(j)) vals.push_back(b);  // col j
+    vals.push_back(links[j]);
+    vals.push_back(links[j + 1]);
+    conf.AddFact(Fact(tile_rel, vals));
+  }
+
+  // ---- Q1: the last cell is reached.
+  {
+    ConjunctiveQuery q1;
+    VarId u = q1.AddVar("U");
+    VarId x = q1.AddVar("X");
+    VarId y = q1.AddVar("Y");
+    Atom atom;
+    atom.relation = tile_rel;
+    atom.terms.push_back(Term::MakeVar(u));
+    const uint64_t last = (uint64_t{1} << n) - 1;
+    for (const Value& b : coordinate_bits(last)) {
+      atom.terms.push_back(Term::MakeConst(b));
+    }
+    for (const Value& b : coordinate_bits(last)) {
+      atom.terms.push_back(Term::MakeConst(b));
+    }
+    atom.terms.push_back(Term::MakeVar(x));
+    atom.terms.push_back(Term::MakeVar(y));
+    q1.atoms.push_back(std::move(atom));
+    RAR_RETURN_NOT_OK(q1.Validate(schema));
+    out.contained.disjuncts.push_back(std::move(q1));
+  }
+
+  // ---- Q2: "something is wrong with the chain".
+  {
+    ConjunctiveQuery q2;
+    // Four Tile atoms. Variable vectors per atom.
+    struct TileAtom {
+      Term type;
+      std::vector<Term> row, col;
+      Term in, out;
+    };
+    auto add_tile_atom = [&](const std::string& prefix, Term in,
+                             Term out) -> TileAtom {
+      TileAtom ta;
+      ta.type = Term::MakeVar(q2.AddVar(prefix + "_t"));
+      for (int i = 0; i < n; ++i) {
+        ta.row.push_back(Term::MakeVar(q2.AddVar(prefix + "_r" +
+                                                 std::to_string(i))));
+      }
+      for (int i = 0; i < n; ++i) {
+        ta.col.push_back(Term::MakeVar(q2.AddVar(prefix + "_c" +
+                                                 std::to_string(i))));
+      }
+      ta.in = in;
+      ta.out = out;
+      Atom atom;
+      atom.relation = tile_rel;
+      atom.terms.push_back(ta.type);
+      for (const Term& t : ta.row) atom.terms.push_back(t);
+      for (const Term& t : ta.col) atom.terms.push_back(t);
+      atom.terms.push_back(ta.in);
+      atom.terms.push_back(ta.out);
+      q2.atoms.push_back(std::move(atom));
+      return ta;
+    };
+
+    Term x = Term::MakeVar(q2.AddVar("X"));
+    Term y = Term::MakeVar(q2.AddVar("Y"));
+    Term z = Term::MakeVar(q2.AddVar("Z"));
+    Term yp = Term::MakeVar(q2.AddVar("Yp"));
+    Term zp = Term::MakeVar(q2.AddVar("Zp"));
+    Term zpp = Term::MakeVar(q2.AddVar("Zpp"));
+
+    // A1 -> A2 linked through y; A3 and A4 share their link input y'.
+    TileAtom a1 = add_tile_atom("a1", x, y);
+    TileAtom a2 = add_tile_atom("a2", y, z);
+    TileAtom a3 = add_tile_atom("a3", yp, zp);
+    TileAtom a4 = add_tile_atom("a4", yp, zpp);
+
+    BoolCircuit circuit(&q2, and_rel, or_rel, eq_rel, zero, one);
+
+    // SUB1: i1 = 1 iff A3 and A4 carry the same coordinates (the FD from
+    // the link input to the coordinate bits holds for this pair).
+    std::vector<Term> a3_bits = a3.row;
+    a3_bits.insert(a3_bits.end(), a3.col.begin(), a3.col.end());
+    std::vector<Term> a4_bits = a4.row;
+    a4_bits.insert(a4_bits.end(), a4.col.begin(), a4.col.end());
+    Term i1 = circuit.VectorEq(a3_bits, a4_bits);
+
+    // SUB2: i2 = 1 iff A2's 2n-bit counter is A1's plus one.
+    std::vector<Term> a1_bits = a1.row;
+    a1_bits.insert(a1_bits.end(), a1.col.begin(), a1.col.end());
+    std::vector<Term> a2_bits = a2.row;
+    a2_bits.insert(a2_bits.end(), a2.col.begin(), a2.col.end());
+    Term i2 = circuit.Successor(a1_bits, a2_bits);
+
+    // SUB3: i3 = 0 iff A2/A3 witness an adjacency violation or A3 sits on
+    // a wrongly-typed initial cell. The *later* cell (right / above) plays
+    // A2 — the role that must be reachable through a link.
+    Term horiz_flag = Term::MakeVar(q2.AddVar("hb"));
+    q2.atoms.push_back(Atom{horiz_rel, {a3.type, a2.type, horiz_flag}});
+    Term hviol = circuit.AndAll({circuit.VectorEq(a2.row, a3.row),
+                                 circuit.Successor(a3.col, a2.col),
+                                 circuit.IsZero(horiz_flag)});
+
+    Term vert_flag = Term::MakeVar(q2.AddVar("vb"));
+    q2.atoms.push_back(Atom{vert_rel, {a3.type, a2.type, vert_flag}});
+    Term vviol = circuit.AndAll({circuit.VectorEq(a2.col, a3.col),
+                                 circuit.Successor(a3.row, a2.row),
+                                 circuit.IsZero(vert_flag)});
+
+    std::vector<Term> viols = {hviol, vviol};
+    for (int j = 0; j < m; ++j) {
+      Term same_flag = Term::MakeVar(q2.AddVar("st" + std::to_string(j)));
+      q2.atoms.push_back(
+          Atom{sametile_rel,
+               {a3.type, Term::MakeConst(types[tiling.initial_tiles[j]]),
+                same_flag}});
+      viols.push_back(circuit.AndAll(
+          {circuit.VectorIs(a3.row, 0),
+           circuit.VectorIs(a3.col, static_cast<uint64_t>(j)),
+           circuit.IsZero(same_flag)}));
+    }
+    Term i3 = circuit.Not(circuit.OrAll(viols));
+
+    // SUB4: i1 AND i2 AND i3 = 0.
+    circuit.AssertZero(circuit.And(circuit.And(i1, i2), i3));
+
+    RAR_RETURN_NOT_OK(q2.Validate(schema));
+    out.container.disjuncts.push_back(std::move(q2));
+  }
+
+  out.notes = "Theorem 5.1 encoding: " + std::to_string(k) + " tile types, " +
+              std::to_string(1 << n) + "x" + std::to_string(1 << n) +
+              " corridor, " + std::to_string(m) + " initial tiles; tiling "
+              "exists iff Q1 is NOT contained in Q2";
+  return out;
+}
+
+}  // namespace rar

@@ -1,0 +1,50 @@
+// Theorem 5.1: corridor tiling -> conjunctive-query containment under
+// dependent access limitations (the coNEXPTIME-hardness gadget).
+//
+// For a tiling instance with k tile types and a 2^n x 2^n corridor, the
+// encoder emits:
+//   * relations Bool(B), TileType(T), SameTile(T,T,B), Horiz(T,T,B),
+//     Vert(T,T,B), And(B,B,B), Or(B,B,B), Eq(B,B,B) — all without access
+//     methods (their content is fixed truth/constraint tables), and
+//     Tile(T, B^n, B^n, C, C) with one dependent method whose inputs are
+//     all attributes but the last (the chain-output link);
+//   * a configuration holding the truth tables, the tile-type and
+//     constraint tables, and the m >= 2 initial tiles chained
+//     c0 -> c1 -> ... -> cm;
+//   * Q1 = Tile(u, [2^n-1], [2^n-1], x, y) ("the last cell is reached");
+//   * Q2 = four Tile atoms plus the BOOLCONS circuit (SUB1: functional
+//     dependency from the link input to the coordinate bits; SUB2: the
+//     chain advances the 2n-bit counter by exactly one; SUB3: adjacency
+//     or initial-tile violations; SUB4: at least one of the three flags
+//     is zero) — "something is wrong with the chain".
+//
+// The corridor is tileable  iff  Q1 is NOT contained in Q2 under the
+// access limitations starting from the configuration: a witness path must
+// build a chain of 2^n * 2^n correctly linked, correctly counted,
+// constraint-respecting Tile facts.
+//
+// Orientation note: the adjacency detectors place the *later* cell (right
+// neighbour / upper neighbour) in the atom that must be reachable through
+// a link (the paper's atom Tile(v, d, e, y, z)); the earlier cell sits in
+// the free atom Tile(w, f, g, y', z'). This way every checkable pair is
+// actually detectable (the first initial tile has no producer, so it can
+// never play the linked role) — which is also why the encoder requires at
+// least two initial tiles, exactly as the paper's configuration provides.
+#ifndef RAR_HARDNESS_ENCODE_NEXPTIME_H_
+#define RAR_HARDNESS_ENCODE_NEXPTIME_H_
+
+#include "hardness/encoded_instance.h"
+#include "hardness/tiling.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// Builds the Theorem 5.1 instance for tiling the 2^n x 2^n corridor.
+/// Requirements: n >= 1; 2 <= initial_tiles.size() <= 2^n; the initial
+/// prefix respects the horizontal constraints.
+Result<EncodedContainment> EncodeNexptimeTiling(const TilingInstance& tiling,
+                                                int n);
+
+}  // namespace rar
+
+#endif  // RAR_HARDNESS_ENCODE_NEXPTIME_H_

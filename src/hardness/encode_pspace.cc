@@ -1,0 +1,205 @@
+#include "hardness/encode_pspace.h"
+
+#include <functional>
+#include <string>
+
+namespace rar {
+
+namespace {
+
+// Boolean two-atom disjunct builder: rel_a(x, y) ∧ rel_b(first ? x : y, z)
+// patterns used by the non-uniqueness and progression checks.
+ConjunctiveQuery TwoAtomDisjunct(RelationId a, RelationId b, bool share_first,
+                                 bool second_uses_shared_as_first) {
+  ConjunctiveQuery cq;
+  VarId x = cq.AddVar("X");
+  VarId y = cq.AddVar("Y");
+  VarId w = cq.AddVar("W");
+  cq.atoms.push_back(Atom{a, {Term::MakeVar(x), Term::MakeVar(y)}});
+  VarId shared = share_first ? x : y;
+  if (second_uses_shared_as_first) {
+    cq.atoms.push_back(Atom{b, {Term::MakeVar(shared), Term::MakeVar(w)}});
+  } else {
+    cq.atoms.push_back(Atom{b, {Term::MakeVar(w), Term::MakeVar(shared)}});
+  }
+  return cq;
+}
+
+}  // namespace
+
+Result<EncodedContainment> EncodePspaceTiling(
+    const TilingInstance& tiling, const std::vector<int>& initial_row,
+    const std::vector<int>& final_row) {
+  const int n = static_cast<int>(initial_row.size());
+  const int r = tiling.num_tile_types;
+  if (n < 2) return Status::InvalidArgument("corridor width must be >= 2");
+  if (static_cast<int>(final_row.size()) != n) {
+    return Status::InvalidArgument("initial/final rows differ in width");
+  }
+  if (r < 1) return Status::InvalidArgument("no tile types");
+  auto row_ok = [&](const std::vector<int>& row) {
+    for (int c = 0; c < n; ++c) {
+      if (row[c] < 0 || row[c] >= r) return false;
+      if (c > 0 && !tiling.HorizontalOk(row[c - 1], row[c])) return false;
+    }
+    return true;
+  };
+  if (!row_ok(initial_row) || !row_ok(final_row)) {
+    return Status::InvalidArgument(
+        "initial/final rows must respect the horizontal constraints");
+  }
+
+  EncodedContainment out;
+  out.schema = std::make_shared<Schema>();
+  Schema& schema = *out.schema;
+  DomainId d = schema.AddDomain("D");
+
+  // C[i][j] = relation of tile type i at (1-based) column j+1.
+  std::vector<std::vector<RelationId>> c(r, std::vector<RelationId>(n));
+  out.acs = AccessMethodSet(out.schema.get());
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::string name =
+          "C_t" + std::to_string(i) + "_col" + std::to_string(j + 1);
+      RAR_ASSIGN_OR_RETURN(c[i][j],
+                           schema.AddRelation(name,
+                                              std::vector<DomainId>{d, d}));
+      RAR_RETURN_NOT_OK(
+          out.acs.Add("acc_" + name, c[i][j], {0}, /*dependent=*/true)
+              .status());
+    }
+  }
+
+  // Configuration: the chained initial row.
+  out.conf = Configuration(out.schema.get());
+  std::vector<Value> ids;
+  for (int j = 0; j <= n; ++j) {
+    ids.push_back(schema.InternConstant("c" + std::to_string(j)));
+  }
+  for (int j = 0; j < n; ++j) {
+    out.conf.AddFact(Fact(c[initial_row[j]][j], {ids[j], ids[j + 1]}));
+  }
+
+  // q_final: the prescribed final row, chained.
+  {
+    ConjunctiveQuery cq;
+    std::vector<VarId> ys;
+    for (int j = 0; j <= n; ++j) {
+      ys.push_back(cq.AddVar("Y" + std::to_string(j)));
+    }
+    for (int j = 0; j < n; ++j) {
+      cq.atoms.push_back(Atom{c[final_row[j]][j],
+                              {Term::MakeVar(ys[j]), Term::MakeVar(ys[j + 1])}});
+    }
+    RAR_RETURN_NOT_OK(cq.Validate(schema));
+    out.contained.disjuncts.push_back(std::move(cq));
+  }
+
+  // q_violation: the union of "something is wrong" patterns.
+  UnionQuery& viol = out.container;
+  // (1)/(2) Non-unique cells: distinct (type, column) pairs sharing the
+  // predecessor or the current identifier.
+  for (int i = 0; i < r; ++i) {
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < r; ++j) {
+        for (int l = 0; l < n; ++l) {
+          // The pattern is symmetric in the two atoms: emit each unordered
+          // pair of distinct (type, column) combinations once.
+          if (std::make_pair(i, k) >= std::make_pair(j, l)) continue;
+          viol.disjuncts.push_back(
+              TwoAtomDisjunct(c[i][k], c[j][l], /*share_first=*/true,
+                              /*second_uses_shared_as_first=*/true));
+          viol.disjuncts.push_back(
+              TwoAtomDisjunct(c[i][k], c[j][l], /*share_first=*/false,
+                              /*second_uses_shared_as_first=*/false));
+        }
+      }
+    }
+  }
+  // (3) Bad column-to-column progression: successor cell not at column+1.
+  // (4) Bad row-to-row progression: after column n comes column 1.
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < r; ++j) {
+      for (int m = 0; m < n; ++m) {
+        int expected_next = (m + 1) % n;
+        for (int mp = 0; mp < n; ++mp) {
+          if (mp == expected_next) continue;
+          // C_{i,m}(x,y) ∧ C_{j,mp}(y,z).
+          ConjunctiveQuery cq;
+          VarId x = cq.AddVar("X");
+          VarId y = cq.AddVar("Y");
+          VarId z = cq.AddVar("Z");
+          cq.atoms.push_back(
+              Atom{c[i][m], {Term::MakeVar(x), Term::MakeVar(y)}});
+          cq.atoms.push_back(
+              Atom{c[j][mp], {Term::MakeVar(y), Term::MakeVar(z)}});
+          viol.disjuncts.push_back(std::move(cq));
+        }
+      }
+    }
+  }
+  // (5) Horizontal violations: adjacent columns with a forbidden pair.
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < r; ++j) {
+      if (tiling.HorizontalOk(i, j)) continue;
+      for (int m = 0; m + 1 < n; ++m) {
+        ConjunctiveQuery cq;
+        VarId x = cq.AddVar("X");
+        VarId y = cq.AddVar("Y");
+        VarId z = cq.AddVar("Z");
+        cq.atoms.push_back(
+            Atom{c[i][m], {Term::MakeVar(x), Term::MakeVar(y)}});
+        cq.atoms.push_back(
+            Atom{c[j][m + 1], {Term::MakeVar(y), Term::MakeVar(z)}});
+        viol.disjuncts.push_back(std::move(cq));
+      }
+    }
+  }
+  // (6) Vertical violations: an n-step progression from a type-i column-m
+  // cell leads to the cell directly above it; enumerate the intermediate
+  // type choices (r^(n-1) disjuncts per violating (i, j, m)).
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < r; ++j) {
+      if (tiling.VerticalOk(i, j)) continue;
+      for (int m = 0; m < n; ++m) {
+        std::vector<int> mids(n - 1);
+        std::function<void(int)> emit = [&](int step) {
+          if (step == n - 1) {
+            ConjunctiveQuery cq;
+            std::vector<VarId> ys;
+            for (int s = 0; s <= n + 1; ++s) {
+              ys.push_back(cq.AddVar("Y" + std::to_string(s)));
+            }
+            cq.atoms.push_back(Atom{
+                c[i][m], {Term::MakeVar(ys[0]), Term::MakeVar(ys[1])}});
+            for (int s = 0; s < n - 1; ++s) {
+              int col = (m + 1 + s) % n;
+              cq.atoms.push_back(
+                  Atom{c[mids[s]][col],
+                       {Term::MakeVar(ys[s + 1]), Term::MakeVar(ys[s + 2])}});
+            }
+            cq.atoms.push_back(Atom{
+                c[j][m], {Term::MakeVar(ys[n]), Term::MakeVar(ys[n + 1])}});
+            viol.disjuncts.push_back(std::move(cq));
+            return;
+          }
+          for (int t = 0; t < r; ++t) {
+            mids[step] = t;
+            emit(step + 1);
+          }
+        };
+        emit(0);
+      }
+    }
+  }
+  RAR_RETURN_NOT_OK(out.container.Validate(schema));
+
+  out.notes = "Prop 6.2 encoding: width " + std::to_string(n) + ", " +
+              std::to_string(r) + " tile types, " +
+              std::to_string(out.container.disjuncts.size()) +
+              " violation disjuncts; corridor tileable iff q_final is NOT "
+              "contained in q_violation";
+  return out;
+}
+
+}  // namespace rar

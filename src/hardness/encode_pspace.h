@@ -1,0 +1,37 @@
+// Proposition 6.2: width-n corridor tiling -> containment with binary
+// relations and dependent accesses (the PSPACE-hardness gadget).
+//
+// Relations C_{i,j} (tile type i at column j) are binary over one abstract
+// domain: first attribute = identifier of the previous cell in the
+// column-by-column, row-by-row progression, second = identifier of the
+// current cell. Each C_{i,j} has one dependent access method bound on its
+// first attribute. The configuration chains the initial row
+// C_{i1,1}(c0,c1), ..., C_{in,n}(c_{n-1},c_n).
+//
+// q_final asserts the prescribed final row exists; q_violation is the
+// union of "something is wrong" patterns (non-unique cells, bad column /
+// row progression, horizontal / vertical constraint violations). The
+// corridor is tileable from the initial row to the final row iff q_final
+// is NOT contained in q_violation under the access limitations.
+#ifndef RAR_HARDNESS_ENCODE_PSPACE_H_
+#define RAR_HARDNESS_ENCODE_PSPACE_H_
+
+#include <vector>
+
+#include "hardness/encoded_instance.h"
+#include "hardness/tiling.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// Builds the Prop 6.2 instance. `initial_row` / `final_row` must have the
+/// same width n >= 2 and respect the horizontal constraints.
+/// In the resulting EncodedContainment, `contained` = q_final and
+/// `container` = q_violation.
+Result<EncodedContainment> EncodePspaceTiling(
+    const TilingInstance& tiling, const std::vector<int>& initial_row,
+    const std::vector<int>& final_row);
+
+}  // namespace rar
+
+#endif  // RAR_HARDNESS_ENCODE_PSPACE_H_

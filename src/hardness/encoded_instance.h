@@ -1,0 +1,31 @@
+// Common output shape of the hardness encoders: a complete containment (or
+// relevance) instance over a freshly built schema.
+#ifndef RAR_HARDNESS_ENCODED_INSTANCE_H_
+#define RAR_HARDNESS_ENCODED_INSTANCE_H_
+
+#include <memory>
+#include <string>
+
+#include "access/access_method.h"
+#include "query/query.h"
+#include "relational/configuration.h"
+
+namespace rar {
+
+/// \brief A generated containment instance. The schema is shared so the
+/// struct stays valid under moves (acs/conf point into it).
+struct EncodedContainment {
+  std::shared_ptr<Schema> schema;
+  AccessMethodSet acs;
+  Configuration conf;
+  /// The candidate containee (Q1 of the paper's claim ...).
+  UnionQuery contained;
+  /// The candidate container (Q2).
+  UnionQuery container;
+  /// Human-readable description of the instance.
+  std::string notes;
+};
+
+}  // namespace rar
+
+#endif  // RAR_HARDNESS_ENCODED_INSTANCE_H_

@@ -1,0 +1,141 @@
+#include "hardness/tiling.h"
+#include <functional>
+
+#include <set>
+#include <string>
+
+namespace rar {
+
+bool TilingInstance::HorizontalOk(int left, int right) const {
+  for (const auto& [a, b] : horizontal) {
+    if (a == left && b == right) return true;
+  }
+  return false;
+}
+
+bool TilingInstance::VerticalOk(int below, int above) const {
+  for (const auto& [a, b] : vertical) {
+    if (a == below && b == above) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool FixedCorridorRec(const TilingInstance& inst, int width, int height,
+                      std::vector<int>* cells, size_t next) {
+  if (next == cells->size()) return true;
+  int row = static_cast<int>(next) / width;
+  int col = static_cast<int>(next) % width;
+  for (int t = 0; t < inst.num_tile_types; ++t) {
+    if (col > 0 && !inst.HorizontalOk((*cells)[next - 1], t)) continue;
+    if (row > 0 && !inst.VerticalOk((*cells)[next - width], t)) continue;
+    (*cells)[next] = t;
+    if (FixedCorridorRec(inst, width, height, cells, next + 1)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SolveFixedCorridor(const TilingInstance& instance, int width, int height,
+                        std::vector<int>* out) {
+  if (width <= 0 || height <= 0) return false;
+  if (static_cast<int>(instance.initial_tiles.size()) > width * height) {
+    return false;
+  }
+  std::vector<int> cells(static_cast<size_t>(width) * height, -1);
+  // Place and check the prescribed prefix.
+  for (size_t i = 0; i < instance.initial_tiles.size(); ++i) {
+    int t = instance.initial_tiles[i];
+    if (t < 0 || t >= instance.num_tile_types) return false;
+    int row = static_cast<int>(i) / width;
+    int col = static_cast<int>(i) % width;
+    if (col > 0 && !instance.HorizontalOk(cells[i - 1], t)) return false;
+    if (row > 0 && !instance.VerticalOk(cells[i - width], t)) return false;
+    cells[i] = t;
+  }
+  if (!FixedCorridorRec(instance, width, height, &cells,
+                        instance.initial_tiles.size())) {
+    return false;
+  }
+  if (out != nullptr) *out = cells;
+  return true;
+}
+
+bool SolveCorridorReachability(const TilingInstance& instance,
+                               const std::vector<int>& initial_row,
+                               const std::vector<int>& final_row,
+                               int max_rows) {
+  const int width = static_cast<int>(initial_row.size());
+  if (width == 0 || final_row.size() != initial_row.size()) return false;
+
+  auto row_ok = [&](const std::vector<int>& row) {
+    for (int c = 1; c < width; ++c) {
+      if (!instance.HorizontalOk(row[c - 1], row[c])) return false;
+    }
+    return true;
+  };
+  if (!row_ok(initial_row) || !row_ok(final_row)) return false;
+
+  // BFS over rows (state space: num_tile_types^width, deduplicated).
+  std::set<std::vector<int>> visited;
+  std::vector<std::vector<int>> frontier = {initial_row};
+  visited.insert(initial_row);
+  if (initial_row == final_row) return true;
+
+  for (int depth = 1; depth < max_rows; ++depth) {
+    std::vector<std::vector<int>> next_frontier;
+    for (const std::vector<int>& row : frontier) {
+      // Enumerate successor rows column by column.
+      std::vector<int> succ(width, 0);
+      std::function<void(int)> rec = [&](int col) {
+        if (col == width) {
+          if (visited.insert(succ).second) next_frontier.push_back(succ);
+          return;
+        }
+        for (int t = 0; t < instance.num_tile_types; ++t) {
+          if (!instance.VerticalOk(row[col], t)) continue;
+          if (col > 0 && !instance.HorizontalOk(succ[col - 1], t)) continue;
+          succ[col] = t;
+          rec(col + 1);
+        }
+      };
+      rec(0);
+    }
+    for (const std::vector<int>& row : next_frontier) {
+      if (row == final_row) return true;
+    }
+    frontier = std::move(next_frontier);
+    if (frontier.empty()) return false;
+  }
+  return false;
+}
+
+namespace tilings {
+
+TilingInstance Checkerboard() {
+  TilingInstance inst;
+  inst.num_tile_types = 2;
+  inst.horizontal = {{0, 1}, {1, 0}};
+  inst.vertical = {{0, 1}, {1, 0}};
+  return inst;
+}
+
+TilingInstance VerticallyBlocked() {
+  TilingInstance inst = Checkerboard();
+  inst.vertical.clear();
+  return inst;
+}
+
+TilingInstance Cycle3() {
+  TilingInstance inst;
+  inst.num_tile_types = 3;
+  inst.horizontal = {{0, 1}, {1, 2}, {2, 0}};
+  inst.vertical = {{0, 0}, {1, 1}, {2, 2}};
+  return inst;
+}
+
+}  // namespace tilings
+
+}  // namespace rar

@@ -1,0 +1,68 @@
+// Corridor tiling problems — the combinatorial core of the paper's lower
+// bounds (Theorem 5.1 reduces 2^n x 2^n corridor tiling to containment;
+// Prop 6.2 reduces width-n corridor tiling to small-arity containment).
+//
+// A tiling instance has tile types 0..num_tile_types-1, a horizontal
+// relation H (allowed (left, right) pairs), a vertical relation V (allowed
+// (below, above) pairs), and a prescribed prefix of the first row. The
+// direct solvers double as ground truth for the encoders: a tiling exists
+// iff the encoded containment fails.
+#ifndef RAR_HARDNESS_TILING_H_
+#define RAR_HARDNESS_TILING_H_
+
+#include <utility>
+#include <vector>
+
+namespace rar {
+
+/// \brief A corridor tiling instance.
+struct TilingInstance {
+  int num_tile_types = 0;
+  /// Allowed horizontally adjacent pairs (left, right).
+  std::vector<std::pair<int, int>> horizontal;
+  /// Allowed vertically adjacent pairs (below, above).
+  std::vector<std::pair<int, int>> vertical;
+  /// Prescribed tile types for the first cells of row 0 (row-major).
+  std::vector<int> initial_tiles;
+
+  bool HorizontalOk(int left, int right) const;
+  bool VerticalOk(int below, int above) const;
+};
+
+/// Decides whether a full width x height tiling exists that extends the
+/// instance's initial tiles and satisfies every adjacency constraint.
+/// Backtracking over cells in row-major order; `out` (optional) receives
+/// the tiling row-major.
+bool SolveFixedCorridor(const TilingInstance& instance, int width, int height,
+                        std::vector<int>* out = nullptr);
+
+/// Decides whether some number of rows (up to `max_rows`) leads from
+/// `initial_row` to `final_row` in a width-n corridor: consecutive rows
+/// satisfy V column-wise, every row satisfies H internally, and the first
+/// and last rows are as prescribed (Prop 6.2's tiling problem).
+bool SolveCorridorReachability(const TilingInstance& instance,
+                               const std::vector<int>& initial_row,
+                               const std::vector<int>& final_row,
+                               int max_rows);
+
+/// Canned instances used by tests and benches.
+namespace tilings {
+
+/// Two tile types alternating like a checkerboard: H = V = {(0,1),(1,0)};
+/// solvable for any corridor whose initial tiles alternate.
+TilingInstance Checkerboard();
+
+/// Checkerboard constraints but with the vertical relation emptied:
+/// unsolvable for any height > 1.
+TilingInstance VerticallyBlocked();
+
+/// Three tile types cycling horizontally (i -> i+1 mod 3) and repeating
+/// vertically (i -> i); solvable iff the width is a multiple of 3 when the
+/// final row must equal the initial row.
+TilingInstance Cycle3();
+
+}  // namespace tilings
+
+}  // namespace rar
+
+#endif  // RAR_HARDNESS_TILING_H_

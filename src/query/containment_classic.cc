@@ -1,0 +1,51 @@
+#include "query/containment_classic.h"
+
+#include "query/eval.h"
+
+namespace rar {
+
+namespace {
+
+// Checks D ⊑ q2 for a single CQ disjunct D against a UCQ q2: freeze D and
+// evaluate q2 on the canonical database, requiring head correspondence.
+bool DisjunctContained(const ConjunctiveQuery& d, const UnionQuery& q2,
+                       const Schema& schema) {
+  NullFactory nulls;
+  FrozenQuery frozen = FreezeQuery(d, schema, &nulls);
+
+  // Head tuple of the canonical database.
+  std::vector<Value> d_head;
+  d_head.reserve(d.head.size());
+  for (VarId v : d.head) d_head.push_back(frozen.var_to_null[v]);
+
+  for (const ConjunctiveQuery& e : q2.disjuncts) {
+    bool found = ForEachHomomorphism(
+        e, frozen.facts, [&](const std::vector<Value>& a) {
+          for (size_t i = 0; i < e.head.size(); ++i) {
+            if (a[e.head[i]] != d_head[i]) return false;  // keep searching
+          }
+          return true;  // head-compatible homomorphism found
+        });
+    if (found) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ClassicallyContained(const ConjunctiveQuery& q1,
+                          const ConjunctiveQuery& q2, const Schema& schema) {
+  UnionQuery u2;
+  u2.disjuncts.push_back(q2);
+  return DisjunctContained(q1, u2, schema);
+}
+
+bool ClassicallyContained(const UnionQuery& q1, const UnionQuery& q2,
+                          const Schema& schema) {
+  for (const ConjunctiveQuery& d : q1.disjuncts) {
+    if (!DisjunctContained(d, q2, schema)) return false;
+  }
+  return true;
+}
+
+}  // namespace rar

@@ -1,0 +1,35 @@
+// Classical query containment (no access limitations).
+//
+// CQ containment via the Chandra–Merlin homomorphism criterion: Q1 ⊑ Q2 iff
+// Q2 maps homomorphically into the canonical database of Q1. UCQ/PQ
+// containment via Sagiv–Yannakakis: each disjunct of Q1 must be contained
+// in the union Q2, i.e. Q2 must hold on the disjunct's canonical database.
+//
+// Used as (a) a baseline the access-limited notion is compared against
+// (Example 3.2 separates them), and (b) a subroutine of the engines.
+#ifndef RAR_QUERY_CONTAINMENT_CLASSIC_H_
+#define RAR_QUERY_CONTAINMENT_CLASSIC_H_
+
+#include "query/query.h"
+#include "relational/schema.h"
+
+namespace rar {
+
+/// Classical Boolean/k-ary containment of CQs (head tuples must correspond).
+bool ClassicallyContained(const ConjunctiveQuery& q1,
+                          const ConjunctiveQuery& q2, const Schema& schema);
+
+/// Classical containment of UCQs (Sagiv–Yannakakis).
+bool ClassicallyContained(const UnionQuery& q1, const UnionQuery& q2,
+                          const Schema& schema);
+
+/// Classical equivalence of UCQs.
+inline bool ClassicallyEquivalent(const UnionQuery& q1, const UnionQuery& q2,
+                                  const Schema& schema) {
+  return ClassicallyContained(q1, q2, schema) &&
+         ClassicallyContained(q2, q1, schema);
+}
+
+}  // namespace rar
+
+#endif  // RAR_QUERY_CONTAINMENT_CLASSIC_H_

@@ -1,0 +1,209 @@
+#include "query/eval.h"
+
+#include <algorithm>
+
+namespace rar {
+
+namespace {
+
+
+// Backtracking homomorphism search. Atoms are picked dynamically: the next
+// atom is the unmatched one with the most bound terms (ties broken by fewer
+// candidate facts), which keeps the search index-driven.
+class HomSearch {
+ public:
+  HomSearch(const ConjunctiveQuery& cq, const Configuration& conf)
+      : cq_(cq), conf_(conf), assignment_(cq.num_vars()),
+        assigned_(cq.num_vars(), false), matched_(cq.num_atoms(), false) {}
+
+  bool Run(const std::function<bool(const std::vector<Value>&)>& fn) {
+    return Rec(fn);
+  }
+
+ private:
+  int CountBound(const Atom& atom) const {
+    int bound = 0;
+    for (const Term& t : atom.terms) {
+      if (t.is_const() || assigned_[t.var]) ++bound;
+    }
+    return bound;
+  }
+
+  // Candidate facts for `atom`: use the index on the first bound position
+  // when one exists, else a full scan of the relation.
+  const std::vector<Fact>& RelationFacts(const Atom& atom) const {
+    return conf_.FactsOf(atom.relation);
+  }
+
+  bool TermBoundValue(const Term& t, Value* out) const {
+    if (t.is_const()) {
+      *out = t.constant;
+      return true;
+    }
+    if (assigned_[t.var]) {
+      *out = assignment_[t.var];
+      return true;
+    }
+    return false;
+  }
+
+  bool Rec(const std::function<bool(const std::vector<Value>&)>& fn) {
+    // Pick the next unmatched atom, most-bound-first.
+    int best = -1;
+    int best_bound = -1;
+    for (int i = 0; i < cq_.num_atoms(); ++i) {
+      if (matched_[i]) continue;
+      int bound = CountBound(cq_.atoms[i]);
+      if (bound > best_bound) {
+        best_bound = bound;
+        best = i;
+      }
+    }
+    if (best < 0) {
+      // All atoms matched; variables not occurring in any atom (possible in
+      // degenerate queries) are left unassigned — reject those queries via
+      // Validate, not here. Report the assignment.
+      return fn(assignment_);
+    }
+
+    const Atom& atom = cq_.atoms[best];
+    matched_[best] = true;
+
+    // Candidate selection: index on the first bound position if any.
+    const std::vector<Fact>& facts = RelationFacts(atom);
+    const std::vector<int>* narrowed = nullptr;
+    Value bound_value;
+    for (int pos = 0; pos < atom.arity(); ++pos) {
+      if (TermBoundValue(atom.terms[pos], &bound_value)) {
+        narrowed = &conf_.FactsWith(atom.relation, pos, bound_value);
+        break;
+      }
+    }
+
+    auto try_fact = [&](const Fact& fact) -> bool {
+      // Unify atom terms against the fact, recording newly bound vars.
+      std::vector<VarId> newly_bound;
+      bool ok = true;
+      for (int pos = 0; pos < atom.arity() && ok; ++pos) {
+        const Term& t = atom.terms[pos];
+        if (t.is_const()) {
+          ok = (t.constant == fact.values[pos]);
+        } else if (assigned_[t.var]) {
+          ok = (assignment_[t.var] == fact.values[pos]);
+        } else {
+          assignment_[t.var] = fact.values[pos];
+          assigned_[t.var] = true;
+          newly_bound.push_back(t.var);
+        }
+      }
+      bool stop = false;
+      if (ok) stop = Rec(fn);
+      for (VarId v : newly_bound) assigned_[v] = false;
+      return stop;
+    };
+
+    bool stop = false;
+    if (narrowed != nullptr) {
+      for (int idx : *narrowed) {
+        if (try_fact(facts[idx])) {
+          stop = true;
+          break;
+        }
+      }
+    } else {
+      for (const Fact& fact : facts) {
+        if (try_fact(fact)) {
+          stop = true;
+          break;
+        }
+      }
+    }
+    matched_[best] = false;
+    return stop;
+  }
+
+  const ConjunctiveQuery& cq_;
+  const Configuration& conf_;
+  std::vector<Value> assignment_;
+  std::vector<bool> assigned_;
+  std::vector<bool> matched_;
+};
+
+}  // namespace
+
+bool ForEachHomomorphism(
+    const ConjunctiveQuery& cq, const Configuration& conf,
+    const std::function<bool(const std::vector<Value>&)>& fn) {
+  HomSearch search(cq, conf);
+  return search.Run(fn);
+}
+
+bool EvalBool(const ConjunctiveQuery& cq, const Configuration& conf) {
+  return ForEachHomomorphism(cq, conf,
+                             [](const std::vector<Value>&) { return true; });
+}
+
+bool EvalBool(const UnionQuery& uq, const Configuration& conf) {
+  for (const ConjunctiveQuery& d : uq.disjuncts) {
+    if (EvalBool(d, conf)) return true;
+  }
+  return false;
+}
+
+bool FindHomomorphism(const ConjunctiveQuery& cq, const Configuration& conf,
+                      std::vector<Value>* assignment) {
+  bool found = ForEachHomomorphism(cq, conf,
+                                   [&](const std::vector<Value>& a) {
+                                     *assignment = a;
+                                     return true;
+                                   });
+  return found;
+}
+
+bool EvalBoolDelta(const UnionQuery& uq, const Configuration& conf,
+                   const Fact& new_fact) {
+  for (const ConjunctiveQuery& d : uq.disjuncts) {
+    for (int i = 0; i < d.num_atoms(); ++i) {
+      const Atom& atom = d.atoms[i];
+      if (atom.relation != new_fact.relation) continue;
+      // Unify the atom against the new fact.
+      std::vector<std::optional<Value>> binding(d.num_vars());
+      bool ok = true;
+      for (int pos = 0; pos < atom.arity() && ok; ++pos) {
+        const Term& t = atom.terms[pos];
+        if (t.is_const()) {
+          ok = (t.constant == new_fact.values[pos]);
+        } else if (binding[t.var].has_value()) {
+          ok = (*binding[t.var] == new_fact.values[pos]);
+        } else {
+          binding[t.var] = new_fact.values[pos];
+        }
+      }
+      if (!ok) continue;
+      // Residual query: substitute the unifier and drop the pinned atom
+      // (it is witnessed by new_fact; the rest may still use it via conf).
+      ConjunctiveQuery residual = Specialize(d, binding);
+      residual.atoms.erase(residual.atoms.begin() + i);
+      residual.head.clear();
+      if (EvalBool(residual, conf)) return true;
+    }
+  }
+  return false;
+}
+
+std::set<std::vector<Value>> CertainAnswers(const UnionQuery& uq,
+                                            const Configuration& conf) {
+  std::set<std::vector<Value>> answers;
+  for (const ConjunctiveQuery& d : uq.disjuncts) {
+    ForEachHomomorphism(d, conf, [&](const std::vector<Value>& a) {
+      std::vector<Value> head;
+      head.reserve(d.head.size());
+      for (VarId v : d.head) head.push_back(a[v]);
+      answers.insert(std::move(head));
+      return false;  // keep enumerating
+    });
+  }
+  return answers;
+}
+
+}  // namespace rar

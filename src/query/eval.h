@@ -1,0 +1,66 @@
+// Query evaluation over configurations (the homomorphism engine).
+//
+// Boolean CQ evaluation is a search for a homomorphism from the query atoms
+// into the configuration's facts — NP-complete in combined complexity,
+// polynomial for a fixed query (the paper's data-complexity claims lean on
+// this). The engine uses greedy most-bound-first atom ordering with
+// index-backed candidate lookup.
+//
+// Certain answers: positive queries are monotone and `Conf` itself is the
+// least instance consistent with `Conf`, so a Boolean positive query is
+// certain at `Conf` iff it evaluates to true on `Conf`, and the certain
+// answers of a k-ary query are exactly its answers on `Conf` (Section 2).
+#ifndef RAR_QUERY_EVAL_H_
+#define RAR_QUERY_EVAL_H_
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/configuration.h"
+
+namespace rar {
+
+/// Decides whether a Boolean CQ holds on a configuration.
+bool EvalBool(const ConjunctiveQuery& cq, const Configuration& conf);
+
+/// Decides whether a Boolean UCQ holds (some disjunct holds).
+bool EvalBool(const UnionQuery& uq, const Configuration& conf);
+
+/// Finds one homomorphism (full variable assignment) of `cq` into `conf`;
+/// returns false when none exists.
+bool FindHomomorphism(const ConjunctiveQuery& cq, const Configuration& conf,
+                      std::vector<Value>* assignment);
+
+/// Enumerates homomorphisms of `cq` into `conf`, invoking `fn` for each
+/// full assignment. Enumeration stops (returning true) when `fn` returns
+/// true; returns false after exhausting all homomorphisms.
+bool ForEachHomomorphism(const ConjunctiveQuery& cq, const Configuration& conf,
+                         const std::function<bool(const std::vector<Value>&)>& fn);
+
+/// The certain answers of a (possibly k-ary) UCQ at a configuration:
+/// the set of head tuples produced by some homomorphism of some disjunct.
+std::set<std::vector<Value>> CertainAnswers(const UnionQuery& uq,
+                                            const Configuration& conf);
+
+/// Delta evaluation for monotone re-checking: decides whether a Boolean UCQ
+/// has a homomorphism into `conf` that *uses* `new_fact` (which must
+/// already be in `conf`). When the query was false before `new_fact` was
+/// added, this decides whether it is true now — at the cost of pinning one
+/// atom instead of re-running the full search. The witness searches call
+/// this after every candidate fact they add.
+bool EvalBoolDelta(const UnionQuery& uq, const Configuration& conf,
+                   const Fact& new_fact);
+
+/// True iff the Boolean query is certain at `conf` (Section 2).
+inline bool IsCertain(const UnionQuery& uq, const Configuration& conf) {
+  return EvalBool(uq, conf);
+}
+inline bool IsCertain(const ConjunctiveQuery& cq, const Configuration& conf) {
+  return EvalBool(cq, conf);
+}
+
+}  // namespace rar
+
+#endif  // RAR_QUERY_EVAL_H_

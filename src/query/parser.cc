@@ -1,0 +1,261 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+
+namespace rar {
+
+namespace {
+
+struct Token {
+  enum class Type { kIdent, kQuoted, kNumber, kLParen, kRParen, kComma,
+                    kAmp, kPipe, kEnd };
+  Type type = Type::kEnd;
+  std::string text;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<Token> Next() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+    Token tok;
+    tok.offset = pos_;
+    if (pos_ >= text_.size()) {
+      tok.type = Token::Type::kEnd;
+      return tok;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '(': ++pos_; tok.type = Token::Type::kLParen; return tok;
+      case ')': ++pos_; tok.type = Token::Type::kRParen; return tok;
+      case ',': ++pos_; tok.type = Token::Type::kComma; return tok;
+      case '&': ++pos_; tok.type = Token::Type::kAmp; return tok;
+      case '|': ++pos_; tok.type = Token::Type::kPipe; return tok;
+      case '\'': {
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+        if (pos_ >= text_.size()) {
+          return Status::ParseError("unterminated quoted constant at offset " +
+                                    std::to_string(start));
+        }
+        tok.type = Token::Type::kQuoted;
+        tok.text = std::string(text_.substr(start, pos_ - start));
+        ++pos_;  // closing quote
+        return tok;
+      }
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == start + (c == '-' ? 1u : 0u)) {
+        return Status::ParseError("stray '-' at offset " +
+                                  std::to_string(start));
+      }
+      tok.type = Token::Type::kNumber;
+      tok.text = std::string(text_.substr(start, pos_ - start));
+      return tok;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok.type = Token::Type::kIdent;
+      tok.text = std::string(text_.substr(start, pos_ - start));
+      return tok;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(pos_));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool IsVariableSpelling(const std::string& s) {
+  return !s.empty() && (std::isupper(static_cast<unsigned char>(s[0])) ||
+                        s[0] == '_');
+}
+
+class Parser {
+ public:
+  Parser(const Schema& schema, std::string_view text)
+      : schema_(schema), lexer_(text) {}
+
+  Result<PositiveQuery> Parse() {
+    RAR_RETURN_NOT_OK(Advance());
+    RAR_ASSIGN_OR_RETURN(int root, ParseOr());
+    if (current_.type != Token::Type::kEnd) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(current_.offset));
+    }
+    pq_.root = root;
+    RAR_RETURN_NOT_OK(pq_.Validate(schema_));
+    return std::move(pq_);
+  }
+
+ private:
+  Status Advance() {
+    RAR_ASSIGN_OR_RETURN(current_, lexer_.Next());
+    return Status::OK();
+  }
+
+  Result<int> ParseOr() {
+    RAR_ASSIGN_OR_RETURN(int first, ParseAnd());
+    std::vector<int> children{first};
+    while (current_.type == Token::Type::kPipe) {
+      RAR_RETURN_NOT_OK(Advance());
+      RAR_ASSIGN_OR_RETURN(int next, ParseAnd());
+      children.push_back(next);
+    }
+    if (children.size() == 1) return children[0];
+    return pq_.AddOrNode(std::move(children));
+  }
+
+  Result<int> ParseAnd() {
+    RAR_ASSIGN_OR_RETURN(int first, ParsePrimary());
+    std::vector<int> children{first};
+    while (current_.type == Token::Type::kAmp) {
+      RAR_RETURN_NOT_OK(Advance());
+      RAR_ASSIGN_OR_RETURN(int next, ParsePrimary());
+      children.push_back(next);
+    }
+    if (children.size() == 1) return children[0];
+    return pq_.AddAndNode(std::move(children));
+  }
+
+  Result<int> ParsePrimary() {
+    if (current_.type == Token::Type::kLParen) {
+      RAR_RETURN_NOT_OK(Advance());
+      RAR_ASSIGN_OR_RETURN(int inner, ParseOr());
+      if (current_.type != Token::Type::kRParen) {
+        return Status::ParseError("expected ')' at offset " +
+                                  std::to_string(current_.offset));
+      }
+      RAR_RETURN_NOT_OK(Advance());
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  Result<int> ParseAtom() {
+    if (current_.type != Token::Type::kIdent) {
+      return Status::ParseError("expected relation name at offset " +
+                                std::to_string(current_.offset));
+    }
+    std::string rel_name = current_.text;
+    RelationId rel = schema_.FindRelation(rel_name);
+    if (rel == kInvalidId) {
+      return Status::NotFound("relation not in schema: " + rel_name);
+    }
+    RAR_RETURN_NOT_OK(Advance());
+    if (current_.type != Token::Type::kLParen) {
+      return Status::ParseError("expected '(' after relation " + rel_name);
+    }
+    RAR_RETURN_NOT_OK(Advance());
+    Atom atom;
+    atom.relation = rel;
+    if (current_.type != Token::Type::kRParen) {
+      while (true) {
+        RAR_ASSIGN_OR_RETURN(Term term, ParseTerm());
+        atom.terms.push_back(term);
+        if (current_.type == Token::Type::kComma) {
+          RAR_RETURN_NOT_OK(Advance());
+          continue;
+        }
+        break;
+      }
+    }
+    if (current_.type != Token::Type::kRParen) {
+      return Status::ParseError("expected ')' closing atom " + rel_name);
+    }
+    RAR_RETURN_NOT_OK(Advance());
+    return pq_.AddAtomNode(std::move(atom));
+  }
+
+  Result<Term> ParseTerm() {
+    switch (current_.type) {
+      case Token::Type::kIdent: {
+        std::string name = current_.text;
+        RAR_RETURN_NOT_OK(Advance());
+        if (IsVariableSpelling(name)) {
+          auto it = vars_.find(name);
+          VarId v;
+          if (it == vars_.end()) {
+            v = pq_.AddVar(name);
+            vars_.emplace(name, v);
+          } else {
+            v = it->second;
+          }
+          return Term::MakeVar(v);
+        }
+        return Term::MakeConst(schema_.InternConstant(name));
+      }
+      case Token::Type::kNumber:
+      case Token::Type::kQuoted: {
+        Value c = schema_.InternConstant(current_.text);
+        RAR_RETURN_NOT_OK(Advance());
+        return Term::MakeConst(c);
+      }
+      default:
+        return Status::ParseError("expected a term at offset " +
+                                  std::to_string(current_.offset));
+    }
+  }
+
+  const Schema& schema_;
+  Lexer lexer_;
+  Token current_;
+  PositiveQuery pq_;
+  std::unordered_map<std::string, VarId> vars_;
+};
+
+}  // namespace
+
+Result<PositiveQuery> ParsePQ(const Schema& schema, std::string_view text) {
+  Parser parser(schema, text);
+  return parser.Parse();
+}
+
+Result<ConjunctiveQuery> ParseCQ(const Schema& schema, std::string_view text) {
+  RAR_ASSIGN_OR_RETURN(PositiveQuery pq, ParsePQ(schema, text));
+  for (const PositiveQuery::Node& n : pq.nodes) {
+    if (n.type == PositiveQuery::NodeType::kOr) {
+      return Status::ParseError("'|' is not allowed in a conjunctive query");
+    }
+  }
+  ConjunctiveQuery cq;
+  cq.var_names = pq.var_names;
+  cq.var_domains = pq.var_domains;
+  for (const PositiveQuery::Node& n : pq.nodes) {
+    if (n.type == PositiveQuery::NodeType::kAtom) {
+      cq.atoms.push_back(n.atom);
+    }
+  }
+  RAR_RETURN_NOT_OK(cq.Validate(schema));
+  return cq;
+}
+
+Result<UnionQuery> ParseUCQ(const Schema& schema, std::string_view text) {
+  RAR_ASSIGN_OR_RETURN(PositiveQuery pq, ParsePQ(schema, text));
+  return ToDnf(pq, schema);
+}
+
+}  // namespace rar

@@ -1,0 +1,40 @@
+// A small text syntax for queries, used by tests, examples and fixtures.
+//
+// Grammar (Prolog-flavoured):
+//
+//   pq      := or
+//   or      := and ('|' and)*
+//   and     := primary ('&' primary)*
+//   primary := atom | '(' pq ')'
+//   atom    := RELNAME '(' term (',' term)* ')'      // 0-ary: RELNAME '()'
+//   term    := VARIABLE | CONSTANT
+//
+// Identifiers starting with an uppercase letter or '_' are variables;
+// identifiers starting with a lowercase letter, numerals, and single-quoted
+// strings are constants ('30yr', illinois, 0, 1). Relation names are looked
+// up in the schema verbatim (so relations may start with any letter).
+//
+// `ParseCQ` accepts the same syntax restricted to '&' only.
+#ifndef RAR_QUERY_PARSER_H_
+#define RAR_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/query.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// Parses a Boolean positive query. Constants are interned into the schema.
+Result<PositiveQuery> ParsePQ(const Schema& schema, std::string_view text);
+
+/// Parses a Boolean conjunctive query (rejects '|').
+Result<ConjunctiveQuery> ParseCQ(const Schema& schema, std::string_view text);
+
+/// Parses a Boolean UCQ: the PQ syntax, converted to DNF.
+Result<UnionQuery> ParseUCQ(const Schema& schema, std::string_view text);
+
+}  // namespace rar
+
+#endif  // RAR_QUERY_PARSER_H_

@@ -1,0 +1,383 @@
+#include "query/query.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rar {
+
+Status ConjunctiveQuery::Validate(const Schema& schema) {
+  if (var_domains.size() != var_names.size()) {
+    var_domains.assign(var_names.size(), kInvalidId);
+  }
+  for (VarId h : head) {
+    if (h >= var_names.size()) {
+      return Status::InvalidArgument("head variable out of range");
+    }
+  }
+  for (const Atom& atom : atoms) {
+    if (atom.relation >= schema.num_relations()) {
+      return Status::NotFound("atom references unknown relation");
+    }
+    const Relation& rel = schema.relation(atom.relation);
+    if (atom.arity() != rel.arity()) {
+      return Status::InvalidArgument("atom arity mismatch for relation " +
+                                     rel.name);
+    }
+    for (int pos = 0; pos < atom.arity(); ++pos) {
+      const Term& t = atom.terms[pos];
+      if (!t.is_var()) continue;
+      if (t.var >= var_names.size()) {
+        return Status::InvalidArgument("atom variable out of range");
+      }
+      DomainId dom = rel.attributes[pos].domain;
+      if (var_domains[t.var] == kInvalidId) {
+        var_domains[t.var] = dom;
+      } else if (var_domains[t.var] != dom) {
+        return Status::InvalidArgument(
+            "variable " + var_names[t.var] +
+            " used at positions of two different abstract domains (" +
+            schema.domain_name(var_domains[t.var]) + " vs " +
+            schema.domain_name(dom) + ")");
+      }
+    }
+  }
+  for (VarId h : head) {
+    if (!VarOccurs(h)) {
+      return Status::InvalidArgument("head variable " + var_names[h] +
+                                     " does not occur in the body (unsafe)");
+    }
+  }
+  return Status::OK();
+}
+
+bool ConjunctiveQuery::VarOccurs(VarId var) const {
+  for (const Atom& atom : atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_var() && t.var == var) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+std::string TermToString(const Term& t, const ConjunctiveQuery* cq,
+                         const std::vector<std::string>* var_names,
+                         const Schema& schema) {
+  if (t.is_const()) return schema.ValueToString(t.constant);
+  if (cq != nullptr) return cq->var_names[t.var];
+  return (*var_names)[t.var];
+}
+
+std::string AtomToString(const Atom& atom,
+                         const std::vector<std::string>& var_names,
+                         const Schema& schema) {
+  std::string out = schema.relation(atom.relation).name;
+  out += "(";
+  for (int i = 0; i < atom.arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += TermToString(atom.terms[i], nullptr, &var_names, schema);
+  }
+  out += ")";
+  return out;
+}
+}  // namespace
+
+std::string ConjunctiveQuery::ToString(const Schema& schema) const {
+  std::string out = "Q(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += var_names[head[i]];
+  }
+  out += ") :- ";
+  for (int i = 0; i < num_atoms(); ++i) {
+    if (i > 0) out += ", ";
+    out += AtomToString(atoms[i], var_names, schema);
+  }
+  if (atoms.empty()) out += "true";
+  return out;
+}
+
+bool UnionQuery::IsBoolean() const {
+  for (const ConjunctiveQuery& d : disjuncts) {
+    if (!d.IsBoolean()) return false;
+  }
+  return true;
+}
+
+Status UnionQuery::Validate(const Schema& schema) {
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("union query has no disjuncts");
+  }
+  size_t arity = disjuncts[0].head.size();
+  for (ConjunctiveQuery& d : disjuncts) {
+    RAR_RETURN_NOT_OK(d.Validate(schema));
+    if (d.head.size() != arity) {
+      return Status::InvalidArgument("disjuncts disagree on head arity");
+    }
+  }
+  return Status::OK();
+}
+
+std::string UnionQuery::ToString(const Schema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i > 0) out += "\n  UNION ";
+    out += disjuncts[i].ToString(schema);
+  }
+  return out;
+}
+
+int PositiveQuery::AddAtomNode(Atom atom) {
+  Node n;
+  n.type = NodeType::kAtom;
+  n.atom = std::move(atom);
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size() - 1);
+}
+
+int PositiveQuery::AddAndNode(std::vector<int> children) {
+  Node n;
+  n.type = NodeType::kAnd;
+  n.children = std::move(children);
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size() - 1);
+}
+
+int PositiveQuery::AddOrNode(std::vector<int> children) {
+  Node n;
+  n.type = NodeType::kOr;
+  n.children = std::move(children);
+  nodes.push_back(std::move(n));
+  return static_cast<int>(nodes.size() - 1);
+}
+
+Status PositiveQuery::Validate(const Schema& schema) {
+  if (root < 0 || root >= static_cast<int>(nodes.size())) {
+    return Status::InvalidArgument("positive query has no root");
+  }
+  if (var_domains.size() != var_names.size()) {
+    var_domains.assign(var_names.size(), kInvalidId);
+  }
+  for (const Node& n : nodes) {
+    if (n.type != NodeType::kAtom) {
+      if (n.children.empty()) {
+        return Status::InvalidArgument("empty connective node");
+      }
+      for (int c : n.children) {
+        if (c < 0 || c >= static_cast<int>(nodes.size())) {
+          return Status::InvalidArgument("child index out of range");
+        }
+      }
+      continue;
+    }
+    const Atom& atom = n.atom;
+    if (atom.relation >= schema.num_relations()) {
+      return Status::NotFound("atom references unknown relation");
+    }
+    const Relation& rel = schema.relation(atom.relation);
+    if (atom.arity() != rel.arity()) {
+      return Status::InvalidArgument("atom arity mismatch for relation " +
+                                     rel.name);
+    }
+    for (int pos = 0; pos < atom.arity(); ++pos) {
+      const Term& t = atom.terms[pos];
+      if (!t.is_var()) continue;
+      if (t.var >= var_names.size()) {
+        return Status::InvalidArgument("atom variable out of range");
+      }
+      DomainId dom = rel.attributes[pos].domain;
+      if (var_domains[t.var] == kInvalidId) {
+        var_domains[t.var] = dom;
+      } else if (var_domains[t.var] != dom) {
+        return Status::InvalidArgument("variable " + var_names[t.var] +
+                                       " used at two different domains");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string PositiveQuery::ToString(const Schema& schema) const {
+  std::function<std::string(int)> render = [&](int idx) -> std::string {
+    const Node& n = nodes[idx];
+    switch (n.type) {
+      case NodeType::kAtom:
+        return AtomToString(n.atom, var_names, schema);
+      case NodeType::kAnd:
+      case NodeType::kOr: {
+        std::string sep = n.type == NodeType::kAnd ? " & " : " | ";
+        std::string out = "(";
+        for (size_t i = 0; i < n.children.size(); ++i) {
+          if (i > 0) out += sep;
+          out += render(n.children[i]);
+        }
+        out += ")";
+        return out;
+      }
+    }
+    return "?";
+  };
+  return root >= 0 ? render(root) : "<empty>";
+}
+
+PositiveQuery PositiveQuery::FromCQ(const ConjunctiveQuery& cq) {
+  PositiveQuery pq;
+  pq.var_names = cq.var_names;
+  pq.var_domains = cq.var_domains;
+  std::vector<int> children;
+  for (const Atom& atom : cq.atoms) {
+    children.push_back(pq.AddAtomNode(atom));
+  }
+  pq.root = pq.AddAndNode(std::move(children));
+  return pq;
+}
+
+Result<UnionQuery> ToDnf(const PositiveQuery& pq, const Schema& schema) {
+  if (pq.root < 0) {
+    return Status::InvalidArgument("positive query has no root");
+  }
+  // Bottom-up: each node yields a list of atom-lists (its DNF disjuncts).
+  std::function<std::vector<std::vector<Atom>>(int)> rec =
+      [&](int idx) -> std::vector<std::vector<Atom>> {
+    const PositiveQuery::Node& n = pq.nodes[idx];
+    switch (n.type) {
+      case PositiveQuery::NodeType::kAtom:
+        return {{n.atom}};
+      case PositiveQuery::NodeType::kOr: {
+        std::vector<std::vector<Atom>> out;
+        for (int c : n.children) {
+          auto sub = rec(c);
+          out.insert(out.end(), sub.begin(), sub.end());
+        }
+        return out;
+      }
+      case PositiveQuery::NodeType::kAnd: {
+        std::vector<std::vector<Atom>> out = {{}};
+        for (int c : n.children) {
+          auto sub = rec(c);
+          std::vector<std::vector<Atom>> next;
+          next.reserve(out.size() * sub.size());
+          for (const auto& left : out) {
+            for (const auto& right : sub) {
+              std::vector<Atom> merged = left;
+              merged.insert(merged.end(), right.begin(), right.end());
+              next.push_back(std::move(merged));
+            }
+          }
+          out = std::move(next);
+        }
+        return out;
+      }
+    }
+    return {};
+  };
+
+  UnionQuery uq;
+  for (std::vector<Atom>& disjunct_atoms : rec(pq.root)) {
+    ConjunctiveQuery cq;
+    // Re-index only the variables that occur in this disjunct.
+    std::unordered_map<VarId, VarId> remap;
+    for (Atom& atom : disjunct_atoms) {
+      for (Term& t : atom.terms) {
+        if (!t.is_var()) continue;
+        auto it = remap.find(t.var);
+        if (it == remap.end()) {
+          VarId nv = cq.AddVar(pq.var_names[t.var], pq.var_domains[t.var]);
+          remap.emplace(t.var, nv);
+          t.var = nv;
+        } else {
+          t.var = it->second;
+        }
+      }
+      cq.atoms.push_back(std::move(atom));
+    }
+    RAR_RETURN_NOT_OK(cq.Validate(schema));
+    uq.disjuncts.push_back(std::move(cq));
+  }
+  if (uq.disjuncts.empty()) {
+    return Status::InvalidArgument("DNF produced no disjuncts");
+  }
+  return uq;
+}
+
+std::vector<TypedValue> QueryConstants(const ConjunctiveQuery& cq,
+                                       const Schema& schema) {
+  std::vector<TypedValue> out;
+  std::unordered_set<TypedValue, TypedValueHash> seen;
+  for (const Atom& atom : cq.atoms) {
+    const Relation& rel = schema.relation(atom.relation);
+    for (int pos = 0; pos < atom.arity(); ++pos) {
+      if (!atom.terms[pos].is_const()) continue;
+      TypedValue tv{atom.terms[pos].constant, rel.attributes[pos].domain};
+      if (seen.insert(tv).second) out.push_back(tv);
+    }
+  }
+  return out;
+}
+
+std::vector<TypedValue> QueryConstants(const UnionQuery& uq,
+                                       const Schema& schema) {
+  std::vector<TypedValue> out;
+  std::unordered_set<TypedValue, TypedValueHash> seen;
+  for (const ConjunctiveQuery& d : uq.disjuncts) {
+    for (const TypedValue& tv : QueryConstants(d, schema)) {
+      if (seen.insert(tv).second) out.push_back(tv);
+    }
+  }
+  return out;
+}
+
+FrozenQuery FreezeQuery(const ConjunctiveQuery& cq, const Schema& schema,
+                        NullFactory* nulls) {
+  FrozenQuery frozen;
+  frozen.facts = Configuration(&schema);
+  frozen.var_to_null.reserve(cq.num_vars());
+  for (int v = 0; v < cq.num_vars(); ++v) {
+    frozen.var_to_null.push_back(nulls->Fresh());
+  }
+  for (const Fact& f : GroundAtoms(cq, frozen.var_to_null)) {
+    frozen.facts.AddFact(f);
+  }
+  return frozen;
+}
+
+ConjunctiveQuery Specialize(const ConjunctiveQuery& cq,
+                            const std::vector<std::optional<Value>>& binding) {
+  ConjunctiveQuery out = cq;
+  for (Atom& atom : out.atoms) {
+    for (Term& t : atom.terms) {
+      if (t.is_var() && t.var < binding.size() && binding[t.var].has_value()) {
+        t = Term::MakeConst(*binding[t.var]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Fact> GroundAtoms(const ConjunctiveQuery& cq,
+                              const std::vector<Value>& assignment) {
+  std::vector<int> all(cq.num_atoms());
+  for (int i = 0; i < cq.num_atoms(); ++i) all[i] = i;
+  return GroundAtoms(cq, assignment, all);
+}
+
+std::vector<Fact> GroundAtoms(const ConjunctiveQuery& cq,
+                              const std::vector<Value>& assignment,
+                              const std::vector<int>& atom_indices) {
+  std::vector<Fact> out;
+  out.reserve(atom_indices.size());
+  for (int idx : atom_indices) {
+    const Atom& atom = cq.atoms[idx];
+    Fact f;
+    f.relation = atom.relation;
+    f.values.reserve(atom.arity());
+    for (const Term& t : atom.terms) {
+      f.values.push_back(t.is_const() ? t.constant : assignment[t.var]);
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace rar

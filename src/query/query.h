@@ -1,0 +1,192 @@
+// Conjunctive and positive queries (Section 2, "Queries").
+//
+// CQs are conjunctions of atoms over variables and constants; positive
+// queries (PQs) add arbitrary nesting of ∧ and ∨ (no negation, no universal
+// quantification). Following the paper we focus on Boolean queries; heads
+// are supported for the Prop 2.2 reduction from k-ary to Boolean relevance.
+//
+// Variables are indices into a per-query variable table with inferred
+// abstract domains; the paper requires shared variables to be used at
+// positions of a single domain, which `Validate` enforces.
+#ifndef RAR_QUERY_QUERY_H_
+#define RAR_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/configuration.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// Dense id of a variable within one query's variable table.
+using VarId = uint32_t;
+
+/// \brief One argument of an atom: a variable or a constant.
+struct Term {
+  enum class Kind : uint8_t { kVar, kConst };
+
+  Kind kind = Kind::kVar;
+  VarId var = 0;       ///< valid when kind == kVar
+  Value constant;      ///< valid when kind == kConst
+
+  static Term MakeVar(VarId v) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = v;
+    return t;
+  }
+  static Term MakeConst(Value c) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.constant = c;
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVar; }
+  bool is_const() const { return kind == Kind::kConst; }
+
+  bool operator==(const Term& o) const {
+    if (kind != o.kind) return false;
+    return is_var() ? var == o.var : constant == o.constant;
+  }
+};
+
+/// \brief A relational atom R(t1, ..., tk).
+struct Atom {
+  RelationId relation = kInvalidId;
+  std::vector<Term> terms;
+
+  int arity() const { return static_cast<int>(terms.size()); }
+  bool operator==(const Atom& o) const {
+    return relation == o.relation && terms == o.terms;
+  }
+};
+
+/// \brief A conjunctive query: head variables + a conjunction of atoms.
+///
+/// A plain struct by design: the Section 3 reductions and the hardness
+/// encoders build and rewrite queries aggressively, so fields are public
+/// and invariants are checked by `Validate`.
+struct ConjunctiveQuery {
+  std::vector<std::string> var_names;
+  /// Inferred domain per variable (filled by Validate / InferDomains).
+  std::vector<DomainId> var_domains;
+  std::vector<VarId> head;  ///< empty for Boolean queries
+  std::vector<Atom> atoms;
+
+  int num_vars() const { return static_cast<int>(var_names.size()); }
+  int num_atoms() const { return static_cast<int>(atoms.size()); }
+  bool IsBoolean() const { return head.empty(); }
+
+  /// Adds a variable, returning its id. Domain may be kInvalidId (inferred
+  /// later by Validate).
+  VarId AddVar(std::string name, DomainId domain = kInvalidId) {
+    var_names.push_back(std::move(name));
+    var_domains.push_back(domain);
+    return static_cast<VarId>(var_names.size() - 1);
+  }
+
+  /// Checks arities, head variables, and domain consistency (each variable
+  /// used at positions of a single abstract domain), and fills in inferred
+  /// variable domains. Constants are not domain-checked: their domain
+  /// memberships are contextual (see QueryConstants).
+  Status Validate(const Schema& schema);
+
+  /// True when `var` occurs in some atom.
+  bool VarOccurs(VarId var) const;
+
+  /// Renders "Q(X) :- R(X, Y), S(Y, c)" against a schema.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief A union of conjunctive queries (each disjunct has its own
+/// variable table). The DNF form every engine consumes.
+struct UnionQuery {
+  std::vector<ConjunctiveQuery> disjuncts;
+
+  bool IsBoolean() const;
+  Status Validate(const Schema& schema);
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief A positive existential query: an ∧/∨ tree over atoms.
+///
+/// All variables are implicitly existentially quantified (the paper's PQs
+/// are Boolean existential-positive formulas; ∃ commutes with ∨, so keeping
+/// quantifiers implicit loses no generality for Boolean queries).
+struct PositiveQuery {
+  enum class NodeType : uint8_t { kAtom, kAnd, kOr };
+
+  struct Node {
+    NodeType type = NodeType::kAtom;
+    Atom atom;                  ///< valid when type == kAtom
+    std::vector<int> children;  ///< valid for kAnd / kOr
+  };
+
+  std::vector<std::string> var_names;
+  std::vector<DomainId> var_domains;
+  std::vector<Node> nodes;
+  int root = -1;
+
+  VarId AddVar(std::string name, DomainId domain = kInvalidId) {
+    var_names.push_back(std::move(name));
+    var_domains.push_back(domain);
+    return static_cast<VarId>(var_names.size() - 1);
+  }
+  int AddAtomNode(Atom atom);
+  int AddAndNode(std::vector<int> children);
+  int AddOrNode(std::vector<int> children);
+
+  Status Validate(const Schema& schema);
+  std::string ToString(const Schema& schema) const;
+
+  /// Wraps a CQ as a PQ (single ∧ node).
+  static PositiveQuery FromCQ(const ConjunctiveQuery& cq);
+};
+
+/// Converts a positive query to disjunctive normal form. Exponential in the
+/// worst case — this is the real source of the CQ-vs-PQ complexity gap in
+/// Table 1, so the blowup is inherent, not incidental.
+Result<UnionQuery> ToDnf(const PositiveQuery& pq, const Schema& schema);
+
+/// The constants appearing in a query, typed by the domains of the
+/// positions where they occur. The paper assumes these are present in the
+/// configuration; engines seed them via this helper.
+std::vector<TypedValue> QueryConstants(const ConjunctiveQuery& cq,
+                                       const Schema& schema);
+std::vector<TypedValue> QueryConstants(const UnionQuery& uq,
+                                       const Schema& schema);
+
+/// \brief The canonical ("frozen") database of a CQ: one fact per atom with
+/// each variable replaced by a dedicated labelled null.
+struct FrozenQuery {
+  Configuration facts;             ///< frozen atoms (over the given schema)
+  std::vector<Value> var_to_null;  ///< null chosen for each variable
+};
+FrozenQuery FreezeQuery(const ConjunctiveQuery& cq, const Schema& schema,
+                        NullFactory* nulls);
+
+/// Specializes a CQ by substituting values for some of its variables
+/// (entries may be disengaged to leave a variable symbolic). Substituted
+/// values may be labelled nulls — they become constant terms that only
+/// match themselves, which is exactly the frozen-query semantics.
+ConjunctiveQuery Specialize(const ConjunctiveQuery& cq,
+                            const std::vector<std::optional<Value>>& binding);
+
+/// Applies an assignment (variable -> value) to the atoms of a CQ,
+/// producing ground facts. Every variable must be assigned.
+std::vector<Fact> GroundAtoms(const ConjunctiveQuery& cq,
+                              const std::vector<Value>& assignment);
+/// Grounds a subset of atoms (indices into cq.atoms).
+std::vector<Fact> GroundAtoms(const ConjunctiveQuery& cq,
+                              const std::vector<Value>& assignment,
+                              const std::vector<int>& atom_indices);
+
+}  // namespace rar
+
+#endif  // RAR_QUERY_QUERY_H_

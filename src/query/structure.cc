@@ -1,0 +1,95 @@
+#include "query/structure.h"
+
+#include <unordered_map>
+
+namespace rar {
+
+namespace {
+
+// Union-find over atom indices.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> SubgoalComponents(const ConjunctiveQuery& cq) {
+  const int n = cq.num_atoms();
+  UnionFind uf(n);
+  std::unordered_map<VarId, int> first_atom_with_var;
+  for (int i = 0; i < n; ++i) {
+    for (const Term& t : cq.atoms[i].terms) {
+      if (!t.is_var()) continue;
+      auto [it, inserted] = first_atom_with_var.emplace(t.var, i);
+      if (!inserted) uf.Union(i, it->second);
+    }
+  }
+  // Components ordered by their smallest atom index, members increasing.
+  std::unordered_map<int, int> root_to_group;
+  std::vector<std::vector<int>> out;
+  for (int i = 0; i < n; ++i) {
+    int root = uf.Find(i);
+    auto [it, inserted] = root_to_group.emplace(root, static_cast<int>(out.size()));
+    if (inserted) out.emplace_back();
+    out[it->second].push_back(i);
+  }
+  return out;
+}
+
+bool IsConnected(const ConjunctiveQuery& cq) {
+  return SubgoalComponents(cq).size() == 1;
+}
+
+ConjunctiveQuery SubqueryOf(const ConjunctiveQuery& cq,
+                            const std::vector<int>& atom_indices) {
+  ConjunctiveQuery sub;
+  std::unordered_map<VarId, VarId> remap;
+  for (int idx : atom_indices) {
+    Atom atom = cq.atoms[idx];
+    for (Term& t : atom.terms) {
+      if (!t.is_var()) continue;
+      auto it = remap.find(t.var);
+      if (it == remap.end()) {
+        VarId nv = sub.AddVar(cq.var_names[t.var], cq.var_domains[t.var]);
+        remap.emplace(t.var, nv);
+        t.var = nv;
+      } else {
+        t.var = it->second;
+      }
+    }
+    sub.atoms.push_back(std::move(atom));
+  }
+  return sub;
+}
+
+int RelationOccurrences(const ConjunctiveQuery& cq, RelationId relation) {
+  int count = 0;
+  for (const Atom& atom : cq.atoms) {
+    if (atom.relation == relation) ++count;
+  }
+  return count;
+}
+
+int MaxAtomArity(const ConjunctiveQuery& cq) {
+  int max_arity = 0;
+  for (const Atom& atom : cq.atoms) {
+    if (atom.arity() > max_arity) max_arity = atom.arity();
+  }
+  return max_arity;
+}
+
+}  // namespace rar

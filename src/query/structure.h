@@ -1,0 +1,38 @@
+// Structural query utilities: variable-sharing graph, connected components,
+// subquery extraction, relation occurrence counts.
+//
+// Section 4's single-occurrence fast path (Prop 4.3) reasons about the
+// connected components of the subgoal graph G(Q): vertices are atoms, with
+// an edge when two atoms share a variable. Theorem 6.1 requires connected
+// queries. These helpers implement that vocabulary once.
+#ifndef RAR_QUERY_STRUCTURE_H_
+#define RAR_QUERY_STRUCTURE_H_
+
+#include <vector>
+
+#include "query/query.h"
+
+namespace rar {
+
+/// Connected components of the subgoal graph of `cq` (atoms sharing a
+/// variable are connected). Returns groups of atom indices; singleton
+/// ground atoms form their own components.
+std::vector<std::vector<int>> SubgoalComponents(const ConjunctiveQuery& cq);
+
+/// True when the subgoal graph is connected (and the query is non-empty).
+bool IsConnected(const ConjunctiveQuery& cq);
+
+/// Extracts the subquery on the given atoms (variables re-indexed, Boolean
+/// head). The input query must have been validated.
+ConjunctiveQuery SubqueryOf(const ConjunctiveQuery& cq,
+                            const std::vector<int>& atom_indices);
+
+/// Number of atoms of `cq` over `relation`.
+int RelationOccurrences(const ConjunctiveQuery& cq, RelationId relation);
+
+/// The maximum relation arity used by the query.
+int MaxAtomArity(const ConjunctiveQuery& cq);
+
+}  // namespace rar
+
+#endif  // RAR_QUERY_STRUCTURE_H_

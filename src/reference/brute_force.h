@@ -1,0 +1,109 @@
+// Brute-force reference deciders implementing the raw Section 2 semantics.
+//
+// These engines enumerate instances, responses and access paths over a
+// bounded universe (active domain + a few pre-minted fresh constants per
+// abstract domain) and decide IR / LTR / containment directly from the
+// definitions. They are exponential and only usable on tiny inputs — which
+// is exactly their job: they are the ground truth the symbolic engines are
+// cross-validated against in the test suite.
+//
+// Soundness of the bounds: every witness the symbolic theory guarantees
+// (Prop 4.1's single fresh constant, the pruned paths of Section 4, the
+// tree-like models of Section 5) fits in a universe with enough fresh
+// constants and a long enough path; tests size the options accordingly.
+#ifndef RAR_REFERENCE_BRUTE_FORCE_H_
+#define RAR_REFERENCE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "access/access_method.h"
+#include "query/query.h"
+#include "relational/configuration.h"
+
+namespace rar {
+
+/// Search bounds for the brute-force deciders.
+struct BruteForceOptions {
+  /// Fresh constants minted per abstract domain, beyond the active domain.
+  int extra_constants_per_domain = 2;
+  /// Maximum number of accesses explored after the first one (LTR) or in
+  /// total (containment), each contributing at most one new fact.
+  int max_steps = 4;
+  /// Maximum size of the first access's response explored for LTR.
+  int max_first_response = 2;
+  /// Hard cap on search nodes (safety valve; 0 = unlimited).
+  long node_budget = 2000000;
+};
+
+/// \brief A bounded universe: per-domain candidate values and the facts
+/// constructible from them.
+class BoundedUniverse {
+ public:
+  /// Builds the universe for `conf`: active-domain values per domain plus
+  /// `extra` fresh constants per domain that occurs in the schema, plus any
+  /// `extra_values` (e.g. access-binding constants and query constants that
+  /// are not in the configuration — instances may contain them anywhere).
+  BoundedUniverse(const Configuration& conf, const AccessMethodSet& acs,
+                  int extra_constants_per_domain,
+                  const std::vector<TypedValue>& extra_values = {});
+
+  /// Candidate values of one domain.
+  const std::vector<Value>& ValuesOf(DomainId domain) const;
+
+  /// Every fact over `rel` constructible from the universe.
+  std::vector<Fact> AllFactsOf(RelationId rel) const;
+
+  /// Every universe fact matching `access` (same relation, binding agrees).
+  std::vector<Fact> FactsMatching(const Access& access) const;
+
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  const Schema* schema_;
+  const AccessMethodSet* acs_;
+  std::vector<std::vector<Value>> values_by_domain_;
+};
+
+/// Immediate relevance by definition: Q is not certain at `conf`, and some
+/// sound response to `access` makes a new tuple certain. Exploits
+/// monotonicity: the maximal universe response decides.
+bool BruteForceIR(const Configuration& conf, const AccessMethodSet& acs,
+                  const Access& access, const UnionQuery& query,
+                  const BruteForceOptions& options = {});
+
+/// Long-term relevance by definition: exhaustive search over paths that
+/// start with `access` (first response: subsets of matching universe facts
+/// up to options.max_first_response; later steps: single-fact responses to
+/// well-formed accesses), accepting when the query holds after the path but
+/// not after its truncation.
+bool BruteForceLTR(const Configuration& conf, const AccessMethodSet& acs,
+                   const Access& access, const UnionQuery& query,
+                   const BruteForceOptions& options = {});
+
+/// Non-containment by definition: BFS over configurations reachable from
+/// `conf` (single-fact responses), accepting when q1 holds and q2 does not.
+bool BruteForceNotContained(const Configuration& conf,
+                            const AccessMethodSet& acs, const UnionQuery& q1,
+                            const UnionQuery& q2,
+                            const BruteForceOptions& options = {});
+
+/// Containment by definition (negation of the above).
+inline bool BruteForceContained(const Configuration& conf,
+                                const AccessMethodSet& acs,
+                                const UnionQuery& q1, const UnionQuery& q2,
+                                const BruteForceOptions& options = {}) {
+  return !BruteForceNotContained(conf, acs, q1, q2, options);
+}
+
+/// Critical tuples (Miklau–Suciu, used by Prop 4.5): `t` is critical for
+/// Boolean query `q` over the finite set `domain_values` iff deleting `t`
+/// from some instance over those values changes the query's truth value.
+/// Exhaustive over instances of the single relation `t.relation`.
+bool BruteForceIsCritical(const Schema& schema, const UnionQuery& q,
+                          const Fact& t,
+                          const std::vector<Value>& domain_values,
+                          long node_budget = 2000000);
+
+}  // namespace rar
+
+#endif  // RAR_REFERENCE_BRUTE_FORCE_H_

@@ -1,0 +1,144 @@
+#include "relational/configuration.h"
+
+#include <algorithm>
+
+namespace rar {
+
+const std::vector<Fact> Configuration::kNoFacts;
+const std::vector<int> Configuration::kNoIndices;
+const std::vector<Value> Configuration::kNoValues;
+
+Configuration::RelationStore& Configuration::StoreOf(RelationId rel) {
+  return stores_[rel];
+}
+
+bool Configuration::AddFact(const Fact& fact) {
+  if (!fact_set_.insert(fact).second) return false;
+  RelationStore& store = StoreOf(fact.relation);
+  int idx = static_cast<int>(store.facts.size());
+  store.facts.push_back(fact);
+  for (int pos = 0; pos < fact.arity(); ++pos) {
+    store.index[PosValueKey{pos, fact.values[pos]}].push_back(idx);
+    if (schema_ != nullptr) {
+      DomainId dom = schema_->relation(fact.relation).attributes[pos].domain;
+      TypedValue tv{fact.values[pos], dom};
+      if (adom_.insert(tv).second) {
+        adom_by_domain_[dom].push_back(fact.values[pos]);
+      }
+    }
+  }
+  ++num_facts_;
+  return true;
+}
+
+Status Configuration::AddFactNamed(
+    std::string_view relation,
+    const std::vector<std::string>& constant_spellings) {
+  if (schema_ == nullptr) {
+    return Status::FailedPrecondition("configuration has no schema");
+  }
+  RelationId rel = schema_->FindRelation(relation);
+  if (rel == kInvalidId) {
+    return Status::NotFound("relation not in schema: " +
+                            std::string(relation));
+  }
+  if (static_cast<int>(constant_spellings.size()) !=
+      schema_->relation(rel).arity()) {
+    return Status::InvalidArgument("arity mismatch for " +
+                                   std::string(relation));
+  }
+  std::vector<Value> values;
+  values.reserve(constant_spellings.size());
+  for (const std::string& s : constant_spellings) {
+    values.push_back(schema_->InternConstant(s));
+  }
+  AddFact(Fact(rel, std::move(values)));
+  return Status::OK();
+}
+
+void Configuration::AddSeedConstant(Value value, DomainId domain) {
+  TypedValue tv{value, domain};
+  if (adom_.insert(tv).second) {
+    adom_by_domain_[domain].push_back(value);
+    seeds_.push_back(tv);
+  }
+}
+
+const std::vector<Fact>& Configuration::FactsOf(RelationId rel) const {
+  auto it = stores_.find(rel);
+  return it == stores_.end() ? kNoFacts : it->second.facts;
+}
+
+const std::vector<int>& Configuration::FactsWith(RelationId rel, int position,
+                                                 Value v) const {
+  auto it = stores_.find(rel);
+  if (it == stores_.end()) return kNoIndices;
+  auto jt = it->second.index.find(PosValueKey{position, v});
+  return jt == it->second.index.end() ? kNoIndices : jt->second;
+}
+
+std::vector<Fact> Configuration::AllFacts() const {
+  std::vector<Fact> out;
+  out.reserve(num_facts_);
+  // Deterministic order: by relation id, then insertion order.
+  std::vector<RelationId> rels;
+  rels.reserve(stores_.size());
+  for (const auto& [rel, store] : stores_) rels.push_back(rel);
+  std::sort(rels.begin(), rels.end());
+  for (RelationId rel : rels) {
+    const auto& facts = stores_.at(rel).facts;
+    out.insert(out.end(), facts.begin(), facts.end());
+  }
+  return out;
+}
+
+const std::vector<Value>& Configuration::AdomOfDomain(DomainId domain) const {
+  auto it = adom_by_domain_.find(domain);
+  return it == adom_by_domain_.end() ? kNoValues : it->second;
+}
+
+std::vector<TypedValue> Configuration::AdomEntries() const {
+  std::vector<TypedValue> out(adom_.begin(), adom_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Fact> Configuration::Difference(const Configuration& base) const {
+  std::vector<Fact> out;
+  for (const Fact& f : AllFacts()) {
+    if (!base.Contains(f)) out.push_back(f);
+  }
+  return out;
+}
+
+void Configuration::UnionWith(const Configuration& other) {
+  for (const Fact& f : other.AllFacts()) AddFact(f);
+  for (const TypedValue& tv : other.seeds_) {
+    AddSeedConstant(tv.value, tv.domain);
+  }
+}
+
+bool Configuration::IsSubsetOf(const Configuration& other) const {
+  for (const Fact& f : AllFacts()) {
+    if (!other.Contains(f)) return false;
+  }
+  for (const TypedValue& tv : seeds_) {
+    if (!other.AdomContains(tv.value, tv.domain)) return false;
+  }
+  return true;
+}
+
+std::string Configuration::ToString() const {
+  std::string out;
+  for (const Fact& f : AllFacts()) {
+    if (schema_ != nullptr) {
+      out += f.ToString(*schema_);
+    } else {
+      out += "<fact>";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rar

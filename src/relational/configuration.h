@@ -1,0 +1,149 @@
+// Configurations: the finite set of facts an engine currently knows.
+//
+// Section 2: a configuration Conf is a subset of some instance I; the engine
+// only ever sees configurations, and an instance is any fact set consistent
+// with (i.e. containing) one. Both notions are finite typed fact sets, so a
+// single class serves as configuration, instance, and witness extension.
+//
+// Beyond facts, a configuration carries *seed constants*: (value, domain)
+// pairs known to belong to a domain without a supporting fact. These model
+// the paper's standing assumption that query constants are available for
+// dependent accesses, and the "set of existing constants" of CM-containment
+// (Section 3).
+#ifndef RAR_RELATIONAL_CONFIGURATION_H_
+#define RAR_RELATIONAL_CONFIGURATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/fact.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief A typed (value, domain) pair — one entry of the active domain.
+struct TypedValue {
+  Value value;
+  DomainId domain = kInvalidId;
+
+  bool operator==(const TypedValue& o) const {
+    return value == o.value && domain == o.domain;
+  }
+  bool operator<(const TypedValue& o) const {
+    if (!(value == o.value)) return value < o.value;
+    return domain < o.domain;
+  }
+};
+
+struct TypedValueHash {
+  size_t operator()(const TypedValue& tv) const {
+    return ValueHash()(tv.value) * 1000003u + tv.domain;
+  }
+};
+
+/// \brief A finite set of facts over a schema, with incremental indexes and
+/// active-domain bookkeeping.
+///
+/// Fact insertion is idempotent. The per-(relation, position, value) index
+/// supports the homomorphism engine's candidate lookups; the active domain
+/// (Adom) supports dependent-access well-formedness checks.
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(const Schema* schema) : schema_(schema) {}
+
+  const Schema* schema() const { return schema_; }
+
+  /// Adds a fact; returns true when the fact was new. Updates Adom with
+  /// every (value, attribute-domain) pair of the fact.
+  bool AddFact(const Fact& fact);
+
+  /// Adds a fact built from constant spellings (convenience for fixtures).
+  Status AddFactNamed(std::string_view relation,
+                      const std::vector<std::string>& constant_spellings);
+
+  /// Registers a seed constant: `value` is known to inhabit `domain`.
+  void AddSeedConstant(Value value, DomainId domain);
+
+  bool Contains(const Fact& fact) const {
+    return fact_set_.count(fact) > 0;
+  }
+
+  /// All facts of one relation, in insertion order.
+  const std::vector<Fact>& FactsOf(RelationId rel) const;
+
+  /// Indices (into FactsOf(rel)) of facts whose `position`-th value equals
+  /// `v`. Returns an empty list when none match.
+  const std::vector<int>& FactsWith(RelationId rel, int position,
+                                    Value v) const;
+
+  /// Every fact in the configuration (all relations, insertion order).
+  std::vector<Fact> AllFacts() const;
+
+  size_t NumFacts() const { return num_facts_; }
+
+  /// True when (value, domain) is in the active domain (facts or seeds).
+  bool AdomContains(Value value, DomainId domain) const {
+    return adom_.count(TypedValue{value, domain}) > 0;
+  }
+
+  /// All active-domain values of one domain, in first-seen order.
+  const std::vector<Value>& AdomOfDomain(DomainId domain) const;
+
+  /// The full active domain as (value, domain) pairs.
+  std::vector<TypedValue> AdomEntries() const;
+
+  /// Facts present in this configuration but not in `base`.
+  std::vector<Fact> Difference(const Configuration& base) const;
+
+  /// Copies every fact and seed of `other` into this configuration.
+  void UnionWith(const Configuration& other);
+
+  /// True when every fact and seed of this configuration is in `other`.
+  bool IsSubsetOf(const Configuration& other) const;
+
+  /// Multi-line rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  struct PosValueKey {
+    int position;
+    Value value;
+    bool operator==(const PosValueKey& o) const {
+      return position == o.position && value == o.value;
+    }
+  };
+  struct PosValueKeyHash {
+    size_t operator()(const PosValueKey& k) const {
+      return ValueHash()(k.value) * 31u + static_cast<size_t>(k.position);
+    }
+  };
+  struct RelationStore {
+    std::vector<Fact> facts;
+    std::unordered_map<PosValueKey, std::vector<int>, PosValueKeyHash> index;
+  };
+
+  RelationStore& StoreOf(RelationId rel);
+
+  const Schema* schema_ = nullptr;
+  std::unordered_map<RelationId, RelationStore> stores_;
+  std::unordered_set<Fact, FactHash> fact_set_;
+  size_t num_facts_ = 0;
+
+  std::unordered_set<TypedValue, TypedValueHash> adom_;
+  std::unordered_map<DomainId, std::vector<Value>> adom_by_domain_;
+  std::vector<TypedValue> seeds_;
+
+  static const std::vector<Fact> kNoFacts;
+  static const std::vector<int> kNoIndices;
+  static const std::vector<Value> kNoValues;
+};
+
+}  // namespace rar
+
+#endif  // RAR_RELATIONAL_CONFIGURATION_H_

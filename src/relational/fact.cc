@@ -1,0 +1,16 @@
+#include "relational/fact.h"
+
+namespace rar {
+
+std::string Fact::ToString(const Schema& schema) const {
+  std::string out = schema.relation(relation).name;
+  out += "(";
+  for (int i = 0; i < arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.ValueToString(values[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rar

@@ -1,0 +1,61 @@
+// Facts (ground atoms): a relation id plus a tuple of values.
+#ifndef RAR_RELATIONAL_FACT_H_
+#define RAR_RELATIONAL_FACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace rar {
+
+/// \brief A ground fact R(v1, ..., vk). Values may include labelled nulls
+/// inside symbolic engines; configurations proper contain constants only.
+struct Fact {
+  RelationId relation = kInvalidId;
+  std::vector<Value> values;
+
+  Fact() = default;
+  Fact(RelationId rel, std::vector<Value> vals)
+      : relation(rel), values(std::move(vals)) {}
+
+  int arity() const { return static_cast<int>(values.size()); }
+
+  bool operator==(const Fact& o) const {
+    return relation == o.relation && values == o.values;
+  }
+  bool operator!=(const Fact& o) const { return !(*this == o); }
+  bool operator<(const Fact& o) const {
+    if (relation != o.relation) return relation < o.relation;
+    return values < o.values;
+  }
+
+  /// True when every value is a constant.
+  bool IsGroundConstant() const {
+    for (const Value& v : values) {
+      if (!v.is_constant()) return false;
+    }
+    return true;
+  }
+
+  /// Renders "R(a, b, _n0)" against a schema.
+  std::string ToString(const Schema& schema) const;
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const {
+    uint64_t h = 1469598103934665603ULL ^ f.relation;
+    ValueHash vh;
+    for (const Value& v : f.values) {
+      h ^= vh(v);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace rar
+
+#endif  // RAR_RELATIONAL_FACT_H_

@@ -1,0 +1,78 @@
+#include "relational/schema.h"
+
+#include <string>
+
+namespace rar {
+
+DomainId Schema::AddDomain(std::string_view name) {
+  DomainId existing = FindDomain(name);
+  if (existing != kInvalidId) return existing;
+  domain_names_.emplace_back(name);
+  return static_cast<DomainId>(domain_names_.size() - 1);
+}
+
+DomainId Schema::FindDomain(std::string_view name) const {
+  for (size_t i = 0; i < domain_names_.size(); ++i) {
+    if (domain_names_[i] == name) return static_cast<DomainId>(i);
+  }
+  return kInvalidId;
+}
+
+Result<RelationId> Schema::AddRelation(std::string_view name,
+                                       std::vector<Attribute> attributes) {
+  if (FindRelation(name) != kInvalidId) {
+    return Status::InvalidArgument("duplicate relation name: " +
+                                   std::string(name));
+  }
+  for (const Attribute& attr : attributes) {
+    if (attr.domain >= domain_names_.size()) {
+      return Status::InvalidArgument("attribute " + attr.name +
+                                     " of relation " + std::string(name) +
+                                     " references an undeclared domain");
+    }
+  }
+  relations_.push_back(Relation{std::string(name), std::move(attributes)});
+  return static_cast<RelationId>(relations_.size() - 1);
+}
+
+Result<RelationId> Schema::AddRelation(std::string_view name,
+                                       const std::vector<DomainId>& domains) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(domains.size());
+  for (size_t i = 0; i < domains.size(); ++i) {
+    attrs.push_back(Attribute{"a" + std::to_string(i), domains[i]});
+  }
+  return AddRelation(name, std::move(attrs));
+}
+
+RelationId Schema::FindRelation(std::string_view name) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name == name) return static_cast<RelationId>(i);
+  }
+  return kInvalidId;
+}
+
+Result<Value> Schema::FindConstant(std::string_view spelling) const {
+  Interner::Id id = constants_->Lookup(spelling);
+  if (id == Interner::kInvalid) {
+    return Status::NotFound("constant not interned: " + std::string(spelling));
+  }
+  return Value::Constant(id);
+}
+
+Value Schema::MintFreshConstant(std::string_view prefix) const {
+  // Probe spellings prefix#0, prefix#1, ... until an unused one is found.
+  for (uint64_t i = constants_->size();; ++i) {
+    std::string candidate = std::string(prefix) + "#" + std::to_string(i);
+    if (constants_->Lookup(candidate) == Interner::kInvalid) {
+      return InternConstant(candidate);
+    }
+  }
+}
+
+std::string Schema::ValueToString(Value v) const {
+  if (v.is_constant()) return ConstantSpelling(v);
+  return "_n" + std::to_string(v.id());
+}
+
+}  // namespace rar

@@ -1,0 +1,112 @@
+// Schemas: relations, attributes, abstract domains (Section 2).
+//
+// A schema declares a set of abstract domains and a set of relations whose
+// attributes are typed by those domains. Domains are countably infinite and
+// possibly overlapping; the paper uses them to constrain which values may be
+// fed into dependent accesses. Constants are interned in a symbol table
+// shared by every copy of the schema so that configurations, queries and
+// engines built against the same schema agree on constant ids.
+#ifndef RAR_RELATIONAL_SCHEMA_H_
+#define RAR_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// Dense id of an abstract domain within a schema.
+using DomainId = uint32_t;
+/// Dense id of a relation within a schema.
+using RelationId = uint32_t;
+
+constexpr uint32_t kInvalidId = static_cast<uint32_t>(-1);
+
+/// \brief One attribute of a relation: a name and an abstract domain.
+struct Attribute {
+  std::string name;
+  DomainId domain;
+};
+
+/// \brief A relation symbol with typed attributes.
+struct Relation {
+  std::string name;
+  std::vector<Attribute> attributes;
+
+  int arity() const { return static_cast<int>(attributes.size()); }
+};
+
+/// \brief A database schema: domains + relations + shared constant symbols.
+///
+/// Schemas are value types; copies share the constant symbol table (by
+/// design — a query parsed against a copy must produce the same constant ids
+/// as a configuration built against the original).
+class Schema {
+ public:
+  Schema() : constants_(std::make_shared<Interner>()) {}
+
+  /// Declares (or looks up) an abstract domain by name.
+  DomainId AddDomain(std::string_view name);
+
+  /// Returns the id of a declared domain, or kInvalidId.
+  DomainId FindDomain(std::string_view name) const;
+
+  const std::string& domain_name(DomainId id) const {
+    return domain_names_[id];
+  }
+  size_t num_domains() const { return domain_names_.size(); }
+
+  /// Declares a relation; attribute domains must already exist.
+  /// Fails with InvalidArgument on duplicate relation names.
+  Result<RelationId> AddRelation(std::string_view name,
+                                 std::vector<Attribute> attributes);
+
+  /// Convenience: declares a relation whose attributes are auto-named
+  /// a0,a1,... with the given domains.
+  Result<RelationId> AddRelation(std::string_view name,
+                                 const std::vector<DomainId>& domains);
+
+  /// Returns the id of a declared relation, or kInvalidId.
+  RelationId FindRelation(std::string_view name) const;
+
+  const Relation& relation(RelationId id) const { return relations_[id]; }
+  size_t num_relations() const { return relations_.size(); }
+
+  /// Interns a constant spelling, returning its value. Constant ids are
+  /// shared across copies of this schema.
+  Value InternConstant(std::string_view spelling) const {
+    return Value::Constant(constants_->Intern(spelling));
+  }
+
+  /// Returns the constant for `spelling` if already interned.
+  Result<Value> FindConstant(std::string_view spelling) const;
+
+  /// Spelling of a constant value (must be a constant from this schema).
+  const std::string& ConstantSpelling(Value v) const {
+    return constants_->Spelling(v.id());
+  }
+
+  /// Mints a constant guaranteed to be distinct from all interned ones;
+  /// used when replaying symbolic witnesses ("fresh value of domain D").
+  Value MintFreshConstant(std::string_view prefix) const;
+
+  /// Renders a value ("c", "_n3") for diagnostics.
+  std::string ValueToString(Value v) const;
+
+  size_t num_constants() const { return constants_->size(); }
+
+ private:
+  std::vector<std::string> domain_names_;
+  std::vector<Relation> relations_;
+  std::shared_ptr<Interner> constants_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_RELATIONAL_SCHEMA_H_

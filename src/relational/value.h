@@ -1,0 +1,88 @@
+// Values: constants and labelled nulls.
+//
+// Section 2 of the paper works with constants drawn from countable abstract
+// domains. The symbolic engines additionally need *labelled nulls* — fresh,
+// pairwise-distinct placeholder values used while searching for witness
+// configurations ("some new value the access could return"). A null is
+// promoted to a fresh constant when a witness is replayed.
+//
+// A value's identity is its spelling (for constants) or its label (for
+// nulls); domain membership is a property of the *position* a value sits in,
+// not of the value itself, because the paper allows different abstract
+// domains to overlap (Section 2, "Modeling data sources").
+#ifndef RAR_RELATIONAL_VALUE_H_
+#define RAR_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rar {
+
+/// \brief A constant or a labelled null.
+///
+/// Trivially copyable (8 bytes); equality and hashing are on (kind, id).
+class Value {
+ public:
+  enum class Kind : uint8_t { kConstant = 0, kNull = 1 };
+
+  Value() : kind_(Kind::kConstant), id_(0) {}
+
+  static Value Constant(uint32_t id) { return Value(Kind::kConstant, id); }
+  static Value Null(uint32_t label) { return Value(Kind::kNull, label); }
+
+  Kind kind() const { return kind_; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  /// Constant interner id (valid when is_constant()) or null label.
+  uint32_t id() const { return id_; }
+
+  bool operator==(const Value& o) const {
+    return kind_ == o.kind_ && id_ == o.id_;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  bool operator<(const Value& o) const {
+    if (kind_ != o.kind_) return kind_ < o.kind_;
+    return id_ < o.id_;
+  }
+
+  /// 64-bit packing used as a hash key.
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(kind_) << 32) | id_;
+  }
+
+ private:
+  Value(Kind kind, uint32_t id) : kind_(kind), id_(id) {}
+
+  Kind kind_;
+  uint32_t id_;
+};
+
+/// \brief Hands out pairwise-distinct null labels.
+///
+/// Each engine instantiates its own factory so that null labels are unique
+/// within one search and witnesses are self-consistent.
+class NullFactory {
+ public:
+  NullFactory() : next_(0) {}
+  explicit NullFactory(uint32_t first_label) : next_(first_label) {}
+
+  Value Fresh() { return Value::Null(next_++); }
+  uint32_t labels_used() const { return next_; }
+
+ private:
+  uint32_t next_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    uint64_t x = v.Packed();
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace rar
+
+#endif  // RAR_RELATIONAL_VALUE_H_

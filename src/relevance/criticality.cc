@@ -1,0 +1,49 @@
+#include "relevance/criticality.h"
+
+#include "relevance/ltr_independent.h"
+
+namespace rar {
+
+Result<bool> IsCriticalViaLTR(const Schema& schema, const UnionQuery& q,
+                              const Fact& t,
+                              const std::vector<Value>& domain_values) {
+  for (const ConjunctiveQuery& d : q.disjuncts) {
+    for (const Atom& atom : d.atoms) {
+      if (atom.relation != t.relation) {
+        return Status::InvalidArgument(
+            "criticality bridge expects a single-relation query");
+      }
+    }
+  }
+  const Relation& rel = schema.relation(t.relation);
+  if (t.arity() != rel.arity()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+
+  // Configuration: the finite value set and the query constants as typed
+  // seeds; no facts for R.
+  Configuration conf(&schema);
+  for (const Attribute& attr : rel.attributes) {
+    for (const Value& v : domain_values) {
+      conf.AddSeedConstant(v, attr.domain);
+    }
+  }
+  for (const TypedValue& tv : QueryConstants(q, schema)) {
+    conf.AddSeedConstant(tv.value, tv.domain);
+  }
+  for (int pos = 0; pos < t.arity(); ++pos) {
+    conf.AddSeedConstant(t.values[pos], rel.attributes[pos].domain);
+  }
+
+  // A Boolean independent access R(t)?.
+  AccessMethodSet acs(&schema);
+  std::vector<int> all_positions;
+  for (int pos = 0; pos < rel.arity(); ++pos) all_positions.push_back(pos);
+  RAR_ASSIGN_OR_RETURN(AccessMethodId m,
+                       acs.Add("critical_check", t.relation, all_positions,
+                               /*dependent=*/false));
+  Access access{m, t.values};
+  return IsLongTermRelevantIndependent(conf, acs, access, q);
+}
+
+}  // namespace rar

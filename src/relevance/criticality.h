@@ -1,0 +1,32 @@
+// Critical tuples (Miklau–Suciu) and their bridge to long-term relevance.
+//
+// Section 4 derives the Σ2P lower bound for independent LTR from the
+// critical-tuple problem: a tuple t is critical for a Boolean query Q over
+// a finite value set D iff deleting t from some instance over D changes
+// Q's truth value; and t is critical iff the Boolean access R(t)? is LTR
+// in a configuration containing only the query's constants (and the value
+// set), with no facts for R. This module implements that bridge so the
+// equivalence itself is testable.
+#ifndef RAR_RELEVANCE_CRITICALITY_H_
+#define RAR_RELEVANCE_CRITICALITY_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// Decides criticality of `t` for the single-relation Boolean query `q` by
+/// running the independent-LTR engine on the Boolean access R(t)? in a
+/// facts-free configuration seeded with `domain_values` (which must be
+/// large enough to host a minimal witness instance: |vars(q)| + constants
+/// suffices).
+Result<bool> IsCriticalViaLTR(const Schema& schema, const UnionQuery& q,
+                              const Fact& t,
+                              const std::vector<Value>& domain_values);
+
+}  // namespace rar
+
+#endif  // RAR_RELEVANCE_CRITICALITY_H_

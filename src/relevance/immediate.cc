@@ -1,0 +1,103 @@
+#include "relevance/immediate.h"
+
+#include <vector>
+
+#include "query/eval.h"
+
+namespace rar {
+
+namespace {
+
+// Backtracking search for a witnessing assignment of one disjunct: every
+// atom must be matched against Conf or against the access's virtual
+// response relation (relation == Rel(AcM), inputs == Bind).
+class IrSearch {
+ public:
+  IrSearch(const Configuration& conf, const AccessMethodSet& acs,
+           const Access& access, const ConjunctiveQuery& d)
+      : conf_(conf), acs_(acs), access_(access), d_(d),
+        method_(acs.method(access.method)),
+        assignment_(d.num_vars()), assigned_(d.num_vars(), false) {}
+
+  bool Run() { return Rec(0); }
+
+ private:
+  bool Rec(size_t atom_idx) {
+    if (atom_idx == d_.atoms.size()) return true;
+    const Atom& atom = d_.atoms[atom_idx];
+
+    // Option (a): witness the atom with a configuration fact.
+    for (const Fact& fact : conf_.FactsOf(atom.relation)) {
+      std::vector<VarId> bound;
+      if (UnifyAgainstFact(atom, fact, &bound)) {
+        if (Rec(atom_idx + 1)) return true;
+      }
+      for (VarId v : bound) assigned_[v] = false;
+    }
+
+    // Option (b): witness it with the access — relation must match and the
+    // input positions must unify with the binding; output positions are
+    // unconstrained (the response may contain anything there).
+    if (atom.relation == method_.relation) {
+      std::vector<VarId> bound;
+      bool ok = true;
+      for (int i = 0; i < method_.num_inputs() && ok; ++i) {
+        const Term& t = atom.terms[method_.input_positions[i]];
+        const Value& b = access_.binding[i];
+        if (t.is_const()) {
+          ok = (t.constant == b);
+        } else if (assigned_[t.var]) {
+          ok = (assignment_[t.var] == b);
+        } else {
+          assignment_[t.var] = b;
+          assigned_[t.var] = true;
+          bound.push_back(t.var);
+        }
+      }
+      if (ok && Rec(atom_idx + 1)) return true;
+      for (VarId v : bound) assigned_[v] = false;
+    }
+    return false;
+  }
+
+  bool UnifyAgainstFact(const Atom& atom, const Fact& fact,
+                        std::vector<VarId>* bound) {
+    for (int pos = 0; pos < atom.arity(); ++pos) {
+      const Term& t = atom.terms[pos];
+      if (t.is_const()) {
+        if (t.constant != fact.values[pos]) return false;
+      } else if (assigned_[t.var]) {
+        if (assignment_[t.var] != fact.values[pos]) return false;
+      } else {
+        assignment_[t.var] = fact.values[pos];
+        assigned_[t.var] = true;
+        bound->push_back(t.var);
+      }
+    }
+    return true;
+  }
+
+  const Configuration& conf_;
+  const AccessMethodSet& acs_;
+  const Access& access_;
+  const ConjunctiveQuery& d_;
+  const AccessMethod& method_;
+  std::vector<Value> assignment_;
+  std::vector<bool> assigned_;
+};
+
+}  // namespace
+
+bool IsImmediatelyRelevant(const Configuration& conf,
+                           const AccessMethodSet& acs, const Access& access,
+                           const UnionQuery& query) {
+  if (!CheckWellFormed(conf, acs, access).ok()) return false;
+  if (EvalBool(query, conf)) return false;  // already certain
+  for (const ConjunctiveQuery& d : query.disjuncts) {
+    IrSearch search(conf, acs, access, d);
+    if (search.Run()) return true;
+  }
+  return false;
+}
+
+}  // namespace rar

@@ -1,0 +1,175 @@
+#include "relevance/ltr_dependent.h"
+
+#include <vector>
+
+#include "query/eval.h"
+#include "query/structure.h"
+#include "transform/ltr_to_containment.h"
+#include "util/combinatorics.h"
+
+namespace rar {
+
+namespace {
+
+// A subgoal is compatible with the access when it is over the accessed
+// relation and no constant term clashes with the binding at an input
+// position (Prop 3.5: "same relation, and no mismatch of constants with
+// the binding").
+bool AtomCompatibleWithAccess(const AccessMethodSet& acs, const Access& access,
+                              const Atom& atom) {
+  const AccessMethod& m = acs.method(access.method);
+  if (atom.relation != m.relation) return false;
+  for (int i = 0; i < m.num_inputs(); ++i) {
+    const Term& t = atom.terms[m.input_positions[i]];
+    if (t.is_const() && t.constant != access.binding[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> IsLongTermRelevantDependentCQ(const Configuration& conf,
+                                           const AccessMethodSet& acs,
+                                           const Access& access,
+                                           const ConjunctiveQuery& query,
+                                           const ContainmentOptions& options) {
+  if (!CheckWellFormed(conf, acs, access).ok()) return false;
+  if (!query.IsBoolean()) {
+    return Status::InvalidArgument("Prop 3.5 algorithm needs a Boolean CQ");
+  }
+
+  std::vector<int> q1;  // compatible subgoals
+  std::vector<int> q2;  // the rest
+  for (int i = 0; i < query.num_atoms(); ++i) {
+    (AtomCompatibleWithAccess(acs, access, query.atoms[i]) ? q1 : q2)
+        .push_back(i);
+  }
+  if (q1.size() > 20) {
+    return Status::InvalidArgument(
+        "too many compatible subgoals (2^k guesses)");
+  }
+
+  ContainmentEngine engine(*acs.schema(), acs);
+  Status oracle_error = Status::OK();
+  bool relevant = ForEachSubset(
+      static_cast<int>(q1.size()), [&](uint64_t mask) {
+        if (mask + 1 == (uint64_t{1} << q1.size())) return false;  // Q'1 = Q1
+        // Build Q'1 ∧ Q2 while keeping the original variable identities
+        // (SubqueryOf re-indexes but preserves join structure).
+        std::vector<int> kept = q2;
+        for (size_t j = 0; j < q1.size(); ++j) {
+          if (mask & (uint64_t{1} << j)) kept.push_back(q1[j]);
+        }
+        ConjunctiveQuery candidate = SubqueryOf(query, kept);
+        Status vs = candidate.Validate(*acs.schema());
+        if (!vs.ok()) {
+          oracle_error = vs;
+          return true;  // abort enumeration
+        }
+        auto decision = engine.Contained(candidate, query, conf, options);
+        if (!decision.ok()) {
+          oracle_error = decision.status();
+          return true;  // abort enumeration
+        }
+        return !decision->contained;  // some guess refutes containment: LTR
+      });
+  RAR_RETURN_NOT_OK(oracle_error);
+  return relevant;
+}
+
+Result<bool> IsLongTermRelevantDependentUCQ(
+    const Configuration& conf, const AccessMethodSet& acs,
+    const Access& access, const UnionQuery& query,
+    const ContainmentOptions& options) {
+  if (!CheckWellFormed(conf, acs, access).ok()) return false;
+  RAR_ASSIGN_OR_RETURN(
+      LtrToContainmentInstance instance,
+      BuildLtrToContainment(*acs.schema(), acs, conf, access, query));
+  ContainmentEngine engine(*instance.schema, instance.acs);
+  RAR_ASSIGN_OR_RETURN(ContainmentDecision decision,
+                       engine.Contained(instance.q_rewritten,
+                                        instance.q_original, instance.conf,
+                                        options));
+  return !decision.contained;
+}
+
+Result<bool> IsLongTermRelevantDependentGeneral(
+    const Configuration& conf, const AccessMethodSet& acs,
+    const Access& access, const UnionQuery& query,
+    const ContainmentOptions& options) {
+  if (!CheckWellFormed(conf, acs, access).ok()) return false;
+  if (acs.IsBoolean(access.method)) {
+    if (query.disjuncts.size() == 1) {
+      return IsLongTermRelevantDependentCQ(conf, acs, access,
+                                           query.disjuncts[0], options);
+    }
+    return IsLongTermRelevantDependentUCQ(conf, acs, access, query, options);
+  }
+  const Schema& schema = *acs.schema();
+  if (EvalBool(query, conf)) return false;  // certain: nothing is relevant
+
+  // A generic response tuple: binding on inputs, fresh nulls on outputs.
+  const AccessMethod& m = acs.method(access.method);
+  const Relation& rel = schema.relation(m.relation);
+  NullFactory nulls;
+  Fact generic;
+  generic.relation = m.relation;
+  generic.values.resize(rel.arity());
+  std::vector<DomainId> output_domains;
+  {
+    int next_input = 0;
+    for (int pos = 0; pos < rel.arity(); ++pos) {
+      if (next_input < m.num_inputs() &&
+          m.input_positions[next_input] == pos) {
+        generic.values[pos] = access.binding[next_input];
+        ++next_input;
+      } else {
+        generic.values[pos] = nulls.Fresh();
+        output_domains.push_back(rel.attributes[pos].domain);
+      }
+    }
+  }
+  Configuration conf_plus = conf;
+  conf_plus.AddFact(generic);
+
+  // (b) the truncation cut: some dependent method can consume a fresh
+  // output value (every other input slot fillable from conf_plus).
+  bool can_cut = false;
+  for (AccessMethodId mid = 0; mid < acs.size() && !can_cut; ++mid) {
+    const AccessMethod& m2 = acs.method(mid);
+    if (!m2.dependent) continue;
+    const Relation& rel2 = schema.relation(m2.relation);
+    for (int slot : m2.input_positions) {
+      DomainId slot_dom = rel2.attributes[slot].domain;
+      bool consumes_output = false;
+      for (DomainId od : output_domains) consumes_output |= (od == slot_dom);
+      if (!consumes_output) continue;
+      bool others_fillable = true;
+      for (int other : m2.input_positions) {
+        if (other == slot) continue;
+        if (conf_plus.AdomOfDomain(rel2.attributes[other].domain).empty()) {
+          others_fillable = false;
+          break;
+        }
+      }
+      if (others_fillable) {
+        can_cut = true;
+        break;
+      }
+    }
+  }
+
+  // (c) achievability of the query from conf + the generic response.
+  ContainmentEngine engine(schema, acs);
+  RAR_ASSIGN_OR_RETURN(ContainmentDecision achievable,
+                       engine.Achievable(query, conf_plus, options));
+  if (achievable.contained) return false;  // no reachable config satisfies Q
+  if (can_cut) return true;
+  return Status::FailedPrecondition(
+      "general-access LTR undecided: the query is achievable but no "
+      "dependent method can consume any output domain of the access (the "
+      "truncation cannot be cut); outside both the paper's Boolean scope "
+      "and the cut extension");
+}
+
+}  // namespace rar

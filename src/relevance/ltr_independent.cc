@@ -1,0 +1,149 @@
+#include "relevance/ltr_independent.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "query/eval.h"
+#include "query/structure.h"
+
+namespace rar {
+
+namespace {
+
+// Enumerates canonical assignments for one disjunct and applies the
+// partition check. Candidates per variable: typed active-domain values,
+// binding values whose input-attribute domain matches, and one private
+// fresh null (freshest is canonical; sharing nulls between variables never
+// helps the truncation check and never changes group assignment).
+class LtrIndepSearch {
+ public:
+  LtrIndepSearch(const Configuration& conf, const AccessMethodSet& acs,
+                 const Access& access, const ConjunctiveQuery& d,
+                 const UnionQuery& full_query)
+      : conf_(conf), acs_(acs), access_(access), d_(d),
+        full_query_(full_query), method_(acs.method(access.method)),
+        assignment_(d.num_vars()) {}
+
+  bool Run() { return Enum(0); }
+
+ private:
+  bool Enum(int v) {
+    if (v == d_.num_vars()) return CheckPartition();
+    if (!d_.VarOccurs(v)) {
+      assignment_[v] = nulls_.Fresh();
+      return Enum(v + 1);
+    }
+    DomainId dom = d_.var_domains[v];
+    for (const Value& val : conf_.AdomOfDomain(dom)) {
+      assignment_[v] = val;
+      if (Enum(v + 1)) return true;
+    }
+    // Binding values typed by their input attribute (they may lie outside
+    // the active domain: independent accesses can guess new constants).
+    const Relation& rel = acs_.schema()->relation(method_.relation);
+    std::unordered_set<uint64_t> seen;
+    for (int i = 0; i < method_.num_inputs(); ++i) {
+      const Value& b = access_.binding[i];
+      if (rel.attributes[method_.input_positions[i]].domain != dom) continue;
+      if (conf_.AdomContains(b, dom)) continue;  // already tried above
+      if (!seen.insert(b.Packed()).second) continue;
+      assignment_[v] = b;
+      if (Enum(v + 1)) return true;
+    }
+    assignment_[v] = nulls_.Fresh();
+    return Enum(v + 1);
+  }
+
+  bool CheckPartition() {
+    // Group the grounded subgoals; the truncation configuration collects
+    // the later-witnessed facts.
+    Configuration truncation = conf_;
+    std::vector<Fact> facts = GroundAtoms(d_, assignment_);
+    for (int i = 0; i < d_.num_atoms(); ++i) {
+      const Fact& f = facts[i];
+      if (conf_.Contains(f)) continue;  // Conf-witnessed
+      if (FactMatchesAccess(acs_, access_, f)) continue;  // first access
+      if (!acs_.HasMethod(f.relation)) return false;  // never witnessable
+      truncation.AddFact(f);  // witnessed by a later access
+    }
+    // Witness iff the full query fails after the truncated path.
+    return !EvalBool(full_query_, truncation);
+  }
+
+  const Configuration& conf_;
+  const AccessMethodSet& acs_;
+  const Access& access_;
+  const ConjunctiveQuery& d_;
+  const UnionQuery& full_query_;
+  const AccessMethod& method_;
+  std::vector<Value> assignment_;
+  NullFactory nulls_;
+};
+
+}  // namespace
+
+bool IsLongTermRelevantIndependent(const Configuration& conf,
+                                   const AccessMethodSet& acs,
+                                   const Access& access,
+                                   const UnionQuery& query) {
+  if (!CheckWellFormed(conf, acs, access).ok()) return false;
+  for (const ConjunctiveQuery& d : query.disjuncts) {
+    LtrIndepSearch search(conf, acs, access, d, query);
+    if (search.Run()) return true;
+  }
+  return false;
+}
+
+std::optional<bool> LtrSingleOccurrenceFastPath(
+    const Configuration& conf, const AccessMethodSet& acs,
+    const Access& access, const ConjunctiveQuery& query) {
+  const AccessMethod& m = acs.method(access.method);
+  if (RelationOccurrences(query, m.relation) != 1) return std::nullopt;
+  for (const Atom& atom : query.atoms) {
+    if (!acs.HasMethod(atom.relation)) return std::nullopt;
+  }
+
+  // Unify the accessed subgoal with the binding (the mapping h of the
+  // paper; it is unique when it exists).
+  int r_atom = -1;
+  for (int i = 0; i < query.num_atoms(); ++i) {
+    if (query.atoms[i].relation == m.relation) r_atom = i;
+  }
+  const Atom& atom = query.atoms[r_atom];
+  std::vector<std::optional<Value>> binding(query.num_vars());
+  for (int i = 0; i < m.num_inputs(); ++i) {
+    const Term& t = atom.terms[m.input_positions[i]];
+    const Value& b = access.binding[i];
+    if (t.is_const()) {
+      if (t.constant != b) return false;  // conflicting constant: not LTR
+    } else if (binding[t.var].has_value()) {
+      if (*binding[t.var] != b) return false;
+    } else {
+      binding[t.var] = b;
+    }
+  }
+
+  // Canonical (maximally fresh) assignment: unifier values where forced,
+  // private fresh nulls elsewhere. Freshness dominates: any coarser
+  // assignment's truncation configuration receives a homomorphic image of
+  // the fresh one, so the fresh candidate decides LTR alone.
+  NullFactory nulls;
+  std::vector<Value> assignment(query.num_vars());
+  for (int v = 0; v < query.num_vars(); ++v) {
+    assignment[v] = binding[v].has_value() ? *binding[v] : nulls.Fresh();
+  }
+  std::vector<Fact> grounded = GroundAtoms(query, assignment);
+
+  // A first access returning an already-known fact changes nothing.
+  if (conf.Contains(grounded[r_atom])) return false;
+
+  // The truncation configuration: Conf plus every later-witnessed subgoal.
+  Configuration truncation = conf;
+  for (int i = 0; i < query.num_atoms(); ++i) {
+    if (i == r_atom) continue;
+    truncation.AddFact(grounded[i]);
+  }
+  return !EvalBool(query, truncation);
+}
+
+}  // namespace rar

@@ -1,0 +1,56 @@
+// Long-term relevance for independent access methods (Section 4).
+//
+// General engine (proof of Prop 4.5, Σ2P): for each DNF disjunct, guess a
+// canonical assignment of its variables into the typed active domain, the
+// binding values, or private fresh nulls; partition the subgoals into
+// Conf-witnessed / first-access-compatible / witnessed-later; accept iff
+// every later subgoal is over an accessible relation and the *whole* query
+// is false on Conf plus the later facts (the truncation's configuration).
+// Maximal freshness is canonical: a fresher assignment maps homomorphically
+// into any coarser one, so it can only make the truncation check easier.
+//
+// Fast path (Prop 4.3, coNP): when the query is conjunctive, the accessed
+// relation occurs exactly once and every query relation is accessible, LTR
+// reduces to a single evaluation: unify the accessed subgoal with the
+// binding (no unifier -> not relevant), ground every *other* subgoal
+// maximally fresh, and answer "relevant" iff the query is false on Conf
+// plus those fresh facts (the canonical truncation configuration).
+//
+// Reproduction note: this refines the component-removal algorithm stated
+// in the paper's Prop 4.3. The literal component test has false positives
+// on queries where a *different* homomorphism can re-satisfy the query on
+// the truncation using configuration facts for the accessed relation
+// (e.g. Q = R(X,Y) & S(Z), Conf = {R(a,b)}, access R(b,?)). A freshness-
+// dominance argument shows the single maximally-fresh candidate decides
+// LTR exactly under the proposition's accessibility hypothesis; the
+// brute-force reference tests pin this behaviour down (see DESIGN.md).
+#ifndef RAR_RELEVANCE_LTR_INDEPENDENT_H_
+#define RAR_RELEVANCE_LTR_INDEPENDENT_H_
+
+#include <optional>
+
+#include "access/access_method.h"
+#include "query/query.h"
+#include "relational/configuration.h"
+
+namespace rar {
+
+/// Decides LTR for an independent-access setting (every method of `acs`
+/// must be independent; verified by the caller or dispatcher).
+bool IsLongTermRelevantIndependent(const Configuration& conf,
+                                   const AccessMethodSet& acs,
+                                   const Access& access,
+                                   const UnionQuery& query);
+
+/// The Prop 4.3 fast path. Returns nullopt when not applicable (relation
+/// occurs more than once, or some query relation lacks a method — the
+/// proposition's implicit accessibility hypothesis). Exposed separately so
+/// tests and the ablation bench can compare it against the general engine.
+std::optional<bool> LtrSingleOccurrenceFastPath(const Configuration& conf,
+                                                const AccessMethodSet& acs,
+                                                const Access& access,
+                                                const ConjunctiveQuery& query);
+
+}  // namespace rar
+
+#endif  // RAR_RELEVANCE_LTR_INDEPENDENT_H_

@@ -1,0 +1,131 @@
+#include "relevance/relevance.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/combinatorics.h"
+
+namespace rar {
+
+Result<bool> RelevanceAnalyzer::LongTerm(const Configuration& conf,
+                                         const Access& access,
+                                         const UnionQuery& query,
+                                         const RelevanceOptions& options) const {
+  if (!query.IsBoolean()) {
+    return Status::InvalidArgument(
+        "LongTerm expects a Boolean query; use LongTermKAry");
+  }
+  if (acs_.AllIndependent()) {
+    if (options.use_fast_paths && query.disjuncts.size() == 1) {
+      std::optional<bool> fast = LtrSingleOccurrenceFastPath(
+          conf, acs_, access, query.disjuncts[0]);
+      if (fast.has_value()) return *fast;
+    }
+    return IsLongTermRelevantIndependent(conf, acs_, access, query);
+  }
+  // Boolean accesses take the paper's Prop 3.5 / 3.4 route; accesses with
+  // output attributes take the truncation-cut extension (exact except for
+  // the achievable-but-uncuttable corner, which reports an error).
+  return IsLongTermRelevantDependentGeneral(conf, acs_, access, query,
+                                            options.containment);
+}
+
+namespace {
+
+// Prop 2.2 head instantiation: enumerate head tuples over the typed active
+// domain plus k fresh constants per head domain, and hand each Boolean
+// instantiation to `decide`.
+Result<bool> ForEachHeadInstantiation(
+    const Schema& schema, const Configuration& conf, const UnionQuery& query,
+    const std::function<Result<bool>(const UnionQuery&,
+                                     const Configuration&)>& decide) {
+  if (query.disjuncts.empty()) {
+    return Status::InvalidArgument("empty union query");
+  }
+  const size_t k = query.disjuncts[0].head.size();
+  if (k == 0) return decide(query, conf);
+
+  // Head domains must agree across disjuncts (same output schema).
+  std::vector<DomainId> head_domains;
+  for (VarId h : query.disjuncts[0].head) {
+    head_domains.push_back(query.disjuncts[0].var_domains[h]);
+  }
+  for (const ConjunctiveQuery& d : query.disjuncts) {
+    if (d.head.size() != k) {
+      return Status::InvalidArgument("disjuncts disagree on head arity");
+    }
+    for (size_t i = 0; i < k; ++i) {
+      if (d.var_domains[d.head[i]] != head_domains[i]) {
+        return Status::InvalidArgument(
+            "disjuncts disagree on head output domains");
+      }
+    }
+  }
+
+  // Mint k fresh constants per head domain (enough for every repetition
+  // pattern of the paper's c_k tuple) and seed them.
+  Configuration seeded = conf;
+  std::unordered_map<DomainId, std::vector<Value>> fresh_by_domain;
+  for (DomainId dom : head_domains) {
+    auto& fresh = fresh_by_domain[dom];
+    while (fresh.size() < k) {
+      Value c = schema.MintFreshConstant("ck_" + schema.domain_name(dom));
+      seeded.AddSeedConstant(c, dom);
+      fresh.push_back(c);
+    }
+  }
+
+  // Candidate values per head position.
+  std::vector<std::vector<Value>> candidates(k);
+  std::vector<int> sizes(k);
+  for (size_t i = 0; i < k; ++i) {
+    candidates[i] = seeded.AdomOfDomain(head_domains[i]);
+    sizes[i] = static_cast<int>(candidates[i].size());
+  }
+
+  Status inner_error = Status::OK();
+  bool relevant = ForEachProduct(sizes, [&](const std::vector<int>& choice) {
+    UnionQuery boolean_q;
+    for (const ConjunctiveQuery& d : query.disjuncts) {
+      std::vector<std::optional<Value>> binding(d.num_vars());
+      for (size_t i = 0; i < k; ++i) {
+        binding[d.head[i]] = candidates[i][choice[i]];
+      }
+      ConjunctiveQuery inst = Specialize(d, binding);
+      inst.head.clear();
+      boolean_q.disjuncts.push_back(std::move(inst));
+    }
+    Result<bool> r = decide(boolean_q, seeded);
+    if (!r.ok()) {
+      inner_error = r.status();
+      return true;  // abort enumeration
+    }
+    return *r;
+  });
+  RAR_RETURN_NOT_OK(inner_error);
+  return relevant;
+}
+
+}  // namespace
+
+Result<bool> RelevanceAnalyzer::ImmediateKAry(const Configuration& conf,
+                                              const Access& access,
+                                              const UnionQuery& query) const {
+  return ForEachHeadInstantiation(
+      schema_, conf, query,
+      [&](const UnionQuery& q, const Configuration& c) -> Result<bool> {
+        return IsImmediatelyRelevant(c, acs_, access, q);
+      });
+}
+
+Result<bool> RelevanceAnalyzer::LongTermKAry(
+    const Configuration& conf, const Access& access, const UnionQuery& query,
+    const RelevanceOptions& options) const {
+  return ForEachHeadInstantiation(
+      schema_, conf, query,
+      [&](const UnionQuery& q, const Configuration& c) -> Result<bool> {
+        return LongTerm(c, access, q, options);
+      });
+}
+
+}  // namespace rar

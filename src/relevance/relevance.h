@@ -1,0 +1,64 @@
+// Top-level relevance facade: dispatching, k-ary reduction (Prop 2.2).
+//
+// `RelevanceAnalyzer` is the public entry point a query mediator uses:
+// it decides IR and LTR for Boolean queries, dispatching LTR to the
+// independent-case Σ2P engine (with the Prop 4.3 fast path) or to the
+// dependent-case containment-backed engines, and lifts k-ary queries to
+// the Boolean case by instantiating head tuples over the active domain
+// plus fresh constants (Prop 2.2).
+#ifndef RAR_RELEVANCE_RELEVANCE_H_
+#define RAR_RELEVANCE_RELEVANCE_H_
+
+#include "containment/access_containment.h"
+#include "relevance/immediate.h"
+#include "relevance/ltr_dependent.h"
+#include "relevance/ltr_independent.h"
+
+namespace rar {
+
+/// Options for the LTR deciders (the dependent case delegates to the
+/// containment witness search).
+struct RelevanceOptions {
+  ContainmentOptions containment;
+  /// Use the Prop 4.3 single-occurrence fast path when applicable.
+  bool use_fast_paths = true;
+};
+
+/// \brief Facade bundling the relevance deciders of Sections 4 and 5.
+class RelevanceAnalyzer {
+ public:
+  RelevanceAnalyzer(const Schema& schema, const AccessMethodSet& acs)
+      : schema_(schema), acs_(acs) {}
+
+  /// Immediate relevance of a Boolean query (Prop 4.1; same procedure for
+  /// dependent and independent methods).
+  bool Immediate(const Configuration& conf, const Access& access,
+                 const UnionQuery& query) const {
+    return IsImmediatelyRelevant(conf, acs_, access, query);
+  }
+
+  /// Long-term relevance of a Boolean query. Dispatch: all methods
+  /// independent -> Σ2P engine (Prop 4.5), with the Prop 4.3 fast path for
+  /// single-occurrence CQs; otherwise the containment-backed engines
+  /// (Prop 3.5 for CQs, Prop 3.4 for UCQs).
+  Result<bool> LongTerm(const Configuration& conf, const Access& access,
+                        const UnionQuery& query,
+                        const RelevanceOptions& options = {}) const;
+
+  /// Prop 2.2: k-ary immediate relevance via head instantiation.
+  Result<bool> ImmediateKAry(const Configuration& conf, const Access& access,
+                             const UnionQuery& query) const;
+
+  /// Prop 2.2: k-ary long-term relevance via head instantiation.
+  Result<bool> LongTermKAry(const Configuration& conf, const Access& access,
+                            const UnionQuery& query,
+                            const RelevanceOptions& options = {}) const;
+
+ private:
+  const Schema& schema_;
+  const AccessMethodSet& acs_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_RELEVANCE_RELEVANCE_H_

@@ -1,0 +1,172 @@
+#include "sim/deep_web.h"
+
+#include <utility>
+
+#include "query/eval.h"
+
+namespace rar {
+
+Result<std::vector<Fact>> DeepWebSource::Execute(const Configuration& conf,
+                                                 const Access& access,
+                                                 const ResponsePolicy& policy) {
+  RAR_RETURN_NOT_OK(CheckWellFormed(conf, *acs_, access));
+  ++accesses_served_;
+  const AccessMethod& m = acs_->method(access.method);
+
+  std::vector<Fact> matching;
+  for (const Fact& f : hidden_.FactsOf(m.relation)) {
+    if (FactMatchesAccess(*acs_, access, f)) matching.push_back(f);
+  }
+  switch (policy.kind) {
+    case ResponsePolicy::Kind::kExact:
+      return matching;
+    case ResponsePolicy::Kind::kCapped: {
+      if (static_cast<int>(matching.size()) > policy.cap) {
+        matching.resize(policy.cap);
+      }
+      return matching;
+    }
+    case ResponsePolicy::Kind::kRandomSubset: {
+      std::vector<Fact> kept;
+      for (Fact& f : matching) {
+        if (rng_.Chance(policy.keep_prob)) kept.push_back(std::move(f));
+      }
+      return kept;
+    }
+  }
+  return matching;
+}
+
+std::vector<Access> Mediator::CandidateAccesses(
+    const Configuration& conf,
+    const std::set<std::pair<AccessMethodId, std::vector<Value>>>& done) {
+  std::vector<Access> out;
+  for (AccessMethodId mid = 0; mid < acs_.size(); ++mid) {
+    const AccessMethod& m = acs_.method(mid);
+    const Relation& rel = schema_.relation(m.relation);
+    // Enumerate bindings over the typed active domain (for independent
+    // methods the mediator also only guesses known values — inventing
+    // arbitrary constants is pointless against a real source).
+    std::vector<std::vector<Value>> slots;
+    bool feasible = true;
+    for (int pos : m.input_positions) {
+      slots.push_back(conf.AdomOfDomain(rel.attributes[pos].domain));
+      if (slots.back().empty()) feasible = false;
+    }
+    if (!feasible) continue;
+    std::vector<int> idx(slots.size(), 0);
+    while (true) {
+      Access access;
+      access.method = mid;
+      for (size_t i = 0; i < slots.size(); ++i) {
+        access.binding.push_back(slots[i][idx[i]]);
+      }
+      if (!done.count({mid, access.binding})) out.push_back(access);
+      int i = static_cast<int>(slots.size()) - 1;
+      while (i >= 0 && ++idx[i] == static_cast<int>(slots[i].size())) {
+        idx[i] = 0;
+        --i;
+      }
+      if (i < 0) break;  // free accesses yield exactly one candidate
+    }
+  }
+  return out;
+}
+
+Result<MediationOutcome> Mediator::AnswerBoolean(
+    const UnionQuery& query, const Configuration& initial,
+    DeepWebSource* source, const MediatorOptions& options) {
+  MediationOutcome outcome;
+  outcome.final_conf = initial;
+  RelevanceAnalyzer analyzer(schema_, acs_);
+  std::set<std::pair<AccessMethodId, std::vector<Value>>> done;
+
+  for (outcome.rounds = 0; outcome.rounds < options.max_rounds;
+       ++outcome.rounds) {
+    if (IsCertain(query, outcome.final_conf)) {
+      outcome.answered = true;
+      return outcome;
+    }
+    std::vector<Access> candidates =
+        CandidateAccesses(outcome.final_conf, done);
+    outcome.accesses_considered +=
+        static_cast<long>(candidates.size());
+
+    // Pick an immediately relevant access; else a long-term relevant one.
+    const Access* chosen = nullptr;
+    std::string reason;
+    if (options.use_immediate) {
+      for (const Access& a : candidates) {
+        ++outcome.relevance_checks;
+        if (analyzer.Immediate(outcome.final_conf, a, query)) {
+          chosen = &a;
+          reason = "IR";
+          break;
+        }
+      }
+    }
+    if (chosen == nullptr && options.use_long_term) {
+      for (const Access& a : candidates) {
+        ++outcome.relevance_checks;
+        Result<bool> ltr =
+            analyzer.LongTerm(outcome.final_conf, a, query,
+                              options.relevance);
+        bool relevant = ltr.ok() ? *ltr : options.conservative_on_unknown;
+        if (relevant) {
+          chosen = &a;
+          reason = ltr.ok() ? "LTR" : "unknown->conservative";
+          break;
+        }
+      }
+    }
+    if (chosen == nullptr) return outcome;  // nothing relevant: give up
+
+    RAR_ASSIGN_OR_RETURN(
+        std::vector<Fact> response,
+        source->Execute(outcome.final_conf, *chosen, options.policy));
+    done.insert({chosen->method, chosen->binding});
+    ++outcome.accesses_performed;
+    if (options.verbose_log) {
+      outcome.log.push_back(reason + ": " +
+                            chosen->ToString(schema_, acs_) + " -> " +
+                            std::to_string(response.size()) + " tuple(s)");
+    }
+    for (const Fact& f : response) outcome.final_conf.AddFact(f);
+  }
+  return outcome;
+}
+
+Result<MediationOutcome> Mediator::ExhaustiveCrawl(
+    const UnionQuery& query, const Configuration& initial,
+    DeepWebSource* source, const MediatorOptions& options) {
+  MediationOutcome outcome;
+  outcome.final_conf = initial;
+  std::set<std::pair<AccessMethodId, std::vector<Value>>> done;
+
+  for (outcome.rounds = 0; outcome.rounds < options.max_rounds;
+       ++outcome.rounds) {
+    if (IsCertain(query, outcome.final_conf)) {
+      outcome.answered = true;
+      return outcome;
+    }
+    std::vector<Access> candidates =
+        CandidateAccesses(outcome.final_conf, done);
+    if (candidates.empty()) return outcome;  // crawl fixpoint
+    outcome.accesses_considered += static_cast<long>(candidates.size());
+    for (const Access& a : candidates) {
+      RAR_ASSIGN_OR_RETURN(
+          std::vector<Fact> response,
+          source->Execute(outcome.final_conf, a, options.policy));
+      done.insert({a.method, a.binding});
+      ++outcome.accesses_performed;
+      for (const Fact& f : response) outcome.final_conf.AddFact(f);
+      if (IsCertain(query, outcome.final_conf)) {
+        outcome.answered = true;
+        return outcome;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace rar

@@ -1,0 +1,117 @@
+// A deep-Web source simulator and a relevance-guided query mediator.
+//
+// The paper's model assumes sources are *sound but not exact*: an access
+// may return any subset of the matching tuples, possibly a different one
+// each time. `DeepWebSource` implements exactly that against a hidden
+// instance. `Mediator` runs the dynamic query-answering loop the paper
+// motivates: at each configuration it performs only accesses that are
+// relevant (immediately, or long-term), versus the exhaustive Li-style
+// crawl that performs every well-formed access — the comparison the
+// Section 7 discussion draws ("no check is made for the relevance of an
+// access").
+#ifndef RAR_SIM_DEEP_WEB_H_
+#define RAR_SIM_DEEP_WEB_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "access/access_method.h"
+#include "relational/configuration.h"
+#include "relevance/relevance.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief Sound response behaviour of a simulated source.
+struct ResponsePolicy {
+  enum class Kind {
+    kExact,        ///< return every matching tuple
+    kCapped,       ///< return at most `cap` matching tuples
+    kRandomSubset  ///< keep each matching tuple with probability keep_prob
+  };
+  Kind kind = Kind::kExact;
+  int cap = 1;
+  double keep_prob = 0.5;
+};
+
+/// \brief A simulated deep-Web source: hidden instance + access methods.
+class DeepWebSource {
+ public:
+  DeepWebSource(const Schema* schema, const AccessMethodSet* acs,
+                Configuration hidden, uint64_t seed = 7)
+      : schema_(schema), acs_(acs), hidden_(std::move(hidden)), rng_(seed) {}
+
+  /// Executes a well-formed access and returns a sound response.
+  Result<std::vector<Fact>> Execute(const Configuration& conf,
+                                    const Access& access,
+                                    const ResponsePolicy& policy = {});
+
+  long accesses_served() const { return accesses_served_; }
+  const Configuration& hidden() const { return hidden_; }
+
+ private:
+  const Schema* schema_;
+  const AccessMethodSet* acs_;
+  Configuration hidden_;
+  Rng rng_;
+  long accesses_served_ = 0;
+};
+
+/// \brief Outcome of a mediation run.
+struct MediationOutcome {
+  bool answered = false;          ///< the query became certain
+  long accesses_performed = 0;    ///< accesses actually executed
+  long accesses_considered = 0;   ///< candidate accesses examined
+  long relevance_checks = 0;      ///< IR/LTR decisions made
+  int rounds = 0;
+  Configuration final_conf;
+  std::vector<std::string> log;   ///< human-readable trace
+};
+
+/// \brief Strategy options for the mediator.
+struct MediatorOptions {
+  bool use_immediate = true;   ///< prefer IR accesses
+  bool use_long_term = true;   ///< fall back to LTR accesses
+  /// When the LTR decider is out of its paper-backed scope (non-Boolean
+  /// dependent access), treat the access as relevant (conservative).
+  bool conservative_on_unknown = true;
+  int max_rounds = 64;
+  bool verbose_log = false;
+  RelevanceOptions relevance;
+  ResponsePolicy policy;
+};
+
+/// \brief Dynamic query answering driven by relevance analysis.
+class Mediator {
+ public:
+  Mediator(const Schema& schema, const AccessMethodSet& acs)
+      : schema_(schema), acs_(acs) {}
+
+  /// Runs the relevance-guided loop for a Boolean query.
+  Result<MediationOutcome> AnswerBoolean(const UnionQuery& query,
+                                         const Configuration& initial,
+                                         DeepWebSource* source,
+                                         const MediatorOptions& options = {});
+
+  /// Baseline: performs every well-formed access (no relevance filter)
+  /// until the query is certain or a fixpoint is reached.
+  Result<MediationOutcome> ExhaustiveCrawl(const UnionQuery& query,
+                                           const Configuration& initial,
+                                           DeepWebSource* source,
+                                           const MediatorOptions& options = {});
+
+ private:
+  /// Enumerates well-formed accesses at `conf` not yet in `done`.
+  std::vector<Access> CandidateAccesses(
+      const Configuration& conf,
+      const std::set<std::pair<AccessMethodId, std::vector<Value>>>& done);
+
+  const Schema& schema_;
+  const AccessMethodSet& acs_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_SIM_DEEP_WEB_H_

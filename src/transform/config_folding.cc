@@ -1,0 +1,41 @@
+#include "transform/config_folding.h"
+
+namespace rar {
+
+Result<FoldedContainment> FoldConfigurationIntoQuery(
+    const Schema& schema, const AccessMethodSet& acs,
+    const Configuration& conf, const UnionQuery& q1) {
+  FoldedContainment out;
+  std::vector<Fact> facts = conf.AllFacts();
+  for (const Fact& f : facts) {
+    if (!acs.HasMethod(f.relation)) {
+      return Status::InvalidArgument(
+          "folding requires every fact-bearing relation to have an access "
+          "method (relation " + schema.relation(f.relation).name + ")");
+    }
+    if (!f.IsGroundConstant()) {
+      return Status::InvalidArgument("configuration facts must be ground");
+    }
+  }
+
+  out.conf = Configuration(&schema);
+  for (const TypedValue& tv : conf.AdomEntries()) {
+    out.conf.AddSeedConstant(tv.value, tv.domain);
+  }
+
+  out.q1 = q1;
+  for (ConjunctiveQuery& d : out.q1.disjuncts) {
+    for (const Fact& f : facts) {
+      Atom atom;
+      atom.relation = f.relation;
+      for (const Value& v : f.values) {
+        atom.terms.push_back(Term::MakeConst(v));
+      }
+      d.atoms.push_back(std::move(atom));
+    }
+    RAR_RETURN_NOT_OK(d.Validate(schema));
+  }
+  return out;
+}
+
+}  // namespace rar

@@ -1,0 +1,37 @@
+// Proposition 3.6 (the config-containment -> CM-containment direction):
+// "the reduction the other way requires us to code the configuration in
+// the contained query".
+//
+// Calì–Martinenghi containment starts from a set of *constants* rather
+// than a configuration of ground facts. Folding replaces the configuration
+// by (a) a facts-free configuration carrying the same typed constants as
+// seeds and (b) the contained query conjoined with C, the conjunction of
+// all ground facts:  Q1 ⊑_{ACS,Conf} Q2  iff  (Q1 ∧ C) ⊑_{ACS,seeds} Q2.
+//
+// Scope: every relation holding configuration facts must have an access
+// method (the paper removes method-less relations with a separate monadic
+// projection device; see DESIGN.md). Folding fails with InvalidArgument
+// otherwise.
+#ifndef RAR_TRANSFORM_CONFIG_FOLDING_H_
+#define RAR_TRANSFORM_CONFIG_FOLDING_H_
+
+#include "access/access_method.h"
+#include "query/query.h"
+#include "relational/configuration.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief A folded containment instance (same schema and methods).
+struct FoldedContainment {
+  Configuration conf;  ///< facts-free; original active domain as seeds
+  UnionQuery q1;       ///< every disjunct conjoined with C
+};
+
+Result<FoldedContainment> FoldConfigurationIntoQuery(
+    const Schema& schema, const AccessMethodSet& acs,
+    const Configuration& conf, const UnionQuery& q1);
+
+}  // namespace rar
+
+#endif  // RAR_TRANSFORM_CONFIG_FOLDING_H_

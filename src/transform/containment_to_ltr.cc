@@ -1,0 +1,191 @@
+#include "transform/containment_to_ltr.h"
+
+#include <string>
+
+#include "transform/schema_tools.h"
+
+namespace rar {
+
+namespace {
+
+// Appends `src`'s atoms to `dst`, remapping src variables into dst's table
+// (fresh names to avoid collisions). Returns the variable remap.
+std::vector<VarId> MergeInto(ConjunctiveQuery* dst,
+                             const ConjunctiveQuery& src,
+                             const std::string& suffix) {
+  std::vector<VarId> remap(src.num_vars());
+  for (int v = 0; v < src.num_vars(); ++v) {
+    remap[v] = dst->AddVar(src.var_names[v] + suffix, src.var_domains[v]);
+  }
+  for (const Atom& atom : src.atoms) {
+    Atom copy = atom;
+    for (Term& t : copy.terms) {
+      if (t.is_var()) t.var = remap[t.var];
+    }
+    dst->atoms.push_back(std::move(copy));
+  }
+  return remap;
+}
+
+}  // namespace
+
+Result<ContainmentToLtrInstance> BuildContainmentToLtrPQ(
+    const Schema& schema, const AccessMethodSet& acs,
+    const Configuration& conf, const UnionQuery& q1, const UnionQuery& q2) {
+  if (!q1.IsBoolean() || !q2.IsBoolean()) {
+    return Status::InvalidArgument("Prop 3.3 needs Boolean queries");
+  }
+  ContainmentToLtrInstance out;
+  out.schema = std::make_shared<Schema>(schema);
+  DomainId da = out.schema->AddDomain("DomA_p33");
+  RAR_ASSIGN_OR_RETURN(RelationId a_rel,
+                       out.schema->AddRelation("A_p33",
+                                               std::vector<DomainId>{da}));
+  RAR_ASSIGN_OR_RETURN(out.acs, RebindMethods(*out.schema, acs));
+  RAR_ASSIGN_OR_RETURN(AccessMethodId a_method,
+                       out.acs.Add("a_check_p33", a_rel, {0},
+                                   /*dependent=*/true));
+
+  Value c = out.schema->MintFreshConstant("c_p33");
+  out.conf = Configuration(out.schema.get());
+  out.conf.UnionWith(conf);
+  out.conf.AddSeedConstant(c, da);
+  out.access = Access{a_method, {c}};
+
+  // Q' = ((∃x A(x)) ∨ Q2) ∧ Q1, expanded to a UCQ.
+  for (const ConjunctiveQuery& d1 : q1.disjuncts) {
+    {
+      ConjunctiveQuery merged;
+      VarId x = merged.AddVar("XA_p33", da);
+      merged.atoms.push_back(Atom{a_rel, {Term::MakeVar(x)}});
+      MergeInto(&merged, d1, "_q1");
+      RAR_RETURN_NOT_OK(merged.Validate(*out.schema));
+      out.query.disjuncts.push_back(std::move(merged));
+    }
+    for (const ConjunctiveQuery& d2 : q2.disjuncts) {
+      ConjunctiveQuery merged;
+      MergeInto(&merged, d2, "_q2");
+      MergeInto(&merged, d1, "_q1");
+      RAR_RETURN_NOT_OK(merged.Validate(*out.schema));
+      out.query.disjuncts.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+Result<ContainmentToLtrInstance> BuildContainmentToLtrCQ(
+    const Schema& schema, const AccessMethodSet& acs,
+    const Configuration& conf, const ConjunctiveQuery& q1,
+    const ConjunctiveQuery& q2) {
+  if (!q1.IsBoolean() || !q2.IsBoolean()) {
+    return Status::InvalidArgument("Prop 3.3 needs Boolean queries");
+  }
+  ContainmentToLtrInstance out;
+  out.schema = std::make_shared<Schema>();
+  Schema& s = *out.schema;
+
+  // Copy domains, then lift every relation with a trailing tag attribute.
+  for (DomainId d = 0; d < schema.num_domains(); ++d) {
+    s.AddDomain(schema.domain_name(d));
+  }
+  DomainId tag = s.AddDomain("Tag_p33");
+  for (RelationId rel = 0; rel < schema.num_relations(); ++rel) {
+    const Relation& r = schema.relation(rel);
+    std::vector<Attribute> attrs = r.attributes;
+    attrs.push_back(Attribute{"tag", tag});
+    RAR_ASSIGN_OR_RETURN(RelationId lifted,
+                         s.AddRelation(r.name, std::move(attrs)));
+    if (lifted != rel) return Status::Internal("relation ids not preserved");
+  }
+  RAR_ASSIGN_OR_RETURN(RelationId or_rel,
+                       s.AddRelation("Or_p33",
+                                     std::vector<DomainId>{tag, tag}));
+  RAR_ASSIGN_OR_RETURN(RelationId p_rel,
+                       s.AddRelation("P_p33", std::vector<DomainId>{tag}));
+  RAR_ASSIGN_OR_RETURN(RelationId a_rel,
+                       s.AddRelation("A_p33", std::vector<DomainId>{tag}));
+
+  // Methods keep their input positions (the tag place is appended as an
+  // output); A gets the Boolean access.
+  out.acs = AccessMethodSet(out.schema.get());
+  for (AccessMethodId mid = 0; mid < acs.size(); ++mid) {
+    const AccessMethod& m = acs.method(mid);
+    RAR_RETURN_NOT_OK(
+        out.acs.Add(m.name, m.relation, m.input_positions, m.dependent)
+            .status());
+  }
+  RAR_ASSIGN_OR_RETURN(AccessMethodId a_method,
+                       out.acs.Add("a_check_p33", a_rel, {0},
+                                   /*dependent=*/true));
+
+  Value zero = s.InternConstant("tag0_p33");
+  Value one = s.InternConstant("tag1_p33");
+
+  out.conf = Configuration(out.schema.get());
+  // Existing facts, tagged 1; seeds carried over.
+  for (const Fact& f : conf.AllFacts()) {
+    Fact lifted = f;
+    lifted.values.push_back(one);
+    out.conf.AddFact(lifted);
+  }
+  for (const TypedValue& tv : conf.AdomEntries()) {
+    out.conf.AddSeedConstant(tv.value, tv.domain);
+  }
+  // Or truth-support, P(1), A(0).
+  out.conf.AddFact(Fact(or_rel, {one, zero}));
+  out.conf.AddFact(Fact(or_rel, {zero, one}));
+  out.conf.AddFact(Fact(or_rel, {one, one}));
+  out.conf.AddFact(Fact(p_rel, {one}));
+  out.conf.AddFact(Fact(a_rel, {zero}));
+
+  // 0-tagged escape-hatch facts: the frozen image of q2 under per-domain
+  // default constants (a generalization of the paper's one-padding-fact-
+  // per-relation that also handles constants inside q2).
+  {
+    std::vector<Value> defaults(s.num_domains());
+    for (DomainId d = 0; d < s.num_domains(); ++d) {
+      defaults[d] = s.InternConstant("dflt_" + s.domain_name(d));
+    }
+    std::vector<Value> assignment(q2.num_vars());
+    for (int v = 0; v < q2.num_vars(); ++v) {
+      DomainId d = q2.var_domains[v];
+      assignment[v] = defaults[d == kInvalidId ? 0 : d];
+    }
+    for (Fact f : GroundAtoms(q2, assignment)) {
+      f.values.push_back(zero);
+      out.conf.AddFact(f);
+    }
+  }
+
+  // Q'' = A(b1) ∧ Q''2(b2) ∧ Or(b1,b2) ∧ Q''1(b) ∧ P(b).
+  ConjunctiveQuery q;
+  VarId b1 = q.AddVar("B1_p33", tag);
+  VarId b2 = q.AddVar("B2_p33", tag);
+  VarId b = q.AddVar("B_p33", tag);
+  q.atoms.push_back(Atom{a_rel, {Term::MakeVar(b1)}});
+  {
+    std::vector<VarId> remap = MergeInto(&q, q2, "_q2");
+    (void)remap;
+    // Tag every q2 atom with b2 (they were appended after the A atom).
+    for (size_t i = 1; i < q.atoms.size(); ++i) {
+      q.atoms[i].terms.push_back(Term::MakeVar(b2));
+    }
+  }
+  q.atoms.push_back(
+      Atom{or_rel, {Term::MakeVar(b1), Term::MakeVar(b2)}});
+  {
+    size_t before = q.atoms.size();
+    MergeInto(&q, q1, "_q1");
+    for (size_t i = before; i < q.atoms.size(); ++i) {
+      q.atoms[i].terms.push_back(Term::MakeVar(b));
+    }
+  }
+  q.atoms.push_back(Atom{p_rel, {Term::MakeVar(b)}});
+  RAR_RETURN_NOT_OK(q.Validate(s));
+  out.query.disjuncts.push_back(std::move(q));
+
+  out.access = Access{a_method, {one}};
+  return out;
+}
+
+}  // namespace rar

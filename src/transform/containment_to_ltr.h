@@ -1,0 +1,55 @@
+// Proposition 3.3: containment under access limitations reduces to the
+// complement of long-term relevance.
+//
+// PQ version: extend the schema with a fresh unary relation A carrying a
+// Boolean dependent access method, seed a fresh constant c, and set
+//     Q' = ((∃x A(x)) ∨ Q2) ∧ Q1.
+// Then Q1 ⊑_{ACS,Conf} Q2  iff  A(c)? is NOT long-term relevant for Q'.
+//
+// CQ version ("coding Boolean operations in relations"): additionally give
+// every relation an extra place over a fresh tag domain, add fixed lookup
+// relations Or(1,0)/(0,1)/(1,1) and P(1), tag existing facts with 1, pad
+// every relation with an all-defaults fact tagged 0, put A(0) in the
+// configuration, and set
+//     Q'' = ∃b1 ∃b2 ∃b  A(b1) ∧ Q''2(b2) ∧ Or(b1, b2) ∧ Q''1(b) ∧ P(b),
+// a single conjunctive query. Then A(1)? is LTR for Q'' iff it is LTR for
+// Q' — so containment of conjunctive queries reduces to (non-)relevance of
+// a Boolean access for a conjunctive query.
+#ifndef RAR_TRANSFORM_CONTAINMENT_TO_LTR_H_
+#define RAR_TRANSFORM_CONTAINMENT_TO_LTR_H_
+
+#include <memory>
+
+#include "access/access_method.h"
+#include "query/query.h"
+#include "relational/configuration.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief Output of the Prop 3.3 reductions: an LTR instance whose answer
+/// is the *negation* of the containment question.
+struct ContainmentToLtrInstance {
+  std::shared_ptr<Schema> schema;
+  AccessMethodSet acs;
+  Configuration conf;
+  UnionQuery query;  ///< Q' (PQ version) or Q'' (CQ version)
+  Access access;     ///< A(c)? resp. A(1)?
+};
+
+/// The PQ version of Prop 3.3 (queries as Boolean UCQs; the rewritten
+/// query is the UCQ expansion of ((∃x A(x)) ∨ Q2) ∧ Q1).
+Result<ContainmentToLtrInstance> BuildContainmentToLtrPQ(
+    const Schema& schema, const AccessMethodSet& acs,
+    const Configuration& conf, const UnionQuery& q1, const UnionQuery& q2);
+
+/// The CQ version of Prop 3.3 (q1 and q2 must be single conjunctive
+/// queries; the rewritten query is one CQ).
+Result<ContainmentToLtrInstance> BuildContainmentToLtrCQ(
+    const Schema& schema, const AccessMethodSet& acs,
+    const Configuration& conf, const ConjunctiveQuery& q1,
+    const ConjunctiveQuery& q2);
+
+}  // namespace rar
+
+#endif  // RAR_TRANSFORM_CONTAINMENT_TO_LTR_H_

@@ -1,0 +1,79 @@
+#include "transform/ltr_to_containment.h"
+
+#include <string>
+
+#include "transform/schema_tools.h"
+#include "util/combinatorics.h"
+
+namespace rar {
+
+Result<LtrToContainmentInstance> BuildLtrToContainment(
+    const Schema& schema, const AccessMethodSet& acs,
+    const Configuration& conf, const Access& access,
+    const UnionQuery& query) {
+  RAR_RETURN_NOT_OK(CheckWellFormed(conf, acs, access));
+  if (!query.IsBoolean()) {
+    return Status::InvalidArgument("Prop 3.4 reduction needs a Boolean query");
+  }
+  const AccessMethod& m = acs.method(access.method);
+
+  LtrToContainmentInstance out;
+  // Copy-extend the schema (shares the constant table; relation ids are
+  // stable, so queries built against the original stay valid).
+  out.schema = std::make_shared<Schema>(schema);
+
+  // IsBind: arity/domains of the method's input attributes, no methods.
+  std::vector<Attribute> attrs;
+  const Relation& rel = schema.relation(m.relation);
+  for (int pos : m.input_positions) {
+    attrs.push_back(Attribute{"b" + std::to_string(pos),
+                              rel.attributes[pos].domain});
+  }
+  std::string isbind_name = "IsBind_" + m.name;
+  RAR_ASSIGN_OR_RETURN(RelationId isbind,
+                       out.schema->AddRelation(isbind_name, std::move(attrs)));
+
+  RAR_ASSIGN_OR_RETURN(out.acs, RebindMethods(*out.schema, acs));
+
+  // Rebase the configuration onto the extended schema before adding the
+  // IsBind fact (fact insertion consults the schema for attribute domains).
+  out.conf = Configuration(out.schema.get());
+  out.conf.UnionWith(conf);
+  out.conf.AddFact(Fact(isbind, access.binding));
+
+  // Rewrite each disjunct: per occurrence of R, choose the original atom or
+  // its IsBind(i1..ik) replacement.
+  out.q_original = query;
+  for (const ConjunctiveQuery& d : query.disjuncts) {
+    std::vector<int> r_occurrences;
+    for (int i = 0; i < d.num_atoms(); ++i) {
+      if (d.atoms[i].relation == m.relation) r_occurrences.push_back(i);
+    }
+    const int k = static_cast<int>(r_occurrences.size());
+    if (k > 20) {
+      return Status::InvalidArgument(
+          "too many occurrences of the accessed relation (2^k blowup)");
+    }
+    ForEachSubset(k, [&](uint64_t mask) {
+      ConjunctiveQuery rewritten = d;
+      for (int j = 0; j < k; ++j) {
+        if (!(mask & (uint64_t{1} << j))) continue;
+        // Replace this occurrence with IsBind over its input terms.
+        Atom& atom = rewritten.atoms[r_occurrences[j]];
+        Atom replacement;
+        replacement.relation = isbind;
+        for (int pos : m.input_positions) {
+          replacement.terms.push_back(atom.terms[pos]);
+        }
+        atom = std::move(replacement);
+      }
+      out.q_rewritten.disjuncts.push_back(std::move(rewritten));
+      return false;
+    });
+  }
+  RAR_RETURN_NOT_OK(out.q_rewritten.Validate(*out.schema));
+  RAR_RETURN_NOT_OK(out.q_original.Validate(*out.schema));
+  return out;
+}
+
+}  // namespace rar

@@ -1,0 +1,48 @@
+// Proposition 3.4: LTR of a Boolean access reduces to the complement of
+// query containment under access limitations.
+//
+// Given Q, Conf and an access (AcM, Bind) with R = Rel(AcM), the reduction
+//   * adds a fresh relation IsBind with the arity and domains of Bind and
+//     no access methods,
+//   * adds the single fact IsBind(Bind) to the configuration,
+//   * rewrites Q into Q' by replacing every occurrence of
+//     R(i1..ik, o1..op) with R(i1..ik, o1..op) ∨ IsBind(i1..ik).
+// Then (AcM, Bind) is LTR for Q at Conf  iff  Q' ̸⊑_{ACS,Conf'} Q.
+//
+// On UCQs the per-atom disjunction expands each disjunct with m occurrences
+// of R into 2^m disjuncts (choose, per occurrence, the original atom or its
+// IsBind replacement).
+#ifndef RAR_TRANSFORM_LTR_TO_CONTAINMENT_H_
+#define RAR_TRANSFORM_LTR_TO_CONTAINMENT_H_
+
+#include <memory>
+
+#include "access/access_method.h"
+#include "query/query.h"
+#include "relational/configuration.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief The output of the Prop 3.4 reduction: a containment instance
+/// whose *non*-containment is equivalent to the LTR question.
+///
+/// The extended schema is held by shared_ptr so that the access-method set
+/// and configuration (which point into it) stay valid when the instance is
+/// moved around.
+struct LtrToContainmentInstance {
+  std::shared_ptr<Schema> schema;  ///< extended with IsBind
+  AccessMethodSet acs;     ///< original methods rebased onto the new schema
+  Configuration conf;      ///< original configuration + IsBind(Bind)
+  UnionQuery q_rewritten;  ///< Q' (the candidate contained query)
+  UnionQuery q_original;   ///< Q over the extended schema (same ids)
+};
+
+/// Builds the Prop 3.4 instance. The access must be well-formed at `conf`.
+Result<LtrToContainmentInstance> BuildLtrToContainment(
+    const Schema& schema, const AccessMethodSet& acs,
+    const Configuration& conf, const Access& access, const UnionQuery& query);
+
+}  // namespace rar
+
+#endif  // RAR_TRANSFORM_LTR_TO_CONTAINMENT_H_

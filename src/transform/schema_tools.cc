@@ -1,0 +1,24 @@
+#include "transform/schema_tools.h"
+
+namespace rar {
+
+Result<AccessMethodSet> RebindMethods(const Schema& schema,
+                                      const AccessMethodSet& acs) {
+  AccessMethodSet out(&schema);
+  for (AccessMethodId mid = 0; mid < acs.size(); ++mid) {
+    const AccessMethod& m = acs.method(mid);
+    if (m.relation >= schema.num_relations()) {
+      return Status::InvalidArgument(
+          "method references a relation missing from the extended schema");
+    }
+    RAR_ASSIGN_OR_RETURN(AccessMethodId copied,
+                         out.Add(m.name, m.relation, m.input_positions,
+                                 m.dependent));
+    if (copied != mid) {
+      return Status::Internal("method ids not preserved by rebinding");
+    }
+  }
+  return out;
+}
+
+}  // namespace rar

@@ -1,0 +1,25 @@
+// Schema/ACS extension helpers shared by the Section 3 reductions.
+//
+// The reductions of Propositions 3.3, 3.4 and 3.6 all extend a problem
+// instance with fresh relations, rebased access-method sets and rewritten
+// configurations. Relation and domain ids are append-only in rar::Schema,
+// so an extended schema keeps every existing id valid — these helpers
+// exploit that to keep the reductions purely additive.
+#ifndef RAR_TRANSFORM_SCHEMA_TOOLS_H_
+#define RAR_TRANSFORM_SCHEMA_TOOLS_H_
+
+#include "access/access_method.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// Copies every method of `acs` into a new set bound to `schema` (which
+/// must be an extension of the schema `acs` was built against: same
+/// relation ids). Method ids are preserved.
+Result<AccessMethodSet> RebindMethods(const Schema& schema,
+                                      const AccessMethodSet& acs);
+
+}  // namespace rar
+
+#endif  // RAR_TRANSFORM_SCHEMA_TOOLS_H_

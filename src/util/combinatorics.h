@@ -1,0 +1,83 @@
+// Combinatorial enumeration helpers used by the guess-and-check deciders.
+//
+// The paper's upper-bound algorithms are of the form "guess a small object,
+// verify it in (co)NP": guesses range over subsets (Prop 3.5), variable
+// assignments (Prop 4.1), and set partitions of null-mapped variables
+// (containment witness search). These helpers enumerate those spaces
+// deterministically so the engines stay branch-complete and testable.
+#ifndef RAR_UTIL_COMBINATORICS_H_
+#define RAR_UTIL_COMBINATORICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rar {
+
+/// Calls `fn(mask)` for every subset mask of an `n`-element set (n <= 63),
+/// in increasing mask order (so the empty set comes first). Stops early and
+/// returns true the first time `fn` returns true; returns false otherwise.
+inline bool ForEachSubset(int n, const std::function<bool(uint64_t)>& fn) {
+  const uint64_t limit = (n >= 64) ? 0 : (uint64_t{1} << n);
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    if (fn(mask)) return true;
+  }
+  return false;
+}
+
+/// Calls `fn(block_of)` for every set partition of {0..n-1}, where
+/// `block_of[i]` is the block index of element i; block indices form a
+/// restricted-growth string (block_of[0] == 0, each new block introduced in
+/// order). Enumeration is exhaustive (Bell(n) partitions). Stops early and
+/// returns true when `fn` returns true.
+inline bool ForEachSetPartition(
+    int n, const std::function<bool(const std::vector<int>&)>& fn) {
+  if (n == 0) {
+    std::vector<int> empty;
+    return fn(empty);
+  }
+  std::vector<int> block_of(n, 0);
+  std::function<bool(int, int)> rec = [&](int i, int max_block) -> bool {
+    if (i == n) return fn(block_of);
+    for (int b = 0; b <= max_block + 1 && b < n; ++b) {
+      block_of[i] = b;
+      if (rec(i + 1, b > max_block ? b : max_block)) return true;
+    }
+    return false;
+  };
+  return rec(1, 0);  // element 0 is pinned to block 0.
+}
+
+/// Calls `fn(choice)` for every element of the cartesian product
+/// sizes[0] x sizes[1] x ... (choice[i] in [0, sizes[i])). Stops early and
+/// returns true when `fn` returns true. An empty `sizes` yields one call
+/// with an empty choice; any zero size yields no calls.
+inline bool ForEachProduct(const std::vector<int>& sizes,
+                           const std::function<bool(const std::vector<int>&)>& fn) {
+  for (int s : sizes) {
+    if (s <= 0) return false;
+  }
+  std::vector<int> choice(sizes.size(), 0);
+  while (true) {
+    if (fn(choice)) return true;
+    int i = static_cast<int>(sizes.size()) - 1;
+    while (i >= 0) {
+      if (++choice[i] < sizes[i]) break;
+      choice[i] = 0;
+      --i;
+    }
+    if (i < 0) return false;
+  }
+}
+
+/// Calls `fn(tuple)` for every `k`-tuple over {0..n-1} (n^k tuples).
+/// Stops early and returns true when `fn` returns true.
+inline bool ForEachTuple(int n, int k,
+                         const std::function<bool(const std::vector<int>&)>& fn) {
+  std::vector<int> sizes(k, n);
+  return ForEachProduct(sizes, fn);
+}
+
+}  // namespace rar
+
+#endif  // RAR_UTIL_COMBINATORICS_H_

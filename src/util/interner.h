@@ -1,0 +1,55 @@
+// String interning: maps strings to dense integer ids and back.
+//
+// Symbols (relation names, attribute names, constant spellings, domain
+// names) are interned once and compared as integers everywhere else; the
+// symbolic engines spend most of their time comparing values, so this keeps
+// the hot paths allocation-free.
+#ifndef RAR_UTIL_INTERNER_H_
+#define RAR_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rar {
+
+/// \brief Bidirectional string <-> dense-id table.
+///
+/// Ids are assigned in insertion order starting at 0 and are stable for the
+/// lifetime of the interner. Not thread-safe; engines own their interners.
+class Interner {
+ public:
+  using Id = uint32_t;
+  static constexpr Id kInvalid = static_cast<Id>(-1);
+
+  /// Returns the id for `s`, interning it on first sight.
+  Id Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    Id id = static_cast<Id>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s`, or `kInvalid` when `s` was never interned.
+  Id Lookup(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    return it == ids_.end() ? kInvalid : it->second;
+  }
+
+  /// Returns the spelling for an id produced by this interner.
+  const std::string& Spelling(Id id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Id> ids_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_UTIL_INTERNER_H_

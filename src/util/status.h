@@ -1,0 +1,139 @@
+// Status / Result error-handling primitives for the rar library.
+//
+// The public API of rar is exception-free, following the RocksDB / Arrow
+// idiom: operations that can fail return a `Status`, and operations that
+// produce a value return a `Result<T>` (a Status-or-value sum type).
+#ifndef RAR_UTIL_STATUS_H_
+#define RAR_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rar {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (schema mismatch, bad binding, ...)
+  kNotFound,          ///< a named entity (relation, domain, method) is missing
+  kFailedPrecondition,///< operation not applicable in the current state
+  kResourceExhausted, ///< a search budget was exhausted before a decision
+  kParseError,        ///< query / schema text could not be parsed
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// \brief Outcome of an operation that can fail but returns no value.
+///
+/// `Status` is cheap to copy in the common OK case (no allocation) and
+/// carries a code plus a human-readable message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and error chains.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value of type `T` or an error `Status`.
+///
+/// Mirrors `arrow::Result` / `absl::StatusOr`. Accessors assert on misuse in
+/// debug builds; callers must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (the failure path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller (early-return macro).
+#define RAR_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::rar::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define RAR_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto RAR_CONCAT_(_res_, __LINE__) = (expr);              \
+  if (!RAR_CONCAT_(_res_, __LINE__).ok())                  \
+    return RAR_CONCAT_(_res_, __LINE__).status();          \
+  lhs = std::move(RAR_CONCAT_(_res_, __LINE__)).value()
+
+#define RAR_CONCAT_INNER_(a, b) a##b
+#define RAR_CONCAT_(a, b) RAR_CONCAT_INNER_(a, b)
+
+}  // namespace rar
+
+#endif  // RAR_UTIL_STATUS_H_

@@ -1,0 +1,127 @@
+#include "workload/bank.h"
+
+#include <string>
+
+namespace rar {
+
+BankScenario MakeBankScenario(Rng* rng, const BankOptions& options) {
+  BankScenario out;
+  out.base.schema = std::make_shared<Schema>();
+  Schema& schema = *out.base.schema;
+
+  DomainId emp_id = schema.AddDomain("EmpId");
+  DomainId title = schema.AddDomain("Title");
+  DomainId name = schema.AddDomain("Name");
+  DomainId off_id = schema.AddDomain("OffId");
+  DomainId addr = schema.AddDomain("Address");
+  DomainId state = schema.AddDomain("State");
+  DomainId phone = schema.AddDomain("Phone");
+  DomainId offering = schema.AddDomain("Offering");
+
+  RelationId employee = *schema.AddRelation(
+      "Employee", std::vector<Attribute>{{"EmpId", emp_id},
+                                         {"Title", title},
+                                         {"LastName", name},
+                                         {"FirstName", name},
+                                         {"OffId", off_id}});
+  RelationId office = *schema.AddRelation(
+      "Office", std::vector<Attribute>{{"OffId", off_id},
+                                       {"StreetAddress", addr},
+                                       {"State", state},
+                                       {"Phone", phone}});
+  RelationId approval = *schema.AddRelation(
+      "Approval",
+      std::vector<Attribute>{{"State", state}, {"Offering", offering}});
+  RelationId manager = *schema.AddRelation(
+      "Manager",
+      std::vector<Attribute>{{"EmpId", emp_id}, {"MgrId", emp_id}});
+
+  out.base.acs = AccessMethodSet(out.base.schema.get());
+  (void)*out.base.acs.Add("EmpOffAcc", employee, {0}, /*dependent=*/true);
+  AccessMethodId emp_man =
+      *out.base.acs.Add("EmpManAcc", manager, {0}, /*dependent=*/true);
+  (void)*out.base.acs.Add("OfficeInfoAcc", office, {0}, /*dependent=*/true);
+  (void)*out.base.acs.Add("StateApprAcc", approval, {0}, /*dependent=*/true);
+
+  Value loan_officer = schema.InternConstant("loan_officer");
+  Value teller = schema.InternConstant("teller");
+  Value illinois = schema.InternConstant("illinois");
+  Value texas = schema.InternConstant("texas");
+  Value thirty_year = schema.InternConstant("30yr");
+
+  // Hidden instance.
+  out.hidden = Configuration(out.base.schema.get());
+  std::vector<Value> offices;
+  for (int i = 0; i < options.num_offices; ++i) {
+    Value oid = schema.InternConstant("off" + std::to_string(i));
+    offices.push_back(oid);
+    // The last office is the Illinois one when requested.
+    bool is_illinois =
+        options.loan_officer_in_illinois && i == options.num_offices - 1;
+    out.hidden.AddFact(Fact(
+        office, {oid, schema.InternConstant("addr" + std::to_string(i)),
+                 is_illinois ? illinois : texas,
+                 schema.InternConstant("ph" + std::to_string(i))}));
+  }
+  std::vector<Value> employees;
+  for (int i = 0; i < options.num_employees; ++i) {
+    Value eid = schema.InternConstant("1234" + std::to_string(i));
+    employees.push_back(eid);
+    bool officer = options.loan_officer_in_illinois &&
+                   i == options.num_employees - 1;
+    Value off = officer ? offices.back() : offices[rng->Below(
+                    offices.empty() ? 1 : offices.size() - 1)];
+    out.hidden.AddFact(Fact(
+        employee, {eid, officer ? loan_officer : teller,
+                   schema.InternConstant("last" + std::to_string(i)),
+                   schema.InternConstant("first" + std::to_string(i)), off}));
+  }
+  // A management chain ending at the loan officer: every employee's
+  // manager is the next one, so EmpManAcc walks toward the witness.
+  for (int i = 0; i + 1 < options.num_employees; ++i) {
+    out.hidden.AddFact(Fact(manager, {employees[i], employees[i + 1]}));
+  }
+  if (options.approval_in_illinois) {
+    out.hidden.AddFact(Fact(approval, {illinois, thirty_year}));
+  }
+  out.hidden.AddFact(
+      Fact(approval, {texas, schema.InternConstant("15yr")}));
+
+  // Initial knowledge: a couple of employee ids and the query constants.
+  out.base.conf = Configuration(out.base.schema.get());
+  for (int i = 0; i < options.known_employee_ids &&
+                  i < options.num_employees; ++i) {
+    out.base.conf.AddSeedConstant(employees[i], emp_id);
+  }
+  out.base.conf.AddSeedConstant(loan_officer, title);
+  out.base.conf.AddSeedConstant(illinois, state);
+  out.base.conf.AddSeedConstant(thirty_year, offering);
+
+  // The SQL query as a Boolean CQ.
+  ConjunctiveQuery q;
+  VarId e = q.AddVar("E", emp_id);
+  VarId ln = q.AddVar("Ln", name);
+  VarId fn = q.AddVar("Fn", name);
+  VarId off = q.AddVar("Off", off_id);
+  VarId street = q.AddVar("Street", addr);
+  VarId ph = q.AddVar("Ph", phone);
+  q.atoms.push_back(Atom{employee,
+                         {Term::MakeVar(e), Term::MakeConst(loan_officer),
+                          Term::MakeVar(ln), Term::MakeVar(fn),
+                          Term::MakeVar(off)}});
+  q.atoms.push_back(Atom{office,
+                         {Term::MakeVar(off), Term::MakeVar(street),
+                          Term::MakeConst(illinois), Term::MakeVar(ph)}});
+  q.atoms.push_back(
+      Atom{approval,
+           {Term::MakeConst(illinois), Term::MakeConst(thirty_year)}});
+  (void)q.Validate(schema);
+  out.query.disjuncts.push_back(std::move(q));
+
+  out.emp_man_probe = Access{emp_man, {employees.empty()
+                                           ? schema.InternConstant("12340")
+                                           : employees[0]}};
+  return out;
+}
+
+}  // namespace rar

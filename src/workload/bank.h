@@ -1,0 +1,48 @@
+// The paper's Section 1 motivating scenario: a bank's backend relations
+// exposed through four Web forms, and the Boolean query "is there a loan
+// officer in an Illinois office, and is the company approved for 30-year
+// mortgages in Illinois?".
+//
+//   Employee(EmpId, Title, LastName, FirstName, OffId)
+//   Office(OffId, StreetAddress, State, Phone)
+//   Approval(State, Offering)
+//   Manager(EmpId, EmpId)
+//
+// Forms (all dependent): EmpOffAcc (Employee by EmpId), EmpManAcc (Manager
+// by managed EmpId), OfficeInfoAcc (Office by OffId), StateApprAcc
+// (Approval by State).
+#ifndef RAR_WORKLOAD_BANK_H_
+#define RAR_WORKLOAD_BANK_H_
+
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace rar {
+
+/// \brief The bank scenario: schema/forms/initial knowledge, the query,
+/// a hidden instance for the simulator, and the paper's probe access.
+struct BankScenario {
+  Scenario base;           ///< schema, access methods, initial configuration
+  UnionQuery query;        ///< the Boolean loan-officer query
+  Configuration hidden;    ///< the full hidden instance (for simulation)
+  Access emp_man_probe;    ///< EmpManAcc with EmpId "12345" (the paper's)
+};
+
+/// Options controlling the generated hidden instance.
+struct BankOptions {
+  int num_employees = 12;
+  int num_offices = 4;
+  /// Whether the hidden data actually contains an Illinois loan officer
+  /// (the query's satisfiability switch).
+  bool loan_officer_in_illinois = true;
+  /// Whether Illinois 30-year approval is in the hidden Approval table.
+  bool approval_in_illinois = true;
+  /// How many employee ids the mediator knows up front.
+  int known_employee_ids = 2;
+};
+
+BankScenario MakeBankScenario(Rng* rng, const BankOptions& options);
+
+}  // namespace rar
+
+#endif  // RAR_WORKLOAD_BANK_H_

@@ -1,0 +1,223 @@
+#include "workload/generators.h"
+
+#include <string>
+
+namespace rar {
+
+Scenario RandomScenario(Rng* rng, const RandomScenarioOptions& options) {
+  Scenario s;
+  s.schema = std::make_shared<Schema>();
+  DomainId d = s.schema->AddDomain("D");
+
+  for (int i = 0; i < options.num_relations; ++i) {
+    int arity = static_cast<int>(rng->Range(1, options.max_arity));
+    std::vector<DomainId> domains(arity, d);
+    (void)*s.schema->AddRelation("R" + std::to_string(i), domains);
+  }
+
+  s.acs = AccessMethodSet(s.schema.get());
+  for (RelationId rel = 0; rel < s.schema->num_relations(); ++rel) {
+    const Relation& r = s.schema->relation(rel);
+    std::vector<int> inputs;
+    for (int pos = 0; pos < r.arity(); ++pos) {
+      if (rng->Chance(options.input_prob)) inputs.push_back(pos);
+    }
+    bool dependent = !rng->Chance(options.independent_prob);
+    (void)*s.acs.Add("m" + std::to_string(rel), rel, inputs, dependent);
+  }
+
+  std::vector<Value> constants;
+  for (int i = 0; i < options.num_constants; ++i) {
+    constants.push_back(s.schema->InternConstant("k" + std::to_string(i)));
+  }
+  s.conf = Configuration(s.schema.get());
+  for (const Value& c : constants) s.conf.AddSeedConstant(c, d);
+  for (int i = 0; i < options.num_facts; ++i) {
+    RelationId rel =
+        static_cast<RelationId>(rng->Below(s.schema->num_relations()));
+    Fact f;
+    f.relation = rel;
+    for (int pos = 0; pos < s.schema->relation(rel).arity(); ++pos) {
+      f.values.push_back(rng->Pick(constants));
+    }
+    s.conf.AddFact(f);
+  }
+  return s;
+}
+
+ConjunctiveQuery RandomQuery(Rng* rng, const Scenario& scenario,
+                             int num_atoms, int num_vars,
+                             double constant_prob) {
+  const Schema& schema = *scenario.schema;
+  DomainId d = 0;
+  ConjunctiveQuery cq;
+  for (int v = 0; v < num_vars; ++v) {
+    cq.AddVar("V" + std::to_string(v), d);
+  }
+  std::vector<Value> constants = scenario.conf.AdomOfDomain(d);
+  for (int i = 0; i < num_atoms; ++i) {
+    RelationId rel =
+        static_cast<RelationId>(rng->Below(schema.num_relations()));
+    Atom atom;
+    atom.relation = rel;
+    for (int pos = 0; pos < schema.relation(rel).arity(); ++pos) {
+      if (!constants.empty() && rng->Chance(constant_prob)) {
+        atom.terms.push_back(Term::MakeConst(rng->Pick(constants)));
+      } else {
+        atom.terms.push_back(
+            Term::MakeVar(static_cast<VarId>(rng->Below(num_vars))));
+      }
+    }
+    cq.atoms.push_back(std::move(atom));
+  }
+  (void)cq.Validate(schema);
+  return cq;
+}
+
+bool RandomAccess(Rng* rng, const Scenario& scenario, Access* out) {
+  const Schema& schema = *scenario.schema;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    AccessMethodId mid =
+        static_cast<AccessMethodId>(rng->Below(scenario.acs.size()));
+    const AccessMethod& m = scenario.acs.method(mid);
+    const Relation& rel = schema.relation(m.relation);
+    Access access;
+    access.method = mid;
+    bool ok = true;
+    for (int pos : m.input_positions) {
+      const std::vector<Value>& candidates =
+          scenario.conf.AdomOfDomain(rel.attributes[pos].domain);
+      if (candidates.empty()) {
+        ok = false;
+        break;
+      }
+      access.binding.push_back(rng->Pick(candidates));
+    }
+    if (!ok) continue;
+    *out = std::move(access);
+    return true;
+  }
+  return false;
+}
+
+ChainFamily MakeChainFamily(int chain_length) {
+  ChainFamily f;
+  f.scenario.schema = std::make_shared<Schema>();
+  Schema& schema = *f.scenario.schema;
+  DomainId d = schema.AddDomain("D");
+  RelationId r = *schema.AddRelation("R", std::vector<DomainId>{d, d});
+  f.scenario.acs = AccessMethodSet(f.scenario.schema.get());
+  (void)*f.scenario.acs.Add("r_by_0", r, {0}, /*dependent=*/true);
+  f.scenario.conf = Configuration(f.scenario.schema.get());
+  Value c0 = schema.InternConstant("c0");
+  Value c1 = schema.InternConstant("c1");
+  f.scenario.conf.AddFact(Fact(r, {c0, c1}));
+
+  ConjunctiveQuery chain;
+  std::vector<VarId> xs;
+  for (int i = 0; i <= chain_length; ++i) {
+    xs.push_back(chain.AddVar("X" + std::to_string(i), d));
+  }
+  for (int i = 0; i < chain_length; ++i) {
+    chain.atoms.push_back(
+        Atom{r, {Term::MakeVar(xs[i]), Term::MakeVar(xs[i + 1])}});
+  }
+  (void)chain.Validate(schema);
+  f.contained.disjuncts.push_back(std::move(chain));
+
+  ConjunctiveQuery loop;
+  VarId x = loop.AddVar("X", d);
+  loop.atoms.push_back(Atom{r, {Term::MakeVar(x), Term::MakeVar(x)}});
+  (void)loop.Validate(schema);
+  f.container.disjuncts.push_back(std::move(loop));
+  return f;
+}
+
+CliqueFamily MakeCliqueFamily(Rng* rng, int clique_size, int num_nodes,
+                              double edge_prob) {
+  CliqueFamily f;
+  f.scenario.schema = std::make_shared<Schema>();
+  Schema& schema = *f.scenario.schema;
+  DomainId d = schema.AddDomain("D");
+  RelationId e = *schema.AddRelation("E", std::vector<DomainId>{d, d});
+  f.scenario.acs = AccessMethodSet(f.scenario.schema.get());
+  AccessMethodId by0 =
+      *f.scenario.acs.Add("e_by_0", e, {0}, /*dependent=*/true);
+  f.scenario.conf = Configuration(f.scenario.schema.get());
+
+  std::vector<Value> nodes;
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes.push_back(schema.InternConstant("n" + std::to_string(i)));
+  }
+  for (int i = 0; i < num_nodes; ++i) {
+    for (int j = 0; j < num_nodes; ++j) {
+      if (i != j && rng->Chance(edge_prob)) {
+        f.scenario.conf.AddFact(Fact(e, {nodes[i], nodes[j]}));
+      }
+    }
+  }
+  for (const Value& n : nodes) f.scenario.conf.AddSeedConstant(n, d);
+
+  // K-clique pattern: E(Vi, Vj) for every ordered pair i != j.
+  ConjunctiveQuery clique;
+  std::vector<VarId> vs;
+  for (int i = 0; i < clique_size; ++i) {
+    vs.push_back(clique.AddVar("V" + std::to_string(i), d));
+  }
+  for (int i = 0; i < clique_size; ++i) {
+    for (int j = 0; j < clique_size; ++j) {
+      if (i != j) {
+        clique.atoms.push_back(
+            Atom{e, {Term::MakeVar(vs[i]), Term::MakeVar(vs[j])}});
+      }
+    }
+  }
+  (void)clique.Validate(schema);
+  f.query.disjuncts.push_back(std::move(clique));
+  f.probe = Access{by0, {nodes[0]}};
+  return f;
+}
+
+StarFamily MakeStarFamily(int rays, int num_constants) {
+  StarFamily f;
+  f.scenario.schema = std::make_shared<Schema>();
+  Schema& schema = *f.scenario.schema;
+  DomainId d = schema.AddDomain("D");
+  RelationId hub = *schema.AddRelation("Hub", std::vector<DomainId>{d, d});
+  f.scenario.acs = AccessMethodSet(f.scenario.schema.get());
+  AccessMethodId hub_by0 =
+      *f.scenario.acs.Add("hub_by_0", hub, {0}, /*dependent=*/false);
+
+  f.scenario.conf = Configuration(f.scenario.schema.get());
+  std::vector<Value> constants;
+  for (int i = 0; i < num_constants; ++i) {
+    constants.push_back(schema.InternConstant("s" + std::to_string(i)));
+    f.scenario.conf.AddSeedConstant(constants.back(), d);
+  }
+
+  ConjunctiveQuery star;
+  VarId center = star.AddVar("Center", d);
+  VarId spoke = star.AddVar("Spoke", d);
+  star.atoms.push_back(
+      Atom{hub, {Term::MakeVar(center), Term::MakeVar(spoke)}});
+  for (int i = 0; i < rays; ++i) {
+    RelationId ray =
+        *schema.AddRelation("Ray" + std::to_string(i),
+                            std::vector<DomainId>{d});
+    (void)*f.scenario.acs.Add("ray" + std::to_string(i), ray, {0},
+                              /*dependent=*/false);
+    star.atoms.push_back(Atom{ray, {Term::MakeVar(spoke)}});
+    // Half of the rays are already satisfied in the configuration.
+    if (i % 2 == 0 && !constants.empty()) {
+      f.scenario.conf.AddFact(Fact(ray, {constants[0]}));
+    }
+  }
+  (void)star.Validate(schema);
+  f.query.disjuncts.push_back(std::move(star));
+  f.probe = Access{hub_by0, {constants.empty()
+                                 ? schema.InternConstant("s0")
+                                 : constants[0]}};
+  return f;
+}
+
+}  // namespace rar

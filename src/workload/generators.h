@@ -1,0 +1,93 @@
+// Deterministic workload generators for tests and benchmarks.
+//
+// Benchmarks regenerate Table 1 as scaling experiments; these generators
+// provide the parameterized families: random CQs/configurations (combined
+// complexity), fixed-query growing-configuration sweeps (data complexity),
+// chain-production families (dependent-access witness chains of controlled
+// length), clique patterns (hard homomorphism instances), and critical-
+// tuple families.
+#ifndef RAR_WORKLOAD_GENERATORS_H_
+#define RAR_WORKLOAD_GENERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/access_method.h"
+#include "query/query.h"
+#include "relational/configuration.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief A self-contained generated scenario.
+struct Scenario {
+  std::shared_ptr<Schema> schema;
+  AccessMethodSet acs;
+  Configuration conf;
+};
+
+/// Options for the random scenario generator.
+struct RandomScenarioOptions {
+  int num_relations = 3;
+  int max_arity = 2;
+  int num_constants = 4;
+  int num_facts = 6;
+  /// Probability that a generated method is independent.
+  double independent_prob = 0.0;
+  /// Probability that an attribute position is an input of the method.
+  double input_prob = 0.5;
+};
+
+/// Builds a random single-domain scenario: relations of arity 1..max_arity,
+/// one access method per relation (random input set, at least sometimes
+/// free), and a random configuration.
+Scenario RandomScenario(Rng* rng, const RandomScenarioOptions& options);
+
+/// A random Boolean CQ over the scenario's schema: `num_atoms` atoms with
+/// variables drawn from a pool of `num_vars`, constants appearing with
+/// probability `constant_prob` (drawn from the configuration's constants).
+ConjunctiveQuery RandomQuery(Rng* rng, const Scenario& scenario,
+                             int num_atoms, int num_vars,
+                             double constant_prob);
+
+/// A random well-formed access for the scenario (dependent bindings drawn
+/// from the active domain). Returns false when none exists.
+bool RandomAccess(Rng* rng, const Scenario& scenario, Access* out);
+
+/// Chain-production family (dependent case): schema R(D, D) with one
+/// dependent method bound on the first attribute, configuration {R(c0,c1)}.
+/// The contained query is an L-step chain R(x0,x1) ∧ ... ∧ R(x_{L-1},x_L);
+/// the container is R(x,x). Refuting containment requires producing a
+/// chain of L-1 fresh links — witness length scales linearly with L.
+struct ChainFamily {
+  Scenario scenario;
+  UnionQuery contained;
+  UnionQuery container;
+};
+ChainFamily MakeChainFamily(int chain_length);
+
+/// K-clique pattern query over a binary relation E (hard homomorphism
+/// instances for the IR/eval benches), with a random graph configuration
+/// of `num_nodes` nodes and edge probability `edge_prob`.
+struct CliqueFamily {
+  Scenario scenario;
+  UnionQuery query;       ///< the k-clique pattern
+  Access probe;           ///< an edge access E(v0, ?)
+};
+CliqueFamily MakeCliqueFamily(Rng* rng, int clique_size, int num_nodes,
+                              double edge_prob);
+
+/// Star query: center joined to `rays` unary relations; used by the
+/// single-occurrence fast-path ablation.
+struct StarFamily {
+  Scenario scenario;
+  UnionQuery query;
+  Access probe;  ///< access on the (single-occurrence) hub relation
+};
+StarFamily MakeStarFamily(int rays, int num_constants);
+
+}  // namespace rar
+
+#endif  // RAR_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,232 @@
+// Unit tests for access methods, well-formedness, paths/truncation and the
+// greedy set-reachability checker.
+#include <gtest/gtest.h>
+
+#include "access/access_method.h"
+#include "access/path.h"
+#include "access/reachability.h"
+#include "relational/configuration.h"
+
+namespace rar {
+namespace {
+
+class AccessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = schema_.AddDomain("D");
+    e_ = schema_.AddDomain("E");
+    r_ = *schema_.AddRelation(
+        "R", std::vector<Attribute>{{"in", d_}, {"out", e_}});
+    s_ = *schema_.AddRelation("S", std::vector<Attribute>{{"val", d_}});
+    acs_ = AccessMethodSet(&schema_);
+  }
+
+  Value C(const std::string& s) { return schema_.InternConstant(s); }
+
+  Schema schema_;
+  DomainId d_ = 0, e_ = 0;
+  RelationId r_ = 0, s_ = 0;
+  AccessMethodSet acs_;
+};
+
+TEST_F(AccessTest, AddAndClassifyMethods) {
+  auto dep = acs_.Add("r_by_in", r_, {0}, /*dependent=*/true);
+  ASSERT_TRUE(dep.ok());
+  auto free_s = acs_.Add("s_free", s_, {}, /*dependent=*/true);
+  ASSERT_TRUE(free_s.ok());
+  auto bool_s = acs_.Add("s_check", s_, {0}, /*dependent=*/true);
+  ASSERT_TRUE(bool_s.ok());
+
+  EXPECT_TRUE(acs_.IsFree(*free_s));
+  EXPECT_FALSE(acs_.IsFree(*dep));
+  EXPECT_TRUE(acs_.IsBoolean(*bool_s));
+  EXPECT_FALSE(acs_.IsBoolean(*dep));
+  EXPECT_TRUE(acs_.HasMethod(s_));
+  EXPECT_EQ(acs_.MethodsOf(s_).size(), 2u);
+  EXPECT_FALSE(acs_.AllIndependent());
+}
+
+TEST_F(AccessTest, AddNamedResolvesAttributes) {
+  auto m = acs_.AddNamed("by_out", "R", {"out"}, /*dependent=*/false);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(acs_.method(*m).input_positions, std::vector<int>{1});
+  EXPECT_FALSE(acs_.method(*m).dependent);
+  EXPECT_EQ(acs_.AddNamed("bad", "R", {"nope"}, true).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AccessTest, AddRejectsBadPositions) {
+  EXPECT_FALSE(acs_.Add("bad1", r_, {2}, true).ok());
+  EXPECT_FALSE(acs_.Add("bad2", r_, {1, 0}, true).ok());
+  EXPECT_FALSE(acs_.Add("bad3", static_cast<RelationId>(99), {}, true).ok());
+}
+
+TEST_F(AccessTest, DependentWellFormednessNeedsTypedAdom) {
+  AccessMethodId m = *acs_.Add("r_by_in", r_, {0}, /*dependent=*/true);
+  Configuration conf(&schema_);
+  Access access{m, {C("a")}};
+  // "a" unknown: ill-formed.
+  EXPECT_EQ(CheckWellFormed(conf, acs_, access).code(),
+            StatusCode::kFailedPrecondition);
+  // "a" known only in domain E: still ill-formed for a D input.
+  conf.AddSeedConstant(C("a"), e_);
+  EXPECT_FALSE(CheckWellFormed(conf, acs_, access).ok());
+  conf.AddSeedConstant(C("a"), d_);
+  EXPECT_TRUE(CheckWellFormed(conf, acs_, access).ok());
+}
+
+TEST_F(AccessTest, IndependentAccessAlwaysWellFormed) {
+  AccessMethodId m = *acs_.Add("r_any", r_, {0}, /*dependent=*/false);
+  Configuration conf(&schema_);
+  Access access{m, {C("whatever")}};
+  EXPECT_TRUE(CheckWellFormed(conf, acs_, access).ok());
+}
+
+TEST_F(AccessTest, ApplyAccessChecksResponses) {
+  AccessMethodId m = *acs_.Add("r_by_in", r_, {0}, /*dependent=*/true);
+  Configuration conf(&schema_);
+  conf.AddSeedConstant(C("a"), d_);
+  Access access{m, {C("a")}};
+
+  Fact good(r_, {C("a"), C("x")});
+  Fact bad(r_, {C("b"), C("x")});  // disagrees with binding on input
+  auto ok = ApplyAccess(conf, acs_, access, {good});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->Contains(good));
+  EXPECT_EQ(ApplyAccess(conf, acs_, access, {bad}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(AccessTest, AccessToStringShowsBindingAndOutputs) {
+  AccessMethodId m = *acs_.Add("r_by_in", r_, {0}, true);
+  Access access{m, {C("a")}};
+  EXPECT_EQ(access.ToString(schema_, acs_), "R[r_by_in](a, ?)");
+}
+
+TEST_F(AccessTest, PathReplayAndTruncation) {
+  // s_free returns a D value; r_by_in consumes it. Truncation removes the
+  // s_free access, leaving the dependent access ill-formed: the truncated
+  // path must be empty.
+  AccessMethodId s_free = *acs_.Add("s_free", s_, {}, /*dependent=*/true);
+  AccessMethodId r_by_in = *acs_.Add("r_by_in", r_, {0}, /*dependent=*/true);
+  Configuration conf(&schema_);
+
+  AccessPath path(conf, &acs_);
+  path.Append(AccessStep{Access{s_free, {}}, {Fact(s_, {C("v")})}});
+  path.Append(AccessStep{Access{r_by_in, {C("v")}},
+                         {Fact(r_, {C("v"), C("w")})}});
+
+  auto final_conf = path.Replay();
+  ASSERT_TRUE(final_conf.ok());
+  EXPECT_EQ(final_conf->NumFacts(), 2u);
+
+  auto truncated = path.Truncate();
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated->size(), 0u);  // r_by_in not well-formed without s_free
+  auto trunc_conf = path.ReplayTruncation();
+  ASSERT_TRUE(trunc_conf.ok());
+  EXPECT_EQ(trunc_conf->NumFacts(), 0u);
+}
+
+TEST_F(AccessTest, TruncationKeepsIndependentSuffix) {
+  AccessMethodId s_free = *acs_.Add("s_free", s_, {}, true);
+  AccessMethodId r_any = *acs_.Add("r_any", r_, {0}, /*dependent=*/false);
+  Configuration conf(&schema_);
+
+  AccessPath path(conf, &acs_);
+  path.Append(AccessStep{Access{s_free, {}}, {Fact(s_, {C("v")})}});
+  path.Append(AccessStep{Access{r_any, {C("z")}},
+                         {Fact(r_, {C("z"), C("w")})}});
+  auto truncated = path.Truncate();
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated->size(), 1u);  // independent access survives
+}
+
+TEST_F(AccessTest, ReachabilityChainsThroughOutputs) {
+  // S free produces D values; R consumes a D value on input.
+  *acs_.Add("s_free", s_, {}, /*dependent=*/true);
+  *acs_.Add("r_by_in", r_, {0}, /*dependent=*/true);
+  Configuration conf(&schema_);
+
+  Value n0 = Value::Null(100);
+  std::vector<Fact> facts = {Fact(r_, {n0, Value::Null(101)}),
+                             Fact(s_, {n0})};
+  ReachResult reach = CheckSetReachability(conf, acs_, facts);
+  ASSERT_TRUE(reach.reachable);
+  // S(n0) must be placed before R(n0, _).
+  ASSERT_EQ(reach.order.size(), 2u);
+  EXPECT_EQ(reach.order[0], 1);
+  EXPECT_EQ(reach.order[1], 0);
+}
+
+TEST_F(AccessTest, ReachabilityReportsMissingInputs) {
+  *acs_.Add("r_by_in", r_, {0}, /*dependent=*/true);
+  Configuration conf(&schema_);
+  Value n0 = Value::Null(100);
+  std::vector<Fact> facts = {Fact(r_, {n0, Value::Null(101)})};
+  ReachResult reach = CheckSetReachability(conf, acs_, facts);
+  EXPECT_FALSE(reach.reachable);
+  ASSERT_EQ(reach.missing_inputs.size(), 1u);
+  EXPECT_EQ(reach.missing_inputs[0].value, n0);
+  EXPECT_EQ(reach.missing_inputs[0].domain, d_);
+}
+
+TEST_F(AccessTest, ReachabilitySkipsFactsAlreadyKnown) {
+  *acs_.Add("r_by_in", r_, {0}, /*dependent=*/true);
+  Configuration conf(&schema_);
+  Fact known(r_, {C("a"), C("b")});
+  conf.AddFact(known);
+  ReachResult reach = CheckSetReachability(conf, acs_, {known});
+  EXPECT_TRUE(reach.reachable);
+  EXPECT_TRUE(reach.order.empty());
+}
+
+TEST_F(AccessTest, RelationWithoutMethodIsUnreachable) {
+  // No methods at all: any new fact is unreachable.
+  Configuration conf(&schema_);
+  ReachResult reach =
+      CheckSetReachability(conf, acs_, {Fact(s_, {C("a")})});
+  EXPECT_FALSE(reach.reachable);
+  EXPECT_EQ(reach.unplaced.size(), 1u);
+}
+
+TEST_F(AccessTest, BuildRealizingStepsReplays) {
+  *acs_.Add("s_free", s_, {}, true);
+  *acs_.Add("r_by_in", r_, {0}, true);
+  Configuration conf(&schema_);
+  Value n0 = Value::Null(100);
+  std::vector<Fact> facts = {Fact(r_, {n0, Value::Null(101)}),
+                             Fact(s_, {n0})};
+  auto steps = BuildRealizingSteps(conf, acs_, facts);
+  ASSERT_TRUE(steps.ok());
+  AccessPath path(conf, &acs_);
+  for (const AccessStep& s : *steps) path.Append(s);
+  auto final_conf = path.Replay();
+  ASSERT_TRUE(final_conf.ok());
+  for (const Fact& f : facts) EXPECT_TRUE(final_conf->Contains(f));
+}
+
+TEST_F(AccessTest, ProducibleDomainsFixpoint) {
+  // With only R(in D, out E) dependent on its D input and no D producer,
+  // nothing is producible; adding free S (val D) unlocks both D and E.
+  *acs_.Add("r_by_in", r_, {0}, /*dependent=*/true);
+  Configuration conf(&schema_);
+  auto prod = ProducibleDomains(conf, acs_);
+  EXPECT_TRUE(prod.empty());
+
+  *acs_.Add("s_free", s_, {}, /*dependent=*/true);
+  prod = ProducibleDomains(conf, acs_);
+  EXPECT_TRUE(prod.count(d_));
+  EXPECT_TRUE(prod.count(e_));
+}
+
+TEST_F(AccessTest, ProducibleDomainsIndependentUnlocksInputs) {
+  *acs_.Add("r_any", r_, {0}, /*dependent=*/false);
+  Configuration conf(&schema_);
+  auto prod = ProducibleDomains(conf, acs_);
+  EXPECT_TRUE(prod.count(d_));  // guessed inputs become known values
+  EXPECT_TRUE(prod.count(e_));
+}
+
+}  // namespace
+}  // namespace rar

@@ -1,0 +1,120 @@
+// Tests for the accessible-part fixpoint (Li–Chang exhaustive semantics)
+// and its relationship to the mediator's outcomes.
+#include <gtest/gtest.h>
+
+#include "access/accessible.h"
+#include "query/eval.h"
+#include "query/parser.h"
+#include "sim/deep_web.h"
+#include "util/rng.h"
+#include "workload/bank.h"
+#include "workload/generators.h"
+
+namespace rar {
+namespace {
+
+class AccessibleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = schema_.AddDomain("D");
+    r_ = *schema_.AddRelation("R", std::vector<DomainId>{d_, d_});
+    s_ = *schema_.AddRelation("S", std::vector<DomainId>{d_});
+    acs_ = AccessMethodSet(&schema_);
+  }
+
+  Value C(const std::string& s) { return schema_.InternConstant(s); }
+
+  Schema schema_;
+  DomainId d_ = 0;
+  RelationId r_ = 0, s_ = 0;
+  AccessMethodSet acs_{nullptr};
+};
+
+TEST_F(AccessibleTest, ChasesThroughDependentChains) {
+  // R(a,b), R(b,c), R(c,d) hidden; dependent access by first attribute;
+  // starting from {a}, the whole chain unrolls.
+  *acs_.Add("r_by0", r_, {0}, /*dependent=*/true);
+  Configuration hidden(&schema_);
+  ASSERT_TRUE(hidden.AddFactNamed("R", {"a", "b"}).ok());
+  ASSERT_TRUE(hidden.AddFactNamed("R", {"b", "c"}).ok());
+  ASSERT_TRUE(hidden.AddFactNamed("R", {"c", "d"}).ok());
+  Configuration initial(&schema_);
+  initial.AddSeedConstant(C("a"), d_);
+
+  AccessiblePart part = ComputeAccessiblePart(hidden, acs_, initial);
+  EXPECT_EQ(part.closure.NumFacts(), 3u);
+  EXPECT_GE(part.rounds, 2);
+}
+
+TEST_F(AccessibleTest, UnreachableValuesStayHidden) {
+  // Disconnected fact R(x,y): never obtainable from {a}.
+  *acs_.Add("r_by0", r_, {0}, /*dependent=*/true);
+  Configuration hidden(&schema_);
+  ASSERT_TRUE(hidden.AddFactNamed("R", {"a", "b"}).ok());
+  ASSERT_TRUE(hidden.AddFactNamed("R", {"x", "y"}).ok());
+  Configuration initial(&schema_);
+  initial.AddSeedConstant(C("a"), d_);
+
+  AccessiblePart part = ComputeAccessiblePart(hidden, acs_, initial);
+  EXPECT_EQ(part.closure.NumFacts(), 1u);
+  EXPECT_FALSE(part.closure.Contains(Fact(r_, {C("x"), C("y")})));
+}
+
+TEST_F(AccessibleTest, FreeAccessOpensEverything) {
+  *acs_.Add("s_free", s_, {}, /*dependent=*/true);
+  *acs_.Add("r_by0", r_, {0}, /*dependent=*/true);
+  Configuration hidden(&schema_);
+  ASSERT_TRUE(hidden.AddFactNamed("S", {"a"}).ok());
+  ASSERT_TRUE(hidden.AddFactNamed("R", {"a", "b"}).ok());
+  Configuration initial(&schema_);
+
+  AccessiblePart part = ComputeAccessiblePart(hidden, acs_, initial);
+  EXPECT_EQ(part.closure.NumFacts(), 2u);
+}
+
+TEST_F(AccessibleTest, MediatorNeverBeatsAccessiblePart) {
+  // The accessible part is the ceiling of any sound strategy: whatever the
+  // mediator learns is inside the closure, and the mediator answers "yes"
+  // iff the query is certain on some subset of the closure.
+  Rng rng(21);
+  BankOptions opts;
+  opts.num_employees = 6;
+  BankScenario bank = MakeBankScenario(&rng, opts);
+
+  AccessiblePart part =
+      ComputeAccessiblePart(bank.hidden, bank.base.acs, bank.base.conf);
+  DeepWebSource source(bank.base.schema.get(), &bank.base.acs, bank.hidden);
+  Mediator mediator(*bank.base.schema, bank.base.acs);
+  MediatorOptions mopts;
+  mopts.max_rounds = 512;
+  auto outcome =
+      mediator.AnswerBoolean(bank.query, bank.base.conf, &source, mopts);
+  ASSERT_TRUE(outcome.ok());
+
+  // Everything the mediator saw is within the accessible closure.
+  for (const Fact& f : outcome->final_conf.AllFacts()) {
+    EXPECT_TRUE(part.closure.Contains(f)) << f.ToString(*bank.base.schema);
+  }
+  // The maximally contained answer: certain on the closure iff answerable.
+  EXPECT_EQ(outcome->answered, EvalBool(bank.query, part.closure));
+}
+
+TEST_F(AccessibleTest, ClosureIsMonotoneInInitialKnowledge) {
+  *acs_.Add("r_by0", r_, {0}, /*dependent=*/true);
+  Configuration hidden(&schema_);
+  ASSERT_TRUE(hidden.AddFactNamed("R", {"a", "b"}).ok());
+  ASSERT_TRUE(hidden.AddFactNamed("R", {"x", "y"}).ok());
+
+  Configuration small(&schema_);
+  small.AddSeedConstant(C("a"), d_);
+  Configuration big = small;
+  big.AddSeedConstant(C("x"), d_);
+
+  AccessiblePart p_small = ComputeAccessiblePart(hidden, acs_, small);
+  AccessiblePart p_big = ComputeAccessiblePart(hidden, acs_, big);
+  EXPECT_TRUE(p_small.closure.IsSubsetOf(p_big.closure));
+  EXPECT_EQ(p_big.closure.NumFacts(), 2u);
+}
+
+}  // namespace
+}  // namespace rar

@@ -1,0 +1,132 @@
+// Integration tests for the Section 1 bank scenario: the paper's
+// motivating relevance questions, answered by the real engines.
+#include <gtest/gtest.h>
+
+#include "query/eval.h"
+#include "relevance/relevance.h"
+#include "util/rng.h"
+#include "workload/bank.h"
+
+namespace rar {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(2011);
+    BankOptions options;
+    options.num_employees = 6;
+    bank_ = MakeBankScenario(&rng, options);
+  }
+
+  BankScenario bank_;
+};
+
+TEST_F(BankTest, SchemaMatchesThePaper) {
+  const Schema& schema = *bank_.base.schema;
+  ASSERT_NE(schema.FindRelation("Employee"), kInvalidId);
+  EXPECT_EQ(schema.relation(schema.FindRelation("Employee")).arity(), 5);
+  EXPECT_EQ(schema.relation(schema.FindRelation("Office")).arity(), 4);
+  EXPECT_EQ(schema.relation(schema.FindRelation("Approval")).arity(), 2);
+  EXPECT_EQ(schema.relation(schema.FindRelation("Manager")).arity(), 2);
+  EXPECT_EQ(bank_.base.acs.size(), 4u);
+  // All four forms are dependent: a federated engine cannot guess ids.
+  for (AccessMethodId m = 0; m < bank_.base.acs.size(); ++m) {
+    EXPECT_TRUE(bank_.base.acs.method(m).dependent);
+  }
+}
+
+TEST_F(BankTest, QueryHoldsOnHiddenInstanceWhenSatisfiable) {
+  EXPECT_TRUE(EvalBool(bank_.query, bank_.hidden));
+  Rng rng(3);
+  BankOptions no_officer;
+  no_officer.loan_officer_in_illinois = false;
+  BankScenario unsat = MakeBankScenario(&rng, no_officer);
+  EXPECT_FALSE(EvalBool(unsat.query, unsat.hidden));
+}
+
+TEST_F(BankTest, ManagerProbeIsLongTermRelevantInitially) {
+  // The paper's question: is EmpManAcc with a known EmpId useful? Not
+  // immediately (it returns no Employee/Office/Approval tuples) — but
+  // long-term: its outputs feed EmpOffAcc and then OfficeInfoAcc.
+  RelevanceAnalyzer analyzer(*bank_.base.schema, bank_.base.acs);
+  EXPECT_FALSE(
+      analyzer.Immediate(bank_.base.conf, bank_.emp_man_probe, bank_.query));
+  auto ltr = analyzer.LongTerm(bank_.base.conf, bank_.emp_man_probe,
+                               bank_.query);
+  ASSERT_TRUE(ltr.ok()) << ltr.status().ToString();
+  EXPECT_TRUE(*ltr);
+}
+
+TEST_F(BankTest, NothingRelevantOnceWitnessKnown) {
+  // "If we already know that the company has a loan officer located in
+  // Illinois, then clearly such an access is unnecessary."
+  const Schema& schema = *bank_.base.schema;
+  Configuration satisfied = bank_.base.conf;
+  Value off = schema.InternConstant("off_x");
+  satisfied.AddFact(Fact(schema.FindRelation("Employee"),
+                         {schema.InternConstant("77777"),
+                          schema.InternConstant("loan_officer"),
+                          schema.InternConstant("l"),
+                          schema.InternConstant("f"), off}));
+  satisfied.AddFact(Fact(schema.FindRelation("Office"),
+                         {off, schema.InternConstant("addr"),
+                          schema.InternConstant("illinois"),
+                          schema.InternConstant("ph")}));
+  satisfied.AddFact(Fact(schema.FindRelation("Approval"),
+                         {schema.InternConstant("illinois"),
+                          schema.InternConstant("30yr")}));
+  ASSERT_TRUE(EvalBool(bank_.query, satisfied));
+
+  RelevanceAnalyzer analyzer(schema, bank_.base.acs);
+  EXPECT_FALSE(
+      analyzer.Immediate(satisfied, bank_.emp_man_probe, bank_.query));
+  auto ltr = analyzer.LongTerm(satisfied, bank_.emp_man_probe, bank_.query);
+  ASSERT_TRUE(ltr.ok());
+  EXPECT_FALSE(*ltr);
+}
+
+TEST_F(BankTest, ApprovalProbeBecomesImmediatelyRelevant) {
+  const Schema& schema = *bank_.base.schema;
+  AccessMethodId appr = bank_.base.acs.Find("StateApprAcc");
+  ASSERT_NE(appr, kInvalidId);
+  Access appr_access{appr, {schema.InternConstant("illinois")}};
+  RelevanceAnalyzer analyzer(schema, bank_.base.acs);
+
+  // Not IR initially: the employee/office part is missing.
+  EXPECT_FALSE(analyzer.Immediate(bank_.base.conf, appr_access, bank_.query));
+
+  Configuration almost = bank_.base.conf;
+  Value off = schema.InternConstant("off_x");
+  almost.AddFact(Fact(schema.FindRelation("Employee"),
+                      {schema.InternConstant("77777"),
+                       schema.InternConstant("loan_officer"),
+                       schema.InternConstant("l"),
+                       schema.InternConstant("f"), off}));
+  almost.AddFact(Fact(schema.FindRelation("Office"),
+                      {off, schema.InternConstant("addr"),
+                       schema.InternConstant("illinois"),
+                       schema.InternConstant("ph")}));
+  EXPECT_TRUE(analyzer.Immediate(almost, appr_access, bank_.query));
+}
+
+TEST_F(BankTest, IrrelevantStateProbeStaysIrrelevant) {
+  // Asking about Texas approvals can never help the Illinois query.
+  const Schema& schema = *bank_.base.schema;
+  AccessMethodId appr = bank_.base.acs.Find("StateApprAcc");
+  Configuration conf = bank_.base.conf;
+  Value texas = schema.InternConstant("texas");
+  conf.AddSeedConstant(texas, schema.FindDomain("State"));
+  Access texas_access{appr, {texas}};
+  RelevanceAnalyzer analyzer(schema, bank_.base.acs);
+  EXPECT_FALSE(analyzer.Immediate(conf, texas_access, bank_.query));
+  // Long-term: a Boolean-ish lookup on Approval(texas, ?) can still cut
+  // nothing into the Illinois query — but StateApprAcc has outputs, so
+  // the general engine decides; it must say "relevant" only if the query
+  // is achievable at all AND the cut exists. Approval(texas,?) returns
+  // offering values, which no dependent method consumes as State; the
+  // honest check is simply that the engine never reports IR here.
+}
+
+}  // namespace
+}  // namespace rar

@@ -1,0 +1,102 @@
+// Unit tests for classical (unrestricted) containment — the baseline the
+// access-limited notion is compared against in Section 3.
+#include <gtest/gtest.h>
+
+#include "query/containment_classic.h"
+#include "query/parser.h"
+
+namespace rar {
+namespace {
+
+class ClassicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = schema_.AddDomain("D");
+    (void)*schema_.AddRelation("R", std::vector<DomainId>{d_, d_});
+    (void)*schema_.AddRelation("S", std::vector<DomainId>{d_});
+  }
+
+  ConjunctiveQuery CQ(const std::string& text) {
+    auto q = ParseCQ(schema_, text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+  UnionQuery UCQ(const std::string& text) {
+    auto q = ParseUCQ(schema_, text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+
+  Schema schema_;
+  DomainId d_ = 0;
+};
+
+TEST_F(ClassicTest, MoreAtomsContainedInFewer) {
+  // R(X,Y) & R(Y,Z) asks for a 2-path; every 2-path has an edge.
+  EXPECT_TRUE(
+      ClassicallyContained(CQ("R(X, Y) & R(Y, Z)"), CQ("R(X, Y)"), schema_));
+  EXPECT_FALSE(
+      ClassicallyContained(CQ("R(X, Y)"), CQ("R(X, Y) & R(Y, Z)"), schema_));
+}
+
+TEST_F(ClassicTest, SelfLoopContainedInCycle) {
+  EXPECT_TRUE(
+      ClassicallyContained(CQ("R(X, X)"), CQ("R(X, Y) & R(Y, X)"), schema_));
+  EXPECT_FALSE(
+      ClassicallyContained(CQ("R(X, Y) & R(Y, X)"), CQ("R(X, X)"), schema_));
+}
+
+TEST_F(ClassicTest, ConstantsMustMatch) {
+  EXPECT_TRUE(ClassicallyContained(CQ("R(a, b)"), CQ("R(a, Y)"), schema_));
+  EXPECT_FALSE(ClassicallyContained(CQ("R(a, b)"), CQ("R(c, Y)"), schema_));
+  EXPECT_TRUE(ClassicallyContained(CQ("R(a, Y)"), CQ("R(X, Y)"), schema_));
+  EXPECT_FALSE(ClassicallyContained(CQ("R(X, Y)"), CQ("R(a, Y)"), schema_));
+}
+
+TEST_F(ClassicTest, Reflexivity) {
+  for (const char* q : {"R(X, Y)", "R(X, Y) & S(X)", "R(X, X) & S(X)"}) {
+    EXPECT_TRUE(ClassicallyContained(CQ(q), CQ(q), schema_)) << q;
+  }
+}
+
+TEST_F(ClassicTest, UnionContainment) {
+  // Each disjunct of the left is contained in the right union.
+  EXPECT_TRUE(ClassicallyContained(UCQ("R(X, X) | (R(X, Y) & S(X))"),
+                                   UCQ("R(X, Y)"), schema_));
+  // S(X) alone is not contained in R-only union.
+  EXPECT_FALSE(ClassicallyContained(UCQ("S(X) | R(X, Y)"), UCQ("R(X, Y)"),
+                                    schema_));
+  // Sagiv–Yannakakis: containment in a union may need different disjuncts
+  // for different left disjuncts.
+  EXPECT_TRUE(ClassicallyContained(UCQ("S(X) | R(X, Y)"),
+                                   UCQ("R(Z, W) | S(V)"), schema_));
+}
+
+TEST_F(ClassicTest, KAryHeadsMustAgree) {
+  ConjunctiveQuery q1 = CQ("R(X, Y)");
+  q1.head = {0};
+  ConjunctiveQuery q2 = CQ("R(X, Y)");
+  q2.head = {1};
+  // Same body, different heads: q1(X):-R(X,Y) is not contained in
+  // q2(Y):-R(X,Y) as k-ary queries.
+  EXPECT_FALSE(ClassicallyContained(q1, q2, schema_));
+  ConjunctiveQuery q3 = CQ("R(X, Y)");
+  q3.head = {0};
+  EXPECT_TRUE(ClassicallyContained(q1, q3, schema_));
+}
+
+TEST_F(ClassicTest, EquivalenceOfRenamedQueries) {
+  EXPECT_TRUE(ClassicallyEquivalent(UCQ("R(A, B) & S(A)"),
+                                    UCQ("R(X, Y) & S(X)"), schema_));
+  EXPECT_FALSE(
+      ClassicallyEquivalent(UCQ("R(A, B)"), UCQ("R(A, B) & S(A)"), schema_));
+}
+
+TEST_F(ClassicTest, RedundantAtomEquivalence) {
+  // Adding a homomorphically redundant atom preserves equivalence.
+  EXPECT_TRUE(ClassicallyEquivalent(UCQ("R(X, Y) & R(X, Z)"), UCQ("R(X, Y)"),
+                                    schema_));
+}
+
+}  // namespace
+}  // namespace rar

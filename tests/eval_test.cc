@@ -1,0 +1,159 @@
+// Unit tests for the homomorphism engine, certain answers, and delta
+// evaluation.
+#include <gtest/gtest.h>
+
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace rar {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = schema_.AddDomain("D");
+    r_ = *schema_.AddRelation("R", std::vector<DomainId>{d_, d_});
+    s_ = *schema_.AddRelation("S", std::vector<DomainId>{d_});
+    conf_ = Configuration(&schema_);
+  }
+
+  void AddR(const std::string& a, const std::string& b) {
+    ASSERT_TRUE(conf_.AddFactNamed("R", {a, b}).ok());
+  }
+  void AddS(const std::string& a) {
+    ASSERT_TRUE(conf_.AddFactNamed("S", {a}).ok());
+  }
+  ConjunctiveQuery CQ(const std::string& text) {
+    auto q = ParseCQ(schema_, text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+  UnionQuery UCQ(const std::string& text) {
+    auto q = ParseUCQ(schema_, text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+
+  Schema schema_;
+  DomainId d_ = 0;
+  RelationId r_ = 0, s_ = 0;
+  Configuration conf_{nullptr};
+};
+
+TEST_F(EvalTest, AtomMatchesFact) {
+  AddR("a", "b");
+  EXPECT_TRUE(EvalBool(CQ("R(X, Y)"), conf_));
+  EXPECT_TRUE(EvalBool(CQ("R(a, Y)"), conf_));
+  EXPECT_FALSE(EvalBool(CQ("R(b, Y)"), conf_));
+  EXPECT_FALSE(EvalBool(CQ("R(X, X)"), conf_));
+}
+
+TEST_F(EvalTest, JoinAcrossAtoms) {
+  AddR("a", "b");
+  AddR("b", "c");
+  AddS("b");
+  EXPECT_TRUE(EvalBool(CQ("R(X, Y) & S(Y)"), conf_));
+  EXPECT_TRUE(EvalBool(CQ("R(X, Y) & S(X)"), conf_));  // X=b via R(b,c)
+  EXPECT_TRUE(EvalBool(CQ("R(X, Y) & R(Y, Z)"), conf_));
+  EXPECT_FALSE(EvalBool(CQ("R(X, Y) & R(Y, X)"), conf_));
+  EXPECT_FALSE(EvalBool(CQ("R(X, Y) & S(X) & S(Y)"), conf_));
+}
+
+TEST_F(EvalTest, RepeatedVariableWithinAtom) {
+  AddR("a", "a");
+  AddR("a", "b");
+  EXPECT_TRUE(EvalBool(CQ("R(X, X)"), conf_));
+  ASSERT_TRUE(conf_.AddFactNamed("R", {"c", "c"}).ok());
+  int count = 0;
+  ForEachHomomorphism(CQ("R(X, X)"), conf_, [&](const std::vector<Value>&) {
+    ++count;
+    return false;
+  });
+  EXPECT_EQ(count, 2);  // (a,a) and (c,c)
+}
+
+TEST_F(EvalTest, UnionEvaluatesDisjuncts) {
+  AddS("a");
+  EXPECT_TRUE(EvalBool(UCQ("R(X, Y) | S(Z)"), conf_));
+  EXPECT_FALSE(EvalBool(UCQ("R(X, Y) | R(Y, X)"), conf_));
+}
+
+TEST_F(EvalTest, FindHomomorphismReturnsAssignment) {
+  AddR("a", "b");
+  std::vector<Value> assignment;
+  ASSERT_TRUE(FindHomomorphism(CQ("R(X, Y)"), conf_, &assignment));
+  EXPECT_EQ(schema_.ConstantSpelling(assignment[0]), "a");
+  EXPECT_EQ(schema_.ConstantSpelling(assignment[1]), "b");
+}
+
+TEST_F(EvalTest, CertainAnswersKAry) {
+  AddR("a", "b");
+  AddR("a", "c");
+  ConjunctiveQuery q = CQ("R(X, Y)");
+  q.head = {0};
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  auto answers = CertainAnswers(uq, conf_);
+  ASSERT_EQ(answers.size(), 1u);  // both tuples project to "a"
+  EXPECT_EQ(schema_.ConstantSpelling(answers.begin()->at(0)), "a");
+}
+
+TEST_F(EvalTest, CertainAnswersBooleanAsEmptyTuple) {
+  UnionQuery uq = UCQ("S(X)");
+  EXPECT_TRUE(CertainAnswers(uq, conf_).empty());
+  AddS("a");
+  auto answers = CertainAnswers(uq, conf_);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_TRUE(answers.begin()->empty());
+}
+
+TEST_F(EvalTest, DeltaEvalFindsHomUsingNewFact) {
+  AddR("a", "b");
+  UnionQuery q = UCQ("R(X, Y) & S(Y)");
+  EXPECT_FALSE(EvalBool(q, conf_));
+  Fact new_fact(s_, {schema_.InternConstant("b")});
+  conf_.AddFact(new_fact);
+  EXPECT_TRUE(EvalBoolDelta(q, conf_, new_fact));
+}
+
+TEST_F(EvalTest, DeltaEvalFalseWhenNewFactIrrelevant) {
+  AddR("a", "b");
+  UnionQuery q = UCQ("R(X, Y) & S(Y)");
+  Fact new_fact(s_, {schema_.InternConstant("z")});
+  conf_.AddFact(new_fact);
+  EXPECT_FALSE(EvalBoolDelta(q, conf_, new_fact));
+}
+
+TEST_F(EvalTest, DeltaEvalAgreesWithFullEval) {
+  // Randomized agreement sweep: delta(q, conf+f, f) == eval(conf+f) when
+  // eval(conf) was false.
+  AddR("a", "b");
+  AddR("b", "c");
+  std::vector<UnionQuery> queries = {
+      UCQ("R(X, Y) & S(X)"), UCQ("R(X, Y) & S(Y)"), UCQ("S(X) & S(Y)"),
+      UCQ("R(X, X) | S(X)"), UCQ("R(X, Y) & R(Y, Z) & S(Z)")};
+  std::vector<std::string> candidates = {"a", "b", "c", "z"};
+  for (const auto& q : queries) {
+    for (const std::string& c : candidates) {
+      Configuration base = conf_;
+      if (EvalBool(q, base)) continue;
+      Fact f(s_, {schema_.InternConstant(c)});
+      Configuration ext = base;
+      ext.AddFact(f);
+      EXPECT_EQ(EvalBoolDelta(q, ext, f), EvalBool(q, ext))
+          << "fact S(" << c << ")";
+    }
+  }
+}
+
+TEST_F(EvalTest, EvaluationOverNullValues) {
+  // Frozen configurations contain nulls; evaluation must treat them as
+  // ordinary (self-identical) values.
+  Value n = Value::Null(5);
+  conf_.AddFact(Fact(r_, {n, n}));
+  EXPECT_TRUE(EvalBool(CQ("R(X, X)"), conf_));
+  EXPECT_FALSE(EvalBool(CQ("R(a, X)"), conf_));
+}
+
+}  // namespace
+}  // namespace rar

@@ -1,0 +1,266 @@
+// Tests for the tiling solvers and the three lower-bound encoders: the
+// generated instances must make the *generic engines* agree with direct
+// combinatorial solvers — the executable content of the paper's hardness
+// proofs (Theorem 5.1, Prop 6.2, Prop 4.1).
+#include <gtest/gtest.h>
+
+#include "containment/access_containment.h"
+#include "hardness/encode_dp.h"
+#include "hardness/encode_nexptime.h"
+#include "hardness/encode_pspace.h"
+#include "hardness/tiling.h"
+#include "query/eval.h"
+#include "query/parser.h"
+#include "reference/brute_force.h"
+#include "relevance/immediate.h"
+
+namespace rar {
+namespace {
+
+TEST(TilingSolverTest, CheckerboardFixedCorridor) {
+  TilingInstance inst = tilings::Checkerboard();
+  inst.initial_tiles = {0, 1};
+  std::vector<int> cells;
+  EXPECT_TRUE(SolveFixedCorridor(inst, 2, 2, &cells));
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells, (std::vector<int>{0, 1, 1, 0}));
+  EXPECT_TRUE(SolveFixedCorridor(inst, 4, 4));
+  inst.initial_tiles = {0, 0};  // violates H immediately
+  EXPECT_FALSE(SolveFixedCorridor(inst, 2, 2));
+}
+
+TEST(TilingSolverTest, VerticallyBlockedIsUnsolvableBeyondOneRow) {
+  TilingInstance inst = tilings::VerticallyBlocked();
+  inst.initial_tiles = {0, 1};
+  EXPECT_TRUE(SolveFixedCorridor(inst, 2, 1));
+  EXPECT_FALSE(SolveFixedCorridor(inst, 2, 2));
+}
+
+TEST(TilingSolverTest, CorridorReachability) {
+  TilingInstance check = tilings::Checkerboard();
+  EXPECT_TRUE(SolveCorridorReachability(check, {0, 1}, {0, 1}, 4));
+  EXPECT_TRUE(SolveCorridorReachability(check, {0, 1}, {1, 0}, 4));
+  EXPECT_FALSE(SolveCorridorReachability(tilings::VerticallyBlocked(),
+                                         {0, 1}, {1, 0}, 4));
+  // Cycle3: vertical constraints repeat rows, so only the initial row is
+  // reachable.
+  TilingInstance cyc = tilings::Cycle3();
+  EXPECT_TRUE(SolveCorridorReachability(cyc, {0, 1, 2}, {0, 1, 2}, 4));
+  EXPECT_FALSE(SolveCorridorReachability(cyc, {0, 1, 2}, {1, 2, 0}, 6));
+}
+
+TEST(NexptimeEncodingTest, RejectsMalformedInstances) {
+  TilingInstance inst = tilings::Checkerboard();
+  inst.initial_tiles = {0};  // fewer than two initial tiles
+  EXPECT_FALSE(EncodeNexptimeTiling(inst, 1).ok());
+  inst.initial_tiles = {0, 0};  // H-inconsistent
+  EXPECT_FALSE(EncodeNexptimeTiling(inst, 1).ok());
+  inst.initial_tiles = {0, 1, 0, 1, 0};  // more tiles than first-row cells
+  EXPECT_FALSE(EncodeNexptimeTiling(inst, 2).ok());
+}
+
+TEST(NexptimeEncodingTest, ConfigurationShapeForN1) {
+  TilingInstance inst = tilings::Checkerboard();
+  inst.initial_tiles = {0, 1};
+  auto enc = EncodeNexptimeTiling(inst, 1);
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  // Truth tables: 3 ops x 4 rows; SameTile/Horiz/Vert: 3 x k^2; Bool: 2;
+  // TileType: k; Tile: 2 initial facts.
+  EXPECT_EQ(enc->conf.NumFacts(), 12u + 12u + 2u + 2u + 2u);
+  EXPECT_EQ(enc->contained.disjuncts.size(), 1u);
+  EXPECT_EQ(enc->container.disjuncts.size(), 1u);
+  // Q2 is a single CQ: 4 Tile atoms + gate/lookup atoms.
+  EXPECT_GT(enc->container.disjuncts[0].num_atoms(), 20);
+  // Q2 must be false initially (the chain is still correct).
+  EXPECT_FALSE(EvalBool(enc->container, enc->conf));
+}
+
+// The flagship end-to-end check: 2x2 corridor tiling solvable iff the
+// generic containment engine refutes the encoded containment.
+TEST(NexptimeEncodingTest, SolvableTilingRefutesContainment) {
+  TilingInstance inst = tilings::Checkerboard();
+  inst.initial_tiles = {0, 1};
+  ASSERT_TRUE(SolveFixedCorridor(inst, 2, 2));
+
+  auto enc = EncodeNexptimeTiling(inst, 1);
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  ContainmentEngine engine(*enc->schema, enc->acs);
+  ContainmentOptions opts;
+  opts.max_aux_facts = 4;
+  auto dec = engine.Contained(enc->contained, enc->container, enc->conf,
+                              opts);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_FALSE(dec->contained);
+  ASSERT_TRUE(dec->witness.has_value());
+  // The witness chain holds the two missing cells (1,0) and (1,1), and its
+  // final configuration satisfies Q1 but not Q2 (verified by the engine;
+  // re-verified here through the public evaluator).
+  EXPECT_TRUE(EvalBool(enc->contained, dec->witness->final_config));
+  EXPECT_FALSE(EvalBool(enc->container, dec->witness->final_config));
+  // The chain must at least contain the two missing cells (1,0) and (1,1)
+  // on top of the two initial ones (the engine may add harmless duplicate
+  // cells along the way — Q2 stays false, so the witness remains valid).
+  EXPECT_GE(dec->witness->final_config.FactsOf(
+                enc->schema->FindRelation("Tile")).size(), 4u);
+}
+
+TEST(NexptimeEncodingTest, UnsolvableTilingIsContained) {
+  TilingInstance inst = tilings::VerticallyBlocked();
+  inst.initial_tiles = {0, 1};
+  ASSERT_FALSE(SolveFixedCorridor(inst, 2, 2));
+
+  auto enc = EncodeNexptimeTiling(inst, 1);
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  ContainmentEngine engine(*enc->schema, enc->acs);
+  ContainmentOptions opts;
+  opts.max_aux_facts = 4;
+  auto dec = engine.Contained(enc->contained, enc->container, enc->conf,
+                              opts);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_TRUE(dec->contained);
+  EXPECT_TRUE(dec->stats.complete);
+}
+
+TEST(NexptimeEncodingTest, HorizontallyBlockedIsContained) {
+  // H allows only 0->1 and V flips types: the second row is forced to
+  // (1,0), which violates H — the corridor cannot be completed.
+  TilingInstance inst;
+  inst.num_tile_types = 2;
+  inst.horizontal = {{0, 1}};
+  inst.vertical = {{0, 1}, {1, 0}};
+  inst.initial_tiles = {0, 1};
+  ASSERT_FALSE(SolveFixedCorridor(inst, 2, 2));
+
+  auto enc = EncodeNexptimeTiling(inst, 1);
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  ContainmentEngine engine(*enc->schema, enc->acs);
+  ContainmentOptions opts;
+  opts.max_aux_facts = 4;
+  auto dec = engine.Contained(enc->contained, enc->container, enc->conf,
+                              opts);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_TRUE(dec->contained);
+}
+
+TEST(PspaceEncodingTest, RejectsMalformedRows) {
+  TilingInstance inst = tilings::Checkerboard();
+  EXPECT_FALSE(EncodePspaceTiling(inst, {0}, {0}).ok());       // width 1
+  EXPECT_FALSE(EncodePspaceTiling(inst, {0, 0}, {0, 1}).ok()); // bad H
+  EXPECT_FALSE(EncodePspaceTiling(inst, {0, 1}, {0}).ok());    // widths
+}
+
+TEST(PspaceEncodingTest, ReachableFinalRowRefutesContainment) {
+  TilingInstance inst = tilings::Checkerboard();
+  ASSERT_TRUE(SolveCorridorReachability(inst, {0, 1}, {1, 0}, 4));
+
+  auto enc = EncodePspaceTiling(inst, {0, 1}, {1, 0});
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  ContainmentEngine engine(*enc->schema, enc->acs);
+  ContainmentOptions opts;
+  opts.max_aux_facts = 6;
+  auto dec = engine.Contained(enc->contained, enc->container, enc->conf,
+                              opts);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_FALSE(dec->contained);
+  ASSERT_TRUE(dec->witness.has_value());
+  EXPECT_FALSE(EvalBool(enc->container, dec->witness->final_config));
+}
+
+TEST(PspaceEncodingTest, UnreachableFinalRowIsContained) {
+  TilingInstance inst = tilings::VerticallyBlocked();
+  ASSERT_FALSE(SolveCorridorReachability(inst, {0, 1}, {1, 0}, 4));
+
+  auto enc = EncodePspaceTiling(inst, {0, 1}, {1, 0});
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  ContainmentEngine engine(*enc->schema, enc->acs);
+  ContainmentOptions opts;
+  opts.max_aux_facts = 6;
+  auto dec = engine.Contained(enc->contained, enc->container, enc->conf,
+                              opts);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_TRUE(dec->contained);
+  EXPECT_TRUE(dec->stats.complete);
+}
+
+TEST(PspaceEncodingTest, TrivialReachabilityWhenRowsCoincide) {
+  TilingInstance inst = tilings::Cycle3();
+  auto enc = EncodePspaceTiling(inst, {0, 1, 2}, {0, 1, 2});
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  // The initial configuration itself satisfies q_final and no violation:
+  // the empty path is already a witness.
+  EXPECT_TRUE(EvalBool(enc->contained, enc->conf));
+  EXPECT_FALSE(EvalBool(enc->container, enc->conf));
+  ContainmentEngine engine(*enc->schema, enc->acs);
+  auto dec = engine.Contained(enc->contained, enc->container, enc->conf);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_FALSE(dec->contained);
+  // The engine may report the empty-path witness or an equivalent one
+  // that re-walks a row; either way the final configuration separates the
+  // queries.
+  EXPECT_TRUE(EvalBool(enc->contained, dec->witness->final_config));
+  EXPECT_FALSE(EvalBool(enc->container, dec->witness->final_config));
+}
+
+TEST(PspaceEncodingTest, AgreesWithBruteForceOnWidthTwo) {
+  // Small enough for the raw-definition reference: two new facts suffice.
+  TilingInstance inst = tilings::Checkerboard();
+  auto enc = EncodePspaceTiling(inst, {0, 1}, {1, 0});
+  ASSERT_TRUE(enc.ok());
+  BruteForceOptions brute;
+  brute.max_steps = 2;
+  brute.extra_constants_per_domain = 2;
+  EXPECT_TRUE(BruteForceNotContained(enc->conf, enc->acs, enc->contained,
+                                     enc->container, brute));
+
+  TilingInstance blocked = tilings::VerticallyBlocked();
+  auto enc2 = EncodePspaceTiling(blocked, {0, 1}, {1, 0});
+  ASSERT_TRUE(enc2.ok());
+  EXPECT_FALSE(BruteForceNotContained(enc2->conf, enc2->acs, enc2->contained,
+                                      enc2->container, brute));
+}
+
+TEST(DpEncodingTest, AllFourTruthCombinations) {
+  // Base schema: one domain, E (binary) for q1's side, F (unary) for q2's.
+  Schema base;
+  DomainId d = base.AddDomain("D");
+  RelationId e = *base.AddRelation("E", std::vector<DomainId>{d, d});
+  RelationId f = *base.AddRelation("F", std::vector<DomainId>{d});
+
+  ConjunctiveQuery q1 = *ParseCQ(base, "E(X, X)");       // a self-loop
+  ConjunctiveQuery q2 = *ParseCQ(base, "F(X)");          // non-emptiness
+  Value u = base.InternConstant("u");
+  Value v = base.InternConstant("v");
+
+  struct Case {
+    std::vector<Fact> i1, i2;
+    bool q1_true, q2_true;
+  };
+  std::vector<Case> cases = {
+      {{Fact(e, {u, v})}, {}, false, false},
+      {{Fact(e, {u, u})}, {}, true, false},
+      {{Fact(e, {u, v})}, {Fact(f, {v})}, false, true},
+      {{Fact(e, {u, u})}, {Fact(f, {v})}, true, true},
+  };
+  for (const Case& c : cases) {
+    auto enc = EncodeDpHardness(base, q1, c.i1, q2, c.i2);
+    ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+    bool ir = IsImmediatelyRelevant(enc->conf, enc->acs, enc->access,
+                                    enc->query);
+    EXPECT_EQ(ir, !c.q1_true && c.q2_true)
+        << "q1_true=" << c.q1_true << " q2_true=" << c.q2_true;
+    // Cross-check against the brute-force IR decider.
+    EXPECT_EQ(ir, BruteForceIR(enc->conf, enc->acs, enc->access, enc->query));
+  }
+}
+
+TEST(DpEncodingTest, RejectsSharedRelations) {
+  Schema base;
+  DomainId d = base.AddDomain("D");
+  (void)*base.AddRelation("E", std::vector<DomainId>{d, d});
+  ConjunctiveQuery q = *ParseCQ(base, "E(X, Y)");
+  auto enc = EncodeDpHardness(base, q, {}, q, {});
+  EXPECT_FALSE(enc.ok());
+}
+
+}  // namespace
+}  // namespace rar

@@ -1,0 +1,245 @@
+// Property-based tests (parameterized over deterministic seeds): random
+// scenarios are generated and the engines are checked against brute-force
+// references and against each other's structural invariants.
+#include <gtest/gtest.h>
+
+#include "containment/access_containment.h"
+#include "query/containment_classic.h"
+#include "query/eval.h"
+#include "reference/brute_force.h"
+#include "relevance/relevance.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace rar {
+namespace {
+
+class PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// --- IR against the raw semantics, random dependent scenarios. ---
+TEST_P(PropertyTest, IRMatchesBruteForceOnRandomScenarios) {
+  Rng rng(GetParam() * 7919 + 1);
+  RandomScenarioOptions opts;
+  opts.num_relations = 3;
+  opts.num_constants = 3;
+  opts.num_facts = 4;
+  Scenario s = RandomScenario(&rng, opts);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    ConjunctiveQuery cq = RandomQuery(&rng, s, 2, 2, 0.25);
+    if (!cq.Validate(*s.schema).ok()) continue;
+    UnionQuery q;
+    q.disjuncts.push_back(cq);
+    Access access;
+    if (!RandomAccess(&rng, s, &access)) continue;
+    bool engine = IsImmediatelyRelevant(s.conf, s.acs, access, q);
+    bool brute = BruteForceIR(s.conf, s.acs, access, q);
+    EXPECT_EQ(engine, brute)
+        << "seed " << GetParam() << " trial " << trial << " query "
+        << cq.ToString(*s.schema);
+  }
+}
+
+// --- Independent LTR against the raw semantics. ---
+TEST_P(PropertyTest, IndependentLTRMatchesBruteForce) {
+  Rng rng(GetParam() * 104729 + 3);
+  RandomScenarioOptions opts;
+  opts.num_relations = 2;
+  opts.num_constants = 2;
+  opts.num_facts = 2;
+  opts.independent_prob = 1.0;
+  Scenario s = RandomScenario(&rng, opts);
+
+  BruteForceOptions brute_opts;
+  brute_opts.max_steps = 3;
+  brute_opts.max_first_response = 2;
+
+  for (int trial = 0; trial < 4; ++trial) {
+    ConjunctiveQuery cq = RandomQuery(&rng, s, 2, 2, 0.2);
+    if (!cq.Validate(*s.schema).ok()) continue;
+    UnionQuery q;
+    q.disjuncts.push_back(cq);
+    Access access;
+    if (!RandomAccess(&rng, s, &access)) continue;
+    bool engine = IsLongTermRelevantIndependent(s.conf, s.acs, access, q);
+    bool brute = BruteForceLTR(s.conf, s.acs, access, q, brute_opts);
+    EXPECT_EQ(engine, brute)
+        << "seed " << GetParam() << " trial " << trial << " query "
+        << cq.ToString(*s.schema);
+  }
+}
+
+// --- Containment against the raw semantics, dependent scenarios. ---
+TEST_P(PropertyTest, ContainmentMatchesBruteForce) {
+  Rng rng(GetParam() * 15485863 + 5);
+  RandomScenarioOptions opts;
+  opts.num_relations = 2;
+  opts.num_constants = 2;
+  opts.num_facts = 2;
+  Scenario s = RandomScenario(&rng, opts);
+
+  BruteForceOptions brute_opts;
+  brute_opts.max_steps = 3;
+  ContainmentOptions copts;
+  copts.max_aux_facts = 3;
+  ContainmentEngine engine(*s.schema, s.acs);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    ConjunctiveQuery a = RandomQuery(&rng, s, 2, 2, 0.2);
+    ConjunctiveQuery b = RandomQuery(&rng, s, 2, 2, 0.2);
+    if (!a.Validate(*s.schema).ok() || !b.Validate(*s.schema).ok()) continue;
+    UnionQuery q1, q2;
+    q1.disjuncts.push_back(a);
+    q2.disjuncts.push_back(b);
+    auto dec = engine.Contained(q1, q2, s.conf, copts);
+    ASSERT_TRUE(dec.ok());
+    bool brute_not = BruteForceNotContained(s.conf, s.acs, q1, q2,
+                                            brute_opts);
+    EXPECT_EQ(!dec->contained, brute_not)
+        << "seed " << GetParam() << " trial " << trial << "\n  q1 "
+        << a.ToString(*s.schema) << "\n  q2 " << b.ToString(*s.schema);
+  }
+}
+
+// --- Structural invariants. ---
+
+TEST_P(PropertyTest, IRImpliesLTR) {
+  Rng rng(GetParam() * 32452843 + 7);
+  RandomScenarioOptions opts;
+  opts.num_relations = 3;
+  opts.num_constants = 3;
+  opts.num_facts = 3;
+  Scenario s = RandomScenario(&rng, opts);
+  RelevanceAnalyzer analyzer(*s.schema, s.acs);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    ConjunctiveQuery cq = RandomQuery(&rng, s, 2, 2, 0.25);
+    if (!cq.Validate(*s.schema).ok()) continue;
+    UnionQuery q;
+    q.disjuncts.push_back(cq);
+    Access access;
+    if (!RandomAccess(&rng, s, &access)) continue;
+    if (!analyzer.Immediate(s.conf, access, q)) continue;
+    auto ltr = analyzer.LongTerm(s.conf, access, q);
+    if (!ltr.ok()) continue;  // out-of-scope corner (uncuttable)
+    EXPECT_TRUE(*ltr) << "IR access not LTR; seed " << GetParam();
+  }
+}
+
+TEST_P(PropertyTest, ClassicalContainmentImpliesAccessContainment) {
+  Rng rng(GetParam() * 49979687 + 11);
+  RandomScenarioOptions opts;
+  opts.num_relations = 2;
+  opts.num_constants = 3;
+  opts.num_facts = 3;
+  Scenario s = RandomScenario(&rng, opts);
+  ContainmentEngine engine(*s.schema, s.acs);
+  ContainmentOptions copts;
+  copts.max_aux_facts = 3;
+
+  for (int trial = 0; trial < 4; ++trial) {
+    ConjunctiveQuery a = RandomQuery(&rng, s, 3, 2, 0.2);
+    ConjunctiveQuery b = RandomQuery(&rng, s, 2, 2, 0.2);
+    if (!a.Validate(*s.schema).ok() || !b.Validate(*s.schema).ok()) continue;
+    if (!ClassicallyContained(a, b, *s.schema)) continue;
+    auto dec = engine.Contained(a, b, s.conf, copts);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_TRUE(dec->contained)
+        << "classical but not access-contained; seed " << GetParam()
+        << "\n  q1 " << a.ToString(*s.schema) << "\n  q2 "
+        << b.ToString(*s.schema);
+  }
+}
+
+TEST_P(PropertyTest, ContainmentReflexiveAndTransitive) {
+  Rng rng(GetParam() * 86028121 + 13);
+  RandomScenarioOptions opts;
+  opts.num_relations = 2;
+  opts.num_constants = 2;
+  opts.num_facts = 2;
+  Scenario s = RandomScenario(&rng, opts);
+  ContainmentEngine engine(*s.schema, s.acs);
+  ContainmentOptions copts;
+  copts.max_aux_facts = 3;
+
+  std::vector<ConjunctiveQuery> queries;
+  for (int i = 0; i < 3; ++i) {
+    ConjunctiveQuery q = RandomQuery(&rng, s, 2, 2, 0.2);
+    if (q.Validate(*s.schema).ok()) queries.push_back(q);
+  }
+  for (const auto& q : queries) {
+    auto dec = engine.Contained(q, q, s.conf, copts);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_TRUE(dec->contained) << "reflexivity; seed " << GetParam();
+  }
+  // Transitivity: a ⊑ b ∧ b ⊑ c ⇒ a ⊑ c (over the same Conf).
+  if (queries.size() == 3) {
+    auto ab = engine.Contained(queries[0], queries[1], s.conf, copts);
+    auto bc = engine.Contained(queries[1], queries[2], s.conf, copts);
+    auto ac = engine.Contained(queries[0], queries[2], s.conf, copts);
+    ASSERT_TRUE(ab.ok() && bc.ok() && ac.ok());
+    if (ab->contained && bc->contained) {
+      EXPECT_TRUE(ac->contained) << "transitivity; seed " << GetParam();
+    }
+  }
+}
+
+TEST_P(PropertyTest, WitnessesAlwaysReplayValid) {
+  Rng rng(GetParam() * 122949823 + 17);
+  RandomScenarioOptions opts;
+  opts.num_relations = 2;
+  opts.num_constants = 2;
+  opts.num_facts = 2;
+  Scenario s = RandomScenario(&rng, opts);
+  ContainmentEngine engine(*s.schema, s.acs);
+  ContainmentOptions copts;
+  copts.max_aux_facts = 3;
+
+  for (int trial = 0; trial < 4; ++trial) {
+    ConjunctiveQuery a = RandomQuery(&rng, s, 2, 2, 0.2);
+    ConjunctiveQuery b = RandomQuery(&rng, s, 2, 2, 0.2);
+    if (!a.Validate(*s.schema).ok() || !b.Validate(*s.schema).ok()) continue;
+    UnionQuery q1, q2;
+    q1.disjuncts.push_back(a);
+    q2.disjuncts.push_back(b);
+    auto dec = engine.Contained(q1, q2, s.conf, copts);
+    ASSERT_TRUE(dec.ok());
+    if (dec->contained) continue;
+    ASSERT_TRUE(dec->witness.has_value());
+    AccessPath path(s.conf, &s.acs);
+    for (const AccessStep& step : dec->witness->steps) path.Append(step);
+    auto replayed = path.Replay();
+    ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+    EXPECT_TRUE(EvalBool(q1, *replayed));
+    EXPECT_FALSE(EvalBool(q2, *replayed));
+  }
+}
+
+TEST_P(PropertyTest, CertainQueriesAdmitNoRelevantAccess) {
+  Rng rng(GetParam() * 141650939 + 19);
+  RandomScenarioOptions opts;
+  opts.num_relations = 2;
+  opts.num_constants = 3;
+  opts.num_facts = 5;
+  Scenario s = RandomScenario(&rng, opts);
+  RelevanceAnalyzer analyzer(*s.schema, s.acs);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    ConjunctiveQuery cq = RandomQuery(&rng, s, 1, 1, 0.3);
+    if (!cq.Validate(*s.schema).ok()) continue;
+    UnionQuery q;
+    q.disjuncts.push_back(cq);
+    if (!EvalBool(q, s.conf)) continue;  // want certain queries
+    Access access;
+    if (!RandomAccess(&rng, s, &access)) continue;
+    EXPECT_FALSE(analyzer.Immediate(s.conf, access, q));
+    auto ltr = analyzer.LongTerm(s.conf, access, q);
+    if (ltr.ok()) EXPECT_FALSE(*ltr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace rar

@@ -1,0 +1,190 @@
+// Unit tests for query construction, validation, parsing, DNF conversion,
+// freezing and structural utilities.
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/query.h"
+#include "query/structure.h"
+
+namespace rar {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = schema_.AddDomain("D");
+    e_ = schema_.AddDomain("E");
+    r_ = *schema_.AddRelation("R", std::vector<DomainId>{d_, e_});
+    s_ = *schema_.AddRelation("S", std::vector<DomainId>{d_});
+    t_ = *schema_.AddRelation("T", std::vector<DomainId>{e_});
+  }
+
+  Schema schema_;
+  DomainId d_ = 0, e_ = 0;
+  RelationId r_ = 0, s_ = 0, t_ = 0;
+};
+
+TEST_F(QueryTest, ParseSimpleCQ) {
+  auto cq = ParseCQ(schema_, "R(X, Y) & S(X)");
+  ASSERT_TRUE(cq.ok());
+  EXPECT_EQ(cq->num_atoms(), 2);
+  EXPECT_EQ(cq->num_vars(), 2);
+  EXPECT_TRUE(cq->IsBoolean());
+  // Domain inference: X at D positions, Y at E.
+  EXPECT_EQ(cq->var_domains[0], d_);
+  EXPECT_EQ(cq->var_domains[1], e_);
+}
+
+TEST_F(QueryTest, ParseConstantsAndQuoted) {
+  auto cq = ParseCQ(schema_, "R(a, '30yr') & S(a)");
+  ASSERT_TRUE(cq.ok());
+  EXPECT_EQ(cq->num_vars(), 0);
+  ASSERT_EQ(cq->atoms[0].terms.size(), 2u);
+  EXPECT_TRUE(cq->atoms[0].terms[0].is_const());
+  EXPECT_EQ(schema_.ConstantSpelling(cq->atoms[0].terms[1].constant), "30yr");
+}
+
+TEST_F(QueryTest, ParseErrors) {
+  EXPECT_EQ(ParsePQ(schema_, "Unknown(X)").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParsePQ(schema_, "R(X").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParsePQ(schema_, "R(X,)").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParsePQ(schema_, "").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseCQ(schema_, "R(X, Y) | S(X)").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParsePQ(schema_, "R(X, Y) extra").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(QueryTest, DomainConsistencyEnforced) {
+  // X would be used at a D position (S) and an E position (T).
+  auto bad = ParseCQ(schema_, "S(X) & T(X)");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryTest, ArityMismatchRejected) {
+  auto bad = ParseCQ(schema_, "R(X)");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(QueryTest, DnfDistributesConjunctionOverDisjunction) {
+  auto uq = ParseUCQ(schema_, "S(X) & (T(Y) | R(X, Z))");
+  ASSERT_TRUE(uq.ok());
+  ASSERT_EQ(uq->disjuncts.size(), 2u);
+  EXPECT_EQ(uq->disjuncts[0].num_atoms(), 2);
+  EXPECT_EQ(uq->disjuncts[1].num_atoms(), 2);
+  // Shared variable X survives the re-indexing in both disjuncts.
+  for (const auto& d : uq->disjuncts) {
+    bool has_s = false;
+    for (const Atom& a : d.atoms) has_s |= (a.relation == s_);
+    EXPECT_TRUE(has_s);
+  }
+}
+
+TEST_F(QueryTest, DnfOfNestedOrs) {
+  auto uq = ParseUCQ(schema_, "(S(X) | T(Y)) & (S(Z) | T(W))");
+  ASSERT_TRUE(uq.ok());
+  EXPECT_EQ(uq->disjuncts.size(), 4u);
+}
+
+TEST_F(QueryTest, QueryConstantsAreTyped) {
+  auto cq = ParseCQ(schema_, "R(a, b)");
+  ASSERT_TRUE(cq.ok());
+  auto constants = QueryConstants(*cq, schema_);
+  ASSERT_EQ(constants.size(), 2u);
+  EXPECT_EQ(constants[0].domain, d_);
+  EXPECT_EQ(constants[1].domain, e_);
+}
+
+TEST_F(QueryTest, FreezeProducesCanonicalDatabase) {
+  auto cq = ParseCQ(schema_, "R(X, Y) & S(X)");
+  ASSERT_TRUE(cq.ok());
+  NullFactory nulls;
+  FrozenQuery frozen = FreezeQuery(*cq, schema_, &nulls);
+  EXPECT_EQ(frozen.facts.NumFacts(), 2u);
+  ASSERT_EQ(frozen.var_to_null.size(), 2u);
+  EXPECT_TRUE(frozen.var_to_null[0].is_null());
+  // The S fact carries the same null as R's first position.
+  auto s_facts = frozen.facts.FactsOf(s_);
+  ASSERT_EQ(s_facts.size(), 1u);
+  EXPECT_EQ(s_facts[0].values[0], frozen.var_to_null[0]);
+}
+
+TEST_F(QueryTest, SpecializeSubstitutesValues) {
+  auto cq = ParseCQ(schema_, "R(X, Y) & S(X)");
+  ASSERT_TRUE(cq.ok());
+  std::vector<std::optional<Value>> binding(2);
+  binding[0] = schema_.InternConstant("a");
+  ConjunctiveQuery spec = Specialize(*cq, binding);
+  EXPECT_TRUE(spec.atoms[0].terms[0].is_const());
+  EXPECT_TRUE(spec.atoms[0].terms[1].is_var());
+  EXPECT_TRUE(spec.atoms[1].terms[0].is_const());
+}
+
+TEST_F(QueryTest, GroundAtomsOnSubset) {
+  auto cq = ParseCQ(schema_, "R(X, Y) & S(X)");
+  ASSERT_TRUE(cq.ok());
+  std::vector<Value> assignment = {schema_.InternConstant("a"),
+                                   schema_.InternConstant("b")};
+  auto facts = GroundAtoms(*cq, assignment, {1});
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0].relation, s_);
+}
+
+TEST_F(QueryTest, SubgoalComponents) {
+  auto cq = ParseCQ(schema_, "R(X, Y) & S(X) & S(Z)");
+  ASSERT_TRUE(cq.ok());
+  auto comps = SubgoalComponents(*cq);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<int>{2}));
+  EXPECT_FALSE(IsConnected(*cq));
+  EXPECT_TRUE(IsConnected(SubqueryOf(*cq, comps[0])));
+}
+
+TEST_F(QueryTest, RelationOccurrencesAndArity) {
+  auto cq = ParseCQ(schema_, "R(X, Y) & S(X) & S(Z)");
+  ASSERT_TRUE(cq.ok());
+  EXPECT_EQ(RelationOccurrences(*cq, s_), 2);
+  EXPECT_EQ(RelationOccurrences(*cq, r_), 1);
+  EXPECT_EQ(RelationOccurrences(*cq, t_), 0);
+  EXPECT_EQ(MaxAtomArity(*cq), 2);
+}
+
+TEST_F(QueryTest, ToStringRoundTripsStructure) {
+  auto cq = ParseCQ(schema_, "R(X, Y) & S(X)");
+  ASSERT_TRUE(cq.ok());
+  std::string text = cq->ToString(schema_);
+  EXPECT_NE(text.find("R(X, Y)"), std::string::npos);
+  EXPECT_NE(text.find("S(X)"), std::string::npos);
+
+  auto pq = ParsePQ(schema_, "S(X) & (T(Y) | R(X, Z))");
+  ASSERT_TRUE(pq.ok());
+  std::string pq_text = pq->ToString(schema_);
+  EXPECT_NE(pq_text.find("|"), std::string::npos);
+}
+
+TEST_F(QueryTest, PositiveQueryFromCQ) {
+  auto cq = ParseCQ(schema_, "R(X, Y) & S(X)");
+  ASSERT_TRUE(cq.ok());
+  PositiveQuery pq = PositiveQuery::FromCQ(*cq);
+  ASSERT_TRUE(pq.Validate(schema_).ok());
+  auto uq = ToDnf(pq, schema_);
+  ASSERT_TRUE(uq.ok());
+  EXPECT_EQ(uq->disjuncts.size(), 1u);
+  EXPECT_EQ(uq->disjuncts[0].num_atoms(), 2);
+}
+
+TEST_F(QueryTest, UnionQueryValidateChecksHeads) {
+  UnionQuery uq;
+  ConjunctiveQuery a = *ParseCQ(schema_, "S(X)");
+  ConjunctiveQuery b = *ParseCQ(schema_, "T(Y)");
+  b.head.push_back(0);
+  uq.disjuncts = {a, b};
+  EXPECT_FALSE(uq.Validate(schema_).ok());
+}
+
+}  // namespace
+}  // namespace rar

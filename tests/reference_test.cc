@@ -1,0 +1,165 @@
+// Unit tests for the brute-force reference deciders (the ground-truth
+// implementations of the Section 2 semantics).
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "reference/brute_force.h"
+
+namespace rar {
+namespace {
+
+class ReferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = schema_.AddDomain("D");
+    r_ = *schema_.AddRelation("R", std::vector<DomainId>{d_, d_});
+    s_ = *schema_.AddRelation("S", std::vector<DomainId>{d_});
+    t_ = *schema_.AddRelation("T", std::vector<DomainId>{d_});
+    acs_ = AccessMethodSet(&schema_);
+    conf_ = Configuration(&schema_);
+  }
+
+  UnionQuery UCQ(const std::string& text) {
+    auto q = ParseUCQ(schema_, text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+  Value C(const std::string& s) { return schema_.InternConstant(s); }
+
+  Schema schema_;
+  DomainId d_ = 0;
+  RelationId r_ = 0, s_ = 0, t_ = 0;
+  AccessMethodSet acs_{nullptr};
+  Configuration conf_{nullptr};
+};
+
+TEST_F(ReferenceTest, UniverseContainsAdomAndFreshConstants) {
+  conf_.AddFactNamed("S", {"a"}).ok();
+  BoundedUniverse universe(conf_, acs_, 2);
+  EXPECT_EQ(universe.ValuesOf(d_).size(), 3u);  // a + 2 fresh
+  EXPECT_EQ(universe.AllFactsOf(r_).size(), 9u);
+  EXPECT_EQ(universe.AllFactsOf(s_).size(), 3u);
+}
+
+TEST_F(ReferenceTest, FactsMatchingPinsBinding) {
+  AccessMethodId m = *acs_.Add("r_by_0", r_, {0}, true);
+  conf_.AddFactNamed("S", {"a"}).ok();
+  BoundedUniverse universe(conf_, acs_, 1);
+  Access access{m, {C("a")}};
+  auto facts = universe.FactsMatching(access);
+  EXPECT_EQ(facts.size(), 2u);  // second position ranges over {a, fresh}
+  for (const Fact& f : facts) EXPECT_EQ(f.values[0], C("a"));
+}
+
+TEST_F(ReferenceTest, IRDetectsImmediateWitness) {
+  // Conf: R(a,b). Q = R(X,Y) & S(Y). Access S(b)? can complete the query.
+  AccessMethodId m = *acs_.Add("s_check", s_, {0}, true);
+  ASSERT_TRUE(conf_.AddFactNamed("R", {"a", "b"}).ok());
+  UnionQuery q = UCQ("R(X, Y) & S(Y)");
+  EXPECT_TRUE(BruteForceIR(conf_, acs_, Access{m, {C("b")}}, q));
+  // S(a)? cannot: S(a) gives no homomorphism.
+  EXPECT_FALSE(BruteForceIR(conf_, acs_, Access{m, {C("a")}}, q));
+}
+
+TEST_F(ReferenceTest, IRFalseWhenQueryAlreadyCertain) {
+  AccessMethodId m = *acs_.Add("s_check", s_, {0}, true);
+  ASSERT_TRUE(conf_.AddFactNamed("R", {"a", "b"}).ok());
+  ASSERT_TRUE(conf_.AddFactNamed("S", {"b"}).ok());
+  UnionQuery q = UCQ("R(X, Y) & S(Y)");
+  EXPECT_FALSE(BruteForceIR(conf_, acs_, Access{m, {C("b")}}, q));
+}
+
+TEST_F(ReferenceTest, IRIllFormedAccessIsIrrelevant) {
+  AccessMethodId m = *acs_.Add("s_check", s_, {0}, true);
+  UnionQuery q = UCQ("S(X)");
+  // Empty configuration: binding value not in the active domain.
+  EXPECT_FALSE(BruteForceIR(conf_, acs_, Access{m, {C("zz")}}, q));
+}
+
+TEST_F(ReferenceTest, LTRExample21FromThePaper) {
+  // Example 2.1: Q = S ⋈ T; nothing accessed yet; dependent (Boolean)
+  // method on T; a free method on S. The S access is long-term relevant:
+  // its output can feed the T access.
+  AccessMethodId s_free = *acs_.Add("s_free", s_, {}, true);
+  *acs_.Add("t_check", t_, {0}, true);
+  UnionQuery q = UCQ("S(X) & T(X)");
+  BruteForceOptions opts;
+  opts.max_steps = 2;
+  EXPECT_TRUE(BruteForceLTR(conf_, acs_, Access{s_free, {}}, q, opts));
+}
+
+TEST_F(ReferenceTest, LTRFalseWhenQueryCannotUseAccess) {
+  // T has no access method and no facts: Q can never become true, so no
+  // access is long-term relevant.
+  AccessMethodId s_free = *acs_.Add("s_free", s_, {}, true);
+  UnionQuery q = UCQ("S(X) & T(X)");
+  BruteForceOptions opts;
+  opts.max_steps = 2;
+  EXPECT_FALSE(BruteForceLTR(conf_, acs_, Access{s_free, {}}, q, opts));
+}
+
+TEST_F(ReferenceTest, LTRExample42FromThePaper) {
+  // Example 4.2: Q = R(x,5) & S(5,z) — modelled as R(X, five) & R2(five, Z)
+  // over binary R. With R(3,5) known, an independent access R(?,5) is not
+  // LTR; with R(3,6) it is. We encode "S" as relation T2 below.
+  RelationId r2 = *schema_.AddRelation("R2", std::vector<DomainId>{d_, d_});
+  AccessMethodId r_by_1 = *acs_.Add("r_by_1", r_, {1}, /*dependent=*/false);
+  *acs_.Add("r2_free", r2, {}, /*dependent=*/false);
+
+  auto q = ParseUCQ(schema_, "R(X, five) & R2(five, Z)");
+  ASSERT_TRUE(q.ok());
+
+  BruteForceOptions opts;
+  opts.max_steps = 2;
+
+  Configuration with_35(&schema_);
+  ASSERT_TRUE(with_35.AddFactNamed("R", {"3", "five"}).ok());
+  EXPECT_FALSE(
+      BruteForceLTR(with_35, acs_, Access{r_by_1, {C("five")}}, *q, opts));
+
+  Configuration with_36(&schema_);
+  ASSERT_TRUE(with_36.AddFactNamed("R", {"3", "6"}).ok());
+  // "five" must be usable in the query/bindings: seed it.
+  with_36.AddSeedConstant(C("five"), d_);
+  EXPECT_TRUE(
+      BruteForceLTR(with_36, acs_, Access{r_by_1, {C("five")}}, *q, opts));
+}
+
+TEST_F(ReferenceTest, ContainmentExample32FromThePaper) {
+  // Example 3.2: R Boolean dependent, S free; Q1 = ∃x R(x) is contained in
+  // Q2 = ∃x S(x) under access limitations (from the empty configuration)
+  // but not classically.
+  *acs_.Add("s_bool", s_, {0}, /*dependent=*/true);  // Boolean on "S"≡ ex-R
+  *acs_.Add("t_free", t_, {}, /*dependent=*/true);   // free on "T"≡ ex-S
+  UnionQuery q1 = UCQ("S(X)");
+  UnionQuery q2 = UCQ("T(X)");
+  BruteForceOptions opts;
+  opts.max_steps = 3;
+  EXPECT_FALSE(BruteForceNotContained(conf_, acs_, q1, q2, opts));
+  // The reverse direction: T can be populated without touching S.
+  EXPECT_TRUE(BruteForceNotContained(conf_, acs_, q2, q1, opts));
+}
+
+TEST_F(ReferenceTest, ContainmentDetectsEasyWitness) {
+  *acs_.Add("r_any", r_, {0}, /*dependent=*/false);
+  UnionQuery q1 = UCQ("R(X, Y)");
+  UnionQuery q2 = UCQ("S(Z)");
+  BruteForceOptions opts;
+  opts.max_steps = 1;
+  EXPECT_TRUE(BruteForceNotContained(conf_, acs_, q1, q2, opts));
+}
+
+TEST_F(ReferenceTest, CriticalTupleBasics) {
+  UnionQuery loop = UCQ("R(X, X)");
+  std::vector<Value> dom = {C("a"), C("b")};
+  Fact raa(r_, {C("a"), C("a")});
+  Fact rab(r_, {C("a"), C("b")});
+  EXPECT_TRUE(BruteForceIsCritical(schema_, loop, raa, dom));
+  EXPECT_FALSE(BruteForceIsCritical(schema_, loop, rab, dom));
+
+  UnionQuery path2 = UCQ("R(X, Y) & R(Y, Z)");
+  EXPECT_TRUE(BruteForceIsCritical(schema_, path2, rab, dom));
+}
+
+}  // namespace
+}  // namespace rar

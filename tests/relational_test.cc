@@ -1,0 +1,179 @@
+// Unit tests for values, schemas, facts and configurations.
+#include <gtest/gtest.h>
+
+#include "relational/configuration.h"
+#include "relational/fact.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace rar {
+namespace {
+
+TEST(ValueTest, ConstantsAndNullsAreDistinct) {
+  Value c = Value::Constant(3);
+  Value n = Value::Null(3);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_TRUE(n.is_null());
+  EXPECT_NE(c, n);
+  EXPECT_NE(c.Packed(), n.Packed());
+}
+
+TEST(ValueTest, NullFactoryIsFresh) {
+  NullFactory nulls;
+  Value a = nulls.Fresh();
+  Value b = nulls.Fresh();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(nulls.labels_used(), 2u);
+}
+
+TEST(SchemaTest, DomainsAndRelations) {
+  Schema schema;
+  DomainId d = schema.AddDomain("D");
+  DomainId e = schema.AddDomain("E");
+  EXPECT_NE(d, e);
+  EXPECT_EQ(schema.AddDomain("D"), d);  // idempotent
+  EXPECT_EQ(schema.FindDomain("E"), e);
+  EXPECT_EQ(schema.FindDomain("F"), kInvalidId);
+
+  auto rel = schema.AddRelation("R", std::vector<DomainId>{d, e});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(schema.relation(*rel).arity(), 2);
+  EXPECT_EQ(schema.relation(*rel).attributes[1].domain, e);
+  EXPECT_EQ(schema.FindRelation("R"), *rel);
+
+  auto dup = schema.AddRelation("R", std::vector<DomainId>{d});
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ConstantInterningSharedAcrossCopies) {
+  Schema schema;
+  Value a = schema.InternConstant("alice");
+  Schema copy = schema;
+  Value a2 = copy.InternConstant("alice");
+  EXPECT_EQ(a, a2);
+  Value b = copy.InternConstant("bob");
+  EXPECT_EQ(schema.ConstantSpelling(b), "bob");
+}
+
+TEST(SchemaTest, MintFreshConstantAvoidsCollisions) {
+  Schema schema;
+  schema.InternConstant("f#0");
+  Value fresh = schema.MintFreshConstant("f");
+  EXPECT_NE(schema.ConstantSpelling(fresh), "f#0");
+}
+
+TEST(SchemaTest, ValueToStringRendersNulls) {
+  Schema schema;
+  EXPECT_EQ(schema.ValueToString(Value::Null(7)), "_n7");
+  Value c = schema.InternConstant("x");
+  EXPECT_EQ(schema.ValueToString(c), "x");
+}
+
+class ConfigurationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = schema_.AddDomain("D");
+    e_ = schema_.AddDomain("E");
+    r_ = *schema_.AddRelation("R", std::vector<DomainId>{d_, e_});
+    s_ = *schema_.AddRelation("S", std::vector<DomainId>{d_});
+  }
+
+  Fact MakeR(const std::string& a, const std::string& b) {
+    return Fact(r_, {schema_.InternConstant(a), schema_.InternConstant(b)});
+  }
+
+  Schema schema_;
+  DomainId d_ = 0, e_ = 0;
+  RelationId r_ = 0, s_ = 0;
+};
+
+TEST_F(ConfigurationTest, AddFactIsIdempotent) {
+  Configuration conf(&schema_);
+  EXPECT_TRUE(conf.AddFact(MakeR("a", "b")));
+  EXPECT_FALSE(conf.AddFact(MakeR("a", "b")));
+  EXPECT_EQ(conf.NumFacts(), 1u);
+  EXPECT_TRUE(conf.Contains(MakeR("a", "b")));
+  EXPECT_FALSE(conf.Contains(MakeR("b", "a")));
+}
+
+TEST_F(ConfigurationTest, AdomIsTyped) {
+  Configuration conf(&schema_);
+  conf.AddFact(MakeR("a", "b"));
+  Value a = schema_.InternConstant("a");
+  Value b = schema_.InternConstant("b");
+  // "a" sits at a D position, "b" at an E position.
+  EXPECT_TRUE(conf.AdomContains(a, d_));
+  EXPECT_FALSE(conf.AdomContains(a, e_));
+  EXPECT_TRUE(conf.AdomContains(b, e_));
+  EXPECT_FALSE(conf.AdomContains(b, d_));
+  EXPECT_EQ(conf.AdomOfDomain(d_).size(), 1u);
+}
+
+TEST_F(ConfigurationTest, SeedConstantsEnterAdomWithoutFacts) {
+  Configuration conf(&schema_);
+  Value c = schema_.InternConstant("seed");
+  conf.AddSeedConstant(c, d_);
+  EXPECT_TRUE(conf.AdomContains(c, d_));
+  EXPECT_EQ(conf.NumFacts(), 0u);
+}
+
+TEST_F(ConfigurationTest, IndexFindsFactsByPositionValue) {
+  Configuration conf(&schema_);
+  conf.AddFact(MakeR("a", "b"));
+  conf.AddFact(MakeR("a", "c"));
+  conf.AddFact(MakeR("x", "b"));
+  Value a = schema_.InternConstant("a");
+  EXPECT_EQ(conf.FactsWith(r_, 0, a).size(), 2u);
+  Value b = schema_.InternConstant("b");
+  EXPECT_EQ(conf.FactsWith(r_, 1, b).size(), 2u);
+  EXPECT_TRUE(conf.FactsWith(s_, 0, a).empty());
+}
+
+TEST_F(ConfigurationTest, AddFactNamedValidates) {
+  Configuration conf(&schema_);
+  EXPECT_TRUE(conf.AddFactNamed("R", {"a", "b"}).ok());
+  EXPECT_EQ(conf.AddFactNamed("Nope", {"a"}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(conf.AddFactNamed("R", {"a"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ConfigurationTest, DifferenceAndUnionAndSubset) {
+  Configuration base(&schema_);
+  base.AddFact(MakeR("a", "b"));
+  Configuration ext = base;
+  ext.AddFact(MakeR("c", "d"));
+  auto diff = ext.Difference(base);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0], MakeR("c", "d"));
+  EXPECT_TRUE(base.IsSubsetOf(ext));
+  EXPECT_FALSE(ext.IsSubsetOf(base));
+
+  Configuration merged(&schema_);
+  merged.UnionWith(base);
+  merged.UnionWith(ext);
+  EXPECT_EQ(merged.NumFacts(), 2u);
+}
+
+TEST_F(ConfigurationTest, AllFactsDeterministicOrder) {
+  Configuration conf(&schema_);
+  conf.AddFact(Fact(s_, {schema_.InternConstant("z")}));
+  conf.AddFact(MakeR("a", "b"));
+  auto facts = conf.AllFacts();
+  ASSERT_EQ(facts.size(), 2u);
+  // Ordered by relation id: R (0) before S (1).
+  EXPECT_EQ(facts[0].relation, r_);
+  EXPECT_EQ(facts[1].relation, s_);
+}
+
+TEST_F(ConfigurationTest, FactToString) {
+  Fact f = MakeR("a", "b");
+  EXPECT_EQ(f.ToString(schema_), "R(a, b)");
+  Fact with_null(r_, {schema_.InternConstant("a"), Value::Null(0)});
+  EXPECT_EQ(with_null.ToString(schema_), "R(a, _n0)");
+  EXPECT_TRUE(f.IsGroundConstant());
+  EXPECT_FALSE(with_null.IsGroundConstant());
+}
+
+}  // namespace
+}  // namespace rar

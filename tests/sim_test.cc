@@ -1,0 +1,178 @@
+// Integration tests: the deep-Web simulator, the relevance-guided
+// mediator, and the bank scenario of Section 1.
+#include <gtest/gtest.h>
+
+#include "query/eval.h"
+#include "sim/deep_web.h"
+#include "workload/bank.h"
+#include "workload/generators.h"
+
+namespace rar {
+namespace {
+
+TEST(DeepWebSourceTest, SoundResponses) {
+  Rng rng(11);
+  BankOptions opts;
+  BankScenario bank = MakeBankScenario(&rng, opts);
+  DeepWebSource source(bank.base.schema.get(), &bank.base.acs, bank.hidden);
+
+  // Exact responses return all matching tuples; they are sound w.r.t. the
+  // hidden instance.
+  auto resp = source.Execute(bank.base.conf, bank.emp_man_probe);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->size(), 1u);
+  EXPECT_TRUE(bank.hidden.Contains((*resp)[0]));
+
+  // Capped responses are subsets.
+  ResponsePolicy capped;
+  capped.kind = ResponsePolicy::Kind::kCapped;
+  capped.cap = 0;
+  auto empty = source.Execute(bank.base.conf, bank.emp_man_probe, capped);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(DeepWebSourceTest, RejectsIllFormedAccess) {
+  Rng rng(11);
+  BankScenario bank = MakeBankScenario(&rng, BankOptions{});
+  DeepWebSource source(bank.base.schema.get(), &bank.base.acs, bank.hidden);
+  Access bad = bank.emp_man_probe;
+  bad.binding[0] = bank.base.schema->InternConstant("unknown_id");
+  EXPECT_FALSE(source.Execute(bank.base.conf, bad).ok());
+}
+
+TEST(MediatorTest, AnswersBankQueryWhenSatisfiable) {
+  Rng rng(42);
+  BankOptions opts;
+  opts.num_employees = 8;
+  BankScenario bank = MakeBankScenario(&rng, opts);
+  DeepWebSource source(bank.base.schema.get(), &bank.base.acs, bank.hidden);
+  Mediator mediator(*bank.base.schema, bank.base.acs);
+
+  MediatorOptions mopts;
+  mopts.max_rounds = 128;
+  auto outcome =
+      mediator.AnswerBoolean(bank.query, bank.base.conf, &source, mopts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->answered);
+  EXPECT_TRUE(EvalBool(bank.query, outcome->final_conf));
+  EXPECT_GT(outcome->accesses_performed, 0);
+}
+
+TEST(MediatorTest, GivesUpWhenQueryUnsatisfiable) {
+  Rng rng(42);
+  BankOptions opts;
+  opts.num_employees = 6;
+  opts.loan_officer_in_illinois = false;  // no witness exists
+  BankScenario bank = MakeBankScenario(&rng, opts);
+  DeepWebSource source(bank.base.schema.get(), &bank.base.acs, bank.hidden);
+  Mediator mediator(*bank.base.schema, bank.base.acs);
+
+  MediatorOptions mopts;
+  mopts.max_rounds = 256;
+  auto outcome =
+      mediator.AnswerBoolean(bank.query, bank.base.conf, &source, mopts);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->answered);
+}
+
+TEST(MediatorTest, RelevanceFilterSavesAccessesOverCrawl) {
+  Rng rng(5);
+  BankOptions opts;
+  opts.num_employees = 10;
+  BankScenario bank = MakeBankScenario(&rng, opts);
+  Mediator mediator(*bank.base.schema, bank.base.acs);
+  MediatorOptions mopts;
+  mopts.max_rounds = 512;
+
+  DeepWebSource source_a(bank.base.schema.get(), &bank.base.acs,
+                         bank.hidden);
+  auto guided =
+      mediator.AnswerBoolean(bank.query, bank.base.conf, &source_a, mopts);
+  ASSERT_TRUE(guided.ok());
+
+  DeepWebSource source_b(bank.base.schema.get(), &bank.base.acs,
+                         bank.hidden);
+  auto crawl =
+      mediator.ExhaustiveCrawl(bank.query, bank.base.conf, &source_b, mopts);
+  ASSERT_TRUE(crawl.ok());
+
+  ASSERT_TRUE(guided->answered);
+  ASSERT_TRUE(crawl->answered);
+  // The guided mediator never performs more accesses than the crawl.
+  EXPECT_LE(guided->accesses_performed, crawl->accesses_performed);
+}
+
+TEST(MediatorTest, AgreesWithDirectEvaluationOnRandomScenarios) {
+  // The mediator's final answer must match evaluating the query over the
+  // accessible part of the hidden instance (exact responses): answering
+  // "yes" always implies the query holds on the final configuration.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    RandomScenarioOptions sopts;
+    sopts.num_relations = 3;
+    sopts.num_facts = 0;  // initial knowledge: constants only
+    Scenario scenario = RandomScenario(&rng, sopts);
+
+    // Hidden instance: random facts over the same constants.
+    Configuration hidden(scenario.schema.get());
+    std::vector<Value> constants = scenario.conf.AdomOfDomain(0);
+    for (int i = 0; i < 8; ++i) {
+      RelationId rel = static_cast<RelationId>(
+          rng.Below(scenario.schema->num_relations()));
+      Fact f;
+      f.relation = rel;
+      for (int p = 0; p < scenario.schema->relation(rel).arity(); ++p) {
+        f.values.push_back(rng.Pick(constants));
+      }
+      hidden.AddFact(f);
+    }
+
+    ConjunctiveQuery cq = RandomQuery(&rng, scenario, 2, 2, 0.3);
+    if (!cq.Validate(*scenario.schema).ok()) continue;
+    UnionQuery q;
+    q.disjuncts.push_back(cq);
+
+    DeepWebSource source(scenario.schema.get(), &scenario.acs, hidden);
+    Mediator mediator(*scenario.schema, scenario.acs);
+    MediatorOptions mopts;
+    mopts.max_rounds = 64;
+    auto outcome =
+        mediator.AnswerBoolean(q, scenario.conf, &source, mopts);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (outcome->answered) {
+      EXPECT_TRUE(EvalBool(q, outcome->final_conf)) << "seed " << seed;
+    } else {
+      // Soundness of giving up: the query must not hold on what was seen.
+      EXPECT_FALSE(EvalBool(q, outcome->final_conf)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(GeneratorTest, ChainFamilyShape) {
+  ChainFamily f = MakeChainFamily(4);
+  EXPECT_EQ(f.contained.disjuncts[0].num_atoms(), 4);
+  EXPECT_EQ(f.contained.disjuncts[0].num_vars(), 5);
+  EXPECT_EQ(f.scenario.conf.NumFacts(), 1u);
+}
+
+TEST(GeneratorTest, CliqueFamilyShape) {
+  Rng rng(3);
+  CliqueFamily f = MakeCliqueFamily(&rng, 3, 6, 0.5);
+  EXPECT_EQ(f.query.disjuncts[0].num_atoms(), 6);  // ordered pairs
+  EXPECT_EQ(f.query.disjuncts[0].num_vars(), 3);
+}
+
+TEST(GeneratorTest, RandomScenarioIsWellFormed) {
+  Rng rng(9);
+  RandomScenarioOptions opts;
+  Scenario s = RandomScenario(&rng, opts);
+  EXPECT_EQ(s.schema->num_relations(), 3u);
+  EXPECT_EQ(s.acs.size(), 3u);
+  Access a;
+  EXPECT_TRUE(RandomAccess(&rng, s, &a));
+  EXPECT_TRUE(CheckWellFormed(s.conf, s.acs, a).ok());
+}
+
+}  // namespace
+}  // namespace rar

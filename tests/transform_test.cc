@@ -1,0 +1,189 @@
+// Tests for the Section 3 reductions: Prop 3.3 (containment -> ¬LTR, both
+// the PQ and the CQ codings), Prop 3.4 (LTR -> ¬containment, exercised via
+// the instance builder), and Prop 3.6 (configuration folding). Each
+// reduction is validated by deciding both sides with independent engines.
+#include <gtest/gtest.h>
+
+#include "containment/access_containment.h"
+#include "query/parser.h"
+#include "reference/brute_force.h"
+#include "relevance/ltr_dependent.h"
+#include "transform/config_folding.h"
+#include "transform/containment_to_ltr.h"
+#include "transform/ltr_to_containment.h"
+
+namespace rar {
+namespace {
+
+class TransformTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = schema_.AddDomain("D");
+    r_ = *schema_.AddRelation("R", std::vector<DomainId>{d_, d_});
+    s_ = *schema_.AddRelation("S", std::vector<DomainId>{d_});
+    t_ = *schema_.AddRelation("T", std::vector<DomainId>{d_});
+    acs_ = AccessMethodSet(&schema_);
+    conf_ = Configuration(&schema_);
+  }
+
+  UnionQuery UCQ(const std::string& text) {
+    auto q = ParseUCQ(schema_, text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+  Value C(const std::string& s) { return schema_.InternConstant(s); }
+
+  Schema schema_;
+  DomainId d_ = 0;
+  RelationId r_ = 0, s_ = 0, t_ = 0;
+  AccessMethodSet acs_{nullptr};
+  Configuration conf_{nullptr};
+};
+
+// Decides containment directly and through the Prop 3.3 PQ reduction
+// (containment holds iff the A(c)? access is NOT LTR for Q'), using the
+// Prop 3.4-based dependent LTR engine on the rewritten instance — a full
+// round trip through both reductions.
+TEST_F(TransformTest, Prop33PQRoundTripAgreesWithContainment) {
+  *acs_.Add("r_by_0", r_, {0}, /*dependent=*/true);
+  *acs_.Add("s_free", s_, {}, /*dependent=*/true);
+  *acs_.Add("t_bool", t_, {0}, /*dependent=*/true);
+  ASSERT_TRUE(conf_.AddFactNamed("R", {"a", "b"}).ok());
+  ASSERT_TRUE(conf_.AddFactNamed("S", {"c"}).ok());
+
+  const char* queries[] = {"R(X, Y)", "S(X)", "T(X)", "S(X) & T(X)",
+                           "R(X, Y) & S(Y)", "R(X, Y) | S(X)"};
+  ContainmentOptions opts;
+  opts.max_aux_facts = 4;
+
+  for (const char* t1 : queries) {
+    for (const char* t2 : queries) {
+      UnionQuery q1 = UCQ(t1);
+      UnionQuery q2 = UCQ(t2);
+      ContainmentEngine engine(schema_, acs_);
+      auto direct = engine.Contained(q1, q2, conf_, opts);
+      ASSERT_TRUE(direct.ok());
+
+      auto inst = BuildContainmentToLtrPQ(schema_, acs_, conf_, q1, q2);
+      ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+      auto ltr = IsLongTermRelevantDependentUCQ(inst->conf, inst->acs,
+                                                inst->access, inst->query,
+                                                opts);
+      ASSERT_TRUE(ltr.ok()) << ltr.status().ToString();
+      EXPECT_EQ(direct->contained, !*ltr) << t1 << " vs " << t2;
+    }
+  }
+}
+
+TEST_F(TransformTest, Prop33CQCodingAgreesWithContainment) {
+  *acs_.Add("r_by_0", r_, {0}, /*dependent=*/true);
+  *acs_.Add("s_free", s_, {}, /*dependent=*/true);
+  ASSERT_TRUE(conf_.AddFactNamed("R", {"a", "b"}).ok());
+
+  const char* queries[] = {"R(X, Y)", "S(X)", "R(X, Y) & S(Y)",
+                           "R(X, Y) & R(Y, Z)", "R(X, X)"};
+  ContainmentOptions opts;
+  opts.max_aux_facts = 5;
+
+  for (const char* t1 : queries) {
+    for (const char* t2 : queries) {
+      UnionQuery q1 = UCQ(t1);
+      UnionQuery q2 = UCQ(t2);
+      ContainmentEngine engine(schema_, acs_);
+      auto direct = engine.Contained(q1, q2, conf_, opts);
+      ASSERT_TRUE(direct.ok());
+
+      auto inst = BuildContainmentToLtrCQ(schema_, acs_, conf_,
+                                          q1.disjuncts[0], q2.disjuncts[0]);
+      ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+      ASSERT_EQ(inst->query.disjuncts.size(), 1u);  // one conjunctive query
+      auto ltr = IsLongTermRelevantDependentCQ(inst->conf, inst->acs,
+                                               inst->access,
+                                               inst->query.disjuncts[0],
+                                               opts);
+      ASSERT_TRUE(ltr.ok()) << ltr.status().ToString();
+      EXPECT_EQ(direct->contained, !*ltr) << t1 << " vs " << t2;
+    }
+  }
+}
+
+TEST_F(TransformTest, Prop34InstanceShape) {
+  AccessMethodId r_by0 = *acs_.Add("r_by_0", r_, {0}, /*dependent=*/true);
+  ASSERT_TRUE(conf_.AddFactNamed("R", {"a", "b"}).ok());
+  UnionQuery q = UCQ("R(X, Y) & R(Y, Z)");
+  auto inst = BuildLtrToContainment(schema_, acs_, conf_,
+                                    Access{r_by0, {C("a")}}, q);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  // Two R occurrences -> 2^2 disjuncts in the rewritten query.
+  EXPECT_EQ(inst->q_rewritten.disjuncts.size(), 4u);
+  // The IsBind fact is in the new configuration.
+  RelationId isbind = inst->schema->FindRelation("IsBind_r_by_0");
+  ASSERT_NE(isbind, kInvalidId);
+  EXPECT_EQ(inst->conf.FactsOf(isbind).size(), 1u);
+  // The original query is untouched.
+  EXPECT_EQ(inst->q_original.disjuncts.size(), 1u);
+}
+
+TEST_F(TransformTest, Prop36FoldingPreservesContainment) {
+  *acs_.Add("r_by_0", r_, {0}, /*dependent=*/true);
+  *acs_.Add("s_free", s_, {}, /*dependent=*/true);
+  ASSERT_TRUE(conf_.AddFactNamed("R", {"a", "b"}).ok());
+  ASSERT_TRUE(conf_.AddFactNamed("S", {"c"}).ok());
+
+  const char* queries[] = {"R(X, Y)", "S(X)", "R(X, Y) & S(Y)", "R(a, Y)",
+                           "R(X, Y) & R(Y, Z)"};
+  ContainmentOptions opts;
+  opts.max_aux_facts = 5;
+  for (const char* t1 : queries) {
+    for (const char* t2 : queries) {
+      UnionQuery q1 = UCQ(t1);
+      UnionQuery q2 = UCQ(t2);
+      ContainmentEngine engine(schema_, acs_);
+      auto direct = engine.Contained(q1, q2, conf_, opts);
+      ASSERT_TRUE(direct.ok());
+
+      auto folded = FoldConfigurationIntoQuery(schema_, acs_, conf_, q1);
+      ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+      EXPECT_EQ(folded->conf.NumFacts(), 0u);
+      auto via_fold = engine.Contained(folded->q1, q2, folded->conf, opts);
+      ASSERT_TRUE(via_fold.ok());
+      EXPECT_EQ(direct->contained, via_fold->contained)
+          << t1 << " vs " << t2;
+    }
+  }
+}
+
+TEST_F(TransformTest, Prop36FoldingRejectsMethodlessFacts) {
+  // T holds a fact but has no access method: folding must refuse.
+  *acs_.Add("r_by_0", r_, {0}, true);
+  ASSERT_TRUE(conf_.AddFactNamed("T", {"a"}).ok());
+  auto folded = FoldConfigurationIntoQuery(schema_, acs_, conf_,
+                                           UCQ("R(X, Y)"));
+  EXPECT_FALSE(folded.ok());
+  EXPECT_EQ(folded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TransformTest, Prop33PQBruteForceSpotCheck) {
+  // One spot check of the PQ reduction against raw semantics: Example 3.2.
+  *acs_.Add("s_bool", s_, {0}, /*dependent=*/true);
+  *acs_.Add("t_free", t_, {}, /*dependent=*/true);
+  UnionQuery q1 = UCQ("S(X)");
+  UnionQuery q2 = UCQ("T(X)");
+
+  auto inst = BuildContainmentToLtrPQ(schema_, acs_, conf_, q1, q2);
+  ASSERT_TRUE(inst.ok());
+  BruteForceOptions brute;
+  brute.max_steps = 3;
+  // Containment holds (Example 3.2), so A(c)? must not be LTR.
+  EXPECT_FALSE(
+      BruteForceLTR(inst->conf, inst->acs, inst->access, inst->query, brute));
+
+  // Reverse direction: not contained, so A(c)? is LTR.
+  auto rev = BuildContainmentToLtrPQ(schema_, acs_, conf_, q2, q1);
+  ASSERT_TRUE(rev.ok());
+  EXPECT_TRUE(
+      BruteForceLTR(rev->conf, rev->acs, rev->access, rev->query, brute));
+}
+
+}  // namespace
+}  // namespace rar

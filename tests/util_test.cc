@@ -1,0 +1,184 @@
+// Unit tests for rar::Status / Result, the interner, the RNG and the
+// combinatorial enumerators.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/combinatorics.h"
+#include "util/interner.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rar {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arity");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arity");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FailedPrecondition: x");
+  EXPECT_EQ(Status::ResourceExhausted("x").ToString(),
+            "ResourceExhausted: x");
+  EXPECT_EQ(Status::ParseError("x").ToString(), "ParseError: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(InternerTest, AssignsDenseStableIds) {
+  Interner interner;
+  auto a = interner.Intern("alpha");
+  auto b = interner.Intern("beta");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.Spelling(a), "alpha");
+  EXPECT_EQ(interner.Lookup("beta"), b);
+  EXPECT_EQ(interner.Lookup("gamma"), Interner::kInvalid);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, ForkDiverges) {
+  Rng a(99);
+  Rng b = a.Fork();
+  // The fork must not replay the parent's stream.
+  bool same = true;
+  Rng a2(99);
+  a2.Next();  // align with post-fork parent state
+  for (int i = 0; i < 10; ++i) {
+    if (b.Next() != a2.Next()) same = false;
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(CombinatoricsTest, SubsetsCountAndEarlyStop) {
+  int count = 0;
+  bool stopped = ForEachSubset(4, [&](uint64_t) {
+    ++count;
+    return false;
+  });
+  EXPECT_FALSE(stopped);
+  EXPECT_EQ(count, 16);
+
+  count = 0;
+  stopped = ForEachSubset(4, [&](uint64_t mask) {
+    ++count;
+    return mask == 3;
+  });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(count, 4);  // masks 0,1,2,3
+}
+
+TEST(CombinatoricsTest, SetPartitionsAreBellNumbers) {
+  // Bell numbers: B(1)=1, B(2)=2, B(3)=5, B(4)=15, B(5)=52.
+  const int expected[] = {1, 1, 2, 5, 15, 52};
+  for (int n = 0; n <= 5; ++n) {
+    int count = 0;
+    ForEachSetPartition(n, [&](const std::vector<int>&) {
+      ++count;
+      return false;
+    });
+    EXPECT_EQ(count, expected[n]) << "n=" << n;
+  }
+}
+
+TEST(CombinatoricsTest, SetPartitionsAreRestrictedGrowth) {
+  ForEachSetPartition(4, [&](const std::vector<int>& blocks) {
+    EXPECT_EQ(blocks[0], 0);
+    int max_seen = 0;
+    for (int b : blocks) {
+      EXPECT_LE(b, max_seen + 1);
+      max_seen = std::max(max_seen, b);
+    }
+    return false;
+  });
+}
+
+TEST(CombinatoricsTest, ProductEnumeratesAll) {
+  std::set<std::vector<int>> seen;
+  ForEachProduct({2, 3}, [&](const std::vector<int>& c) {
+    seen.insert(c);
+    return false;
+  });
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_TRUE(seen.count({0, 0}));
+  EXPECT_TRUE(seen.count({1, 2}));
+}
+
+TEST(CombinatoricsTest, ProductEmptyDimensions) {
+  int calls = 0;
+  ForEachProduct({}, [&](const std::vector<int>& c) {
+    EXPECT_TRUE(c.empty());
+    ++calls;
+    return false;
+  });
+  EXPECT_EQ(calls, 1);
+
+  calls = 0;
+  ForEachProduct({2, 0}, [&](const std::vector<int>&) {
+    ++calls;
+    return false;
+  });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(CombinatoricsTest, TuplesOverSmallAlphabet) {
+  int count = 0;
+  ForEachTuple(3, 2, [&](const std::vector<int>&) {
+    ++count;
+    return false;
+  });
+  EXPECT_EQ(count, 9);
+}
+
+}  // namespace
+}  // namespace rar
