@@ -1,0 +1,212 @@
+// RelevanceEngine throughput: cached/incremental checks vs per-call
+// decider invocation.
+//
+// Paired benchmarks on the clique (IR), star (independent LTR) and chain
+// (dependent LTR) families measure a repeated-check workload — the shape a
+// mediator produces, re-probing the candidate set as the configuration
+// evolves. `*_Direct` re-runs the one-shot deciders per call; `*_Engine`
+// serves the same stream through the RelevanceEngine. The engine's
+// decision cache and certainty/fixpoint reuse should make the engine
+// variant several times faster (the acceptance bar is ≥2×); `items_per_
+// second` is checks/sec and the `hit_rate` counter reports the cache hit
+// rate of the run.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "relevance/immediate.h"
+#include "relevance/relevance.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace {
+
+using rar::Access;
+using rar::CheckKind;
+using rar::CheckOutcome;
+using rar::EngineOptions;
+using rar::EngineStats;
+using rar::QueryId;
+using rar::RelevanceEngine;
+
+// The repeated-check batch: every pending candidate access at the family's
+// initial configuration.
+std::vector<Access> CandidateBatch(const rar::Scenario& s) {
+  RelevanceEngine probe(*s.schema, s.acs, s.conf);
+  return probe.PendingAccesses();
+}
+
+// ------------------------------------------------------------- IR, clique
+
+void BM_RepeatedIR_Clique_Direct(benchmark::State& state) {
+  rar::Rng rng(1234);
+  rar::CliqueFamily family =
+      rar::MakeCliqueFamily(&rng, static_cast<int>(state.range(0)), 10, 0.4);
+  const rar::Scenario& s = family.scenario;
+  std::vector<Access> batch = CandidateBatch(s);
+  long checks = 0;
+  for (auto _ : state) {
+    for (const Access& a : batch) {
+      bool ir = rar::IsImmediatelyRelevant(s.conf, s.acs, a, family.query);
+      benchmark::DoNotOptimize(ir);
+      ++checks;
+    }
+  }
+  state.SetItemsProcessed(checks);
+  state.SetLabel("per-call decider, batch of " +
+                 std::to_string(batch.size()));
+}
+BENCHMARK(BM_RepeatedIR_Clique_Direct)->DenseRange(3, 4);
+
+void BM_RepeatedIR_Clique_Engine(benchmark::State& state) {
+  rar::Rng rng(1234);
+  rar::CliqueFamily family =
+      rar::MakeCliqueFamily(&rng, static_cast<int>(state.range(0)), 10, 0.4);
+  const rar::Scenario& s = family.scenario;
+  RelevanceEngine engine(*s.schema, s.acs, s.conf);
+  QueryId q = *engine.RegisterQuery(family.query);
+  std::vector<Access> batch = engine.PendingAccesses();
+  long checks = 0;
+  for (auto _ : state) {
+    std::vector<CheckOutcome> out =
+        engine.CheckBatch(q, CheckKind::kImmediate, batch);
+    benchmark::DoNotOptimize(out.data());
+    checks += static_cast<long>(out.size());
+  }
+  EngineStats stats = engine.stats();
+  state.SetItemsProcessed(checks);
+  state.counters["hit_rate"] = stats.cache_hit_rate();
+  state.SetLabel("engine, batch of " + std::to_string(batch.size()));
+}
+BENCHMARK(BM_RepeatedIR_Clique_Engine)->DenseRange(3, 4);
+
+// -------------------------------------------- LTR, star (independent ACS)
+
+void BM_RepeatedLTR_Star_Direct(benchmark::State& state) {
+  rar::StarFamily family =
+      rar::MakeStarFamily(static_cast<int>(state.range(0)), 6);
+  const rar::Scenario& s = family.scenario;
+  rar::RelevanceAnalyzer analyzer(*s.schema, s.acs);
+  std::vector<Access> batch = CandidateBatch(s);
+  long checks = 0;
+  for (auto _ : state) {
+    for (const Access& a : batch) {
+      auto r = analyzer.LongTerm(s.conf, a, family.query);
+      benchmark::DoNotOptimize(r.ok());
+      ++checks;
+    }
+  }
+  state.SetItemsProcessed(checks);
+  state.SetLabel("per-call decider, batch of " +
+                 std::to_string(batch.size()));
+}
+BENCHMARK(BM_RepeatedLTR_Star_Direct)->DenseRange(3, 5);
+
+void BM_RepeatedLTR_Star_Engine(benchmark::State& state) {
+  rar::StarFamily family =
+      rar::MakeStarFamily(static_cast<int>(state.range(0)), 6);
+  const rar::Scenario& s = family.scenario;
+  RelevanceEngine engine(*s.schema, s.acs, s.conf);
+  QueryId q = *engine.RegisterQuery(family.query);
+  std::vector<Access> batch = engine.PendingAccesses();
+  long checks = 0;
+  for (auto _ : state) {
+    std::vector<CheckOutcome> out =
+        engine.CheckBatch(q, CheckKind::kLongTerm, batch);
+    benchmark::DoNotOptimize(out.data());
+    checks += static_cast<long>(out.size());
+  }
+  EngineStats stats = engine.stats();
+  state.SetItemsProcessed(checks);
+  state.counters["hit_rate"] = stats.cache_hit_rate();
+  state.SetLabel("engine, batch of " + std::to_string(batch.size()));
+}
+BENCHMARK(BM_RepeatedLTR_Star_Engine)->DenseRange(3, 5);
+
+// --------------------------------------------- LTR, chain (dependent ACS)
+
+void BM_RepeatedLTR_Chain_Direct(benchmark::State& state) {
+  rar::ChainFamily family =
+      rar::MakeChainFamily(static_cast<int>(state.range(0)));
+  const rar::Scenario& s = family.scenario;
+  rar::RelevanceAnalyzer analyzer(*s.schema, s.acs);
+  std::vector<Access> batch = CandidateBatch(s);
+  long checks = 0;
+  for (auto _ : state) {
+    for (const Access& a : batch) {
+      auto r = analyzer.LongTerm(s.conf, a, family.contained);
+      benchmark::DoNotOptimize(r.ok());
+      ++checks;
+    }
+  }
+  state.SetItemsProcessed(checks);
+  state.SetLabel("per-call decider, batch of " +
+                 std::to_string(batch.size()));
+}
+BENCHMARK(BM_RepeatedLTR_Chain_Direct)->DenseRange(2, 4);
+
+void BM_RepeatedLTR_Chain_Engine(benchmark::State& state) {
+  rar::ChainFamily family =
+      rar::MakeChainFamily(static_cast<int>(state.range(0)));
+  const rar::Scenario& s = family.scenario;
+  RelevanceEngine engine(*s.schema, s.acs, s.conf);
+  QueryId q = *engine.RegisterQuery(family.contained);
+  std::vector<Access> batch = engine.PendingAccesses();
+  long checks = 0;
+  for (auto _ : state) {
+    std::vector<CheckOutcome> out =
+        engine.CheckBatch(q, CheckKind::kLongTerm, batch);
+    benchmark::DoNotOptimize(out.data());
+    checks += static_cast<long>(out.size());
+  }
+  EngineStats stats = engine.stats();
+  state.SetItemsProcessed(checks);
+  state.counters["hit_rate"] = stats.cache_hit_rate();
+  state.SetLabel("engine, batch of " + std::to_string(batch.size()));
+}
+BENCHMARK(BM_RepeatedLTR_Chain_Engine)->DenseRange(2, 4);
+
+// --------------------------------------- evolving stream (growth + checks)
+
+// The mediator shape: between check batches the configuration grows, so
+// epoch entries are invalidated but certainty memoization, the incremental
+// frontier, and sticky entries keep paying.
+void BM_Stream_Clique_Engine(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    rar::Rng rng(7);
+    rar::CliqueFamily family = rar::MakeCliqueFamily(&rng, 3, 10, 0.4);
+    const rar::Scenario& s = family.scenario;
+    // Start from the node set only; the stream reveals edges one by one.
+    rar::Configuration initial(s.schema.get());
+    for (const rar::TypedValue& tv : s.conf.AdomEntries()) {
+      initial.AddSeedConstant(tv.value, tv.domain);
+    }
+    RelevanceEngine engine(*s.schema, s.acs, initial);
+    QueryId q = *engine.RegisterQuery(family.query);
+    std::vector<rar::Fact> edges = s.conf.AllFacts();
+    state.ResumeTiming();
+
+    long checks = 0;
+    for (int round = 0; round < 6 && !edges.empty(); ++round) {
+      std::vector<Access> batch = engine.CandidateAccesses(q);
+      if (batch.size() > 32) batch.resize(32);
+      std::vector<CheckOutcome> out =
+          engine.CheckBatch(q, CheckKind::kImmediate, batch);
+      checks += static_cast<long>(out.size());
+      rar::Fact next = edges.back();
+      edges.pop_back();
+      Access free_probe;
+      free_probe.method = family.probe.method;
+      free_probe.binding = {next.values[0]};
+      (void)engine.ApplyResponse(free_probe, {next});
+    }
+    benchmark::DoNotOptimize(checks);
+  }
+}
+BENCHMARK(BM_Stream_Clique_Engine);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -144,23 +144,34 @@ bool FactMatchesAccess(const AccessMethodSet& acs, const Access& access,
   return true;
 }
 
-Result<Configuration> ApplyAccess(const Configuration& conf,
-                                  const AccessMethodSet& acs,
-                                  const Access& access,
-                                  const std::vector<Fact>& response) {
-  RAR_RETURN_NOT_OK(CheckWellFormed(conf, acs, access));
+Status ValidateResponse(const AccessMethodSet& acs, const Access& access,
+                        const std::vector<Fact>& response) {
   const AccessMethod& m = acs.method(access.method);
+  const int arity = acs.schema()->relation(m.relation).arity();
   for (const Fact& f : response) {
+    if (f.relation != m.relation) {
+      return Status::InvalidArgument(
+          "response fact is over the wrong relation for method " + m.name);
+    }
+    if (f.arity() != arity) {
+      return Status::InvalidArgument("response fact arity mismatch on method " +
+                                     m.name);
+    }
     if (!FactMatchesAccess(acs, access, f)) {
       return Status::InvalidArgument(
           "response fact does not match the access binding on method " +
           m.name);
     }
-    if (static_cast<int>(f.values.size()) !=
-        acs.schema()->relation(m.relation).arity()) {
-      return Status::InvalidArgument("response fact arity mismatch");
-    }
   }
+  return Status::OK();
+}
+
+Result<Configuration> ApplyAccess(const Configuration& conf,
+                                  const AccessMethodSet& acs,
+                                  const Access& access,
+                                  const std::vector<Fact>& response) {
+  RAR_RETURN_NOT_OK(CheckWellFormed(conf, acs, access));
+  RAR_RETURN_NOT_OK(ValidateResponse(acs, access, response));
   Configuration next = conf;
   for (const Fact& f : response) next.AddFact(f);
   return next;

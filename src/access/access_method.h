@@ -117,9 +117,18 @@ Status CheckWellFormed(const Configuration& conf, const AccessMethodSet& acs,
                        const Access& access);
 
 /// True iff `fact` is a possible response tuple for `access`: same relation
-/// and agreeing with the binding on every input position.
+/// and agreeing with the binding on every input position. `fact` must have
+/// the relation's arity (see ValidateResponse for untrusted input).
 bool FactMatchesAccess(const AccessMethodSet& acs, const Access& access,
                        const Fact& fact);
+
+/// Returns OK iff every fact of `response` is a legal response tuple for
+/// `access` (clause (ii) of the successor definition): right relation,
+/// right arity, agreeing with the binding on every input position. Arity
+/// is checked before positional matching, so malformed facts are rejected
+/// instead of read out of bounds.
+Status ValidateResponse(const AccessMethodSet& acs, const Access& access,
+                        const std::vector<Fact>& response);
 
 /// Applies a well-formed access: returns the successor configuration
 /// conf + response. Every response fact must match the access (clause (ii)

@@ -1,0 +1,139 @@
+// Memoized relevance verdicts with monotonicity-aware invalidation.
+//
+// The engine's configuration only ever grows (responses are applied, never
+// retracted), which gives two regimes for a cached verdict:
+//
+//  * *sticky* entries — verdicts that stay valid under any growth. The one
+//    the engine records is "not relevant because the query is already
+//    certain": positive queries are monotone, so a certain query stays
+//    certain and no access can change its (Boolean) certain answer again.
+//  * *epoch* entries — everything else. A "relevant" verdict can be
+//    destroyed by growth (the certainty the access promised may have
+//    arrived by another route), and a plain "not relevant" verdict can be
+//    *created* by growth (a dependent chain may become feasible), so both
+//    are tagged with the configuration epoch at which they were computed
+//    and ignored once the epoch moves on.
+//
+// Stale entries are skipped by lookups, so no eager invalidation sweep is
+// required on epoch advance; `EvictStale` exists for long-lived engines
+// that want to bound memory.
+#ifndef RAR_ENGINE_DECISION_CACHE_H_
+#define RAR_ENGINE_DECISION_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "access/access_method.h"
+#include "relational/value.h"
+
+namespace rar {
+
+/// Dense id of a query registered with a RelevanceEngine.
+using QueryId = uint32_t;
+
+/// The two decision kinds the engine serves.
+enum class CheckKind : uint8_t { kImmediate = 0, kLongTerm = 1 };
+
+/// \brief Cache key: (query, kind, method, binding). The configuration is
+/// deliberately absent — epoch tagging on the entry stands in for it.
+struct DecisionKey {
+  QueryId query = 0;
+  CheckKind kind = CheckKind::kImmediate;
+  AccessMethodId method = kInvalidId;
+  std::vector<Value> binding;
+
+  bool operator==(const DecisionKey& o) const {
+    return query == o.query && kind == o.kind && method == o.method &&
+           binding == o.binding;
+  }
+};
+
+struct DecisionKeyHash {
+  size_t operator()(const DecisionKey& k) const {
+    uint64_t h = 1469598103934665603ULL;
+    h = (h ^ k.query) * 1099511628211ULL;
+    h = (h ^ static_cast<uint64_t>(k.kind)) * 1099511628211ULL;
+    h = (h ^ k.method) * 1099511628211ULL;
+    ValueHash vh;
+    for (const Value& v : k.binding) h = (h ^ vh(v)) * 1099511628211ULL;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// \brief Thread-safe verdict cache. All methods may be called concurrently
+/// from engine workers; a single mutex suffices because entries are tiny
+/// and the deciders the cache short-circuits are orders of magnitude more
+/// expensive than the critical section.
+class DecisionCache {
+ public:
+  struct Hit {
+    bool relevant = false;
+    bool sticky = false;
+  };
+
+  /// Returns the cached verdict when one is valid at `epoch` (sticky, or
+  /// computed at exactly `epoch`); nullopt otherwise.
+  std::optional<Hit> Lookup(const DecisionKey& key, uint64_t epoch) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    const Entry& e = it->second;
+    if (!e.sticky && e.epoch != epoch) return std::nullopt;
+    return Hit{e.relevant, e.sticky};
+  }
+
+  /// Records a verdict computed at `epoch`. Sticky entries are never
+  /// overwritten by non-sticky ones (they are strictly stronger).
+  void Insert(const DecisionKey& key, bool relevant, bool sticky,
+              uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& e = map_[key];
+    if (e.sticky && !sticky) return;
+    e.relevant = relevant;
+    e.sticky = sticky;
+    e.epoch = epoch;
+  }
+
+  /// Drops every non-sticky entry older than `epoch`. Returns the number
+  /// of entries removed.
+  size_t EvictStale(uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t removed = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (!it->second.sticky && it->second.epoch != epoch) {
+        it = map_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  struct Entry {
+    bool relevant = false;
+    bool sticky = false;
+    uint64_t epoch = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<DecisionKey, Entry, DecisionKeyHash> map_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_ENGINE_DECISION_CACHE_H_

@@ -1,0 +1,281 @@
+#include "engine/engine.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "query/eval.h"
+
+namespace rar {
+
+namespace {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (hw > 8) hw = 8;
+  return static_cast<int>(hw);
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string EngineStats::ToString() const {
+  std::ostringstream os;
+  os << "checks=" << checks() << " (ir=" << ir_checks << ", ltr=" << ltr_checks
+     << ") cache_hits=" << cache_hits << " misses=" << cache_misses
+     << " hit_rate=" << cache_hit_rate() << " sticky=" << sticky_hits
+     << " certainty_reuse=" << certainty_reuse
+     << " producible_reuse=" << producible_reuse << "/"
+     << (producible_reuse + producible_recomputes)
+     << " epochs=" << epoch_advances << " facts=" << facts_applied
+     << " frontier=" << frontier_pending << " pending/"
+     << frontier_performed << " performed";
+  return os.str();
+}
+
+RelevanceEngine::RelevanceEngine(const Schema& schema,
+                                 const AccessMethodSet& acs,
+                                 Configuration initial, EngineOptions options)
+    : schema_(schema),
+      acs_(acs),
+      options_(std::move(options)),
+      analyzer_(schema, acs),
+      conf_(std::move(initial)),
+      frontier_(schema, acs),
+      pool_(ResolveThreads(options_.num_threads)) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  frontier_.Sync(conf_);
+}
+
+Result<QueryId> RelevanceEngine::RegisterQuery(const UnionQuery& query) {
+  if (!query.IsBoolean()) {
+    return Status::InvalidArgument(
+        "RelevanceEngine serves Boolean queries; lift k-ary queries via "
+        "RelevanceAnalyzer (Prop 2.2) before registering");
+  }
+  auto state = std::make_unique<QueryState>();
+  state->query = query;
+  RAR_RETURN_NOT_OK(state->query.Validate(schema_));
+  for (const ConjunctiveQuery& d : state->query.disjuncts) {
+    for (const Atom& atom : d.atoms) state->relations.insert(atom.relation);
+  }
+  // Exclusive state lock: checks on already-registered ids read queries_
+  // under the shared lock, and push_back may reallocate the vector.
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  queries_.push_back(std::move(state));
+  return static_cast<QueryId>(queries_.size() - 1);
+}
+
+uint64_t RelevanceEngine::epoch() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return epoch_;
+}
+
+Configuration RelevanceEngine::SnapshotConfig() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return conf_;
+}
+
+Result<int> RelevanceEngine::ApplyResponse(const Access& access,
+                                           const std::vector<Fact>& response) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  RAR_RETURN_NOT_OK(CheckWellFormed(conf_, acs_, access));
+  RAR_RETURN_NOT_OK(ValidateResponse(acs_, access, response));
+  int added = 0;
+  for (const Fact& f : response) {
+    if (conf_.AddFact(f)) ++added;
+  }
+  frontier_.MarkPerformed(access);
+  counters_.Bump(counters_.responses_applied);
+  if (added > 0) {
+    ++epoch_;
+    counters_.Bump(counters_.epoch_advances);
+    counters_.Bump(counters_.facts_applied, static_cast<uint64_t>(added));
+    frontier_.Sync(conf_);
+  }
+  return added;
+}
+
+bool RelevanceEngine::CertainLocked(QueryId id) {
+  // Caller holds state_mu_ (shared or exclusive); serialize the memo update.
+  std::lock_guard<std::mutex> lock(certainty_mu_);
+  QueryState& qs = *queries_[id];
+  if (qs.certain) {
+    counters_.Bump(counters_.certainty_reuse);
+    return true;
+  }
+  if (qs.checked_epoch == epoch_) {
+    counters_.Bump(counters_.certainty_reuse);
+    return false;
+  }
+  qs.certain = EvalBool(qs.query, conf_);
+  qs.checked_epoch = epoch_;
+  return qs.certain;
+}
+
+bool RelevanceEngine::IsCertain(QueryId id) {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return CertainLocked(id);
+}
+
+CheckOutcome RelevanceEngine::CheckLocked(QueryId id, CheckKind kind,
+                                          const Access& access) {
+  CheckOutcome out;
+  const bool is_ir = (kind == CheckKind::kImmediate);
+  counters_.Bump(is_ir ? counters_.ir_checks : counters_.ltr_checks);
+
+  // Monotone short-circuit: a certain (Boolean, positive) query stays
+  // certain under every sound continuation, so no access is IR or LTR for
+  // it anymore — the stable negative verdict the cache's sticky class
+  // describes. The per-query certainty flag already serves it for every
+  // (method, binding), so no per-access entry is inserted (a settled query
+  // probed forever would otherwise grow the cache without bound).
+  if (CertainLocked(id)) {
+    counters_.Bump(counters_.cache_hits);
+    counters_.Bump(counters_.sticky_hits);
+    out.relevant = false;
+    out.from_cache = true;
+    return out;
+  }
+
+  DecisionKey key{id, kind, access.method, access.binding};
+  if (options_.enable_cache) {
+    if (auto hit = cache_.Lookup(key, epoch_)) {
+      counters_.Bump(counters_.cache_hits);
+      if (hit->sticky) counters_.Bump(counters_.sticky_hits);
+      out.relevant = hit->relevant;
+      out.from_cache = true;
+      return out;
+    }
+  }
+  counters_.Bump(counters_.cache_misses);
+
+  const QueryState& qs = *queries_[id];
+  const uint64_t t0 = NowNs();
+  if (is_ir) {
+    out.relevant = analyzer_.Immediate(conf_, access, qs.query);
+    counters_.Bump(counters_.ir_time_ns, NowNs() - t0);
+  } else {
+    Result<bool> r =
+        analyzer_.LongTerm(conf_, access, qs.query, options_.relevance);
+    counters_.Bump(counters_.ltr_time_ns, NowNs() - t0);
+    if (!r.ok()) {
+      out.status = r.status();
+      return out;  // out-of-scope verdicts are never cached
+    }
+    out.relevant = *r;
+  }
+  if (options_.enable_cache) {
+    cache_.Insert(key, out.relevant, /*sticky=*/false, epoch_);
+  }
+  return out;
+}
+
+CheckOutcome RelevanceEngine::CheckImmediate(QueryId id, const Access& access) {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return CheckLocked(id, CheckKind::kImmediate, access);
+}
+
+CheckOutcome RelevanceEngine::CheckLongTerm(QueryId id, const Access& access) {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return CheckLocked(id, CheckKind::kLongTerm, access);
+}
+
+std::vector<CheckOutcome> RelevanceEngine::CheckBatch(
+    QueryId id, CheckKind kind, const std::vector<Access>& accesses) {
+  counters_.Bump(counters_.batch_calls);
+  counters_.Bump(counters_.batch_items,
+                 static_cast<uint64_t>(accesses.size()));
+  std::vector<CheckOutcome> results(accesses.size());
+  if (accesses.empty()) return results;
+
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  if (accesses.size() == 1 || pool_.size() == 1) {
+    for (size_t i = 0; i < accesses.size(); ++i) {
+      results[i] = CheckLocked(id, kind, accesses[i]);
+    }
+    return results;
+  }
+  // Workers share the caller's shared lock: the pool runs strictly inside
+  // this scope, so the configuration cannot move underneath them.
+  pool_.ParallelFor(accesses.size(), [&](size_t i) {
+    results[i] = CheckLocked(id, kind, accesses[i]);
+  });
+  return results;
+}
+
+double RelevanceEngine::ScoreAccess(QueryId id, const Access& access,
+                                    uint64_t ep) const {
+  // Pure cache probes — scoring must never trigger a decider.
+  auto ir = cache_.Lookup(
+      DecisionKey{id, CheckKind::kImmediate, access.method, access.binding},
+      ep);
+  auto ltr = cache_.Lookup(
+      DecisionKey{id, CheckKind::kLongTerm, access.method, access.binding},
+      ep);
+  if (ir.has_value() && ir->relevant) return 4.0;
+  if (ltr.has_value() && ltr->relevant) return 3.0;
+  double score = 1.0;
+  // Criticality hint: accesses over a relation the query mentions can
+  // witness a subgoal directly; others only matter through dependent
+  // chains.
+  const AccessMethod& m = acs_.method(access.method);
+  if (queries_[id]->relations.count(m.relation) > 0) score += 1.0;
+  if (ir.has_value() && !ir->relevant && ltr.has_value() && !ltr->relevant) {
+    score = 0.0;  // known irrelevant both ways at this epoch
+  }
+  return score;
+}
+
+std::vector<Access> RelevanceEngine::CandidateAccesses(QueryId id) {
+  // The frontier is synced by every configuration mutation (constructor,
+  // ApplyResponse), so enumeration is a pure read.
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  const uint64_t ep = epoch_;
+  return frontier_.Ranked(
+      [&](const Access& a) { return ScoreAccess(id, a, ep); });
+}
+
+std::vector<Access> RelevanceEngine::PendingAccesses() {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return frontier_.Pending();
+}
+
+std::unordered_set<DomainId> RelevanceEngine::producible_domains() {
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    if (producible_valid_ && producible_epoch_ == epoch_) {
+      counters_.Bump(counters_.producible_reuse);
+      return producible_;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  if (producible_valid_ && producible_epoch_ == epoch_) {
+    counters_.Bump(counters_.producible_reuse);
+    return producible_;
+  }
+  producible_ = ProducibleDomains(conf_, acs_);
+  producible_valid_ = true;
+  producible_epoch_ = epoch_;
+  counters_.Bump(counters_.producible_recomputes);
+  return producible_;
+}
+
+EngineStats RelevanceEngine::stats() const {
+  EngineStats s = counters_.Snapshot();
+  s.cache_entries = cache_.size();
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  s.frontier_pending = frontier_.pending_size();
+  s.frontier_performed = frontier_.performed_size();
+  return s;
+}
+
+}  // namespace rar

@@ -1,0 +1,197 @@
+// RelevanceEngine: a long-lived, cached, concurrent relevance runtime.
+//
+// The deciders in `relevance/` are one-shot: each call re-derives
+// certainty, re-enumerates candidates, and re-runs fixpoints from scratch.
+// The engine is the production shape the paper's runtime story implies — a
+// resident service that owns a schema, an access-method set, and an
+// *evolving* configuration, and answers streams of relevance queries
+// online:
+//
+//  * incremental state — the active domain and the candidate-access
+//    frontier grow as responses are applied (`ApplyResponse`); per-query
+//    certainty is computed at most once per configuration epoch and
+//    reused across checks, and the `ProducibleDomains` fixpoint is
+//    memoized per epoch for callers (schedulers, diagnostics);
+//  * decision cache — IR/LTR verdicts are memoized per (query, kind,
+//    method, binding) with monotonicity-aware invalidation (see
+//    decision_cache.h); verdicts always agree with the uncached deciders;
+//  * batch + concurrent API — `CheckBatch` fans a span of accesses out
+//    over a worker pool; engine state sits under a shared (reader/writer)
+//    lock, with writes serialized through `ApplyResponse`;
+//  * scheduling — `CandidateAccesses` ranks the frontier by cached
+//    relevance and query criticality, so callers probe the most promising
+//    accesses first;
+//  * metrics — `stats()` exposes checks, cache hit rates, fixpoint reuse
+//    and per-kind decider latencies.
+#ifndef RAR_ENGINE_ENGINE_H_
+#define RAR_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "access/access_method.h"
+#include "access/reachability.h"
+#include "engine/decision_cache.h"
+#include "engine/frontier.h"
+#include "engine/stats.h"
+#include "engine/worker_pool.h"
+#include "query/query.h"
+#include "relational/configuration.h"
+#include "relevance/relevance.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief Construction-time knobs for a RelevanceEngine.
+struct EngineOptions {
+  /// Worker threads for CheckBatch. 0 = one per hardware thread, clamped
+  /// to [1, 8] (the deciders are CPU-bound; oversubscription only churns).
+  int num_threads = 0;
+  /// Disable to force every check through the deciders (used by the
+  /// validation tests and the bench baseline).
+  bool enable_cache = true;
+  /// Options forwarded to the underlying relevance deciders.
+  RelevanceOptions relevance;
+};
+
+/// \brief Outcome of one engine check.
+struct CheckOutcome {
+  bool relevant = false;
+  bool from_cache = false;
+  /// Non-OK when the LTR decider is outside its paper-backed scope (the
+  /// caller decides whether to treat that as relevant; see MediatorOptions
+  /// ::conservative_on_unknown).
+  Status status;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// \brief Long-lived relevance-checking runtime over an evolving
+/// configuration.
+///
+/// Thread model: `CheckImmediate` / `CheckLongTerm` / `CheckBatch` /
+/// `IsCertain` take the state lock shared and may run concurrently;
+/// `ApplyResponse` takes it exclusive. `RegisterQuery` must not race with
+/// checks on the id it returns (register first, then serve).
+class RelevanceEngine {
+ public:
+  RelevanceEngine(const Schema& schema, const AccessMethodSet& acs,
+                  Configuration initial, EngineOptions options = {});
+  ~RelevanceEngine() = default;
+
+  RelevanceEngine(const RelevanceEngine&) = delete;
+  RelevanceEngine& operator=(const RelevanceEngine&) = delete;
+
+  /// Registers a Boolean query and returns its dense id. The query is
+  /// validated against the engine's schema.
+  Result<QueryId> RegisterQuery(const UnionQuery& query);
+
+  size_t num_queries() const { return queries_.size(); }
+  const UnionQuery& query(QueryId id) const { return queries_[id]->query; }
+
+  /// The current configuration epoch: advances exactly when the
+  /// configuration grows.
+  uint64_t epoch() const;
+
+  /// Unsynchronised view of the engine's configuration. Safe while no
+  /// ApplyResponse runs concurrently; concurrent readers should use
+  /// SnapshotConfig.
+  const Configuration& config() const { return conf_; }
+
+  /// Copy of the configuration taken under the state lock.
+  Configuration SnapshotConfig() const;
+
+  /// Applies a response to a well-formed access: absorbs the facts, marks
+  /// the access performed, advances the epoch when anything was new, and
+  /// extends the frontier. Returns the number of new facts.
+  Result<int> ApplyResponse(const Access& access,
+                            const std::vector<Fact>& response);
+
+  /// True when the query is certain at the current configuration. Computed
+  /// at most once per epoch per query (monotone: once true, cached
+  /// forever).
+  bool IsCertain(QueryId id);
+
+  /// Immediate relevance of `access` for the registered query.
+  CheckOutcome CheckImmediate(QueryId id, const Access& access);
+
+  /// Long-term relevance of `access` for the registered query.
+  CheckOutcome CheckLongTerm(QueryId id, const Access& access);
+
+  /// Checks a batch of accesses, fanning out over the worker pool. Results
+  /// align with `accesses` by index.
+  std::vector<CheckOutcome> CheckBatch(QueryId id, CheckKind kind,
+                                       const std::vector<Access>& accesses);
+
+  /// Pending candidate accesses ranked for the query: cached-relevant
+  /// first, then unknown (criticality-boosted when the accessed relation
+  /// occurs in the query), cached-irrelevant last. The frontier is kept in
+  /// sync by ApplyResponse; this is a pure read.
+  std::vector<Access> CandidateAccesses(QueryId id);
+
+  /// Frontier candidates in plain discovery order (the crawl baseline).
+  std::vector<Access> PendingAccesses();
+
+  /// True when (method, binding) was already applied through the engine.
+  bool WasPerformed(const Access& access) const {
+    return frontier_.WasPerformed(access);
+  }
+
+  /// The ProducibleDomains fixpoint at the current configuration, computed
+  /// at most once per epoch. A hook for external schedulers and
+  /// diagnostics; the relevance deciders derive their own reachability
+  /// internally and do not consult this memo.
+  std::unordered_set<DomainId> producible_domains();
+
+  /// Counter snapshot (safe to call while workers run).
+  EngineStats stats() const;
+
+  void ClearCache() { cache_.Clear(); }
+
+ private:
+  struct QueryState {
+    UnionQuery query;
+    bool certain = false;          ///< monotone once true
+    uint64_t checked_epoch = ~0ULL;///< epoch of the last certainty check
+    std::unordered_set<RelationId> relations;  ///< relations in the query
+  };
+
+  /// Decides one check under an already-held shared state lock.
+  CheckOutcome CheckLocked(QueryId id, CheckKind kind, const Access& access);
+
+  /// Certainty with per-epoch memoization; takes certainty_mu_.
+  bool CertainLocked(QueryId id);
+
+  /// Ranking score for the frontier scheduler (cache probes only).
+  double ScoreAccess(QueryId id, const Access& access, uint64_t ep) const;
+
+  const Schema& schema_;
+  const AccessMethodSet& acs_;
+  const EngineOptions options_;
+  RelevanceAnalyzer analyzer_;
+
+  /// Guards conf_, epoch_, frontier_, producible_*; shared for checks,
+  /// exclusive for ApplyResponse / frontier syncs.
+  mutable std::shared_mutex state_mu_;
+  Configuration conf_;
+  uint64_t epoch_ = 0;
+  AccessFrontier frontier_;
+  bool producible_valid_ = false;
+  uint64_t producible_epoch_ = 0;
+  std::unordered_set<DomainId> producible_;
+
+  /// Guards certainty fields of QueryState (checks hold state_mu_ shared,
+  /// so certainty updates need their own serialization).
+  std::mutex certainty_mu_;
+  std::vector<std::unique_ptr<QueryState>> queries_;
+
+  DecisionCache cache_;
+  WorkerPool pool_;
+  mutable EngineCounters counters_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_ENGINE_ENGINE_H_

@@ -1,0 +1,118 @@
+#include "engine/frontier.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rar {
+
+void AccessFrontier::Emit(AccessMethodId mid, std::vector<Value> binding) {
+  AccessKey key{mid, binding};
+  if (!enumerated_.insert(key).second) return;
+  if (performed_.count(key) > 0) ++performed_count_;
+  Access a;
+  a.method = mid;
+  a.binding = std::move(binding);
+  candidates_.push_back(std::move(a));
+}
+
+void AccessFrontier::Sync(const Configuration& conf) {
+  if (adom_seen_.size() < schema_.num_domains()) {
+    adom_seen_.resize(schema_.num_domains(), 0);
+  }
+
+  for (AccessMethodId mid = 0; mid < acs_.size(); ++mid) {
+    const AccessMethod& m = acs_.method(mid);
+    const Relation& rel = schema_.relation(m.relation);
+    const int k = m.num_inputs();
+
+    if (k == 0) {
+      // Free access: a single candidate, emitted once.
+      Emit(mid, {});
+      continue;
+    }
+
+    // Per-slot value lists and the old/new split per slot.
+    std::vector<const std::vector<Value>*> slots(k);
+    std::vector<size_t> old_count(k);
+    bool feasible = true;
+    for (int j = 0; j < k; ++j) {
+      DomainId dom = rel.attributes[m.input_positions[j]].domain;
+      slots[j] = &conf.AdomOfDomain(dom);
+      old_count[j] = adom_seen_[dom];
+      if (slots[j]->empty()) feasible = false;
+    }
+    if (!feasible) continue;
+
+    // Emit every binding with at least one new coordinate, classified by
+    // its first new coordinate j*: slots before j* range over old values,
+    // slot j* over new values, slots after j* over all values. (With all
+    // old counts at zero this degenerates to the full product, which
+    // covers the first Sync.)
+    std::vector<Value> binding(k);
+    for (int star = 0; star < k; ++star) {
+      if (old_count[star] >= slots[star]->size()) continue;  // no new values
+      std::vector<size_t> idx(k, 0);
+      idx[star] = old_count[star];
+      bool exhausted = false;
+      for (int j = 0; j < star && !exhausted; ++j) {
+        if (old_count[j] == 0) exhausted = true;  // empty old prefix
+      }
+      while (!exhausted) {
+        for (int j = 0; j < k; ++j) binding[j] = (*slots[j])[idx[j]];
+        Emit(mid, binding);
+        // Odometer increment with per-slot bounds.
+        int j = k - 1;
+        while (j >= 0) {
+          size_t lo = (j == star) ? old_count[star] : 0;
+          size_t hi = (j < star) ? old_count[j] : slots[j]->size();
+          if (++idx[j] < hi) break;
+          idx[j] = lo;
+          --j;
+        }
+        if (j < 0) exhausted = true;
+      }
+    }
+  }
+
+  // Advance the expanded prefix to the current active domain.
+  for (DomainId d = 0; d < adom_seen_.size(); ++d) {
+    adom_seen_[d] = conf.AdomOfDomain(d).size();
+  }
+}
+
+void AccessFrontier::MarkPerformed(const Access& access) {
+  AccessKey key = KeyOf(access);
+  if (performed_.insert(key).second && enumerated_.count(key) > 0) {
+    ++performed_count_;
+  }
+}
+
+std::vector<Access> AccessFrontier::Pending() const {
+  std::vector<Access> out;
+  out.reserve(pending_size());
+  for (const Access& a : candidates_) {
+    if (performed_.count(KeyOf(a)) == 0) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Access> AccessFrontier::Ranked(
+    const std::function<double(const Access&)>& score) const {
+  std::vector<Access> out = Pending();
+  std::vector<std::pair<double, size_t>> order(out.size());
+  for (size_t i = 0; i < out.size(); ++i) order[i] = {score(out[i]), i};
+  std::stable_sort(order.begin(), order.end(),
+                   [](const std::pair<double, size_t>& a,
+                      const std::pair<double, size_t>& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<Access> ranked;
+  ranked.reserve(out.size());
+  for (const auto& [s, i] : order) {
+    (void)s;
+    ranked.push_back(std::move(out[i]));
+  }
+  return ranked;
+}
+
+}  // namespace rar

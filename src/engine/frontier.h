@@ -1,0 +1,103 @@
+// The access frontier: incremental enumeration of candidate accesses.
+//
+// At any configuration the set of performable accesses is every method
+// paired with every binding drawn from the typed active domain (for
+// independent methods the frontier also only proposes known values —
+// guessing arbitrary constants is pointless against a real source, see the
+// mediator). Re-enumerating that product from scratch each round is
+// quadratic in the run length; the frontier instead tracks, per abstract
+// domain, the prefix of the active domain it has already expanded, and on
+// `Sync` emits exactly the bindings that use at least one new value
+// (classified by their first new coordinate, so each appears once).
+//
+// The frontier is also the single owner of performed-access bookkeeping:
+// the mediator and the exhaustive crawl both used to carry their own
+// `std::set<pair<method, binding>>`; they now share this structure via the
+// engine.
+#ifndef RAR_ENGINE_FRONTIER_H_
+#define RAR_ENGINE_FRONTIER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "access/access_method.h"
+#include "relational/configuration.h"
+
+namespace rar {
+
+/// \brief Incrementally maintained candidate-access set with priority
+/// ordering. Not internally synchronised: the engine guards it with its
+/// state lock (mutations only happen while the configuration mutates).
+class AccessFrontier {
+ public:
+  AccessFrontier(const Schema& schema, const AccessMethodSet& acs)
+      : schema_(schema), acs_(acs) {}
+
+  /// Incorporates active-domain growth since the last call: appends every
+  /// newly well-formed candidate access exactly once, in deterministic
+  /// (method-major, first-seen value) order.
+  void Sync(const Configuration& conf);
+
+  /// Marks an access as performed; it stops appearing in Pending/Ranked.
+  void MarkPerformed(const Access& access);
+
+  bool WasPerformed(const Access& access) const {
+    return performed_.count(KeyOf(access)) > 0;
+  }
+
+  /// Pending candidates (enumerated, not yet performed) in discovery order.
+  std::vector<Access> Pending() const;
+
+  /// Pending candidates ordered by descending `score` (stable: discovery
+  /// order breaks ties). The scheduler's priority knob: the engine scores
+  /// with cached relevance verdicts and query-criticality hints.
+  std::vector<Access> Ranked(
+      const std::function<double(const Access&)>& score) const;
+
+  size_t pending_size() const { return candidates_.size() - performed_count_; }
+  size_t performed_size() const { return performed_.size(); }
+  size_t enumerated_size() const { return candidates_.size(); }
+
+ private:
+  struct AccessKey {
+    AccessMethodId method;
+    std::vector<Value> binding;
+    bool operator==(const AccessKey& o) const {
+      return method == o.method && binding == o.binding;
+    }
+  };
+  struct AccessKeyHash {
+    size_t operator()(const AccessKey& k) const {
+      uint64_t h = 1469598103934665603ULL ^ k.method;
+      ValueHash vh;
+      for (const Value& v : k.binding) h = (h ^ vh(v)) * 1099511628211ULL;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  static AccessKey KeyOf(const Access& a) {
+    return AccessKey{a.method, a.binding};
+  }
+
+  void Emit(AccessMethodId mid, std::vector<Value> binding);
+
+  const Schema& schema_;
+  const AccessMethodSet& acs_;
+
+  /// Every candidate ever enumerated, in discovery order. Performed ones
+  /// are filtered on read; the set stays small relative to re-enumeration.
+  std::vector<Access> candidates_;
+  std::unordered_set<AccessKey, AccessKeyHash> enumerated_;
+  std::unordered_set<AccessKey, AccessKeyHash> performed_;
+  /// Performed entries that are also in candidates_ (pending_size math).
+  size_t performed_count_ = 0;
+
+  /// Per-domain count of active-domain values already expanded.
+  std::vector<size_t> adom_seen_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_ENGINE_FRONTIER_H_

@@ -1,0 +1,103 @@
+// Counters and latency metrics for the RelevanceEngine runtime.
+//
+// The engine mutates a block of relaxed atomics on its hot paths (checks,
+// cache probes, epoch advances) and materialises a plain `EngineStats`
+// snapshot on demand. Relaxed ordering is deliberate: counters are
+// monotone telemetry, not synchronisation, and a snapshot taken while
+// workers run is allowed to be momentarily inconsistent between fields.
+#ifndef RAR_ENGINE_STATS_H_
+#define RAR_ENGINE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rar {
+
+/// \brief A point-in-time snapshot of engine counters.
+struct EngineStats {
+  uint64_t ir_checks = 0;        ///< immediate-relevance decisions requested
+  uint64_t ltr_checks = 0;       ///< long-term-relevance decisions requested
+  uint64_t cache_hits = 0;       ///< verdicts served from the decision cache
+  uint64_t cache_misses = 0;     ///< verdicts that ran a decider
+  uint64_t sticky_hits = 0;      ///< hits on epoch-stable entries / certainty
+  uint64_t certainty_reuse = 0;  ///< certainty fixpoint reused (same epoch)
+  uint64_t producible_reuse = 0; ///< ProducibleDomains fixpoint reused
+  uint64_t producible_recomputes = 0;  ///< ProducibleDomains recomputed
+  uint64_t epoch_advances = 0;   ///< configuration-growing responses
+  uint64_t facts_applied = 0;    ///< new facts absorbed via ApplyResponse
+  uint64_t responses_applied = 0;///< ApplyResponse calls (incl. empty)
+  uint64_t batch_calls = 0;      ///< CheckBatch invocations
+  uint64_t batch_items = 0;      ///< accesses checked through CheckBatch
+  uint64_t ir_time_ns = 0;       ///< wall time inside uncached IR deciders
+  uint64_t ltr_time_ns = 0;      ///< wall time inside uncached LTR deciders
+  uint64_t cache_entries = 0;    ///< live decision-cache entries
+  uint64_t frontier_pending = 0; ///< candidate accesses not yet performed
+  uint64_t frontier_performed = 0;  ///< accesses marked performed
+
+  uint64_t checks() const { return ir_checks + ltr_checks; }
+  double cache_hit_rate() const {
+    uint64_t probes = cache_hits + cache_misses;
+    return probes == 0 ? 0.0 : static_cast<double>(cache_hits) / probes;
+  }
+  /// Mean decider latency per *uncached* check of each kind; cached checks
+  /// cost no decider time by construction.
+  double mean_ir_decider_ns(uint64_t uncached_ir) const {
+    return uncached_ir == 0 ? 0.0
+                            : static_cast<double>(ir_time_ns) / uncached_ir;
+  }
+  double mean_ltr_decider_ns(uint64_t uncached_ltr) const {
+    return uncached_ltr == 0 ? 0.0
+                             : static_cast<double>(ltr_time_ns) / uncached_ltr;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief The engine's live counter block (relaxed atomics).
+struct EngineCounters {
+  std::atomic<uint64_t> ir_checks{0};
+  std::atomic<uint64_t> ltr_checks{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> sticky_hits{0};
+  std::atomic<uint64_t> certainty_reuse{0};
+  std::atomic<uint64_t> producible_reuse{0};
+  std::atomic<uint64_t> producible_recomputes{0};
+  std::atomic<uint64_t> epoch_advances{0};
+  std::atomic<uint64_t> facts_applied{0};
+  std::atomic<uint64_t> responses_applied{0};
+  std::atomic<uint64_t> batch_calls{0};
+  std::atomic<uint64_t> batch_items{0};
+  std::atomic<uint64_t> ir_time_ns{0};
+  std::atomic<uint64_t> ltr_time_ns{0};
+
+  void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  EngineStats Snapshot() const {
+    EngineStats s;
+    s.ir_checks = ir_checks.load(std::memory_order_relaxed);
+    s.ltr_checks = ltr_checks.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.cache_misses = cache_misses.load(std::memory_order_relaxed);
+    s.sticky_hits = sticky_hits.load(std::memory_order_relaxed);
+    s.certainty_reuse = certainty_reuse.load(std::memory_order_relaxed);
+    s.producible_reuse = producible_reuse.load(std::memory_order_relaxed);
+    s.producible_recomputes =
+        producible_recomputes.load(std::memory_order_relaxed);
+    s.epoch_advances = epoch_advances.load(std::memory_order_relaxed);
+    s.facts_applied = facts_applied.load(std::memory_order_relaxed);
+    s.responses_applied = responses_applied.load(std::memory_order_relaxed);
+    s.batch_calls = batch_calls.load(std::memory_order_relaxed);
+    s.batch_items = batch_items.load(std::memory_order_relaxed);
+    s.ir_time_ns = ir_time_ns.load(std::memory_order_relaxed);
+    s.ltr_time_ns = ltr_time_ns.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace rar
+
+#endif  // RAR_ENGINE_STATS_H_

@@ -1,0 +1,66 @@
+// A small fixed-size worker pool for fanning out relevance checks.
+//
+// Deliberately minimal: a mutex-guarded FIFO of std::function tasks and a
+// `Wait` barrier. Relevance deciders are coarse units of work (microseconds
+// to milliseconds), so a lock-free queue would buy nothing; what matters is
+// that `Submit` never blocks on task execution and `Wait` returns only when
+// every submitted task has finished.
+#ifndef RAR_ENGINE_WORKER_POOL_H_
+#define RAR_ENGINE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rar {
+
+/// \brief Fixed pool of worker threads draining a shared task queue.
+///
+/// Threads are spawned lazily on the first Submit, so engines that never
+/// fan out (e.g. a single-threaded mediator run) pay nothing for owning a
+/// pool.
+class WorkerPool {
+ public:
+  /// Configures a pool of `num_threads` workers (clamped to at least 1);
+  /// no threads start until work is submitted.
+  explicit WorkerPool(int num_threads);
+
+  /// Drains the queue, then joins every worker.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return num_threads_; }
+
+  /// Enqueues a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for all of
+  /// them. `fn` must be safe to invoke concurrently.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Spawns the workers if they are not running yet (caller holds mu_).
+  void EnsureStartedLocked();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled on new work / shutdown
+  std::condition_variable idle_cv_;   // signalled when a task completes
+  size_t in_flight_ = 0;              // queued + currently executing
+  bool stop_ = false;
+};
+
+}  // namespace rar
+
+#endif  // RAR_ENGINE_WORKER_POOL_H_

@@ -2,8 +2,6 @@
 
 #include <utility>
 
-#include "query/eval.h"
-
 namespace rar {
 
 Result<std::vector<Fact>> DeepWebSource::Execute(const Configuration& conf,
@@ -37,60 +35,24 @@ Result<std::vector<Fact>> DeepWebSource::Execute(const Configuration& conf,
   return matching;
 }
 
-std::vector<Access> Mediator::CandidateAccesses(
-    const Configuration& conf,
-    const std::set<std::pair<AccessMethodId, std::vector<Value>>>& done) {
-  std::vector<Access> out;
-  for (AccessMethodId mid = 0; mid < acs_.size(); ++mid) {
-    const AccessMethod& m = acs_.method(mid);
-    const Relation& rel = schema_.relation(m.relation);
-    // Enumerate bindings over the typed active domain (for independent
-    // methods the mediator also only guesses known values — inventing
-    // arbitrary constants is pointless against a real source).
-    std::vector<std::vector<Value>> slots;
-    bool feasible = true;
-    for (int pos : m.input_positions) {
-      slots.push_back(conf.AdomOfDomain(rel.attributes[pos].domain));
-      if (slots.back().empty()) feasible = false;
-    }
-    if (!feasible) continue;
-    std::vector<int> idx(slots.size(), 0);
-    while (true) {
-      Access access;
-      access.method = mid;
-      for (size_t i = 0; i < slots.size(); ++i) {
-        access.binding.push_back(slots[i][idx[i]]);
-      }
-      if (!done.count({mid, access.binding})) out.push_back(access);
-      int i = static_cast<int>(slots.size()) - 1;
-      while (i >= 0 && ++idx[i] == static_cast<int>(slots[i].size())) {
-        idx[i] = 0;
-        --i;
-      }
-      if (i < 0) break;  // free accesses yield exactly one candidate
-    }
-  }
-  return out;
-}
-
 Result<MediationOutcome> Mediator::AnswerBoolean(
     const UnionQuery& query, const Configuration& initial,
     DeepWebSource* source, const MediatorOptions& options) {
   MediationOutcome outcome;
-  outcome.final_conf = initial;
-  RelevanceAnalyzer analyzer(schema_, acs_);
-  std::set<std::pair<AccessMethodId, std::vector<Value>>> done;
+  RelevanceEngine engine(schema_, acs_, initial, options.engine);
+  RAR_ASSIGN_OR_RETURN(QueryId qid, engine.RegisterQuery(query));
 
   for (outcome.rounds = 0; outcome.rounds < options.max_rounds;
        ++outcome.rounds) {
-    if (IsCertain(query, outcome.final_conf)) {
+    if (engine.IsCertain(qid)) {
       outcome.answered = true;
-      return outcome;
+      break;
     }
-    std::vector<Access> candidates =
-        CandidateAccesses(outcome.final_conf, done);
-    outcome.accesses_considered +=
-        static_cast<long>(candidates.size());
+    // Frontier-ranked candidates: cached-relevant accesses come first, so
+    // after a growth round the scheduler retries the accesses most likely
+    // to still be relevant before exploring unknowns.
+    std::vector<Access> candidates = engine.CandidateAccesses(qid);
+    outcome.accesses_considered += static_cast<long>(candidates.size());
 
     // Pick an immediately relevant access; else a long-term relevant one.
     const Access* chosen = nullptr;
@@ -98,7 +60,8 @@ Result<MediationOutcome> Mediator::AnswerBoolean(
     if (options.use_immediate) {
       for (const Access& a : candidates) {
         ++outcome.relevance_checks;
-        if (analyzer.Immediate(outcome.final_conf, a, query)) {
+        CheckOutcome ir = engine.CheckImmediate(qid, a);
+        if (ir.ok() && ir.relevant) {
           chosen = &a;
           reason = "IR";
           break;
@@ -108,10 +71,9 @@ Result<MediationOutcome> Mediator::AnswerBoolean(
     if (chosen == nullptr && options.use_long_term) {
       for (const Access& a : candidates) {
         ++outcome.relevance_checks;
-        Result<bool> ltr =
-            analyzer.LongTerm(outcome.final_conf, a, query,
-                              options.relevance);
-        bool relevant = ltr.ok() ? *ltr : options.conservative_on_unknown;
+        CheckOutcome ltr = engine.CheckLongTerm(qid, a);
+        bool relevant =
+            ltr.ok() ? ltr.relevant : options.conservative_on_unknown;
         if (relevant) {
           chosen = &a;
           reason = ltr.ok() ? "LTR" : "unknown->conservative";
@@ -119,20 +81,21 @@ Result<MediationOutcome> Mediator::AnswerBoolean(
         }
       }
     }
-    if (chosen == nullptr) return outcome;  // nothing relevant: give up
+    if (chosen == nullptr) break;  // nothing relevant: give up
 
     RAR_ASSIGN_OR_RETURN(
         std::vector<Fact> response,
-        source->Execute(outcome.final_conf, *chosen, options.policy));
-    done.insert({chosen->method, chosen->binding});
+        source->Execute(engine.config(), *chosen, options.policy));
     ++outcome.accesses_performed;
     if (options.verbose_log) {
       outcome.log.push_back(reason + ": " +
                             chosen->ToString(schema_, acs_) + " -> " +
                             std::to_string(response.size()) + " tuple(s)");
     }
-    for (const Fact& f : response) outcome.final_conf.AddFact(f);
+    RAR_RETURN_NOT_OK(engine.ApplyResponse(*chosen, response).status());
   }
+  outcome.final_conf = engine.SnapshotConfig();
+  outcome.engine = engine.stats();
   return outcome;
 }
 
@@ -140,32 +103,34 @@ Result<MediationOutcome> Mediator::ExhaustiveCrawl(
     const UnionQuery& query, const Configuration& initial,
     DeepWebSource* source, const MediatorOptions& options) {
   MediationOutcome outcome;
-  outcome.final_conf = initial;
-  std::set<std::pair<AccessMethodId, std::vector<Value>>> done;
+  RelevanceEngine engine(schema_, acs_, initial, options.engine);
+  RAR_ASSIGN_OR_RETURN(QueryId qid, engine.RegisterQuery(query));
 
   for (outcome.rounds = 0; outcome.rounds < options.max_rounds;
        ++outcome.rounds) {
-    if (IsCertain(query, outcome.final_conf)) {
+    if (engine.IsCertain(qid)) {
       outcome.answered = true;
-      return outcome;
+      break;
     }
-    std::vector<Access> candidates =
-        CandidateAccesses(outcome.final_conf, done);
-    if (candidates.empty()) return outcome;  // crawl fixpoint
+    // The crawl performs every pending access, relevance unchecked.
+    std::vector<Access> candidates = engine.PendingAccesses();
+    if (candidates.empty()) break;  // crawl fixpoint
     outcome.accesses_considered += static_cast<long>(candidates.size());
     for (const Access& a : candidates) {
       RAR_ASSIGN_OR_RETURN(
           std::vector<Fact> response,
-          source->Execute(outcome.final_conf, a, options.policy));
-      done.insert({a.method, a.binding});
+          source->Execute(engine.config(), a, options.policy));
       ++outcome.accesses_performed;
-      for (const Fact& f : response) outcome.final_conf.AddFact(f);
-      if (IsCertain(query, outcome.final_conf)) {
+      RAR_RETURN_NOT_OK(engine.ApplyResponse(a, response).status());
+      if (engine.IsCertain(qid)) {
         outcome.answered = true;
-        return outcome;
+        break;
       }
     }
+    if (outcome.answered) break;
   }
+  outcome.final_conf = engine.SnapshotConfig();
+  outcome.engine = engine.stats();
   return outcome;
 }
 

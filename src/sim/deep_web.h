@@ -9,14 +9,19 @@
 // crawl that performs every well-formed access — the comparison the
 // Section 7 discussion draws ("no check is made for the relevance of an
 // access").
+//
+// Both loops run on a `RelevanceEngine`: candidate enumeration and
+// performed-access dedup come from the engine's AccessFrontier, verdicts
+// from its decision cache, and the evolving configuration lives inside the
+// engine (responses are absorbed via ApplyResponse).
 #ifndef RAR_SIM_DEEP_WEB_H_
 #define RAR_SIM_DEEP_WEB_H_
 
-#include <set>
 #include <string>
 #include <vector>
 
 #include "access/access_method.h"
+#include "engine/engine.h"
 #include "relational/configuration.h"
 #include "relevance/relevance.h"
 #include "util/rng.h"
@@ -68,6 +73,7 @@ struct MediationOutcome {
   int rounds = 0;
   Configuration final_conf;
   std::vector<std::string> log;   ///< human-readable trace
+  EngineStats engine;             ///< engine counters for the run
 };
 
 /// \brief Strategy options for the mediator.
@@ -79,8 +85,10 @@ struct MediatorOptions {
   bool conservative_on_unknown = true;
   int max_rounds = 64;
   bool verbose_log = false;
-  RelevanceOptions relevance;
   ResponsePolicy policy;
+  /// Engine construction knobs for the run; `engine.relevance` holds the
+  /// decider options (single source of truth).
+  EngineOptions engine;
 };
 
 /// \brief Dynamic query answering driven by relevance analysis.
@@ -103,11 +111,6 @@ class Mediator {
                                            const MediatorOptions& options = {});
 
  private:
-  /// Enumerates well-formed accesses at `conf` not yet in `done`.
-  std::vector<Access> CandidateAccesses(
-      const Configuration& conf,
-      const std::set<std::pair<AccessMethodId, std::vector<Value>>>& done);
-
   const Schema& schema_;
   const AccessMethodSet& acs_;
 };

@@ -1,0 +1,470 @@
+// Tests for the RelevanceEngine runtime: decision-cache semantics, the
+// incremental access frontier, the worker pool, and — the load-bearing
+// property — agreement between the engine's cached/incremental/batched
+// verdicts and the direct one-shot deciders in relevance/ on randomized
+// scenario streams, including cache invalidation after configuration
+// growth.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "engine/decision_cache.h"
+#include "engine/engine.h"
+#include "engine/frontier.h"
+#include "engine/worker_pool.h"
+#include "query/eval.h"
+#include "relevance/immediate.h"
+#include "relevance/relevance.h"
+#include "sim/deep_web.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace rar {
+namespace {
+
+// ---------------------------------------------------------------- cache
+
+TEST(DecisionCacheTest, EpochEntriesExpireOnGrowth) {
+  DecisionCache cache;
+  DecisionKey key{0, CheckKind::kImmediate, 0, {Value::Constant(1)}};
+  cache.Insert(key, /*relevant=*/true, /*sticky=*/false, /*epoch=*/3);
+
+  auto hit = cache.Lookup(key, 3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->relevant);
+
+  // A "relevant" verdict must be revalidated after the configuration grows.
+  EXPECT_FALSE(cache.Lookup(key, 4).has_value());
+  EXPECT_FALSE(cache.Lookup(key, 2).has_value());
+}
+
+TEST(DecisionCacheTest, StickyEntriesSurviveGrowth) {
+  DecisionCache cache;
+  DecisionKey key{1, CheckKind::kLongTerm, 2, {}};
+  cache.Insert(key, /*relevant=*/false, /*sticky=*/true, /*epoch=*/0);
+
+  auto hit = cache.Lookup(key, 1000);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->relevant);
+  EXPECT_TRUE(hit->sticky);
+
+  // Sticky entries are strictly stronger: a later non-sticky insert for
+  // the same key must not downgrade them.
+  cache.Insert(key, /*relevant=*/true, /*sticky=*/false, /*epoch=*/1001);
+  hit = cache.Lookup(key, 2000);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->relevant);
+}
+
+TEST(DecisionCacheTest, EvictStaleKeepsCurrentAndSticky) {
+  DecisionCache cache;
+  cache.Insert(DecisionKey{0, CheckKind::kImmediate, 0, {}}, true, false, 1);
+  cache.Insert(DecisionKey{0, CheckKind::kImmediate, 1, {}}, true, false, 2);
+  cache.Insert(DecisionKey{0, CheckKind::kLongTerm, 0, {}}, false, true, 0);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.EvictStale(2), 1u);  // only the epoch-1 entry goes
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// -------------------------------------------------------------- frontier
+
+// Brute-force re-enumeration (the old Mediator::CandidateAccesses logic),
+// used as the oracle for the incremental frontier.
+std::vector<Access> EnumerateAll(const Schema& schema,
+                                 const AccessMethodSet& acs,
+                                 const Configuration& conf) {
+  std::vector<Access> out;
+  for (AccessMethodId mid = 0; mid < acs.size(); ++mid) {
+    const AccessMethod& m = acs.method(mid);
+    const Relation& rel = schema.relation(m.relation);
+    std::vector<std::vector<Value>> slots;
+    bool feasible = true;
+    for (int pos : m.input_positions) {
+      slots.push_back(conf.AdomOfDomain(rel.attributes[pos].domain));
+      if (slots.back().empty()) feasible = false;
+    }
+    if (!feasible) continue;
+    std::vector<int> idx(slots.size(), 0);
+    while (true) {
+      Access access;
+      access.method = mid;
+      for (size_t i = 0; i < slots.size(); ++i) {
+        access.binding.push_back(slots[i][idx[i]]);
+      }
+      out.push_back(access);
+      int i = static_cast<int>(slots.size()) - 1;
+      while (i >= 0 && ++idx[i] == static_cast<int>(slots[i].size())) {
+        idx[i] = 0;
+        --i;
+      }
+      if (i < 0) break;
+    }
+  }
+  return out;
+}
+
+std::set<std::pair<AccessMethodId, std::vector<Value>>> AsSet(
+    const std::vector<Access>& accesses) {
+  std::set<std::pair<AccessMethodId, std::vector<Value>>> s;
+  for (const Access& a : accesses) s.insert({a.method, a.binding});
+  return s;
+}
+
+TEST(AccessFrontierTest, IncrementalEnumerationMatchesFullReEnumeration) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    RandomScenarioOptions sopts;
+    sopts.num_relations = 3;
+    sopts.num_facts = 2;
+    sopts.independent_prob = 0.3;
+    Scenario s = RandomScenario(&rng, sopts);
+
+    AccessFrontier frontier(*s.schema, s.acs);
+    Configuration conf = s.conf;
+    frontier.Sync(conf);
+    EXPECT_EQ(AsSet(frontier.Pending()),
+              AsSet(EnumerateAll(*s.schema, s.acs, conf)))
+        << "seed " << seed << " initial sync";
+
+    // Grow the configuration a few times; the incremental frontier must
+    // keep matching a from-scratch enumeration.
+    std::vector<Value> constants = conf.AdomOfDomain(0);
+    for (int step = 0; step < 4; ++step) {
+      RelationId rel =
+          static_cast<RelationId>(rng.Below(s.schema->num_relations()));
+      Fact f;
+      f.relation = rel;
+      for (int p = 0; p < s.schema->relation(rel).arity(); ++p) {
+        // Mix known constants with fresh ones so the active domain grows.
+        if (rng.Chance(0.5)) {
+          f.values.push_back(rng.Pick(constants));
+        } else {
+          f.values.push_back(s.schema->InternConstant(
+              "fresh_" + std::to_string(seed) + "_" + std::to_string(step) +
+              "_" + std::to_string(p)));
+        }
+      }
+      conf.AddFact(f);
+      frontier.Sync(conf);
+      EXPECT_EQ(AsSet(frontier.Pending()),
+                AsSet(EnumerateAll(*s.schema, s.acs, conf)))
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(AccessFrontierTest, PerformedAccessesLeaveThePendingSet) {
+  ChainFamily f = MakeChainFamily(3);
+  AccessFrontier frontier(*f.scenario.schema, f.scenario.acs);
+  frontier.Sync(f.scenario.conf);
+  std::vector<Access> pending = frontier.Pending();
+  ASSERT_FALSE(pending.empty());
+  size_t before = frontier.pending_size();
+  frontier.MarkPerformed(pending[0]);
+  EXPECT_TRUE(frontier.WasPerformed(pending[0]));
+  EXPECT_EQ(frontier.pending_size(), before - 1);
+  for (const Access& a : frontier.Pending()) {
+    EXPECT_FALSE(a == pending[0]);
+  }
+}
+
+TEST(AccessFrontierTest, RankedPutsHighScoresFirstStably) {
+  ChainFamily f = MakeChainFamily(2);
+  AccessFrontier frontier(*f.scenario.schema, f.scenario.acs);
+  frontier.Sync(f.scenario.conf);
+  std::vector<Access> pending = frontier.Pending();
+  ASSERT_GE(pending.size(), 2u);
+  const Access boosted = pending.back();
+  std::vector<Access> ranked = frontier.Ranked(
+      [&](const Access& a) { return a == boosted ? 10.0 : 1.0; });
+  ASSERT_EQ(ranked.size(), pending.size());
+  EXPECT_TRUE(ranked[0] == boosted);
+  // Equal-score tail keeps discovery order (stable sort).
+  size_t j = 0;
+  for (const Access& a : pending) {
+    if (a == boosted) continue;
+    ++j;
+    EXPECT_TRUE(ranked[j] == a);
+  }
+}
+
+// ------------------------------------------------------------ worker pool
+
+TEST(WorkerPoolTest, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(1000, [&](size_t i) {
+    sum.fetch_add(static_cast<int>(i) + 1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000 * 1001 / 2);
+}
+
+TEST(WorkerPoolTest, WaitIsABarrier) {
+  WorkerPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 64);
+}
+
+// ---------------------------------------------------------------- engine
+
+// Builds a random hidden instance over the scenario's constants.
+Configuration RandomHidden(Rng* rng, const Scenario& s, int num_facts) {
+  Configuration hidden(s.schema.get());
+  std::vector<Value> constants = s.conf.AdomOfDomain(0);
+  for (int i = 0; i < num_facts; ++i) {
+    RelationId rel =
+        static_cast<RelationId>(rng->Below(s.schema->num_relations()));
+    Fact f;
+    f.relation = rel;
+    for (int p = 0; p < s.schema->relation(rel).arity(); ++p) {
+      f.values.push_back(rng->Pick(constants));
+    }
+    hidden.AddFact(f);
+  }
+  return hidden;
+}
+
+// The property: on a stream of applied accesses, the engine's verdicts
+// (cached, incremental, certainty-short-circuited) agree with the direct
+// uncached deciders run against a mirrored configuration at every step.
+void RunAgreementStream(double independent_prob, uint64_t first_seed,
+                        uint64_t last_seed) {
+  for (uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+    Rng rng(seed);
+    RandomScenarioOptions sopts;
+    sopts.num_relations = 3;
+    sopts.num_facts = 1;
+    sopts.independent_prob = independent_prob;
+    Scenario s = RandomScenario(&rng, sopts);
+    Configuration hidden = RandomHidden(&rng, s, 6);
+
+    ConjunctiveQuery cq = RandomQuery(&rng, s, 2, 2, 0.3);
+    if (!cq.Validate(*s.schema).ok()) continue;
+    UnionQuery q;
+    q.disjuncts.push_back(cq);
+
+    RelevanceEngine engine(*s.schema, s.acs, s.conf);
+    auto qid = engine.RegisterQuery(q);
+    ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+
+    // The direct-decider mirror of the engine's evolving configuration.
+    Configuration mirror = s.conf;
+    RelevanceAnalyzer analyzer(*s.schema, s.acs);
+    DeepWebSource source(s.schema.get(), &s.acs, hidden);
+
+    for (int step = 0; step < 4; ++step) {
+      std::vector<Access> candidates = engine.PendingAccesses();
+      if (candidates.empty()) break;
+
+      size_t checked = 0;
+      for (const Access& a : candidates) {
+        if (++checked > 6) break;  // bound LTR work per step
+
+        CheckOutcome ir = engine.CheckImmediate(*qid, a);
+        ASSERT_TRUE(ir.ok());
+        bool direct_ir = IsImmediatelyRelevant(mirror, s.acs, a, q);
+        EXPECT_EQ(ir.relevant, direct_ir)
+            << "IR mismatch, seed " << seed << " step " << step << " on "
+            << a.ToString(*s.schema, s.acs);
+
+        // Re-check: must be served from cache with the same verdict.
+        CheckOutcome again = engine.CheckImmediate(*qid, a);
+        EXPECT_TRUE(again.from_cache);
+        EXPECT_EQ(again.relevant, ir.relevant);
+
+        CheckOutcome ltr = engine.CheckLongTerm(*qid, a);
+        Result<bool> direct_ltr = analyzer.LongTerm(mirror, a, q);
+        ASSERT_EQ(ltr.ok(), direct_ltr.ok())
+            << "LTR scope mismatch, seed " << seed << ": engine="
+            << ltr.status.ToString()
+            << " direct=" << direct_ltr.status().ToString();
+        if (ltr.ok()) {
+          EXPECT_EQ(ltr.relevant, *direct_ltr)
+              << "LTR mismatch, seed " << seed << " step " << step << " on "
+              << a.ToString(*s.schema, s.acs);
+        }
+      }
+
+      // Certainty agrees with direct evaluation.
+      EXPECT_EQ(engine.IsCertain(*qid), IsCertain(q, mirror));
+
+      // Grow: perform one candidate against the hidden source and apply
+      // the response to both the engine and the mirror.
+      const Access& apply = candidates[rng.Below(candidates.size())];
+      auto response = source.Execute(mirror, apply, ResponsePolicy{});
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      auto added = engine.ApplyResponse(apply, *response);
+      ASSERT_TRUE(added.ok()) << added.status().ToString();
+      for (const Fact& f : *response) mirror.AddFact(f);
+      ASSERT_EQ(engine.config().NumFacts(), mirror.NumFacts());
+    }
+  }
+}
+
+TEST(RelevanceEngineTest, AgreesWithDirectDecidersDependent) {
+  RunAgreementStream(/*independent_prob=*/0.0, 1, 8);
+}
+
+TEST(RelevanceEngineTest, AgreesWithDirectDecidersIndependent) {
+  RunAgreementStream(/*independent_prob=*/1.0, 1, 8);
+}
+
+TEST(RelevanceEngineTest, AgreesWithDirectDecidersMixed) {
+  RunAgreementStream(/*independent_prob=*/0.5, 9, 14);
+}
+
+// Deterministic invalidation scenario: R(D,D) with a free method and a
+// Boolean method; growth first changes an IR verdict (epoch entries must
+// be revalidated), then makes the query certain (verdicts become sticky
+// negatives).
+TEST(RelevanceEngineTest, CacheInvalidationAfterGrowth) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d = schema->AddDomain("D");
+  RelationId r = *schema->AddRelation("R", std::vector<DomainId>{d, d});
+  AccessMethodSet acs(schema.get());
+  AccessMethodId free_m = *acs.Add("r_free", r, {}, /*dependent=*/false);
+  AccessMethodId bool_m = *acs.Add("r_bool", r, {0, 1}, /*dependent=*/true);
+
+  Value a = schema->InternConstant("a");
+  Value b = schema->InternConstant("b");
+  Configuration conf(schema.get());
+  conf.AddSeedConstant(a, d);
+  conf.AddSeedConstant(b, d);
+
+  // Q: R(a, b)?
+  ConjunctiveQuery cq;
+  cq.atoms.push_back(Atom{r, {Term::MakeConst(a), Term::MakeConst(b)}});
+  ASSERT_TRUE(cq.Validate(*schema).ok());
+  UnionQuery q;
+  q.disjuncts.push_back(cq);
+
+  RelevanceEngine engine(*schema, acs, conf);
+  QueryId qid = *engine.RegisterQuery(q);
+  const Access probe{bool_m, {a, b}};
+
+  // Not certain yet: the Boolean probe R(a,b)? is immediately relevant.
+  CheckOutcome first = engine.CheckImmediate(qid, probe);
+  EXPECT_TRUE(first.relevant);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_TRUE(engine.CheckImmediate(qid, probe).from_cache);
+  const uint64_t epoch_before = engine.epoch();
+
+  // Growth that does NOT settle the query: verdict must be recomputed at
+  // the new epoch (a cached "relevant" is not trusted across growth), and
+  // recomputation still says relevant.
+  ASSERT_TRUE(
+      engine.ApplyResponse(Access{free_m, {}}, {Fact(r, {b, a})}).ok());
+  EXPECT_GT(engine.epoch(), epoch_before);
+  CheckOutcome regrown = engine.CheckImmediate(qid, probe);
+  EXPECT_FALSE(regrown.from_cache) << "stale epoch entry must not be served";
+  EXPECT_TRUE(regrown.relevant);
+
+  // Growth that makes the query certain: every verdict flips to the
+  // stable negative and is served without running a decider again.
+  ASSERT_TRUE(
+      engine.ApplyResponse(Access{free_m, {}}, {Fact(r, {a, b})}).ok());
+  EXPECT_TRUE(engine.IsCertain(qid));
+  CheckOutcome settled = engine.CheckImmediate(qid, probe);
+  EXPECT_FALSE(settled.relevant);
+  EXPECT_TRUE(settled.from_cache);  // certainty short-circuit
+  CheckOutcome settled_ltr = engine.CheckLongTerm(qid, probe);
+  ASSERT_TRUE(settled_ltr.ok());
+  EXPECT_FALSE(settled_ltr.relevant);
+
+  EngineStats stats = engine.stats();
+  EXPECT_GT(stats.sticky_hits, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.epoch_advances, 2u);
+}
+
+TEST(RelevanceEngineTest, BatchAgreesWithSequentialAcrossThreads) {
+  Rng rng(77);
+  CliqueFamily family = MakeCliqueFamily(&rng, 3, 8, 0.4);
+  const Scenario& s = family.scenario;
+
+  EngineOptions single;
+  single.num_threads = 1;
+  single.enable_cache = false;
+  RelevanceEngine sequential(*s.schema, s.acs, s.conf, single);
+  QueryId q_seq = *sequential.RegisterQuery(family.query);
+
+  EngineOptions multi;
+  multi.num_threads = 4;
+  RelevanceEngine threaded(*s.schema, s.acs, s.conf, multi);
+  QueryId q_thr = *threaded.RegisterQuery(family.query);
+
+  std::vector<Access> batch = sequential.PendingAccesses();
+  ASSERT_FALSE(batch.empty());
+
+  std::vector<CheckOutcome> fanned =
+      threaded.CheckBatch(q_thr, CheckKind::kImmediate, batch);
+  ASSERT_EQ(fanned.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    CheckOutcome direct = sequential.CheckImmediate(q_seq, batch[i]);
+    EXPECT_EQ(fanned[i].relevant, direct.relevant) << "access " << i;
+  }
+
+  // A second fan-out over the same batch is answered from the cache.
+  std::vector<CheckOutcome> again =
+      threaded.CheckBatch(q_thr, CheckKind::kImmediate, batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(again[i].from_cache);
+    EXPECT_EQ(again[i].relevant, fanned[i].relevant);
+  }
+  EngineStats stats = threaded.stats();
+  EXPECT_EQ(stats.batch_calls, 2u);
+  EXPECT_EQ(stats.batch_items, 2 * batch.size());
+  EXPECT_GE(stats.cache_hits, batch.size());
+}
+
+TEST(RelevanceEngineTest, ProducibleDomainsFixpointIsReusedWithinEpoch) {
+  ChainFamily f = MakeChainFamily(3);
+  RelevanceEngine engine(*f.scenario.schema, f.scenario.acs, f.scenario.conf);
+  auto first = engine.producible_domains();
+  auto second = engine.producible_domains();
+  EXPECT_EQ(first, second);
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.producible_recomputes, 1u);
+  EXPECT_EQ(stats.producible_reuse, 1u);
+}
+
+TEST(RelevanceEngineTest, RejectsMalformedResponses) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d = schema->AddDomain("D");
+  RelationId r = *schema->AddRelation("R", std::vector<DomainId>{d, d});
+  RelationId s = *schema->AddRelation("S", std::vector<DomainId>{d});
+  AccessMethodSet acs(schema.get());
+  AccessMethodId free_m = *acs.Add("r_free", r, {}, /*dependent=*/false);
+  Value a = schema->InternConstant("a");
+  Configuration conf(schema.get());
+  conf.AddSeedConstant(a, d);
+  RelevanceEngine engine(*schema, acs, conf);
+
+  // Wrong arity for R (would index out of bounds downstream if absorbed).
+  EXPECT_FALSE(engine.ApplyResponse(Access{free_m, {}}, {Fact(r, {a})}).ok());
+  // Wrong relation entirely.
+  EXPECT_FALSE(engine.ApplyResponse(Access{free_m, {}}, {Fact(s, {a})}).ok());
+  // The configuration stayed clean and a valid response still applies.
+  EXPECT_EQ(engine.config().NumFacts(), 0u);
+  auto ok = engine.ApplyResponse(Access{free_m, {}}, {Fact(r, {a, a})});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, 1);
+}
+
+TEST(RelevanceEngineTest, RejectsNonBooleanQueries) {
+  ChainFamily f = MakeChainFamily(2);
+  RelevanceEngine engine(*f.scenario.schema, f.scenario.acs, f.scenario.conf);
+  UnionQuery kary = f.contained;
+  kary.disjuncts[0].head.push_back(0);
+  EXPECT_FALSE(engine.RegisterQuery(kary).ok());
+}
+
+}  // namespace
+}  // namespace rar
