@@ -167,6 +167,67 @@ void BM_RepeatedLTR_Chain_Engine(benchmark::State& state) {
 }
 BENCHMARK(BM_RepeatedLTR_Chain_Engine)->DenseRange(2, 4);
 
+// ------------------------------- mixed-relation growth (footprint payoff)
+
+// The sharded-invalidation headline: a query over one relation group is
+// re-probed while *other* groups grow between rounds. Footprint-stamped
+// entries survive every disjoint growth (hit rate stays high); the
+// global-epoch baseline loses the whole cache on each response.
+void RunMixedGrowth(benchmark::State& state, bool footprint_invalidation) {
+  rar::MultiRelationFamily family =
+      rar::MakeMultiRelationFamily(/*groups=*/4, /*values_per_group=*/5);
+  const rar::Scenario& s = family.scenario;
+  long checks = 0;
+  rar::EngineStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    EngineOptions opts;
+    opts.footprint_invalidation = footprint_invalidation;
+    RelevanceEngine engine(*s.schema, s.acs, s.conf, opts);
+    QueryId q = *engine.RegisterQuery(family.queries[0]);
+    // Growth script: every hidden fact of groups 1..3, none in q's
+    // footprint, all over seeded values (Adom stays fixed).
+    std::vector<std::pair<Access, std::vector<rar::Fact>>> growth;
+    for (size_t g = 1; g < family.group_relations.size(); ++g) {
+      for (rar::RelationId rel : family.group_relations[g]) {
+        rar::AccessMethodId m = s.acs.MethodsOf(rel)[0];
+        for (const rar::Fact& f : family.hidden.FactsOf(rel)) {
+          growth.push_back({Access{m, {f.values[0]}}, {f}});
+        }
+      }
+    }
+    std::vector<Access> batch = engine.PendingAccesses();
+    state.ResumeTiming();
+
+    size_t gi = 0;
+    for (int round = 0; round < 8; ++round) {
+      std::vector<CheckOutcome> out =
+          engine.CheckBatch(q, CheckKind::kLongTerm, batch);
+      checks += static_cast<long>(out.size());
+      if (gi < growth.size()) {
+        (void)engine.ApplyResponse(growth[gi].first, growth[gi].second);
+        ++gi;
+      }
+    }
+    stats = engine.stats();
+  }
+  state.SetItemsProcessed(checks);
+  state.counters["hit_rate"] = stats.cache_hit_rate();
+  state.counters["cross_epoch_hits"] =
+      static_cast<double>(stats.cross_epoch_hits);
+  state.counters["stale"] = static_cast<double>(stats.stale_invalidations);
+}
+
+void BM_MixedGrowth_FootprintStamps(benchmark::State& state) {
+  RunMixedGrowth(state, /*footprint_invalidation=*/true);
+}
+BENCHMARK(BM_MixedGrowth_FootprintStamps);
+
+void BM_MixedGrowth_GlobalEpoch(benchmark::State& state) {
+  RunMixedGrowth(state, /*footprint_invalidation=*/false);
+}
+BENCHMARK(BM_MixedGrowth_GlobalEpoch);
+
 // --------------------------------------- evolving stream (growth + checks)
 
 // The mediator shape: between check batches the configuration grows, so

@@ -1,0 +1,190 @@
+// Pipelined mediation vs the serialized baseline.
+//
+// Both loops run the same multi-relation deep-web scenario through the
+// same sharded engine; the only difference is MediatorOptions::pipelined —
+// the serialized loop performs check(i) -> execute(i) -> apply(i) strictly
+// in order, while the pipelined loop executes access i against the source
+// and applies its response on a background worker underneath the ranking
+// and relevance checks for access i+1.
+//
+// The workload is an *exploration stream*: each group's query needs a
+// B-fact ending in a sink constant the source never produces, so the
+// mediator performs every long-term-relevant access to fixpoint (LTR stays
+// true — a sound source could still return the missing tuple). That is the
+// regime pipelining targets: every relevant access gets performed
+// eventually, so checking one response behind costs nothing, and the
+// simulated source round-trip (deep-web accesses are network calls) plus
+// the apply is hidden behind the next round's ranking + checks. Responses
+// fan out to fresh constants, so applies also carry real work: active-
+// domain growth and incremental frontier extension.
+//
+// Counters: `invalidations_avoided` (cross-epoch cache hits a global-epoch
+// scheme would have lost), `stale_invalidations`, `overlapped_applies`.
+// The crawl pair runs the same pipeline shape on the exhaustive baseline
+// (every access performed, relevance unchecked).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/deep_web.h"
+#include "workload/generators.h"
+
+namespace {
+
+using rar::Access;
+using rar::Configuration;
+using rar::ConjunctiveQuery;
+using rar::DeepWebSource;
+using rar::EngineStats;
+using rar::Fact;
+using rar::MediatorOptions;
+using rar::Mediator;
+using rar::MultiRelationFamily;
+using rar::Scenario;
+using rar::Term;
+using rar::UnionQuery;
+using rar::Value;
+using rar::VarId;
+
+/// Simulated source round-trip; what the pipeline hides behind checks.
+constexpr int kSourceLatencyUs = 200;
+
+struct PipelineWorkload {
+  MultiRelationFamily family;
+  std::vector<UnionQuery> exploration_queries;
+};
+
+// Deepens the family's hidden instance with fresh-constant fan-outs (fat
+// responses, Adom growth on apply) and replaces each group's query with an
+// exploration query anchored on a sink constant no source fact ends with.
+PipelineWorkload MakeWorkload(int groups, int values_per_group, int fanout) {
+  PipelineWorkload w;
+  w.family = rar::MakeMultiRelationFamily(groups, values_per_group);
+  Scenario& s = w.family.scenario;
+  for (int g = 0; g < groups; ++g) {
+    const std::string tag = std::to_string(g);
+    rar::RelationId rel_a = w.family.group_relations[g][0];
+    rar::RelationId rel_b = w.family.group_relations[g][1];
+    rar::DomainId dom = s.schema->relation(rel_a).attributes[0].domain;
+    for (int i = 0; i < values_per_group; ++i) {
+      Value ci = s.schema->InternConstant("c" + tag + "_" + std::to_string(i));
+      for (int j = 0; j < fanout; ++j) {
+        Value fresh = s.schema->InternConstant(
+            "f" + tag + "_" + std::to_string(i) + "_" + std::to_string(j));
+        w.family.hidden.AddFact(Fact(rel_a, {ci, fresh}));
+      }
+    }
+    // Sink: seeded (so the query validates and is checkable) but never the
+    // tail of any B-fact — the query stays uncertain, yet every access
+    // stays long-term relevant (a sound source could return the tuple).
+    Value sink = s.schema->InternConstant("sink" + tag);
+    s.conf.AddSeedConstant(sink, dom);
+    ConjunctiveQuery cq;
+    VarId x = cq.AddVar("X", dom);
+    VarId y = cq.AddVar("Y", dom);
+    cq.atoms.push_back(rar::Atom{rel_a, {Term::MakeVar(x), Term::MakeVar(y)}});
+    cq.atoms.push_back(rar::Atom{rel_b, {Term::MakeVar(y),
+                                         Term::MakeConst(sink)}});
+    (void)cq.Validate(*s.schema);
+    UnionQuery q;
+    q.disjuncts.push_back(std::move(cq));
+    w.exploration_queries.push_back(std::move(q));
+  }
+  return w;
+}
+
+// Drives the relevance-guided mediator over the exploration stream of the
+// first `num_queries` groups.
+void RunMediation(benchmark::State& state, bool pipelined, bool footprint) {
+  PipelineWorkload w = MakeWorkload(/*groups=*/3, /*values_per_group=*/3,
+                                    /*fanout=*/3);
+  const Scenario& s = w.family.scenario;
+  constexpr int kQueries = 2;
+  long performed = 0;
+  EngineStats last;
+  for (auto _ : state) {
+    for (int g = 0; g < kQueries; ++g) {
+      state.PauseTiming();
+      DeepWebSource source(s.schema.get(), &s.acs, w.family.hidden);
+      Mediator mediator(*s.schema, s.acs);
+      MediatorOptions options;
+      options.pipelined = pipelined;
+      options.engine.footprint_invalidation = footprint;
+      options.policy.latency_us = kSourceLatencyUs;
+      options.max_rounds = 512;
+      state.ResumeTiming();
+      auto outcome = mediator.AnswerBoolean(w.exploration_queries[g], s.conf,
+                                            &source, options);
+      if (outcome.ok()) {
+        performed += outcome->accesses_performed;
+        last = outcome->engine;
+      }
+      benchmark::DoNotOptimize(outcome);
+    }
+  }
+  state.SetItemsProcessed(performed);
+  state.counters["invalidations_avoided"] =
+      static_cast<double>(last.cross_epoch_hits);
+  state.counters["stale_invalidations"] =
+      static_cast<double>(last.stale_invalidations);
+  state.counters["overlapped_applies"] =
+      static_cast<double>(last.overlapped_applies);
+  state.counters["hit_rate"] = last.cache_hit_rate();
+  state.SetLabel(std::string(pipelined ? "pipelined" : "serialized") +
+                 ", " + (footprint ? "footprint stamps" : "global epoch"));
+}
+
+void BM_Mediator_Serialized(benchmark::State& state) {
+  RunMediation(state, /*pipelined=*/false, /*footprint=*/true);
+}
+BENCHMARK(BM_Mediator_Serialized)->Unit(benchmark::kMillisecond);
+
+void BM_Mediator_Pipelined(benchmark::State& state) {
+  RunMediation(state, /*pipelined=*/true, /*footprint=*/true);
+}
+BENCHMARK(BM_Mediator_Pipelined)->Unit(benchmark::kMillisecond);
+
+// The pre-sharding baseline: serialized loop *and* global-epoch
+// invalidation — what the engine did before per-relation versions.
+void BM_Mediator_GlobalEpochBaseline(benchmark::State& state) {
+  RunMediation(state, /*pipelined=*/false, /*footprint=*/false);
+}
+BENCHMARK(BM_Mediator_GlobalEpochBaseline)->Unit(benchmark::kMillisecond);
+
+void RunCrawl(benchmark::State& state, bool pipelined) {
+  PipelineWorkload w = MakeWorkload(/*groups=*/2, /*values_per_group=*/3,
+                                    /*fanout=*/2);
+  const Scenario& s = w.family.scenario;
+  long performed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    DeepWebSource source(s.schema.get(), &s.acs, w.family.hidden);
+    Mediator mediator(*s.schema, s.acs);
+    MediatorOptions options;
+    options.pipelined = pipelined;
+    options.policy.latency_us = kSourceLatencyUs;
+    options.max_rounds = 512;
+    state.ResumeTiming();
+    auto outcome = mediator.ExhaustiveCrawl(w.exploration_queries[0], s.conf,
+                                            &source, options);
+    if (outcome.ok()) performed += outcome->accesses_performed;
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(performed);
+  state.SetLabel(pipelined ? "pipelined crawl" : "serialized crawl");
+}
+
+void BM_Crawl_Serialized(benchmark::State& state) {
+  RunCrawl(state, /*pipelined=*/false);
+}
+BENCHMARK(BM_Crawl_Serialized)->Unit(benchmark::kMillisecond);
+
+void BM_Crawl_Pipelined(benchmark::State& state) {
+  RunCrawl(state, /*pipelined=*/true);
+}
+BENCHMARK(BM_Crawl_Pipelined)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

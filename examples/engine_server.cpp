@@ -66,7 +66,7 @@ int main() {
     }
     if (chosen == nullptr) break;  // nothing immediately relevant: stop
 
-    auto response = source.Execute(engine.config(), *chosen);
+    auto response = source.Execute(engine, *chosen);
     if (!response.ok()) {
       std::printf("source error: %s\n", response.status().ToString().c_str());
       return 1;

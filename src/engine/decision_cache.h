@@ -1,4 +1,5 @@
-// Memoized relevance verdicts with monotonicity-aware invalidation.
+// Memoized relevance verdicts with footprint-aware invalidation and a
+// capped LRU.
 //
 // The engine's configuration only ever grows (responses are applied, never
 // retracted), which gives two regimes for a cached verdict:
@@ -7,27 +8,36 @@
 //    the engine records is "not relevant because the query is already
 //    certain": positive queries are monotone, so a certain query stays
 //    certain and no access can change its (Boolean) certain answer again.
-//  * *epoch* entries — everything else. A "relevant" verdict can be
+//  * *stamped* entries — everything else. A "relevant" verdict can be
 //    destroyed by growth (the certainty the access promised may have
 //    arrived by another route), and a plain "not relevant" verdict can be
-//    *created* by growth (a dependent chain may become feasible), so both
-//    are tagged with the configuration epoch at which they were computed
-//    and ignored once the epoch moves on.
+//    *created* by growth (a dependent chain may become feasible) — but
+//    only by growth of state the decider actually read. Each entry carries
+//    the `VersionStamp` of its check's relation footprint (per-relation
+//    fact versions, plus the Adom version for LTR; see query/footprint.h);
+//    the entry is served while a freshly built stamp is equal, and
+//    discarded as stale on the first mismatch. Growth *outside* the
+//    footprint leaves the entry valid — the hit is reported with
+//    `cross_epoch = true` so callers can count invalidations the old
+//    global-epoch scheme would have inflicted.
 //
-// Stale entries are skipped by lookups, so no eager invalidation sweep is
-// required on epoch advance; `EvictStale` exists for long-lived engines
-// that want to bound memory.
+// Memory is bounded by `capacity`: entries are kept in LRU order (hits
+// refresh recency) and the coldest entry is evicted on overflow. Stale
+// entries are additionally dropped eagerly when a lookup discovers them.
 #ifndef RAR_ENGINE_DECISION_CACHE_H_
 #define RAR_ENGINE_DECISION_CACHE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <list>
 #include <mutex>
-#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "access/access_method.h"
 #include "relational/value.h"
+#include "relational/version.h"
 
 namespace rar {
 
@@ -38,7 +48,9 @@ using QueryId = uint32_t;
 enum class CheckKind : uint8_t { kImmediate = 0, kLongTerm = 1 };
 
 /// \brief Cache key: (query, kind, method, binding). The configuration is
-/// deliberately absent — epoch tagging on the entry stands in for it.
+/// deliberately absent — the footprint stamp on the entry stands in for
+/// it. A key determines its footprint (query relations + the method's
+/// relation), so stamps of the same key are always comparable.
 struct DecisionKey {
   QueryId query = 0;
   CheckKind kind = CheckKind::kImmediate;
@@ -69,41 +81,100 @@ struct DecisionKeyHash {
 /// expensive than the critical section.
 class DecisionCache {
  public:
+  /// Generous default: bounds pathological runs (millions of distinct
+  /// bindings) without evicting anything in normal mediation.
+  static constexpr size_t kDefaultCapacity = size_t{1} << 20;
+
+  explicit DecisionCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
   struct Hit {
     bool relevant = false;
     bool sticky = false;
+    /// True when the global epoch moved since the entry was computed —
+    /// i.e. a hit the global-epoch scheme would have invalidated.
+    bool cross_epoch = false;
   };
 
-  /// Returns the cached verdict when one is valid at `epoch` (sticky, or
-  /// computed at exactly `epoch`); nullopt otherwise.
-  std::optional<Hit> Lookup(const DecisionKey& key, uint64_t epoch) const {
+  enum class ProbeStatus : uint8_t {
+    kMiss,   ///< no entry for the key
+    kStale,  ///< entry found but its footprint stamp mismatched (dropped)
+    kHit,    ///< entry served
+  };
+
+  struct Probe {
+    ProbeStatus status = ProbeStatus::kMiss;
+    Hit hit;
+    /// For kStale: index of the first mismatching stamp component (the
+    /// caller maps it back to a footprint relation / the Adom slot).
+    int stale_component = -1;
+  };
+
+  /// Probes the cache. `stamp` is the footprint stamp freshly built from
+  /// the current configuration versions; `epoch` the current derived
+  /// global epoch (used only to flag cross-epoch hits). Stale entries are
+  /// erased. Hits refresh LRU recency.
+  Probe Lookup(const DecisionKey& key, const VersionStamp& stamp,
+               uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Probe probe;
+    auto it = map_.find(key);
+    if (it == map_.end()) return probe;
+    Entry& e = it->second;
+    if (!e.sticky && e.stamp != stamp) {
+      probe.status = ProbeStatus::kStale;
+      probe.stale_component = FirstMismatch(e.stamp, stamp);
+      lru_.erase(e.lru_it);
+      map_.erase(it);
+      return probe;
+    }
+    probe.status = ProbeStatus::kHit;
+    probe.hit = Hit{e.relevant, e.sticky, e.epoch != epoch};
+    lru_.splice(lru_.begin(), lru_, e.lru_it);  // refresh recency
+    return probe;
+  }
+
+  /// Records a verdict computed at `stamp` / `epoch`. Sticky entries are
+  /// never overwritten by non-sticky ones (they are strictly stronger).
+  /// Evicts the LRU tail when the cache exceeds its capacity.
+  void Insert(const DecisionKey& key, bool relevant, bool sticky,
+              VersionStamp stamp, uint64_t epoch) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
-    if (it == map_.end()) return std::nullopt;
-    const Entry& e = it->second;
-    if (!e.sticky && e.epoch != epoch) return std::nullopt;
-    return Hit{e.relevant, e.sticky};
+    if (it != map_.end()) {
+      Entry& e = it->second;
+      if (e.sticky && !sticky) return;
+      e.relevant = relevant;
+      e.sticky = sticky;
+      e.stamp = std::move(stamp);
+      e.epoch = epoch;
+      lru_.splice(lru_.begin(), lru_, e.lru_it);
+      return;
+    }
+    auto slot = map_.emplace(key, Entry{relevant, sticky, std::move(stamp),
+                                        epoch, {}})
+                    .first;
+    lru_.push_front(&slot->first);  // map keys are address-stable
+    slot->second.lru_it = lru_.begin();
+    while (map_.size() > capacity_) {
+      const DecisionKey* coldest = lru_.back();
+      lru_.pop_back();
+      map_.erase(*coldest);
+      ++evictions_;
+    }
   }
 
-  /// Records a verdict computed at `epoch`. Sticky entries are never
-  /// overwritten by non-sticky ones (they are strictly stronger).
-  void Insert(const DecisionKey& key, bool relevant, bool sticky,
-              uint64_t epoch) {
-    std::lock_guard<std::mutex> lock(mu_);
-    Entry& e = map_[key];
-    if (e.sticky && !sticky) return;
-    e.relevant = relevant;
-    e.sticky = sticky;
-    e.epoch = epoch;
-  }
-
-  /// Drops every non-sticky entry older than `epoch`. Returns the number
-  /// of entries removed.
-  size_t EvictStale(uint64_t epoch) {
+  /// Drops every non-sticky entry whose stamp differs from the stamp
+  /// `current` builds for its key. Returns the number removed. Optional
+  /// maintenance for long-lived engines; lookups already skip and drop
+  /// stale entries lazily.
+  template <typename StampFn>
+  size_t EvictStale(const StampFn& current) {
     std::lock_guard<std::mutex> lock(mu_);
     size_t removed = 0;
     for (auto it = map_.begin(); it != map_.end();) {
-      if (!it->second.sticky && it->second.epoch != epoch) {
+      if (!it->second.sticky && it->second.stamp != current(it->first)) {
+        lru_.erase(it->second.lru_it);
         it = map_.erase(it);
         ++removed;
       } else {
@@ -116,6 +187,7 @@ class DecisionCache {
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
+    lru_.clear();
   }
 
   size_t size() const {
@@ -123,14 +195,37 @@ class DecisionCache {
     return map_.size();
   }
 
+  size_t capacity() const { return capacity_; }
+
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+
  private:
   struct Entry {
     bool relevant = false;
     bool sticky = false;
-    uint64_t epoch = 0;
+    VersionStamp stamp;
+    uint64_t epoch = 0;  ///< derived global epoch at compute time
+    std::list<const DecisionKey*>::iterator lru_it;
   };
 
+  static int FirstMismatch(const VersionStamp& a, const VersionStamp& b) {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) return static_cast<int>(i);
+    }
+    return static_cast<int>(n);
+  }
+
   mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t evictions_ = 0;
+  /// The map owns keys and entries; the LRU list (front = most recently
+  /// used) holds pointers to the map's keys, which are address-stable
+  /// under rehash and other erasures.
+  std::list<const DecisionKey*> lru_;
   std::unordered_map<DecisionKey, Entry, DecisionKeyHash> map_;
 };
 

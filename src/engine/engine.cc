@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <utility>
@@ -18,6 +19,12 @@ int ResolveThreads(int requested) {
   return static_cast<int>(hw);
 }
 
+size_t ResolveStripes(int requested, size_t num_relations) {
+  size_t stripes = requested > 0 ? static_cast<size_t>(requested)
+                                 : std::min<size_t>(num_relations, 64);
+  return std::max<size_t>(stripes, 1);
+}
+
 uint64_t NowNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -32,14 +39,43 @@ std::string EngineStats::ToString() const {
   os << "checks=" << checks() << " (ir=" << ir_checks << ", ltr=" << ltr_checks
      << ") cache_hits=" << cache_hits << " misses=" << cache_misses
      << " hit_rate=" << cache_hit_rate() << " sticky=" << sticky_hits
+     << " cross_epoch=" << cross_epoch_hits
+     << " stale=" << stale_invalidations << " evictions=" << cache_evictions
      << " certainty_reuse=" << certainty_reuse
      << " producible_reuse=" << producible_reuse << "/"
      << (producible_reuse + producible_recomputes)
-     << " epochs=" << epoch_advances << " facts=" << facts_applied
+     << " epochs=" << epoch_advances << " adom_epochs=" << adom_advances
+     << " facts=" << facts_applied << " overlap=" << overlapped_applies
+     << " applies/" << overlapped_checks << " checks"
      << " frontier=" << frontier_pending << " pending/"
      << frontier_performed << " performed";
+  if (!invalidations_by_relation.empty()) {
+    os << " invalidations=[";
+    for (size_t i = 0; i < invalidations_by_relation.size(); ++i) {
+      if (i > 0) os << " ";
+      if (i + 1 == invalidations_by_relation.size()) {
+        os << "adom:";
+      } else {
+        os << "r" << i << ":";
+      }
+      os << invalidations_by_relation[i];
+    }
+    os << "]";
+  }
   return os.str();
 }
+
+/// RAII gauge used by the overlap telemetry.
+class RelevanceEngine::ActivityScope {
+ public:
+  explicit ActivityScope(std::atomic<int>* gauge) : gauge_(gauge) {
+    gauge_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ActivityScope() { gauge_->fetch_sub(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int>* gauge_;
+};
 
 RelevanceEngine::RelevanceEngine(const Schema& schema,
                                  const AccessMethodSet& acs,
@@ -48,10 +84,31 @@ RelevanceEngine::RelevanceEngine(const Schema& schema,
       acs_(acs),
       options_(std::move(options)),
       analyzer_(schema, acs),
+      num_relations_(schema.num_relations()),
+      stripe_count_(ResolveStripes(options_.lock_stripes, num_relations_)),
+      stripe_mu_(stripe_count_),
       conf_(std::move(initial)),
       frontier_(schema, acs),
+      cache_(options_.cache_capacity),
       pool_(ResolveThreads(options_.num_threads)) {
+  // Freeze the store layout: after this, growing relation R never
+  // reallocates another relation's store, which is what the striped locks
+  // rely on.
+  conf_.ReserveRelations(num_relations_);
+  rel_versions_ = std::make_unique<std::atomic<uint64_t>[]>(
+      std::max<size_t>(num_relations_, 1));
+  for (size_t r = 0; r < num_relations_; ++r) {
+    rel_versions_[r].store(conf_.relation_version(static_cast<RelationId>(r)),
+                           std::memory_order_relaxed);
+  }
+  adom_version_.store(conf_.adom_version(), std::memory_order_relaxed);
+  invalidations_by_relation_ =
+      std::make_unique<std::atomic<uint64_t>[]>(num_relations_ + 1);
+  for (size_t r = 0; r <= num_relations_; ++r) {
+    invalidations_by_relation_[r].store(0, std::memory_order_relaxed);
+  }
   std::unique_lock<std::shared_mutex> lock(state_mu_);
+  std::lock_guard<std::mutex> fl(frontier_mu_);
   frontier_.Sync(conf_);
 }
 
@@ -64,65 +121,182 @@ Result<QueryId> RelevanceEngine::RegisterQuery(const UnionQuery& query) {
   auto state = std::make_unique<QueryState>();
   state->query = query;
   RAR_RETURN_NOT_OK(state->query.Validate(schema_));
-  for (const ConjunctiveQuery& d : state->query.disjuncts) {
-    for (const Atom& atom : d.atoms) state->relations.insert(atom.relation);
-  }
+  state->footprint = RelationFootprint::Of(state->query);
   // Exclusive state lock: checks on already-registered ids read queries_
   // under the shared lock, and push_back may reallocate the vector.
   std::unique_lock<std::shared_mutex> lock(state_mu_);
   queries_.push_back(std::move(state));
+  num_queries_.store(queries_.size(), std::memory_order_release);
   return static_cast<QueryId>(queries_.size() - 1);
 }
 
-uint64_t RelevanceEngine::epoch() const {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
-  return epoch_;
+VersionVector RelevanceEngine::versions() const {
+  VersionVector v;
+  v.relations.reserve(num_relations_);
+  for (size_t r = 0; r < num_relations_; ++r) {
+    v.relations.push_back(rel_versions_[r].load(std::memory_order_acquire));
+  }
+  v.adom = adom_version_.load(std::memory_order_acquire);
+  return v;
 }
 
 Configuration RelevanceEngine::SnapshotConfig() const {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   return conf_;
+}
+
+Status RelevanceEngine::ValidateAccess(const Access& access) const {
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  std::shared_lock<std::shared_mutex> adom(adom_mu_);
+  return CheckWellFormed(conf_, acs_, access);
 }
 
 Result<int> RelevanceEngine::ApplyResponse(const Access& access,
                                            const std::vector<Fact>& response) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
-  RAR_RETURN_NOT_OK(CheckWellFormed(conf_, acs_, access));
-  RAR_RETURN_NOT_OK(ValidateResponse(acs_, access, response));
-  int added = 0;
-  for (const Fact& f : response) {
-    if (conf_.AddFact(f)) ++added;
-  }
-  frontier_.MarkPerformed(access);
+  ActivityScope applying(&active_applies_);
+  std::shared_lock<std::shared_mutex> state(state_mu_);
   counters_.Bump(counters_.responses_applied);
-  if (added > 0) {
-    ++epoch_;
-    counters_.Bump(counters_.epoch_advances);
-    counters_.Bump(counters_.facts_applied, static_cast<uint64_t>(added));
-    frontier_.Sync(conf_);
+  if (active_checks_.load(std::memory_order_relaxed) > 0) {
+    counters_.Bump(counters_.overlapped_applies);
+  }
+  {
+    std::shared_lock<std::shared_mutex> adom(adom_mu_);
+    RAR_RETURN_NOT_OK(CheckWellFormed(conf_, acs_, access));
+    RAR_RETURN_NOT_OK(ValidateResponse(acs_, access, response));
+    bool grows_adom = false;
+    for (const Fact& f : response) {
+      const Relation& rel = schema_.relation(f.relation);
+      for (int pos = 0; pos < f.arity() && !grows_adom; ++pos) {
+        grows_adom = !conf_.AdomContains(f.values[pos],
+                                         rel.attributes[pos].domain);
+      }
+      if (grows_adom) break;
+    }
+    // Monotone upgrade rule: "no new Adom entries" can never become false
+    // while we hold the shared lock, so the common case (all values
+    // already known) applies under the *shared* Adom lock and overlaps
+    // with every in-flight check.
+    if (!grows_adom) return ApplyLocked(access, response);
+  }
+  // The response introduces values: retake the Adom lock exclusively (the
+  // one global serialization point — everything Adom-dependent must not
+  // observe the growth mid-check).
+  std::unique_lock<std::shared_mutex> adom(adom_mu_);
+  return ApplyLocked(access, response);
+}
+
+Result<int> RelevanceEngine::ApplyLocked(const Access& access,
+                                         const std::vector<Fact>& response) {
+  const RelationId rel = acs_.method(access.method).relation;
+  int added = 0;
+  {
+    std::unique_lock<std::shared_mutex> stripe(stripe_mu_[StripeOf(rel)]);
+    for (const Fact& f : response) {
+      if (conf_.AddFact(f)) ++added;
+    }
+    if (added > 0) {
+      rel_versions_[rel].store(conf_.relation_version(rel),
+                               std::memory_order_release);
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      counters_.Bump(counters_.epoch_advances);
+      counters_.Bump(counters_.facts_applied, static_cast<uint64_t>(added));
+    }
+  }
+  // Only true when the caller holds adom_mu_ exclusive (the pre-scan is
+  // monotone-stable), so the version store and frontier sync below are
+  // writer-safe.
+  const uint64_t adom_now = conf_.adom_version();
+  const bool adom_grew =
+      adom_now != adom_version_.load(std::memory_order_relaxed);
+  if (adom_grew) {
+    adom_version_.store(adom_now, std::memory_order_release);
+    counters_.Bump(counters_.adom_advances);
+  }
+  {
+    std::lock_guard<std::mutex> fl(frontier_mu_);
+    frontier_.MarkPerformed(access);
+    // The frontier enumerates bindings over the typed active domain, so it
+    // only moves when Adom does (and then we hold adom_mu_ exclusive —
+    // Sync's Adom reads are safe).
+    if (adom_grew) frontier_.Sync(conf_);
   }
   return added;
 }
 
+VersionStamp RelevanceEngine::StampFor(const RelationFootprint& fp) const {
+  VersionStamp stamp;
+  if (!options_.footprint_invalidation) {
+    stamp.push_back(epoch());
+    return stamp;
+  }
+  stamp.reserve(fp.relations.size() + (fp.adom_sensitive ? 1 : 0));
+  for (RelationId rel : fp.relations) {
+    stamp.push_back(relation_version(rel));
+  }
+  if (fp.adom_sensitive) {
+    stamp.push_back(adom_version_.load(std::memory_order_acquire));
+  }
+  return stamp;
+}
+
+size_t RelevanceEngine::StaleComponentTarget(
+    const RelationFootprint& fp, int component) const {
+  // The Adom slot doubles as "global" attribution in global-epoch mode.
+  if (!options_.footprint_invalidation) return num_relations_;
+  if (component >= 0 &&
+      static_cast<size_t>(component) < fp.relations.size()) {
+    return fp.relations[component];
+  }
+  return num_relations_;  // the trailing Adom component
+}
+
+std::vector<size_t> RelevanceEngine::StripesFor(
+    const RelationFootprint& fp) const {
+  std::vector<size_t> stripes;
+  stripes.reserve(fp.relations.size());
+  for (RelationId rel : fp.relations) stripes.push_back(StripeOf(rel));
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+  return stripes;
+}
+
+std::vector<size_t> RelevanceEngine::AllStripes() const {
+  std::vector<size_t> stripes(stripe_count_);
+  for (size_t i = 0; i < stripe_count_; ++i) stripes[i] = i;
+  return stripes;
+}
+
+std::vector<std::shared_lock<std::shared_mutex>>
+RelevanceEngine::LockStripesShared(const std::vector<size_t>& stripes) const {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(stripes.size());
+  for (size_t s : stripes) locks.emplace_back(stripe_mu_[s]);
+  return locks;
+}
+
 bool RelevanceEngine::CertainLocked(QueryId id) {
-  // Caller holds state_mu_ (shared or exclusive); serialize the memo update.
+  // Caller holds the query-footprint stripes (shared or exclusive);
+  // serialize the memo update.
   std::lock_guard<std::mutex> lock(certainty_mu_);
   QueryState& qs = *queries_[id];
   if (qs.certain) {
     counters_.Bump(counters_.certainty_reuse);
     return true;
   }
-  if (qs.checked_epoch == epoch_) {
+  VersionStamp stamp = StampFor(qs.footprint);
+  if (qs.checked_valid && qs.checked_stamp == stamp) {
     counters_.Bump(counters_.certainty_reuse);
     return false;
   }
   qs.certain = EvalBool(qs.query, conf_);
-  qs.checked_epoch = epoch_;
+  qs.checked_stamp = std::move(stamp);
+  qs.checked_valid = true;
   return qs.certain;
 }
 
 bool RelevanceEngine::IsCertain(QueryId id) {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  auto stripes = LockStripesShared(StripesFor(queries_[id]->footprint));
   return CertainLocked(id);
 }
 
@@ -131,6 +305,19 @@ CheckOutcome RelevanceEngine::CheckLocked(QueryId id, CheckKind kind,
   CheckOutcome out;
   const bool is_ir = (kind == CheckKind::kImmediate);
   counters_.Bump(is_ir ? counters_.ir_checks : counters_.ltr_checks);
+
+  // Well-formedness gate, hoisted out of the deciders: an ill-formed
+  // access is never relevant (the deciders say so too), but the verdict
+  // depends on Adom membership of the binding — state *outside* the
+  // relation footprint. Adom is monotone, so instead of widening every
+  // stamp we simply never cache the ill-formed case; once well-formed,
+  // always well-formed, and the cached verdict's footprint covers
+  // everything else the decider reads.
+  if (!CheckWellFormed(conf_, acs_, access).ok()) {
+    counters_.Bump(counters_.wf_rejections);
+    out.relevant = false;
+    return out;
+  }
 
   // Monotone short-circuit: a certain (Boolean, positive) query stays
   // certain under every sound continuation, so no access is IR or LTR for
@@ -146,19 +333,35 @@ CheckOutcome RelevanceEngine::CheckLocked(QueryId id, CheckKind kind,
     return out;
   }
 
+  const QueryState& qs = *queries_[id];
   DecisionKey key{id, kind, access.method, access.binding};
+  VersionStamp stamp;
+  uint64_t ep = 0;
   if (options_.enable_cache) {
-    if (auto hit = cache_.Lookup(key, epoch_)) {
+    const RelationId accessed = acs_.method(access.method).relation;
+    RelationFootprint fp =
+        is_ir ? RelevanceAnalyzer::ImmediateFootprint(qs.footprint, accessed)
+              : RelevanceAnalyzer::LongTermFootprint(qs.footprint, accessed);
+    stamp = StampFor(fp);
+    ep = epoch();
+    DecisionCache::Probe probe = cache_.Lookup(key, stamp, ep);
+    if (probe.status == DecisionCache::ProbeStatus::kHit) {
       counters_.Bump(counters_.cache_hits);
-      if (hit->sticky) counters_.Bump(counters_.sticky_hits);
-      out.relevant = hit->relevant;
+      if (probe.hit.sticky) counters_.Bump(counters_.sticky_hits);
+      if (probe.hit.cross_epoch) counters_.Bump(counters_.cross_epoch_hits);
+      out.relevant = probe.hit.relevant;
       out.from_cache = true;
       return out;
+    }
+    if (probe.status == DecisionCache::ProbeStatus::kStale) {
+      counters_.Bump(counters_.stale_invalidations);
+      size_t slot = StaleComponentTarget(fp, probe.stale_component);
+      invalidations_by_relation_[slot].fetch_add(1,
+                                                 std::memory_order_relaxed);
     }
   }
   counters_.Bump(counters_.cache_misses);
 
-  const QueryState& qs = *queries_[id];
   const uint64_t t0 = NowNs();
   if (is_ir) {
     out.relevant = analyzer_.Immediate(conf_, access, qs.query);
@@ -174,18 +377,32 @@ CheckOutcome RelevanceEngine::CheckLocked(QueryId id, CheckKind kind,
     out.relevant = *r;
   }
   if (options_.enable_cache) {
-    cache_.Insert(key, out.relevant, /*sticky=*/false, epoch_);
+    cache_.Insert(key, out.relevant, /*sticky=*/false, std::move(stamp), ep);
   }
   return out;
 }
 
 CheckOutcome RelevanceEngine::CheckImmediate(QueryId id, const Access& access) {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  ActivityScope checking(&active_checks_);
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  if (active_applies_.load(std::memory_order_relaxed) > 0) {
+    counters_.Bump(counters_.overlapped_checks);
+  }
+  std::shared_lock<std::shared_mutex> adom(adom_mu_);
+  auto stripes = LockStripesShared(StripesForCheck(id, CheckKind::kImmediate,
+                                                   {&access, 1}));
   return CheckLocked(id, CheckKind::kImmediate, access);
 }
 
 CheckOutcome RelevanceEngine::CheckLongTerm(QueryId id, const Access& access) {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  ActivityScope checking(&active_checks_);
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  if (active_applies_.load(std::memory_order_relaxed) > 0) {
+    counters_.Bump(counters_.overlapped_checks);
+  }
+  std::shared_lock<std::shared_mutex> adom(adom_mu_);
+  auto stripes = LockStripesShared(StripesForCheck(id, CheckKind::kLongTerm,
+                                                   {&access, 1}));
   return CheckLocked(id, CheckKind::kLongTerm, access);
 }
 
@@ -197,74 +414,122 @@ std::vector<CheckOutcome> RelevanceEngine::CheckBatch(
   std::vector<CheckOutcome> results(accesses.size());
   if (accesses.empty()) return results;
 
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  ActivityScope checking(&active_checks_);
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  if (active_applies_.load(std::memory_order_relaxed) > 0) {
+    counters_.Bump(counters_.overlapped_checks);
+  }
+  std::shared_lock<std::shared_mutex> adom(adom_mu_);
+  auto stripes = LockStripesShared(
+      StripesForCheck(id, kind, {accesses.data(), accesses.size()}));
   if (accesses.size() == 1 || pool_.size() == 1) {
     for (size_t i = 0; i < accesses.size(); ++i) {
       results[i] = CheckLocked(id, kind, accesses[i]);
     }
     return results;
   }
-  // Workers share the caller's shared lock: the pool runs strictly inside
-  // this scope, so the configuration cannot move underneath them.
+  // Workers share the caller's locks: the pool runs strictly inside this
+  // scope, so the footprint's shards cannot move underneath them.
   pool_.ParallelFor(accesses.size(), [&](size_t i) {
     results[i] = CheckLocked(id, kind, accesses[i]);
   });
   return results;
 }
 
-double RelevanceEngine::ScoreAccess(QueryId id, const Access& access,
-                                    uint64_t ep) const {
-  // Pure cache probes — scoring must never trigger a decider.
-  auto ir = cache_.Lookup(
-      DecisionKey{id, CheckKind::kImmediate, access.method, access.binding},
-      ep);
-  auto ltr = cache_.Lookup(
-      DecisionKey{id, CheckKind::kLongTerm, access.method, access.binding},
-      ep);
-  if (ir.has_value() && ir->relevant) return 4.0;
-  if (ltr.has_value() && ltr->relevant) return 3.0;
+std::vector<size_t> RelevanceEngine::StripesForCheck(
+    QueryId id, CheckKind kind, AccessSpan accesses) const {
+  // LTR deciders copy the configuration structurally (canonical-truncation
+  // configs, containment instances), so they must exclude *every* writer,
+  // not just footprint ones; their cached validity is still footprint-
+  // stamped — physical locking and semantic dependence are different
+  // scopes.
+  if (kind == CheckKind::kLongTerm) return AllStripes();
+  RelationFootprint fp = queries_[id]->footprint;
+  for (size_t i = 0; i < accesses.size; ++i) {
+    AccessMethodId mid = accesses.data[i].method;
+    if (mid < acs_.size()) fp.Add(acs_.method(mid).relation);
+  }
+  return StripesFor(fp);
+}
+
+double RelevanceEngine::ScoreAccess(QueryId id, const Access& access) const {
+  // Pure cache probes — scoring must never trigger a decider. Stamps come
+  // from the lock-free version mirror; a probe racing an apply can at
+  // worst mis-rank (stale drop / spurious miss), never mis-answer.
+  if (access.method >= acs_.size()) return 0.0;
+  const QueryState& qs = *queries_[id];
+  const AccessMethod& m = acs_.method(access.method);
+  const uint64_t ep = epoch();
+
+  // Scoring probes drop (and must attribute) stale entries just like the
+  // check path does.
+  auto probe_attributed = [&](CheckKind kind) {
+    RelationFootprint fp =
+        kind == CheckKind::kImmediate
+            ? RelevanceAnalyzer::ImmediateFootprint(qs.footprint, m.relation)
+            : RelevanceAnalyzer::LongTermFootprint(qs.footprint, m.relation);
+    DecisionCache::Probe probe = cache_.Lookup(
+        DecisionKey{id, kind, access.method, access.binding}, StampFor(fp),
+        ep);
+    if (probe.status == DecisionCache::ProbeStatus::kStale) {
+      counters_.Bump(counters_.stale_invalidations);
+      invalidations_by_relation_[StaleComponentTarget(fp,
+                                                      probe.stale_component)]
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    return probe;
+  };
+  DecisionCache::Probe ir = probe_attributed(CheckKind::kImmediate);
+  DecisionCache::Probe ltr = probe_attributed(CheckKind::kLongTerm);
+
+  const bool ir_hit = ir.status == DecisionCache::ProbeStatus::kHit;
+  const bool ltr_hit = ltr.status == DecisionCache::ProbeStatus::kHit;
+  if (ir_hit && ir.hit.relevant) return 4.0;
+  if (ltr_hit && ltr.hit.relevant) return 3.0;
   double score = 1.0;
   // Criticality hint: accesses over a relation the query mentions can
   // witness a subgoal directly; others only matter through dependent
   // chains.
-  const AccessMethod& m = acs_.method(access.method);
-  if (queries_[id]->relations.count(m.relation) > 0) score += 1.0;
-  if (ir.has_value() && !ir->relevant && ltr.has_value() && !ltr->relevant) {
-    score = 0.0;  // known irrelevant both ways at this epoch
+  if (qs.footprint.Contains(m.relation)) score += 1.0;
+  if (ir_hit && !ir.hit.relevant && ltr_hit && !ltr.hit.relevant) {
+    score = 0.0;  // known irrelevant both ways at these versions
   }
   return score;
 }
 
 std::vector<Access> RelevanceEngine::CandidateAccesses(QueryId id) {
-  // The frontier is synced by every configuration mutation (constructor,
-  // ApplyResponse), so enumeration is a pure read.
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
-  const uint64_t ep = epoch_;
+  // The frontier is synced by every Adom growth (constructor,
+  // ApplyResponse), so enumeration is a pure read under its lock.
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  std::lock_guard<std::mutex> fl(frontier_mu_);
   return frontier_.Ranked(
-      [&](const Access& a) { return ScoreAccess(id, a, ep); });
+      [&](const Access& a) { return ScoreAccess(id, a); });
 }
 
 std::vector<Access> RelevanceEngine::PendingAccesses() {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  std::lock_guard<std::mutex> fl(frontier_mu_);
   return frontier_.Pending();
 }
 
+bool RelevanceEngine::WasPerformed(const Access& access) const {
+  std::lock_guard<std::mutex> fl(frontier_mu_);
+  return frontier_.WasPerformed(access);
+}
+
 std::unordered_set<DomainId> RelevanceEngine::producible_domains() {
-  {
-    std::shared_lock<std::shared_mutex> lock(state_mu_);
-    if (producible_valid_ && producible_epoch_ == epoch_) {
-      counters_.Bump(counters_.producible_reuse);
-      return producible_;
-    }
-  }
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
-  if (producible_valid_ && producible_epoch_ == epoch_) {
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  std::shared_lock<std::shared_mutex> adom(adom_mu_);
+  // The fixpoint reads only the typed active domain and the (static)
+  // method set, so the Adom version is its whole footprint.
+  std::lock_guard<std::mutex> lock(producible_mu_);
+  const uint64_t av = conf_.adom_version();
+  if (producible_valid_ && producible_adom_version_ == av) {
     counters_.Bump(counters_.producible_reuse);
     return producible_;
   }
   producible_ = ProducibleDomains(conf_, acs_);
   producible_valid_ = true;
-  producible_epoch_ = epoch_;
+  producible_adom_version_ = av;
   counters_.Bump(counters_.producible_recomputes);
   return producible_;
 }
@@ -272,7 +537,13 @@ std::unordered_set<DomainId> RelevanceEngine::producible_domains() {
 EngineStats RelevanceEngine::stats() const {
   EngineStats s = counters_.Snapshot();
   s.cache_entries = cache_.size();
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  s.cache_evictions = cache_.evictions();
+  s.invalidations_by_relation.resize(num_relations_ + 1);
+  for (size_t r = 0; r <= num_relations_; ++r) {
+    s.invalidations_by_relation[r] =
+        invalidations_by_relation_[r].load(std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> fl(frontier_mu_);
   s.frontier_pending = frontier_.pending_size();
   s.frontier_performed = frontier_.performed_size();
   return s;

@@ -7,25 +7,31 @@
 // *evolving* configuration, and answers streams of relevance queries
 // online:
 //
-//  * incremental state — the active domain and the candidate-access
-//    frontier grow as responses are applied (`ApplyResponse`); per-query
-//    certainty is computed at most once per configuration epoch and
-//    reused across checks, and the `ProducibleDomains` fixpoint is
-//    memoized per epoch for callers (schedulers, diagnostics);
+//  * per-relation versioned state — the configuration carries one monotone
+//    version per relation plus an active-domain version (see
+//    relational/version.h); every piece of derived state records the
+//    version sub-vector of the *relation footprint* it actually read
+//    (query relations + accessed relation, see query/footprint.h), so
+//    growth of an unrelated relation invalidates nothing;
 //  * decision cache — IR/LTR verdicts are memoized per (query, kind,
-//    method, binding) with monotonicity-aware invalidation (see
-//    decision_cache.h); verdicts always agree with the uncached deciders;
+//    method, binding) with footprint-stamped validity and an LRU size cap
+//    (see decision_cache.h); verdicts always agree with the uncached
+//    deciders;
+//  * sharded locking — state sits under per-relation striped reader/writer
+//    locks: `ApplyResponse` for relation R excludes only work whose
+//    footprint touches R, so applies overlap ("pipeline parallelism") with
+//    checks over disjoint footprints and with each other;
 //  * batch + concurrent API — `CheckBatch` fans a span of accesses out
-//    over a worker pool; engine state sits under a shared (reader/writer)
-//    lock, with writes serialized through `ApplyResponse`;
+//    over a worker pool;
 //  * scheduling — `CandidateAccesses` ranks the frontier by cached
 //    relevance and query criticality, so callers probe the most promising
 //    accesses first;
-//  * metrics — `stats()` exposes checks, cache hit rates, fixpoint reuse
-//    and per-kind decider latencies.
+//  * metrics — `stats()` exposes checks, cache hit rates, fixpoint reuse,
+//    per-relation invalidation attribution and apply/check overlap.
 #ifndef RAR_ENGINE_ENGINE_H_
 #define RAR_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <unordered_set>
@@ -37,8 +43,10 @@
 #include "engine/frontier.h"
 #include "engine/stats.h"
 #include "engine/worker_pool.h"
+#include "query/footprint.h"
 #include "query/query.h"
 #include "relational/configuration.h"
+#include "relational/version.h"
 #include "relevance/relevance.h"
 #include "util/status.h"
 
@@ -52,6 +60,15 @@ struct EngineOptions {
   /// Disable to force every check through the deciders (used by the
   /// validation tests and the bench baseline).
   bool enable_cache = true;
+  /// Decision-cache entry cap; the LRU tail is evicted beyond it.
+  size_t cache_capacity = DecisionCache::kDefaultCapacity;
+  /// When false, verdicts are stamped with the derived global epoch
+  /// instead of their footprint sub-vector — the pre-sharding behaviour,
+  /// kept as a baseline for benchmarks and validation.
+  bool footprint_invalidation = true;
+  /// Lock stripes for the per-relation state shards. 0 = one stripe per
+  /// relation, capped at 64; relations hash onto stripes beyond the cap.
+  int lock_stripes = 0;
   /// Options forwarded to the underlying relevance deciders.
   RelevanceOptions relevance;
 };
@@ -71,10 +88,18 @@ struct CheckOutcome {
 /// \brief Long-lived relevance-checking runtime over an evolving
 /// configuration.
 ///
-/// Thread model: `CheckImmediate` / `CheckLongTerm` / `CheckBatch` /
-/// `IsCertain` take the state lock shared and may run concurrently;
-/// `ApplyResponse` takes it exclusive. `RegisterQuery` must not race with
-/// checks on the id it returns (register first, then serve).
+/// Thread model (lock order: state_mu_ > adom_mu_ > stripes ascending >
+/// frontier_mu_ > leaf mutexes):
+///  * Checks take `state_mu_` shared, `adom_mu_` shared, and the stripe
+///    locks of their footprint shared (IR) or every stripe shared (LTR —
+///    the LTR deciders structurally copy the configuration, even though
+///    their *result* depends only on footprint facts + Adom).
+///  * `ApplyResponse` for relation R takes `state_mu_` shared, `adom_mu_`
+///    shared — exclusive only when the response introduces values new to
+///    the active domain — and stripe(R) exclusive. Applies to different
+///    relations run concurrently with each other and with checks whose
+///    footprint avoids R.
+///  * `RegisterQuery` / `SnapshotConfig` take `state_mu_` exclusive.
 class RelevanceEngine {
  public:
   RelevanceEngine(const Schema& schema, const AccessMethodSet& acs,
@@ -88,30 +113,68 @@ class RelevanceEngine {
   /// validated against the engine's schema.
   Result<QueryId> RegisterQuery(const UnionQuery& query);
 
-  size_t num_queries() const { return queries_.size(); }
-  const UnionQuery& query(QueryId id) const { return queries_[id]->query; }
+  size_t num_queries() const { return num_queries_.load(); }
 
-  /// The current configuration epoch: advances exactly when the
-  /// configuration grows.
-  uint64_t epoch() const;
+  /// The registered query. Takes the state lock briefly: a concurrent
+  /// RegisterQuery may reallocate the id vector (the QueryState itself is
+  /// heap-stable, so the returned reference outlives the lock).
+  const UnionQuery& query(QueryId id) const {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    return queries_[id]->query;
+  }
 
-  /// Unsynchronised view of the engine's configuration. Safe while no
-  /// ApplyResponse runs concurrently; concurrent readers should use
-  /// SnapshotConfig.
-  const Configuration& config() const { return conf_; }
+  /// The derived global epoch: advances exactly when the configuration
+  /// grows. Kept for callers that want a single coarse version number;
+  /// cached state is keyed on the per-relation versions instead.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// The configuration's per-relation version (fact count) as mirrored by
+  /// the engine; safe to read concurrently with applies.
+  uint64_t relation_version(RelationId rel) const {
+    return rel < num_relations_
+               ? rel_versions_[rel].load(std::memory_order_acquire)
+               : 0;
+  }
+
+  /// The active-domain version; safe to read concurrently with applies.
+  uint64_t adom_version() const {
+    return adom_version_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of the full version vector (mirror of
+  /// `Configuration::Versions`, readable without any lock).
+  VersionVector versions() const;
+
+  /// Unsynchronised view of the engine's configuration.
+  /// \deprecated Racy once applies run concurrently with anything — use
+  /// `SnapshotConfig()` for a coherent copy, or `ValidateAccess()` /
+  /// `versions()` for the common probes that used to motivate this
+  /// accessor. Kept only for quiescent callers.
+  [[deprecated(
+      "unsynchronised; use SnapshotConfig() (copy) or ValidateAccess() / "
+      "versions() for probes")]]
+  const Configuration& config() const {
+    return conf_;
+  }
 
   /// Copy of the configuration taken under the state lock.
   Configuration SnapshotConfig() const;
 
+  /// OK iff `access` is well-formed at the current configuration (the
+  /// synchronised replacement for `CheckWellFormed(engine.config(), ...)`).
+  Status ValidateAccess(const Access& access) const;
+
   /// Applies a response to a well-formed access: absorbs the facts, marks
-  /// the access performed, advances the epoch when anything was new, and
-  /// extends the frontier. Returns the number of new facts.
+  /// the access performed, advances the touched relation's version (and
+  /// the Adom version when values are new), and extends the frontier.
+  /// Returns the number of new facts. Concurrency-safe; see the class
+  /// comment for what it overlaps with.
   Result<int> ApplyResponse(const Access& access,
                             const std::vector<Fact>& response);
 
   /// True when the query is certain at the current configuration. Computed
-  /// at most once per epoch per query (monotone: once true, cached
-  /// forever).
+  /// at most once per footprint stamp per query (monotone: once true,
+  /// cached forever).
   bool IsCertain(QueryId id);
 
   /// Immediate relevance of `access` for the registered query.
@@ -135,12 +198,11 @@ class RelevanceEngine {
   std::vector<Access> PendingAccesses();
 
   /// True when (method, binding) was already applied through the engine.
-  bool WasPerformed(const Access& access) const {
-    return frontier_.WasPerformed(access);
-  }
+  bool WasPerformed(const Access& access) const;
 
   /// The ProducibleDomains fixpoint at the current configuration, computed
-  /// at most once per epoch. A hook for external schedulers and
+  /// at most once per Adom version (the fixpoint reads only the typed
+  /// active domain and the method set). A hook for external schedulers and
   /// diagnostics; the relevance deciders derive their own reachability
   /// internally and do not consult this memo.
   std::unordered_set<DomainId> producible_domains();
@@ -153,43 +215,114 @@ class RelevanceEngine {
  private:
   struct QueryState {
     UnionQuery query;
-    bool certain = false;          ///< monotone once true
-    uint64_t checked_epoch = ~0ULL;///< epoch of the last certainty check
-    std::unordered_set<RelationId> relations;  ///< relations in the query
+    /// Query relations (no accessed relation, not adom-sensitive); checks
+    /// extend it per access.
+    RelationFootprint footprint;
+    bool certain = false;           ///< monotone once true
+    VersionStamp checked_stamp;     ///< stamp of the last certainty check
+    bool checked_valid = false;     ///< checked_stamp holds a real check
   };
 
-  /// Decides one check under an already-held shared state lock.
+  /// RAII gauge for the overlap counters.
+  class ActivityScope;
+
+  /// A borrowed span of accesses (avoids materialising a vector for the
+  /// single-access check paths).
+  struct AccessSpan {
+    const Access* data;
+    size_t size;
+  };
+
+  /// Stripe index of one relation.
+  size_t StripeOf(RelationId rel) const { return rel % stripe_count_; }
+
+  /// Sorted unique stripe indices covering a footprint's relations.
+  std::vector<size_t> StripesFor(const RelationFootprint& fp) const;
+  std::vector<size_t> AllStripes() const;
+
+  /// The stripes a check must hold shared: the footprint's (IR) or every
+  /// stripe (LTR — the deciders copy the configuration structurally).
+  std::vector<size_t> StripesForCheck(QueryId id, CheckKind kind,
+                                      AccessSpan accesses) const;
+
+  /// Acquires the given stripes shared, in ascending order.
+  std::vector<std::shared_lock<std::shared_mutex>> LockStripesShared(
+      const std::vector<size_t>& stripes) const;
+
+  /// Builds the validity stamp for a check over `fp` from the engine's
+  /// version mirror (atomics; callable with or without stripe locks —
+  /// under the footprint's stripes the result is stable).
+  VersionStamp StampFor(const RelationFootprint& fp) const;
+
+  /// Maps a stale stamp component back to a relation id (or to the Adom
+  /// slot, reported as `num_relations_`).
+  size_t StaleComponentTarget(const RelationFootprint& fp,
+                              int component) const;
+
+  /// Absorbs a validated response under the relation's stripe lock; the
+  /// caller holds state_mu_ shared and adom_mu_ (exclusive when the
+  /// response grows the active domain, shared otherwise).
+  Result<int> ApplyLocked(const Access& access,
+                          const std::vector<Fact>& response);
+
+  /// Decides one check under already-held state/adom/stripe locks.
   CheckOutcome CheckLocked(QueryId id, CheckKind kind, const Access& access);
 
-  /// Certainty with per-epoch memoization; takes certainty_mu_.
+  /// Certainty with per-stamp memoization; takes certainty_mu_. Caller
+  /// holds the query-footprint stripes (at least shared).
   bool CertainLocked(QueryId id);
 
   /// Ranking score for the frontier scheduler (cache probes only).
-  double ScoreAccess(QueryId id, const Access& access, uint64_t ep) const;
+  double ScoreAccess(QueryId id, const Access& access) const;
 
   const Schema& schema_;
   const AccessMethodSet& acs_;
   const EngineOptions options_;
   RelevanceAnalyzer analyzer_;
+  const size_t num_relations_;
+  const size_t stripe_count_;
 
-  /// Guards conf_, epoch_, frontier_, producible_*; shared for checks,
-  /// exclusive for ApplyResponse / frontier syncs.
+  /// Structure lock: exclusive for whole-configuration operations
+  /// (RegisterQuery, SnapshotConfig, construction); shared by checks *and*
+  /// applies, which coordinate through adom_mu_ and the stripes below.
   mutable std::shared_mutex state_mu_;
+  /// Active-domain lock: shared while reading Adom (every check; applies
+  /// whose facts carry only known values), exclusive when growing it.
+  mutable std::shared_mutex adom_mu_;
+  /// Per-relation stripes guarding conf_'s relation stores.
+  mutable std::vector<std::shared_mutex> stripe_mu_;
+  /// Guards the frontier (candidates, performed set, adom_seen cursor).
+  mutable std::mutex frontier_mu_;
+  /// Guards certainty fields of QueryState.
+  std::mutex certainty_mu_;
+  /// Guards the producible_domains memo.
+  std::mutex producible_mu_;
+
   Configuration conf_;
-  uint64_t epoch_ = 0;
   AccessFrontier frontier_;
+
+  /// Lock-free version mirror of conf_ (written under the respective
+  /// exclusive locks, readable anywhere — e.g. frontier scoring).
+  std::unique_ptr<std::atomic<uint64_t>[]> rel_versions_;
+  std::atomic<uint64_t> adom_version_{0};
+  std::atomic<uint64_t> epoch_{0};
+
   bool producible_valid_ = false;
-  uint64_t producible_epoch_ = 0;
+  uint64_t producible_adom_version_ = 0;
   std::unordered_set<DomainId> producible_;
 
-  /// Guards certainty fields of QueryState (checks hold state_mu_ shared,
-  /// so certainty updates need their own serialization).
-  std::mutex certainty_mu_;
   std::vector<std::unique_ptr<QueryState>> queries_;
+  std::atomic<size_t> num_queries_{0};
 
-  DecisionCache cache_;
+  mutable DecisionCache cache_;
   WorkerPool pool_;
   mutable EngineCounters counters_;
+  /// Stale-drop attribution, indexed by RelationId; slot num_relations_
+  /// counts Adom-version invalidations.
+  std::unique_ptr<std::atomic<uint64_t>[]> invalidations_by_relation_;
+  /// Overlap gauges.
+  mutable std::atomic<int> active_checks_{0};
+  mutable std::atomic<int> active_applies_{0};
 };
 
 }  // namespace rar

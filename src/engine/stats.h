@@ -1,7 +1,7 @@
 // Counters and latency metrics for the RelevanceEngine runtime.
 //
 // The engine mutates a block of relaxed atomics on its hot paths (checks,
-// cache probes, epoch advances) and materialises a plain `EngineStats`
+// cache probes, version advances) and materialises a plain `EngineStats`
 // snapshot on demand. Relaxed ordering is deliberate: counters are
 // monotone telemetry, not synchronisation, and a snapshot taken while
 // workers run is allowed to be momentarily inconsistent between fields.
@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace rar {
 
@@ -20,20 +21,33 @@ struct EngineStats {
   uint64_t ltr_checks = 0;       ///< long-term-relevance decisions requested
   uint64_t cache_hits = 0;       ///< verdicts served from the decision cache
   uint64_t cache_misses = 0;     ///< verdicts that ran a decider
-  uint64_t sticky_hits = 0;      ///< hits on epoch-stable entries / certainty
-  uint64_t certainty_reuse = 0;  ///< certainty fixpoint reused (same epoch)
+  uint64_t sticky_hits = 0;      ///< hits on growth-stable entries / certainty
+  uint64_t cross_epoch_hits = 0; ///< hits that survived non-footprint growth
+                                 ///< (invalidations the global-epoch scheme
+                                 ///< would have inflicted)
+  uint64_t stale_invalidations = 0;  ///< entries dropped on stamp mismatch
+  uint64_t wf_rejections = 0;    ///< checks refused: access not well-formed
+  uint64_t certainty_reuse = 0;  ///< certainty fixpoint reused (same stamp)
   uint64_t producible_reuse = 0; ///< ProducibleDomains fixpoint reused
   uint64_t producible_recomputes = 0;  ///< ProducibleDomains recomputed
   uint64_t epoch_advances = 0;   ///< configuration-growing responses
+  uint64_t adom_advances = 0;    ///< responses that grew the active domain
   uint64_t facts_applied = 0;    ///< new facts absorbed via ApplyResponse
   uint64_t responses_applied = 0;///< ApplyResponse calls (incl. empty)
+  uint64_t overlapped_applies = 0;  ///< applies that ran with checks in flight
+  uint64_t overlapped_checks = 0;   ///< checks that ran with applies in flight
   uint64_t batch_calls = 0;      ///< CheckBatch invocations
   uint64_t batch_items = 0;      ///< accesses checked through CheckBatch
   uint64_t ir_time_ns = 0;       ///< wall time inside uncached IR deciders
   uint64_t ltr_time_ns = 0;      ///< wall time inside uncached LTR deciders
   uint64_t cache_entries = 0;    ///< live decision-cache entries
+  uint64_t cache_evictions = 0;  ///< entries evicted by the LRU size cap
   uint64_t frontier_pending = 0; ///< candidate accesses not yet performed
   uint64_t frontier_performed = 0;  ///< accesses marked performed
+  /// Stale-entry drops attributed to the footprint component that moved,
+  /// indexed by RelationId; the extra trailing slot counts Adom-version
+  /// mismatches (LTR entries invalidated by active-domain growth alone).
+  std::vector<uint64_t> invalidations_by_relation;
 
   uint64_t checks() const { return ir_checks + ltr_checks; }
   double cache_hit_rate() const {
@@ -61,12 +75,18 @@ struct EngineCounters {
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> sticky_hits{0};
+  std::atomic<uint64_t> cross_epoch_hits{0};
+  std::atomic<uint64_t> stale_invalidations{0};
+  std::atomic<uint64_t> wf_rejections{0};
   std::atomic<uint64_t> certainty_reuse{0};
   std::atomic<uint64_t> producible_reuse{0};
   std::atomic<uint64_t> producible_recomputes{0};
   std::atomic<uint64_t> epoch_advances{0};
+  std::atomic<uint64_t> adom_advances{0};
   std::atomic<uint64_t> facts_applied{0};
   std::atomic<uint64_t> responses_applied{0};
+  std::atomic<uint64_t> overlapped_applies{0};
+  std::atomic<uint64_t> overlapped_checks{0};
   std::atomic<uint64_t> batch_calls{0};
   std::atomic<uint64_t> batch_items{0};
   std::atomic<uint64_t> ir_time_ns{0};
@@ -77,23 +97,31 @@ struct EngineCounters {
   }
 
   EngineStats Snapshot() const {
+    auto ld = [](const std::atomic<uint64_t>& c) {
+      return c.load(std::memory_order_relaxed);
+    };
     EngineStats s;
-    s.ir_checks = ir_checks.load(std::memory_order_relaxed);
-    s.ltr_checks = ltr_checks.load(std::memory_order_relaxed);
-    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
-    s.cache_misses = cache_misses.load(std::memory_order_relaxed);
-    s.sticky_hits = sticky_hits.load(std::memory_order_relaxed);
-    s.certainty_reuse = certainty_reuse.load(std::memory_order_relaxed);
-    s.producible_reuse = producible_reuse.load(std::memory_order_relaxed);
-    s.producible_recomputes =
-        producible_recomputes.load(std::memory_order_relaxed);
-    s.epoch_advances = epoch_advances.load(std::memory_order_relaxed);
-    s.facts_applied = facts_applied.load(std::memory_order_relaxed);
-    s.responses_applied = responses_applied.load(std::memory_order_relaxed);
-    s.batch_calls = batch_calls.load(std::memory_order_relaxed);
-    s.batch_items = batch_items.load(std::memory_order_relaxed);
-    s.ir_time_ns = ir_time_ns.load(std::memory_order_relaxed);
-    s.ltr_time_ns = ltr_time_ns.load(std::memory_order_relaxed);
+    s.ir_checks = ld(ir_checks);
+    s.ltr_checks = ld(ltr_checks);
+    s.cache_hits = ld(cache_hits);
+    s.cache_misses = ld(cache_misses);
+    s.sticky_hits = ld(sticky_hits);
+    s.cross_epoch_hits = ld(cross_epoch_hits);
+    s.stale_invalidations = ld(stale_invalidations);
+    s.wf_rejections = ld(wf_rejections);
+    s.certainty_reuse = ld(certainty_reuse);
+    s.producible_reuse = ld(producible_reuse);
+    s.producible_recomputes = ld(producible_recomputes);
+    s.epoch_advances = ld(epoch_advances);
+    s.adom_advances = ld(adom_advances);
+    s.facts_applied = ld(facts_applied);
+    s.responses_applied = ld(responses_applied);
+    s.overlapped_applies = ld(overlapped_applies);
+    s.overlapped_checks = ld(overlapped_checks);
+    s.batch_calls = ld(batch_calls);
+    s.batch_items = ld(batch_items);
+    s.ir_time_ns = ld(ir_time_ns);
+    s.ltr_time_ns = ld(ltr_time_ns);
     return s;
   }
 };

@@ -1,0 +1,49 @@
+#include "query/footprint.h"
+
+#include <algorithm>
+
+namespace rar {
+
+bool RelationFootprint::Contains(RelationId rel) const {
+  return std::binary_search(relations.begin(), relations.end(), rel);
+}
+
+void RelationFootprint::Add(RelationId rel) {
+  auto it = std::lower_bound(relations.begin(), relations.end(), rel);
+  if (it == relations.end() || *it != rel) relations.insert(it, rel);
+}
+
+RelationFootprint RelationFootprint::WithRelation(RelationId rel) const {
+  RelationFootprint out = *this;
+  out.Add(rel);
+  return out;
+}
+
+RelationFootprint RelationFootprint::Of(const UnionQuery& query) {
+  RelationFootprint out;
+  for (const ConjunctiveQuery& d : query.disjuncts) {
+    for (const Atom& atom : d.atoms) out.Add(atom.relation);
+  }
+  return out;
+}
+
+VersionStamp RelationFootprint::StampFrom(const VersionVector& versions) const {
+  VersionStamp stamp;
+  stamp.reserve(relations.size() + (adom_sensitive ? 1 : 0));
+  for (RelationId rel : relations) stamp.push_back(versions.relation(rel));
+  if (adom_sensitive) stamp.push_back(versions.adom);
+  return stamp;
+}
+
+std::string RelationFootprint::ToString(const Schema& schema) const {
+  std::string out = "{";
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.relation(relations[i]).name;
+  }
+  if (adom_sensitive) out += relations.empty() ? "+adom" : ", +adom";
+  out += "}";
+  return out;
+}
+
+}  // namespace rar

@@ -1,0 +1,60 @@
+// Relation footprints: the set of relations a relevance check reads.
+//
+// A Boolean relevance check for query Q and an access over relation R
+// evaluates Q against configurations that extend the current one with
+// response tuples over R — so the facts it can observe are exactly those
+// of the relations of Q plus R. That set is the check's *footprint*. The
+// engine keys cached-verdict validity on the footprint's per-relation
+// version sub-vector (see relational/version.h): growth of any relation
+// outside the footprint cannot change the verdict, so the cached entry
+// stays valid.
+//
+// Long-term relevance additionally reads the *typed active domain* (both
+// LTR deciders enumerate Adom values when building canonical assignments
+// and reachability closures), which grows with facts of every relation —
+// the footprint therefore carries an `adom_sensitive` flag and the engine
+// appends the active-domain version to LTR stamps.
+#ifndef RAR_QUERY_FOOTPRINT_H_
+#define RAR_QUERY_FOOTPRINT_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/configuration.h"
+#include "relational/version.h"
+
+namespace rar {
+
+/// \brief A sorted, deduplicated set of relations a computation depends
+/// on, plus whether it also depends on the full typed active domain.
+struct RelationFootprint {
+  std::vector<RelationId> relations;  ///< sorted, unique
+  /// True when the computation also reads the typed active domain (LTR
+  /// deciders, reachability fixpoints); such results must be revalidated
+  /// whenever Adom grows, no matter which relation grew it.
+  bool adom_sensitive = false;
+
+  bool Contains(RelationId rel) const;
+
+  /// Inserts a relation, keeping `relations` sorted and unique.
+  void Add(RelationId rel);
+
+  /// This footprint extended with `rel` (the accessed relation).
+  RelationFootprint WithRelation(RelationId rel) const;
+
+  /// The relations mentioned by any disjunct of `query`.
+  static RelationFootprint Of(const UnionQuery& query);
+
+  /// The sub-vector of `versions` this footprint selects: one entry per
+  /// footprint relation (in `relations` order), plus the active-domain
+  /// version when `adom_sensitive`. Cached results stamped with this stay
+  /// valid exactly while every selected component is unchanged.
+  VersionStamp StampFrom(const VersionVector& versions) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace rar
+
+#endif  // RAR_QUERY_FOOTPRINT_H_

@@ -9,12 +9,18 @@ const std::vector<int> Configuration::kNoIndices;
 const std::vector<Value> Configuration::kNoValues;
 
 Configuration::RelationStore& Configuration::StoreOf(RelationId rel) {
+  if (rel >= stores_.size()) stores_.resize(rel + 1);
   return stores_[rel];
 }
 
 bool Configuration::AddFact(const Fact& fact) {
-  if (!fact_set_.insert(fact).second) return false;
   RelationStore& store = StoreOf(fact.relation);
+  // Find-before-insert: when the fact (and hence every adom entry it
+  // carries) is already present, the call is a pure read — the engine's
+  // striped-lock discipline relies on duplicate applications not touching
+  // shared structures.
+  if (store.fact_set.count(fact) > 0) return false;
+  store.fact_set.insert(fact);
   int idx = static_cast<int>(store.facts.size());
   store.facts.push_back(fact);
   for (int pos = 0; pos < fact.arity(); ++pos) {
@@ -22,12 +28,12 @@ bool Configuration::AddFact(const Fact& fact) {
     if (schema_ != nullptr) {
       DomainId dom = schema_->relation(fact.relation).attributes[pos].domain;
       TypedValue tv{fact.values[pos], dom};
-      if (adom_.insert(tv).second) {
+      if (adom_.count(tv) == 0) {
+        adom_.insert(tv);
         adom_by_domain_[dom].push_back(fact.values[pos]);
       }
     }
   }
-  ++num_facts_;
   return true;
 }
 
@@ -65,29 +71,22 @@ void Configuration::AddSeedConstant(Value value, DomainId domain) {
 }
 
 const std::vector<Fact>& Configuration::FactsOf(RelationId rel) const {
-  auto it = stores_.find(rel);
-  return it == stores_.end() ? kNoFacts : it->second.facts;
+  return rel < stores_.size() ? stores_[rel].facts : kNoFacts;
 }
 
 const std::vector<int>& Configuration::FactsWith(RelationId rel, int position,
                                                  Value v) const {
-  auto it = stores_.find(rel);
-  if (it == stores_.end()) return kNoIndices;
-  auto jt = it->second.index.find(PosValueKey{position, v});
-  return jt == it->second.index.end() ? kNoIndices : jt->second;
+  if (rel >= stores_.size()) return kNoIndices;
+  auto jt = stores_[rel].index.find(PosValueKey{position, v});
+  return jt == stores_[rel].index.end() ? kNoIndices : jt->second;
 }
 
 std::vector<Fact> Configuration::AllFacts() const {
   std::vector<Fact> out;
-  out.reserve(num_facts_);
+  out.reserve(NumFacts());
   // Deterministic order: by relation id, then insertion order.
-  std::vector<RelationId> rels;
-  rels.reserve(stores_.size());
-  for (const auto& [rel, store] : stores_) rels.push_back(rel);
-  std::sort(rels.begin(), rels.end());
-  for (RelationId rel : rels) {
-    const auto& facts = stores_.at(rel).facts;
-    out.insert(out.end(), facts.begin(), facts.end());
+  for (const RelationStore& store : stores_) {
+    out.insert(out.end(), store.facts.begin(), store.facts.end());
   }
   return out;
 }

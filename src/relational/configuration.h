@@ -22,6 +22,7 @@
 #include "relational/fact.h"
 #include "relational/schema.h"
 #include "relational/value.h"
+#include "relational/version.h"
 #include "util/status.h"
 
 namespace rar {
@@ -52,12 +53,35 @@ struct TypedValueHash {
 /// Fact insertion is idempotent. The per-(relation, position, value) index
 /// supports the homomorphism engine's candidate lookups; the active domain
 /// (Adom) supports dependent-access well-formedness checks.
+///
+/// Versioning: because facts and seeds are never retracted, the per-
+/// relation fact count and the active-domain entry count are monotone
+/// version counters. `relation_version` / `adom_version` / `Versions`
+/// expose them; the RelevanceEngine keys cached verdict validity on the
+/// sub-vector a verdict's relation footprint selects.
+///
+/// Sharding note: relation stores live in a vector indexed by RelationId
+/// and carry their own dedup sets, so growing relation R touches only
+/// stores_[R] (plus the active-domain structures when a value is new).
+/// After `ReserveRelations`, stores of distinct relations may be read and
+/// grown concurrently under per-relation external locks — the engine's
+/// striped-lock discipline relies on this.
 class Configuration {
  public:
   Configuration() = default;
-  explicit Configuration(const Schema* schema) : schema_(schema) {}
+  explicit Configuration(const Schema* schema) : schema_(schema) {
+    if (schema_ != nullptr) ReserveRelations(schema_->num_relations());
+  }
 
   const Schema* schema() const { return schema_; }
+
+  /// Pre-creates stores for relations [0, n): afterwards `AddFact` for any
+  /// of them never reallocates the store vector, which is what makes
+  /// cross-relation concurrent growth (under external per-relation locks)
+  /// safe.
+  void ReserveRelations(size_t n) {
+    if (stores_.size() < n) stores_.resize(n);
+  }
 
   /// Adds a fact; returns true when the fact was new. Updates Adom with
   /// every (value, attribute-domain) pair of the fact.
@@ -71,7 +95,8 @@ class Configuration {
   void AddSeedConstant(Value value, DomainId domain);
 
   bool Contains(const Fact& fact) const {
-    return fact_set_.count(fact) > 0;
+    if (fact.relation >= stores_.size()) return false;
+    return stores_[fact.relation].fact_set.count(fact) > 0;
   }
 
   /// All facts of one relation, in insertion order.
@@ -85,7 +110,37 @@ class Configuration {
   /// Every fact in the configuration (all relations, insertion order).
   std::vector<Fact> AllFacts() const;
 
-  size_t NumFacts() const { return num_facts_; }
+  size_t NumFacts() const {
+    size_t n = 0;
+    for (const RelationStore& s : stores_) n += s.facts.size();
+    return n;
+  }
+
+  /// Monotone version of one relation: its fact count (facts are never
+  /// retracted). Changes exactly when the relation gains a fact.
+  uint64_t relation_version(RelationId rel) const {
+    return rel < stores_.size() ? stores_[rel].facts.size() : 0;
+  }
+
+  /// Monotone version of the typed active domain: its entry count (facts'
+  /// values plus seeds). Changes exactly when a new (value, domain) pair
+  /// becomes available — the quantity every reachability / dependent-
+  /// access argument is monotone in.
+  uint64_t adom_version() const { return adom_.size(); }
+
+  /// Derived global epoch (total growth events); see VersionVector.
+  uint64_t global_version() const { return NumFacts() + adom_.size(); }
+
+  /// Snapshot of the full version state.
+  VersionVector Versions() const {
+    VersionVector v;
+    v.relations.reserve(stores_.size());
+    for (const RelationStore& s : stores_) {
+      v.relations.push_back(s.facts.size());
+    }
+    v.adom = adom_.size();
+    return v;
+  }
 
   /// True when (value, domain) is in the active domain (facts or seeds).
   bool AdomContains(Value value, DomainId domain) const {
@@ -125,15 +180,15 @@ class Configuration {
   };
   struct RelationStore {
     std::vector<Fact> facts;
+    std::unordered_set<Fact, FactHash> fact_set;  ///< per-relation dedup
     std::unordered_map<PosValueKey, std::vector<int>, PosValueKeyHash> index;
   };
 
   RelationStore& StoreOf(RelationId rel);
 
   const Schema* schema_ = nullptr;
-  std::unordered_map<RelationId, RelationStore> stores_;
-  std::unordered_set<Fact, FactHash> fact_set_;
-  size_t num_facts_ = 0;
+  /// Indexed by RelationId; grown on demand (see ReserveRelations).
+  std::vector<RelationStore> stores_;
 
   std::unordered_set<TypedValue, TypedValueHash> adom_;
   std::unordered_map<DomainId, std::vector<Value>> adom_by_domain_;

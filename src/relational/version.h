@@ -1,0 +1,86 @@
+// Per-relation configuration versions (the engine's invalidation currency).
+//
+// A configuration only ever grows, so two monotone counters describe every
+// observable change: the number of facts of each relation, and the number
+// of typed active-domain entries (facts' values plus seed constants). A
+// `VersionVector` snapshots both. Derived state (cached relevance
+// verdicts, certainty memos, fixpoints) records the sub-vector of versions
+// it actually depends on — its *footprint* — and stays valid while that
+// sub-vector is unchanged, no matter how the rest of the configuration
+// grows. The old single global epoch is the degenerate footprint "all of
+// it"; `global()` derives it for backward compatibility.
+#ifndef RAR_RELATIONAL_VERSION_H_
+#define RAR_RELATIONAL_VERSION_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rar {
+
+/// \brief The versions a cached artifact was computed against: one counter
+/// per relation it reads, optionally the active-domain counter. Validity
+/// is plain equality against a freshly built stamp (versions are monotone,
+/// so equality means "nothing this artifact depends on has changed").
+using VersionStamp = std::vector<uint64_t>;
+
+/// \brief Snapshot of a configuration's full version state.
+struct VersionVector {
+  /// Fact count per relation, indexed by RelationId.
+  std::vector<uint64_t> relations;
+  /// Typed active-domain entry count (facts + seeds).
+  uint64_t adom = 0;
+
+  /// Derived global epoch: total growth events. Advances whenever any
+  /// relation gains a fact or the active domain gains an entry — the
+  /// single counter the engine exposed before versions were sharded.
+  uint64_t global() const {
+    uint64_t g = adom;
+    for (uint64_t v : relations) g += v;
+    return g;
+  }
+
+  uint64_t relation(size_t rel) const {
+    return rel < relations.size() ? relations[rel] : 0;
+  }
+
+  bool operator==(const VersionVector& o) const {
+    if (adom != o.adom) return false;
+    // Trailing zero entries are implicit: vectors of different lengths can
+    // still describe the same state.
+    size_t n = std::max(relations.size(), o.relations.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (relation(i) != o.relation(i)) return false;
+    }
+    return true;
+  }
+  bool operator!=(const VersionVector& o) const { return !(*this == o); }
+
+  /// FNV-1a fingerprint — a cheap identity for logs and coarse equality
+  /// probes (collisions possible; use operator== to decide validity).
+  uint64_t Fingerprint() const {
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t v) { h = (h ^ v) * 1099511628211ULL; };
+    mix(adom);
+    // Skip trailing zeros so equal vectors of different lengths agree.
+    size_t n = relations.size();
+    while (n > 0 && relations[n - 1] == 0) --n;
+    for (size_t i = 0; i < n; ++i) mix(relations[i]);
+    return h;
+  }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "[adom=" << adom;
+    for (size_t i = 0; i < relations.size(); ++i) {
+      os << " r" << i << "=" << relations[i];
+    }
+    os << "]";
+    return os.str();
+  }
+};
+
+}  // namespace rar
+
+#endif  // RAR_RELATIONAL_VERSION_H_

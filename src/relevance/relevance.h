@@ -10,6 +10,7 @@
 #define RAR_RELEVANCE_RELEVANCE_H_
 
 #include "containment/access_containment.h"
+#include "query/footprint.h"
 #include "relevance/immediate.h"
 #include "relevance/ltr_dependent.h"
 #include "relevance/ltr_independent.h"
@@ -53,6 +54,39 @@ class RelevanceAnalyzer {
   Result<bool> LongTermKAry(const Configuration& conf, const Access& access,
                             const UnionQuery& query,
                             const RelevanceOptions& options = {}) const;
+
+  /// The relation footprint of an IR check: the decider reads only facts
+  /// of the query's relations plus the accessed relation (the well-
+  /// formedness Adom probe is the caller's concern — it is monotone, so a
+  /// verdict computed on a well-formed access never needs Adom
+  /// revalidation). The first overload takes the query's memoized
+  /// footprint (callers that check repeatedly should not re-derive it per
+  /// check); the second derives it.
+  static RelationFootprint ImmediateFootprint(
+      const RelationFootprint& query_footprint, RelationId accessed) {
+    RelationFootprint fp = query_footprint.WithRelation(accessed);
+    fp.adom_sensitive = false;
+    return fp;
+  }
+  static RelationFootprint ImmediateFootprint(const UnionQuery& query,
+                                              RelationId accessed) {
+    return ImmediateFootprint(RelationFootprint::Of(query), accessed);
+  }
+
+  /// The footprint of an LTR check: the same relations, plus the typed
+  /// active domain — both LTR engines enumerate Adom values (canonical
+  /// assignments, reachability closures, CM-containment relative to the
+  /// existing constants), and Adom grows with facts of *every* relation.
+  static RelationFootprint LongTermFootprint(
+      const RelationFootprint& query_footprint, RelationId accessed) {
+    RelationFootprint fp = query_footprint.WithRelation(accessed);
+    fp.adom_sensitive = true;
+    return fp;
+  }
+  static RelationFootprint LongTermFootprint(const UnionQuery& query,
+                                             RelationId accessed) {
+    return LongTermFootprint(RelationFootprint::Of(query), accessed);
+  }
 
  private:
   const Schema& schema_;

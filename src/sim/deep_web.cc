@@ -1,13 +1,119 @@
 #include "sim/deep_web.h"
 
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 namespace rar {
+
+namespace {
+
+/// One persistent background worker holding at most one pipeline stage in
+/// flight (execute-and-apply for the mediator, apply-only for the crawl).
+/// A long-lived thread with a condition-variable handoff rather than a
+/// thread per task: the stages being hidden are tens of microseconds to
+/// milliseconds, and thread spawn would eat the overlap. Joins and stops
+/// the worker on destruction, so early returns never leak it.
+class AsyncPerformer {
+ public:
+  ~AsyncPerformer() {
+    (void)Join();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Joins any previous task (discarding its status — callers that care
+  /// must Join first), then runs `task` for `access` on the worker.
+  void Submit(Access access, std::function<Status()> task) {
+    (void)Join();
+    EnsureThread();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task_ = std::move(task);
+      has_task_ = true;
+      done_ = false;
+    }
+    cv_.notify_all();
+    access_ = std::move(access);
+    in_flight_ = true;
+  }
+
+  /// Waits for the in-flight task (if any) and returns its status.
+  Status Join() {
+    if (!in_flight_) return Status::OK();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+    in_flight_ = false;
+    return status_;
+  }
+
+  bool in_flight() const { return in_flight_; }
+  bool IsInFlight(const Access& a) const {
+    return in_flight_ && a == access_;
+  }
+
+ private:
+  void EnsureThread() {
+    if (thread_.joinable()) return;
+    thread_ = std::thread([this]() {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (true) {
+        cv_.wait(lock, [&] { return has_task_ || stop_; });
+        if (stop_) return;
+        std::function<Status()> task = std::move(task_);
+        has_task_ = false;
+        lock.unlock();
+        Status status = task();
+        lock.lock();
+        status_ = std::move(status);
+        done_ = true;
+        cv_.notify_all();
+      }
+    });
+  }
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::function<Status()> task_;
+  Status status_;
+  bool has_task_ = false;
+  bool done_ = true;
+  bool stop_ = false;
+  /// Main-thread view of the submitted access (only the submitting thread
+  /// reads these, between Submit and Join).
+  Access access_;
+  bool in_flight_ = false;
+};
+
+}  // namespace
 
 Result<std::vector<Fact>> DeepWebSource::Execute(const Configuration& conf,
                                                  const Access& access,
                                                  const ResponsePolicy& policy) {
   RAR_RETURN_NOT_OK(CheckWellFormed(conf, *acs_, access));
+  return ExecuteValidated(access, policy);
+}
+
+Result<std::vector<Fact>> DeepWebSource::Execute(const RelevanceEngine& engine,
+                                                 const Access& access,
+                                                 const ResponsePolicy& policy) {
+  RAR_RETURN_NOT_OK(engine.ValidateAccess(access));
+  return ExecuteValidated(access, policy);
+}
+
+Result<std::vector<Fact>> DeepWebSource::ExecuteValidated(
+    const Access& access, const ResponsePolicy& policy) {
+  if (policy.latency_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(policy.latency_us));
+  }
   ++accesses_served_;
   const AccessMethod& m = acs_->method(access.method);
 
@@ -42,6 +148,10 @@ Result<MediationOutcome> Mediator::AnswerBoolean(
   RelevanceEngine engine(schema_, acs_, initial, options.engine);
   RAR_ASSIGN_OR_RETURN(QueryId qid, engine.RegisterQuery(query));
 
+  // At most one execute-and-apply stage is in flight; never used in the
+  // serialized mode.
+  AsyncPerformer performer;
+
   for (outcome.rounds = 0; outcome.rounds < options.max_rounds;
        ++outcome.rounds) {
     if (engine.IsCertain(qid)) {
@@ -50,7 +160,10 @@ Result<MediationOutcome> Mediator::AnswerBoolean(
     }
     // Frontier-ranked candidates: cached-relevant accesses come first, so
     // after a growth round the scheduler retries the accesses most likely
-    // to still be relevant before exploring unknowns.
+    // to still be relevant before exploring unknowns. In pipelined mode
+    // this scan overlaps with access *i* being executed and applied in
+    // the background; verdicts may be one response stale, which can cost
+    // an extra (sound) access but never a wrong answer.
     std::vector<Access> candidates = engine.CandidateAccesses(qid);
     outcome.accesses_considered += static_cast<long>(candidates.size());
 
@@ -59,6 +172,7 @@ Result<MediationOutcome> Mediator::AnswerBoolean(
     std::string reason;
     if (options.use_immediate) {
       for (const Access& a : candidates) {
+        if (performer.IsInFlight(a)) continue;
         ++outcome.relevance_checks;
         CheckOutcome ir = engine.CheckImmediate(qid, a);
         if (ir.ok() && ir.relevant) {
@@ -70,6 +184,7 @@ Result<MediationOutcome> Mediator::AnswerBoolean(
     }
     if (chosen == nullptr && options.use_long_term) {
       for (const Access& a : candidates) {
+        if (performer.IsInFlight(a)) continue;
         ++outcome.relevance_checks;
         CheckOutcome ltr = engine.CheckLongTerm(qid, a);
         bool relevant =
@@ -81,19 +196,44 @@ Result<MediationOutcome> Mediator::AnswerBoolean(
         }
       }
     }
-    if (chosen == nullptr) break;  // nothing relevant: give up
 
-    RAR_ASSIGN_OR_RETURN(
-        std::vector<Fact> response,
-        source->Execute(engine.config(), *chosen, options.policy));
-    ++outcome.accesses_performed;
-    if (options.verbose_log) {
-      outcome.log.push_back(reason + ": " +
-                            chosen->ToString(schema_, acs_) + " -> " +
-                            std::to_string(response.size()) + " tuple(s)");
+    const bool had_in_flight = performer.in_flight();
+    RAR_RETURN_NOT_OK(performer.Join());
+    if (chosen == nullptr) {
+      // Nothing relevant at the scanned state. If a response landed during
+      // the scan, the refreshed state may offer new candidates — rescan;
+      // otherwise the loop is at a fixpoint: give up.
+      if (had_in_flight) continue;
+      break;
     }
-    RAR_RETURN_NOT_OK(engine.ApplyResponse(*chosen, response).status());
+    if (engine.WasPerformed(*chosen)) continue;  // landed during the scan
+
+    ++outcome.accesses_performed;
+    if (options.pipelined) {
+      if (options.verbose_log) {
+        outcome.log.push_back(reason + ": " +
+                              chosen->ToString(schema_, acs_) + " (async)");
+      }
+      performer.Submit(
+          *chosen, [source, &engine, access = *chosen,
+                    policy = options.policy]() -> Status {
+            RAR_ASSIGN_OR_RETURN(std::vector<Fact> response,
+                                 source->Execute(engine, access, policy));
+            return engine.ApplyResponse(access, response).status();
+          });
+    } else {
+      RAR_ASSIGN_OR_RETURN(std::vector<Fact> response,
+                           source->Execute(engine, *chosen, options.policy));
+      if (options.verbose_log) {
+        outcome.log.push_back(reason + ": " +
+                              chosen->ToString(schema_, acs_) + " -> " +
+                              std::to_string(response.size()) + " tuple(s)");
+      }
+      RAR_RETURN_NOT_OK(engine.ApplyResponse(*chosen, response).status());
+    }
   }
+  RAR_RETURN_NOT_OK(performer.Join());
+  if (!outcome.answered && engine.IsCertain(qid)) outcome.answered = true;
   outcome.final_conf = engine.SnapshotConfig();
   outcome.engine = engine.stats();
   return outcome;
@@ -106,6 +246,8 @@ Result<MediationOutcome> Mediator::ExhaustiveCrawl(
   RelevanceEngine engine(schema_, acs_, initial, options.engine);
   RAR_ASSIGN_OR_RETURN(QueryId qid, engine.RegisterQuery(query));
 
+  AsyncPerformer performer;
+
   for (outcome.rounds = 0; outcome.rounds < options.max_rounds;
        ++outcome.rounds) {
     if (engine.IsCertain(qid)) {
@@ -114,21 +256,47 @@ Result<MediationOutcome> Mediator::ExhaustiveCrawl(
     }
     // The crawl performs every pending access, relevance unchecked.
     std::vector<Access> candidates = engine.PendingAccesses();
-    if (candidates.empty()) break;  // crawl fixpoint
+    if (candidates.empty()) {
+      // An in-flight response may still extend the frontier.
+      if (!performer.in_flight()) break;  // crawl fixpoint
+      RAR_RETURN_NOT_OK(performer.Join());
+      continue;
+    }
     outcome.accesses_considered += static_cast<long>(candidates.size());
+    const long performed_before = outcome.accesses_performed;
     for (const Access& a : candidates) {
-      RAR_ASSIGN_OR_RETURN(
-          std::vector<Fact> response,
-          source->Execute(engine.config(), a, options.policy));
+      if (performer.IsInFlight(a) || engine.WasPerformed(a)) continue;
+      // Pipelined: execute access i+1 against the source while response i
+      // is still being absorbed, then wait for i before applying i+1.
+      RAR_ASSIGN_OR_RETURN(std::vector<Fact> response,
+                           source->Execute(engine, a, options.policy));
       ++outcome.accesses_performed;
-      RAR_RETURN_NOT_OK(engine.ApplyResponse(a, response).status());
+      if (options.pipelined) {
+        RAR_RETURN_NOT_OK(performer.Join());
+        performer.Submit(a, [&engine, access = a,
+                             resp = std::move(response)]() -> Status {
+          return engine.ApplyResponse(access, resp).status();
+        });
+      } else {
+        RAR_RETURN_NOT_OK(engine.ApplyResponse(a, response).status());
+      }
       if (engine.IsCertain(qid)) {
         outcome.answered = true;
         break;
       }
     }
     if (outcome.answered) break;
+    if (outcome.accesses_performed == performed_before) {
+      // Every candidate was already performed or in flight. Land the
+      // in-flight response (it may extend the frontier or settle the
+      // query) instead of spinning through rounds; with nothing in flight
+      // this is the crawl fixpoint.
+      if (!performer.in_flight()) break;
+      RAR_RETURN_NOT_OK(performer.Join());
+    }
   }
+  RAR_RETURN_NOT_OK(performer.Join());
+  if (!outcome.answered && engine.IsCertain(qid)) outcome.answered = true;
   outcome.final_conf = engine.SnapshotConfig();
   outcome.engine = engine.stats();
   return outcome;

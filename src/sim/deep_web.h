@@ -39,6 +39,11 @@ struct ResponsePolicy {
   Kind kind = Kind::kExact;
   int cap = 1;
   double keep_prob = 0.5;
+  /// Simulated round-trip latency per access, in microseconds. Real
+  /// deep-web sources answer over a network; the pipelined mediator
+  /// exists to hide exactly this (plus the apply) behind the next round's
+  /// relevance checks.
+  int latency_us = 0;
 };
 
 /// \brief A simulated deep-Web source: hidden instance + access methods.
@@ -53,10 +58,22 @@ class DeepWebSource {
                                     const Access& access,
                                     const ResponsePolicy& policy = {});
 
+  /// Engine-backed overload: well-formedness is validated against the
+  /// engine's live configuration under its locks (safe while responses
+  /// are applied concurrently — Adom is monotone, so a pass cannot be
+  /// revoked).
+  Result<std::vector<Fact>> Execute(const RelevanceEngine& engine,
+                                    const Access& access,
+                                    const ResponsePolicy& policy = {});
+
   long accesses_served() const { return accesses_served_; }
   const Configuration& hidden() const { return hidden_; }
 
  private:
+  /// Shared tail of both Execute overloads (access already validated).
+  Result<std::vector<Fact>> ExecuteValidated(const Access& access,
+                                             const ResponsePolicy& policy);
+
   const Schema* schema_;
   const AccessMethodSet* acs_;
   Configuration hidden_;
@@ -85,6 +102,16 @@ struct MediatorOptions {
   bool conservative_on_unknown = true;
   int max_rounds = 64;
   bool verbose_log = false;
+  /// Pipeline the mediation loop: access *i* is executed against the
+  /// source and its response applied on a background worker while
+  /// candidates for access *i+1* are being checked (AnswerBoolean), resp.
+  /// while access *i+1* is executed (ExhaustiveCrawl). Sound because
+  /// responses are monotone and the engine's footprint-stamped cache
+  /// revalidates exactly the verdicts the landed response can affect; the
+  /// performed-access dedup makes the loop never re-execute an in-flight
+  /// access. Checks may run one response behind, which can cost an extra
+  /// (sound) access but never a wrong answer.
+  bool pipelined = false;
   ResponsePolicy policy;
   /// Engine construction knobs for the run; `engine.relevance` holds the
   /// decider options (single source of truth).

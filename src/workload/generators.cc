@@ -220,4 +220,66 @@ StarFamily MakeStarFamily(int rays, int num_constants) {
   return f;
 }
 
+MultiRelationFamily MakeMultiRelationFamily(int groups,
+                                            int values_per_group) {
+  if (values_per_group < 3) values_per_group = 3;
+  MultiRelationFamily f;
+  f.scenario.schema = std::make_shared<Schema>();
+  Schema& schema = *f.scenario.schema;
+  f.scenario.acs = AccessMethodSet(f.scenario.schema.get());
+
+  struct Group {
+    DomainId domain;
+    RelationId a, b;
+    std::vector<Value> values;
+  };
+  std::vector<Group> gs;
+  for (int g = 0; g < groups; ++g) {
+    Group grp;
+    const std::string tag = std::to_string(g);
+    grp.domain = schema.AddDomain("D" + tag);
+    grp.a = *schema.AddRelation("A" + tag,
+                                std::vector<DomainId>{grp.domain, grp.domain});
+    grp.b = *schema.AddRelation("B" + tag,
+                                std::vector<DomainId>{grp.domain, grp.domain});
+    (void)*f.scenario.acs.Add("a" + tag, grp.a, {0}, /*dependent=*/true);
+    (void)*f.scenario.acs.Add("b" + tag, grp.b, {0}, /*dependent=*/true);
+    for (int i = 0; i < values_per_group; ++i) {
+      grp.values.push_back(
+          schema.InternConstant("c" + tag + "_" + std::to_string(i)));
+    }
+    gs.push_back(std::move(grp));
+    f.group_relations.push_back({gs.back().a, gs.back().b});
+  }
+
+  f.scenario.conf = Configuration(f.scenario.schema.get());
+  f.hidden = Configuration(f.scenario.schema.get());
+  for (const Group& grp : gs) {
+    for (const Value& v : grp.values) {
+      f.scenario.conf.AddSeedConstant(v, grp.domain);
+    }
+    // The answering chain Ag(c0,c1), Bg(c1,c2) ...
+    f.hidden.AddFact(Fact(grp.a, {grp.values[0], grp.values[1]}));
+    f.hidden.AddFact(
+        Fact(grp.b, {grp.values[1], grp.values[2 % grp.values.size()]}));
+    // ... plus noise edges so responses grow relations beyond the chain.
+    for (size_t i = 0; i + 1 < grp.values.size(); ++i) {
+      f.hidden.AddFact(Fact(grp.a, {grp.values[i + 1], grp.values[i]}));
+      f.hidden.AddFact(Fact(grp.b, {grp.values[i], grp.values[i]}));
+    }
+
+    ConjunctiveQuery cq;
+    VarId x = cq.AddVar("X", grp.domain);
+    VarId y = cq.AddVar("Y", grp.domain);
+    VarId z = cq.AddVar("Z", grp.domain);
+    cq.atoms.push_back(Atom{grp.a, {Term::MakeVar(x), Term::MakeVar(y)}});
+    cq.atoms.push_back(Atom{grp.b, {Term::MakeVar(y), Term::MakeVar(z)}});
+    (void)cq.Validate(schema);
+    UnionQuery q;
+    q.disjuncts.push_back(std::move(cq));
+    f.queries.push_back(std::move(q));
+  }
+  return f;
+}
+
 }  // namespace rar

@@ -88,6 +88,23 @@ struct StarFamily {
 };
 StarFamily MakeStarFamily(int rays, int num_constants);
 
+/// Multi-relation deep-web family: `groups` disjoint relation groups, each
+/// with its own domain Dg, relations Ag(Dg,Dg) and Bg(Dg,Dg) (dependent
+/// methods bound on the first attribute), seeds c{g}_0..k, and the Boolean
+/// query ∃x,y,z. Ag(x,y) ∧ Bg(y,z). The hidden instance satisfies every
+/// query through a chain Ag(c0,c1), Bg(c1,c2) plus noise edges. Because
+/// the groups share nothing, growing group h's relations never touches
+/// group g's footprint — the workload for footprint-aware invalidation,
+/// apply/check overlap, and the pipelined mediator benches.
+struct MultiRelationFamily {
+  Scenario scenario;
+  std::vector<UnionQuery> queries;                ///< one per group
+  std::vector<std::vector<RelationId>> group_relations;  ///< {Ag, Bg} per group
+  Configuration hidden;                           ///< source-side instance
+};
+MultiRelationFamily MakeMultiRelationFamily(int groups,
+                                            int values_per_group);
+
 }  // namespace rar
 
 #endif  // RAR_WORKLOAD_GENERATORS_H_

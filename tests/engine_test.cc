@@ -26,46 +26,131 @@ namespace {
 
 // ---------------------------------------------------------------- cache
 
-TEST(DecisionCacheTest, EpochEntriesExpireOnGrowth) {
+TEST(DecisionCacheTest, StampedEntriesExpireOnFootprintGrowth) {
   DecisionCache cache;
   DecisionKey key{0, CheckKind::kImmediate, 0, {Value::Constant(1)}};
-  cache.Insert(key, /*relevant=*/true, /*sticky=*/false, /*epoch=*/3);
+  // Footprint stamp: versions of the two footprint relations.
+  cache.Insert(key, /*relevant=*/true, /*sticky=*/false, VersionStamp{3, 7},
+               /*epoch=*/10);
 
-  auto hit = cache.Lookup(key, 3);
-  ASSERT_TRUE(hit.has_value());
-  EXPECT_TRUE(hit->relevant);
+  auto probe = cache.Lookup(key, VersionStamp{3, 7}, 10);
+  ASSERT_EQ(probe.status, DecisionCache::ProbeStatus::kHit);
+  EXPECT_TRUE(probe.hit.relevant);
+  EXPECT_FALSE(probe.hit.cross_epoch);
 
-  // A "relevant" verdict must be revalidated after the configuration grows.
-  EXPECT_FALSE(cache.Lookup(key, 4).has_value());
-  EXPECT_FALSE(cache.Lookup(key, 2).has_value());
+  // Growth elsewhere moves the global epoch but not the footprint stamp:
+  // still a hit, flagged as one the global-epoch scheme would have lost.
+  probe = cache.Lookup(key, VersionStamp{3, 7}, 12);
+  ASSERT_EQ(probe.status, DecisionCache::ProbeStatus::kHit);
+  EXPECT_TRUE(probe.hit.cross_epoch);
+
+  // Growth of a footprint relation invalidates; the stale component is
+  // reported and the entry is dropped.
+  probe = cache.Lookup(key, VersionStamp{3, 8}, 13);
+  EXPECT_EQ(probe.status, DecisionCache::ProbeStatus::kStale);
+  EXPECT_EQ(probe.stale_component, 1);
+  EXPECT_EQ(cache.Lookup(key, VersionStamp{3, 8}, 13).status,
+            DecisionCache::ProbeStatus::kMiss);
 }
 
 TEST(DecisionCacheTest, StickyEntriesSurviveGrowth) {
   DecisionCache cache;
   DecisionKey key{1, CheckKind::kLongTerm, 2, {}};
-  cache.Insert(key, /*relevant=*/false, /*sticky=*/true, /*epoch=*/0);
+  cache.Insert(key, /*relevant=*/false, /*sticky=*/true, VersionStamp{0},
+               /*epoch=*/0);
 
-  auto hit = cache.Lookup(key, 1000);
-  ASSERT_TRUE(hit.has_value());
-  EXPECT_FALSE(hit->relevant);
-  EXPECT_TRUE(hit->sticky);
+  auto probe = cache.Lookup(key, VersionStamp{1000}, 1000);
+  ASSERT_EQ(probe.status, DecisionCache::ProbeStatus::kHit);
+  EXPECT_FALSE(probe.hit.relevant);
+  EXPECT_TRUE(probe.hit.sticky);
 
   // Sticky entries are strictly stronger: a later non-sticky insert for
   // the same key must not downgrade them.
-  cache.Insert(key, /*relevant=*/true, /*sticky=*/false, /*epoch=*/1001);
-  hit = cache.Lookup(key, 2000);
-  ASSERT_TRUE(hit.has_value());
-  EXPECT_FALSE(hit->relevant);
+  cache.Insert(key, /*relevant=*/true, /*sticky=*/false, VersionStamp{1001},
+               1001);
+  probe = cache.Lookup(key, VersionStamp{2000}, 2000);
+  ASSERT_EQ(probe.status, DecisionCache::ProbeStatus::kHit);
+  EXPECT_FALSE(probe.hit.relevant);
 }
 
 TEST(DecisionCacheTest, EvictStaleKeepsCurrentAndSticky) {
   DecisionCache cache;
-  cache.Insert(DecisionKey{0, CheckKind::kImmediate, 0, {}}, true, false, 1);
-  cache.Insert(DecisionKey{0, CheckKind::kImmediate, 1, {}}, true, false, 2);
-  cache.Insert(DecisionKey{0, CheckKind::kLongTerm, 0, {}}, false, true, 0);
+  cache.Insert(DecisionKey{0, CheckKind::kImmediate, 0, {}}, true, false,
+               VersionStamp{1}, 1);
+  cache.Insert(DecisionKey{0, CheckKind::kImmediate, 1, {}}, true, false,
+               VersionStamp{2}, 2);
+  cache.Insert(DecisionKey{0, CheckKind::kLongTerm, 0, {}}, false, true,
+               VersionStamp{0}, 0);
   EXPECT_EQ(cache.size(), 3u);
-  EXPECT_EQ(cache.EvictStale(2), 1u);  // only the epoch-1 entry goes
+  // Current stamp is {2} for every key: only the {1}-stamped entry goes.
+  EXPECT_EQ(cache.EvictStale([](const DecisionKey&) {
+    return VersionStamp{2};
+  }),
+            1u);
   EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(DecisionCacheTest, LruCapEvictsColdestEntries) {
+  DecisionCache cache(/*capacity=*/2);
+  DecisionKey k0{0, CheckKind::kImmediate, 0, {}};
+  DecisionKey k1{0, CheckKind::kImmediate, 1, {}};
+  DecisionKey k2{0, CheckKind::kImmediate, 2, {}};
+  cache.Insert(k0, true, false, VersionStamp{1}, 1);
+  cache.Insert(k1, true, false, VersionStamp{1}, 1);
+  // Touch k0 so k1 is the LRU tail when k2 overflows the cache.
+  EXPECT_EQ(cache.Lookup(k0, VersionStamp{1}, 1).status,
+            DecisionCache::ProbeStatus::kHit);
+  cache.Insert(k2, false, false, VersionStamp{1}, 1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(k1, VersionStamp{1}, 1).status,
+            DecisionCache::ProbeStatus::kMiss);
+  EXPECT_EQ(cache.Lookup(k0, VersionStamp{1}, 1).status,
+            DecisionCache::ProbeStatus::kHit);
+  EXPECT_EQ(cache.Lookup(k2, VersionStamp{1}, 1).status,
+            DecisionCache::ProbeStatus::kHit);
+}
+
+// -------------------------------------------------------- version vectors
+
+TEST(VersionVectorTest, FootprintStampsSelectSubVectors) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d = schema->AddDomain("D");
+  RelationId r = *schema->AddRelation("R", std::vector<DomainId>{d});
+  RelationId s = *schema->AddRelation("S", std::vector<DomainId>{d});
+  Configuration conf(schema.get());
+  Value a = schema->InternConstant("a");
+  Value b = schema->InternConstant("b");
+  conf.AddSeedConstant(a, d);
+
+  VersionVector v0 = conf.Versions();
+  EXPECT_EQ(v0.relation(r), 0u);
+  EXPECT_EQ(v0.adom, 1u);
+
+  // Growing S moves S's version (and Adom, via the fresh value b) but not
+  // R's — the footprint stamp of an R-only, Adom-insensitive artifact is
+  // unchanged, while the Adom-sensitive stamp moves.
+  conf.AddFact(Fact(s, {b}));
+  VersionVector v1 = conf.Versions();
+  EXPECT_EQ(v1.relation(s), 1u);
+  EXPECT_EQ(v1.adom, 2u);
+  EXPECT_GT(v1.global(), v0.global());
+  EXPECT_NE(v1.Fingerprint(), v0.Fingerprint());
+
+  RelationFootprint r_only;
+  r_only.Add(r);
+  EXPECT_EQ(r_only.StampFrom(v0), r_only.StampFrom(v1));
+  RelationFootprint r_adom = r_only;
+  r_adom.adom_sensitive = true;
+  EXPECT_NE(r_adom.StampFrom(v0), r_adom.StampFrom(v1));
+
+  // The engine's lock-free mirror agrees with the configuration.
+  AccessMethodSet acs(schema.get());
+  (void)*acs.Add("s_free", s, {}, /*dependent=*/false);
+  RelevanceEngine engine(*schema, acs, conf);
+  EXPECT_EQ(engine.versions(), conf.Versions());
+  EXPECT_EQ(engine.relation_version(s), 1u);
+  EXPECT_EQ(engine.adom_version(), 2u);
 }
 
 // -------------------------------------------------------------- frontier
@@ -303,7 +388,7 @@ void RunAgreementStream(double independent_prob, uint64_t first_seed,
       auto added = engine.ApplyResponse(apply, *response);
       ASSERT_TRUE(added.ok()) << added.status().ToString();
       for (const Fact& f : *response) mirror.AddFact(f);
-      ASSERT_EQ(engine.config().NumFacts(), mirror.NumFacts());
+      ASSERT_EQ(engine.SnapshotConfig().NumFacts(), mirror.NumFacts());
     }
   }
 }
@@ -384,6 +469,92 @@ TEST(RelevanceEngineTest, CacheInvalidationAfterGrowth) {
   EXPECT_EQ(stats.epoch_advances, 2u);
 }
 
+// The tentpole property: verdict validity is keyed on the check's relation
+// footprint, so growth of a disjoint relation group leaves cached verdicts
+// servable, Adom growth revalidates only the Adom-sensitive (LTR) ones,
+// and footprint growth invalidates with per-relation attribution.
+TEST(RelevanceEngineTest, FootprintDisjointGrowthPreservesCachedVerdicts) {
+  MultiRelationFamily f = MakeMultiRelationFamily(/*groups=*/2,
+                                                  /*values_per_group=*/4);
+  const Scenario& s = f.scenario;
+  RelevanceEngine engine(*s.schema, s.acs, s.conf);
+  QueryId q0 = *engine.RegisterQuery(f.queries[0]);
+
+  const AccessMethodId a0 = s.acs.Find("a0");
+  const AccessMethodId a1 = s.acs.Find("a1");
+  const RelationId rel_a0 = f.group_relations[0][0];
+  const RelationId rel_a1 = f.group_relations[1][0];
+  const Value c00 = s.schema->InternConstant("c0_0");
+  const Value c01 = s.schema->InternConstant("c0_1");
+  const Value c10 = s.schema->InternConstant("c1_0");
+  const Value c11 = s.schema->InternConstant("c1_1");
+  const Access probe{a0, {c00}};
+
+  CheckOutcome ir = engine.CheckImmediate(q0, probe);
+  EXPECT_FALSE(ir.from_cache);
+  CheckOutcome ltr = engine.CheckLongTerm(q0, probe);
+  ASSERT_TRUE(ltr.ok());
+  EXPECT_FALSE(ltr.from_cache);
+
+  // Growth of group 1 (disjoint from q0's footprint) using only existing
+  // values: the global epoch advances, but neither q0's footprint versions
+  // nor the Adom version move — both verdicts are served from cache.
+  const uint64_t epoch_before = engine.epoch();
+  ASSERT_TRUE(
+      engine.ApplyResponse(Access{a1, {c10}}, {Fact(rel_a1, {c10, c11})})
+          .ok());
+  EXPECT_GT(engine.epoch(), epoch_before);
+  CheckOutcome ir2 = engine.CheckImmediate(q0, probe);
+  EXPECT_TRUE(ir2.from_cache) << "disjoint growth must not invalidate IR";
+  EXPECT_EQ(ir2.relevant, ir.relevant);
+  CheckOutcome ltr2 = engine.CheckLongTerm(q0, probe);
+  ASSERT_TRUE(ltr2.ok());
+  EXPECT_TRUE(ltr2.from_cache) << "disjoint growth must not invalidate LTR";
+  EXPECT_EQ(ltr2.relevant, ltr.relevant);
+  EXPECT_GE(engine.stats().cross_epoch_hits, 2u);
+
+  // Growth of group 1 with a value new to the active domain: the Adom
+  // version moves, so the Adom-sensitive LTR verdict is revalidated while
+  // the IR verdict (facts-only footprint) stays cached.
+  const Value fresh = s.schema->InternConstant("c1_fresh");
+  ASSERT_TRUE(
+      engine.ApplyResponse(Access{a1, {c10}}, {Fact(rel_a1, {c10, fresh})})
+          .ok());
+  CheckOutcome ir3 = engine.CheckImmediate(q0, probe);
+  EXPECT_TRUE(ir3.from_cache) << "Adom growth must not invalidate IR";
+  CheckOutcome ltr3 = engine.CheckLongTerm(q0, probe);
+  ASSERT_TRUE(ltr3.ok());
+  EXPECT_FALSE(ltr3.from_cache) << "Adom growth must revalidate LTR";
+  EXPECT_EQ(ltr3.relevant, ltr.relevant);
+
+  // Growth inside the footprint invalidates, attributed to the relation
+  // that moved.
+  ASSERT_TRUE(
+      engine.ApplyResponse(Access{a0, {c01}}, {Fact(rel_a0, {c01, c00})})
+          .ok());
+  CheckOutcome ir4 = engine.CheckImmediate(q0, probe);
+  EXPECT_FALSE(ir4.from_cache) << "footprint growth must invalidate IR";
+  EngineStats st = engine.stats();
+  ASSERT_EQ(st.invalidations_by_relation.size(),
+            s.schema->num_relations() + 1);
+  EXPECT_GE(st.invalidations_by_relation[rel_a0], 1u);
+  EXPECT_GE(st.stale_invalidations, 1u);
+
+  // Baseline contrast: with footprint invalidation off (global-epoch
+  // stamping), the same disjoint growth destroys the cached verdict.
+  EngineOptions global_opts;
+  global_opts.footprint_invalidation = false;
+  RelevanceEngine baseline(*s.schema, s.acs, s.conf, global_opts);
+  QueryId b0 = *baseline.RegisterQuery(f.queries[0]);
+  EXPECT_FALSE(baseline.CheckImmediate(b0, probe).from_cache);
+  EXPECT_TRUE(baseline.CheckImmediate(b0, probe).from_cache);
+  ASSERT_TRUE(
+      baseline.ApplyResponse(Access{a1, {c10}}, {Fact(rel_a1, {c10, c11})})
+          .ok());
+  EXPECT_FALSE(baseline.CheckImmediate(b0, probe).from_cache)
+      << "global-epoch baseline invalidates on any growth";
+}
+
 TEST(RelevanceEngineTest, BatchAgreesWithSequentialAcrossThreads) {
   Rng rng(77);
   CliqueFamily family = MakeCliqueFamily(&rng, 3, 8, 0.4);
@@ -452,7 +623,7 @@ TEST(RelevanceEngineTest, RejectsMalformedResponses) {
   // Wrong relation entirely.
   EXPECT_FALSE(engine.ApplyResponse(Access{free_m, {}}, {Fact(s, {a})}).ok());
   // The configuration stayed clean and a valid response still applies.
-  EXPECT_EQ(engine.config().NumFacts(), 0u);
+  EXPECT_EQ(engine.SnapshotConfig().NumFacts(), 0u);
   auto ok = engine.ApplyResponse(Access{free_m, {}}, {Fact(r, {a, a})});
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
   EXPECT_EQ(*ok, 1);

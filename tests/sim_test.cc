@@ -103,6 +103,50 @@ TEST(MediatorTest, RelevanceFilterSavesAccessesOverCrawl) {
   EXPECT_LE(guided->accesses_performed, crawl->accesses_performed);
 }
 
+// Pipelining changes scheduling, never answers: both mediator loops must
+// reach the same verdict as their serialized counterparts (possibly via a
+// few extra sound accesses from checking one response behind).
+TEST(MediatorTest, PipelinedModeReachesTheSameAnswers) {
+  MediatorOptions serial;
+  serial.max_rounds = 256;
+  MediatorOptions piped = serial;
+  piped.pipelined = true;
+
+  for (const bool satisfiable : {true, false}) {
+    Rng scenario_rng(42);
+    BankOptions sopts;
+    sopts.num_employees = 8;
+    sopts.loan_officer_in_illinois = satisfiable;
+    BankScenario scenario = MakeBankScenario(&scenario_rng, sopts);
+    Mediator mediator(*scenario.base.schema, scenario.base.acs);
+    DeepWebSource source_a(scenario.base.schema.get(), &scenario.base.acs,
+                           scenario.hidden);
+    auto serialized = mediator.AnswerBoolean(scenario.query,
+                                             scenario.base.conf, &source_a,
+                                             serial);
+    DeepWebSource source_b(scenario.base.schema.get(), &scenario.base.acs,
+                           scenario.hidden);
+    auto pipelined = mediator.AnswerBoolean(scenario.query,
+                                            scenario.base.conf, &source_b,
+                                            piped);
+    ASSERT_TRUE(serialized.ok());
+    ASSERT_TRUE(pipelined.ok());
+    EXPECT_EQ(pipelined->answered, serialized->answered)
+        << "satisfiable=" << satisfiable;
+    if (pipelined->answered) {
+      EXPECT_TRUE(EvalBool(scenario.query, pipelined->final_conf));
+    }
+
+    auto crawl_serial = mediator.ExhaustiveCrawl(
+        scenario.query, scenario.base.conf, &source_a, serial);
+    auto crawl_piped = mediator.ExhaustiveCrawl(
+        scenario.query, scenario.base.conf, &source_b, piped);
+    ASSERT_TRUE(crawl_serial.ok());
+    ASSERT_TRUE(crawl_piped.ok());
+    EXPECT_EQ(crawl_piped->answered, crawl_serial->answered);
+  }
+}
+
 TEST(MediatorTest, AgreesWithDirectEvaluationOnRandomScenarios) {
   // The mediator's final answer must match evaluating the query over the
   // accessible part of the hidden instance (exact responses): answering
