@@ -1,0 +1,152 @@
+// Overlay vs copy truncation configurations for LTR checks.
+//
+// The Prop 4.3 / Thm 4.2 deciders evaluate the query over a *truncation
+// configuration* — Conf plus a handful of hypothetically-witnessed facts.
+// Before the ConfigView refactor every candidate materialized that
+// truncation by deep-copying Conf (stores, dedup sets, indexes, Adom):
+// O(|Conf|) per candidate inside an exponential enumeration. The overlay
+// builds it in O(|Δ|). This bench sweeps |Conf| ∈ {1k, 10k, 100k} facts
+// and times one truncation-check (build + EvalBool) per mode, plus the
+// end-to-end overlay-backed decider, emitting one JSON line per point:
+//
+//   {"bench":"ltr_overlay","conf_facts":10000,"copy_ns":...,
+//    "overlay_ns":...,"speedup":...,"decider_ns":...,"relevant":true}
+//
+// The copy mode replicates the status-quo fast path (copy Conf, add the
+// later-witnessed subgoals, evaluate); the overlay mode is what
+// LtrSingleOccurrenceFastPath / LtrIndepSearch::CheckPartition now do.
+// Usage: bench_ltr_overlay [--max_facts=N]  (CI smoke passes 1000).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "query/eval.h"
+#include "relational/configuration.h"
+#include "relational/overlay.h"
+#include "relevance/relevance.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double NsPerIter(const Clock::time_point& t0, const Clock::time_point& t1,
+                 long iters) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+             .count() /
+         static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rar;
+  long max_facts = 100000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max_facts=", 12) == 0) {
+      max_facts = std::atol(argv[i] + 12);
+    }
+  }
+
+  for (long n : {1000L, 10000L, 100000L}) {
+    if (n > max_facts) continue;
+
+    // Schema R(D,D), S(D,D); independent methods on both; the query
+    // R(x,y) ∧ S(y,z) is single-occurrence in R, so the real decider runs
+    // exactly one truncation check per LTR call (the Prop 4.3 fast path).
+    Schema schema;
+    DomainId d = schema.AddDomain("D");
+    RelationId r = *schema.AddRelation("R", {{"a", d}, {"b", d}});
+    RelationId s_rel = *schema.AddRelation("S", {{"a", d}, {"b", d}});
+    AccessMethodSet acs(&schema);
+    AccessMethodId mr = *acs.Add("r", r, {0}, /*dependent=*/false);
+    (void)*acs.Add("s", s_rel, {0}, /*dependent=*/false);
+
+    // n facts, no R-S join anywhere (the query stays false, so every LTR
+    // check does real truncation work).
+    Configuration conf(&schema);
+    for (long i = 0; i < n / 2; ++i) {
+      const std::string t = std::to_string(i);
+      conf.AddFact(Fact(r, {schema.InternConstant("ra" + t),
+                            schema.InternConstant("rb" + t)}));
+      conf.AddFact(Fact(s_rel, {schema.InternConstant("sa" + t),
+                                schema.InternConstant("sb" + t)}));
+    }
+
+    // The R subgoal is anchored on a constant so evaluation is index-
+    // narrowed (O(1) candidates): the measured difference is then the
+    // truncation *build* — O(|Conf|) copy vs O(|Δ|) overlay — not an
+    // evaluation scan both modes share.
+    ConjunctiveQuery q;
+    VarId y = q.AddVar("y", d);
+    VarId z = q.AddVar("z", d);
+    q.atoms.push_back(Atom{
+        r, {Term::MakeConst(schema.InternConstant("ra0")), Term::MakeVar(y)}});
+    q.atoms.push_back(Atom{s_rel, {Term::MakeVar(y), Term::MakeVar(z)}});
+    UnionQuery uq;
+    uq.disjuncts.push_back(q);
+
+    Access access{mr, {schema.InternConstant("ra0")}};
+    // The truncation delta of the fast path: the S subgoal grounded
+    // maximally fresh.
+    const Fact delta(s_rel, {Value::Null(1000001), Value::Null(1000002)});
+
+    // Status-quo copy truncation: deep-copy Conf per candidate.
+    long copy_iters = 0;
+    Clock::time_point t0 = Clock::now();
+    Clock::time_point t1;
+    bool copy_verdict = false;
+    do {
+      Configuration truncation = conf;
+      truncation.AddFact(delta);
+      copy_verdict = !EvalBool(uq, truncation);
+      ++copy_iters;
+      t1 = Clock::now();
+    } while (t1 - t0 < std::chrono::milliseconds(200) && copy_iters < 1000);
+    const double copy_ns = NsPerIter(t0, t1, copy_iters);
+
+    // Overlay truncation: Reset + O(|Δ|) per candidate.
+    OverlayConfiguration overlay(&conf);
+    long overlay_iters = 0;
+    bool overlay_verdict = false;
+    t0 = Clock::now();
+    do {
+      overlay.Reset();
+      overlay.AddFact(delta);
+      overlay_verdict = !EvalBool(uq, overlay);
+      ++overlay_iters;
+      t1 = Clock::now();
+    } while (t1 - t0 < std::chrono::milliseconds(200) &&
+             overlay_iters < 200000);
+    const double overlay_ns = NsPerIter(t0, t1, overlay_iters);
+
+    // End-to-end overlay-backed decider (what the engine runs per check).
+    RelevanceAnalyzer analyzer(schema, acs);
+    long decider_iters = 0;
+    bool relevant = false;
+    t0 = Clock::now();
+    do {
+      Result<bool> v = analyzer.LongTerm(conf, access, uq);
+      relevant = v.ok() && *v;
+      ++decider_iters;
+      t1 = Clock::now();
+    } while (t1 - t0 < std::chrono::milliseconds(200) &&
+             decider_iters < 200000);
+    const double decider_ns = NsPerIter(t0, t1, decider_iters);
+
+    if (copy_verdict != overlay_verdict) {
+      std::fprintf(stderr, "verdict mismatch at n=%ld\n", n);
+      return 1;
+    }
+    std::printf(
+        "{\"bench\":\"ltr_overlay\",\"conf_facts\":%ld,\"copy_ns\":%.0f,"
+        "\"overlay_ns\":%.0f,\"speedup\":%.1f,\"decider_ns\":%.0f,"
+        "\"relevant\":%s}\n",
+        n, copy_ns, overlay_ns, copy_ns / overlay_ns, decider_ns,
+        relevant ? "true" : "false");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -109,7 +109,7 @@ std::string Access::ToString(const Schema& schema,
   return out;
 }
 
-Status CheckWellFormed(const Configuration& conf, const AccessMethodSet& acs,
+Status CheckWellFormed(const ConfigView& conf, const AccessMethodSet& acs,
                        const Access& access) {
   if (access.method >= acs.size()) {
     return Status::NotFound("access method id out of range");

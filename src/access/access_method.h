@@ -113,7 +113,7 @@ struct Access {
 /// exists, the binding has the right width, and — for dependent methods —
 /// every binding value inhabits the corresponding attribute domain in
 /// Adom(conf).
-Status CheckWellFormed(const Configuration& conf, const AccessMethodSet& acs,
+Status CheckWellFormed(const ConfigView& conf, const AccessMethodSet& acs,
                        const Access& access);
 
 /// True iff `fact` is a possible response tuple for `access`: same relation

@@ -27,8 +27,9 @@ AccessiblePart ComputeAccessiblePart(const Configuration& instance,
       std::vector<int> sizes;
       bool feasible = true;
       for (int pos : m.input_positions) {
+        // Materialized: AddFact below grows the closure mid-iteration.
         slots.push_back(
-            out.closure.AdomOfDomain(rel.attributes[pos].domain));
+            out.closure.AdomOfDomain(rel.attributes[pos].domain).ToVector());
         sizes.push_back(static_cast<int>(slots.back().size()));
         if (slots.back().empty()) feasible = false;
       }

@@ -3,7 +3,7 @@
 namespace rar {
 
 Result<Configuration> AccessPath::Replay() const {
-  Configuration conf = initial_;
+  Configuration conf = MaterializeConfig(*initial_);
   for (const AccessStep& step : steps_) {
     RAR_ASSIGN_OR_RETURN(conf, ApplyAccess(conf, *acs_, step.access,
                                            step.response));
@@ -16,13 +16,13 @@ Result<AccessPath> AccessPath::Truncate() const {
     return Status::FailedPrecondition("cannot truncate an empty path");
   }
   AccessPath truncated(initial_, acs_);
-  Configuration conf = initial_;
+  OverlayConfiguration conf(initial_);
   for (size_t i = 1; i < steps_.size(); ++i) {
     const AccessStep& step = steps_[i];
-    Result<Configuration> next =
-        ApplyAccess(conf, *acs_, step.access, step.response);
-    if (!next.ok()) break;  // first ill-formed access ends the prefix
-    conf = std::move(next).value();
+    // First ill-formed access ends the prefix.
+    if (!CheckWellFormed(conf, *acs_, step.access).ok()) break;
+    if (!ValidateResponse(*acs_, step.access, step.response).ok()) break;
+    for (const Fact& f : step.response) conf.AddFact(f);
     truncated.Append(step);
   }
   return truncated;
@@ -33,9 +33,23 @@ Result<Configuration> AccessPath::ReplayTruncation() const {
   return truncated.Replay();
 }
 
+Status AccessPath::ReplayTruncationInto(OverlayConfiguration* out) const {
+  if (steps_.empty()) {
+    return Status::FailedPrecondition("cannot truncate an empty path");
+  }
+  out->Reset();
+  for (size_t i = 1; i < steps_.size(); ++i) {
+    const AccessStep& step = steps_[i];
+    if (!CheckWellFormed(*out, *acs_, step.access).ok()) break;
+    if (!ValidateResponse(*acs_, step.access, step.response).ok()) break;
+    for (const Fact& f : step.response) out->AddFact(f);
+  }
+  return Status::OK();
+}
+
 std::string AccessPath::ToString() const {
   std::string out;
-  const Schema& schema = *initial_.schema();
+  const Schema& schema = *initial_->schema();
   for (const AccessStep& step : steps_) {
     out += step.access.ToString(schema, *acs_);
     out += " -> {";

@@ -5,6 +5,12 @@
 // keeps the longest prefix of the remaining accesses that stays well-formed
 // — exactly the paper's definition. Long-term relevance compares certain
 // answers after a path with certain answers after its truncation.
+//
+// The initial configuration is *borrowed* (a ConfigView): paths are built
+// inside searches that must not copy the base per candidate. `Replay`
+// materializes; `ReplayTruncationInto` replays the truncation into a
+// caller-provided overlay so the brute-force LTR reference evaluates
+// truncations without copying the base either.
 #ifndef RAR_ACCESS_PATH_H_
 #define RAR_ACCESS_PATH_H_
 
@@ -13,6 +19,7 @@
 
 #include "access/access_method.h"
 #include "relational/configuration.h"
+#include "relational/overlay.h"
 #include "util/status.h"
 
 namespace rar {
@@ -23,17 +30,18 @@ struct AccessStep {
   std::vector<Fact> response;
 };
 
-/// \brief An access path: initial configuration + steps.
+/// \brief An access path: initial configuration (borrowed) + steps.
 ///
 /// Paths are data; `Replay` validates well-formedness step by step and
 /// produces the final configuration, so any engine-constructed witness can
-/// be independently re-checked against the Section 2 semantics.
+/// be independently re-checked against the Section 2 semantics. The
+/// borrowed initial view must outlive the path.
 class AccessPath {
  public:
-  AccessPath(Configuration initial, const AccessMethodSet* acs)
-      : initial_(std::move(initial)), acs_(acs) {}
+  AccessPath(const ConfigView* initial, const AccessMethodSet* acs)
+      : initial_(initial), acs_(acs) {}
 
-  const Configuration& initial() const { return initial_; }
+  const ConfigView& initial() const { return *initial_; }
   const std::vector<AccessStep>& steps() const { return steps_; }
   size_t size() const { return steps_.size(); }
 
@@ -46,22 +54,28 @@ class AccessPath {
   }
 
   /// Replays the whole path, checking each access is well-formed at the
-  /// configuration reached so far; returns the final configuration.
+  /// configuration reached so far; returns the final configuration
+  /// (materialized from the initial view).
   Result<Configuration> Replay() const;
 
   /// The paper's truncation: drop the first access, then keep the longest
   /// prefix of the remaining steps (with their original responses) in which
   /// every access is well-formed at the evolving configuration. Returns the
-  /// truncated path (possibly empty). Requires a non-empty path.
+  /// truncated path (possibly empty; shares the initial view). Requires a
+  /// non-empty path.
   Result<AccessPath> Truncate() const;
 
   /// Final configuration of the truncation (initial config when empty).
   Result<Configuration> ReplayTruncation() const;
 
+  /// Zero-copy variant: resets `out` (an overlay whose base must be this
+  /// path's initial view) and replays the truncation into its delta.
+  Status ReplayTruncationInto(OverlayConfiguration* out) const;
+
   std::string ToString() const;
 
  private:
-  Configuration initial_;
+  const ConfigView* initial_;
   const AccessMethodSet* acs_;
   std::vector<AccessStep> steps_;
 };

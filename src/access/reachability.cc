@@ -49,7 +49,7 @@ void MakeAccessible(const Schema& schema, const Fact& fact,
 
 }  // namespace
 
-ReachResult CheckSetReachability(const Configuration& conf,
+ReachResult CheckSetReachability(const ConfigView& conf,
                                  const AccessMethodSet& acs,
                                  const std::vector<Fact>& facts) {
   const Schema& schema = *acs.schema();
@@ -117,7 +117,7 @@ ReachResult CheckSetReachability(const Configuration& conf,
 }
 
 Result<std::vector<AccessStep>> BuildRealizingSteps(
-    const Configuration& conf, const AccessMethodSet& acs,
+    const ConfigView& conf, const AccessMethodSet& acs,
     const std::vector<Fact>& facts) {
   ReachResult reach = CheckSetReachability(conf, acs, facts);
   if (!reach.reachable) {
@@ -137,7 +137,7 @@ Result<std::vector<AccessStep>> BuildRealizingSteps(
   return steps;
 }
 
-std::unordered_set<DomainId> ProducibleDomains(const Configuration& conf,
+std::unordered_set<DomainId> ProducibleDomains(const ConfigView& conf,
                                                const AccessMethodSet& acs) {
   const Schema& schema = *acs.schema();
   std::unordered_set<DomainId> inhabited;

@@ -53,21 +53,21 @@ struct ReachResult {
 /// Independent methods accept arbitrary input values (the paper's "free
 /// guess", remark (iii) of Section 4); dependent methods require every
 /// input to be accessible in the input attribute's domain.
-ReachResult CheckSetReachability(const Configuration& conf,
+ReachResult CheckSetReachability(const ConfigView& conf,
                                  const AccessMethodSet& acs,
                                  const std::vector<Fact>& facts);
 
 /// Builds an explicit access path realizing a reachable fact set (one
 /// access per fact, in the greedy order). Fails if the set is unreachable.
 Result<std::vector<AccessStep>> BuildRealizingSteps(
-    const Configuration& conf, const AccessMethodSet& acs,
+    const ConfigView& conf, const AccessMethodSet& acs,
     const std::vector<Fact>& facts);
 
 /// The domains in which fresh values can be produced from `conf`: the least
 /// fixpoint of "some access method has all dependent input domains already
 /// producible-or-inhabited, and the domain appears among its non-input
 /// attributes". Independent methods need no inhabited inputs.
-std::unordered_set<DomainId> ProducibleDomains(const Configuration& conf,
+std::unordered_set<DomainId> ProducibleDomains(const ConfigView& conf,
                                                const AccessMethodSet& acs);
 
 }  // namespace rar

@@ -5,6 +5,7 @@
 
 #include "query/eval.h"
 #include "query/structure.h"
+#include "relational/overlay.h"
 #include "util/combinatorics.h"
 
 namespace rar {
@@ -31,11 +32,11 @@ namespace {
 class IndependentDisjunctSearch {
  public:
   IndependentDisjunctSearch(const Schema& schema, const AccessMethodSet& acs,
-                            const Configuration& conf,
+                            const ConfigView& conf,
                             const ConjunctiveQuery& d, const UnionQuery& q2,
                             WitnessSearchStats* stats)
       : schema_(schema), acs_(acs), conf_(conf), d_(d), q2_(q2),
-        stats_(stats) {}
+        stats_(stats), extended_(&conf) {}
 
   bool Run(std::vector<Fact>* witness_facts) {
     // Split atoms by whether their relation is accessible at all.
@@ -67,14 +68,15 @@ class IndependentDisjunctSearch {
       for (int v = 0; v < d_.num_vars(); ++v) {
         assignment[v] = pinned[v] ? fixed_assignment[v] : nulls.Fresh();
       }
-      std::vector<Fact> fresh_facts;
-      Configuration extended = conf_;
+      // The frozen atoms are overlaid onto the (uncopied) base; the delta
+      // is exactly the fresh-fact set a witness reports.
+      extended_.Reset();
       for (const Fact& f : GroundAtoms(d_, assignment, free_atoms)) {
-        if (extended.AddFact(f)) fresh_facts.push_back(f);
+        extended_.AddFact(f);
       }
       ++stats_->q2_checks;
-      if (!EvalBool(q2_, extended)) {
-        *witness_facts = std::move(fresh_facts);
+      if (!EvalBool(q2_, extended_)) {
+        *witness_facts = extended_.DeltaFacts();
         return true;
       }
       return false;
@@ -90,10 +92,11 @@ class IndependentDisjunctSearch {
  private:
   const Schema& schema_;
   const AccessMethodSet& acs_;
-  const Configuration& conf_;
+  const ConfigView& conf_;
   const ConjunctiveQuery& d_;
   const UnionQuery& q2_;
   WitnessSearchStats* stats_;
+  OverlayConfiguration extended_;
 };
 
 // ---------------------------------------------------------------------------
@@ -103,12 +106,13 @@ class IndependentDisjunctSearch {
 class DependentDisjunctSearch {
  public:
   DependentDisjunctSearch(const Schema& schema, const AccessMethodSet& acs,
-                          const Configuration& conf,
+                          const ConfigView& conf,
                           const ConjunctiveQuery& d, const UnionQuery& q2,
                           const ContainmentOptions& options,
                           WitnessSearchStats* stats)
       : schema_(schema), acs_(acs), conf_(conf), d_(d), q2_(q2),
-        options_(options), stats_(stats), assignment_(d.num_vars()) {}
+        options_(options), stats_(stats), assignment_(d.num_vars()),
+        working_(&conf) {}
 
   bool Run(std::vector<Fact>* witness_facts) {
     witness_facts_ = witness_facts;
@@ -159,27 +163,26 @@ class DependentDisjunctSearch {
 
   bool TryPattern() {
     ++stats_->patterns_tried;
-    // The pattern's fact set S, deduplicated; facts over method-less
-    // relations must already be in Conf.
+    // The pattern's fact set S, deduplicated and overlaid onto the
+    // (uncopied) base; facts over method-less relations must already be in
+    // Conf. Facts the configuration already contains need no placement and
+    // stay out of S (CheckSetReachability would skip them anyway).
+    working_.Reset();
     std::vector<Fact> s;
-    {
-      std::unordered_set<Fact, FactHash> seen;
-      for (Fact& f : GroundAtoms(d_, assignment_)) {
-        if (!acs_.HasMethod(f.relation) && !conf_.Contains(f)) return false;
-        if (seen.insert(f).second) s.push_back(std::move(f));
-      }
+    for (Fact& f : GroundAtoms(d_, assignment_)) {
+      if (!acs_.HasMethod(f.relation) && !conf_.Contains(f)) return false;
+      if (working_.AddFact(f)) s.push_back(std::move(f));
     }
-    Configuration working = conf_;
-    for (const Fact& f : s) working.AddFact(f);
     ++stats_->q2_checks;
-    if (EvalBool(q2_, working)) return false;  // monotone: branch is dead
-    return AuxSearch(&s, &working, 0);
+    if (EvalBool(q2_, working_)) return false;  // monotone: branch is dead
+    return AuxSearch(&s, 0);
   }
 
   // One step of the auxiliary search: if S is schedulable we have a witness
   // (Q2 is already known false on conf ∪ S); otherwise branch over every
-  // auxiliary response fact placeable at the greedy fixpoint.
-  bool AuxSearch(std::vector<Fact>* s, Configuration* working, int aux_used) {
+  // auxiliary response fact placeable at the greedy fixpoint. `working_`
+  // mirrors conf ∪ S via AddFact/PopFact (LIFO with the recursion).
+  bool AuxSearch(std::vector<Fact>* s, int aux_used) {
     if (!BudgetOk()) return false;
     ReachResult reach = CheckSetReachability(conf_, acs_, *s);
     if (reach.reachable) {
@@ -267,17 +270,20 @@ class DependentDisjunctSearch {
           introduces_new = introduces_new || sc.kind != SlotKind::kOld;
         }
         if (!introduces_new) return false;
-        if (working->Contains(aux)) return false;
+        if (working_.Contains(aux)) return false;
         ++stats_->aux_facts_tried;
         if (!BudgetOk()) return false;
 
-        Configuration next_working = *working;
-        next_working.AddFact(aux);
+        working_.AddFact(aux);
         ++stats_->q2_checks;
-        if (EvalBoolDelta(q2_, next_working, aux)) return false;  // pruned
+        if (EvalBoolDelta(q2_, working_, aux)) {  // pruned
+          working_.PopFact();
+          return false;
+        }
         s->push_back(aux);
-        bool ok = AuxSearch(s, &next_working, aux_used + 1);
+        bool ok = AuxSearch(s, aux_used + 1);
         s->pop_back();
+        working_.PopFact();
         return ok;
       });
       if (found) return true;
@@ -287,7 +293,7 @@ class DependentDisjunctSearch {
 
   const Schema& schema_;
   const AccessMethodSet& acs_;
-  const Configuration& conf_;
+  const ConfigView& conf_;
   const ConjunctiveQuery& d_;
   const UnionQuery& q2_;
   const ContainmentOptions& options_;
@@ -295,6 +301,7 @@ class DependentDisjunctSearch {
 
   NullFactory nulls_;
   std::vector<Value> assignment_;
+  OverlayConfiguration working_;
   std::unordered_map<DomainId, std::vector<Value>> null_blocks_;
   std::vector<Fact>* witness_facts_ = nullptr;
 };
@@ -302,7 +309,7 @@ class DependentDisjunctSearch {
 }  // namespace
 
 Result<ContainmentDecision> ContainmentEngine::Contained(
-    const UnionQuery& q1, const UnionQuery& q2, const Configuration& conf,
+    const UnionQuery& q1, const UnionQuery& q2, const ConfigView& conf,
     const ContainmentOptions& options) {
   if (!q1.IsBoolean() || !q2.IsBoolean()) {
     return Status::InvalidArgument(
@@ -334,11 +341,12 @@ Result<ContainmentDecision> ContainmentEngine::Contained(
     if (!found) continue;
 
     decision.contained = false;
+    if (!options.build_witness) return decision;  // verdict-only callers
     NonContainmentWitness witness;
     witness.disjunct_index = static_cast<int>(di);
     RAR_ASSIGN_OR_RETURN(witness.steps,
                          BuildRealizingSteps(conf, acs_, witness_facts));
-    AccessPath path(conf, &acs_);
+    AccessPath path(&conf, &acs_);
     for (const AccessStep& step : witness.steps) path.Append(step);
     RAR_ASSIGN_OR_RETURN(witness.final_config, path.Replay());
     if (options.verify_witnesses) {
@@ -358,7 +366,7 @@ Result<ContainmentDecision> ContainmentEngine::Contained(
 
 Result<ContainmentDecision> ContainmentEngine::Contained(
     const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
-    const Configuration& conf, const ContainmentOptions& options) {
+    const ConfigView& conf, const ContainmentOptions& options) {
   UnionQuery u1, u2;
   u1.disjuncts.push_back(q1);
   u2.disjuncts.push_back(q2);
@@ -366,7 +374,7 @@ Result<ContainmentDecision> ContainmentEngine::Contained(
 }
 
 Result<ContainmentDecision> ContainmentEngine::Achievable(
-    const UnionQuery& q, const Configuration& conf,
+    const UnionQuery& q, const ConfigView& conf,
     const ContainmentOptions& options) {
   UnionQuery never;  // the empty union is false everywhere
   RAR_ASSIGN_OR_RETURN(ContainmentDecision contained_in_false,

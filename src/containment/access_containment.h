@@ -60,6 +60,11 @@ struct ContainmentOptions {
   long node_budget = 5000000;
   /// Re-verify every witness by replaying its access path (cheap; keep on).
   bool verify_witnesses = true;
+  /// Build the explicit NonContainmentWitness (realizing steps + replayed
+  /// final configuration) on refutation. Materializes the base
+  /// configuration, so callers that only consume the verdict — the LTR
+  /// deciders, whose check path must stay copy-free — turn it off.
+  bool build_witness = true;
 };
 
 /// \brief A concrete refutation of containment.
@@ -103,20 +108,20 @@ class ContainmentEngine {
   /// (see SeedQueryConstants).
   Result<ContainmentDecision> Contained(const UnionQuery& q1,
                                         const UnionQuery& q2,
-                                        const Configuration& conf,
+                                        const ConfigView& conf,
                                         const ContainmentOptions& options = {});
 
   /// Convenience overloads.
   Result<ContainmentDecision> Contained(const ConjunctiveQuery& q1,
                                         const ConjunctiveQuery& q2,
-                                        const Configuration& conf,
+                                        const ConfigView& conf,
                                         const ContainmentOptions& options = {});
 
   /// Achievability: is there a reachable configuration satisfying `q`?
   /// Equivalent to the negation of `q ⊑ false` (containment in the empty
   /// union); used by the general-access LTR extension.
   Result<ContainmentDecision> Achievable(const UnionQuery& q,
-                                         const Configuration& conf,
+                                         const ConfigView& conf,
                                          const ContainmentOptions& options = {});
 
  private:

@@ -260,12 +260,6 @@ std::vector<size_t> RelevanceEngine::StripesFor(
   return stripes;
 }
 
-std::vector<size_t> RelevanceEngine::AllStripes() const {
-  std::vector<size_t> stripes(stripe_count_);
-  for (size_t i = 0; i < stripe_count_; ++i) stripes[i] = i;
-  return stripes;
-}
-
 std::vector<std::shared_lock<std::shared_mutex>>
 RelevanceEngine::LockStripesShared(const std::vector<size_t>& stripes) const {
   std::vector<std::shared_lock<std::shared_mutex>> locks;
@@ -438,16 +432,25 @@ std::vector<CheckOutcome> RelevanceEngine::CheckBatch(
 
 std::vector<size_t> RelevanceEngine::StripesForCheck(
     QueryId id, CheckKind kind, AccessSpan accesses) const {
-  // LTR deciders copy the configuration structurally (canonical-truncation
-  // configs, containment instances), so they must exclude *every* writer,
-  // not just footprint ones; their cached validity is still footprint-
-  // stamped — physical locking and semantic dependence are different
-  // scopes.
-  if (kind == CheckKind::kLongTerm) return AllStripes();
+  // The deciders read through ConfigView overlays (no structural copy of
+  // the configuration), so a check pins exactly the relations it reads:
+  // the query's relations plus each probed access's relation. LTR checks
+  // therefore overlap footprint-disjoint applies just like IR checks do.
   RelationFootprint fp = queries_[id]->footprint;
   for (size_t i = 0; i < accesses.size; ++i) {
     AccessMethodId mid = accesses.data[i].method;
     if (mid < acs_.size()) fp.Add(acs_.method(mid).relation);
+  }
+  // With dependent methods in play, the LTR containment searches probe
+  // Contains() on any relation that has a method (auxiliary production
+  // facts of the witness chase), so those relations join the *lock*
+  // footprint. The verdict's cache stamp stays semantically footprint-
+  // narrow either way; with an all-independent ACS the lock footprint is
+  // exactly the semantic one.
+  if (kind == CheckKind::kLongTerm && !acs_.AllIndependent()) {
+    for (AccessMethodId mid = 0; mid < acs_.size(); ++mid) {
+      fp.Add(acs_.method(mid).relation);
+    }
   }
   return StripesFor(fp);
 }

@@ -20,7 +20,9 @@
 //  * sharded locking — state sits under per-relation striped reader/writer
 //    locks: `ApplyResponse` for relation R excludes only work whose
 //    footprint touches R, so applies overlap ("pipeline parallelism") with
-//    checks over disjoint footprints and with each other;
+//    checks over disjoint footprints (IR *and* LTR: the deciders read
+//    zero-copy overlay views, so nothing needs the whole configuration)
+//    and with each other;
 //  * batch + concurrent API — `CheckBatch` fans a span of accesses out
 //    over a worker pool;
 //  * scheduling — `CandidateAccesses` ranks the frontier by cached
@@ -91,9 +93,11 @@ struct CheckOutcome {
 /// Thread model (lock order: state_mu_ > adom_mu_ > stripes ascending >
 /// frontier_mu_ > leaf mutexes):
 ///  * Checks take `state_mu_` shared, `adom_mu_` shared, and the stripe
-///    locks of their footprint shared (IR) or every stripe shared (LTR —
-///    the LTR deciders structurally copy the configuration, even though
-///    their *result* depends only on footprint facts + Adom).
+///    locks of their footprint shared. LTR checks included: the deciders
+///    read through ConfigView overlays (relational/overlay.h) instead of
+///    copying the configuration, so they pin only the relations they read
+///    (plus, under dependent methods, relations with methods — the
+///    witness chase probes Contains() on those).
 ///  * `ApplyResponse` for relation R takes `state_mu_` shared, `adom_mu_`
 ///    shared — exclusive only when the response introduces values new to
 ///    the active domain — and stripe(R) exclusive. Applies to different
@@ -238,10 +242,11 @@ class RelevanceEngine {
 
   /// Sorted unique stripe indices covering a footprint's relations.
   std::vector<size_t> StripesFor(const RelationFootprint& fp) const;
-  std::vector<size_t> AllStripes() const;
 
-  /// The stripes a check must hold shared: the footprint's (IR) or every
-  /// stripe (LTR — the deciders copy the configuration structurally).
+  /// The stripes a check must hold shared: the footprint's relations plus,
+  /// for LTR under dependent methods, every relation with a method (the
+  /// witness chase probes Contains() on them). Never all stripes: the
+  /// deciders read through overlay views and copy nothing.
   std::vector<size_t> StripesForCheck(QueryId id, CheckKind kind,
                                       AccessSpan accesses) const;
 

@@ -31,15 +31,16 @@ void AccessFrontier::Sync(const Configuration& conf) {
       continue;
     }
 
-    // Per-slot value lists and the old/new split per slot.
-    std::vector<const std::vector<Value>*> slots(k);
+    // Per-slot value lists (borrowed views; conf is stable during Sync)
+    // and the old/new split per slot.
+    std::vector<ValueSeq> slots(k);
     std::vector<size_t> old_count(k);
     bool feasible = true;
     for (int j = 0; j < k; ++j) {
       DomainId dom = rel.attributes[m.input_positions[j]].domain;
-      slots[j] = &conf.AdomOfDomain(dom);
+      slots[j] = conf.AdomOfDomain(dom);
       old_count[j] = adom_seen_[dom];
-      if (slots[j]->empty()) feasible = false;
+      if (slots[j].empty()) feasible = false;
     }
     if (!feasible) continue;
 
@@ -50,7 +51,7 @@ void AccessFrontier::Sync(const Configuration& conf) {
     // covers the first Sync.)
     std::vector<Value> binding(k);
     for (int star = 0; star < k; ++star) {
-      if (old_count[star] >= slots[star]->size()) continue;  // no new values
+      if (old_count[star] >= slots[star].size()) continue;  // no new values
       std::vector<size_t> idx(k, 0);
       idx[star] = old_count[star];
       bool exhausted = false;
@@ -58,13 +59,13 @@ void AccessFrontier::Sync(const Configuration& conf) {
         if (old_count[j] == 0) exhausted = true;  // empty old prefix
       }
       while (!exhausted) {
-        for (int j = 0; j < k; ++j) binding[j] = (*slots[j])[idx[j]];
+        for (int j = 0; j < k; ++j) binding[j] = slots[j][idx[j]];
         Emit(mid, binding);
         // Odometer increment with per-slot bounds.
         int j = k - 1;
         while (j >= 0) {
           size_t lo = (j == star) ? old_count[star] : 0;
-          size_t hi = (j < star) ? old_count[j] : slots[j]->size();
+          size_t hi = (j < star) ? old_count[j] : slots[j].size();
           if (++idx[j] < hi) break;
           idx[j] = lo;
           --j;

@@ -12,9 +12,17 @@ namespace {
 // candidate facts), which keeps the search index-driven.
 class HomSearch {
  public:
-  HomSearch(const ConjunctiveQuery& cq, const Configuration& conf)
+  HomSearch(const ConjunctiveQuery& cq, const ConfigView& conf)
       : cq_(cq), conf_(conf), assignment_(cq.num_vars()),
-        assigned_(cq.num_vars(), false), matched_(cq.num_atoms(), false) {}
+        assigned_(cq.num_vars(), false), matched_(cq.num_atoms(), false) {
+    // Atom relations are fixed and the view is immutable for the search's
+    // duration, so the per-atom fact sequences are fetched once instead of
+    // per recursion node (FactsOf is a virtual call + segment-list copy).
+    atom_facts_.reserve(cq.num_atoms());
+    for (const Atom& atom : cq.atoms) {
+      atom_facts_.push_back(conf.FactsOf(atom.relation));
+    }
+  }
 
   bool Run(const std::function<bool(const std::vector<Value>&)>& fn) {
     return Rec(fn);
@@ -29,11 +37,6 @@ class HomSearch {
     return bound;
   }
 
-  // Candidate facts for `atom`: use the index on the first bound position
-  // when one exists, else a full scan of the relation.
-  const std::vector<Fact>& RelationFacts(const Atom& atom) const {
-    return conf_.FactsOf(atom.relation);
-  }
 
   bool TermBoundValue(const Term& t, Value* out) const {
     if (t.is_const()) {
@@ -69,13 +72,16 @@ class HomSearch {
     const Atom& atom = cq_.atoms[best];
     matched_[best] = true;
 
-    // Candidate selection: index on the first bound position if any.
-    const std::vector<Fact>& facts = RelationFacts(atom);
-    const std::vector<int>* narrowed = nullptr;
+    // Candidate selection: index on the first bound position if any. Both
+    // sequences read through the view (base segments, then delta).
+    const FactSeq& facts = atom_facts_[best];
+    IndexSeq narrowed;
+    bool have_narrowed = false;
     Value bound_value;
     for (int pos = 0; pos < atom.arity(); ++pos) {
       if (TermBoundValue(atom.terms[pos], &bound_value)) {
-        narrowed = &conf_.FactsWith(atom.relation, pos, bound_value);
+        narrowed = conf_.FactsWith(atom.relation, pos, bound_value);
+        have_narrowed = true;
         break;
       }
     }
@@ -103,8 +109,8 @@ class HomSearch {
     };
 
     bool stop = false;
-    if (narrowed != nullptr) {
-      for (int idx : *narrowed) {
+    if (have_narrowed) {
+      for (size_t idx : narrowed) {
         if (try_fact(facts[idx])) {
           stop = true;
           break;
@@ -123,7 +129,8 @@ class HomSearch {
   }
 
   const ConjunctiveQuery& cq_;
-  const Configuration& conf_;
+  const ConfigView& conf_;
+  std::vector<FactSeq> atom_facts_;  ///< FactsOf(atom.relation), per atom
   std::vector<Value> assignment_;
   std::vector<bool> assigned_;
   std::vector<bool> matched_;
@@ -132,25 +139,25 @@ class HomSearch {
 }  // namespace
 
 bool ForEachHomomorphism(
-    const ConjunctiveQuery& cq, const Configuration& conf,
+    const ConjunctiveQuery& cq, const ConfigView& conf,
     const std::function<bool(const std::vector<Value>&)>& fn) {
   HomSearch search(cq, conf);
   return search.Run(fn);
 }
 
-bool EvalBool(const ConjunctiveQuery& cq, const Configuration& conf) {
+bool EvalBool(const ConjunctiveQuery& cq, const ConfigView& conf) {
   return ForEachHomomorphism(cq, conf,
                              [](const std::vector<Value>&) { return true; });
 }
 
-bool EvalBool(const UnionQuery& uq, const Configuration& conf) {
+bool EvalBool(const UnionQuery& uq, const ConfigView& conf) {
   for (const ConjunctiveQuery& d : uq.disjuncts) {
     if (EvalBool(d, conf)) return true;
   }
   return false;
 }
 
-bool FindHomomorphism(const ConjunctiveQuery& cq, const Configuration& conf,
+bool FindHomomorphism(const ConjunctiveQuery& cq, const ConfigView& conf,
                       std::vector<Value>* assignment) {
   bool found = ForEachHomomorphism(cq, conf,
                                    [&](const std::vector<Value>& a) {
@@ -160,7 +167,7 @@ bool FindHomomorphism(const ConjunctiveQuery& cq, const Configuration& conf,
   return found;
 }
 
-bool EvalBoolDelta(const UnionQuery& uq, const Configuration& conf,
+bool EvalBoolDelta(const UnionQuery& uq, const ConfigView& conf,
                    const Fact& new_fact) {
   for (const ConjunctiveQuery& d : uq.disjuncts) {
     for (int i = 0; i < d.num_atoms(); ++i) {
@@ -192,7 +199,7 @@ bool EvalBoolDelta(const UnionQuery& uq, const Configuration& conf,
 }
 
 std::set<std::vector<Value>> CertainAnswers(const UnionQuery& uq,
-                                            const Configuration& conf) {
+                                            const ConfigView& conf) {
   std::set<std::vector<Value>> answers;
   for (const ConjunctiveQuery& d : uq.disjuncts) {
     ForEachHomomorphism(d, conf, [&](const std::vector<Value>& a) {

@@ -1,10 +1,15 @@
-// Query evaluation over configurations (the homomorphism engine).
+// Query evaluation over configuration views (the homomorphism engine).
 //
 // Boolean CQ evaluation is a search for a homomorphism from the query atoms
 // into the configuration's facts — NP-complete in combined complexity,
 // polynomial for a fixed query (the paper's data-complexity claims lean on
 // this). The engine uses greedy most-bound-first atom ordering with
 // index-backed candidate lookup.
+//
+// Evaluation reads through the ConfigView interface, so it is oblivious to
+// whether the configuration is materialized (`Configuration`) or a base-
+// plus-delta snapshot (`OverlayConfiguration`) — the deciders build their
+// truncation configurations as overlays and evaluate in place.
 //
 // Certain answers: positive queries are monotone and `Conf` itself is the
 // least instance consistent with `Conf`, so a Boolean positive query is
@@ -18,31 +23,31 @@
 #include <vector>
 
 #include "query/query.h"
-#include "relational/configuration.h"
+#include "relational/config_view.h"
 
 namespace rar {
 
-/// Decides whether a Boolean CQ holds on a configuration.
-bool EvalBool(const ConjunctiveQuery& cq, const Configuration& conf);
+/// Decides whether a Boolean CQ holds on a configuration view.
+bool EvalBool(const ConjunctiveQuery& cq, const ConfigView& conf);
 
 /// Decides whether a Boolean UCQ holds (some disjunct holds).
-bool EvalBool(const UnionQuery& uq, const Configuration& conf);
+bool EvalBool(const UnionQuery& uq, const ConfigView& conf);
 
 /// Finds one homomorphism (full variable assignment) of `cq` into `conf`;
 /// returns false when none exists.
-bool FindHomomorphism(const ConjunctiveQuery& cq, const Configuration& conf,
+bool FindHomomorphism(const ConjunctiveQuery& cq, const ConfigView& conf,
                       std::vector<Value>* assignment);
 
 /// Enumerates homomorphisms of `cq` into `conf`, invoking `fn` for each
 /// full assignment. Enumeration stops (returning true) when `fn` returns
 /// true; returns false after exhausting all homomorphisms.
-bool ForEachHomomorphism(const ConjunctiveQuery& cq, const Configuration& conf,
+bool ForEachHomomorphism(const ConjunctiveQuery& cq, const ConfigView& conf,
                          const std::function<bool(const std::vector<Value>&)>& fn);
 
 /// The certain answers of a (possibly k-ary) UCQ at a configuration:
 /// the set of head tuples produced by some homomorphism of some disjunct.
 std::set<std::vector<Value>> CertainAnswers(const UnionQuery& uq,
-                                            const Configuration& conf);
+                                            const ConfigView& conf);
 
 /// Delta evaluation for monotone re-checking: decides whether a Boolean UCQ
 /// has a homomorphism into `conf` that *uses* `new_fact` (which must
@@ -50,14 +55,14 @@ std::set<std::vector<Value>> CertainAnswers(const UnionQuery& uq,
 /// added, this decides whether it is true now — at the cost of pinning one
 /// atom instead of re-running the full search. The witness searches call
 /// this after every candidate fact they add.
-bool EvalBoolDelta(const UnionQuery& uq, const Configuration& conf,
+bool EvalBoolDelta(const UnionQuery& uq, const ConfigView& conf,
                    const Fact& new_fact);
 
 /// True iff the Boolean query is certain at `conf` (Section 2).
-inline bool IsCertain(const UnionQuery& uq, const Configuration& conf) {
+inline bool IsCertain(const UnionQuery& uq, const ConfigView& conf) {
   return EvalBool(uq, conf);
 }
-inline bool IsCertain(const ConjunctiveQuery& cq, const Configuration& conf) {
+inline bool IsCertain(const ConjunctiveQuery& cq, const ConfigView& conf) {
   return EvalBool(cq, conf);
 }
 

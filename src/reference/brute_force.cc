@@ -7,6 +7,7 @@
 
 #include "access/path.h"
 #include "query/eval.h"
+#include "relational/overlay.h"
 #include "util/combinatorics.h"
 
 namespace rar {
@@ -14,7 +15,7 @@ namespace rar {
 namespace {
 
 // Canonical state key for configuration dedup: sorted fact encodings.
-std::string ConfigKey(const Configuration& conf) {
+std::string ConfigKey(const ConfigView& conf) {
   std::vector<Fact> facts = conf.AllFacts();
   std::sort(facts.begin(), facts.end());
   std::string key;
@@ -32,14 +33,14 @@ std::string ConfigKey(const Configuration& conf) {
 
 }  // namespace
 
-BoundedUniverse::BoundedUniverse(const Configuration& conf,
+BoundedUniverse::BoundedUniverse(const ConfigView& conf,
                                  const AccessMethodSet& acs,
                                  int extra_constants_per_domain,
                                  const std::vector<TypedValue>& extra_values)
     : schema_(acs.schema()), acs_(&acs) {
   values_by_domain_.resize(schema_->num_domains());
   for (DomainId d = 0; d < schema_->num_domains(); ++d) {
-    values_by_domain_[d] = conf.AdomOfDomain(d);
+    values_by_domain_[d] = conf.AdomOfDomain(d).ToVector();
     for (int i = 0; i < extra_constants_per_domain; ++i) {
       values_by_domain_[d].push_back(
           schema_->MintFreshConstant("u_" + schema_->domain_name(d)));
@@ -128,14 +129,14 @@ std::vector<Fact> BoundedUniverse::FactsMatching(const Access& access) const {
   return out;
 }
 
-bool BruteForceIR(const Configuration& conf, const AccessMethodSet& acs,
+bool BruteForceIR(const ConfigView& conf, const AccessMethodSet& acs,
                   const Access& access, const UnionQuery& query,
                   const BruteForceOptions& options) {
   if (!CheckWellFormed(conf, acs, access).ok()) return false;
   BoundedUniverse universe(conf, acs, options.extra_constants_per_domain,
                            BindingValues(acs, access));
   std::set<std::vector<Value>> before = CertainAnswers(query, conf);
-  Configuration after = conf;
+  OverlayConfiguration after(&conf);
   for (const Fact& f : universe.FactsMatching(access)) after.AddFact(f);
   std::set<std::vector<Value>> after_answers = CertainAnswers(query, after);
   for (const std::vector<Value>& t : after_answers) {
@@ -146,30 +147,37 @@ bool BruteForceIR(const Configuration& conf, const AccessMethodSet& acs,
 
 namespace {
 
-// Depth-first search over continuation paths for BruteForceLTR.
+// Depth-first search over continuation paths for BruteForceLTR. The
+// evolving configuration is one overlay over the start configuration,
+// extended and retracted (AddFact/PopFact) in lockstep with the path; the
+// truncation replays into a second scratch overlay — the base is never
+// copied.
 class LtrSearch {
  public:
-  LtrSearch(const AccessMethodSet& acs, const UnionQuery& query,
-            const BoundedUniverse& universe, const BruteForceOptions& options)
-      : acs_(acs), query_(query), universe_(universe), options_(options) {}
+  LtrSearch(const ConfigView& conf, const AccessMethodSet& acs,
+            const UnionQuery& query, const BoundedUniverse& universe,
+            const BruteForceOptions& options)
+      : acs_(acs), query_(query), universe_(universe), options_(options),
+        trunc_(&conf) {}
 
-  // `path` must already contain the first access step.
-  bool Search(AccessPath* path, const Configuration& config) {
+  // `path` must already contain the first access step, and `config` must
+  // overlay the same base configuration the path starts from.
+  bool Search(AccessPath* path, OverlayConfiguration* config) {
     nodes_ = 0;
     return Dfs(path, config, 0);
   }
 
  private:
-  bool Dfs(AccessPath* path, const Configuration& config, int depth) {
+  bool Dfs(AccessPath* path, OverlayConfiguration* config, int depth) {
     if (options_.node_budget > 0 && ++nodes_ > options_.node_budget) {
       return false;
     }
-    if (EvalBool(query_, config)) {
+    if (EvalBool(query_, *config)) {
       // Witness iff the query fails after the truncated path. Extensions
       // cannot succeed once the truncation satisfies the query (the
       // truncated configuration only grows), so stop either way.
-      Result<Configuration> trunc = path->ReplayTruncation();
-      return trunc.ok() && !EvalBool(query_, *trunc);
+      Status st = path->ReplayTruncationInto(&trunc_);
+      return st.ok() && !EvalBool(query_, trunc_);
     }
     if (depth >= options_.max_steps) return false;
 
@@ -178,12 +186,13 @@ class LtrSearch {
       const AccessMethod& m = acs_.method(mid);
       const Relation& rel = schema.relation(m.relation);
       // Candidate bindings: typed active domain for dependent methods,
-      // whole universe for independent ones.
+      // whole universe for independent ones. Materialized: the overlay
+      // grows inside the loop, which would invalidate borrowed slices.
       std::vector<int> sizes;
       std::vector<std::vector<Value>> candidates;
       for (int pos : m.input_positions) {
         DomainId dom = rel.attributes[pos].domain;
-        candidates.push_back(m.dependent ? config.AdomOfDomain(dom)
+        candidates.push_back(m.dependent ? config->AdomOfDomain(dom).ToVector()
                                          : universe_.ValuesOf(dom));
         sizes.push_back(static_cast<int>(candidates.back().size()));
       }
@@ -194,12 +203,12 @@ class LtrSearch {
           access.binding.push_back(candidates[i][choice[i]]);
         }
         for (const Fact& f : universe_.FactsMatching(access)) {
-          if (config.Contains(f)) continue;
-          Configuration next = config;
-          next.AddFact(f);
+          if (config->Contains(f)) continue;
+          config->AddFact(f);
           path->Append(AccessStep{access, {f}});
-          bool ok = Dfs(path, next, depth + 1);
+          bool ok = Dfs(path, config, depth + 1);
           path->PopBack();
+          config->PopFact();
           if (ok) return true;
         }
         return false;
@@ -213,12 +222,13 @@ class LtrSearch {
   const UnionQuery& query_;
   const BoundedUniverse& universe_;
   const BruteForceOptions& options_;
+  OverlayConfiguration trunc_;
   long nodes_ = 0;
 };
 
 }  // namespace
 
-bool BruteForceLTR(const Configuration& conf, const AccessMethodSet& acs,
+bool BruteForceLTR(const ConfigView& conf, const AccessMethodSet& acs,
                    const Access& access, const UnionQuery& query,
                    const BruteForceOptions& options) {
   if (!CheckWellFormed(conf, acs, access).ok()) return false;
@@ -226,28 +236,30 @@ bool BruteForceLTR(const Configuration& conf, const AccessMethodSet& acs,
                            BindingValues(acs, access));
   std::vector<Fact> matching = universe.FactsMatching(access);
 
-  // Enumerate non-empty first responses up to the size bound.
+  // Enumerate non-empty first responses up to the size bound; one overlay
+  // serves every subset (Reset between candidates).
   const int n = static_cast<int>(matching.size());
   if (n > 62) return false;  // guarded by test sizing
-  LtrSearch search(acs, query, universe, options);
+  LtrSearch search(conf, acs, query, universe, options);
+  OverlayConfiguration config(&conf);
   return ForEachSubset(n, [&](uint64_t mask) {
     int bits = __builtin_popcountll(mask);
     if (bits == 0 || bits > options.max_first_response) return false;
     std::vector<Fact> response;
-    Configuration config = conf;
+    config.Reset();
     for (int i = 0; i < n; ++i) {
       if (mask & (uint64_t{1} << i)) {
         response.push_back(matching[i]);
         config.AddFact(matching[i]);
       }
     }
-    AccessPath path(conf, &acs);
+    AccessPath path(&conf, &acs);
     path.Append(AccessStep{access, response});
-    return search.Search(&path, config);
+    return search.Search(&path, &config);
   });
 }
 
-bool BruteForceNotContained(const Configuration& conf,
+bool BruteForceNotContained(const ConfigView& conf,
                             const AccessMethodSet& acs, const UnionQuery& q1,
                             const UnionQuery& q2,
                             const BruteForceOptions& options) {
@@ -262,8 +274,10 @@ bool BruteForceNotContained(const Configuration& conf,
   std::unordered_set<std::string> visited;
   long nodes = 0;
 
-  std::function<bool(const Configuration&, int)> dfs =
-      [&](const Configuration& config, int depth) -> bool {
+  // One overlay over the start configuration, extended and retracted in
+  // lockstep with the DFS (the base is never copied).
+  OverlayConfiguration config(&conf);
+  std::function<bool(int)> dfs = [&](int depth) -> bool {
     if (options.node_budget > 0 && ++nodes > options.node_budget) {
       return false;
     }
@@ -274,11 +288,12 @@ bool BruteForceNotContained(const Configuration& conf,
     for (AccessMethodId mid = 0; mid < acs.size(); ++mid) {
       const AccessMethod& m = acs.method(mid);
       const Relation& rel = schema.relation(m.relation);
+      // Materialized: the overlay grows inside the loop.
       std::vector<int> sizes;
       std::vector<std::vector<Value>> candidates;
       for (int pos : m.input_positions) {
         DomainId dom = rel.attributes[pos].domain;
-        candidates.push_back(m.dependent ? config.AdomOfDomain(dom)
+        candidates.push_back(m.dependent ? config.AdomOfDomain(dom).ToVector()
                                          : universe.ValuesOf(dom));
         sizes.push_back(static_cast<int>(candidates.back().size()));
       }
@@ -290,9 +305,10 @@ bool BruteForceNotContained(const Configuration& conf,
         }
         for (const Fact& f : universe.FactsMatching(access)) {
           if (config.Contains(f)) continue;
-          Configuration next = config;
-          next.AddFact(f);
-          if (dfs(next, depth + 1)) return true;
+          config.AddFact(f);
+          bool ok = dfs(depth + 1);
+          config.PopFact();
+          if (ok) return true;
         }
         return false;
       });
@@ -300,7 +316,7 @@ bool BruteForceNotContained(const Configuration& conf,
     }
     return false;
   };
-  return dfs(conf, 0);
+  return dfs(0);
 }
 
 bool BruteForceIsCritical(const Schema& schema, const UnionQuery& q,
@@ -330,7 +346,7 @@ bool BruteForceIsCritical(const Schema& schema, const UnionQuery& q,
       if (mask & (uint64_t{1} << i)) without.AddFact(others[i]);
     }
     if (EvalBool(q, without)) return false;  // monotone: adding t keeps true
-    Configuration with = without;
+    OverlayConfiguration with(&without);
     with.AddFact(t);
     return EvalBool(q, with);
   });

@@ -18,6 +18,7 @@
 
 #include "access/access_method.h"
 #include "query/query.h"
+#include "relational/config_view.h"
 #include "relational/configuration.h"
 
 namespace rar {
@@ -43,7 +44,7 @@ class BoundedUniverse {
   /// `extra` fresh constants per domain that occurs in the schema, plus any
   /// `extra_values` (e.g. access-binding constants and query constants that
   /// are not in the configuration — instances may contain them anywhere).
-  BoundedUniverse(const Configuration& conf, const AccessMethodSet& acs,
+  BoundedUniverse(const ConfigView& conf, const AccessMethodSet& acs,
                   int extra_constants_per_domain,
                   const std::vector<TypedValue>& extra_values = {});
 
@@ -67,7 +68,7 @@ class BoundedUniverse {
 /// Immediate relevance by definition: Q is not certain at `conf`, and some
 /// sound response to `access` makes a new tuple certain. Exploits
 /// monotonicity: the maximal universe response decides.
-bool BruteForceIR(const Configuration& conf, const AccessMethodSet& acs,
+bool BruteForceIR(const ConfigView& conf, const AccessMethodSet& acs,
                   const Access& access, const UnionQuery& query,
                   const BruteForceOptions& options = {});
 
@@ -76,19 +77,19 @@ bool BruteForceIR(const Configuration& conf, const AccessMethodSet& acs,
 /// up to options.max_first_response; later steps: single-fact responses to
 /// well-formed accesses), accepting when the query holds after the path but
 /// not after its truncation.
-bool BruteForceLTR(const Configuration& conf, const AccessMethodSet& acs,
+bool BruteForceLTR(const ConfigView& conf, const AccessMethodSet& acs,
                    const Access& access, const UnionQuery& query,
                    const BruteForceOptions& options = {});
 
 /// Non-containment by definition: BFS over configurations reachable from
 /// `conf` (single-fact responses), accepting when q1 holds and q2 does not.
-bool BruteForceNotContained(const Configuration& conf,
+bool BruteForceNotContained(const ConfigView& conf,
                             const AccessMethodSet& acs, const UnionQuery& q1,
                             const UnionQuery& q2,
                             const BruteForceOptions& options = {});
 
 /// Containment by definition (negation of the above).
-inline bool BruteForceContained(const Configuration& conf,
+inline bool BruteForceContained(const ConfigView& conf,
                                 const AccessMethodSet& acs,
                                 const UnionQuery& q1, const UnionQuery& q2,
                                 const BruteForceOptions& options = {}) {

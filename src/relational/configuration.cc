@@ -4,10 +4,6 @@
 
 namespace rar {
 
-const std::vector<Fact> Configuration::kNoFacts;
-const std::vector<int> Configuration::kNoIndices;
-const std::vector<Value> Configuration::kNoValues;
-
 Configuration::RelationStore& Configuration::StoreOf(RelationId rel) {
   if (rel >= stores_.size()) stores_.resize(rel + 1);
   return stores_[rel];
@@ -23,6 +19,7 @@ bool Configuration::AddFact(const Fact& fact) {
   store.fact_set.insert(fact);
   int idx = static_cast<int>(store.facts.size());
   store.facts.push_back(fact);
+  num_facts_.fetch_add(1, std::memory_order_relaxed);
   for (int pos = 0; pos < fact.arity(); ++pos) {
     store.index[PosValueKey{pos, fact.values[pos]}].push_back(idx);
     if (schema_ != nullptr) {
@@ -70,30 +67,16 @@ void Configuration::AddSeedConstant(Value value, DomainId domain) {
   }
 }
 
-const std::vector<Fact>& Configuration::FactsOf(RelationId rel) const {
-  return rel < stores_.size() ? stores_[rel].facts : kNoFacts;
-}
-
-const std::vector<int>& Configuration::FactsWith(RelationId rel, int position,
-                                                 Value v) const {
-  if (rel >= stores_.size()) return kNoIndices;
+IndexSeq Configuration::FactsWith(RelationId rel, int position,
+                                  Value v) const {
+  if (rel >= stores_.size()) return IndexSeq();
   auto jt = stores_[rel].index.find(PosValueKey{position, v});
-  return jt == stores_[rel].index.end() ? kNoIndices : jt->second;
+  return jt == stores_[rel].index.end() ? IndexSeq() : IndexSeq(jt->second);
 }
 
-std::vector<Fact> Configuration::AllFacts() const {
-  std::vector<Fact> out;
-  out.reserve(NumFacts());
-  // Deterministic order: by relation id, then insertion order.
-  for (const RelationStore& store : stores_) {
-    out.insert(out.end(), store.facts.begin(), store.facts.end());
-  }
-  return out;
-}
-
-const std::vector<Value>& Configuration::AdomOfDomain(DomainId domain) const {
+ValueSeq Configuration::AdomOfDomain(DomainId domain) const {
   auto it = adom_by_domain_.find(domain);
-  return it == adom_by_domain_.end() ? kNoValues : it->second;
+  return it == adom_by_domain_.end() ? ValueSeq() : ValueSeq(it->second);
 }
 
 std::vector<TypedValue> Configuration::AdomEntries() const {
@@ -113,6 +96,15 @@ std::vector<Fact> Configuration::Difference(const Configuration& base) const {
 void Configuration::UnionWith(const Configuration& other) {
   for (const Fact& f : other.AllFacts()) AddFact(f);
   for (const TypedValue& tv : other.seeds_) {
+    AddSeedConstant(tv.value, tv.domain);
+  }
+}
+
+void Configuration::UnionWithView(const ConfigView& view) {
+  // Facts first: afterwards every adom entry a fact carries is present, so
+  // the seed pass registers exactly the entries facts do not explain.
+  for (const Fact& f : view.AllFacts()) AddFact(f);
+  for (const TypedValue& tv : view.AdomEntries()) {
     AddSeedConstant(tv.value, tv.domain);
   }
 }
@@ -137,6 +129,13 @@ std::string Configuration::ToString() const {
     }
     out += "\n";
   }
+  return out;
+}
+
+Configuration MaterializeConfig(const ConfigView& view) {
+  Configuration out(view.schema());
+  out.ReserveRelations(view.NumRelationsBound());
+  out.UnionWithView(view);
   return out;
 }
 

@@ -10,15 +10,22 @@
 // the paper's standing assumption that query constants are available for
 // dependent accesses, and the "set of existing constants" of CM-containment
 // (Section 3).
+//
+// Configuration implements the read-only ConfigView interface (see
+// config_view.h); the deciders and the evaluation layer consume views, so
+// hypothetical extensions are built as OverlayConfiguration deltas instead
+// of copies.
 #ifndef RAR_RELATIONAL_CONFIGURATION_H_
 #define RAR_RELATIONAL_CONFIGURATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "relational/config_view.h"
 #include "relational/fact.h"
 #include "relational/schema.h"
 #include "relational/value.h"
@@ -26,26 +33,6 @@
 #include "util/status.h"
 
 namespace rar {
-
-/// \brief A typed (value, domain) pair — one entry of the active domain.
-struct TypedValue {
-  Value value;
-  DomainId domain = kInvalidId;
-
-  bool operator==(const TypedValue& o) const {
-    return value == o.value && domain == o.domain;
-  }
-  bool operator<(const TypedValue& o) const {
-    if (!(value == o.value)) return value < o.value;
-    return domain < o.domain;
-  }
-};
-
-struct TypedValueHash {
-  size_t operator()(const TypedValue& tv) const {
-    return ValueHash()(tv.value) * 1000003u + tv.domain;
-  }
-};
 
 /// \brief A finite set of facts over a schema, with incremental indexes and
 /// active-domain bookkeeping.
@@ -66,14 +53,49 @@ struct TypedValueHash {
 /// After `ReserveRelations`, stores of distinct relations may be read and
 /// grown concurrently under per-relation external locks — the engine's
 /// striped-lock discipline relies on this.
-class Configuration {
+class Configuration : public ConfigView {
  public:
   Configuration() = default;
   explicit Configuration(const Schema* schema) : schema_(schema) {
     if (schema_ != nullptr) ReserveRelations(schema_->num_relations());
   }
 
-  const Schema* schema() const { return schema_; }
+  // Copy/move are member-wise; spelled out because the running fact count
+  // is an atomic (see num_facts_), which deletes the implicit versions.
+  Configuration(const Configuration& o)
+      : schema_(o.schema_), stores_(o.stores_),
+        num_facts_(o.num_facts_.load(std::memory_order_relaxed)),
+        adom_(o.adom_), adom_by_domain_(o.adom_by_domain_), seeds_(o.seeds_) {}
+  Configuration& operator=(const Configuration& o) {
+    if (this != &o) {
+      schema_ = o.schema_;
+      stores_ = o.stores_;
+      num_facts_.store(o.num_facts_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      adom_ = o.adom_;
+      adom_by_domain_ = o.adom_by_domain_;
+      seeds_ = o.seeds_;
+    }
+    return *this;
+  }
+  Configuration(Configuration&& o) noexcept
+      : schema_(o.schema_), stores_(std::move(o.stores_)),
+        num_facts_(o.num_facts_.load(std::memory_order_relaxed)),
+        adom_(std::move(o.adom_)),
+        adom_by_domain_(std::move(o.adom_by_domain_)),
+        seeds_(std::move(o.seeds_)) {}
+  Configuration& operator=(Configuration&& o) noexcept {
+    schema_ = o.schema_;
+    stores_ = std::move(o.stores_);
+    num_facts_.store(o.num_facts_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    adom_ = std::move(o.adom_);
+    adom_by_domain_ = std::move(o.adom_by_domain_);
+    seeds_ = std::move(o.seeds_);
+    return *this;
+  }
+
+  const Schema* schema() const override { return schema_; }
 
   /// Pre-creates stores for relations [0, n): afterwards `AddFact` for any
   /// of them never reallocates the store vector, which is what makes
@@ -94,26 +116,30 @@ class Configuration {
   /// Registers a seed constant: `value` is known to inhabit `domain`.
   void AddSeedConstant(Value value, DomainId domain);
 
-  bool Contains(const Fact& fact) const {
+  bool Contains(const Fact& fact) const override {
     if (fact.relation >= stores_.size()) return false;
     return stores_[fact.relation].fact_set.count(fact) > 0;
   }
 
   /// All facts of one relation, in insertion order.
-  const std::vector<Fact>& FactsOf(RelationId rel) const;
+  FactSeq FactsOf(RelationId rel) const override {
+    return rel < stores_.size() ? FactSeq(stores_[rel].facts) : FactSeq();
+  }
 
   /// Indices (into FactsOf(rel)) of facts whose `position`-th value equals
-  /// `v`. Returns an empty list when none match.
-  const std::vector<int>& FactsWith(RelationId rel, int position,
-                                    Value v) const;
+  /// `v`. Returns an empty sequence when none match.
+  IndexSeq FactsWith(RelationId rel, int position, Value v) const override;
 
-  /// Every fact in the configuration (all relations, insertion order).
-  std::vector<Fact> AllFacts() const;
+  /// Cached running count: O(1) — stamped on every snapshot and version
+  /// probe, so it must not walk the stores.
+  size_t NumFacts() const override {
+    return num_facts_.load(std::memory_order_relaxed);
+  }
 
-  size_t NumFacts() const {
-    size_t n = 0;
-    for (const RelationStore& s : stores_) n += s.facts.size();
-    return n;
+  size_t NumRelationsBound() const override { return stores_.size(); }
+
+  size_t NumFactsOf(RelationId rel) const override {
+    return rel < stores_.size() ? stores_[rel].facts.size() : 0;
   }
 
   /// Monotone version of one relation: its fact count (facts are never
@@ -128,7 +154,8 @@ class Configuration {
   /// access argument is monotone in.
   uint64_t adom_version() const { return adom_.size(); }
 
-  /// Derived global epoch (total growth events); see VersionVector.
+  /// Derived global epoch (total growth events); see VersionVector. O(1):
+  /// both counts are cached.
   uint64_t global_version() const { return NumFacts() + adom_.size(); }
 
   /// Snapshot of the full version state.
@@ -143,21 +170,27 @@ class Configuration {
   }
 
   /// True when (value, domain) is in the active domain (facts or seeds).
-  bool AdomContains(Value value, DomainId domain) const {
+  bool AdomContains(Value value, DomainId domain) const override {
     return adom_.count(TypedValue{value, domain}) > 0;
   }
 
   /// All active-domain values of one domain, in first-seen order.
-  const std::vector<Value>& AdomOfDomain(DomainId domain) const;
+  ValueSeq AdomOfDomain(DomainId domain) const override;
 
   /// The full active domain as (value, domain) pairs.
-  std::vector<TypedValue> AdomEntries() const;
+  std::vector<TypedValue> AdomEntries() const override;
 
   /// Facts present in this configuration but not in `base`.
   std::vector<Fact> Difference(const Configuration& base) const;
 
   /// Copies every fact and seed of `other` into this configuration.
   void UnionWith(const Configuration& other);
+
+  /// Copies every fact of `view` plus every active-domain entry not
+  /// carried by a fact (i.e. the view's seeds, possibly over-approximated
+  /// for exotic views) into this configuration. The resulting active
+  /// domain equals the view's.
+  void UnionWithView(const ConfigView& view);
 
   /// True when every fact and seed of this configuration is in `other`.
   bool IsSubsetOf(const Configuration& other) const;
@@ -189,15 +222,21 @@ class Configuration {
   const Schema* schema_ = nullptr;
   /// Indexed by RelationId; grown on demand (see ReserveRelations).
   std::vector<RelationStore> stores_;
+  /// Running total of facts across stores (kept by AddFact). Atomic and
+  /// relaxed: concurrent growth of *distinct* relations under external
+  /// per-relation locks must not share an unsynchronized counter (the
+  /// engine's striped-lock discipline); exactness for readers comes from
+  /// their own locks, not from this ordering.
+  std::atomic<size_t> num_facts_{0};
 
   std::unordered_set<TypedValue, TypedValueHash> adom_;
   std::unordered_map<DomainId, std::vector<Value>> adom_by_domain_;
   std::vector<TypedValue> seeds_;
-
-  static const std::vector<Fact> kNoFacts;
-  static const std::vector<int> kNoIndices;
-  static const std::vector<Value> kNoValues;
 };
+
+/// Materializes any view as a standalone Configuration: same facts, same
+/// typed active domain (entries not carried by facts become seeds).
+Configuration MaterializeConfig(const ConfigView& view);
 
 }  // namespace rar
 

@@ -1,0 +1,142 @@
+#include "relational/overlay.h"
+
+#include <algorithm>
+
+namespace rar {
+
+void OverlayConfiguration::Reset() {
+  for (RelationId rel : touched_) {
+    DeltaStore& s = stores_[rel];
+    s.facts.clear();
+    s.fact_set.clear();
+    // clear() keeps the bucket arrays; per-key vectors are dropped, but
+    // they reappear with their keys on the next AddFact of this relation.
+    s.index.clear();
+  }
+  touched_.clear();
+  journal_.clear();
+  delta_adom_.clear();
+  delta_adom_order_.clear();
+  for (auto& [dom, values] : delta_adom_by_domain_) values.clear();
+}
+
+bool OverlayConfiguration::AddFact(const Fact& fact) {
+  if (Contains(fact)) return false;
+  DeltaStore& store = StoreOf(fact.relation);
+  if (store.facts.empty()) touched_.push_back(fact.relation);
+  int idx = static_cast<int>(store.facts.size());
+  store.fact_set.insert(fact);
+  store.facts.push_back(fact);
+  int adom_added = 0;
+  const Schema* sch = schema();
+  for (int pos = 0; pos < fact.arity(); ++pos) {
+    store.index[PosValueKey{pos, fact.values[pos]}].push_back(idx);
+    if (sch != nullptr) {
+      DomainId dom = sch->relation(fact.relation).attributes[pos].domain;
+      if (!AdomContains(fact.values[pos], dom)) {
+        TypedValue tv{fact.values[pos], dom};
+        delta_adom_.insert(tv);
+        delta_adom_by_domain_[dom].push_back(fact.values[pos]);
+        delta_adom_order_.push_back(tv);
+        ++adom_added;
+      }
+    }
+  }
+  journal_.push_back(JournalEntry{fact.relation, adom_added});
+  return true;
+}
+
+void OverlayConfiguration::AddSeedConstant(Value value, DomainId domain) {
+  if (AdomContains(value, domain)) return;
+  TypedValue tv{value, domain};
+  delta_adom_.insert(tv);
+  delta_adom_by_domain_[domain].push_back(value);
+  delta_adom_order_.push_back(tv);
+}
+
+bool OverlayConfiguration::PopFact() {
+  if (journal_.empty()) return false;
+  JournalEntry entry = journal_.back();
+  journal_.pop_back();
+  DeltaStore& store = stores_[entry.rel];
+  Fact fact = std::move(store.facts.back());
+  store.facts.pop_back();
+  for (int pos = 0; pos < fact.arity(); ++pos) {
+    auto it = store.index.find(PosValueKey{pos, fact.values[pos]});
+    it->second.pop_back();  // the entry this fact pushed (LIFO)
+  }
+  store.fact_set.erase(fact);
+  if (store.facts.empty()) {
+    touched_.erase(std::find(touched_.begin(), touched_.end(), entry.rel));
+  }
+  for (int i = 0; i < entry.adom_added; ++i) {
+    TypedValue tv = delta_adom_order_.back();
+    delta_adom_order_.pop_back();
+    delta_adom_.erase(tv);
+    delta_adom_by_domain_[tv.domain].pop_back();
+  }
+  return true;
+}
+
+std::vector<Fact> OverlayConfiguration::DeltaFacts() const {
+  std::vector<Fact> out;
+  out.reserve(journal_.size());
+  for (RelationId rel : touched_) {
+    const std::vector<Fact>& facts = stores_[rel].facts;
+    out.insert(out.end(), facts.begin(), facts.end());
+  }
+  return out;
+}
+
+bool OverlayConfiguration::Contains(const Fact& fact) const {
+  if (fact.relation < stores_.size() &&
+      stores_[fact.relation].fact_set.count(fact) > 0) {
+    return true;
+  }
+  return base_->Contains(fact);
+}
+
+FactSeq OverlayConfiguration::FactsOf(RelationId rel) const {
+  FactSeq seq = base_->FactsOf(rel);
+  if (rel < stores_.size()) {
+    const std::vector<Fact>& facts = stores_[rel].facts;
+    seq.Append(facts.data(), facts.size());
+  }
+  return seq;
+}
+
+IndexSeq OverlayConfiguration::FactsWith(RelationId rel, int position,
+                                         Value v) const {
+  IndexSeq seq = base_->FactsWith(rel, position, v);
+  if (rel < stores_.size()) {
+    auto it = stores_[rel].index.find(PosValueKey{position, v});
+    if (it != stores_[rel].index.end()) {
+      seq.Append(it->second.data(), it->second.size(),
+                 base_->NumFactsOf(rel));
+    }
+  }
+  return seq;
+}
+
+bool OverlayConfiguration::AdomContains(Value value, DomainId domain) const {
+  if (delta_adom_.count(TypedValue{value, domain}) > 0) return true;
+  return base_->AdomContains(value, domain);
+}
+
+ValueSeq OverlayConfiguration::AdomOfDomain(DomainId domain) const {
+  ValueSeq seq = base_->AdomOfDomain(domain);
+  auto it = delta_adom_by_domain_.find(domain);
+  if (it != delta_adom_by_domain_.end()) {
+    seq.Append(it->second.data(), it->second.size());
+  }
+  return seq;
+}
+
+std::vector<TypedValue> OverlayConfiguration::AdomEntries() const {
+  std::vector<TypedValue> out = base_->AdomEntries();
+  out.insert(out.end(), delta_adom_order_.begin(), delta_adom_order_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rar

@@ -1,0 +1,141 @@
+// OverlayConfiguration: a zero-copy base-plus-delta configuration view.
+//
+// The paper's truncation configurations (Thm 4.2 / Prop 4.3), generic
+// responses (Prop 3.5's extension), and auxiliary production facts
+// (Section 5's witness chase) are all "Conf plus a handful of facts".
+// An overlay holds a borrowed `const ConfigView* base` and a small delta
+// (facts + delta typed active domain + delta per-(position, value) index),
+// so building such an extension costs O(|Δ|) and reading through it costs
+// one extra segment per sequence — the base is never copied.
+//
+// Reuse discipline: one overlay per search, `Reset()` between candidates
+// (clears the delta, keeps every container's capacity: the steady-state
+// inner loop allocates nothing), `AddFact`/`PopFact` as a LIFO pair for
+// backtracking searches. Seeds (`AddSeedConstant`) must be added before
+// the first `AddFact` that a `PopFact` will undo — pops unwind the delta
+// active domain in LIFO order.
+//
+// The base is borrowed and must (a) outlive the overlay and (b) not grow
+// while the overlay's sequences are being read; the engine pins it under
+// the check's stripe locks.
+#ifndef RAR_RELATIONAL_OVERLAY_H_
+#define RAR_RELATIONAL_OVERLAY_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/config_view.h"
+
+namespace rar {
+
+class OverlayConfiguration : public ConfigView {
+ public:
+  explicit OverlayConfiguration(const ConfigView* base) : base_(base) {}
+
+  const ConfigView* base() const { return base_; }
+
+  /// Drops the delta but keeps allocated capacity (buckets, vectors).
+  void Reset();
+
+  /// Reset() and retarget onto a different base (drops any schema
+  /// override).
+  void Rebase(const ConfigView* base) {
+    Reset();
+    base_ = base;
+    schema_override_ = nullptr;
+  }
+
+  /// Adds a fact to the delta; returns true when it was new to the view
+  /// (absent from base and delta). Updates the delta active domain with
+  /// every (value, attribute-domain) pair the view lacks.
+  bool AddFact(const Fact& fact);
+
+  /// Registers a delta seed constant (see the header comment for the
+  /// ordering contract with PopFact).
+  void AddSeedConstant(Value value, DomainId domain);
+
+  /// Reads schema lookups (and schema()) through `schema` instead of the
+  /// base's. For views over a *schema-extending* transform (Prop 3.4's
+  /// IsBind relation): the extension must keep the base's relation ids
+  /// stable, so base facts stay well-typed under the override. Survives
+  /// Reset(); cleared by Rebase().
+  void OverrideSchema(const Schema* schema) { schema_override_ = schema; }
+
+  /// Undoes the most recent successful AddFact (LIFO). Returns false when
+  /// the delta holds no facts.
+  bool PopFact();
+
+  /// Number of delta facts currently held.
+  size_t delta_num_facts() const { return journal_.size(); }
+
+  /// The delta facts, grouped by relation in insertion order (the
+  /// containment witness searches return these as witness fact sets).
+  std::vector<Fact> DeltaFacts() const;
+
+  // ConfigView:
+  const Schema* schema() const override {
+    return schema_override_ != nullptr ? schema_override_ : base_->schema();
+  }
+  bool Contains(const Fact& fact) const override;
+  size_t NumFacts() const override {
+    return base_->NumFacts() + journal_.size();
+  }
+  size_t NumRelationsBound() const override {
+    size_t n = base_->NumRelationsBound();
+    return stores_.size() > n ? stores_.size() : n;
+  }
+  size_t NumFactsOf(RelationId rel) const override {
+    return base_->NumFactsOf(rel) +
+           (rel < stores_.size() ? stores_[rel].facts.size() : 0);
+  }
+  FactSeq FactsOf(RelationId rel) const override;
+  IndexSeq FactsWith(RelationId rel, int position, Value v) const override;
+  bool AdomContains(Value value, DomainId domain) const override;
+  ValueSeq AdomOfDomain(DomainId domain) const override;
+  std::vector<TypedValue> AdomEntries() const override;
+
+ private:
+  struct PosValueKey {
+    int position;
+    Value value;
+    bool operator==(const PosValueKey& o) const {
+      return position == o.position && value == o.value;
+    }
+  };
+  struct PosValueKeyHash {
+    size_t operator()(const PosValueKey& k) const {
+      return ValueHash()(k.value) * 31u + static_cast<size_t>(k.position);
+    }
+  };
+  struct DeltaStore {
+    std::vector<Fact> facts;
+    std::unordered_set<Fact, FactHash> fact_set;
+    /// Indices into `facts` (shifted by the base fact count on read).
+    std::unordered_map<PosValueKey, std::vector<int>, PosValueKeyHash> index;
+  };
+  /// One AddFact's undo record.
+  struct JournalEntry {
+    RelationId rel;
+    int adom_added;  ///< delta adom entries this fact introduced
+  };
+
+  DeltaStore& StoreOf(RelationId rel) {
+    if (rel >= stores_.size()) stores_.resize(rel + 1);
+    return stores_[rel];
+  }
+
+  const ConfigView* base_;
+  const Schema* schema_override_ = nullptr;
+  std::vector<DeltaStore> stores_;       ///< indexed by RelationId
+  std::vector<RelationId> touched_;      ///< relations with delta facts
+  std::vector<JournalEntry> journal_;    ///< AddFact undo log (LIFO)
+
+  std::unordered_set<TypedValue, TypedValueHash> delta_adom_;
+  std::unordered_map<DomainId, std::vector<Value>> delta_adom_by_domain_;
+  std::vector<TypedValue> delta_adom_order_;  ///< insertion order (for undo)
+};
+
+}  // namespace rar
+
+#endif  // RAR_RELATIONAL_OVERLAY_H_

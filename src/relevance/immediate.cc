@@ -13,7 +13,7 @@ namespace {
 // response relation (relation == Rel(AcM), inputs == Bind).
 class IrSearch {
  public:
-  IrSearch(const Configuration& conf, const AccessMethodSet& acs,
+  IrSearch(const ConfigView& conf, const AccessMethodSet& acs,
            const Access& access, const ConjunctiveQuery& d)
       : conf_(conf), acs_(acs), access_(access), d_(d),
         method_(acs.method(access.method)),
@@ -77,7 +77,7 @@ class IrSearch {
     return true;
   }
 
-  const Configuration& conf_;
+  const ConfigView& conf_;
   const AccessMethodSet& acs_;
   const Access& access_;
   const ConjunctiveQuery& d_;
@@ -88,7 +88,7 @@ class IrSearch {
 
 }  // namespace
 
-bool IsImmediatelyRelevant(const Configuration& conf,
+bool IsImmediatelyRelevant(const ConfigView& conf,
                            const AccessMethodSet& acs, const Access& access,
                            const UnionQuery& query) {
   if (!CheckWellFormed(conf, acs, access).ok()) return false;

@@ -25,7 +25,7 @@ namespace rar {
 
 /// Decides immediate relevance of `access` for the Boolean query at `conf`.
 /// Ill-formed accesses are never relevant (they cannot be performed).
-bool IsImmediatelyRelevant(const Configuration& conf,
+bool IsImmediatelyRelevant(const ConfigView& conf,
                            const AccessMethodSet& acs, const Access& access,
                            const UnionQuery& query);
 

@@ -4,6 +4,7 @@
 
 #include "query/eval.h"
 #include "query/structure.h"
+#include "relational/overlay.h"
 #include "transform/ltr_to_containment.h"
 #include "util/combinatorics.h"
 
@@ -28,7 +29,7 @@ bool AtomCompatibleWithAccess(const AccessMethodSet& acs, const Access& access,
 
 }  // namespace
 
-Result<bool> IsLongTermRelevantDependentCQ(const Configuration& conf,
+Result<bool> IsLongTermRelevantDependentCQ(const ConfigView& conf,
                                            const AccessMethodSet& acs,
                                            const Access& access,
                                            const ConjunctiveQuery& query,
@@ -78,23 +79,30 @@ Result<bool> IsLongTermRelevantDependentCQ(const Configuration& conf,
 }
 
 Result<bool> IsLongTermRelevantDependentUCQ(
-    const Configuration& conf, const AccessMethodSet& acs,
+    const ConfigView& conf, const AccessMethodSet& acs,
     const Access& access, const UnionQuery& query,
     const ContainmentOptions& options) {
   if (!CheckWellFormed(conf, acs, access).ok()) return false;
   RAR_ASSIGN_OR_RETURN(
       LtrToContainmentInstance instance,
-      BuildLtrToContainment(*acs.schema(), acs, conf, access, query));
+      BuildLtrToContainment(*acs.schema(), acs, conf, access, query,
+                            /*materialize_conf=*/false));
+  // Zero-copy: IsBind(Bind) is overlaid onto the live configuration; the
+  // schema override retypes reads under the extension (relation ids are
+  // stable, and the fresh IsBind relation has no base facts).
+  OverlayConfiguration oconf(&conf);
+  oconf.OverrideSchema(instance.schema.get());
+  oconf.AddFact(instance.isbind_fact);
   ContainmentEngine engine(*instance.schema, instance.acs);
   RAR_ASSIGN_OR_RETURN(ContainmentDecision decision,
                        engine.Contained(instance.q_rewritten,
-                                        instance.q_original, instance.conf,
+                                        instance.q_original, oconf,
                                         options));
   return !decision.contained;
 }
 
 Result<bool> IsLongTermRelevantDependentGeneral(
-    const Configuration& conf, const AccessMethodSet& acs,
+    const ConfigView& conf, const AccessMethodSet& acs,
     const Access& access, const UnionQuery& query,
     const ContainmentOptions& options) {
   if (!CheckWellFormed(conf, acs, access).ok()) return false;
@@ -129,7 +137,9 @@ Result<bool> IsLongTermRelevantDependentGeneral(
       }
     }
   }
-  Configuration conf_plus = conf;
+  // Zero-copy truncation configuration: the generic response is overlaid
+  // onto the (uncopied) base for both probes below.
+  OverlayConfiguration conf_plus(&conf);
   conf_plus.AddFact(generic);
 
   // (b) the truncation cut: some dependent method can consume a fresh

@@ -26,14 +26,14 @@ namespace rar {
 
 /// Decides LTR via the Prop 3.5 subset algorithm (Boolean CQs).
 Result<bool> IsLongTermRelevantDependentCQ(
-    const Configuration& conf, const AccessMethodSet& acs,
+    const ConfigView& conf, const AccessMethodSet& acs,
     const Access& access, const ConjunctiveQuery& query,
     const ContainmentOptions& options = {});
 
 /// Decides LTR via the Prop 3.4 reduction to non-containment (Boolean
 /// UCQs / positive queries).
 Result<bool> IsLongTermRelevantDependentUCQ(
-    const Configuration& conf, const AccessMethodSet& acs,
+    const ConfigView& conf, const AccessMethodSet& acs,
     const Access& access, const UnionQuery& query,
     const ContainmentOptions& options = {});
 
@@ -54,7 +54,7 @@ Result<bool> IsLongTermRelevantDependentUCQ(
 ///
 /// Boolean accesses are delegated to the Prop 3.5 / 3.4 engines.
 Result<bool> IsLongTermRelevantDependentGeneral(
-    const Configuration& conf, const AccessMethodSet& acs,
+    const ConfigView& conf, const AccessMethodSet& acs,
     const Access& access, const UnionQuery& query,
     const ContainmentOptions& options = {});
 

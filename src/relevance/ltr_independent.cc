@@ -1,10 +1,12 @@
 #include "relevance/ltr_independent.h"
 
+#include <map>
 #include <unordered_set>
 #include <vector>
 
 #include "query/eval.h"
 #include "query/structure.h"
+#include "relational/overlay.h"
 
 namespace rar {
 
@@ -15,74 +17,130 @@ namespace {
 // binding values whose input-attribute domain matches, and one private
 // fresh null (freshest is canonical; sharing nulls between variables never
 // helps the truncation check and never changes group assignment).
+//
+// Hot-path discipline: the per-domain candidate lists (the borrowed Adom
+// slice plus the deduplicated off-Adom binding values) and the per-variable
+// nulls are computed once per search, and the truncation configuration is
+// one overlay Reset() between candidates — the enumeration's inner loop
+// neither re-scans the binding nor copies the configuration.
 class LtrIndepSearch {
  public:
-  LtrIndepSearch(const Configuration& conf, const AccessMethodSet& acs,
+  LtrIndepSearch(const ConfigView& conf, const AccessMethodSet& acs,
                  const Access& access, const ConjunctiveQuery& d,
                  const UnionQuery& full_query)
       : conf_(conf), acs_(acs), access_(access), d_(d),
         full_query_(full_query), method_(acs.method(access.method)),
-        assignment_(d.num_vars()) {}
+        assignment_(d.num_vars()), truncation_(&conf) {
+    // Hoisted per-variable candidates, shared across variables of the same
+    // domain. The Adom slice is borrowed (the configuration is pinned for
+    // the duration of the check); binding extras are the values typed by a
+    // matching input attribute that lie outside the active domain
+    // (independent accesses can guess new constants), deduplicated once.
+    const Relation& rel = acs.schema()->relation(method_.relation);
+    candidates_.resize(d.num_vars());
+    var_null_.resize(d.num_vars());
+    for (int v = 0; v < d.num_vars(); ++v) {
+      var_null_[v] = nulls_.Fresh();
+      if (!d.VarOccurs(v)) continue;
+      DomainId dom = d.var_domains[v];
+      auto [it, inserted] = extras_by_domain_.try_emplace(dom);
+      if (inserted) {
+        std::unordered_set<uint64_t> seen;
+        for (int i = 0; i < method_.num_inputs(); ++i) {
+          const Value& b = access.binding[i];
+          if (rel.attributes[method_.input_positions[i]].domain != dom) {
+            continue;
+          }
+          if (conf.AdomContains(b, dom)) continue;  // in the Adom slice
+          if (!seen.insert(b.Packed()).second) continue;
+          it->second.push_back(b);
+        }
+      }
+      candidates_[v] = VarCandidates{conf.AdomOfDomain(dom), &it->second};
+    }
+    // Pre-ground the atom skeleton once; Enum writes assignment values into
+    // the variable slots in place (constants are fixed up front).
+    grounded_.reserve(d.num_atoms());
+    for (const Atom& atom : d.atoms) {
+      Fact f;
+      f.relation = atom.relation;
+      f.values.resize(atom.arity());
+      for (int pos = 0; pos < atom.arity(); ++pos) {
+        if (atom.terms[pos].is_const()) {
+          f.values[pos] = atom.terms[pos].constant;
+        }
+      }
+      grounded_.push_back(std::move(f));
+    }
+  }
 
   bool Run() { return Enum(0); }
 
  private:
+  struct VarCandidates {
+    ValueSeq adom;                      ///< borrowed Adom slice
+    const std::vector<Value>* extras;   ///< off-Adom binding values
+  };
+
   bool Enum(int v) {
     if (v == d_.num_vars()) return CheckPartition();
     if (!d_.VarOccurs(v)) {
-      assignment_[v] = nulls_.Fresh();
+      assignment_[v] = var_null_[v];
       return Enum(v + 1);
     }
-    DomainId dom = d_.var_domains[v];
-    for (const Value& val : conf_.AdomOfDomain(dom)) {
+    const VarCandidates& c = candidates_[v];
+    for (const Value& val : c.adom) {
       assignment_[v] = val;
       if (Enum(v + 1)) return true;
     }
-    // Binding values typed by their input attribute (they may lie outside
-    // the active domain: independent accesses can guess new constants).
-    const Relation& rel = acs_.schema()->relation(method_.relation);
-    std::unordered_set<uint64_t> seen;
-    for (int i = 0; i < method_.num_inputs(); ++i) {
-      const Value& b = access_.binding[i];
-      if (rel.attributes[method_.input_positions[i]].domain != dom) continue;
-      if (conf_.AdomContains(b, dom)) continue;  // already tried above
-      if (!seen.insert(b.Packed()).second) continue;
-      assignment_[v] = b;
+    for (const Value& val : *c.extras) {
+      assignment_[v] = val;
       if (Enum(v + 1)) return true;
     }
-    assignment_[v] = nulls_.Fresh();
+    assignment_[v] = var_null_[v];
     return Enum(v + 1);
   }
 
   bool CheckPartition() {
-    // Group the grounded subgoals; the truncation configuration collects
-    // the later-witnessed facts.
-    Configuration truncation = conf_;
-    std::vector<Fact> facts = GroundAtoms(d_, assignment_);
+    // Group the grounded subgoals; the truncation configuration overlays
+    // the later-witnessed facts onto the (unchanged, uncopied) base.
+    truncation_.Reset();
     for (int i = 0; i < d_.num_atoms(); ++i) {
-      const Fact& f = facts[i];
+      Fact& f = grounded_[i];
+      const Atom& atom = d_.atoms[i];
+      for (int pos = 0; pos < atom.arity(); ++pos) {
+        if (atom.terms[pos].is_var()) {
+          f.values[pos] = assignment_[atom.terms[pos].var];
+        }
+      }
       if (conf_.Contains(f)) continue;  // Conf-witnessed
       if (FactMatchesAccess(acs_, access_, f)) continue;  // first access
       if (!acs_.HasMethod(f.relation)) return false;  // never witnessable
-      truncation.AddFact(f);  // witnessed by a later access
+      truncation_.AddFact(f);  // witnessed by a later access
     }
     // Witness iff the full query fails after the truncated path.
-    return !EvalBool(full_query_, truncation);
+    return !EvalBool(full_query_, truncation_);
   }
 
-  const Configuration& conf_;
+  const ConfigView& conf_;
   const AccessMethodSet& acs_;
   const Access& access_;
   const ConjunctiveQuery& d_;
   const UnionQuery& full_query_;
   const AccessMethod& method_;
   std::vector<Value> assignment_;
+  OverlayConfiguration truncation_;
+  std::vector<VarCandidates> candidates_;
+  std::vector<Value> var_null_;
+  /// Node-stable storage for the per-domain binding extras.
+  std::map<DomainId, std::vector<Value>> extras_by_domain_;
+  std::vector<Fact> grounded_;
   NullFactory nulls_;
 };
 
 }  // namespace
 
-bool IsLongTermRelevantIndependent(const Configuration& conf,
+bool IsLongTermRelevantIndependent(const ConfigView& conf,
                                    const AccessMethodSet& acs,
                                    const Access& access,
                                    const UnionQuery& query) {
@@ -95,7 +153,7 @@ bool IsLongTermRelevantIndependent(const Configuration& conf,
 }
 
 std::optional<bool> LtrSingleOccurrenceFastPath(
-    const Configuration& conf, const AccessMethodSet& acs,
+    const ConfigView& conf, const AccessMethodSet& acs,
     const Access& access, const ConjunctiveQuery& query) {
   const AccessMethod& m = acs.method(access.method);
   if (RelationOccurrences(query, m.relation) != 1) return std::nullopt;
@@ -137,8 +195,9 @@ std::optional<bool> LtrSingleOccurrenceFastPath(
   // A first access returning an already-known fact changes nothing.
   if (conf.Contains(grounded[r_atom])) return false;
 
-  // The truncation configuration: Conf plus every later-witnessed subgoal.
-  Configuration truncation = conf;
+  // The truncation configuration: Conf plus every later-witnessed subgoal,
+  // overlaid without copying the base.
+  OverlayConfiguration truncation(&conf);
   for (int i = 0; i < query.num_atoms(); ++i) {
     if (i == r_atom) continue;
     truncation.AddFact(grounded[i]);

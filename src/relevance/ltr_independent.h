@@ -37,7 +37,7 @@ namespace rar {
 
 /// Decides LTR for an independent-access setting (every method of `acs`
 /// must be independent; verified by the caller or dispatcher).
-bool IsLongTermRelevantIndependent(const Configuration& conf,
+bool IsLongTermRelevantIndependent(const ConfigView& conf,
                                    const AccessMethodSet& acs,
                                    const Access& access,
                                    const UnionQuery& query);
@@ -46,7 +46,7 @@ bool IsLongTermRelevantIndependent(const Configuration& conf,
 /// occurs more than once, or some query relation lacks a method — the
 /// proposition's implicit accessibility hypothesis). Exposed separately so
 /// tests and the ablation bench can compare it against the general engine.
-std::optional<bool> LtrSingleOccurrenceFastPath(const Configuration& conf,
+std::optional<bool> LtrSingleOccurrenceFastPath(const ConfigView& conf,
                                                 const AccessMethodSet& acs,
                                                 const Access& access,
                                                 const ConjunctiveQuery& query);

@@ -3,11 +3,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "relational/overlay.h"
 #include "util/combinatorics.h"
 
 namespace rar {
 
-Result<bool> RelevanceAnalyzer::LongTerm(const Configuration& conf,
+Result<bool> RelevanceAnalyzer::LongTerm(const ConfigView& conf,
                                          const Access& access,
                                          const UnionQuery& query,
                                          const RelevanceOptions& options) const {
@@ -25,9 +26,13 @@ Result<bool> RelevanceAnalyzer::LongTerm(const Configuration& conf,
   }
   // Boolean accesses take the paper's Prop 3.5 / 3.4 route; accesses with
   // output attributes take the truncation-cut extension (exact except for
-  // the achievable-but-uncuttable corner, which reports an error).
+  // the achievable-but-uncuttable corner, which reports an error). The
+  // deciders only consume the containment verdict, so witness
+  // construction (which materializes the base) stays off the check path.
+  ContainmentOptions copts = options.containment;
+  copts.build_witness = false;
   return IsLongTermRelevantDependentGeneral(conf, acs_, access, query,
-                                            options.containment);
+                                            copts);
 }
 
 namespace {
@@ -36,9 +41,9 @@ namespace {
 // domain plus k fresh constants per head domain, and hand each Boolean
 // instantiation to `decide`.
 Result<bool> ForEachHeadInstantiation(
-    const Schema& schema, const Configuration& conf, const UnionQuery& query,
+    const Schema& schema, const ConfigView& conf, const UnionQuery& query,
     const std::function<Result<bool>(const UnionQuery&,
-                                     const Configuration&)>& decide) {
+                                     const ConfigView&)>& decide) {
   if (query.disjuncts.empty()) {
     return Status::InvalidArgument("empty union query");
   }
@@ -63,8 +68,9 @@ Result<bool> ForEachHeadInstantiation(
   }
 
   // Mint k fresh constants per head domain (enough for every repetition
-  // pattern of the paper's c_k tuple) and seed them.
-  Configuration seeded = conf;
+  // pattern of the paper's c_k tuple) and seed them into an overlay (the
+  // base is not copied).
+  OverlayConfiguration seeded(&conf);
   std::unordered_map<DomainId, std::vector<Value>> fresh_by_domain;
   for (DomainId dom : head_domains) {
     auto& fresh = fresh_by_domain[dom];
@@ -75,8 +81,9 @@ Result<bool> ForEachHeadInstantiation(
     }
   }
 
-  // Candidate values per head position.
-  std::vector<std::vector<Value>> candidates(k);
+  // Candidate values per head position (borrowed; `seeded` is stable for
+  // the rest of the enumeration).
+  std::vector<ValueSeq> candidates(k);
   std::vector<int> sizes(k);
   for (size_t i = 0; i < k; ++i) {
     candidates[i] = seeded.AdomOfDomain(head_domains[i]);
@@ -108,22 +115,22 @@ Result<bool> ForEachHeadInstantiation(
 
 }  // namespace
 
-Result<bool> RelevanceAnalyzer::ImmediateKAry(const Configuration& conf,
+Result<bool> RelevanceAnalyzer::ImmediateKAry(const ConfigView& conf,
                                               const Access& access,
                                               const UnionQuery& query) const {
   return ForEachHeadInstantiation(
       schema_, conf, query,
-      [&](const UnionQuery& q, const Configuration& c) -> Result<bool> {
+      [&](const UnionQuery& q, const ConfigView& c) -> Result<bool> {
         return IsImmediatelyRelevant(c, acs_, access, q);
       });
 }
 
 Result<bool> RelevanceAnalyzer::LongTermKAry(
-    const Configuration& conf, const Access& access, const UnionQuery& query,
+    const ConfigView& conf, const Access& access, const UnionQuery& query,
     const RelevanceOptions& options) const {
   return ForEachHeadInstantiation(
       schema_, conf, query,
-      [&](const UnionQuery& q, const Configuration& c) -> Result<bool> {
+      [&](const UnionQuery& q, const ConfigView& c) -> Result<bool> {
         return LongTerm(c, access, q, options);
       });
 }

@@ -33,7 +33,7 @@ class RelevanceAnalyzer {
 
   /// Immediate relevance of a Boolean query (Prop 4.1; same procedure for
   /// dependent and independent methods).
-  bool Immediate(const Configuration& conf, const Access& access,
+  bool Immediate(const ConfigView& conf, const Access& access,
                  const UnionQuery& query) const {
     return IsImmediatelyRelevant(conf, acs_, access, query);
   }
@@ -42,16 +42,16 @@ class RelevanceAnalyzer {
   /// independent -> Σ2P engine (Prop 4.5), with the Prop 4.3 fast path for
   /// single-occurrence CQs; otherwise the containment-backed engines
   /// (Prop 3.5 for CQs, Prop 3.4 for UCQs).
-  Result<bool> LongTerm(const Configuration& conf, const Access& access,
+  Result<bool> LongTerm(const ConfigView& conf, const Access& access,
                         const UnionQuery& query,
                         const RelevanceOptions& options = {}) const;
 
   /// Prop 2.2: k-ary immediate relevance via head instantiation.
-  Result<bool> ImmediateKAry(const Configuration& conf, const Access& access,
+  Result<bool> ImmediateKAry(const ConfigView& conf, const Access& access,
                              const UnionQuery& query) const;
 
   /// Prop 2.2: k-ary long-term relevance via head instantiation.
-  Result<bool> LongTermKAry(const Configuration& conf, const Access& access,
+  Result<bool> LongTermKAry(const ConfigView& conf, const Access& access,
                             const UnionQuery& query,
                             const RelevanceOptions& options = {}) const;
 

@@ -9,8 +9,8 @@ namespace rar {
 
 Result<LtrToContainmentInstance> BuildLtrToContainment(
     const Schema& schema, const AccessMethodSet& acs,
-    const Configuration& conf, const Access& access,
-    const UnionQuery& query) {
+    const ConfigView& conf, const Access& access,
+    const UnionQuery& query, bool materialize_conf) {
   RAR_RETURN_NOT_OK(CheckWellFormed(conf, acs, access));
   if (!query.IsBoolean()) {
     return Status::InvalidArgument("Prop 3.4 reduction needs a Boolean query");
@@ -36,10 +36,13 @@ Result<LtrToContainmentInstance> BuildLtrToContainment(
   RAR_ASSIGN_OR_RETURN(out.acs, RebindMethods(*out.schema, acs));
 
   // Rebase the configuration onto the extended schema before adding the
-  // IsBind fact (fact insertion consults the schema for attribute domains).
+  // IsBind fact (fact insertion consults the schema for attribute
+  // domains). Zero-copy callers skip the rebase and overlay isbind_fact
+  // onto the live configuration themselves.
+  out.isbind_fact = Fact(isbind, access.binding);
   out.conf = Configuration(out.schema.get());
-  out.conf.UnionWith(conf);
-  out.conf.AddFact(Fact(isbind, access.binding));
+  if (materialize_conf) out.conf.UnionWithView(conf);
+  if (materialize_conf) out.conf.AddFact(out.isbind_fact);
 
   // Rewrite each disjunct: per occurrence of R, choose the original atom or
   // its IsBind(i1..ik) replacement.

@@ -33,15 +33,25 @@ namespace rar {
 struct LtrToContainmentInstance {
   std::shared_ptr<Schema> schema;  ///< extended with IsBind
   AccessMethodSet acs;     ///< original methods rebased onto the new schema
-  Configuration conf;      ///< original configuration + IsBind(Bind)
+  /// Original configuration + IsBind(Bind) — materialized only when
+  /// `materialize_conf` was set; otherwise empty (the caller overlays
+  /// `isbind_fact` onto the live configuration instead).
+  Configuration conf;
+  Fact isbind_fact;        ///< IsBind(Bind) over the extended schema
   UnionQuery q_rewritten;  ///< Q' (the candidate contained query)
   UnionQuery q_original;   ///< Q over the extended schema (same ids)
 };
 
 /// Builds the Prop 3.4 instance. The access must be well-formed at `conf`.
+/// With `materialize_conf` false the O(|Conf|) copy into `instance.conf`
+/// is skipped — the zero-copy route for callers (the UCQ LTR decider)
+/// that evaluate over an OverlayConfiguration with an OverrideSchema
+/// instead (relation ids are stable across the extension, so the live
+/// configuration reads correctly under the extended schema).
 Result<LtrToContainmentInstance> BuildLtrToContainment(
     const Schema& schema, const AccessMethodSet& acs,
-    const Configuration& conf, const Access& access, const UnionQuery& query);
+    const ConfigView& conf, const Access& access, const UnionQuery& query,
+    bool materialize_conf = true);
 
 }  // namespace rar
 

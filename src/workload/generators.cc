@@ -54,7 +54,7 @@ ConjunctiveQuery RandomQuery(Rng* rng, const Scenario& scenario,
   for (int v = 0; v < num_vars; ++v) {
     cq.AddVar("V" + std::to_string(v), d);
   }
-  std::vector<Value> constants = scenario.conf.AdomOfDomain(d);
+  std::vector<Value> constants = scenario.conf.AdomOfDomain(d).ToVector();
   for (int i = 0; i < num_atoms; ++i) {
     RelationId rel =
         static_cast<RelationId>(rng->Below(schema.num_relations()));
@@ -85,13 +85,13 @@ bool RandomAccess(Rng* rng, const Scenario& scenario, Access* out) {
     access.method = mid;
     bool ok = true;
     for (int pos : m.input_positions) {
-      const std::vector<Value>& candidates =
+      ValueSeq candidates =
           scenario.conf.AdomOfDomain(rel.attributes[pos].domain);
       if (candidates.empty()) {
         ok = false;
         break;
       }
-      access.binding.push_back(rng->Pick(candidates));
+      access.binding.push_back(candidates[rng->Below(candidates.size())]);
     }
     if (!ok) continue;
     *out = std::move(access);

@@ -111,7 +111,7 @@ TEST_F(AccessTest, PathReplayAndTruncation) {
   AccessMethodId r_by_in = *acs_.Add("r_by_in", r_, {0}, /*dependent=*/true);
   Configuration conf(&schema_);
 
-  AccessPath path(conf, &acs_);
+  AccessPath path(&conf, &acs_);
   path.Append(AccessStep{Access{s_free, {}}, {Fact(s_, {C("v")})}});
   path.Append(AccessStep{Access{r_by_in, {C("v")}},
                          {Fact(r_, {C("v"), C("w")})}});
@@ -133,7 +133,7 @@ TEST_F(AccessTest, TruncationKeepsIndependentSuffix) {
   AccessMethodId r_any = *acs_.Add("r_any", r_, {0}, /*dependent=*/false);
   Configuration conf(&schema_);
 
-  AccessPath path(conf, &acs_);
+  AccessPath path(&conf, &acs_);
   path.Append(AccessStep{Access{s_free, {}}, {Fact(s_, {C("v")})}});
   path.Append(AccessStep{Access{r_any, {C("z")}},
                          {Fact(r_, {C("z"), C("w")})}});
@@ -199,7 +199,7 @@ TEST_F(AccessTest, BuildRealizingStepsReplays) {
                              Fact(s_, {n0})};
   auto steps = BuildRealizingSteps(conf, acs_, facts);
   ASSERT_TRUE(steps.ok());
-  AccessPath path(conf, &acs_);
+  AccessPath path(&conf, &acs_);
   for (const AccessStep& s : *steps) path.Append(s);
   auto final_conf = path.Replay();
   ASSERT_TRUE(final_conf.ok());

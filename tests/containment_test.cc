@@ -188,7 +188,7 @@ TEST_F(ContainmentTest, WitnessReplaysAsWellFormedPath) {
   *acs_.Add("s_free", s_, {}, /*dependent=*/true);
   ContainmentDecision dec = Decide(UCQ("T(X)"), UCQ("R(X, X)"));
   ASSERT_TRUE(dec.witness.has_value());
-  AccessPath path(conf_, &acs_);
+  AccessPath path(&conf_, &acs_);
   for (const AccessStep& step : dec.witness->steps) path.Append(step);
   auto replayed = path.Replay();
   ASSERT_TRUE(replayed.ok());

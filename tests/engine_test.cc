@@ -167,7 +167,7 @@ std::vector<Access> EnumerateAll(const Schema& schema,
     std::vector<std::vector<Value>> slots;
     bool feasible = true;
     for (int pos : m.input_positions) {
-      slots.push_back(conf.AdomOfDomain(rel.attributes[pos].domain));
+      slots.push_back(conf.AdomOfDomain(rel.attributes[pos].domain).ToVector());
       if (slots.back().empty()) feasible = false;
     }
     if (!feasible) continue;
@@ -215,7 +215,7 @@ TEST(AccessFrontierTest, IncrementalEnumerationMatchesFullReEnumeration) {
 
     // Grow the configuration a few times; the incremental frontier must
     // keep matching a from-scratch enumeration.
-    std::vector<Value> constants = conf.AdomOfDomain(0);
+    std::vector<Value> constants = conf.AdomOfDomain(0).ToVector();
     for (int step = 0; step < 4; ++step) {
       RelationId rel =
           static_cast<RelationId>(rng.Below(s.schema->num_relations()));
@@ -302,7 +302,7 @@ TEST(WorkerPoolTest, WaitIsABarrier) {
 // Builds a random hidden instance over the scenario's constants.
 Configuration RandomHidden(Rng* rng, const Scenario& s, int num_facts) {
   Configuration hidden(s.schema.get());
-  std::vector<Value> constants = s.conf.AdomOfDomain(0);
+  std::vector<Value> constants = s.conf.AdomOfDomain(0).ToVector();
   for (int i = 0; i < num_facts; ++i) {
     RelationId rel =
         static_cast<RelationId>(rng->Below(s.schema->num_relations()));

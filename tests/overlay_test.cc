@@ -1,0 +1,207 @@
+// Overlay-view semantics: an OverlayConfiguration must be observationally
+// equivalent to the materialized union of its base and delta — for direct
+// reads (Contains / FactsOf / FactsWith / AdomOfDomain / AdomContains) and
+// for the evaluation layer (EvalBool / CertainAnswers), on randomized
+// configurations and deltas. Plus the reuse contracts the deciders rely
+// on: Reset() between candidates and LIFO AddFact/PopFact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "query/eval.h"
+#include "relational/configuration.h"
+#include "relational/overlay.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace rar {
+namespace {
+
+// A random fact over the scenario's schema (values drawn from the interned
+// constant pool, so facts collide with configuration facts often enough to
+// exercise the dedup paths).
+Fact RandomFact(Rng* rng, const Scenario& s, int num_constants) {
+  RelationId rel = static_cast<RelationId>(
+      rng->Below(s.schema->num_relations()));
+  Fact f;
+  f.relation = rel;
+  for (int pos = 0; pos < s.schema->relation(rel).arity(); ++pos) {
+    f.values.push_back(s.schema->InternConstant(
+        "c" + std::to_string(rng->Below(num_constants))));
+  }
+  return f;
+}
+
+TEST(OverlayTest, ReadsMatchMaterializedUnion) {
+  Rng rng(7);
+  RandomScenarioOptions opts;
+  opts.num_relations = 3;
+  opts.max_arity = 2;
+  opts.num_constants = 5;
+  opts.num_facts = 8;
+  for (int round = 0; round < 60; ++round) {
+    Scenario s = RandomScenario(&rng, opts);
+    OverlayConfiguration overlay(&s.conf);
+    Configuration materialized = s.conf;
+    const int delta_size = 1 + static_cast<int>(rng.Below(5));
+    for (int i = 0; i < delta_size; ++i) {
+      Fact f = RandomFact(&rng, s, opts.num_constants);
+      EXPECT_EQ(overlay.AddFact(f), materialized.AddFact(f));
+    }
+
+    ASSERT_EQ(overlay.NumFacts(), materialized.NumFacts());
+    EXPECT_EQ(overlay.AdomEntries(), materialized.AdomEntries());
+    for (RelationId rel = 0; rel < s.schema->num_relations(); ++rel) {
+      FactSeq via_overlay = overlay.FactsOf(rel);
+      FactSeq direct = materialized.FactsOf(rel);
+      ASSERT_EQ(via_overlay.size(), direct.size());
+      for (size_t i = 0; i < via_overlay.size(); ++i) {
+        // Same fact *sets* per relation; overlay order is base-then-delta,
+        // which matches Configuration insertion order here because the
+        // materialized copy replays the delta in the same order.
+        EXPECT_EQ(via_overlay[i], direct[i]);
+        EXPECT_TRUE(overlay.Contains(direct[i]));
+        // The position index must narrow to exactly the matching facts.
+        for (int pos = 0; pos < direct[i].arity(); ++pos) {
+          IndexSeq narrowed = overlay.FactsWith(rel, pos, direct[i].values[pos]);
+          bool found = false;
+          for (size_t idx : narrowed) {
+            ASSERT_LT(idx, via_overlay.size());
+            EXPECT_EQ(via_overlay[idx].values[pos], direct[i].values[pos]);
+            found |= (via_overlay[idx] == direct[i]);
+          }
+          EXPECT_TRUE(found);
+        }
+      }
+    }
+    for (DomainId d = 0; d < s.schema->num_domains(); ++d) {
+      EXPECT_EQ(overlay.AdomOfDomain(d).ToVector(),
+                materialized.AdomOfDomain(d).ToVector());
+      for (const Value& v : overlay.AdomOfDomain(d)) {
+        EXPECT_TRUE(materialized.AdomContains(v, d));
+      }
+    }
+  }
+}
+
+TEST(OverlayTest, EvalBoolMatchesMaterializedUnion) {
+  Rng rng(31);
+  RandomScenarioOptions opts;
+  opts.num_relations = 3;
+  opts.max_arity = 2;
+  opts.num_constants = 4;
+  opts.num_facts = 6;
+  int true_count = 0;
+  for (int round = 0; round < 120; ++round) {
+    Scenario s = RandomScenario(&rng, opts);
+    OverlayConfiguration overlay(&s.conf);
+    Configuration materialized = s.conf;
+    const int delta_size = static_cast<int>(rng.Below(5));
+    for (int i = 0; i < delta_size; ++i) {
+      Fact f = RandomFact(&rng, s, opts.num_constants);
+      overlay.AddFact(f);
+      materialized.AddFact(f);
+    }
+    for (int q = 0; q < 4; ++q) {
+      ConjunctiveQuery cq = RandomQuery(&rng, s, 1 + rng.Below(3),
+                                        1 + rng.Below(3), 0.3);
+      UnionQuery uq;
+      uq.disjuncts.push_back(cq);
+      bool via_overlay = EvalBool(uq, overlay);
+      EXPECT_EQ(via_overlay, EvalBool(uq, materialized));
+      true_count += via_overlay ? 1 : 0;
+      EXPECT_EQ(CertainAnswers(uq, overlay), CertainAnswers(uq, materialized));
+    }
+  }
+  EXPECT_GT(true_count, 0) << "property test never exercised the true case";
+}
+
+TEST(OverlayTest, ResetDropsDeltaAndKeepsBase) {
+  Rng rng(3);
+  RandomScenarioOptions opts;
+  Scenario s = RandomScenario(&rng, opts);
+  const size_t base_facts = s.conf.NumFacts();
+  std::vector<TypedValue> base_adom = s.conf.AdomEntries();
+
+  OverlayConfiguration overlay(&s.conf);
+  for (int i = 0; i < 6; ++i) {
+    overlay.AddFact(RandomFact(&rng, s, opts.num_constants));
+  }
+  overlay.Reset();
+  EXPECT_EQ(overlay.NumFacts(), base_facts);
+  EXPECT_EQ(overlay.delta_num_facts(), 0u);
+  EXPECT_EQ(overlay.AdomEntries(), base_adom);
+  for (RelationId rel = 0; rel < s.schema->num_relations(); ++rel) {
+    EXPECT_EQ(overlay.NumFactsOf(rel), s.conf.NumFactsOf(rel));
+  }
+}
+
+TEST(OverlayTest, PopFactIsLifoInverse) {
+  Rng rng(11);
+  RandomScenarioOptions opts;
+  opts.num_constants = 3;
+  Scenario s = RandomScenario(&rng, opts);
+  OverlayConfiguration overlay(&s.conf);
+
+  // Push a random stack of (deduplicated) facts, recording checkpoints.
+  std::vector<Fact> stack;
+  std::vector<std::vector<TypedValue>> adom_at;
+  for (int i = 0; i < 8; ++i) {
+    Fact f = RandomFact(&rng, s, opts.num_constants);
+    adom_at.push_back(overlay.AdomEntries());
+    if (overlay.AddFact(f)) {
+      stack.push_back(f);
+    } else {
+      adom_at.pop_back();
+    }
+  }
+  while (!stack.empty()) {
+    EXPECT_TRUE(overlay.Contains(stack.back()));
+    EXPECT_TRUE(overlay.PopFact());
+    EXPECT_FALSE(overlay.Contains(stack.back()) &&
+                 !s.conf.Contains(stack.back()));
+    EXPECT_EQ(overlay.AdomEntries(), adom_at.back());
+    stack.pop_back();
+    adom_at.pop_back();
+  }
+  EXPECT_FALSE(overlay.PopFact());
+  EXPECT_EQ(overlay.NumFacts(), s.conf.NumFacts());
+}
+
+TEST(OverlayTest, NestedOverlaysCompose) {
+  Schema schema;
+  DomainId d = schema.AddDomain("D");
+  RelationId r = *schema.AddRelation("R", {{"a", d}, {"b", d}});
+  Configuration base(&schema);
+  Value c0 = schema.InternConstant("c0");
+  Value c1 = schema.InternConstant("c1");
+  Value c2 = schema.InternConstant("c2");
+  base.AddFact(Fact(r, {c0, c1}));
+
+  OverlayConfiguration mid(&base);
+  mid.AddFact(Fact(r, {c1, c2}));
+  OverlayConfiguration top(&mid);
+  top.AddFact(Fact(r, {c2, c0}));
+
+  EXPECT_EQ(top.NumFactsOf(r), 3u);
+  EXPECT_TRUE(top.Contains(Fact(r, {c0, c1})));
+  EXPECT_TRUE(top.Contains(Fact(r, {c1, c2})));
+  EXPECT_TRUE(top.Contains(Fact(r, {c2, c0})));
+  EXPECT_FALSE(mid.Contains(Fact(r, {c2, c0})));
+  // FactsWith indices are global across all three layers.
+  FactSeq facts = top.FactsOf(r);
+  for (size_t i = 0; i < facts.size(); ++i) {
+    IndexSeq narrowed = top.FactsWith(r, 0, facts[i].values[0]);
+    bool found = false;
+    for (size_t idx : narrowed) found |= (idx == i);
+    EXPECT_TRUE(found);
+  }
+  // The materialized view agrees.
+  Configuration flat = MaterializeConfig(top);
+  EXPECT_EQ(flat.NumFacts(), 3u);
+  EXPECT_EQ(flat.AdomEntries(), top.AdomEntries());
+}
+
+}  // namespace
+}  // namespace rar

@@ -206,7 +206,7 @@ TEST_P(PropertyTest, WitnessesAlwaysReplayValid) {
     ASSERT_TRUE(dec.ok());
     if (dec->contained) continue;
     ASSERT_TRUE(dec->witness.has_value());
-    AccessPath path(s.conf, &s.acs);
+    AccessPath path(&s.conf, &s.acs);
     for (const AccessStep& step : dec->witness->steps) path.Append(step);
     auto replayed = path.Replay();
     ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();

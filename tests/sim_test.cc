@@ -160,7 +160,7 @@ TEST(MediatorTest, AgreesWithDirectEvaluationOnRandomScenarios) {
 
     // Hidden instance: random facts over the same constants.
     Configuration hidden(scenario.schema.get());
-    std::vector<Value> constants = scenario.conf.AdomOfDomain(0);
+    std::vector<Value> constants = scenario.conf.AdomOfDomain(0).ToVector();
     for (int i = 0; i < 8; ++i) {
       RelationId rel = static_cast<RelationId>(
           rng.Below(scenario.schema->num_relations()));
