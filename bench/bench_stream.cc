@@ -1,0 +1,220 @@
+// Incremental stream maintenance vs per-apply full k-ary re-enumeration.
+//
+// The pre-stream architecture re-ran the Prop 2.2 instantiation loop from
+// scratch after every response: |Adom ∪ fresh|^k binding evaluations per
+// apply, no matter which relation the response touched. The stream
+// registry instead rechecks only the bindings whose footprint stamps the
+// response invalidated — on a multi-relation schema, an apply to a
+// foreign relation skips the whole stream in O(1).
+//
+// Workload: schema R0(D0,D0) / S0(D0,D0) / R1(D1,D1); a standing unary
+// stream Q(X) :- R0(X,Y), S0(Y,Z), S0(Z,W) over |adom(D0)| ∈ {100, 1k,
+// 10k}; a mixed apply sequence of 60 responses, mostly to R1 (footprint-
+// disjoint) with one footprint hit every 30 (alternating R0 / S0
+// responses). Both modes maintain the same artifact — the per-binding
+// certain/relevant map — and are compared for verdict parity against the
+// per-binding reference loop at the end. One JSON line per point, to
+// stdout and written to BENCH_stream.json (overwritten per run):
+//
+//   {"bench":"stream","adom":10000,"bindings":10001,"applies":60,
+//    "hit_applies":2,"stream_ms":...,"full_ms":...,"speedup":...,
+//    "rechecks":...,"skips":...,"parity":true}
+//
+// Usage: bench_stream [--max_adom=N]  (CI smoke passes 1000).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "query/eval.h"
+#include "relational/overlay.h"
+#include "relevance/head_instantiator.h"
+#include "relevance/immediate.h"
+#include "stream/registry.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(const Clock::time_point& t0, const Clock::time_point& t1) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+             .count() /
+         1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rar;
+  long max_adom = 10000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max_adom=", 11) == 0) {
+      max_adom = std::atol(argv[i] + 11);
+    }
+  }
+  std::FILE* out = std::fopen("BENCH_stream.json", "w");
+
+  for (long n : {100L, 1000L, 10000L}) {
+    if (n > max_adom) continue;
+
+    Schema schema;
+    DomainId d0 = schema.AddDomain("D0");
+    DomainId d1 = schema.AddDomain("D1");
+    RelationId r0 = *schema.AddRelation("R0", {{"x", d0}, {"y", d0}});
+    RelationId s0 = *schema.AddRelation("S0", {{"x", d0}, {"y", d0}});
+    RelationId r1 = *schema.AddRelation("R1", {{"x", d1}, {"y", d1}});
+    AccessMethodSet acs(&schema);
+    // The free R0 method keeps one access pending forever (the standing
+    // relevance witness); the dependent ones are what the driver performs.
+    AccessMethodId m0_free = *acs.Add("r0_free", r0, {}, /*dependent=*/false);
+    AccessMethodId m0_by0 = *acs.Add("r0_by0", r0, {0}, /*dependent=*/true);
+    AccessMethodId ms0_by0 = *acs.Add("s0_by0", s0, {0}, /*dependent=*/true);
+    AccessMethodId m1_free = *acs.Add("r1_free", r1, {}, /*dependent=*/false);
+    (void)m1_free;
+
+    Configuration initial(&schema);
+    std::vector<Value> d0s, d1s;
+    for (long i = 0; i < n; ++i) {
+      d0s.push_back(schema.InternConstant("v" + std::to_string(i)));
+      initial.AddSeedConstant(d0s.back(), d0);
+    }
+    for (long i = 0; i < 64; ++i) {
+      d1s.push_back(schema.InternConstant("e" + std::to_string(i)));
+      initial.AddSeedConstant(d1s.back(), d1);
+    }
+    // A band of S0 facts so the join below does real evaluation work per
+    // binding (what each mode amortizes is the decider, not bookkeeping).
+    for (long i = 0; i + 1 < n && i < n / 2; ++i) {
+      initial.AddFact(Fact(s0, {d0s[i], d0s[i + 1]}));
+    }
+
+    // Q(X) :- R0(X, Y), S0(Y, Z), S0(Z, W): a per-binding join chain.
+    ConjunctiveQuery q;
+    VarId x = q.AddVar("X", d0);
+    VarId y = q.AddVar("Y", d0);
+    VarId z = q.AddVar("Z", d0);
+    VarId w = q.AddVar("W", d0);
+    q.atoms.push_back(Atom{r0, {Term::MakeVar(x), Term::MakeVar(y)}});
+    q.atoms.push_back(Atom{s0, {Term::MakeVar(y), Term::MakeVar(z)}});
+    q.atoms.push_back(Atom{s0, {Term::MakeVar(z), Term::MakeVar(w)}});
+    q.head = {x};
+    UnionQuery uq;
+    uq.disjuncts.push_back(q);
+    if (!uq.Validate(schema).ok()) return 1;
+
+    // The apply script: 60 responses, one R0 hit every 20 (existing
+    // values only: the binding set stays fixed, the win is footprint
+    // narrowing, not delta enumeration).
+    constexpr int kApplies = 60;
+    constexpr int kHitPeriod = 30;
+    struct Step {
+      Access access;
+      std::vector<Fact> response;
+      bool hit;
+    };
+    std::vector<Step> script;
+    int hits = 0;
+    for (int i = 0; i < kApplies; ++i) {
+      if ((i + 1) % kHitPeriod == 0) {
+        const Value& a = d0s[(2 * hits) % n];
+        const Value& b = d0s[(2 * hits + 1) % n];
+        if (hits % 2 == 0) {
+          script.push_back(
+              {Access{m0_by0, {a}}, {Fact(r0, {a, b})}, /*hit=*/true});
+        } else {
+          script.push_back(
+              {Access{ms0_by0, {a}}, {Fact(s0, {a, b})}, /*hit=*/true});
+        }
+        ++hits;
+      } else {
+        const Value& a = d1s[i % d1s.size()];
+        const Value& b = d1s[(i * 7 + 1) % d1s.size()];
+        script.push_back(
+            {Access{m1_free, {}}, {Fact(r1, {a, b})}, /*hit=*/false});
+      }
+    }
+
+    // --- Incremental: standing stream, apply-driven maintenance --------
+    EngineOptions eopts;
+    eopts.num_threads = 1;  // keep the comparison purely algorithmic
+    RelevanceEngine engine(schema, acs, initial, eopts);
+    RelevanceStreamRegistry registry(&engine);
+    StreamOptions sopts;  // IR-only
+    auto sid = registry.Register(uq, sopts);
+    if (!sid.ok()) {
+      std::fprintf(stderr, "register: %s\n", sid.status().ToString().c_str());
+      return 1;
+    }
+    const EngineStats at_start = engine.stats();
+
+    Clock::time_point t0 = Clock::now();
+    for (const Step& step : script) {
+      if (!engine.ApplyResponse(step.access, step.response).ok()) return 1;
+    }
+    Clock::time_point t1 = Clock::now();
+    const double stream_ms = MsBetween(t0, t1);
+    EngineStats st = engine.stats();
+    const uint64_t rechecks = st.stream_rechecks - at_start.stream_rechecks;
+    const uint64_t skips = st.stream_skips - at_start.stream_skips;
+
+    // --- Baseline: full k-ary re-enumeration after every apply ---------
+    // Maintains the same per-binding map by re-running the Prop 2.2 loop
+    // (certainty + one IR probe against the standing free access) over
+    // every binding, every apply.
+    HeadInstantiator inst(schema, uq);
+    if (!inst.status().ok()) return 1;
+    Configuration mirror = initial;
+    OverlayConfiguration seeded(&mirror);
+    inst.SeedInto(&seeded);
+    HeadCandidates cands = inst.CollectCandidates(mirror);
+    const Access standing{m0_free, {}};
+    std::vector<char> full_certain, full_relevant;
+
+    t0 = Clock::now();
+    for (const Step& step : script) {
+      for (const Fact& f : step.response) mirror.AddFact(f);
+      full_certain.clear();
+      full_relevant.clear();
+      inst.ForEachBinding(cands, [&](const std::vector<Value>& slots) {
+        UnionQuery q_b = inst.Instantiate(slots);
+        const bool certain = EvalBool(q_b, seeded);
+        const bool relevant =
+            !certain && IsImmediatelyRelevant(seeded, acs, standing, q_b);
+        full_certain.push_back(certain ? 1 : 0);
+        full_relevant.push_back(relevant ? 1 : 0);
+        return false;
+      });
+    }
+    t1 = Clock::now();
+    const double full_ms = MsBetween(t0, t1);
+
+    // --- Parity: stream state == the reference per-binding loop --------
+    StreamSnapshot snap = registry.Snapshot(*sid);
+    bool parity = snap.bindings_tracked == full_certain.size();
+    for (size_t i = 0; parity && i < snap.bindings.size(); ++i) {
+      parity = snap.bindings[i].certain == (full_certain[i] != 0) &&
+               snap.bindings[i].relevant == (full_relevant[i] != 0);
+    }
+    if (!parity) {
+      std::fprintf(stderr, "verdict parity failure at adom=%ld\n", n);
+      return 1;
+    }
+
+    std::string line =
+        "{\"bench\":\"stream\",\"adom\":" + std::to_string(n) +
+        ",\"bindings\":" + std::to_string(snap.bindings_tracked) +
+        ",\"applies\":" + std::to_string(kApplies) +
+        ",\"hit_applies\":" + std::to_string(hits) + ",\"stream_ms\":" +
+        std::to_string(stream_ms) + ",\"full_ms\":" + std::to_string(full_ms) +
+        ",\"speedup\":" + std::to_string(full_ms / stream_ms) +
+        ",\"rechecks\":" + std::to_string(rechecks) +
+        ",\"skips\":" + std::to_string(skips) + ",\"parity\":true}";
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+    if (out != nullptr) std::fprintf(out, "%s\n", line.c_str());
+  }
+  if (out != nullptr) std::fclose(out);
+  return 0;
+}

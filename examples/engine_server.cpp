@@ -13,6 +13,7 @@
 
 #include "engine/engine.h"
 #include "sim/deep_web.h"
+#include "stream/registry.h"
 #include "util/rng.h"
 #include "workload/generators.h"
 
@@ -84,6 +85,61 @@ int main() {
                 static_cast<unsigned long long>(st.frontier_pending),
                 relevant, *added, st.cache_hit_rate(),
                 engine.IsCertain(*qid) ? "yes" : "no");
+  }
+
+  // --- Standing k-ary stream on the same engine -----------------------
+  // Q(X) :- E(X, Y): which nodes verifiably have an outgoing edge, and
+  // for which is some pending access still relevant? The registry keeps
+  // the per-binding answer resident; each further response recomputes
+  // only the bindings it invalidated (here: every E apply hits the
+  // footprint, but settled bindings stay skipped).
+  RelevanceStreamRegistry registry(&engine);
+  {
+    const RelationId e = s.schema->FindRelation("E");
+    ConjunctiveQuery kq;
+    VarId x = kq.AddVar("X", 0);
+    VarId y = kq.AddVar("Y", 0);
+    kq.atoms.push_back(Atom{e, {Term::MakeVar(x), Term::MakeVar(y)}});
+    kq.head = {x};
+    UnionQuery kuq;
+    kuq.disjuncts.push_back(kq);
+    auto sid = registry.Register(kuq, StreamOptions{});
+    if (!sid.ok()) {
+      std::printf("stream register failed: %s\n",
+                  sid.status().ToString().c_str());
+      return 1;
+    }
+    // Absorb a few more responses and drain the delta stream.
+    for (int extra = 0; extra < 4; ++extra) {
+      std::vector<Access> pending = engine.PendingAccesses();
+      const Access* next = nullptr;
+      for (const Access& a : pending) {
+        if (!engine.WasPerformed(a)) {
+          next = &a;
+          break;
+        }
+      }
+      if (next == nullptr) break;
+      auto response = source.Execute(engine, *next);
+      if (!response.ok() ||
+          !engine.ApplyResponse(*next, *response).ok()) {
+        break;
+      }
+      StreamDelta delta = registry.Poll(*sid);
+      std::printf("stream tick %d: %zu event(s)\n", extra,
+                  delta.events.size());
+      for (const StreamEvent& ev : delta.events) {
+        std::printf("  #%llu %s %s\n",
+                    static_cast<unsigned long long>(ev.sequence),
+                    ToString(ev.kind),
+                    s.schema->ValueToString(ev.binding[0]).c_str());
+      }
+    }
+    StreamSnapshot snap = registry.Snapshot(*sid);
+    std::printf(
+        "stream snapshot: %zu bindings tracked, %zu certain, %zu still "
+        "relevant\n",
+        snap.bindings_tracked, snap.certain, snap.relevant);
   }
 
   EngineStats st = engine.stats();

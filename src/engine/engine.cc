@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "query/eval.h"
+#include "relational/overlay.h"
 
 namespace rar {
 
@@ -61,6 +62,26 @@ std::string EngineStats::ToString() const {
       os << invalidations_by_relation[i];
     }
     os << "]";
+  }
+  if (streams_registered > 0) {
+    os << " streams=" << streams_registered
+       << " bindings=" << stream_bindings << " (" << stream_new_bindings
+       << " mid-stream) rechecked=" << stream_rechecks
+       << " skipped=" << stream_skips << "+" << stream_sticky_skips
+       << " settled, events=" << stream_events;
+    if (!stream_rechecks_by_relation.empty()) {
+      os << " stream_rechecks=[";
+      for (size_t i = 0; i < stream_rechecks_by_relation.size(); ++i) {
+        if (i > 0) os << " ";
+        if (i + 1 == stream_rechecks_by_relation.size()) {
+          os << "adom:";
+        } else {
+          os << "r" << i << ":";
+        }
+        os << stream_rechecks_by_relation[i];
+      }
+      os << "]";
+    }
   }
   return os.str();
 }
@@ -122,6 +143,7 @@ Result<QueryId> RelevanceEngine::RegisterQuery(const UnionQuery& query) {
   state->query = query;
   RAR_RETURN_NOT_OK(state->query.Validate(schema_));
   state->footprint = RelationFootprint::Of(state->query);
+  state->seeds = QueryConstants(state->query, schema_);
   // Exclusive state lock: checks on already-registered ids read queries_
   // under the shared lock, and push_back may reallocate the vector.
   std::unique_lock<std::shared_mutex> lock(state_mu_);
@@ -153,40 +175,55 @@ Status RelevanceEngine::ValidateAccess(const Access& access) const {
 
 Result<int> RelevanceEngine::ApplyResponse(const Access& access,
                                            const std::vector<Fact>& response) {
-  ActivityScope applying(&active_applies_);
-  std::shared_lock<std::shared_mutex> state(state_mu_);
-  counters_.Bump(counters_.responses_applied);
-  if (active_checks_.load(std::memory_order_relaxed) > 0) {
-    counters_.Bump(counters_.overlapped_applies);
-  }
-  {
-    std::shared_lock<std::shared_mutex> adom(adom_mu_);
-    RAR_RETURN_NOT_OK(CheckWellFormed(conf_, acs_, access));
-    RAR_RETURN_NOT_OK(ValidateResponse(acs_, access, response));
-    bool grows_adom = false;
-    for (const Fact& f : response) {
-      const Relation& rel = schema_.relation(f.relation);
-      for (int pos = 0; pos < f.arity() && !grows_adom; ++pos) {
-        grows_adom = !conf_.AdomContains(f.values[pos],
-                                         rel.attributes[pos].domain);
-      }
-      if (grows_adom) break;
+  bool adom_grew = false;
+  Result<int> applied = [&]() -> Result<int> {
+    ActivityScope applying(&active_applies_);
+    std::shared_lock<std::shared_mutex> state(state_mu_);
+    counters_.Bump(counters_.responses_applied);
+    if (active_checks_.load(std::memory_order_relaxed) > 0) {
+      counters_.Bump(counters_.overlapped_applies);
     }
-    // Monotone upgrade rule: "no new Adom entries" can never become false
-    // while we hold the shared lock, so the common case (all values
-    // already known) applies under the *shared* Adom lock and overlaps
-    // with every in-flight check.
-    if (!grows_adom) return ApplyLocked(access, response);
+    {
+      std::shared_lock<std::shared_mutex> adom(adom_mu_);
+      RAR_RETURN_NOT_OK(CheckWellFormed(conf_, acs_, access));
+      RAR_RETURN_NOT_OK(ValidateResponse(acs_, access, response));
+      bool grows_adom = false;
+      for (const Fact& f : response) {
+        const Relation& rel = schema_.relation(f.relation);
+        for (int pos = 0; pos < f.arity() && !grows_adom; ++pos) {
+          grows_adom = !conf_.AdomContains(f.values[pos],
+                                           rel.attributes[pos].domain);
+        }
+        if (grows_adom) break;
+      }
+      // Monotone upgrade rule: "no new Adom entries" can never become
+      // false while we hold the shared lock, so the common case (all
+      // values already known) applies under the *shared* Adom lock and
+      // overlaps with every in-flight check.
+      if (!grows_adom) return ApplyLocked(access, response, &adom_grew);
+    }
+    // The response introduces values: retake the Adom lock exclusively
+    // (the one global serialization point — everything Adom-dependent
+    // must not observe the growth mid-check).
+    std::unique_lock<std::shared_mutex> adom(adom_mu_);
+    return ApplyLocked(access, response, &adom_grew);
+  }();
+  // Listeners run with every engine lock released: they may call back
+  // into the engine (checks, certainty, query registration) freely.
+  if (applied.ok()) {
+    ApplyEvent event;
+    event.access = access;
+    event.relation = acs_.method(access.method).relation;
+    event.facts_added = *applied;
+    event.adom_grew = adom_grew;
+    NotifyApplied(event);
   }
-  // The response introduces values: retake the Adom lock exclusively (the
-  // one global serialization point — everything Adom-dependent must not
-  // observe the growth mid-check).
-  std::unique_lock<std::shared_mutex> adom(adom_mu_);
-  return ApplyLocked(access, response);
+  return applied;
 }
 
 Result<int> RelevanceEngine::ApplyLocked(const Access& access,
-                                         const std::vector<Fact>& response) {
+                                         const std::vector<Fact>& response,
+                                         bool* adom_grew_out) {
   const RelationId rel = acs_.method(access.method).relation;
   int added = 0;
   {
@@ -208,6 +245,7 @@ Result<int> RelevanceEngine::ApplyLocked(const Access& access,
   const uint64_t adom_now = conf_.adom_version();
   const bool adom_grew =
       adom_now != adom_version_.load(std::memory_order_relaxed);
+  if (adom_grew_out != nullptr) *adom_grew_out = adom_grew;
   if (adom_grew) {
     adom_version_.store(adom_now, std::memory_order_release);
     counters_.Bump(counters_.adom_advances);
@@ -221,6 +259,55 @@ Result<int> RelevanceEngine::ApplyLocked(const Access& access,
     if (adom_grew) frontier_.Sync(conf_);
   }
   return added;
+}
+
+void RelevanceEngine::AddApplyListener(ApplyListener* listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  listeners_.push_back(listener);
+}
+
+void RelevanceEngine::RemoveApplyListener(ApplyListener* listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+void RelevanceEngine::NotifyApplied(const ApplyEvent& event) {
+  std::vector<ApplyListener*> listeners;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    if (listeners_.empty()) return;
+    listeners = listeners_;
+  }
+  for (ApplyListener* l : listeners) l->OnApply(event);
+}
+
+std::vector<Value> RelevanceEngine::AdomValuesOf(DomainId domain,
+                                                 size_t from) const {
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  std::shared_lock<std::shared_mutex> adom(adom_mu_);
+  ValueSeq seq = conf_.AdomOfDomain(domain);
+  std::vector<Value> out;
+  if (from >= seq.size()) return out;
+  out.reserve(seq.size() - from);
+  for (size_t i = from; i < seq.size(); ++i) out.push_back(seq[i]);
+  return out;
+}
+
+const ConfigView& RelevanceEngine::SeededViewLocked(
+    const QueryState& qs, OverlayConfiguration* overlay) const {
+  bool missing = false;
+  for (const TypedValue& tv : qs.seeds) {
+    if (!conf_.AdomContains(tv.value, tv.domain)) {
+      missing = true;
+      break;
+    }
+  }
+  if (!missing) return conf_;
+  for (const TypedValue& tv : qs.seeds) {
+    overlay->AddSeedConstant(tv.value, tv.domain);
+  }
+  return *overlay;
 }
 
 VersionStamp RelevanceEngine::StampFor(const RelationFootprint& fp) const {
@@ -356,13 +443,19 @@ CheckOutcome RelevanceEngine::CheckLocked(QueryId id, CheckKind kind,
   }
   counters_.Bump(counters_.cache_misses);
 
+  // Queries carrying constants outside the active domain (Prop 2.2 fresh
+  // head bindings) are decided over a seeded overlay — the same view the
+  // one-shot k-ary wrappers build; everyone else reads conf_ directly.
+  OverlayConfiguration seed_overlay(&conf_);
+  const ConfigView& view = SeededViewLocked(qs, &seed_overlay);
+
   const uint64_t t0 = NowNs();
   if (is_ir) {
-    out.relevant = analyzer_.Immediate(conf_, access, qs.query);
+    out.relevant = analyzer_.Immediate(view, access, qs.query);
     counters_.Bump(counters_.ir_time_ns, NowNs() - t0);
   } else {
     Result<bool> r =
-        analyzer_.LongTerm(conf_, access, qs.query, options_.relevance);
+        analyzer_.LongTerm(view, access, qs.query, options_.relevance);
     counters_.Bump(counters_.ltr_time_ns, NowNs() - t0);
     if (!r.ok()) {
       out.status = r.status();
@@ -426,6 +519,56 @@ std::vector<CheckOutcome> RelevanceEngine::CheckBatch(
   // scope, so the footprint's shards cannot move underneath them.
   pool_.ParallelFor(accesses.size(), [&](size_t i) {
     results[i] = CheckLocked(id, kind, accesses[i]);
+  });
+  return results;
+}
+
+std::vector<CheckOutcome> RelevanceEngine::CheckMany(
+    const std::vector<CheckRequest>& requests, bool parallel) {
+  std::vector<CheckOutcome> results(requests.size());
+  if (requests.empty()) return results;
+  counters_.Bump(counters_.batch_calls);
+  counters_.Bump(counters_.batch_items,
+                 static_cast<uint64_t>(requests.size()));
+
+  ActivityScope checking(&active_checks_);
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  if (active_applies_.load(std::memory_order_relaxed) > 0) {
+    counters_.Bump(counters_.overlapped_checks);
+  }
+  std::shared_lock<std::shared_mutex> adom(adom_mu_);
+  // Union lock footprint across items (same widening rules as
+  // StripesForCheck, computed once).
+  RelationFootprint fp;
+  bool ltr_dependent = false;
+  for (const CheckRequest& req : requests) {
+    for (RelationId rel : queries_[req.query]->footprint.relations) {
+      fp.Add(rel);
+    }
+    if (req.access.method < acs_.size()) {
+      fp.Add(acs_.method(req.access.method).relation);
+    }
+    if (req.kind == CheckKind::kLongTerm && !acs_.AllIndependent()) {
+      ltr_dependent = true;
+    }
+  }
+  if (ltr_dependent) {
+    for (AccessMethodId mid = 0; mid < acs_.size(); ++mid) {
+      fp.Add(acs_.method(mid).relation);
+    }
+  }
+  auto stripes = LockStripesShared(StripesFor(fp));
+  if (!parallel || requests.size() == 1 || pool_.size() == 1) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      results[i] = CheckLocked(requests[i].query, requests[i].kind,
+                               requests[i].access);
+    }
+    return results;
+  }
+  // Workers share the caller's locks (see CheckBatch).
+  pool_.ParallelFor(requests.size(), [&](size_t i) {
+    results[i] = CheckLocked(requests[i].query, requests[i].kind,
+                             requests[i].access);
   });
   return results;
 }
@@ -546,9 +689,15 @@ EngineStats RelevanceEngine::stats() const {
     s.invalidations_by_relation[r] =
         invalidations_by_relation_[r].load(std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> fl(frontier_mu_);
-  s.frontier_pending = frontier_.pending_size();
-  s.frontier_performed = frontier_.performed_size();
+  {
+    std::lock_guard<std::mutex> fl(frontier_mu_);
+    s.frontier_pending = frontier_.pending_size();
+    s.frontier_performed = frontier_.performed_size();
+  }
+  {
+    std::lock_guard<std::mutex> ll(listeners_mu_);
+    for (const ApplyListener* l : listeners_) l->ContributeStats(&s);
+  }
   return s;
 }
 

@@ -54,6 +54,8 @@
 
 namespace rar {
 
+class OverlayConfiguration;
+
 /// \brief Construction-time knobs for a RelevanceEngine.
 struct EngineOptions {
   /// Worker threads for CheckBatch. 0 = one per hardware thread, clamped
@@ -73,6 +75,37 @@ struct EngineOptions {
   int lock_stripes = 0;
   /// Options forwarded to the underlying relevance deciders.
   RelevanceOptions relevance;
+};
+
+/// \brief One absorbed response, as reported to apply listeners.
+struct ApplyEvent {
+  Access access;
+  /// The accessed relation (the only relation whose facts can have grown).
+  RelationId relation = kInvalidId;
+  /// New facts absorbed (0 when the response was redundant — the frontier
+  /// still changed: the access is now marked performed).
+  int facts_added = 0;
+  /// True when the response introduced values new to the active domain.
+  bool adom_grew = false;
+};
+
+/// \brief Hook for subsystems that maintain state derived from the
+/// engine's configuration (the stream registry, src/stream/). `OnApply`
+/// runs on the applying thread *after* every engine lock is released, so
+/// listeners are free to call back into the engine (checks, certainty,
+/// query registration); it must be internally synchronised against
+/// concurrent applies. Detach (RemoveApplyListener) before destroying a
+/// listener, and only while no apply is in flight.
+class ApplyListener {
+ public:
+  virtual ~ApplyListener() = default;
+
+  /// Called once per successful ApplyResponse.
+  virtual void OnApply(const ApplyEvent& event) = 0;
+
+  /// Merges the listener's counters into an engine stats snapshot (the
+  /// stream fields of EngineStats stay zero without a registry attached).
+  virtual void ContributeStats(EngineStats* stats) const { (void)stats; }
 };
 
 /// \brief Outcome of one engine check.
@@ -114,7 +147,11 @@ class RelevanceEngine {
   RelevanceEngine& operator=(const RelevanceEngine&) = delete;
 
   /// Registers a Boolean query and returns its dense id. The query is
-  /// validated against the engine's schema.
+  /// validated against the engine's schema. Constants the query mentions
+  /// are recorded as *seeds*: checks evaluate over a zero-copy overlay
+  /// that carries any seed still missing from the active domain, so
+  /// Prop 2.2 binding queries over fresh head constants get the same
+  /// seeded-view semantics as the one-shot k-ary wrappers.
   Result<QueryId> RegisterQuery(const UnionQuery& query);
 
   size_t num_queries() const { return num_queries_.load(); }
@@ -192,6 +229,23 @@ class RelevanceEngine {
   std::vector<CheckOutcome> CheckBatch(QueryId id, CheckKind kind,
                                        const std::vector<Access>& accesses);
 
+  /// One item of a heterogeneous check batch (CheckMany).
+  struct CheckRequest {
+    QueryId query = 0;
+    CheckKind kind = CheckKind::kImmediate;
+    Access access;
+  };
+
+  /// Decides a heterogeneous batch — (query, kind, access) per item —
+  /// under a *single* acquisition of the state/Adom locks and the union
+  /// of every item's check stripes. The fan-in path for stream recheck
+  /// waves: thousands of per-binding-query checks whose footprints share
+  /// a handful of stripes pay the locking once instead of per item.
+  /// Results align with `requests` by index. With `parallel`, items fan
+  /// out over the worker pool (never call from inside a pool task).
+  std::vector<CheckOutcome> CheckMany(const std::vector<CheckRequest>& requests,
+                                      bool parallel = false);
+
   /// Pending candidate accesses ranked for the query: cached-relevant
   /// first, then unknown (criticality-boosted when the accessed relation
   /// occurs in the query), cached-irrelevant last. The frontier is kept in
@@ -211,10 +265,33 @@ class RelevanceEngine {
   /// internally and do not consult this memo.
   std::unordered_set<DomainId> producible_domains();
 
-  /// Counter snapshot (safe to call while workers run).
+  /// Counter snapshot (safe to call while workers run). Attached apply
+  /// listeners contribute their counters (the stream fields).
   EngineStats stats() const;
 
   void ClearCache() { cache_.Clear(); }
+
+  /// Attaches a listener notified after every successful ApplyResponse.
+  void AddApplyListener(ApplyListener* listener);
+
+  /// Detaches a listener. Call only while no apply is in flight (the
+  /// notification path reads the listener list without the state lock).
+  void RemoveApplyListener(ApplyListener* listener);
+
+  /// The engine's schema / access-method set (shared with attached
+  /// subsystems such as the stream registry).
+  const Schema& schema() const { return schema_; }
+  const AccessMethodSet& access_methods() const { return acs_; }
+
+  /// Active-domain values of `domain` from index `from` on, copied under
+  /// the engine's read locks (active-domain order is append-only, so a
+  /// caller holding a previous size sees exactly the new values).
+  std::vector<Value> AdomValuesOf(DomainId domain, size_t from = 0) const;
+
+  /// The engine's worker pool, shared with CheckBatch. Attached listeners
+  /// fan per-binding rechecks out over it; never call its ParallelFor
+  /// from inside one of its own tasks.
+  WorkerPool& worker_pool() { return pool_; }
 
  private:
   struct QueryState {
@@ -222,6 +299,9 @@ class RelevanceEngine {
     /// Query relations (no accessed relation, not adom-sensitive); checks
     /// extend it per access.
     RelationFootprint footprint;
+    /// Constants the query mentions (typed by occurrence); any of them
+    /// missing from the active domain is seeded onto the check-time view.
+    std::vector<TypedValue> seeds;
     bool certain = false;           ///< monotone once true
     VersionStamp checked_stamp;     ///< stamp of the last certainty check
     bool checked_valid = false;     ///< checked_stamp holds a real check
@@ -266,9 +346,20 @@ class RelevanceEngine {
 
   /// Absorbs a validated response under the relation's stripe lock; the
   /// caller holds state_mu_ shared and adom_mu_ (exclusive when the
-  /// response grows the active domain, shared otherwise).
+  /// response grows the active domain, shared otherwise). Sets
+  /// `*adom_grew` for the caller's listener notification.
   Result<int> ApplyLocked(const Access& access,
-                          const std::vector<Fact>& response);
+                          const std::vector<Fact>& response, bool* adom_grew);
+
+  /// Invokes every attached listener (engine locks must not be held).
+  void NotifyApplied(const ApplyEvent& event);
+
+  /// The view a check of `qs` evaluates over: `conf_` itself, or — when
+  /// the query carries seed constants missing from the active domain —
+  /// `*overlay` rebased onto conf_ with the seeds registered. Caller
+  /// holds adom_mu_ (shared) and the check's stripes.
+  const ConfigView& SeededViewLocked(const QueryState& qs,
+                                     OverlayConfiguration* overlay) const;
 
   /// Decides one check under already-held state/adom/stripe locks.
   CheckOutcome CheckLocked(QueryId id, CheckKind kind, const Access& access);
@@ -302,6 +393,8 @@ class RelevanceEngine {
   std::mutex certainty_mu_;
   /// Guards the producible_domains memo.
   std::mutex producible_mu_;
+  /// Guards the apply-listener list (taken only to copy it).
+  mutable std::mutex listeners_mu_;
 
   Configuration conf_;
   AccessFrontier frontier_;
@@ -318,6 +411,7 @@ class RelevanceEngine {
 
   std::vector<std::unique_ptr<QueryState>> queries_;
   std::atomic<size_t> num_queries_{0};
+  std::vector<ApplyListener*> listeners_;
 
   mutable DecisionCache cache_;
   WorkerPool pool_;

@@ -49,6 +49,21 @@ struct EngineStats {
   /// mismatches (LTR entries invalidated by active-domain growth alone).
   std::vector<uint64_t> invalidations_by_relation;
 
+  // Stream-registry counters (src/stream/), contributed by an attached
+  // RelevanceStreamRegistry; all zero when none is attached.
+  uint64_t streams_registered = 0;  ///< standing k-ary/Boolean streams
+  uint64_t stream_bindings = 0;     ///< head bindings tracked (incl. fresh)
+  uint64_t stream_new_bindings = 0; ///< bindings born from Adom growth
+  uint64_t stream_rechecks = 0;     ///< per-binding re-evaluations run
+  uint64_t stream_skips = 0;        ///< bindings skipped (stamp still valid)
+  uint64_t stream_sticky_skips = 0; ///< bindings skipped as settled (certain
+                                    ///< or unsatisfiable — monotone-final)
+  uint64_t stream_events = 0;       ///< delta notifications emitted
+  /// Stream rechecks attributed to the applied relation that triggered
+  /// them, indexed by RelationId; the trailing slot counts rechecks
+  /// triggered by registration / active-domain growth.
+  std::vector<uint64_t> stream_rechecks_by_relation;
+
   uint64_t checks() const { return ir_checks + ltr_checks; }
   double cache_hit_rate() const {
     uint64_t probes = cache_hits + cache_misses;

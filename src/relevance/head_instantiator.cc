@@ -1,0 +1,255 @@
+#include "relevance/head_instantiator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/combinatorics.h"
+
+namespace rar {
+
+HeadInstantiator::HeadInstantiator(const Schema& schema,
+                                   const UnionQuery& query)
+    : schema_(&schema), query_(query), status_(Status::OK()) {
+  if (query_.disjuncts.empty()) {
+    status_ = Status::InvalidArgument("empty union query");
+    return;
+  }
+  const ConjunctiveQuery& first = query_.disjuncts[0];
+  arity_ = first.head.size();
+  if (arity_ == 0) return;
+
+  // Head domains must agree across disjuncts (same output schema).
+  std::vector<DomainId> head_domains;
+  head_domains.reserve(arity_);
+  for (VarId h : first.head) head_domains.push_back(first.var_domains[h]);
+  for (const ConjunctiveQuery& d : query_.disjuncts) {
+    if (d.head.size() != arity_) {
+      status_ = Status::InvalidArgument("disjuncts disagree on head arity");
+      return;
+    }
+    for (size_t i = 0; i < arity_; ++i) {
+      if (d.var_domains[d.head[i]] != head_domains[i]) {
+        status_ = Status::InvalidArgument(
+            "disjuncts disagree on head output domains");
+        return;
+      }
+    }
+  }
+
+  // Slot classes: positions i and j collapse when *every* disjunct binds
+  // them to the same head variable — then any tuple distinguishing them
+  // makes every disjunct unsatisfiable, so only class-constant tuples can
+  // matter.
+  class_of_.assign(arity_, 0);
+  for (size_t i = 0; i < arity_; ++i) {
+    size_t cls = slot_domains_.size();  // tentatively a new slot
+    for (size_t j = 0; j < i; ++j) {
+      bool same = true;
+      for (const ConjunctiveQuery& d : query_.disjuncts) {
+        if (d.head[i] != d.head[j]) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        cls = class_of_[j];
+        break;
+      }
+    }
+    class_of_[i] = cls;
+    if (cls == slot_domains_.size()) slot_domains_.push_back(head_domains[i]);
+  }
+
+  // Distinct domains and the fresh pool: one fresh constant per slot,
+  // pooled per domain so repetition patterns across same-domain slots are
+  // all reachable.
+  slot_domain_index_.resize(slot_domains_.size());
+  for (size_t s = 0; s < slot_domains_.size(); ++s) {
+    size_t dix = domains_.size();
+    for (size_t d = 0; d < domains_.size(); ++d) {
+      if (domains_[d] == slot_domains_[s]) {
+        dix = d;
+        break;
+      }
+    }
+    if (dix == domains_.size()) {
+      domains_.push_back(slot_domains_[s]);
+      fresh_by_domain_.emplace_back();
+    }
+    slot_domain_index_[s] = dix;
+    Value c =
+        schema_->MintFreshConstant("ck_" + schema_->domain_name(domains_[dix]));
+    fresh_by_domain_[dix].push_back(c);
+    fresh_.push_back(TypedValue{c, domains_[dix]});
+  }
+}
+
+void HeadInstantiator::SeedInto(OverlayConfiguration* overlay) const {
+  for (const TypedValue& tv : fresh_) {
+    overlay->AddSeedConstant(tv.value, tv.domain);
+  }
+}
+
+HeadCandidates HeadInstantiator::CollectCandidates(
+    const ConfigView& view) const {
+  HeadCandidates out;
+  out.values.resize(domains_.size());
+  out.seen.assign(domains_.size(), 0);
+  for (size_t d = 0; d < domains_.size(); ++d) {
+    out.values[d] = view.AdomOfDomain(domains_[d]).ToVector();
+  }
+  return out;
+}
+
+void HeadInstantiator::ExtendCandidates(const ConfigView& view,
+                                        HeadCandidates* candidates) const {
+  for (size_t d = 0; d < domains_.size(); ++d) {
+    ValueSeq seq = view.AdomOfDomain(domains_[d]);
+    std::vector<Value>& values = candidates->values[d];
+    for (size_t i = values.size(); i < seq.size(); ++i) {
+      values.push_back(seq[i]);
+    }
+  }
+}
+
+namespace {
+
+/// Candidate list shapes for one slot during enumeration. `kOld` is the
+/// seen prefix plus the fresh pool, `kAll` the full list plus fresh,
+/// `kNew` the unseen suffix alone.
+enum class Section { kOld, kAll, kNew };
+
+}  // namespace
+
+bool HeadInstantiator::ForEachBinding(
+    const HeadCandidates& candidates,
+    const std::function<bool(const std::vector<Value>&)>& fn) const {
+  const size_t slots = num_slots();
+  std::vector<Value> slot_values(slots);
+  if (slots == 0) return fn(slot_values);
+  std::vector<int> sizes(slots);
+  for (size_t s = 0; s < slots; ++s) {
+    size_t dix = slot_domain_index_[s];
+    sizes[s] = static_cast<int>(candidates.values[dix].size() +
+                                fresh_by_domain_[dix].size());
+  }
+  return ForEachProduct(sizes, [&](const std::vector<int>& choice) {
+    for (size_t s = 0; s < slots; ++s) {
+      size_t dix = slot_domain_index_[s];
+      size_t j = static_cast<size_t>(choice[s]);
+      const std::vector<Value>& adom = candidates.values[dix];
+      slot_values[s] =
+          j < adom.size() ? adom[j] : fresh_by_domain_[dix][j - adom.size()];
+    }
+    return fn(slot_values);
+  });
+}
+
+bool HeadInstantiator::ForEachNewBinding(
+    const HeadCandidates& candidates,
+    const std::function<bool(const std::vector<Value>&)>& fn) const {
+  const size_t slots = num_slots();
+  if (slots == 0) return false;  // the empty tuple is never new
+  std::vector<Value> slot_values(slots);
+
+  // Resolve one slot's value under a section/index pair.
+  auto value_at = [&](size_t slot, Section section, size_t j) -> Value {
+    size_t dix = slot_domain_index_[slot];
+    const std::vector<Value>& adom = candidates.values[dix];
+    const std::vector<Value>& fresh = fresh_by_domain_[dix];
+    const size_t seen = std::min(candidates.seen[dix], adom.size());
+    switch (section) {
+      case Section::kOld:
+        return j < seen ? adom[j] : fresh[j - seen];
+      case Section::kAll:
+        return j < adom.size() ? adom[j] : fresh[j - adom.size()];
+      case Section::kNew:
+        return adom[seen + j];
+    }
+    return Value();
+  };
+  auto section_size = [&](size_t slot, Section section) -> int {
+    size_t dix = slot_domain_index_[slot];
+    const size_t n = candidates.values[dix].size();
+    const size_t f = fresh_by_domain_[dix].size();
+    const size_t seen = std::min(candidates.seen[dix], n);
+    switch (section) {
+      case Section::kOld:
+        return static_cast<int>(seen + f);
+      case Section::kAll:
+        return static_cast<int>(n + f);
+      case Section::kNew:
+        return static_cast<int>(n - seen);
+    }
+    return 0;
+  };
+
+  // Classify each new tuple by its first slot holding a new value: slots
+  // before it draw old values only, slots after it draw anything.
+  for (size_t first_new = 0; first_new < slots; ++first_new) {
+    if (section_size(first_new, Section::kNew) == 0) continue;
+    std::vector<int> sizes(slots);
+    for (size_t s = 0; s < slots; ++s) {
+      Section sec = s < first_new   ? Section::kOld
+                    : s > first_new ? Section::kAll
+                                    : Section::kNew;
+      sizes[s] = section_size(s, sec);
+    }
+    bool stopped = ForEachProduct(sizes, [&](const std::vector<int>& choice) {
+      for (size_t s = 0; s < slots; ++s) {
+        Section sec = s < first_new   ? Section::kOld
+                      : s > first_new ? Section::kAll
+                                      : Section::kNew;
+        slot_values[s] = value_at(s, sec, static_cast<size_t>(choice[s]));
+      }
+      return fn(slot_values);
+    });
+    if (stopped) return true;
+  }
+  return false;
+}
+
+UnionQuery HeadInstantiator::Instantiate(
+    const std::vector<Value>& slot_values) const {
+  UnionQuery out;
+  if (arity_ == 0) return query_;
+  for (const ConjunctiveQuery& d : query_.disjuncts) {
+    std::vector<std::optional<Value>> binding(d.num_vars());
+    bool satisfiable = true;
+    for (size_t i = 0; i < arity_; ++i) {
+      const Value& v = slot_values[class_of_[i]];
+      std::optional<Value>& slot = binding[d.head[i]];
+      if (slot.has_value() && !(*slot == v)) {
+        // A repeated head variable of this disjunct received two distinct
+        // values: the instantiation is unsatisfiable, so the disjunct can
+        // never make the tuple certain.
+        satisfiable = false;
+        break;
+      }
+      slot = v;
+    }
+    if (!satisfiable) continue;
+    ConjunctiveQuery inst = Specialize(d, binding);
+    inst.head.clear();
+    out.disjuncts.push_back(std::move(inst));
+  }
+  return out;
+}
+
+std::vector<Value> HeadInstantiator::ExpandTuple(
+    const std::vector<Value>& slot_values) const {
+  std::vector<Value> tuple(arity_);
+  for (size_t i = 0; i < arity_; ++i) tuple[i] = slot_values[class_of_[i]];
+  return tuple;
+}
+
+bool HeadInstantiator::HasFresh(const std::vector<Value>& slot_values) const {
+  for (const Value& v : slot_values) {
+    for (const TypedValue& tv : fresh_) {
+      if (tv.value == v) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rar

@@ -1,0 +1,139 @@
+// HeadInstantiator: the reusable Prop 2.2 head-instantiation machinery.
+//
+// Prop 2.2 reduces k-ary relevance to the Boolean case: an access is
+// relevant to a k-ary query Q iff it is relevant to some Boolean
+// instantiation Q_b, where b ranges over head tuples drawn from the typed
+// active domain plus fresh constants (the paper's c_k tuple). The one-shot
+// wrappers used to re-derive everything per call; this class factors the
+// machinery out so it can also back *standing* streams (src/stream/):
+//
+//  * *slots* — head positions are deduplicated into equivalence classes
+//    ("slots"): positions i and j share a slot when every disjunct binds
+//    them to the same head variable, so any tuple assigning them different
+//    values instantiates every disjunct to an unsatisfiable query.
+//    Enumeration runs over slot tuples (|Adom ∪ fresh|^#slots), not over
+//    the raw position product (|Adom ∪ fresh|^k).
+//  * *fresh pool* — one fresh constant per slot, minted once per domain at
+//    construction and shared by every enumeration (the one-shot path used
+//    to mint per call). `SeedInto` registers them on an overlay so the
+//    Boolean deciders treat them as known values.
+//  * *per-binding instantiation* — `Instantiate` drops disjuncts whose
+//    repeated head variables received conflicting values (they are
+//    unsatisfiable for that tuple, so they can never contribute certainty)
+//    instead of silently overwriting the binding; the surviving disjuncts
+//    give each binding its own, possibly narrower, relation footprint.
+//  * *delta enumeration* — `ForEachNewBinding` emits exactly the slot
+//    tuples that use at least one active-domain value beyond a caller-held
+//    cursor (classified by their first new coordinate, mirroring the
+//    engine's AccessFrontier), which is what makes incremental per-binding
+//    maintenance possible when responses grow the active domain.
+#ifndef RAR_RELEVANCE_HEAD_INSTANTIATOR_H_
+#define RAR_RELEVANCE_HEAD_INSTANTIATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "query/footprint.h"
+#include "query/query.h"
+#include "relational/overlay.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief Per-domain candidate values for head enumeration, plus the
+/// delta-enumeration cursor. Indexed by the instantiator's dense distinct-
+/// domain index (`HeadInstantiator::num_domains()`); `values[d]` holds
+/// active-domain values only — the fresh pool is appended implicitly by
+/// the enumeration. `seen[d]` is the count of leading values a previous
+/// enumeration already covered; `ForEachNewBinding` emits only tuples
+/// using a value at or beyond it.
+struct HeadCandidates {
+  std::vector<std::vector<Value>> values;
+  std::vector<size_t> seen;
+};
+
+/// \brief Validated head-instantiation state for one k-ary union query.
+class HeadInstantiator {
+ public:
+  /// Validates the head shape (disjuncts agree on arity and output
+  /// domains), computes slots, and mints the fresh pool. Check `status()`
+  /// before any other call.
+  HeadInstantiator(const Schema& schema, const UnionQuery& query);
+
+  const Status& status() const { return status_; }
+  const UnionQuery& query() const { return query_; }
+
+  /// Head arity k (0 for Boolean queries).
+  size_t arity() const { return arity_; }
+  /// Distinct head slots after deduplicating repeated positions.
+  size_t num_slots() const { return slot_domains_.size(); }
+  DomainId slot_domain(size_t slot) const { return slot_domains_[slot]; }
+  /// Distinct head domains (each slot maps onto one).
+  size_t num_domains() const { return domains_.size(); }
+  DomainId domain(size_t index) const { return domains_[index]; }
+  size_t domain_index_of_slot(size_t slot) const {
+    return slot_domain_index_[slot];
+  }
+
+  /// The minted fresh pool (the Prop 2.2 c_k values), typed by domain.
+  const std::vector<TypedValue>& fresh_constants() const { return fresh_; }
+
+  /// Registers the fresh pool on an overlay so deciders see the fresh
+  /// values as part of the active domain.
+  void SeedInto(OverlayConfiguration* overlay) const;
+
+  /// Materializes the per-domain active-domain candidate lists at `view`
+  /// (fresh pool excluded — the enumerations append it). `view` must be
+  /// the un-seeded configuration.
+  HeadCandidates CollectCandidates(const ConfigView& view) const;
+
+  /// Appends values of `view`'s active domain beyond the lists already in
+  /// `candidates` (incremental refresh for standing streams).
+  void ExtendCandidates(const ConfigView& view,
+                        HeadCandidates* candidates) const;
+
+  /// Enumerates every slot tuple over `candidates` (plus the fresh pool).
+  /// `fn` returns true to stop; returns true when stopped early. The
+  /// `seen` cursors are ignored. For k == 0 emits one empty tuple.
+  bool ForEachBinding(
+      const HeadCandidates& candidates,
+      const std::function<bool(const std::vector<Value>&)>& fn) const;
+
+  /// Enumerates exactly the slot tuples that use at least one value at or
+  /// beyond the `seen` cursor of its domain (each such tuple once,
+  /// classified by its first new coordinate). Fresh-pool values count as
+  /// already seen. For k == 0 emits nothing.
+  bool ForEachNewBinding(
+      const HeadCandidates& candidates,
+      const std::function<bool(const std::vector<Value>&)>& fn) const;
+
+  /// The Boolean instantiation of the query at a slot tuple: every head
+  /// variable bound to its slot's value, heads cleared. Disjuncts whose
+  /// repeated head variables would receive conflicting values are dropped
+  /// (unsatisfiable); the result can therefore have *no* disjuncts, in
+  /// which case the tuple can never be certain and no access is relevant
+  /// to it.
+  UnionQuery Instantiate(const std::vector<Value>& slot_values) const;
+
+  /// Expands a slot tuple back to the full k-tuple of head positions.
+  std::vector<Value> ExpandTuple(const std::vector<Value>& slot_values) const;
+
+  /// True when the slot tuple uses a fresh-pool constant.
+  bool HasFresh(const std::vector<Value>& slot_values) const;
+
+ private:
+  const Schema* schema_;
+  UnionQuery query_;
+  Status status_;
+  size_t arity_ = 0;
+  std::vector<size_t> class_of_;        ///< head position -> slot
+  std::vector<DomainId> slot_domains_;  ///< slot -> domain
+  std::vector<size_t> slot_domain_index_;  ///< slot -> distinct-domain index
+  std::vector<DomainId> domains_;          ///< distinct head domains
+  std::vector<std::vector<Value>> fresh_by_domain_;  ///< distinct-domain index
+  std::vector<TypedValue> fresh_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_RELEVANCE_HEAD_INSTANTIATOR_H_

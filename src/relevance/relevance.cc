@@ -1,10 +1,9 @@
 #include "relevance/relevance.h"
 
-#include <unordered_map>
 #include <vector>
 
 #include "relational/overlay.h"
-#include "util/combinatorics.h"
+#include "relevance/head_instantiator.h"
 
 namespace rar {
 
@@ -37,78 +36,36 @@ Result<bool> RelevanceAnalyzer::LongTerm(const ConfigView& conf,
 
 namespace {
 
-// Prop 2.2 head instantiation: enumerate head tuples over the typed active
-// domain plus k fresh constants per head domain, and hand each Boolean
-// instantiation to `decide`.
+// Prop 2.2 head instantiation, shared by both k-ary wrappers: enumerate
+// deduplicated head slot tuples over the typed active domain plus the
+// instantiator's fresh pool (see relevance/head_instantiator.h) and hand
+// each satisfiable Boolean instantiation to `decide` over the seeded view.
 Result<bool> ForEachHeadInstantiation(
     const Schema& schema, const ConfigView& conf, const UnionQuery& query,
     const std::function<Result<bool>(const UnionQuery&,
                                      const ConfigView&)>& decide) {
-  if (query.disjuncts.empty()) {
-    return Status::InvalidArgument("empty union query");
-  }
-  const size_t k = query.disjuncts[0].head.size();
-  if (k == 0) return decide(query, conf);
+  HeadInstantiator inst(schema, query);
+  RAR_RETURN_NOT_OK(inst.status());
+  if (inst.arity() == 0) return decide(query, conf);
 
-  // Head domains must agree across disjuncts (same output schema).
-  std::vector<DomainId> head_domains;
-  for (VarId h : query.disjuncts[0].head) {
-    head_domains.push_back(query.disjuncts[0].var_domains[h]);
-  }
-  for (const ConjunctiveQuery& d : query.disjuncts) {
-    if (d.head.size() != k) {
-      return Status::InvalidArgument("disjuncts disagree on head arity");
-    }
-    for (size_t i = 0; i < k; ++i) {
-      if (d.var_domains[d.head[i]] != head_domains[i]) {
-        return Status::InvalidArgument(
-            "disjuncts disagree on head output domains");
-      }
-    }
-  }
-
-  // Mint k fresh constants per head domain (enough for every repetition
-  // pattern of the paper's c_k tuple) and seed them into an overlay (the
-  // base is not copied).
   OverlayConfiguration seeded(&conf);
-  std::unordered_map<DomainId, std::vector<Value>> fresh_by_domain;
-  for (DomainId dom : head_domains) {
-    auto& fresh = fresh_by_domain[dom];
-    while (fresh.size() < k) {
-      Value c = schema.MintFreshConstant("ck_" + schema.domain_name(dom));
-      seeded.AddSeedConstant(c, dom);
-      fresh.push_back(c);
-    }
-  }
-
-  // Candidate values per head position (borrowed; `seeded` is stable for
-  // the rest of the enumeration).
-  std::vector<ValueSeq> candidates(k);
-  std::vector<int> sizes(k);
-  for (size_t i = 0; i < k; ++i) {
-    candidates[i] = seeded.AdomOfDomain(head_domains[i]);
-    sizes[i] = static_cast<int>(candidates[i].size());
-  }
+  inst.SeedInto(&seeded);
+  HeadCandidates candidates = inst.CollectCandidates(conf);
 
   Status inner_error = Status::OK();
-  bool relevant = ForEachProduct(sizes, [&](const std::vector<int>& choice) {
-    UnionQuery boolean_q;
-    for (const ConjunctiveQuery& d : query.disjuncts) {
-      std::vector<std::optional<Value>> binding(d.num_vars());
-      for (size_t i = 0; i < k; ++i) {
-        binding[d.head[i]] = candidates[i][choice[i]];
-      }
-      ConjunctiveQuery inst = Specialize(d, binding);
-      inst.head.clear();
-      boolean_q.disjuncts.push_back(std::move(inst));
-    }
-    Result<bool> r = decide(boolean_q, seeded);
-    if (!r.ok()) {
-      inner_error = r.status();
-      return true;  // abort enumeration
-    }
-    return *r;
-  });
+  bool relevant =
+      inst.ForEachBinding(candidates, [&](const std::vector<Value>& slots) {
+        UnionQuery boolean_q = inst.Instantiate(slots);
+        // Every disjunct collapsed (repeated head variables bound to
+        // conflicting values): the tuple can never be certain.
+        if (boolean_q.disjuncts.empty()) return false;
+        Result<bool> r = decide(boolean_q, seeded);
+        if (!r.ok()) {
+          inner_error = r.status();
+          return true;  // abort enumeration
+        }
+        return *r;
+      });
   RAR_RETURN_NOT_OK(inner_error);
   return relevant;
 }

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "stream/registry.h"
+
 namespace rar {
 
 namespace {
@@ -299,6 +301,58 @@ Result<MediationOutcome> Mediator::ExhaustiveCrawl(
   if (!outcome.answered && engine.IsCertain(qid)) outcome.answered = true;
   outcome.final_conf = engine.SnapshotConfig();
   outcome.engine = engine.stats();
+  return outcome;
+}
+
+Result<MediationOutcome> Mediator::AnswerKAry(const UnionQuery& query,
+                                              const Configuration& initial,
+                                              DeepWebSource* source,
+                                              const MediatorOptions& options) {
+  MediationOutcome outcome;
+  RelevanceEngine engine(schema_, acs_, initial, options.engine);
+  RelevanceStreamRegistry registry(&engine);
+  StreamOptions sopts;
+  sopts.use_immediate = options.use_immediate;
+  sopts.use_long_term = options.use_long_term;
+  sopts.conservative_on_unknown = options.conservative_on_unknown;
+  RAR_ASSIGN_OR_RETURN(StreamId sid, registry.Register(query, sopts));
+
+  for (outcome.rounds = 0; outcome.rounds < options.max_rounds;
+       ++outcome.rounds) {
+    // The standing per-binding state replaces the per-round candidate x
+    // binding scan: rounds just drain the relevant set. Each performed
+    // access recomputes only the bindings its response invalidated.
+    std::vector<BindingView> relevant = registry.RelevantBindings(sid);
+    outcome.accesses_considered += static_cast<long>(relevant.size());
+    const BindingView* chosen = nullptr;
+    for (const BindingView& b : relevant) {
+      if (b.has_witness && !engine.WasPerformed(b.witness)) {
+        chosen = &b;
+        break;
+      }
+    }
+    if (chosen == nullptr) break;  // drained: no binding is relevant
+
+    RAR_ASSIGN_OR_RETURN(
+        std::vector<Fact> response,
+        source->Execute(engine, chosen->witness, options.policy));
+    if (options.verbose_log) {
+      outcome.log.push_back("stream: " +
+                            chosen->witness.ToString(schema_, acs_) + " -> " +
+                            std::to_string(response.size()) + " tuple(s)");
+    }
+    RAR_RETURN_NOT_OK(engine.ApplyResponse(chosen->witness, response).status());
+    ++outcome.accesses_performed;
+  }
+
+  StreamSnapshot snap = registry.Snapshot(sid);
+  outcome.answered = !snap.any_relevant;
+  for (const BindingView& b : snap.bindings) {
+    if (b.certain && !b.has_fresh) outcome.certain_answers.push_back(b.binding);
+  }
+  outcome.final_conf = engine.SnapshotConfig();
+  outcome.engine = engine.stats();
+  outcome.relevance_checks = static_cast<long>(outcome.engine.checks());
   return outcome;
 }
 

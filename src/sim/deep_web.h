@@ -83,7 +83,8 @@ class DeepWebSource {
 
 /// \brief Outcome of a mediation run.
 struct MediationOutcome {
-  bool answered = false;          ///< the query became certain
+  bool answered = false;          ///< the query became certain (Boolean) /
+                                  ///< the stream drained (k-ary)
   long accesses_performed = 0;    ///< accesses actually executed
   long accesses_considered = 0;   ///< candidate accesses examined
   long relevance_checks = 0;      ///< IR/LTR decisions made
@@ -91,6 +92,9 @@ struct MediationOutcome {
   Configuration final_conf;
   std::vector<std::string> log;   ///< human-readable trace
   EngineStats engine;             ///< engine counters for the run
+  /// For k-ary stream runs: the certain-answer tuples at the final
+  /// configuration (fresh-constant bindings excluded).
+  std::vector<std::vector<Value>> certain_answers;
 };
 
 /// \brief Strategy options for the mediator.
@@ -136,6 +140,20 @@ class Mediator {
                                            const Configuration& initial,
                                            DeepWebSource* source,
                                            const MediatorOptions& options = {});
+
+  /// Stream-driven crawl for a *k-ary* (or Boolean) query: registers a
+  /// standing stream (src/stream/) and drains it — each round performs the
+  /// witness access of some relevant binding, the applied response
+  /// incrementally recomputes only the bindings it invalidated, and the
+  /// loop ends when no binding is relevant anymore (every remaining
+  /// candidate access is provably useless for every head tuple). The
+  /// certain-answer set accumulated by the stream is returned in
+  /// `MediationOutcome::certain_answers`. Serialized only: responses must
+  /// land before the next poll (`options.pipelined` is ignored).
+  Result<MediationOutcome> AnswerKAry(const UnionQuery& query,
+                                      const Configuration& initial,
+                                      DeepWebSource* source,
+                                      const MediatorOptions& options = {});
 
  private:
   const Schema& schema_;

@@ -1,0 +1,31 @@
+#include "stream/binding_state.h"
+
+namespace rar {
+
+const char* ToString(StreamEventKind kind) {
+  switch (kind) {
+    case StreamEventKind::kBindingAdded:
+      return "binding-added";
+    case StreamEventKind::kBecameCertain:
+      return "became-certain";
+    case StreamEventKind::kBecameRelevant:
+      return "became-relevant";
+    case StreamEventKind::kBecameIrrelevant:
+      return "became-irrelevant";
+  }
+  return "unknown";
+}
+
+BindingView MakeBindingView(const BindingState& b) {
+  BindingView view;
+  view.binding = b.tuple;
+  view.certain = b.certain;
+  view.relevant = b.relevant;
+  view.has_fresh = b.has_fresh;
+  view.unsat = b.unsat;
+  view.witness = b.witness;
+  view.has_witness = b.has_witness;
+  return view;
+}
+
+}  // namespace rar

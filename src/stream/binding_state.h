@@ -1,0 +1,93 @@
+// Resident per-binding state of a standing stream.
+//
+// One `BindingState` per enumerated head instantiation: the Boolean
+// binding query lives inside the engine (registered as a regular engine
+// query, so it gets the decision cache, certainty memo and footprint
+// stamps for free); the stream side keeps the verdict gauges, the witness
+// access, and the *registry stamp* — the engine's footprint version
+// sub-vector extended with per-relation performed-access counters and the
+// active-domain version, which is exactly the state the binding's
+// "some frontier access is still relevant" verdict reads. A binding is
+// rechecked only when a freshly built stamp differs.
+//
+// `StreamState` is one stream's resident aggregate: instantiator,
+// candidate cursor, bindings, the undrained event queue and the relevance
+// /certainty tallies. It is guarded by its own mutex (`mu`): recheck
+// waves hold it while fanning per-binding work out, so Poll/Snapshot
+// observe only quiesced states.
+#ifndef RAR_STREAM_BINDING_STATE_H_
+#define RAR_STREAM_BINDING_STATE_H_
+
+#include <mutex>
+#include <vector>
+
+#include "engine/decision_cache.h"
+#include "query/footprint.h"
+#include "relational/version.h"
+#include "relevance/head_instantiator.h"
+#include "stream/stream.h"
+
+namespace rar {
+
+/// \brief One tracked head instantiation.
+struct BindingState {
+  std::vector<Value> slot_values;  ///< deduplicated slot tuple
+  std::vector<Value> tuple;        ///< expanded k-tuple (head positions)
+  /// Engine id of the Boolean binding query Q_b (unset when `unsat`).
+  QueryId qid = 0;
+  /// Relations of the *surviving* disjuncts of Q_b — possibly narrower
+  /// than the stream query's footprint when a binding collapses disjuncts.
+  RelationFootprint footprint;
+  bool unsat = false;      ///< no disjunct survived: permanently inert
+  bool has_fresh = false;  ///< tuple uses a Prop 2.2 fresh constant
+  bool certain = false;    ///< sticky (the configuration only grows)
+  bool relevant = false;
+  Access witness;          ///< last access found relevant (when `relevant`)
+  bool has_witness = false;
+  VersionStamp stamp;      ///< registry stamp of the last evaluation
+  bool evaluated = false;  ///< `stamp` holds a real evaluation
+};
+
+/// \brief One stream's resident state. Owned by the registry; all fields
+/// after construction are guarded by `mu`.
+struct StreamState {
+  StreamState(const Schema& schema, const UnionQuery& q, StreamOptions opts)
+      : query(q), options(opts), inst(schema, q) {}
+
+  UnionQuery query;
+  StreamOptions options;
+  HeadInstantiator inst;
+  /// Active-domain values already expanded into bindings, per distinct
+  /// head domain (`seen` is the delta-enumeration cursor).
+  HeadCandidates candidates;
+  /// The stream query's own relations (every binding footprint is a
+  /// subset) — the stream-level fast-skip filter.
+  RelationFootprint query_footprint;
+  /// Extra relations the LTR verdicts read beyond a binding's footprint:
+  /// with dependent methods in play, an access over *any* method relation
+  /// can be LTR-relevant through a production chain (mirror of the
+  /// engine's StripesForCheck widening); empty for IR-only streams and
+  /// all-independent method sets.
+  std::vector<RelationId> extra_relations;
+
+  std::vector<BindingState> bindings;
+  size_t num_relevant = 0;
+  size_t num_certain = 0;
+  size_t num_unsat = 0;
+  /// Registration or delta enumeration failed mid-way: the stream's
+  /// binding set is incomplete and maintenance has stopped (reads still
+  /// serve the last consistent state).
+  bool defunct = false;
+
+  std::vector<StreamEvent> pending_events;  ///< undrained (Poll output)
+  uint64_t next_sequence = 1;
+
+  mutable std::mutex mu;
+};
+
+/// The read-only view of one binding (Snapshot / RelevantBindings rows).
+BindingView MakeBindingView(const BindingState& b);
+
+}  // namespace rar
+
+#endif  // RAR_STREAM_BINDING_STATE_H_

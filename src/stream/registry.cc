@@ -1,0 +1,501 @@
+#include "stream/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rar {
+
+namespace {
+
+// Whether a `kind` check of `access` can matter for a binding with
+// footprint `fp`: an IR verdict can only come from an access over the
+// binding's own relations (response facts elsewhere never change Q_b);
+// same for LTR under an all-independent method set, while dependent LTR
+// may chain through any method relation. Shared by the wave's witness
+// batch and the full scan — the two must never diverge.
+bool CheckApplicable(const AccessMethodSet& acs, const RelationFootprint& fp,
+                     CheckKind kind, const Access& access) {
+  if (access.method >= acs.size()) return false;
+  const RelationId rel = acs.method(access.method).relation;
+  if (kind == CheckKind::kImmediate) return fp.Contains(rel);
+  return !acs.AllIndependent() || fp.Contains(rel);
+}
+
+// Maps an engine outcome to the stream's relevance verdict (out-of-scope
+// LTR verdicts fall back to the conservative default).
+bool OutcomeRelevant(const StreamOptions& options, CheckKind kind,
+                     const CheckOutcome& out) {
+  if (kind == CheckKind::kImmediate) return out.ok() && out.relevant;
+  return out.ok() ? out.relevant : options.conservative_on_unknown;
+}
+
+}  // namespace
+
+RelevanceStreamRegistry::RelevanceStreamRegistry(RelevanceEngine* engine)
+    : engine_(engine), num_relations_(engine->schema().num_relations()) {
+  performed_by_relation_ = std::make_unique<std::atomic<uint64_t>[]>(
+      std::max<size_t>(num_relations_, 1));
+  for (size_t r = 0; r < num_relations_; ++r) {
+    performed_by_relation_[r].store(0, std::memory_order_relaxed);
+  }
+  rechecks_by_relation_ =
+      std::make_unique<std::atomic<uint64_t>[]>(num_relations_ + 1);
+  for (size_t r = 0; r <= num_relations_; ++r) {
+    rechecks_by_relation_[r].store(0, std::memory_order_relaxed);
+  }
+  engine_->AddApplyListener(this);
+}
+
+RelevanceStreamRegistry::~RelevanceStreamRegistry() {
+  engine_->RemoveApplyListener(this);
+}
+
+StreamState* RelevanceStreamRegistry::stream(StreamId id) const {
+  std::shared_lock<std::shared_mutex> lock(streams_mu_);
+  return id < streams_.size() ? streams_[id].get() : nullptr;
+}
+
+Result<StreamId> RelevanceStreamRegistry::Register(const UnionQuery& query,
+                                                   StreamOptions options) {
+  auto owned =
+      std::make_unique<StreamState>(engine_->schema(), query, options);
+  StreamState& s = *owned;
+  RAR_RETURN_NOT_OK(s.inst.status());
+  s.query_footprint = RelationFootprint::Of(query);
+
+  // With dependent methods, an LTR verdict can hinge on *any* method
+  // relation (production chains) — those relations join every binding's
+  // stamp. All-independent sets and IR-only streams stay footprint-narrow.
+  const AccessMethodSet& acs = engine_->access_methods();
+  if (options.use_long_term && !acs.AllIndependent()) {
+    for (AccessMethodId m = 0; m < acs.size(); ++m) {
+      s.extra_relations.push_back(acs.method(m).relation);
+    }
+    std::sort(s.extra_relations.begin(), s.extra_relations.end());
+    s.extra_relations.erase(
+        std::unique(s.extra_relations.begin(), s.extra_relations.end()),
+        s.extra_relations.end());
+  }
+
+  // Publish the stream *before* reading the active domain, holding its
+  // mutex: a response applied from here on blocks in OnApply until the
+  // initial wave lands (instead of being missed), and one applied before
+  // the candidate read below is already part of what it sees.
+  StreamId id;
+  std::unique_lock<std::mutex> setup(s.mu);
+  {
+    std::unique_lock<std::shared_mutex> lock(streams_mu_);
+    id = static_cast<StreamId>(streams_.size());
+    streams_.push_back(std::move(owned));
+  }
+  counters_.Bump(counters_.streams_registered);
+
+  s.candidates.values.resize(s.inst.num_domains());
+  s.candidates.seen.assign(s.inst.num_domains(), 0);
+  for (size_t d = 0; d < s.inst.num_domains(); ++d) {
+    s.candidates.values[d] = engine_->AdomValuesOf(s.inst.domain(d));
+  }
+
+  Status append = Status::OK();
+  s.inst.ForEachBinding(s.candidates, [&](const std::vector<Value>& slots) {
+    append = AppendBinding(s, slots);
+    return !append.ok();
+  });
+  if (!append.ok()) {
+    // Cannot happen for a query that passed validation (its Boolean
+    // instantiations are valid engine queries), but never leave a
+    // half-built stream live: stop maintaining it.
+    s.defunct = true;
+    return append;
+  }
+  for (size_t d = 0; d < s.inst.num_domains(); ++d) {
+    s.candidates.seen[d] = s.candidates.values[d].size();
+  }
+  RecheckWave(s, num_relations_, /*force=*/true);
+  return id;
+}
+
+size_t RelevanceStreamRegistry::num_streams() const {
+  std::shared_lock<std::shared_mutex> lock(streams_mu_);
+  return streams_.size();
+}
+
+Status RelevanceStreamRegistry::AppendBinding(
+    StreamState& s, const std::vector<Value>& slot_values) {
+  BindingState b;
+  b.slot_values = slot_values;
+  b.tuple = s.inst.ExpandTuple(slot_values);
+  b.has_fresh = s.inst.HasFresh(slot_values);
+  UnionQuery q_b = s.inst.Instantiate(slot_values);
+  if (q_b.disjuncts.empty()) {
+    // Repeated head variables received conflicting values in every
+    // disjunct: Q_b is identically false, so the binding can never become
+    // certain and no access is ever relevant to it.
+    b.unsat = true;
+    s.num_unsat += 1;
+  } else {
+    b.footprint = RelationFootprint::Of(q_b);
+    RAR_ASSIGN_OR_RETURN(b.qid, engine_->RegisterQuery(q_b));
+  }
+  StreamEvent added;
+  added.kind = StreamEventKind::kBindingAdded;
+  added.binding = b.tuple;
+  s.bindings.push_back(std::move(b));
+  counters_.Bump(counters_.bindings_tracked);
+  std::vector<StreamEvent> events;
+  events.push_back(std::move(added));
+  CommitEvents(s, std::move(events));
+  return Status::OK();
+}
+
+Status RelevanceStreamRegistry::ExtendBindings(StreamState& s) {
+  for (size_t d = 0; d < s.inst.num_domains(); ++d) {
+    std::vector<Value> grown = engine_->AdomValuesOf(
+        s.inst.domain(d), s.candidates.values[d].size());
+    for (Value& v : grown) s.candidates.values[d].push_back(v);
+  }
+  const size_t before = s.bindings.size();
+  Status append = Status::OK();
+  s.inst.ForEachNewBinding(s.candidates,
+                           [&](const std::vector<Value>& slots) {
+                             append = AppendBinding(s, slots);
+                             return !append.ok();
+                           });
+  counters_.Bump(counters_.new_bindings,
+                 static_cast<uint64_t>(s.bindings.size() - before));
+  if (!append.ok()) {
+    // Advancing the cursor would silently drop the never-appended
+    // bindings from every future delta; a partial enumeration cannot be
+    // resumed without duplicating the appended ones either, so the
+    // stream stops being maintained. (Unreachable for validated stream
+    // queries — see Register.)
+    s.defunct = true;
+    return append;
+  }
+  for (size_t d = 0; d < s.inst.num_domains(); ++d) {
+    s.candidates.seen[d] = s.candidates.values[d].size();
+  }
+  return append;
+}
+
+VersionStamp RelevanceStreamRegistry::StampFor(const StreamState& s,
+                                               const BindingState& b) const {
+  VersionStamp stamp;
+  stamp.reserve(
+      2 * (b.footprint.relations.size() + s.extra_relations.size()) + 1);
+  auto push = [&](RelationId rel) {
+    stamp.push_back(engine_->relation_version(rel));
+    stamp.push_back(rel < num_relations_
+                        ? performed_by_relation_[rel].load(
+                              std::memory_order_acquire)
+                        : 0);
+  };
+  for (RelationId rel : b.footprint.relations) push(rel);
+  for (RelationId rel : s.extra_relations) {
+    if (!b.footprint.Contains(rel)) push(rel);
+  }
+  // The Adom version closes the frontier: new active-domain values mint
+  // new candidate accesses (and, one level up, new bindings).
+  stamp.push_back(engine_->adom_version());
+  return stamp;
+}
+
+std::vector<StreamEvent> RelevanceStreamRegistry::EvalBinding(
+    StreamState& s, BindingState& b, const std::vector<Access>& pending,
+    VersionStamp stamp) {
+  const AccessMethodSet& acs = engine_->access_methods();
+  const bool was_relevant = b.relevant;
+
+  // A certain Q_b answers every check "irrelevant" (the engine's sticky
+  // short-circuit), so the scans need no certainty pre-gate — and a
+  // relevant access *implies* not-certain, which skips the explicit
+  // certainty probe for the common live binding.
+  auto ir_relevant = [&](const Access& a) {
+    if (!CheckApplicable(acs, b.footprint, CheckKind::kImmediate, a)) {
+      return false;
+    }
+    return OutcomeRelevant(s.options, CheckKind::kImmediate,
+                           engine_->CheckImmediate(b.qid, a));
+  };
+  auto ltr_relevant = [&](const Access& a) {
+    if (!CheckApplicable(acs, b.footprint, CheckKind::kLongTerm, a)) {
+      return false;
+    }
+    return OutcomeRelevant(s.options, CheckKind::kLongTerm,
+                           engine_->CheckLongTerm(b.qid, a));
+  };
+  bool relevant = false;
+  Access witness;
+  bool has_witness = false;
+  // Witness-first: the access that made the binding relevant last time
+  // usually still does, turning steady-state rechecks into one probe.
+  if (b.has_witness && !engine_->WasPerformed(b.witness) &&
+      ((s.options.use_immediate && ir_relevant(b.witness)) ||
+       (s.options.use_long_term && ltr_relevant(b.witness)))) {
+    relevant = true;
+    witness = b.witness;
+    has_witness = true;
+  }
+  if (!relevant && s.options.use_immediate) {
+    for (const Access& a : pending) {
+      if (ir_relevant(a)) {
+        relevant = true;
+        witness = a;
+        has_witness = true;
+        break;
+      }
+    }
+  }
+  if (!relevant && s.options.use_long_term) {
+    for (const Access& a : pending) {
+      if (ltr_relevant(a)) {
+        relevant = true;
+        witness = a;
+        has_witness = true;
+        break;
+      }
+    }
+  }
+  const bool certain = relevant ? false : engine_->IsCertain(b.qid);
+
+  b.stamp = std::move(stamp);
+  b.evaluated = true;
+  std::vector<StreamEvent> events;
+  auto emit = [&](StreamEventKind kind) {
+    StreamEvent e;
+    e.kind = kind;
+    e.binding = b.tuple;
+    events.push_back(std::move(e));
+  };
+  if (certain && !b.certain) {
+    b.certain = true;
+    emit(StreamEventKind::kBecameCertain);
+  }
+  const bool now_relevant = !certain && relevant;
+  if (now_relevant && !was_relevant) emit(StreamEventKind::kBecameRelevant);
+  if (!now_relevant && was_relevant) emit(StreamEventKind::kBecameIrrelevant);
+  b.relevant = now_relevant;
+  b.witness = witness;
+  b.has_witness = has_witness;
+  return events;
+}
+
+void RelevanceStreamRegistry::CommitEvents(StreamState& s,
+                                           std::vector<StreamEvent> events) {
+  for (StreamEvent& e : events) {
+    switch (e.kind) {
+      case StreamEventKind::kBecameCertain:
+        s.num_certain += 1;
+        break;
+      case StreamEventKind::kBecameRelevant:
+        s.num_relevant += 1;
+        break;
+      case StreamEventKind::kBecameIrrelevant:
+        s.num_relevant -= 1;
+        break;
+      case StreamEventKind::kBindingAdded:
+        break;
+    }
+    e.sequence = s.next_sequence++;
+    counters_.Bump(counters_.events);
+    s.pending_events.push_back(std::move(e));
+  }
+}
+
+void RelevanceStreamRegistry::RecheckWave(StreamState& s,
+                                          size_t attribution_slot,
+                                          bool force) {
+  std::vector<size_t> stale;
+  std::vector<VersionStamp> stamps;  // pre-read stamps, reused by the wave
+  uint64_t skipped = 0;
+  uint64_t sticky = 0;
+  for (size_t i = 0; i < s.bindings.size(); ++i) {
+    BindingState& b = s.bindings[i];
+    if (b.unsat || b.certain) {
+      ++sticky;  // monotone-final: never looked at again
+      continue;
+    }
+    VersionStamp stamp = StampFor(s, b);
+    if (!force && b.evaluated && b.stamp == stamp) {
+      ++skipped;
+      continue;
+    }
+    stale.push_back(i);
+    stamps.push_back(std::move(stamp));
+  }
+  if (skipped > 0) counters_.Bump(counters_.skips, skipped);
+  if (sticky > 0) counters_.Bump(counters_.sticky_skips, sticky);
+  if (stale.empty()) return;
+  counters_.Bump(counters_.rechecks, static_cast<uint64_t>(stale.size()));
+  rechecks_by_relation_[attribution_slot].fetch_add(
+      stale.size(), std::memory_order_relaxed);
+
+  const std::vector<Access> pending = engine_->PendingAccesses();
+  std::vector<std::vector<StreamEvent>> wave(stale.size());
+  std::vector<char> resolved(stale.size(), 0);
+
+  // Phase A — witness fast path as one heterogeneous batch: the access
+  // that made a binding relevant last time usually still does, so the
+  // steady-state wave is a single CheckMany (one acquisition of the
+  // state/Adom/stripe locks for the whole stream) that confirms almost
+  // every binding.
+  const AccessMethodSet& acs = engine_->access_methods();
+  const CheckKind witness_kind = s.options.use_immediate
+                                     ? CheckKind::kImmediate
+                                     : CheckKind::kLongTerm;
+  std::vector<RelevanceEngine::CheckRequest> requests;
+  std::vector<size_t> request_of;
+  for (size_t j = 0; j < stale.size(); ++j) {
+    const BindingState& b = s.bindings[stale[j]];
+    if (!b.has_witness || !b.relevant) continue;
+    if (!CheckApplicable(acs, b.footprint, witness_kind, b.witness) ||
+        engine_->WasPerformed(b.witness)) {
+      continue;
+    }
+    requests.push_back(
+        RelevanceEngine::CheckRequest{b.qid, witness_kind, b.witness});
+    request_of.push_back(j);
+  }
+  if (!requests.empty()) {
+    const bool parallel = requests.size() >= s.options.parallel_threshold &&
+                          engine_->worker_pool().size() > 1;
+    std::vector<CheckOutcome> outs = engine_->CheckMany(requests, parallel);
+    for (size_t k = 0; k < outs.size(); ++k) {
+      if (!OutcomeRelevant(s.options, witness_kind, outs[k])) continue;
+      const size_t j = request_of[k];
+      BindingState& b = s.bindings[stale[j]];
+      // Relevant with the same witness: no transition, just restamp.
+      b.stamp = std::move(stamps[j]);
+      b.evaluated = true;
+      resolved[j] = 1;
+    }
+  }
+
+  // Phase B — full evaluation for bindings the witness no longer carries.
+  std::vector<size_t> remaining;
+  for (size_t j = 0; j < stale.size(); ++j) {
+    if (!resolved[j]) remaining.push_back(j);
+  }
+  if (remaining.size() >= s.options.parallel_threshold &&
+      engine_->worker_pool().size() > 1) {
+    // Tasks touch disjoint bindings; the caller's hold on s.mu keeps
+    // Poll/Snapshot (and other waves) out until the whole wave lands.
+    engine_->worker_pool().ParallelFor(remaining.size(), [&](size_t r) {
+      const size_t j = remaining[r];
+      wave[j] = EvalBinding(s, s.bindings[stale[j]], pending,
+                            std::move(stamps[j]));
+    });
+  } else {
+    for (size_t j : remaining) {
+      wave[j] = EvalBinding(s, s.bindings[stale[j]], pending,
+                            std::move(stamps[j]));
+    }
+  }
+  for (std::vector<StreamEvent>& events : wave) {
+    CommitEvents(s, std::move(events));
+  }
+}
+
+void RelevanceStreamRegistry::OnApply(const ApplyEvent& event) {
+  if (event.relation < num_relations_) {
+    performed_by_relation_[event.relation].fetch_add(
+        1, std::memory_order_release);
+  }
+  std::vector<StreamState*> streams;
+  {
+    std::shared_lock<std::shared_mutex> lock(streams_mu_);
+    streams.reserve(streams_.size());
+    for (const auto& s : streams_) streams.push_back(s.get());
+  }
+  for (StreamState* sp : streams) {
+    StreamState& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.defunct) continue;
+    const bool hit =
+        event.adom_grew || s.query_footprint.Contains(event.relation) ||
+        std::binary_search(s.extra_relations.begin(),
+                           s.extra_relations.end(), event.relation);
+    if (!hit) {
+      // O(1) stream-level skip: nothing this stream's bindings read (facts,
+      // frontier, Adom) changed.
+      const uint64_t settled = s.num_certain + s.num_unsat;
+      counters_.Bump(counters_.skips, s.bindings.size() - settled);
+      if (settled > 0) counters_.Bump(counters_.sticky_skips, settled);
+      continue;
+    }
+    // New Adom values mint new head bindings; enumerate exactly those.
+    // (A failure here means a binding query failed engine validation,
+    // which a validated stream query cannot produce.)
+    if (event.adom_grew) (void)ExtendBindings(s);
+    RecheckWave(s, event.relation < num_relations_ ? event.relation
+                                                   : num_relations_,
+                /*force=*/false);
+  }
+}
+
+void RelevanceStreamRegistry::ContributeStats(EngineStats* stats) const {
+  counters_.ContributeTo(stats);
+  if (stats->stream_rechecks_by_relation.size() < num_relations_ + 1) {
+    stats->stream_rechecks_by_relation.resize(num_relations_ + 1, 0);
+  }
+  for (size_t r = 0; r <= num_relations_; ++r) {
+    stats->stream_rechecks_by_relation[r] +=
+        rechecks_by_relation_[r].load(std::memory_order_relaxed);
+  }
+}
+
+StreamDelta RelevanceStreamRegistry::Poll(StreamId id) {
+  StreamDelta delta;
+  StreamState* s = stream(id);
+  if (s == nullptr) return delta;
+  std::lock_guard<std::mutex> lock(s->mu);
+  delta.events = std::move(s->pending_events);
+  s->pending_events.clear();
+  delta.last_sequence = s->next_sequence - 1;
+  return delta;
+}
+
+StreamSnapshot RelevanceStreamRegistry::Snapshot(StreamId id) const {
+  StreamSnapshot snap;
+  StreamState* s = stream(id);
+  if (s == nullptr) return snap;
+  std::lock_guard<std::mutex> lock(s->mu);
+  snap.bindings_tracked = s->bindings.size();
+  snap.certain = s->num_certain;
+  snap.relevant = s->num_relevant;
+  snap.any_relevant = s->num_relevant > 0;
+  snap.bindings.reserve(s->bindings.size());
+  for (const BindingState& b : s->bindings) {
+    snap.bindings.push_back(MakeBindingView(b));
+  }
+  return snap;
+}
+
+bool RelevanceStreamRegistry::AnyRelevant(StreamId id) const {
+  StreamState* s = stream(id);
+  if (s == nullptr) return false;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->num_relevant > 0;
+}
+
+std::vector<BindingView> RelevanceStreamRegistry::RelevantBindings(
+    StreamId id) const {
+  std::vector<BindingView> out;
+  StreamState* s = stream(id);
+  if (s == nullptr) return out;
+  std::lock_guard<std::mutex> lock(s->mu);
+  for (const BindingState& b : s->bindings) {
+    if (b.relevant) out.push_back(MakeBindingView(b));
+  }
+  return out;
+}
+
+void RelevanceStreamRegistry::Refresh(StreamId id) {
+  StreamState* s = stream(id);
+  if (s == nullptr) return;
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->defunct) return;
+  RecheckWave(*s, num_relations_, /*force=*/true);
+}
+
+}  // namespace rar

@@ -1,0 +1,136 @@
+// RelevanceStreamRegistry: incremental maintenance of standing k-ary
+// relevance streams over a RelevanceEngine.
+//
+// The registry attaches to an engine as an ApplyListener. On every
+// absorbed response it narrows the work with two filters before touching
+// any decider:
+//
+//  1. *stream-level*: when the applied relation lies outside a stream's
+//     query footprint (plus the dependent-LTR widening) and the response
+//     grew no active-domain value, every binding of that stream is skipped
+//     in O(1) — the apply cannot have changed any binding verdict or the
+//     relevant frontier.
+//  2. *binding-level*: otherwise each binding rebuilds its registry stamp
+//     (engine footprint versions + per-relation performed-access counters
+//     + the Adom version) and is re-evaluated only on mismatch; settled
+//     bindings (certain — monotone — or unsatisfiable) are never looked at
+//     again.
+//
+// Re-evaluation piggybacks on the engine: `IsCertain` / `CheckImmediate` /
+// `CheckLongTerm` run under the engine's striped locks and decision cache
+// (binding queries are ordinary engine queries), and waves above
+// `StreamOptions::parallel_threshold` fan out over the engine's worker
+// pool. Active-domain growth delta-enumerates exactly the new head
+// bindings via HeadInstantiator::ForEachNewBinding.
+//
+// Threading: OnApply runs on the applying thread after the engine released
+// its locks; waves serialize per stream (StreamState::mu) while distinct
+// streams and engine-side applies proceed concurrently. Poll/Snapshot are
+// cheap reads under the same per-stream mutex. Destroy the registry only
+// after in-flight applies quiesce (it detaches itself from the engine).
+#ifndef RAR_STREAM_REGISTRY_H_
+#define RAR_STREAM_REGISTRY_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "engine/engine.h"
+#include "stream/binding_state.h"
+#include "stream/stream.h"
+#include "stream/stream_stats.h"
+
+namespace rar {
+
+class RelevanceStreamRegistry : public ApplyListener {
+ public:
+  /// Attaches to `engine` (must outlive the registry).
+  explicit RelevanceStreamRegistry(RelevanceEngine* engine);
+  ~RelevanceStreamRegistry() override;
+
+  RelevanceStreamRegistry(const RelevanceStreamRegistry&) = delete;
+  RelevanceStreamRegistry& operator=(const RelevanceStreamRegistry&) = delete;
+
+  /// Registers a standing stream for a k-ary (or Boolean) union query:
+  /// enumerates every current head binding, registers the Boolean
+  /// instantiations with the engine, and evaluates them all once.
+  Result<StreamId> Register(const UnionQuery& query,
+                            StreamOptions options = {});
+
+  size_t num_streams() const;
+
+  /// Drains the events accumulated since the previous Poll.
+  StreamDelta Poll(StreamId id);
+
+  /// Point-in-time state (bindings included).
+  StreamSnapshot Snapshot(StreamId id) const;
+
+  /// True when some binding still has a relevant frontier access.
+  bool AnyRelevant(StreamId id) const;
+
+  /// The currently relevant bindings with their witness accesses — what a
+  /// stream-driven crawl performs next.
+  std::vector<BindingView> RelevantBindings(StreamId id) const;
+
+  /// Forces a full re-evaluation of every non-settled binding (testing /
+  /// recovery hook; normal maintenance is apply-driven).
+  void Refresh(StreamId id);
+
+  // ApplyListener:
+  void OnApply(const ApplyEvent& event) override;
+  void ContributeStats(EngineStats* stats) const override;
+
+ private:
+  StreamState* stream(StreamId id) const;
+
+  /// Appends one binding for a slot tuple (registers Q_b with the engine).
+  /// Caller holds `s.mu`.
+  Status AppendBinding(StreamState& s, const std::vector<Value>& slot_values);
+
+  /// Delta-enumerates bindings introduced by active-domain growth and
+  /// advances the candidate cursor. Caller holds `s.mu`.
+  Status ExtendBindings(StreamState& s);
+
+  /// Rechecks every binding whose stamp went stale (all of them when
+  /// `force`), attributing recheck counts to `attribution_slot` (a
+  /// RelationId, or num_relations_ for registration/Adom waves). Caller
+  /// holds `s.mu`.
+  void RecheckWave(StreamState& s, size_t attribution_slot, bool force);
+
+  /// Re-evaluates one binding against the engine; `stamp` is the registry
+  /// stamp built *before* the engine reads (the staleness test's stamp is
+  /// reused — a response landing mid-evaluation leaves it stale, and the
+  /// next wave repairs the binding). Returns the events the transition
+  /// produced (sequence numbers unassigned). Safe to run concurrently for
+  /// distinct bindings of one stream.
+  std::vector<StreamEvent> EvalBinding(StreamState& s, BindingState& b,
+                                       const std::vector<Access>& pending,
+                                       VersionStamp stamp);
+
+  /// The registry stamp of one binding (see the class comment).
+  VersionStamp StampFor(const StreamState& s, const BindingState& b) const;
+
+  /// Appends `events` to the stream's queue, assigning sequence numbers
+  /// and updating the relevant/certain tallies. Caller holds `s.mu`.
+  void CommitEvents(StreamState& s, std::vector<StreamEvent> events);
+
+  RelevanceEngine* engine_;
+  const size_t num_relations_;
+
+  mutable std::shared_mutex streams_mu_;  ///< guards the streams_ vector
+  std::vector<std::unique_ptr<StreamState>> streams_;
+
+  StreamCounters counters_;
+  /// Per-relation count of accesses applied through the engine — the
+  /// frontier-shrink component of binding stamps (performing an access
+  /// removes it from the pending set even when it adds no fact).
+  std::unique_ptr<std::atomic<uint64_t>[]> performed_by_relation_;
+  /// Recheck attribution, indexed by RelationId; the trailing slot counts
+  /// registration and Adom-growth waves.
+  std::unique_ptr<std::atomic<uint64_t>[]> rechecks_by_relation_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_STREAM_REGISTRY_H_

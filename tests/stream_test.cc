@@ -1,0 +1,594 @@
+// Standing k-ary relevance streams (src/stream/): incremental per-binding
+// maintenance must be observationally equivalent to re-running the one-
+// shot Prop 2.2 wrappers from scratch after every response. The
+// load-bearing properties: (1) after any growth sequence, every tracked
+// binding's certain/relevant state equals a fresh per-binding evaluation
+// (and the stream-level verdict equals fresh ImmediateKAry/LongTermKAry
+// calls), including bindings born from new active-domain values
+// mid-stream; (2) a single-relation apply on a multi-relation schema
+// rechecks only footprint-hit bindings — counter-verified; (3) the delta
+// protocol (Poll) reports exactly the binding transitions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "engine/engine.h"
+#include "query/eval.h"
+#include "query/parser.h"
+#include "relational/overlay.h"
+#include "relevance/head_instantiator.h"
+#include "relevance/immediate.h"
+#include "relevance/relevance.h"
+#include "sim/deep_web.h"
+#include "stream/registry.h"
+#include "util/rng.h"
+
+namespace rar {
+namespace {
+
+// The reference instantiation of a k-ary query at a concrete head tuple:
+// bind every head position, drop disjuncts whose repeated head variables
+// received conflicting values (they are unsatisfiable).
+UnionQuery InstantiateAt(const UnionQuery& query,
+                         const std::vector<Value>& tuple) {
+  UnionQuery out;
+  for (const ConjunctiveQuery& d : query.disjuncts) {
+    std::vector<std::optional<Value>> binding(d.num_vars());
+    bool satisfiable = true;
+    for (size_t i = 0; i < d.head.size(); ++i) {
+      std::optional<Value>& slot = binding[d.head[i]];
+      if (slot.has_value() && !(*slot == tuple[i])) {
+        satisfiable = false;
+        break;
+      }
+      slot = tuple[i];
+    }
+    if (!satisfiable) continue;
+    ConjunctiveQuery inst = Specialize(d, binding);
+    inst.head.clear();
+    out.disjuncts.push_back(std::move(inst));
+  }
+  return out;
+}
+
+// Head output domains of a validated k-ary query.
+std::vector<DomainId> HeadDomains(const UnionQuery& query) {
+  std::vector<DomainId> out;
+  for (VarId h : query.disjuncts[0].head) {
+    out.push_back(query.disjuncts[0].var_domains[h]);
+  }
+  return out;
+}
+
+// Checks every stream binding against a fresh evaluation over a snapshot
+// of the engine state, and the stream-level verdict against the one-shot
+// k-ary wrappers.
+void ExpectStreamParity(RelevanceEngine& engine,
+                        RelevanceStreamRegistry& registry, StreamId sid,
+                        const UnionQuery& query, const StreamOptions& opts,
+                        const AccessMethodSet& acs, const char* where) {
+  Configuration conf = engine.SnapshotConfig();
+  std::vector<Access> pending = engine.PendingAccesses();
+  std::vector<DomainId> head_domains = HeadDomains(query);
+  RelevanceAnalyzer analyzer(*conf.schema(), acs);
+  StreamSnapshot snap = registry.Snapshot(sid);
+
+  for (const BindingView& b : snap.bindings) {
+    UnionQuery q_b = InstantiateAt(query, b.binding);
+    if (b.unsat) {
+      EXPECT_TRUE(q_b.disjuncts.empty()) << where;
+      EXPECT_FALSE(b.certain) << where;
+      EXPECT_FALSE(b.relevant) << where;
+      continue;
+    }
+    ASSERT_FALSE(q_b.disjuncts.empty()) << where;
+    // The seeded view the one-shot wrappers evaluate over: the binding's
+    // values registered as known (fresh head constants included).
+    OverlayConfiguration seeded(&conf);
+    for (size_t i = 0; i < b.binding.size(); ++i) {
+      seeded.AddSeedConstant(b.binding[i], head_domains[i]);
+    }
+    const bool expect_certain = EvalBool(q_b, seeded);
+    EXPECT_EQ(b.certain, expect_certain)
+        << where << " binding certain mismatch";
+    bool expect_relevant = false;
+    if (!expect_certain) {
+      for (const Access& a : pending) {
+        if (opts.use_immediate && IsImmediatelyRelevant(seeded, acs, a, q_b)) {
+          expect_relevant = true;
+          break;
+        }
+        if (opts.use_long_term) {
+          Result<bool> ltr = analyzer.LongTerm(seeded, a, q_b);
+          if (ltr.ok() ? *ltr : opts.conservative_on_unknown) {
+            expect_relevant = true;
+            break;
+          }
+        }
+      }
+    }
+    EXPECT_EQ(b.relevant, expect_relevant)
+        << where << " binding relevant mismatch";
+    if (b.relevant) EXPECT_TRUE(b.has_witness) << where;
+  }
+
+  // Stream-level verdict == fresh one-shot k-ary calls (Prop 2.2's OR
+  // over instantiations, OR'd over the pending frontier).
+  bool expect_any = false;
+  for (const Access& a : pending) {
+    if (opts.use_immediate) {
+      Result<bool> ir = analyzer.ImmediateKAry(conf, a, query);
+      ASSERT_TRUE(ir.ok()) << where;
+      if (*ir) {
+        expect_any = true;
+        break;
+      }
+    }
+    if (opts.use_long_term) {
+      Result<bool> ltr = analyzer.LongTermKAry(conf, a, query);
+      if (ltr.ok() ? *ltr : opts.conservative_on_unknown) {
+        expect_any = true;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(registry.AnyRelevant(sid), expect_any)
+      << where << " stream-level verdict mismatch";
+}
+
+class StreamTest : public ::testing::Test {
+ protected:
+  Value C(Schema& schema, const std::string& s) {
+    return schema.InternConstant(s);
+  }
+};
+
+// --- HeadInstantiator satellites: slot dedup and lazy candidates -------
+
+TEST_F(StreamTest, InstantiatorDedupesRepeatedHeadPositions) {
+  Schema schema;
+  DomainId d = schema.AddDomain("D");
+  RelationId r = *schema.AddRelation("R", std::vector<DomainId>{d, d});
+  ConjunctiveQuery q = *ParseCQ(schema, "R(X, Y)");
+  VarId y = 0;
+  for (int v = 0; v < q.num_vars(); ++v) {
+    if (q.var_names[v] == "Y") y = v;
+  }
+  q.head = {y, y};  // Q(Y, Y): both positions share one slot
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  ASSERT_TRUE(uq.Validate(schema).ok());
+
+  HeadInstantiator inst(schema, uq);
+  ASSERT_TRUE(inst.status().ok());
+  EXPECT_EQ(inst.arity(), 2u);
+  EXPECT_EQ(inst.num_slots(), 1u);
+  EXPECT_EQ(inst.fresh_constants().size(), 1u);
+
+  Configuration conf(&schema);
+  conf.AddSeedConstant(C(schema, "a"), d);
+  conf.AddSeedConstant(C(schema, "b"), d);
+  HeadCandidates cands = inst.CollectCandidates(conf);
+  int count = 0;
+  inst.ForEachBinding(cands, [&](const std::vector<Value>& slots) {
+    EXPECT_EQ(slots.size(), 1u);
+    std::vector<Value> tuple = inst.ExpandTuple(slots);
+    EXPECT_EQ(tuple.size(), 2u);
+    EXPECT_EQ(tuple[0], tuple[1]);
+    ++count;
+    return false;
+  });
+  // |adom| + one fresh — not (|adom| + fresh)^2.
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(StreamTest, InstantiatorDropsConflictedDisjuncts) {
+  Schema schema;
+  DomainId d = schema.AddDomain("D");
+  (void)*schema.AddRelation("R", std::vector<DomainId>{d, d});
+  (void)*schema.AddRelation("S", std::vector<DomainId>{d, d});
+  // Disjunct 1 repeats X in the head; disjunct 2 exports two distinct
+  // variables — the positions do NOT collapse globally, and tuples (a, b)
+  // with a != b must instantiate disjunct 1 to nothing (not to S... R(b,b)).
+  ConjunctiveQuery d1 = *ParseCQ(schema, "R(X, X)");
+  d1.head = {0, 0};
+  ConjunctiveQuery d2 = *ParseCQ(schema, "S(X, Y)");
+  d2.head = {0, 1};
+  UnionQuery uq;
+  uq.disjuncts = {d1, d2};
+  ASSERT_TRUE(uq.Validate(schema).ok());
+
+  HeadInstantiator inst(schema, uq);
+  ASSERT_TRUE(inst.status().ok());
+  EXPECT_EQ(inst.num_slots(), 2u);
+
+  Value a = C(schema, "a"), b = C(schema, "b");
+  UnionQuery same = inst.Instantiate({a, a});
+  EXPECT_EQ(same.disjuncts.size(), 2u);
+  UnionQuery differ = inst.Instantiate({a, b});
+  ASSERT_EQ(differ.disjuncts.size(), 1u);  // the R(X,X) disjunct dropped
+  EXPECT_EQ(differ.disjuncts[0].atoms[0].relation,
+            schema.FindRelation("S"));
+}
+
+TEST_F(StreamTest, InstantiatorDeltaEnumeration) {
+  Schema schema;
+  DomainId d = schema.AddDomain("D");
+  (void)*schema.AddRelation("R", std::vector<DomainId>{d, d});
+  ConjunctiveQuery q = *ParseCQ(schema, "R(X, Y)");
+  q.head = {0, 1};
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  ASSERT_TRUE(uq.Validate(schema).ok());
+  HeadInstantiator inst(schema, uq);
+  ASSERT_TRUE(inst.status().ok());
+
+  Configuration conf(&schema);
+  conf.AddSeedConstant(C(schema, "a"), d);
+  conf.AddSeedConstant(C(schema, "b"), d);
+  HeadCandidates cands = inst.CollectCandidates(conf);
+
+  std::set<std::vector<Value>> all_before;
+  inst.ForEachBinding(cands, [&](const std::vector<Value>& s) {
+    all_before.insert(inst.ExpandTuple(s));
+    return false;
+  });
+
+  // Grow the domain by one value; delta enumeration must emit exactly the
+  // tuples using it, each once.
+  cands.seen[0] = cands.values[0].size();
+  conf.AddSeedConstant(C(schema, "c"), d);
+  inst.ExtendCandidates(conf, &cands);
+  std::set<std::vector<Value>> fresh_tuples;
+  size_t emitted = 0;
+  inst.ForEachNewBinding(cands, [&](const std::vector<Value>& s) {
+    fresh_tuples.insert(inst.ExpandTuple(s));
+    ++emitted;
+    return false;
+  });
+  EXPECT_EQ(emitted, fresh_tuples.size()) << "duplicate delta tuples";
+  std::set<std::vector<Value>> all_after;
+  cands.seen[0] = 0;
+  inst.ForEachBinding(cands, [&](const std::vector<Value>& s) {
+    all_after.insert(inst.ExpandTuple(s));
+    return false;
+  });
+  EXPECT_EQ(all_before.size() + fresh_tuples.size(), all_after.size());
+  for (const std::vector<Value>& t : fresh_tuples) {
+    EXPECT_EQ(all_before.count(t), 0u);
+    EXPECT_EQ(all_after.count(t), 1u);
+  }
+}
+
+// --- Incremental maintenance: footprint narrowing, counter-verified ----
+
+TEST_F(StreamTest, SingleRelationApplyRechecksOnlyFootprintHitBindings) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d0 = schema->AddDomain("D0");
+  DomainId d1 = schema->AddDomain("D1");
+  RelationId a0 = *schema->AddRelation("A0", {{"x", d0}, {"y", d0}});
+  RelationId b0 = *schema->AddRelation("B0", {{"x", d0}, {"y", d0}});
+  RelationId a1 = *schema->AddRelation("A1", {{"x", d1}, {"y", d1}});
+  AccessMethodSet acs(schema.get());
+  AccessMethodId ma0 = *acs.Add("a0", a0, {0}, /*dependent=*/true);
+  (void)*acs.Add("b0", b0, {0}, /*dependent=*/true);
+  AccessMethodId ma1 = *acs.Add("a1", a1, {0}, /*dependent=*/true);
+
+  Configuration conf(schema.get());
+  std::vector<Value> c0s, c1s;
+  for (int i = 0; i < 3; ++i) {
+    c0s.push_back(schema->InternConstant("c0_" + std::to_string(i)));
+    conf.AddSeedConstant(c0s.back(), d0);
+    c1s.push_back(schema->InternConstant("c1_" + std::to_string(i)));
+    conf.AddSeedConstant(c1s.back(), d1);
+  }
+
+  // Q(X) :- A0(X, Y), B0(Y, Z): footprint {A0, B0}; A1 is foreign.
+  ConjunctiveQuery q;
+  VarId x = q.AddVar("X", d0);
+  VarId y = q.AddVar("Y", d0);
+  VarId z = q.AddVar("Z", d0);
+  q.atoms.push_back(Atom{a0, {Term::MakeVar(x), Term::MakeVar(y)}});
+  q.atoms.push_back(Atom{b0, {Term::MakeVar(y), Term::MakeVar(z)}});
+  q.head = {x};
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  ASSERT_TRUE(uq.Validate(*schema).ok());
+
+  RelevanceEngine engine(*schema, acs, conf);
+  RelevanceStreamRegistry registry(&engine);
+  StreamOptions sopts;  // IR-only
+  StreamId sid = *registry.Register(uq, sopts);
+
+  const uint64_t bindings = engine.stats().stream_bindings;
+  EXPECT_EQ(bindings, c0s.size() + 1)  // adom values + one fresh constant
+      << engine.stats().ToString();
+  EngineStats base = engine.stats();
+
+  // Footprint-disjoint apply (existing values: Adom fixed): zero bindings
+  // rechecked, every live binding skipped.
+  ASSERT_TRUE(engine
+                  .ApplyResponse(Access{ma1, {c1s[0]}},
+                                 {Fact(a1, {c1s[0], c1s[1]})})
+                  .ok());
+  EngineStats after_foreign = engine.stats();
+  EXPECT_EQ(after_foreign.stream_rechecks, base.stream_rechecks)
+      << "foreign-relation apply must not recheck any binding";
+  EXPECT_EQ(after_foreign.stream_skips - base.stream_skips, bindings);
+  ASSERT_EQ(after_foreign.stream_rechecks_by_relation.size(),
+            schema->num_relations() + 1);
+  EXPECT_EQ(after_foreign.stream_rechecks_by_relation[a1], 0u);
+
+  // Footprint-hit apply: every live binding rechecked, attributed to A0.
+  ASSERT_TRUE(engine
+                  .ApplyResponse(Access{ma0, {c0s[0]}},
+                                 {Fact(a0, {c0s[0], c0s[1]})})
+                  .ok());
+  EngineStats after_hit = engine.stats();
+  EXPECT_EQ(after_hit.stream_rechecks - after_foreign.stream_rechecks,
+            bindings);
+  EXPECT_EQ(after_hit.stream_rechecks_by_relation[a0], bindings);
+
+  ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "two-group");
+}
+
+// --- Property: stream verdicts == fresh per-binding evaluation ---------
+
+TEST_F(StreamTest, ParityUnderRandomGrowthWithNewAdomValues) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d = schema->AddDomain("D");
+  RelationId r = *schema->AddRelation("R", {{"x", d}, {"y", d}});
+  RelationId s_rel = *schema->AddRelation("S", {{"x", d}});
+  AccessMethodSet acs(schema.get());
+  AccessMethodId mr = *acs.Add("r", r, {0}, /*dependent=*/true);
+  AccessMethodId ms = *acs.Add("s", s_rel, {}, /*dependent=*/true);
+
+  // Two disjuncts with distinct bodies over one head variable.
+  ConjunctiveQuery d1;
+  {
+    VarId x = d1.AddVar("X", d);
+    VarId y = d1.AddVar("Y", d);
+    d1.atoms.push_back(Atom{r, {Term::MakeVar(x), Term::MakeVar(y)}});
+    d1.atoms.push_back(Atom{s_rel, {Term::MakeVar(y)}});
+    d1.head = {x};
+  }
+  ConjunctiveQuery d2;
+  {
+    VarId x = d2.AddVar("X", d);
+    d2.atoms.push_back(Atom{r, {Term::MakeVar(x), Term::MakeVar(x)}});
+    d2.head = {x};
+  }
+  UnionQuery uq;
+  uq.disjuncts = {d1, d2};
+  ASSERT_TRUE(uq.Validate(*schema).ok());
+
+  Value a = schema->InternConstant("a");
+  Value b = schema->InternConstant("b");
+  Configuration conf(schema.get());
+  conf.AddSeedConstant(a, d);
+  conf.AddSeedConstant(b, d);
+  ASSERT_TRUE(conf.AddFactNamed("R", {"a", "b"}).ok());
+
+  RelevanceEngine engine(*schema, acs, conf);
+  RelevanceStreamRegistry registry(&engine);
+  StreamOptions sopts;  // IR-only
+  StreamId sid = *registry.Register(uq, sopts);
+  ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "initial");
+
+  // Scripted growth, including responses that introduce brand-new values
+  // (n1, n2): bindings must be born mid-stream and evaluated correctly.
+  Value n1 = schema->InternConstant("n1");
+  Value n2 = schema->InternConstant("n2");
+  const std::vector<std::pair<Access, std::vector<Fact>>> script = {
+      {Access{mr, {b}}, {Fact(r, {b, n1})}},               // new value n1
+      {Access{ms, {}}, {Fact(s_rel, {n1})}},               // S grows
+      {Access{mr, {a}}, {Fact(r, {a, a}), Fact(r, {a, n1})}},
+      {Access{mr, {n1}}, {Fact(r, {n1, n2})}},             // new value n2
+      {Access{ms, {}}, {Fact(s_rel, {b}), Fact(s_rel, {n2})}},
+  };
+  size_t step = 0;
+  for (const auto& [access, response] : script) {
+    ASSERT_TRUE(engine.ApplyResponse(access, response).ok());
+    ExpectStreamParity(engine, registry, sid, uq, sopts, acs,
+                       ("step " + std::to_string(step)).c_str());
+    ++step;
+  }
+  // The new values produced bindings mid-stream.
+  StreamSnapshot snap = registry.Snapshot(sid);
+  size_t with_n = 0;
+  for (const BindingView& bv : snap.bindings) {
+    if (bv.binding[0] == n1 || bv.binding[0] == n2) ++with_n;
+  }
+  EXPECT_EQ(with_n, 2u);
+  EXPECT_GT(engine.stats().stream_new_bindings, 0u);
+}
+
+TEST_F(StreamTest, LongTermParityAllIndependent) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d = schema->AddDomain("D");
+  RelationId r = *schema->AddRelation("R", {{"x", d}, {"y", d}});
+  RelationId s_rel = *schema->AddRelation("S", {{"x", d}, {"y", d}});
+  AccessMethodSet acs(schema.get());
+  AccessMethodId mr = *acs.Add("r", r, {0}, /*dependent=*/false);
+  (void)*acs.Add("s", s_rel, {0}, /*dependent=*/false);
+
+  ConjunctiveQuery q;
+  VarId x = q.AddVar("X", d);
+  VarId y = q.AddVar("Y", d);
+  VarId z = q.AddVar("Z", d);
+  q.atoms.push_back(Atom{r, {Term::MakeVar(x), Term::MakeVar(y)}});
+  q.atoms.push_back(Atom{s_rel, {Term::MakeVar(y), Term::MakeVar(z)}});
+  q.head = {x};
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  ASSERT_TRUE(uq.Validate(*schema).ok());
+
+  Value a = schema->InternConstant("a");
+  Value b = schema->InternConstant("b");
+  Configuration conf(schema.get());
+  conf.AddSeedConstant(a, d);
+  conf.AddSeedConstant(b, d);
+
+  RelevanceEngine engine(*schema, acs, conf);
+  RelevanceStreamRegistry registry(&engine);
+  StreamOptions sopts;
+  sopts.use_immediate = true;
+  sopts.use_long_term = true;
+  StreamId sid = *registry.Register(uq, sopts);
+  ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "ltr initial");
+
+  ASSERT_TRUE(
+      engine.ApplyResponse(Access{mr, {a}}, {Fact(r, {a, b})}).ok());
+  ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "ltr step 0");
+  ASSERT_TRUE(
+      engine.ApplyResponse(Access{mr, {b}}, {Fact(r, {b, b})}).ok());
+  ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "ltr step 1");
+}
+
+// --- Delta protocol ----------------------------------------------------
+
+TEST_F(StreamTest, PollDrainsOrderedEvents) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d = schema->AddDomain("D");
+  RelationId r = *schema->AddRelation("R", {{"x", d}, {"y", d}});
+  AccessMethodSet acs(schema.get());
+  AccessMethodId mr = *acs.Add("r", r, {0}, /*dependent=*/true);
+
+  ConjunctiveQuery q = *ParseCQ(*schema, "R(X, Y)");
+  q.head = {0};
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  ASSERT_TRUE(uq.Validate(*schema).ok());
+
+  Value a = schema->InternConstant("a");
+  Configuration conf(schema.get());
+  conf.AddSeedConstant(a, d);
+
+  RelevanceEngine engine(*schema, acs, conf);
+  RelevanceStreamRegistry registry(&engine);
+  StreamId sid = *registry.Register(uq, StreamOptions{});
+
+  // Registration: one kBindingAdded per binding (a + one fresh), plus the
+  // initial relevance transitions, in strictly increasing sequence.
+  StreamDelta delta = registry.Poll(sid);
+  size_t added = 0;
+  uint64_t last_seq = 0;
+  for (const StreamEvent& e : delta.events) {
+    EXPECT_GT(e.sequence, last_seq);
+    last_seq = e.sequence;
+    if (e.kind == StreamEventKind::kBindingAdded) ++added;
+  }
+  EXPECT_EQ(added, 2u);
+  EXPECT_EQ(delta.last_sequence, last_seq);
+  EXPECT_TRUE(registry.Poll(sid).events.empty()) << "Poll must drain";
+
+  // A response introducing a new value births a binding mid-stream.
+  Value n = schema->InternConstant("n");
+  ASSERT_TRUE(engine.ApplyResponse(Access{mr, {a}}, {Fact(r, {a, n})}).ok());
+  delta = registry.Poll(sid);
+  bool saw_new_binding = false;
+  for (const StreamEvent& e : delta.events) {
+    if (e.kind == StreamEventKind::kBindingAdded) {
+      EXPECT_EQ(e.binding[0], n);
+      saw_new_binding = true;
+    }
+  }
+  EXPECT_TRUE(saw_new_binding);
+}
+
+TEST_F(StreamTest, BooleanStreamSettlesSticky) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d = schema->AddDomain("D");
+  RelationId r = *schema->AddRelation("R", {{"x", d}, {"y", d}});
+  AccessMethodSet acs(schema.get());
+  AccessMethodId mr = *acs.Add("r", r, {0}, /*dependent=*/true);
+
+  ConjunctiveQuery q = *ParseCQ(*schema, "R(X, Y)");  // Boolean ∃x,y R(x,y)
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  ASSERT_TRUE(uq.Validate(*schema).ok());
+
+  Value a = schema->InternConstant("a");
+  Value b = schema->InternConstant("b");
+  Configuration conf(schema.get());
+  conf.AddSeedConstant(a, d);
+  conf.AddSeedConstant(b, d);
+
+  RelevanceEngine engine(*schema, acs, conf);
+  RelevanceStreamRegistry registry(&engine);
+  StreamId sid = *registry.Register(uq, StreamOptions{});
+  EXPECT_EQ(registry.Snapshot(sid).bindings_tracked, 1u);
+  EXPECT_TRUE(registry.AnyRelevant(sid));
+
+  ASSERT_TRUE(engine.ApplyResponse(Access{mr, {a}}, {Fact(r, {a, b})}).ok());
+  StreamSnapshot snap = registry.Snapshot(sid);
+  EXPECT_EQ(snap.certain, 1u);
+  EXPECT_FALSE(snap.any_relevant);
+  bool saw_certain = false;
+  for (const StreamEvent& e : registry.Poll(sid).events) {
+    if (e.kind == StreamEventKind::kBecameCertain) saw_certain = true;
+  }
+  EXPECT_TRUE(saw_certain);
+
+  // Settled bindings are monotone-final: later applies skip them without
+  // building a stamp.
+  EngineStats before = engine.stats();
+  ASSERT_TRUE(engine.ApplyResponse(Access{mr, {b}}, {Fact(r, {b, a})}).ok());
+  EngineStats after = engine.stats();
+  EXPECT_EQ(after.stream_rechecks, before.stream_rechecks);
+  EXPECT_GT(after.stream_sticky_skips, before.stream_sticky_skips);
+}
+
+// --- Stream-driven k-ary mediation -------------------------------------
+
+TEST_F(StreamTest, KAryCrawlDrainsStreamAndCollectsCertainAnswers) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d = schema->AddDomain("D");
+  RelationId r = *schema->AddRelation("R", {{"x", d}, {"y", d}});
+  RelationId s_rel = *schema->AddRelation("S", {{"x", d}});
+  AccessMethodSet acs(schema.get());
+  (void)*acs.Add("r", r, {0}, /*dependent=*/true);
+  (void)*acs.Add("s", s_rel, {}, /*dependent=*/true);
+
+  // Q(X) :- R(X, Y), S(Y).
+  ConjunctiveQuery q;
+  VarId x = q.AddVar("X", d);
+  VarId y = q.AddVar("Y", d);
+  q.atoms.push_back(Atom{r, {Term::MakeVar(x), Term::MakeVar(y)}});
+  q.atoms.push_back(Atom{s_rel, {Term::MakeVar(y)}});
+  q.head = {x};
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  ASSERT_TRUE(uq.Validate(*schema).ok());
+
+  Configuration hidden(schema.get());
+  ASSERT_TRUE(hidden.AddFactNamed("R", {"a", "b"}).ok());
+  ASSERT_TRUE(hidden.AddFactNamed("R", {"b", "c"}).ok());
+  ASSERT_TRUE(hidden.AddFactNamed("S", {"b"}).ok());
+
+  Configuration initial(schema.get());
+  initial.AddSeedConstant(schema->InternConstant("a"), d);
+  initial.AddSeedConstant(schema->InternConstant("b"), d);
+
+  DeepWebSource source(schema.get(), &acs, hidden);
+  Mediator mediator(*schema, acs);
+  MediatorOptions mopts;
+  mopts.max_rounds = 64;
+  Result<MediationOutcome> run =
+      mediator.AnswerKAry(uq, initial, &source, mopts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->answered) << "stream must drain";
+
+  // The certain answers reported by the stream equal direct evaluation on
+  // the final configuration.
+  std::set<std::vector<Value>> expect =
+      CertainAnswers(uq, run->final_conf);
+  std::set<std::vector<Value>> got(run->certain_answers.begin(),
+                                   run->certain_answers.end());
+  EXPECT_EQ(got, expect);
+  EXPECT_TRUE(expect.count({schema->InternConstant("a")}) > 0);
+}
+
+}  // namespace
+}  // namespace rar
