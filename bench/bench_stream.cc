@@ -1,11 +1,13 @@
-// Incremental stream maintenance vs per-apply full k-ary re-enumeration.
+// Incremental stream maintenance vs per-apply full k-ary re-enumeration,
+// plus the value-gated vs full hit-wave sweep.
 //
-// The pre-stream architecture re-ran the Prop 2.2 instantiation loop from
-// scratch after every response: |Adom ∪ fresh|^k binding evaluations per
-// apply, no matter which relation the response touched. The stream
-// registry instead rechecks only the bindings whose footprint stamps the
-// response invalidated — on a multi-relation schema, an apply to a
-// foreign relation skips the whole stream in O(1).
+// Sweep 1 (bench "stream"): the pre-stream architecture re-ran the
+// Prop 2.2 instantiation loop from scratch after every response:
+// |Adom ∪ fresh|^k binding evaluations per apply, no matter which relation
+// the response touched. The stream registry instead rechecks only the
+// bindings whose footprint stamps the response invalidated — on a
+// multi-relation schema, an apply to a foreign relation skips the whole
+// stream in O(1).
 //
 // Workload: schema R0(D0,D0) / S0(D0,D0) / R1(D1,D1); a standing unary
 // stream Q(X) :- R0(X,Y), S0(Y,Z), S0(Z,W) over |adom(D0)| ∈ {100, 1k,
@@ -13,12 +15,31 @@
 // disjoint) with one footprint hit every 30 (alternating R0 / S0
 // responses). Both modes maintain the same artifact — the per-binding
 // certain/relevant map — and are compared for verdict parity against the
-// per-binding reference loop at the end. One JSON line per point, to
-// stdout and written to BENCH_stream.json (overwritten per run):
+// per-binding reference loop at the end.
+//
+// Sweep 2 (bench "stream_gate"): footprint stamps still recheck every
+// live binding when the stream's *own* footprint is hit. The value gate
+// (stream/registry.h) intersects the landed facts against the per-binding
+// head-value index instead, so a hit whose facts name one hot head value
+// rechecks O(|delta| · fanout) bindings. Workload: same schema and query;
+// a hit-heavy script of 40 R0 responses whose position-0 values follow a
+// skewed (hot-set) distribution with repeated values and redundant
+// replays, plus 2 S0 responses exercising the unconstrained-position
+// fallback. The gated registry runs against a force_full_recheck twin on
+// identical applies; per-binding verdict parity between the two is
+// checked exhaustively at the end and the sweep fails (non-zero exit) on
+// any mismatch or if the recheck ratio drops below 5x.
+//
+// One JSON line per point, to stdout and written to BENCH_stream.json
+// (overwritten per run):
 //
 //   {"bench":"stream","adom":10000,"bindings":10001,"applies":60,
 //    "hit_applies":2,"stream_ms":...,"full_ms":...,"speedup":...,
 //    "rechecks":...,"skips":...,"parity":true}
+//   {"bench":"stream_gate","adom":10000,"bindings":10001,"hit_applies":42,
+//    "gated_ms":...,"full_ms":...,"gated_rechecks":...,
+//    "full_rechecks":...,"recheck_ratio":...,"value_gate_skips":...,
+//    "gate_fallback_unconstrained":...,"parity":true}
 //
 // Usage: bench_stream [--max_adom=N]  (CI smoke passes 1000).
 #include <chrono>
@@ -211,6 +232,146 @@ int main(int argc, char** argv) {
         ",\"speedup\":" + std::to_string(full_ms / stream_ms) +
         ",\"rechecks\":" + std::to_string(rechecks) +
         ",\"skips\":" + std::to_string(skips) + ",\"parity\":true}";
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+    if (out != nullptr) std::fprintf(out, "%s\n", line.c_str());
+  }
+
+  // --- Sweep 2: value-gated vs full hit waves --------------------------
+  for (long n : {100L, 1000L, 10000L}) {
+    if (n > max_adom) continue;
+
+    Schema schema;
+    DomainId d0 = schema.AddDomain("D0");
+    RelationId r0 = *schema.AddRelation("R0", {{"x", d0}, {"y", d0}});
+    RelationId s0 = *schema.AddRelation("S0", {{"x", d0}, {"y", d0}});
+    AccessMethodSet acs(&schema);
+    AccessMethodId m0_free = *acs.Add("r0_free", r0, {}, /*dependent=*/false);
+    AccessMethodId m0_by0 = *acs.Add("r0_by0", r0, {0}, /*dependent=*/true);
+    AccessMethodId ms0_by0 = *acs.Add("s0_by0", s0, {0}, /*dependent=*/true);
+    (void)m0_free;
+
+    Configuration initial(&schema);
+    std::vector<Value> d0s;
+    for (long i = 0; i < n; ++i) {
+      d0s.push_back(schema.InternConstant("v" + std::to_string(i)));
+      initial.AddSeedConstant(d0s.back(), d0);
+    }
+    for (long i = 0; i + 1 < n && i < n / 2; ++i) {
+      initial.AddFact(Fact(s0, {d0s[i], d0s[i + 1]}));
+    }
+
+    ConjunctiveQuery q;
+    VarId x = q.AddVar("X", d0);
+    VarId y = q.AddVar("Y", d0);
+    VarId z = q.AddVar("Z", d0);
+    VarId w = q.AddVar("W", d0);
+    q.atoms.push_back(Atom{r0, {Term::MakeVar(x), Term::MakeVar(y)}});
+    q.atoms.push_back(Atom{s0, {Term::MakeVar(y), Term::MakeVar(z)}});
+    q.atoms.push_back(Atom{s0, {Term::MakeVar(z), Term::MakeVar(w)}});
+    q.head = {x};
+    UnionQuery uq;
+    uq.disjuncts.push_back(q);
+    if (!uq.Validate(schema).ok()) return 1;
+
+    // Hit-heavy script: 40 R0 responses whose head (position-0) values
+    // are drawn from a hot set of 8 (skewed, with repeats and redundant
+    // replays — existing values only, so the binding set stays fixed),
+    // plus 2 S0 responses (no head position: unconstrained fallback).
+    struct Step {
+      Access access;
+      std::vector<Fact> response;
+    };
+    constexpr int kHits = 40;
+    std::vector<Step> script;
+    for (int i = 0; i < kHits; ++i) {
+      const Value& a = d0s[(i * i) % 8];  // hot head values, repeated
+      const Value& b = d0s[(i * 13 + 1) % n];
+      script.push_back({Access{m0_by0, {a}}, {Fact(r0, {a, b})}});
+      if (i % 10 == 9) script.push_back(script.back());  // redundant replay
+    }
+    script.push_back({Access{ms0_by0, {d0s[0]}}, {Fact(s0, {d0s[0], d0s[2]})}});
+    script.push_back({Access{ms0_by0, {d0s[2]}}, {Fact(s0, {d0s[2], d0s[0]})}});
+
+    auto run_mode = [&](bool force_full, double* ms, uint64_t* rechecks,
+                        uint64_t* gate_skips, uint64_t* fallback_unconstrained,
+                        StreamSnapshot* snap) -> bool {
+      EngineOptions eopts;
+      eopts.num_threads = 1;  // keep the comparison purely algorithmic
+      RelevanceEngine engine(schema, acs, initial, eopts);
+      RelevanceStreamRegistry registry(&engine);
+      StreamOptions sopts;  // IR-only
+      sopts.force_full_recheck = force_full;
+      auto sid = registry.Register(uq, sopts);
+      if (!sid.ok()) return false;
+      const EngineStats at_start = engine.stats();
+      Clock::time_point a0 = Clock::now();
+      for (const Step& step : script) {
+        if (!engine.ApplyResponse(step.access, step.response).ok()) {
+          return false;
+        }
+      }
+      Clock::time_point a1 = Clock::now();
+      *ms = MsBetween(a0, a1);
+      EngineStats st = engine.stats();
+      *rechecks = st.stream_rechecks - at_start.stream_rechecks;
+      *gate_skips = st.stream_value_gate_skips;
+      *fallback_unconstrained = st.stream_value_gate_fallback_unconstrained;
+      *snap = registry.Snapshot(*sid);
+      return true;
+    };
+
+    double gated_ms = 0, full_ms2 = 0;
+    uint64_t gated_rechecks = 0, full_rechecks = 0;
+    uint64_t gate_skips = 0, unconstrained = 0, unused_skips = 0, unused_fb = 0;
+    StreamSnapshot gated_snap, full_snap;
+    if (!run_mode(false, &gated_ms, &gated_rechecks, &gate_skips,
+                  &unconstrained, &gated_snap) ||
+        !run_mode(true, &full_ms2, &full_rechecks, &unused_skips, &unused_fb,
+                  &full_snap)) {
+      std::fprintf(stderr, "gate sweep failed to run at adom=%ld\n", n);
+      return 1;
+    }
+
+    // Exhaustive per-binding parity between the gated and forced twins
+    // (fresh-constant bindings compare positionally: each registry mints
+    // its own c_k pool).
+    bool parity = gated_snap.bindings_tracked == full_snap.bindings_tracked;
+    for (size_t i = 0; parity && i < gated_snap.bindings.size(); ++i) {
+      const BindingView& ga = gated_snap.bindings[i];
+      const BindingView& fa = full_snap.bindings[i];
+      parity = ga.certain == fa.certain && ga.relevant == fa.relevant &&
+               ga.has_fresh == fa.has_fresh &&
+               (ga.has_fresh || ga.binding == fa.binding);
+    }
+    if (!parity) {
+      std::fprintf(stderr, "value-gate parity failure at adom=%ld\n", n);
+      return 1;
+    }
+    const double ratio = gated_rechecks == 0
+                             ? static_cast<double>(full_rechecks)
+                             : static_cast<double>(full_rechecks) /
+                                   static_cast<double>(gated_rechecks);
+    if (ratio < 5.0) {
+      std::fprintf(stderr,
+                   "value gate under 5x at adom=%ld: %llu vs %llu rechecks\n",
+                   n, static_cast<unsigned long long>(gated_rechecks),
+                   static_cast<unsigned long long>(full_rechecks));
+      return 1;
+    }
+
+    std::string line =
+        "{\"bench\":\"stream_gate\",\"adom\":" + std::to_string(n) +
+        ",\"bindings\":" + std::to_string(gated_snap.bindings_tracked) +
+        ",\"hit_applies\":" + std::to_string(script.size()) +
+        ",\"gated_ms\":" + std::to_string(gated_ms) +
+        ",\"full_ms\":" + std::to_string(full_ms2) +
+        ",\"gated_rechecks\":" + std::to_string(gated_rechecks) +
+        ",\"full_rechecks\":" + std::to_string(full_rechecks) +
+        ",\"recheck_ratio\":" + std::to_string(ratio) +
+        ",\"value_gate_skips\":" + std::to_string(gate_skips) +
+        ",\"gate_fallback_unconstrained\":" + std::to_string(unconstrained) +
+        ",\"parity\":true}";
     std::printf("%s\n", line.c_str());
     std::fflush(stdout);
     if (out != nullptr) std::fprintf(out, "%s\n", line.c_str());

@@ -79,5 +79,18 @@ int main() {
     std::printf("  Q(%s)\n", schema.ValueToString(tuple[0]).c_str());
   }
   std::printf("\nengine stats: %s\n", run->engine.ToString().c_str());
+  // The hit-wave narrowing: how many bindings each footprint-hit apply
+  // restamped without re-evaluation (the landed facts provably could not
+  // touch them), and what escaped the gate, by reason.
+  const EngineStats& st = run->engine;
+  std::printf(
+      "value gate: %llu binding(s) restamped without recheck; fallbacks: "
+      "adom-growth=%llu dependent-ltr=%llu unconstrained-position=%llu\n",
+      static_cast<unsigned long long>(st.stream_value_gate_skips),
+      static_cast<unsigned long long>(st.stream_value_gate_fallback_adom),
+      static_cast<unsigned long long>(
+          st.stream_value_gate_fallback_dependent_ltr),
+      static_cast<unsigned long long>(
+          st.stream_value_gate_fallback_unconstrained));
   return 0;
 }

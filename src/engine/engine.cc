@@ -68,7 +68,11 @@ std::string EngineStats::ToString() const {
        << " bindings=" << stream_bindings << " (" << stream_new_bindings
        << " mid-stream) rechecked=" << stream_rechecks
        << " skipped=" << stream_skips << "+" << stream_sticky_skips
-       << " settled, events=" << stream_events;
+       << " settled, value_gate_skips=" << stream_value_gate_skips
+       << " gate_fallbacks=[adom:" << stream_value_gate_fallback_adom
+       << " dep-ltr:" << stream_value_gate_fallback_dependent_ltr
+       << " unconstrained:" << stream_value_gate_fallback_unconstrained
+       << "] events=" << stream_events;
     if (!stream_rechecks_by_relation.empty()) {
       os << " stream_rechecks=[";
       for (size_t i = 0; i < stream_rechecks_by_relation.size(); ++i) {
@@ -175,7 +179,17 @@ Status RelevanceEngine::ValidateAccess(const Access& access) const {
 
 Result<int> RelevanceEngine::ApplyResponse(const Access& access,
                                            const std::vector<Fact>& response) {
-  bool adom_grew = false;
+  ApplyEvent event;
+  event.access = access;
+  // Guarded lookup: the access is only validated inside the locked
+  // section below (CheckWellFormed rejects unknown method ids cleanly).
+  if (access.method < acs_.size()) {
+    event.relation = acs_.method(access.method).relation;
+  }
+  // The landed delta only feeds listener maintenance; with nobody
+  // attached, don't copy facts around for it.
+  const bool collect =
+      num_listeners_.load(std::memory_order_relaxed) > 0;
   Result<int> applied = [&]() -> Result<int> {
     ActivityScope applying(&active_applies_);
     std::shared_lock<std::shared_mutex> state(state_mu_);
@@ -200,22 +214,18 @@ Result<int> RelevanceEngine::ApplyResponse(const Access& access,
       // false while we hold the shared lock, so the common case (all
       // values already known) applies under the *shared* Adom lock and
       // overlaps with every in-flight check.
-      if (!grows_adom) return ApplyLocked(access, response, &adom_grew);
+      if (!grows_adom) return ApplyLocked(access, response, &event, collect);
     }
     // The response introduces values: retake the Adom lock exclusively
     // (the one global serialization point — everything Adom-dependent
     // must not observe the growth mid-check).
     std::unique_lock<std::shared_mutex> adom(adom_mu_);
-    return ApplyLocked(access, response, &adom_grew);
+    return ApplyLocked(access, response, &event, collect);
   }();
   // Listeners run with every engine lock released: they may call back
   // into the engine (checks, certainty, query registration) freely.
   if (applied.ok()) {
-    ApplyEvent event;
-    event.access = access;
-    event.relation = acs_.method(access.method).relation;
     event.facts_added = *applied;
-    event.adom_grew = adom_grew;
     NotifyApplied(event);
   }
   return applied;
@@ -223,13 +233,31 @@ Result<int> RelevanceEngine::ApplyResponse(const Access& access,
 
 Result<int> RelevanceEngine::ApplyLocked(const Access& access,
                                          const std::vector<Fact>& response,
-                                         bool* adom_grew_out) {
+                                         ApplyEvent* event,
+                                         bool collect_delta) {
   const RelationId rel = acs_.method(access.method).relation;
+  const Relation& rel_schema = schema_.relation(rel);
   int added = 0;
   {
     std::unique_lock<std::shared_mutex> stripe(stripe_mu_[StripeOf(rel)]);
     for (const Fact& f : response) {
-      if (conf_.AddFact(f)) ++added;
+      if (collect_delta) {
+        // Probe the active domain *before* the insert so the delta records
+        // exactly the entries this fact introduces (duplicates within the
+        // response resolve in arrival order, like the inserts themselves).
+        for (int pos = 0; pos < f.arity(); ++pos) {
+          const DomainId dom = rel_schema.attributes[pos].domain;
+          if (!conf_.AdomContains(f.values[pos], dom)) {
+            event->new_adom.push_back(TypedValue{f.values[pos], dom});
+          }
+        }
+        if (conf_.AddFact(f)) {
+          ++added;
+          event->new_facts.push_back(f);
+        }
+      } else if (conf_.AddFact(f)) {
+        ++added;
+      }
     }
     if (added > 0) {
       rel_versions_[rel].store(conf_.relation_version(rel),
@@ -238,6 +266,7 @@ Result<int> RelevanceEngine::ApplyLocked(const Access& access,
       counters_.Bump(counters_.epoch_advances);
       counters_.Bump(counters_.facts_applied, static_cast<uint64_t>(added));
     }
+    event->relation_version_after = conf_.relation_version(rel);
   }
   // Only true when the caller holds adom_mu_ exclusive (the pre-scan is
   // monotone-stable), so the version store and frontier sync below are
@@ -245,7 +274,8 @@ Result<int> RelevanceEngine::ApplyLocked(const Access& access,
   const uint64_t adom_now = conf_.adom_version();
   const bool adom_grew =
       adom_now != adom_version_.load(std::memory_order_relaxed);
-  if (adom_grew_out != nullptr) *adom_grew_out = adom_grew;
+  event->adom_grew = adom_grew;
+  event->adom_version_after = adom_now;
   if (adom_grew) {
     adom_version_.store(adom_now, std::memory_order_release);
     counters_.Bump(counters_.adom_advances);
@@ -264,12 +294,14 @@ Result<int> RelevanceEngine::ApplyLocked(const Access& access,
 void RelevanceEngine::AddApplyListener(ApplyListener* listener) {
   std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.push_back(listener);
+  num_listeners_.store(listeners_.size(), std::memory_order_relaxed);
 }
 
 void RelevanceEngine::RemoveApplyListener(ApplyListener* listener) {
   std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
                    listeners_.end());
+  num_listeners_.store(listeners_.size(), std::memory_order_relaxed);
 }
 
 void RelevanceEngine::NotifyApplied(const ApplyEvent& event) {

@@ -78,6 +78,14 @@ struct EngineOptions {
 };
 
 /// \brief One absorbed response, as reported to apply listeners.
+///
+/// Beyond the access and the coarse growth flags, the event carries the
+/// *landed delta*: exactly the facts the response added and the values it
+/// introduced to the active domain, collected during the apply itself (no
+/// extra pass over the configuration; empty when no listener is attached).
+/// Listeners use the delta to narrow derived-state maintenance to what a
+/// response can actually touch — the stream registry's value-gated hit
+/// waves intersect `new_facts` against a per-binding constant index.
 struct ApplyEvent {
   Access access;
   /// The accessed relation (the only relation whose facts can have grown).
@@ -87,6 +95,19 @@ struct ApplyEvent {
   int facts_added = 0;
   /// True when the response introduced values new to the active domain.
   bool adom_grew = false;
+  /// The facts actually absorbed (response facts already present are not
+  /// repeated here); `new_facts.size() == facts_added` when collected.
+  std::vector<Fact> new_facts;
+  /// The (value, domain) entries new to the active domain (empty when
+  /// `!adom_grew`).
+  std::vector<TypedValue> new_adom;
+  /// The touched relation's version right after this apply landed. With
+  /// `facts_added` this brackets the delta: the pre-apply version is
+  /// `relation_version_after - facts_added`, which is how listeners tell
+  /// "stale by exactly this event" from "stale by more".
+  uint64_t relation_version_after = 0;
+  /// The active-domain version right after this apply landed.
+  uint64_t adom_version_after = 0;
 };
 
 /// \brief Hook for subsystems that maintain state derived from the
@@ -346,10 +367,13 @@ class RelevanceEngine {
 
   /// Absorbs a validated response under the relation's stripe lock; the
   /// caller holds state_mu_ shared and adom_mu_ (exclusive when the
-  /// response grows the active domain, shared otherwise). Sets
-  /// `*adom_grew` for the caller's listener notification.
+  /// response grows the active domain, shared otherwise). Fills `event`'s
+  /// growth flags and version brackets; with `collect_delta` it also
+  /// records the landed facts and new active-domain entries (skipped when
+  /// no listener is attached — nobody would read them).
   Result<int> ApplyLocked(const Access& access,
-                          const std::vector<Fact>& response, bool* adom_grew);
+                          const std::vector<Fact>& response, ApplyEvent* event,
+                          bool collect_delta);
 
   /// Invokes every attached listener (engine locks must not be held).
   void NotifyApplied(const ApplyEvent& event);
@@ -412,6 +436,9 @@ class RelevanceEngine {
   std::vector<std::unique_ptr<QueryState>> queries_;
   std::atomic<size_t> num_queries_{0};
   std::vector<ApplyListener*> listeners_;
+  /// Lock-free mirror of listeners_.size(): the apply path skips delta
+  /// collection when nobody listens.
+  std::atomic<size_t> num_listeners_{0};
 
   mutable DecisionCache cache_;
   WorkerPool pool_;

@@ -59,6 +59,23 @@ struct EngineStats {
   uint64_t stream_sticky_skips = 0; ///< bindings skipped as settled (certain
                                     ///< or unsatisfiable — monotone-final)
   uint64_t stream_events = 0;       ///< delta notifications emitted
+  /// Bindings a value-gated hit wave restamped without re-evaluation: the
+  /// landed facts could not unify with any substituted atom of their Q_b,
+  /// so the verdicts were provably unchanged (see stream/registry.h).
+  uint64_t stream_value_gate_skips = 0;
+  /// Bindings rechecked because the apply grew the active domain (the
+  /// value gate falls back conservatively: Adom growth mints new frontier
+  /// accesses, which every binding may find relevant).
+  uint64_t stream_value_gate_fallback_adom = 0;
+  /// Bindings rechecked because the stream tracks LTR under dependent
+  /// methods (an access over any method relation can matter through a
+  /// production chain — unification against query atoms does not bound
+  /// that, so the gate is disabled for such streams).
+  uint64_t stream_value_gate_fallback_dependent_ltr = 0;
+  /// Bindings rechecked in a gated wave because a landed fact matched an
+  /// atom with no binding-derived constraint on the hit relation (every
+  /// such binding is reachable by the fact — nothing to narrow).
+  uint64_t stream_value_gate_fallback_unconstrained = 0;
   /// Stream rechecks attributed to the applied relation that triggered
   /// them, indexed by RelationId; the trailing slot counts rechecks
   /// triggered by registration / active-domain growth.

@@ -27,6 +27,7 @@
 
 #include "relational/config_view.h"
 #include "relational/fact.h"
+#include "relational/pos_value.h"
 #include "relational/schema.h"
 #include "relational/value.h"
 #include "relational/version.h"
@@ -199,18 +200,6 @@ class Configuration : public ConfigView {
   std::string ToString() const;
 
  private:
-  struct PosValueKey {
-    int position;
-    Value value;
-    bool operator==(const PosValueKey& o) const {
-      return position == o.position && value == o.value;
-    }
-  };
-  struct PosValueKeyHash {
-    size_t operator()(const PosValueKey& k) const {
-      return ValueHash()(k.value) * 31u + static_cast<size_t>(k.position);
-    }
-  };
   struct RelationStore {
     std::vector<Fact> facts;
     std::unordered_set<Fact, FactHash> fact_set;  ///< per-relation dedup

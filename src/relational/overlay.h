@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "relational/config_view.h"
+#include "relational/pos_value.h"
 
 namespace rar {
 
@@ -96,18 +97,6 @@ class OverlayConfiguration : public ConfigView {
   std::vector<TypedValue> AdomEntries() const override;
 
  private:
-  struct PosValueKey {
-    int position;
-    Value value;
-    bool operator==(const PosValueKey& o) const {
-      return position == o.position && value == o.value;
-    }
-  };
-  struct PosValueKeyHash {
-    size_t operator()(const PosValueKey& k) const {
-      return ValueHash()(k.value) * 31u + static_cast<size_t>(k.position);
-    }
-  };
   struct DeltaStore {
     std::vector<Fact> facts;
     std::unordered_set<Fact, FactHash> fact_set;

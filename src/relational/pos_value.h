@@ -1,0 +1,37 @@
+// PosValueKey: the (attribute position, value) key of the per-relation
+// fact indexes.
+//
+// Configuration and OverlayConfiguration both index facts by the value
+// they carry at each position ("which facts of R have v at position p?" —
+// the homomorphism engine's candidate lookup). The stream registry's
+// value-gated hit waves reuse the same key shape with the position slot
+// reinterpreted as a *head slot*: "which bindings of this stream carry v
+// in head slot s?" (see stream/registry.h). One key + hash serves all
+// three indexes so the representations cannot drift.
+#ifndef RAR_RELATIONAL_POS_VALUE_H_
+#define RAR_RELATIONAL_POS_VALUE_H_
+
+#include <cstddef>
+
+#include "relational/value.h"
+
+namespace rar {
+
+/// \brief Key of a per-(position, value) index entry.
+struct PosValueKey {
+  int position;
+  Value value;
+  bool operator==(const PosValueKey& o) const {
+    return position == o.position && value == o.value;
+  }
+};
+
+struct PosValueKeyHash {
+  size_t operator()(const PosValueKey& k) const {
+    return ValueHash()(k.value) * 31u + static_cast<size_t>(k.position);
+  }
+};
+
+}  // namespace rar
+
+#endif  // RAR_RELATIONAL_POS_VALUE_H_

@@ -16,7 +16,10 @@ HeadInstantiator::HeadInstantiator(const Schema& schema,
   }
   const ConjunctiveQuery& first = query_.disjuncts[0];
   arity_ = first.head.size();
-  if (arity_ == 0) return;
+  if (arity_ == 0) {
+    BuildGateConstraints();
+    return;
+  }
 
   // Head domains must agree across disjuncts (same output schema).
   std::vector<DomainId> head_domains;
@@ -81,6 +84,38 @@ HeadInstantiator::HeadInstantiator(const Schema& schema,
         schema_->MintFreshConstant("ck_" + schema_->domain_name(domains_[dix]));
     fresh_by_domain_[dix].push_back(c);
     fresh_.push_back(TypedValue{c, domains_[dix]});
+  }
+  BuildGateConstraints();
+}
+
+void HeadInstantiator::BuildGateConstraints() {
+  for (size_t d = 0; d < query_.disjuncts.size(); ++d) {
+    const ConjunctiveQuery& cq = query_.disjuncts[d];
+    // Head variable -> slot. A variable repeated at head positions of
+    // *different* slots only survives instantiation when those slots
+    // agree, so any one of its positions' slots is a faithful constraint
+    // for surviving bindings.
+    std::vector<int> slot_of_var(cq.num_vars(), -1);
+    for (size_t i = 0; i < arity_; ++i) {
+      if (slot_of_var[cq.head[i]] < 0) {
+        slot_of_var[cq.head[i]] = static_cast<int>(class_of_[i]);
+      }
+    }
+    for (const Atom& atom : cq.atoms) {
+      AtomGateConstraint c;
+      c.relation = atom.relation;
+      c.disjunct = d;
+      for (int pos = 0; pos < atom.arity(); ++pos) {
+        const Term& t = atom.terms[pos];
+        if (t.is_const()) {
+          c.required_consts.emplace_back(pos, t.constant);
+        } else if (slot_of_var[t.var] >= 0) {
+          c.required_slots.emplace_back(
+              pos, static_cast<size_t>(slot_of_var[t.var]));
+        }
+      }
+      gate_constraints_.push_back(std::move(c));
+    }
   }
 }
 
@@ -209,11 +244,20 @@ bool HeadInstantiator::ForEachNewBinding(
   return false;
 }
 
-UnionQuery HeadInstantiator::Instantiate(
-    const std::vector<Value>& slot_values) const {
+UnionQuery HeadInstantiator::Instantiate(const std::vector<Value>& slot_values,
+                                         uint64_t* surviving_mask) const {
   UnionQuery out;
-  if (arity_ == 0) return query_;
-  for (const ConjunctiveQuery& d : query_.disjuncts) {
+  if (surviving_mask != nullptr) *surviving_mask = 0;
+  if (arity_ == 0) {
+    if (surviving_mask != nullptr && query_.disjuncts.size() < 64) {
+      *surviving_mask = (uint64_t{1} << query_.disjuncts.size()) - 1;
+    } else if (surviving_mask != nullptr) {
+      *surviving_mask = ~uint64_t{0};
+    }
+    return query_;
+  }
+  for (size_t di = 0; di < query_.disjuncts.size(); ++di) {
+    const ConjunctiveQuery& d = query_.disjuncts[di];
     std::vector<std::optional<Value>> binding(d.num_vars());
     bool satisfiable = true;
     for (size_t i = 0; i < arity_; ++i) {
@@ -229,6 +273,9 @@ UnionQuery HeadInstantiator::Instantiate(
       slot = v;
     }
     if (!satisfiable) continue;
+    if (surviving_mask != nullptr && di < 64) {
+      *surviving_mask |= uint64_t{1} << di;
+    }
     ConjunctiveQuery inst = Specialize(d, binding);
     inst.head.clear();
     out.disjuncts.push_back(std::move(inst));

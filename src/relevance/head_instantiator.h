@@ -52,6 +52,27 @@ struct HeadCandidates {
   std::vector<size_t> seen;
 };
 
+/// \brief The unification face of one query atom, as seen by landed facts.
+///
+/// A fact over `relation` can participate in some evaluation of a binding
+/// query Q_b only if it unifies with a substituted atom of Q_b. Per atom
+/// that splits into binding-independent structure — positions holding an
+/// original query constant (`required_consts`) — and the binding-dependent
+/// part: positions holding a *head* variable, which `Instantiate` replaces
+/// with the binding's slot value (`required_slots`). Positions holding
+/// non-head variables constrain nothing. The stream registry's value gate
+/// (stream/registry.h) checks landed facts against these patterns: a fact
+/// that fails every pattern of its relation for a binding is invisible to
+/// Q_b, so the binding's verdicts cannot have moved.
+struct AtomGateConstraint {
+  RelationId relation = kInvalidId;
+  size_t disjunct = 0;  ///< index into the query's disjuncts
+  /// (position, constant) pairs the atom fixes independently of bindings.
+  std::vector<std::pair<int, Value>> required_consts;
+  /// (position, head slot) pairs the atom fixes to the binding's values.
+  std::vector<std::pair<int, size_t>> required_slots;
+};
+
 /// \brief Validated head-instantiation state for one k-ary union query.
 class HeadInstantiator {
  public:
@@ -112,8 +133,19 @@ class HeadInstantiator {
   /// repeated head variables would receive conflicting values are dropped
   /// (unsatisfiable); the result can therefore have *no* disjuncts, in
   /// which case the tuple can never be certain and no access is relevant
-  /// to it.
-  UnionQuery Instantiate(const std::vector<Value>& slot_values) const;
+  /// to it. When `surviving_mask` is non-null, bit d is set for every
+  /// disjunct that survived (meaningful for queries with at most 64
+  /// disjuncts — the value gate's consumer checks that bound).
+  UnionQuery Instantiate(const std::vector<Value>& slot_values,
+                         uint64_t* surviving_mask = nullptr) const;
+
+  /// The per-atom unification patterns of the query (one entry per atom of
+  /// every disjunct, in disjunct-then-atom order), computed once at
+  /// construction. Shared across bindings: the binding-dependent values
+  /// are referenced through head-slot indices.
+  const std::vector<AtomGateConstraint>& gate_constraints() const {
+    return gate_constraints_;
+  }
 
   /// Expands a slot tuple back to the full k-tuple of head positions.
   std::vector<Value> ExpandTuple(const std::vector<Value>& slot_values) const;
@@ -122,6 +154,9 @@ class HeadInstantiator {
   bool HasFresh(const std::vector<Value>& slot_values) const;
 
  private:
+  /// Derives gate_constraints_ from the validated query structure.
+  void BuildGateConstraints();
+
   const Schema* schema_;
   UnionQuery query_;
   Status status_;
@@ -132,6 +167,7 @@ class HeadInstantiator {
   std::vector<DomainId> domains_;          ///< distinct head domains
   std::vector<std::vector<Value>> fresh_by_domain_;  ///< distinct-domain index
   std::vector<TypedValue> fresh_;
+  std::vector<AtomGateConstraint> gate_constraints_;
 };
 
 }  // namespace rar

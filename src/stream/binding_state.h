@@ -19,10 +19,12 @@
 #define RAR_STREAM_BINDING_STATE_H_
 
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/decision_cache.h"
 #include "query/footprint.h"
+#include "relational/pos_value.h"
 #include "relational/version.h"
 #include "relevance/head_instantiator.h"
 #include "stream/stream.h"
@@ -46,6 +48,29 @@ struct BindingState {
   bool has_witness = false;
   VersionStamp stamp;      ///< registry stamp of the last evaluation
   bool evaluated = false;  ///< `stamp` holds a real evaluation
+  /// Bit d set when disjunct d of the stream query survived instantiation
+  /// (see HeadInstantiator::Instantiate); the value gate consults it so a
+  /// landed fact matching only a dropped disjunct's atom does not pull the
+  /// binding into a wave. Meaningful for queries with < 64 disjuncts (the
+  /// gate is disabled beyond that).
+  uint64_t disjunct_mask = 0;
+};
+
+/// \brief The value gate of one stream relation: the unification patterns
+/// of the stream query's atoms over it, split by whether the pattern
+/// constrains any head slot (see AtomGateConstraint).
+struct RelationGate {
+  RelationId relation = kInvalidId;
+  /// Patterns with at least one head-slot position: a landed fact reaches
+  /// a binding only through the value index.
+  std::vector<AtomGateConstraint> slot_patterns;
+  /// Patterns with no head-slot position: any fact passing the constant
+  /// check reaches every binding whose disjunct survived — the
+  /// "unconstrained position" fallback set.
+  std::vector<AtomGateConstraint> free_patterns;
+  /// Bindings with a surviving free pattern on this relation, indexed once
+  /// with the value index (append-only, like the binding list).
+  std::vector<uint32_t> unconstrained_bindings;
 };
 
 /// \brief One stream's resident state. Owned by the registry; all fields
@@ -78,6 +103,27 @@ struct StreamState {
   /// binding set is incomplete and maintenance has stopped (reads still
   /// serve the last consistent state).
   bool defunct = false;
+
+  // --- value gate (see registry.h, "Value-gated hit waves") -------------
+  /// The gate applies to this stream at all: < 64 disjuncts, and not LTR
+  /// under dependent methods (production chains escape atom unification).
+  bool gate_supported = false;
+  /// One gate per stream-footprint relation (sorted by relation id).
+  std::vector<RelationGate> gates;
+  /// The inverted head-value index: {slot, value} -> bindings whose slot
+  /// holds that value. Built lazily on the first gated wave, maintained on
+  /// delta enumeration; settled bindings keep their (harmless) entries.
+  std::unordered_map<PosValueKey, std::vector<uint32_t>, PosValueKeyHash>
+      value_index;
+  bool index_built = false;
+
+  // --- reusable wave scratch (guarded by mu, cleared per wave) ----------
+  std::vector<size_t> wave_stale;
+  std::vector<VersionStamp> wave_stamps;
+  std::vector<std::vector<StreamEvent>> wave_events;
+  std::vector<char> wave_resolved;
+  std::vector<size_t> wave_remaining;
+  std::vector<char> wave_touched;  ///< per-binding gate verdict
 
   std::vector<StreamEvent> pending_events;  ///< undrained (Poll output)
   uint64_t next_sequence = 1;

@@ -21,6 +21,11 @@ bool CheckApplicable(const AccessMethodSet& acs, const RelationFootprint& fp,
   return !acs.AllIndependent() || fp.Contains(rel);
 }
 
+// How a gated wave's MarkTouchedBindings reached a binding (wave_touched
+// values; 0 = untouched).
+constexpr char kTouchedSlot = 1;  ///< via the {slot, value} index
+constexpr char kTouchedFree = 2;  ///< via an unconstrained-position atom
+
 // Maps an engine outcome to the stream's relevance verdict (out-of-scope
 // LTR verdicts fall back to the conservative default).
 bool OutcomeRelevant(const StreamOptions& options, CheckKind kind,
@@ -77,6 +82,27 @@ Result<StreamId> RelevanceStreamRegistry::Register(const UnionQuery& query,
         s.extra_relations.end());
   }
 
+  // Value gate: derivable only when verdicts are bounded by atom
+  // unification (not dependent-method LTR) and the disjunct masks fit.
+  s.gate_supported = s.extra_relations.empty() &&
+                     query.disjuncts.size() < 64 &&
+                     !options.force_full_recheck;
+  if (s.gate_supported) {
+    for (RelationId rel : s.query_footprint.relations) {
+      RelationGate gate;
+      gate.relation = rel;
+      s.gates.push_back(std::move(gate));
+    }
+    for (const AtomGateConstraint& c : s.inst.gate_constraints()) {
+      for (RelationGate& gate : s.gates) {
+        if (gate.relation != c.relation) continue;
+        (c.required_slots.empty() ? gate.free_patterns : gate.slot_patterns)
+            .push_back(c);
+        break;
+      }
+    }
+  }
+
   // Publish the stream *before* reading the active domain, holding its
   // mutex: a response applied from here on blocks in OnApply until the
   // initial wave lands (instead of being missed), and one applied before
@@ -111,7 +137,8 @@ Result<StreamId> RelevanceStreamRegistry::Register(const UnionQuery& query,
   for (size_t d = 0; d < s.inst.num_domains(); ++d) {
     s.candidates.seen[d] = s.candidates.values[d].size();
   }
-  RecheckWave(s, num_relations_, /*force=*/true);
+  RecheckWave(s, num_relations_, /*force=*/true, /*event=*/nullptr,
+              /*performed_after=*/0);
   return id;
 }
 
@@ -126,7 +153,7 @@ Status RelevanceStreamRegistry::AppendBinding(
   b.slot_values = slot_values;
   b.tuple = s.inst.ExpandTuple(slot_values);
   b.has_fresh = s.inst.HasFresh(slot_values);
-  UnionQuery q_b = s.inst.Instantiate(slot_values);
+  UnionQuery q_b = s.inst.Instantiate(slot_values, &b.disjunct_mask);
   if (q_b.disjuncts.empty()) {
     // Repeated head variables received conflicting values in every
     // disjunct: Q_b is identically false, so the binding can never become
@@ -141,6 +168,7 @@ Status RelevanceStreamRegistry::AppendBinding(
   added.kind = StreamEventKind::kBindingAdded;
   added.binding = b.tuple;
   s.bindings.push_back(std::move(b));
+  if (s.index_built) IndexBinding(s, s.bindings.size() - 1);
   counters_.Bump(counters_.bindings_tracked);
   std::vector<StreamEvent> events;
   events.push_back(std::move(added));
@@ -302,13 +330,173 @@ void RelevanceStreamRegistry::CommitEvents(StreamState& s,
   }
 }
 
+void RelevanceStreamRegistry::EnsureGateIndex(StreamState& s) {
+  if (s.index_built) return;
+  s.index_built = true;
+  for (size_t i = 0; i < s.bindings.size(); ++i) IndexBinding(s, i);
+}
+
+void RelevanceStreamRegistry::IndexBinding(StreamState& s, size_t idx) {
+  const BindingState& b = s.bindings[idx];
+  if (b.unsat) return;  // inert: no wave ever looks at it
+  for (size_t slot = 0; slot < b.slot_values.size(); ++slot) {
+    s.value_index[PosValueKey{static_cast<int>(slot), b.slot_values[slot]}]
+        .push_back(static_cast<uint32_t>(idx));
+  }
+  for (RelationGate& gate : s.gates) {
+    for (const AtomGateConstraint& p : gate.free_patterns) {
+      if ((b.disjunct_mask >> p.disjunct) & 1) {
+        gate.unconstrained_bindings.push_back(static_cast<uint32_t>(idx));
+        break;
+      }
+    }
+  }
+}
+
+bool RelevanceStreamRegistry::MarkTouchedBindings(StreamState& s,
+                                                  const ApplyEvent& event) {
+  const RelationGate* gate = nullptr;
+  for (const RelationGate& g : s.gates) {
+    if (g.relation == event.relation) gate = &g;
+  }
+  // A hit wave reaches here only for footprint relations (extras imply
+  // the gate is unsupported), but stay conservative on a miss. Likewise
+  // when the event's delta was not collected (it always is while a
+  // listener is attached — belt and braces).
+  if (gate == nullptr ||
+      event.new_facts.size() != static_cast<size_t>(event.facts_added)) {
+    return false;
+  }
+
+  s.wave_touched.assign(s.bindings.size(), 0);
+  if (event.new_facts.empty()) return true;  // redundant response: only
+                                             // the frontier shrank
+  auto consts_match = [](const AtomGateConstraint& p, const Fact& f) {
+    for (const auto& [pos, c] : p.required_consts) {
+      if (f.values[pos] != c) return false;
+    }
+    return true;
+  };
+  // Constraint-free atoms: any fact passing the constant check reaches
+  // every binding whose disjunct survived. Marked with kTouchedFree so
+  // the wave loop can attribute the rechecks it actually causes.
+  bool free_hit = false;
+  for (const AtomGateConstraint& p : gate->free_patterns) {
+    for (const Fact& f : event.new_facts) {
+      if (consts_match(p, f)) {
+        free_hit = true;
+        break;
+      }
+    }
+    if (free_hit) break;
+  }
+  if (free_hit) {
+    for (uint32_t idx : gate->unconstrained_bindings) {
+      if (!s.wave_touched[idx]) s.wave_touched[idx] = kTouchedFree;
+    }
+  }
+  // Slot-constrained atoms: a fact reaches a binding only when every
+  // substituted position agrees, so the first slot position's value picks
+  // the candidates out of the inverted index and the rest verify.
+  for (const AtomGateConstraint& p : gate->slot_patterns) {
+    for (const Fact& f : event.new_facts) {
+      if (!consts_match(p, f)) continue;
+      const auto& [pos0, slot0] = p.required_slots[0];
+      auto it = s.value_index.find(
+          PosValueKey{static_cast<int>(slot0), f.values[pos0]});
+      if (it == s.value_index.end()) continue;
+      for (uint32_t idx : it->second) {
+        if (s.wave_touched[idx]) continue;
+        const BindingState& b = s.bindings[idx];
+        if (((b.disjunct_mask >> p.disjunct) & 1) == 0) continue;
+        bool slots_ok = true;
+        for (const auto& [pos, slot] : p.required_slots) {
+          if (b.slot_values[slot] != f.values[pos]) {
+            slots_ok = false;
+            break;
+          }
+        }
+        if (slots_ok) s.wave_touched[idx] = kTouchedSlot;
+      }
+    }
+  }
+  return true;
+}
+
+bool RelevanceStreamRegistry::TryGateRestamp(
+    const StreamState& s, BindingState& b, const ApplyEvent& event,
+    uint64_t performed_after, const VersionStamp& fresh_stamp) const {
+  (void)s;  // layout facts below hold because gating implies no extras
+  if (!b.evaluated) return false;
+  // Locate the hit relation's (version, performed) pair: gating implies
+  // extras are empty, so the layout is the sorted footprint then Adom.
+  const std::vector<RelationId>& rels = b.footprint.relations;
+  const auto it =
+      std::lower_bound(rels.begin(), rels.end(), event.relation);
+  if (it == rels.end() || *it != event.relation) return false;
+  const size_t k = 2 * static_cast<size_t>(it - rels.begin());
+  if (b.stamp.size() != fresh_stamp.size() || k + 1 >= b.stamp.size()) {
+    return false;
+  }
+  // Stale by exactly this event: the hit components sit at the event's
+  // pre-values and nothing else moved. A wider delta means other (not yet
+  // waved, or concurrent) applies are folded in — evaluate instead of
+  // reasoning about a delta we did not see.
+  const uint64_t pre_version =
+      event.relation_version_after - static_cast<uint64_t>(event.facts_added);
+  if (b.stamp[k] != pre_version || b.stamp[k + 1] != performed_after - 1) {
+    return false;
+  }
+  for (size_t j = 0; j < b.stamp.size(); ++j) {
+    if (j == k || j == k + 1) continue;
+    if (b.stamp[j] != fresh_stamp[j]) return false;
+  }
+  // Advance only by this event's delta: if a later apply already moved the
+  // live versions further, the binding stays stale for that apply's wave.
+  b.stamp[k] = event.relation_version_after;
+  b.stamp[k + 1] = performed_after;
+  return true;
+}
+
+std::shared_ptr<const std::vector<Access>>
+RelevanceStreamRegistry::PendingSnapshot() {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  const uint64_t gen = pending_generation_.load(std::memory_order_acquire);
+  if (pending_cache_ == nullptr || pending_cached_generation_ != gen) {
+    pending_cache_ = std::make_shared<const std::vector<Access>>(
+        engine_->PendingAccesses());
+    pending_cached_generation_ = gen;
+  }
+  return pending_cache_;
+}
+
 void RelevanceStreamRegistry::RecheckWave(StreamState& s,
-                                          size_t attribution_slot,
-                                          bool force) {
-  std::vector<size_t> stale;
-  std::vector<VersionStamp> stamps;  // pre-read stamps, reused by the wave
+                                          size_t attribution_slot, bool force,
+                                          const ApplyEvent* event,
+                                          uint64_t performed_after) {
+  std::vector<size_t>& stale = s.wave_stale;
+  std::vector<VersionStamp>& stamps = s.wave_stamps;  // pre-read, reused
+  stale.clear();
+  stamps.clear();
+
+  // The value gate applies when the landed delta bounds what any binding
+  // could have observed: no Adom growth (frontier additions reach every
+  // binding) and a gate-supported stream. Registration/Refresh waves
+  // (force) re-evaluate everything by definition.
+  bool gated = false;
+  if (!force && event != nullptr && !s.options.force_full_recheck) {
+    if (event->adom_grew) {
+      // Counted per rechecked binding below.
+    } else if (s.gate_supported) {
+      EnsureGateIndex(s);
+      gated = MarkTouchedBindings(s, *event);
+    }
+  }
+
   uint64_t skipped = 0;
   uint64_t sticky = 0;
+  uint64_t gate_skipped = 0;
+  uint64_t unconstrained_rechecks = 0;
   for (size_t i = 0; i < s.bindings.size(); ++i) {
     BindingState& b = s.bindings[i];
     if (b.unsat || b.certain) {
@@ -320,19 +508,47 @@ void RelevanceStreamRegistry::RecheckWave(StreamState& s,
       ++skipped;
       continue;
     }
+    if (gated && !s.wave_touched[i] &&
+        !(b.has_witness && b.witness == event->access) &&
+        TryGateRestamp(s, b, *event, performed_after, stamp)) {
+      ++gate_skipped;
+      continue;
+    }
+    if (gated && s.wave_touched[i] == kTouchedFree) ++unconstrained_rechecks;
     stale.push_back(i);
     stamps.push_back(std::move(stamp));
   }
   if (skipped > 0) counters_.Bump(counters_.skips, skipped);
   if (sticky > 0) counters_.Bump(counters_.sticky_skips, sticky);
+  if (gate_skipped > 0) {
+    counters_.Bump(counters_.value_gate_skips, gate_skipped);
+  }
+  if (unconstrained_rechecks > 0) {
+    counters_.Bump(counters_.value_gate_fallback_unconstrained,
+                   unconstrained_rechecks);
+  }
   if (stale.empty()) return;
+  if (!force && event != nullptr && !s.options.force_full_recheck) {
+    if (event->adom_grew) {
+      counters_.Bump(counters_.value_gate_fallback_adom,
+                     static_cast<uint64_t>(stale.size()));
+    } else if (!s.gate_supported && !s.extra_relations.empty()) {
+      counters_.Bump(counters_.value_gate_fallback_dependent_ltr,
+                     static_cast<uint64_t>(stale.size()));
+    }
+  }
   counters_.Bump(counters_.rechecks, static_cast<uint64_t>(stale.size()));
   rechecks_by_relation_[attribution_slot].fetch_add(
       stale.size(), std::memory_order_relaxed);
 
-  const std::vector<Access> pending = engine_->PendingAccesses();
-  std::vector<std::vector<StreamEvent>> wave(stale.size());
-  std::vector<char> resolved(stale.size(), 0);
+  const std::shared_ptr<const std::vector<Access>> pending_snapshot =
+      PendingSnapshot();
+  const std::vector<Access>& pending = *pending_snapshot;
+  std::vector<std::vector<StreamEvent>>& wave = s.wave_events;
+  wave.clear();
+  wave.resize(stale.size());
+  std::vector<char>& resolved = s.wave_resolved;
+  resolved.assign(stale.size(), 0);
 
   // Phase A — witness fast path as one heterogeneous batch: the access
   // that made a binding relevant last time usually still does, so the
@@ -372,7 +588,8 @@ void RelevanceStreamRegistry::RecheckWave(StreamState& s,
   }
 
   // Phase B — full evaluation for bindings the witness no longer carries.
-  std::vector<size_t> remaining;
+  std::vector<size_t>& remaining = s.wave_remaining;
+  remaining.clear();
   for (size_t j = 0; j < stale.size(); ++j) {
     if (!resolved[j]) remaining.push_back(j);
   }
@@ -397,9 +614,16 @@ void RelevanceStreamRegistry::RecheckWave(StreamState& s,
 }
 
 void RelevanceStreamRegistry::OnApply(const ApplyEvent& event) {
+  // Generation first, performed counter second (release): a wave whose
+  // stamps saw the performed bump re-reads the generation afterwards
+  // (acquire) and is forced to refresh the pending cache — see
+  // PendingSnapshot.
+  pending_generation_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t performed_after = 0;
   if (event.relation < num_relations_) {
-    performed_by_relation_[event.relation].fetch_add(
-        1, std::memory_order_release);
+    performed_after = performed_by_relation_[event.relation].fetch_add(
+                          1, std::memory_order_release) +
+                      1;
   }
   std::vector<StreamState*> streams;
   {
@@ -429,7 +653,7 @@ void RelevanceStreamRegistry::OnApply(const ApplyEvent& event) {
     if (event.adom_grew) (void)ExtendBindings(s);
     RecheckWave(s, event.relation < num_relations_ ? event.relation
                                                    : num_relations_,
-                /*force=*/false);
+                /*force=*/false, &event, performed_after);
   }
 }
 
@@ -495,7 +719,8 @@ void RelevanceStreamRegistry::Refresh(StreamId id) {
   if (s == nullptr) return;
   std::lock_guard<std::mutex> lock(s->mu);
   if (s->defunct) return;
-  RecheckWave(*s, num_relations_, /*force=*/true);
+  RecheckWave(*s, num_relations_, /*force=*/true, /*event=*/nullptr,
+              /*performed_after=*/0);
 }
 
 }  // namespace rar

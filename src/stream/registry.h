@@ -15,6 +15,27 @@
 //     + the Adom version) and is re-evaluated only on mismatch; settled
 //     bindings (certain — monotone — or unsatisfiable) are never looked at
 //     again.
+//  3. *value gate*: a stamp-stale binding of a footprint-hit wave is
+//     restamped *without* re-evaluation when the landed facts are provably
+//     invisible to its binding query. Soundness (see DESIGN.md,
+//     "Value-gated hit waves"): with the active domain unchanged, a landed
+//     fact that unifies with no substituted atom of Q_b can join no
+//     homomorphism of Q_b over any extension of the configuration, so it
+//     flips neither certainty nor any pending access's IR/LTR verdict; the
+//     frontier meanwhile only lost the performed access, which matters
+//     only to the binding it witnessed. The gate therefore rechecks
+//     exactly: bindings a landed fact reaches through the inverted
+//     {head slot, value} -> binding index (via the per-atom constraints
+//     HeadInstantiator::gate_constraints derives once per stream), the
+//     bindings with a surviving constraint-free atom on the hit relation
+//     (indexed once — any fact reaches them), and the binding whose
+//     witness was just performed. Everything else keeps its verdicts and
+//     merely advances the hit relation's stamp components — and only by
+//     exactly this event's delta, so staleness from concurrent applies
+//     survives for their own waves. Conservative full-wave fallbacks:
+//     Adom growth (new frontier accesses), dependent-method LTR streams
+//     (production chains escape atom unification), >= 64 disjuncts, and
+//     the StreamOptions::force_full_recheck escape hatch.
 //
 // Re-evaluation piggybacks on the engine: `IsCertain` / `CheckImmediate` /
 // `CheckLongTerm` run under the engine's striped locks and decision cache
@@ -94,9 +115,41 @@ class RelevanceStreamRegistry : public ApplyListener {
 
   /// Rechecks every binding whose stamp went stale (all of them when
   /// `force`), attributing recheck counts to `attribution_slot` (a
-  /// RelationId, or num_relations_ for registration/Adom waves). Caller
-  /// holds `s.mu`.
-  void RecheckWave(StreamState& s, size_t attribution_slot, bool force);
+  /// RelationId, or num_relations_ for registration/Adom waves). For
+  /// apply-driven waves `event` carries the landed delta and
+  /// `performed_after` the registry's performed counter for the event's
+  /// relation as of this apply — together they drive the value gate;
+  /// registration/Refresh waves pass nullptr. Caller holds `s.mu`.
+  void RecheckWave(StreamState& s, size_t attribution_slot, bool force,
+                   const ApplyEvent* event, uint64_t performed_after);
+
+  /// Builds the stream's {slot, value} -> bindings index and the
+  /// per-relation unconstrained sets (first gated wave). Caller holds
+  /// `s.mu`.
+  void EnsureGateIndex(StreamState& s);
+
+  /// Adds binding `idx` to the value index and unconstrained sets. Caller
+  /// holds `s.mu`; the index must be built.
+  void IndexBinding(StreamState& s, size_t idx);
+
+  /// Marks in `s.wave_touched` every binding some landed fact of `event`
+  /// can reach (see the class comment); returns false when the gate cannot
+  /// be applied to this wave. Caller holds `s.mu`.
+  bool MarkTouchedBindings(StreamState& s, const ApplyEvent& event);
+
+  /// Value-gate restamp of one untouched stale binding: verifies the
+  /// binding's stamp is stale by *exactly* this event (its hit-relation
+  /// components at the event's pre-values, everything else current) and,
+  /// if so, advances just those components to the event's post-values.
+  /// Returns false — binding must be re-evaluated — otherwise.
+  bool TryGateRestamp(const StreamState& s, BindingState& b,
+                      const ApplyEvent& event, uint64_t performed_after,
+                      const VersionStamp& fresh_stamp) const;
+
+  /// The pending frontier, cached registry-wide and refreshed when the
+  /// apply generation moved (every apply shrinks or grows the frontier;
+  /// waves of one apply across many streams share one fetch).
+  std::shared_ptr<const std::vector<Access>> PendingSnapshot();
 
   /// Re-evaluates one binding against the engine; `stamp` is the registry
   /// stamp built *before* the engine reads (the staleness test's stamp is
@@ -129,6 +182,16 @@ class RelevanceStreamRegistry : public ApplyListener {
   /// Recheck attribution, indexed by RelationId; the trailing slot counts
   /// registration and Adom-growth waves.
   std::unique_ptr<std::atomic<uint64_t>[]> rechecks_by_relation_;
+
+  /// Frontier-change generation: bumped at the top of every OnApply,
+  /// *before* the performed counter — so a wave whose stamps observed an
+  /// apply's performed bump is guaranteed to see its generation bump at
+  /// fetch time and refresh the cache (the stamp reads acquire what the
+  /// performed release-increment published).
+  std::atomic<uint64_t> pending_generation_{0};
+  std::mutex pending_mu_;  ///< guards the two cache fields below
+  std::shared_ptr<const std::vector<Access>> pending_cache_;
+  uint64_t pending_cached_generation_ = 0;
 };
 
 }  // namespace rar

@@ -46,6 +46,12 @@ struct StreamOptions {
   /// Stale sets at least this large are rechecked in parallel across the
   /// engine's worker pool; smaller waves run inline.
   size_t parallel_threshold = 8;
+  /// Disables the value gate: every footprint-hit wave re-evaluates every
+  /// stamp-stale binding, never restamping from the landed delta alone.
+  /// Escape hatch for parity testing and for recovery from a suspected
+  /// gating bug; verdicts must be identical either way (the stream_test
+  /// property tests pin that).
+  bool force_full_recheck = false;
 };
 
 /// \brief Binding lifecycle events a stream emits.

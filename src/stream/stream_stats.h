@@ -24,6 +24,12 @@ struct StreamCounters {
   std::atomic<uint64_t> skips{0};
   std::atomic<uint64_t> sticky_skips{0};
   std::atomic<uint64_t> events{0};
+  /// Bindings restamped without evaluation by the value gate, and the
+  /// bindings that escaped it, attributed by reason (see EngineStats).
+  std::atomic<uint64_t> value_gate_skips{0};
+  std::atomic<uint64_t> value_gate_fallback_adom{0};
+  std::atomic<uint64_t> value_gate_fallback_dependent_ltr{0};
+  std::atomic<uint64_t> value_gate_fallback_unconstrained{0};
 
   void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
     c.fetch_add(n, std::memory_order_relaxed);
@@ -40,6 +46,12 @@ struct StreamCounters {
     stats->stream_skips += ld(skips);
     stats->stream_sticky_skips += ld(sticky_skips);
     stats->stream_events += ld(events);
+    stats->stream_value_gate_skips += ld(value_gate_skips);
+    stats->stream_value_gate_fallback_adom += ld(value_gate_fallback_adom);
+    stats->stream_value_gate_fallback_dependent_ltr +=
+        ld(value_gate_fallback_dependent_ltr);
+    stats->stream_value_gate_fallback_unconstrained +=
+        ld(value_gate_fallback_unconstrained);
   }
 };
 

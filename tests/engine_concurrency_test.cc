@@ -424,5 +424,147 @@ TEST(EngineConcurrencyTest, StreamRechecksOverlapFootprintDisjointApplies) {
   }
 }
 
+// Value-gated waves under concurrency: the hit applier lands facts whose
+// position-0 value names a head binding (so waves narrow through the
+// {slot, value} index and restamp everything else), while a footprint-
+// disjoint applier and snapshot readers run on other threads. Load-
+// bearing assertions: final per-binding verdicts equal a fresh evaluation
+// on the quiesced configuration, the gate demonstrably fired, and the run
+// is race-free — the TSan CI job builds this test, certifying the gated
+// restamp path (which mutates stamps outside the evaluation fan-out) and
+// the shared pending-frontier cache against concurrent applies.
+TEST(EngineConcurrencyTest, ValueGatedWavesOverlapFootprintDisjointApplies) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d0 = schema->AddDomain("D0");
+  DomainId d1 = schema->AddDomain("D1");
+  RelationId a0 = *schema->AddRelation("A0", {{"x", d0}, {"y", d0}});
+  RelationId b0 = *schema->AddRelation("B0", {{"x", d0}, {"y", d0}});
+  RelationId a1 = *schema->AddRelation("A1", {{"x", d1}, {"y", d1}});
+  AccessMethodSet acs(schema.get());
+  AccessMethodId ma0 = *acs.Add("a0", a0, {0}, /*dependent=*/false);
+  AccessMethodId mb0 = *acs.Add("b0", b0, {0}, /*dependent=*/false);
+  AccessMethodId ma1 = *acs.Add("a1", a1, {0}, /*dependent=*/false);
+
+  Configuration conf(schema.get());
+  std::vector<Value> c0s, c1s;
+  for (int i = 0; i < 4; ++i) {
+    c0s.push_back(schema->InternConstant("c0_" + std::to_string(i)));
+    conf.AddSeedConstant(c0s.back(), d0);
+    c1s.push_back(schema->InternConstant("c1_" + std::to_string(i)));
+    conf.AddSeedConstant(c1s.back(), d1);
+  }
+
+  // Q(X) :- A0(X, Y), B0(Y, Z): A0 facts name the binding at position 0,
+  // so A0 hit waves are value-gated; B0 facts fall back (unconstrained).
+  ConjunctiveQuery q;
+  VarId x = q.AddVar("X", d0);
+  VarId y = q.AddVar("Y", d0);
+  VarId z = q.AddVar("Z", d0);
+  q.atoms.push_back(Atom{a0, {Term::MakeVar(x), Term::MakeVar(y)}});
+  q.atoms.push_back(Atom{b0, {Term::MakeVar(y), Term::MakeVar(z)}});
+  q.head = {x};
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  ASSERT_TRUE(uq.Validate(*schema).ok());
+
+  EngineOptions opts;
+  opts.num_threads = 2;
+  RelevanceEngine engine(*schema, acs, conf, opts);
+  RelevanceStreamRegistry registry(&engine);
+  StreamOptions sopts;
+  sopts.parallel_threshold = 2;  // force the parallel wave path
+  StreamId sid = *registry.Register(uq, sopts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  // Foreign applier: A1 facts, footprint-disjoint — the stream-level O(1)
+  // skip must interleave with gated waves.
+  std::thread foreign([&]() {
+    for (int round = 0; round < 400; ++round) {
+      for (int i = 0; i < 4; ++i) {
+        Access acc{ma1, {c1s[i]}};
+        if (!engine.ApplyResponse(acc, {Fact(a1, {c1s[i], c1s[(i + 1) % 4]})})
+                 .ok()) {
+          errors.fetch_add(1);
+        }
+      }
+    }
+  });
+  // Hit applier: A0 facts naming one binding each (gated narrow waves,
+  // redundant replays exercising the frontier-only delta) plus occasional
+  // B0 facts (unconstrained fallback waves).
+  std::thread hit([&]() {
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 3; ++i) {
+        Access acc{ma0, {c0s[i]}};
+        if (!engine.ApplyResponse(acc, {Fact(a0, {c0s[i], c0s[i + 1]})})
+                 .ok()) {
+          errors.fetch_add(1);
+        }
+      }
+      if (round % 8 == 0) {
+        Access bcc{mb0, {c0s[round % 3]}};
+        if (!engine
+                 .ApplyResponse(bcc,
+                                {Fact(b0, {c0s[round % 3], c0s[round % 3]})})
+                 .ok()) {
+          errors.fetch_add(1);
+        }
+      }
+    }
+  });
+  // Reader: polls deltas and snapshots while gated waves land.
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)registry.Snapshot(sid);
+      (void)registry.Poll(sid);
+      (void)registry.AnyRelevant(sid);
+      (void)engine.stats();
+    }
+  });
+  foreign.join();
+  hit.join();
+  stop.store(true);
+  reader.join();
+  ASSERT_EQ(errors.load(), 0);
+
+  EngineStats st = engine.stats();
+  EXPECT_GT(st.stream_value_gate_skips, 0u)
+      << "A0 hit waves must narrow through the value index";
+  EXPECT_GT(st.stream_skips, 0u)
+      << "foreign applies must skip the whole stream";
+  EXPECT_EQ(st.stream_rechecks_by_relation[a1], 0u);
+
+  // Quiesced: per-binding verdicts equal a fresh evaluation over the final
+  // configuration — gated restamps must never have parked a wrong verdict.
+  Configuration final_conf = engine.SnapshotConfig();
+  std::vector<Access> pending = engine.PendingAccesses();
+  StreamSnapshot snap = registry.Snapshot(sid);
+  ASSERT_EQ(snap.bindings_tracked, 5u);  // 4 adom values + 1 fresh
+  for (const BindingView& bv : snap.bindings) {
+    ConjunctiveQuery inst = q;
+    std::vector<std::optional<Value>> binding(inst.num_vars());
+    binding[x] = bv.binding[0];
+    inst = Specialize(inst, binding);
+    inst.head.clear();
+    UnionQuery q_b;
+    q_b.disjuncts.push_back(inst);
+    OverlayConfiguration seeded(&final_conf);
+    seeded.AddSeedConstant(bv.binding[0], d0);
+    const bool expect_certain = EvalBool(q_b, seeded);
+    EXPECT_EQ(bv.certain, expect_certain);
+    bool expect_relevant = false;
+    if (!expect_certain) {
+      for (const Access& a : pending) {
+        if (IsImmediatelyRelevant(seeded, acs, a, q_b)) {
+          expect_relevant = true;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(bv.relevant, expect_relevant);
+  }
+}
+
 }  // namespace
 }  // namespace rar

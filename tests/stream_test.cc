@@ -320,15 +320,17 @@ TEST_F(StreamTest, SingleRelationApplyRechecksOnlyFootprintHitBindings) {
             schema->num_relations() + 1);
   EXPECT_EQ(after_foreign.stream_rechecks_by_relation[a1], 0u);
 
-  // Footprint-hit apply: every live binding rechecked, attributed to A0.
+  // Footprint-hit apply: the landed fact A0(c0_0, c0_1) constrains head
+  // slot X at position 0, so the value gate rechecks exactly the X=c0_0
+  // binding and restamps the rest without evaluation (attributed to A0).
   ASSERT_TRUE(engine
                   .ApplyResponse(Access{ma0, {c0s[0]}},
                                  {Fact(a0, {c0s[0], c0s[1]})})
                   .ok());
   EngineStats after_hit = engine.stats();
-  EXPECT_EQ(after_hit.stream_rechecks - after_foreign.stream_rechecks,
-            bindings);
-  EXPECT_EQ(after_hit.stream_rechecks_by_relation[a0], bindings);
+  EXPECT_EQ(after_hit.stream_rechecks - after_foreign.stream_rechecks, 1u);
+  EXPECT_EQ(after_hit.stream_rechecks_by_relation[a0], 1u);
+  EXPECT_EQ(after_hit.stream_value_gate_skips, bindings - 1);
 
   ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "two-group");
 }
@@ -444,6 +446,220 @@ TEST_F(StreamTest, LongTermParityAllIndependent) {
   ASSERT_TRUE(
       engine.ApplyResponse(Access{mr, {b}}, {Fact(r, {b, b})}).ok());
   ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "ltr step 1");
+}
+
+// --- Value-gated hit waves ---------------------------------------------
+
+// Property: the value-gated registry, the force_full_recheck registry, and
+// fresh one-shot evaluation agree after every step of a random growth
+// script that includes repeated-value facts, redundant responses,
+// Adom-growing applies (bindings born mid-stream), and certainty
+// transitions. Fresh head constants are minted per registry, so fresh
+// bindings are compared positionally.
+TEST_F(StreamTest, ValueGatedParityAgainstForcedFullRecheck) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d = schema->AddDomain("D");
+  RelationId r = *schema->AddRelation("R", {{"x", d}, {"y", d}});
+  RelationId s_rel = *schema->AddRelation("S", {{"x", d}});
+  AccessMethodSet acs(schema.get());
+  AccessMethodId mr = *acs.Add("r", r, {0}, /*dependent=*/true);
+  AccessMethodId ms = *acs.Add("s", s_rel, {}, /*dependent=*/true);
+
+  // Q(X) :- R(X, Y), S(Y)  |  R(X, X): slot-constrained R atoms plus an
+  // unconstrained-position S atom, and a disjunct that turns certain on
+  // reflexive facts.
+  ConjunctiveQuery d1;
+  {
+    VarId x = d1.AddVar("X", d);
+    VarId y = d1.AddVar("Y", d);
+    d1.atoms.push_back(Atom{r, {Term::MakeVar(x), Term::MakeVar(y)}});
+    d1.atoms.push_back(Atom{s_rel, {Term::MakeVar(y)}});
+    d1.head = {x};
+  }
+  ConjunctiveQuery d2;
+  {
+    VarId x = d2.AddVar("X", d);
+    d2.atoms.push_back(Atom{r, {Term::MakeVar(x), Term::MakeVar(x)}});
+    d2.head = {x};
+  }
+  UnionQuery uq;
+  uq.disjuncts = {d1, d2};
+  ASSERT_TRUE(uq.Validate(*schema).ok());
+
+  std::vector<Value> values;
+  for (int i = 0; i < 4; ++i) {
+    values.push_back(schema->InternConstant("v" + std::to_string(i)));
+  }
+  Configuration conf(schema.get());
+  for (const Value& v : values) conf.AddSeedConstant(v, d);
+
+  RelevanceEngine gated_engine(*schema, acs, conf);
+  RelevanceStreamRegistry gated(&gated_engine);
+  StreamOptions gated_opts;  // IR-only, gate on by default
+  StreamId gated_id = *gated.Register(uq, gated_opts);
+
+  RelevanceEngine forced_engine(*schema, acs, conf);
+  RelevanceStreamRegistry forced(&forced_engine);
+  StreamOptions forced_opts;
+  forced_opts.force_full_recheck = true;
+  StreamId forced_id = *forced.Register(uq, forced_opts);
+
+  auto expect_same = [&](const char* where) {
+    StreamSnapshot a = gated.Snapshot(gated_id);
+    StreamSnapshot b = forced.Snapshot(forced_id);
+    ASSERT_EQ(a.bindings_tracked, b.bindings_tracked) << where;
+    EXPECT_EQ(a.certain, b.certain) << where;
+    EXPECT_EQ(a.relevant, b.relevant) << where;
+    for (size_t i = 0; i < a.bindings.size(); ++i) {
+      const BindingView& ba = a.bindings[i];
+      const BindingView& bb = b.bindings[i];
+      EXPECT_EQ(ba.has_fresh, bb.has_fresh) << where << " binding " << i;
+      if (!ba.has_fresh) {
+        EXPECT_EQ(ba.binding, bb.binding) << where << " binding " << i;
+      }
+      EXPECT_EQ(ba.certain, bb.certain) << where << " binding " << i;
+      EXPECT_EQ(ba.relevant, bb.relevant) << where << " binding " << i;
+      EXPECT_EQ(ba.unsat, bb.unsat) << where << " binding " << i;
+    }
+  };
+  expect_same("initial");
+
+  Rng rng(20260729);
+  int minted = 0;
+  for (int step = 0; step < 40; ++step) {
+    Access access;
+    std::vector<Fact> response;
+    if (rng.Chance(0.3)) {
+      // S response over known values (unconstrained-position hit).
+      access = Access{ms, {}};
+      response.push_back(Fact(s_rel, {values[rng.Below(values.size())]}));
+    } else {
+      const Value& a = values[rng.Below(values.size())];
+      Value b;
+      if (rng.Chance(0.15)) {
+        b = schema->InternConstant("n" + std::to_string(minted++));
+      } else if (rng.Chance(0.2)) {
+        b = a;  // reflexive: flips the R(X,X) disjunct certain
+      } else {
+        b = values[rng.Below(values.size())];
+      }
+      access = Access{mr, {a}};
+      response.push_back(Fact(r, {a, b}));
+      if (rng.Chance(0.3)) response.push_back(response.back());  // repeat
+      if (b.is_constant() &&
+          std::find(values.begin(), values.end(), b) == values.end()) {
+        values.push_back(b);  // now in Adom: usable as a future input
+      }
+    }
+    ASSERT_TRUE(gated_engine.ApplyResponse(access, response).ok());
+    ASSERT_TRUE(forced_engine.ApplyResponse(access, response).ok());
+    const std::string where = "step " + std::to_string(step);
+    expect_same(where.c_str());
+    ExpectStreamParity(gated_engine, gated, gated_id, uq, gated_opts, acs,
+                       where.c_str());
+  }
+  // The gate must have actually fired (and never on the forced registry).
+  EXPECT_GT(gated_engine.stats().stream_value_gate_skips, 0u);
+  EXPECT_EQ(forced_engine.stats().stream_value_gate_skips, 0u);
+  EXPECT_LT(gated_engine.stats().stream_rechecks,
+            forced_engine.stats().stream_rechecks);
+}
+
+// Counter contract of the gate on a constructed skewed workload: hits
+// carrying one hot head value recheck only its binding; unconstrained-
+// position hits, Adom-growing applies, and dependent-LTR streams fall
+// back with the right attribution.
+TEST_F(StreamTest, ValueGateSkipsAndFallbackAttribution) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d = schema->AddDomain("D");
+  RelationId r0 = *schema->AddRelation("R0", {{"x", d}, {"y", d}});
+  RelationId s0 = *schema->AddRelation("S0", {{"x", d}, {"y", d}});
+  AccessMethodSet acs(schema.get());
+  AccessMethodId m0 = *acs.Add("r0", r0, {0}, /*dependent=*/true);
+  AccessMethodId ms0 = *acs.Add("s0", s0, {0}, /*dependent=*/true);
+
+  // Q(X) :- R0(X, Y), S0(Y, Z): R0 is slot-constrained at position 0, S0
+  // atoms carry no head variable at all.
+  ConjunctiveQuery q;
+  VarId x = q.AddVar("X", d);
+  VarId y = q.AddVar("Y", d);
+  VarId z = q.AddVar("Z", d);
+  q.atoms.push_back(Atom{r0, {Term::MakeVar(x), Term::MakeVar(y)}});
+  q.atoms.push_back(Atom{s0, {Term::MakeVar(y), Term::MakeVar(z)}});
+  q.head = {x};
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  ASSERT_TRUE(uq.Validate(*schema).ok());
+
+  std::vector<Value> vals;
+  Configuration conf(schema.get());
+  for (int i = 0; i < 6; ++i) {
+    vals.push_back(schema->InternConstant("v" + std::to_string(i)));
+    conf.AddSeedConstant(vals.back(), d);
+  }
+
+  RelevanceEngine engine(*schema, acs, conf);
+  RelevanceStreamRegistry registry(&engine);
+  StreamOptions sopts;  // IR-only
+  StreamId sid = *registry.Register(uq, sopts);
+  const uint64_t bindings = engine.stats().stream_bindings;  // 6 + fresh
+
+  // Skewed hit burst: every landed fact carries the hot head value v0, so
+  // each wave rechecks at most the v0 binding (plus a possible witness
+  // repair) and gate-skips the rest.
+  EngineStats before = engine.stats();
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(engine
+                    .ApplyResponse(Access{m0, {vals[0]}},
+                                   {Fact(r0, {vals[0], vals[i]})})
+                    .ok());
+  }
+  EngineStats after = engine.stats();
+  EXPECT_GT(after.stream_value_gate_skips, 0u);
+  EXPECT_GE(after.stream_value_gate_skips - before.stream_value_gate_skips,
+            3 * (bindings - 2));
+  EXPECT_LE(after.stream_rechecks - before.stream_rechecks, 2u * 4u);
+  ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "skewed");
+
+  // Unconstrained-position hit: the S0 atoms impose no head constraint,
+  // so the fact reaches every binding — attributed fallback.
+  before = after;
+  ASSERT_TRUE(engine
+                  .ApplyResponse(Access{ms0, {vals[1]}},
+                                 {Fact(s0, {vals[1], vals[2]})})
+                  .ok());
+  after = engine.stats();
+  EXPECT_GT(after.stream_value_gate_fallback_unconstrained,
+            before.stream_value_gate_fallback_unconstrained);
+  ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "unconstrained");
+
+  // Adom-growing apply: conservative full wave, attributed.
+  before = after;
+  Value fresh_val = schema->InternConstant("grown");
+  ASSERT_TRUE(engine
+                  .ApplyResponse(Access{m0, {vals[0]}},
+                                 {Fact(r0, {vals[0], fresh_val})})
+                  .ok());
+  after = engine.stats();
+  EXPECT_GT(after.stream_value_gate_fallback_adom,
+            before.stream_value_gate_fallback_adom);
+  ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "adom-growth");
+
+  // Dependent-LTR stream: the gate is off wholesale (production chains are
+  // not bounded by atom unification) — every hit recheck is attributed.
+  RelevanceEngine ltr_engine(*schema, acs, conf);
+  RelevanceStreamRegistry ltr_registry(&ltr_engine);
+  StreamOptions ltr_opts;
+  ltr_opts.use_long_term = true;
+  StreamId ltr_sid = *ltr_registry.Register(uq, ltr_opts);
+  (void)ltr_sid;
+  ASSERT_TRUE(ltr_engine
+                  .ApplyResponse(Access{m0, {vals[0]}},
+                                 {Fact(r0, {vals[0], vals[1]})})
+                  .ok());
+  EngineStats ltr_stats = ltr_engine.stats();
+  EXPECT_GT(ltr_stats.stream_value_gate_fallback_dependent_ltr, 0u);
+  EXPECT_EQ(ltr_stats.stream_value_gate_skips, 0u);
 }
 
 // --- Delta protocol ----------------------------------------------------
