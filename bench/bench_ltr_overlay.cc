@@ -7,10 +7,15 @@
 // O(|Conf|) per candidate inside an exponential enumeration. The overlay
 // builds it in O(|Δ|). This bench sweeps |Conf| ∈ {1k, 10k, 100k} facts
 // and times one truncation-check (build + EvalBool) per mode, plus the
-// end-to-end overlay-backed decider, emitting one JSON line per point:
+// end-to-end overlay-backed decider. Per-iteration latencies feed obs
+// histograms, so each point carries percentiles next to the means; lines
+// are built with obs/export.h's JsonWriter and written to stdout plus
+// BENCH_ltr_overlay.json (overwritten per run):
 //
 //   {"bench":"ltr_overlay","conf_facts":10000,"copy_ns":...,
-//    "overlay_ns":...,"speedup":...,"decider_ns":...,"relevant":true}
+//    "overlay_ns":...,"speedup":...,"decider_ns":...,"relevant":true,
+//    "decider_latency_ns":{"count":...,"mean":...,"p50":...,"p90":...,
+//    "p99":...,"max":...},"overlay_latency_ns":{...}}
 //
 // The copy mode replicates the status-quo fast path (copy Conf, add the
 // later-witnessed subgoals, evaluate); the overlay mode is what
@@ -23,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/histogram.h"
 #include "query/eval.h"
 #include "relational/configuration.h"
 #include "relational/overlay.h"
@@ -49,6 +56,7 @@ int main(int argc, char** argv) {
       max_facts = std::atol(argv[i] + 12);
     }
   }
+  std::FILE* out = std::fopen("BENCH_ltr_overlay.json", "w");
 
   for (long n : {1000L, 10000L, 100000L}) {
     if (n > max_facts) continue;
@@ -107,15 +115,19 @@ int main(int argc, char** argv) {
     } while (t1 - t0 < std::chrono::milliseconds(200) && copy_iters < 1000);
     const double copy_ns = NsPerIter(t0, t1, copy_iters);
 
-    // Overlay truncation: Reset + O(|Δ|) per candidate.
+    // Overlay truncation: Reset + O(|Δ|) per candidate. Per-iteration
+    // latencies also feed a histogram so the line carries percentiles.
     OverlayConfiguration overlay(&conf);
+    Histogram overlay_hist;
     long overlay_iters = 0;
     bool overlay_verdict = false;
     t0 = Clock::now();
     do {
+      const uint64_t it0 = MonotonicNs();
       overlay.Reset();
       overlay.AddFact(delta);
       overlay_verdict = !EvalBool(uq, overlay);
+      overlay_hist.Record(MonotonicNs() - it0);
       ++overlay_iters;
       t1 = Clock::now();
     } while (t1 - t0 < std::chrono::milliseconds(200) &&
@@ -124,11 +136,14 @@ int main(int argc, char** argv) {
 
     // End-to-end overlay-backed decider (what the engine runs per check).
     RelevanceAnalyzer analyzer(schema, acs);
+    Histogram decider_hist;
     long decider_iters = 0;
     bool relevant = false;
     t0 = Clock::now();
     do {
+      const uint64_t it0 = MonotonicNs();
       Result<bool> v = analyzer.LongTerm(conf, access, uq);
+      decider_hist.Record(MonotonicNs() - it0);
       relevant = v.ok() && *v;
       ++decider_iters;
       t1 = Clock::now();
@@ -140,13 +155,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "verdict mismatch at n=%ld\n", n);
       return 1;
     }
-    std::printf(
-        "{\"bench\":\"ltr_overlay\",\"conf_facts\":%ld,\"copy_ns\":%.0f,"
-        "\"overlay_ns\":%.0f,\"speedup\":%.1f,\"decider_ns\":%.0f,"
-        "\"relevant\":%s}\n",
-        n, copy_ns, overlay_ns, copy_ns / overlay_ns, decider_ns,
-        relevant ? "true" : "false");
+    JsonWriter w;
+    w.BeginObject()
+        .Field("bench", "ltr_overlay")
+        .Field("conf_facts", n)
+        .Field("copy_ns", copy_ns)
+        .Field("overlay_ns", overlay_ns)
+        .Field("speedup", copy_ns / overlay_ns)
+        .Field("decider_ns", decider_ns)
+        .Field("relevant", relevant);
+    w.Key("decider_latency_ns");
+    AppendHistogramJson(&w, decider_hist.Snapshot());
+    w.Key("overlay_latency_ns");
+    AppendHistogramJson(&w, overlay_hist.Snapshot());
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
     std::fflush(stdout);
+    if (out != nullptr) std::fprintf(out, "%s\n", w.str().c_str());
   }
+  if (out != nullptr) std::fclose(out);
   return 0;
 }

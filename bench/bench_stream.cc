@@ -30,16 +30,20 @@
 // checked exhaustively at the end and the sweep fails (non-zero exit) on
 // any mismatch or if the recheck ratio drops below 5x.
 //
-// One JSON line per point, to stdout and written to BENCH_stream.json
-// (overwritten per run):
+// One JSON line per point (built with obs/export.h's JsonWriter — no
+// hand-rolled string concatenation), to stdout and written to
+// BENCH_stream.json (overwritten per run):
 //
 //   {"bench":"stream","adom":10000,"bindings":10001,"applies":60,
 //    "hit_applies":2,"stream_ms":...,"full_ms":...,"speedup":...,
-//    "rechecks":...,"skips":...,"parity":true}
+//    "rechecks":...,"skips":...,"parity":true,
+//    "ir_decider_ns":{"count":...,"mean":...,"p50":...,"p90":...,
+//    "p99":...,"max":...},"wave_ns":{...},"wave_width":{...}}
 //   {"bench":"stream_gate","adom":10000,"bindings":10001,"hit_applies":42,
 //    "gated_ms":...,"full_ms":...,"gated_rechecks":...,
 //    "full_rechecks":...,"recheck_ratio":...,"value_gate_skips":...,
-//    "gate_fallback_unconstrained":...,"parity":true}
+//    "gate_fallback_unconstrained":...,"parity":true,
+//    "ir_decider_ns":{...},"wave_ns":{...},"wave_width":{...}}
 //
 // Usage: bench_stream [--max_adom=N]  (CI smoke passes 1000).
 #include <chrono>
@@ -49,6 +53,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/export.h"
 #include "query/eval.h"
 #include "relational/overlay.h"
 #include "relevance/head_instantiator.h"
@@ -223,18 +228,30 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    std::string line =
-        "{\"bench\":\"stream\",\"adom\":" + std::to_string(n) +
-        ",\"bindings\":" + std::to_string(snap.bindings_tracked) +
-        ",\"applies\":" + std::to_string(kApplies) +
-        ",\"hit_applies\":" + std::to_string(hits) + ",\"stream_ms\":" +
-        std::to_string(stream_ms) + ",\"full_ms\":" + std::to_string(full_ms) +
-        ",\"speedup\":" + std::to_string(full_ms / stream_ms) +
-        ",\"rechecks\":" + std::to_string(rechecks) +
-        ",\"skips\":" + std::to_string(skips) + ",\"parity\":true}";
-    std::printf("%s\n", line.c_str());
+    const ObsSnapshot obs = engine.obs().Snapshot();
+    JsonWriter jw;
+    jw.BeginObject()
+        .Field("bench", "stream")
+        .Field("adom", n)
+        .Field("bindings", static_cast<uint64_t>(snap.bindings_tracked))
+        .Field("applies", kApplies)
+        .Field("hit_applies", hits)
+        .Field("stream_ms", stream_ms)
+        .Field("full_ms", full_ms)
+        .Field("speedup", full_ms / stream_ms)
+        .Field("rechecks", rechecks)
+        .Field("skips", skips)
+        .Field("parity", true);
+    jw.Key("ir_decider_ns");
+    AppendHistogramJson(&jw, obs.ir_decider_ns);
+    jw.Key("wave_ns");
+    AppendHistogramJson(&jw, obs.wave_ns);
+    jw.Key("wave_width");
+    AppendHistogramJson(&jw, obs.wave_width);
+    jw.EndObject();
+    std::printf("%s\n", jw.str().c_str());
     std::fflush(stdout);
-    if (out != nullptr) std::fprintf(out, "%s\n", line.c_str());
+    if (out != nullptr) std::fprintf(out, "%s\n", jw.str().c_str());
   }
 
   // --- Sweep 2: value-gated vs full hit waves --------------------------
@@ -295,7 +312,7 @@ int main(int argc, char** argv) {
 
     auto run_mode = [&](bool force_full, double* ms, uint64_t* rechecks,
                         uint64_t* gate_skips, uint64_t* fallback_unconstrained,
-                        StreamSnapshot* snap) -> bool {
+                        StreamSnapshot* snap, ObsSnapshot* obs) -> bool {
       EngineOptions eopts;
       eopts.num_threads = 1;  // keep the comparison purely algorithmic
       RelevanceEngine engine(schema, acs, initial, eopts);
@@ -318,6 +335,7 @@ int main(int argc, char** argv) {
       *gate_skips = st.stream_value_gate_skips;
       *fallback_unconstrained = st.stream_value_gate_fallback_unconstrained;
       *snap = registry.Snapshot(*sid);
+      *obs = engine.obs().Snapshot();
       return true;
     };
 
@@ -325,10 +343,11 @@ int main(int argc, char** argv) {
     uint64_t gated_rechecks = 0, full_rechecks = 0;
     uint64_t gate_skips = 0, unconstrained = 0, unused_skips = 0, unused_fb = 0;
     StreamSnapshot gated_snap, full_snap;
+    ObsSnapshot gated_obs, full_obs;
     if (!run_mode(false, &gated_ms, &gated_rechecks, &gate_skips,
-                  &unconstrained, &gated_snap) ||
+                  &unconstrained, &gated_snap, &gated_obs) ||
         !run_mode(true, &full_ms2, &full_rechecks, &unused_skips, &unused_fb,
-                  &full_snap)) {
+                  &full_snap, &full_obs)) {
       std::fprintf(stderr, "gate sweep failed to run at adom=%ld\n", n);
       return 1;
     }
@@ -360,21 +379,30 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    std::string line =
-        "{\"bench\":\"stream_gate\",\"adom\":" + std::to_string(n) +
-        ",\"bindings\":" + std::to_string(gated_snap.bindings_tracked) +
-        ",\"hit_applies\":" + std::to_string(script.size()) +
-        ",\"gated_ms\":" + std::to_string(gated_ms) +
-        ",\"full_ms\":" + std::to_string(full_ms2) +
-        ",\"gated_rechecks\":" + std::to_string(gated_rechecks) +
-        ",\"full_rechecks\":" + std::to_string(full_rechecks) +
-        ",\"recheck_ratio\":" + std::to_string(ratio) +
-        ",\"value_gate_skips\":" + std::to_string(gate_skips) +
-        ",\"gate_fallback_unconstrained\":" + std::to_string(unconstrained) +
-        ",\"parity\":true}";
-    std::printf("%s\n", line.c_str());
+    JsonWriter jw;
+    jw.BeginObject()
+        .Field("bench", "stream_gate")
+        .Field("adom", n)
+        .Field("bindings", static_cast<uint64_t>(gated_snap.bindings_tracked))
+        .Field("hit_applies", static_cast<uint64_t>(script.size()))
+        .Field("gated_ms", gated_ms)
+        .Field("full_ms", full_ms2)
+        .Field("gated_rechecks", gated_rechecks)
+        .Field("full_rechecks", full_rechecks)
+        .Field("recheck_ratio", ratio)
+        .Field("value_gate_skips", gate_skips)
+        .Field("gate_fallback_unconstrained", unconstrained)
+        .Field("parity", true);
+    jw.Key("ir_decider_ns");
+    AppendHistogramJson(&jw, gated_obs.ir_decider_ns);
+    jw.Key("wave_ns");
+    AppendHistogramJson(&jw, gated_obs.wave_ns);
+    jw.Key("wave_width");
+    AppendHistogramJson(&jw, gated_obs.wave_width);
+    jw.EndObject();
+    std::printf("%s\n", jw.str().c_str());
     std::fflush(stdout);
-    if (out != nullptr) std::fprintf(out, "%s\n", line.c_str());
+    if (out != nullptr) std::fprintf(out, "%s\n", jw.str().c_str());
   }
   if (out != nullptr) std::fclose(out);
   return 0;

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "engine/engine.h"
+#include "obs/export.h"
 #include "sim/deep_web.h"
 #include "stream/registry.h"
 #include "util/rng.h"
@@ -36,6 +37,9 @@ int main() {
 
   EngineOptions eopts;
   eopts.num_threads = 4;
+  // Record every apply/wave/check into the trace ring for the postmortem
+  // dump below (production default is 0: sampled off, near-zero cost).
+  eopts.obs.trace_sample_period = 1;
   RelevanceEngine engine(*s.schema, s.acs, initial, eopts);
   auto qid = engine.RegisterQuery(family.query);
   if (!qid.ok()) {
@@ -142,9 +146,18 @@ int main() {
         snap.bindings_tracked, snap.certain, snap.relevant);
   }
 
-  EngineStats st = engine.stats();
-  std::printf("\n--- final engine stats after %d accesses ---\n", performed);
-  std::printf("%s\n", st.ToString().c_str());
+  // One exporter renders counters, latency percentiles, per-relation
+  // attribution and the recent trace — as canonical JSON and as
+  // Prometheus text (serve the latter as text/plain and scrape it).
+  MetricsExport metrics;
+  metrics.stats = engine.stats();
+  metrics.obs = engine.obs().Snapshot();
+  metrics.schema = s.schema.get();
+  metrics.trace_json = engine.obs().trace().DumpJson(8);
+  std::printf("\n--- final metrics after %d accesses (JSON) ---\n%s\n",
+              performed, ExportMetricsJson(metrics).c_str());
+  std::printf("\n--- the same metrics, Prometheus exposition format ---\n%s",
+              ExportMetricsPrometheus(metrics).c_str());
   std::printf("answered=%s\n", engine.IsCertain(*qid) ? "yes" : "no");
   return 0;
 }

@@ -11,6 +11,7 @@
 // stream-driven mediator and then replays the event log.
 #include <cstdio>
 
+#include "obs/export.h"
 #include "sim/deep_web.h"
 #include "stream/registry.h"
 
@@ -78,19 +79,14 @@ int main() {
   for (const std::vector<Value>& tuple : run->certain_answers) {
     std::printf("  Q(%s)\n", schema.ValueToString(tuple[0]).c_str());
   }
-  std::printf("\nengine stats: %s\n", run->engine.ToString().c_str());
-  // The hit-wave narrowing: how many bindings each footprint-hit apply
-  // restamped without re-evaluation (the landed facts provably could not
-  // touch them), and what escaped the gate, by reason.
-  const EngineStats& st = run->engine;
-  std::printf(
-      "value gate: %llu binding(s) restamped without recheck; fallbacks: "
-      "adom-growth=%llu dependent-ltr=%llu unconstrained-position=%llu\n",
-      static_cast<unsigned long long>(st.stream_value_gate_skips),
-      static_cast<unsigned long long>(st.stream_value_gate_fallback_adom),
-      static_cast<unsigned long long>(
-          st.stream_value_gate_fallback_dependent_ltr),
-      static_cast<unsigned long long>(
-          st.stream_value_gate_fallback_unconstrained));
+  // The unified exporter replaces hand-rolled stats printing: counters
+  // (including the value-gate skip/fallback attribution), per-relation
+  // recheck attribution, and the run's latency percentiles — source
+  // round-trips, wave durations, decider time — in one JSON document.
+  MetricsExport metrics;
+  metrics.stats = run->engine;
+  metrics.obs = run->obs;
+  metrics.schema = &schema;
+  std::printf("\nrun metrics:\n%s\n", ExportMetricsJson(metrics).c_str());
   return 0;
 }

@@ -26,13 +26,6 @@ size_t ResolveStripes(int requested, size_t num_relations) {
   return std::max<size_t>(stripes, 1);
 }
 
-uint64_t NowNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
 }  // namespace
 
 std::string EngineStats::ToString() const {
@@ -115,7 +108,11 @@ RelevanceEngine::RelevanceEngine(const Schema& schema,
       conf_(std::move(initial)),
       frontier_(schema, acs),
       cache_(options_.cache_capacity),
+      obs_(options_.obs),
       pool_(ResolveThreads(options_.num_threads)) {
+  // Before the first Submit spawns any worker: the pool reads the pointer
+  // from its threads.
+  pool_.set_queue_wait_histogram(&obs_.queue_wait_ns);
   // Freeze the store layout: after this, growing relation R never
   // reallocates another relation's store, which is what the striped locks
   // rely on.
@@ -179,6 +176,7 @@ Status RelevanceEngine::ValidateAccess(const Access& access) const {
 
 Result<int> RelevanceEngine::ApplyResponse(const Access& access,
                                            const std::vector<Fact>& response) {
+  const uint64_t apply_t0 = MonotonicNs();
   ApplyEvent event;
   event.access = access;
   // Guarded lookup: the access is only validated inside the locked
@@ -227,6 +225,22 @@ Result<int> RelevanceEngine::ApplyResponse(const Access& access,
   if (applied.ok()) {
     event.facts_added = *applied;
     NotifyApplied(event);
+    // End-to-end: locks + absorb + listener maintenance (wave time also
+    // shows up on its own in wave_ns, attributed per stream).
+    const uint64_t ns = MonotonicNs() - apply_t0;
+    obs_.apply_ns.Record(ns);
+    if (obs_.trace().ShouldSample()) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kApply;
+      e.id = event.relation;
+      e.id2 = static_cast<uint32_t>(event.facts_added);
+      e.a = event.relation_version_after;
+      e.b = event.relation_version_after -
+            static_cast<uint64_t>(event.facts_added);
+      e.flag_a = event.adom_grew;
+      e.ns = ns;
+      obs_.trace().Record(e);
+    }
   }
   return applied;
 }
@@ -419,6 +433,25 @@ CheckOutcome RelevanceEngine::CheckLocked(QueryId id, CheckKind kind,
   const bool is_ir = (kind == CheckKind::kImmediate);
   counters_.Bump(is_ir ? counters_.ir_checks : counters_.ltr_checks);
 
+  // Sampled check trace. The filler destructs before the span (reverse
+  // declaration order), so the event fields are set whichever return path
+  // runs; with sampling off the span construction is one relaxed load.
+  TraceSpan span(&obs_.trace(), TraceEventKind::kCheck);
+  struct CheckTraceFill {
+    TraceSpan& span;
+    QueryId id;
+    bool is_ir;
+    const CheckOutcome& out;
+    ~CheckTraceFill() {
+      if (!span.active()) return;
+      TraceEvent& e = span.event();
+      e.id = id;
+      e.detail = is_ir ? 0 : 1;
+      e.flag_a = out.relevant;
+      e.flag_b = out.from_cache;
+    }
+  } fill{span, id, is_ir, out};
+
   // Well-formedness gate, hoisted out of the deciders: an ill-formed
   // access is never relevant (the deciders say so too), but the verdict
   // depends on Adom membership of the binding — state *outside* the
@@ -481,14 +514,20 @@ CheckOutcome RelevanceEngine::CheckLocked(QueryId id, CheckKind kind,
   OverlayConfiguration seed_overlay(&conf_);
   const ConfigView& view = SeededViewLocked(qs, &seed_overlay);
 
-  const uint64_t t0 = NowNs();
+  const uint64_t t0 = MonotonicNs();
   if (is_ir) {
     out.relevant = analyzer_.Immediate(view, access, qs.query);
-    counters_.Bump(counters_.ir_time_ns, NowNs() - t0);
+    const uint64_t decider_ns = MonotonicNs() - t0;
+    counters_.Bump(counters_.uncached_ir_checks);
+    counters_.Bump(counters_.ir_time_ns, decider_ns);
+    obs_.ir_decider_ns.Record(decider_ns);
   } else {
     Result<bool> r =
         analyzer_.LongTerm(view, access, qs.query, options_.relevance);
-    counters_.Bump(counters_.ltr_time_ns, NowNs() - t0);
+    const uint64_t decider_ns = MonotonicNs() - t0;
+    counters_.Bump(counters_.uncached_ltr_checks);
+    counters_.Bump(counters_.ltr_time_ns, decider_ns);
+    obs_.ltr_decider_ns.Record(decider_ns);
     if (!r.ok()) {
       out.status = r.status();
       return out;  // out-of-scope verdicts are never cached
@@ -527,6 +566,7 @@ CheckOutcome RelevanceEngine::CheckLongTerm(QueryId id, const Access& access) {
 
 std::vector<CheckOutcome> RelevanceEngine::CheckBatch(
     QueryId id, CheckKind kind, const std::vector<Access>& accesses) {
+  ScopedTimer batch_timer(&obs_.batch_ns);
   counters_.Bump(counters_.batch_calls);
   counters_.Bump(counters_.batch_items,
                  static_cast<uint64_t>(accesses.size()));
@@ -559,6 +599,7 @@ std::vector<CheckOutcome> RelevanceEngine::CheckMany(
     const std::vector<CheckRequest>& requests, bool parallel) {
   std::vector<CheckOutcome> results(requests.size());
   if (requests.empty()) return results;
+  ScopedTimer batch_timer(&obs_.batch_ns);
   counters_.Bump(counters_.batch_calls);
   counters_.Bump(counters_.batch_items,
                  static_cast<uint64_t>(requests.size()));

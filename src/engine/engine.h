@@ -45,6 +45,7 @@
 #include "engine/frontier.h"
 #include "engine/stats.h"
 #include "engine/worker_pool.h"
+#include "obs/obs.h"
 #include "query/footprint.h"
 #include "query/query.h"
 #include "relational/configuration.h"
@@ -75,6 +76,8 @@ struct EngineOptions {
   int lock_stripes = 0;
   /// Options forwarded to the underlying relevance deciders.
   RelevanceOptions relevance;
+  /// Observability bundle options (trace capacity / sampling).
+  ObsOptions obs;
 };
 
 /// \brief One absorbed response, as reported to apply listeners.
@@ -314,6 +317,11 @@ class RelevanceEngine {
   /// from inside one of its own tasks.
   WorkerPool& worker_pool() { return pool_; }
 
+  /// The engine's observability bundle (latency histograms + trace ring).
+  /// Attached subsystems (stream registry, mediator) record into it too,
+  /// so one snapshot covers the whole runtime.
+  EngineObservability& obs() const { return obs_; }
+
  private:
   struct QueryState {
     UnionQuery query;
@@ -441,6 +449,8 @@ class RelevanceEngine {
   std::atomic<size_t> num_listeners_{0};
 
   mutable DecisionCache cache_;
+  /// Declared before pool_: the pool's queue-wait histogram lives here.
+  mutable EngineObservability obs_;
   WorkerPool pool_;
   mutable EngineCounters counters_;
   /// Stale-drop attribution, indexed by RelationId; slot num_relations_

@@ -38,6 +38,8 @@ struct EngineStats {
   uint64_t overlapped_checks = 0;   ///< checks that ran with applies in flight
   uint64_t batch_calls = 0;      ///< CheckBatch invocations
   uint64_t batch_items = 0;      ///< accesses checked through CheckBatch
+  uint64_t uncached_ir_checks = 0;   ///< IR checks that ran the decider
+  uint64_t uncached_ltr_checks = 0;  ///< LTR checks that ran the decider
   uint64_t ir_time_ns = 0;       ///< wall time inside uncached IR deciders
   uint64_t ltr_time_ns = 0;      ///< wall time inside uncached LTR deciders
   uint64_t cache_entries = 0;    ///< live decision-cache entries
@@ -88,13 +90,15 @@ struct EngineStats {
   }
   /// Mean decider latency per *uncached* check of each kind; cached checks
   /// cost no decider time by construction.
-  double mean_ir_decider_ns(uint64_t uncached_ir) const {
-    return uncached_ir == 0 ? 0.0
-                            : static_cast<double>(ir_time_ns) / uncached_ir;
+  double mean_ir_decider_ns() const {
+    return uncached_ir_checks == 0
+               ? 0.0
+               : static_cast<double>(ir_time_ns) / uncached_ir_checks;
   }
-  double mean_ltr_decider_ns(uint64_t uncached_ltr) const {
-    return uncached_ltr == 0 ? 0.0
-                             : static_cast<double>(ltr_time_ns) / uncached_ltr;
+  double mean_ltr_decider_ns() const {
+    return uncached_ltr_checks == 0
+               ? 0.0
+               : static_cast<double>(ltr_time_ns) / uncached_ltr_checks;
   }
 
   std::string ToString() const;
@@ -121,6 +125,8 @@ struct EngineCounters {
   std::atomic<uint64_t> overlapped_checks{0};
   std::atomic<uint64_t> batch_calls{0};
   std::atomic<uint64_t> batch_items{0};
+  std::atomic<uint64_t> uncached_ir_checks{0};
+  std::atomic<uint64_t> uncached_ltr_checks{0};
   std::atomic<uint64_t> ir_time_ns{0};
   std::atomic<uint64_t> ltr_time_ns{0};
 
@@ -152,6 +158,8 @@ struct EngineCounters {
     s.overlapped_checks = ld(overlapped_checks);
     s.batch_calls = ld(batch_calls);
     s.batch_items = ld(batch_items);
+    s.uncached_ir_checks = ld(uncached_ir_checks);
+    s.uncached_ltr_checks = ld(uncached_ltr_checks);
     s.ir_time_ns = ld(ir_time_ns);
     s.ltr_time_ns = ld(ltr_time_ns);
     return s;

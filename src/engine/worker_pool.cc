@@ -28,7 +28,8 @@ void WorkerPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     EnsureStartedLocked();
-    queue_.push_back(std::move(task));
+    queue_.push_back(
+        Task{std::move(task), queue_wait_ != nullptr ? MonotonicNs() : 0});
     ++in_flight_;
   }
   work_cv_.notify_one();
@@ -48,7 +49,7 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 void WorkerPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -56,7 +57,10 @@ void WorkerPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (queue_wait_ != nullptr && task.enqueued_ns != 0) {
+      queue_wait_->Record(MonotonicNs() - task.enqueued_ns);
+    }
+    task.fn();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

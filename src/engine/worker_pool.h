@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace rar {
 
 /// \brief Fixed pool of worker threads draining a shared task queue.
@@ -46,14 +48,28 @@ class WorkerPool {
   /// them. `fn` must be safe to invoke concurrently.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Attaches a histogram that records how long each task sat queued
+  /// before a worker picked it up. Call before the first Submit (the
+  /// pointer is read on the worker threads without synchronisation
+  /// beyond the queue mutex). Pass nullptr to detach.
+  void set_queue_wait_histogram(Histogram* h) { queue_wait_ = h; }
+
  private:
+  /// One queued task plus its enqueue time (nanoseconds; only consulted
+  /// when a queue-wait histogram is attached).
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueued_ns = 0;
+  };
+
   void WorkerLoop();
   /// Spawns the workers if they are not running yet (caller holds mu_).
   void EnsureStartedLocked();
 
   int num_threads_ = 1;
+  Histogram* queue_wait_ = nullptr;
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable work_cv_;   // signalled on new work / shutdown
   std::condition_variable idle_cv_;   // signalled when a task completes

@@ -1,0 +1,98 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rar {
+
+namespace {
+
+/// Position of the most significant set bit (value > 0).
+int MsbIndex(uint64_t value) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63 - __builtin_clzll(value);
+#else
+  int msb = 0;
+  while (value >>= 1) ++msb;
+  return msb;
+#endif
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < static_cast<uint64_t>(kSubBuckets)) {
+    return static_cast<int>(value);
+  }
+  const int msb = MsbIndex(value);
+  const int shift = msb - kSubBits;
+  const int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  // Exponent m occupies block m - kSubBits + 1 (block 0 is the unit
+  // range); blocks are kSubBuckets wide and contiguous, so the mapping is
+  // monotone across the whole range.
+  return (msb - kSubBits + 1) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(int index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  const int block = index / kSubBuckets;  // >= 1
+  const int sub = index % kSubBuckets;
+  const int msb = block + kSubBits - 1;
+  return (static_cast<uint64_t>(kSubBuckets) + sub) << (msb - kSubBits);
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index + 1 >= kNumBuckets) return ~uint64_t{0};
+  return BucketLowerBound(index + 1) - 1;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  // Rank of the requested order statistic, 1-based; p=0 asks for the
+  // smallest recorded value.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                         static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return std::min(Histogram::BucketUpperBound(static_cast<int>(i)), max);
+    }
+  }
+  return max;  // cross-field skew in a live snapshot: fall back to max
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+}  // namespace rar

@@ -1,0 +1,130 @@
+// Lock-free log-bucketed histograms for runtime latency attribution.
+//
+// `Histogram` is the recording side: a fixed array of relaxed atomic
+// bucket counters plus exact count/sum/max, so `Record` on a hot path is
+// two-to-four uncontended fetch_adds and never takes a lock (mirroring
+// the EngineCounters discipline — telemetry, not synchronisation).
+// Buckets are log-linear: values below 2^kSubBits get exact unit buckets,
+// larger values split each power-of-two range into 2^kSubBits linear
+// sub-buckets, bounding the relative quantile error at 1/2^kSubBits
+// (12.5%) across the full uint64 range in under 4 KiB per histogram.
+//
+// `HistogramSnapshot` is the reporting side: a plain copy taken with
+// relaxed loads (momentary cross-field skew is fine, like EngineStats),
+// mergeable across histograms/engines, with percentile estimation against
+// the bucket boundaries. The estimator returns the *upper bound* of the
+// bucket holding the rank-th recorded value (clamped to the exact
+// recorded max), so tests can pin it against a sorted-vector oracle:
+// the true rank-th value always lands in the same bucket.
+#ifndef RAR_OBS_HISTOGRAM_H_
+#define RAR_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace rar {
+
+/// Monotonic wall-clock in nanoseconds (the time base every obs span and
+/// histogram record shares).
+inline uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// \brief A point-in-time copy of one histogram, mergeable and queryable.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  ///< dense, Histogram::kNumBuckets long
+
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+
+  /// Upper bound of the bucket containing the value of rank ceil(p% of
+  /// count), clamped to the exact recorded max; 0 when empty. p in
+  /// [0, 100].
+  uint64_t Percentile(double p) const;
+
+  /// Folds `other` in (bucket-wise sum; exact count/sum/max combine).
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// \brief Lock-free log-linear histogram of uint64 samples (latencies in
+/// ns, widths in bindings, ...). All methods are safe to call
+/// concurrently.
+class Histogram {
+ public:
+  /// Linear sub-bucket resolution: each power-of-two range splits into
+  /// 2^kSubBits buckets (relative error <= 1/2^kSubBits).
+  static constexpr int kSubBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Values in [0, kSubBuckets) take unit buckets; each of the 64-kSubBits
+  /// remaining exponents contributes kSubBuckets buckets.
+  static constexpr int kNumBuckets = kSubBuckets + (64 - kSubBits) * kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < value &&
+           !max_.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Resets every counter to zero (not atomic across buckets; callers
+  /// reset only while recording is quiesced — e.g. bench warm-up).
+  void Reset();
+
+  /// Log-linear index of `value` (total order preserved: v1 <= v2 implies
+  /// BucketIndex(v1) <= BucketIndex(v2)).
+  static int BucketIndex(uint64_t value);
+  /// Smallest value mapping to bucket `index`.
+  static uint64_t BucketLowerBound(int index);
+  /// Largest value mapping to bucket `index`.
+  static uint64_t BucketUpperBound(int index);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// \brief RAII timer: records the elapsed nanoseconds of its scope into a
+/// histogram (nullptr = disabled, and the clock is never read).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h)
+      : h_(h), start_ns_(h != nullptr ? MonotonicNs() : 0) {}
+  ~ScopedTimer() {
+    if (h_ != nullptr) h_->Record(MonotonicNs() - start_ns_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  uint64_t start_ns_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_OBS_HISTOGRAM_H_

@@ -1,0 +1,159 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rar {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* ToString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kNone:
+      return "none";
+    case TraceEventKind::kApply:
+      return "apply";
+    case TraceEventKind::kWave:
+      return "wave";
+    case TraceEventKind::kCheck:
+      return "check";
+  }
+  return "?";
+}
+
+const char* ToString(WaveFallbackReason reason) {
+  switch (reason) {
+    case WaveFallbackReason::kNone:
+      return "none";
+    case WaveFallbackReason::kAdomGrowth:
+      return "adom_growth";
+    case WaveFallbackReason::kDependentLtr:
+      return "dependent_ltr";
+    case WaveFallbackReason::kForcedFull:
+      return "forced_full";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(size_t capacity, uint32_t sample_period)
+    : sample_period_(sample_period),
+      capacity_(RoundUpPow2(capacity)),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]) {}
+
+void TraceBuffer::Encode(const TraceEvent& e, Slot* slot) {
+  const uint64_t packed = static_cast<uint64_t>(e.kind) |
+                          (static_cast<uint64_t>(e.detail) << 8) |
+                          (static_cast<uint64_t>(e.flag_a ? 1 : 0) << 16) |
+                          (static_cast<uint64_t>(e.flag_b ? 1 : 0) << 17) |
+                          (static_cast<uint64_t>(e.id) << 32);
+  slot->words[0].store(packed, std::memory_order_relaxed);
+  slot->words[1].store(static_cast<uint64_t>(e.id2), std::memory_order_relaxed);
+  slot->words[2].store(e.a, std::memory_order_relaxed);
+  slot->words[3].store(e.b, std::memory_order_relaxed);
+  slot->words[4].store(e.ns, std::memory_order_relaxed);
+  slot->words[5].store(e.timestamp_ns, std::memory_order_relaxed);
+}
+
+bool TraceBuffer::Decode(const Slot& slot, uint64_t expect_seq,
+                         TraceEvent* out) {
+  const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+  if (s1 != expect_seq) return false;  // overwritten or still being written
+  const uint64_t w0 = slot.words[0].load(std::memory_order_relaxed);
+  const uint64_t w1 = slot.words[1].load(std::memory_order_relaxed);
+  const uint64_t w2 = slot.words[2].load(std::memory_order_relaxed);
+  const uint64_t w3 = slot.words[3].load(std::memory_order_relaxed);
+  const uint64_t w4 = slot.words[4].load(std::memory_order_relaxed);
+  const uint64_t w5 = slot.words[5].load(std::memory_order_relaxed);
+  // Orders the word loads above before the re-read of seq below: a writer
+  // that raced us moved seq first (release), so the re-read catches it.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.seq.load(std::memory_order_relaxed) != s1) return false;
+  out->kind = static_cast<TraceEventKind>(w0 & 0xff);
+  out->detail = static_cast<uint8_t>((w0 >> 8) & 0xff);
+  out->flag_a = ((w0 >> 16) & 1) != 0;
+  out->flag_b = ((w0 >> 17) & 1) != 0;
+  out->id = static_cast<uint32_t>(w0 >> 32);
+  out->id2 = static_cast<uint32_t>(w1);
+  out->a = w2;
+  out->b = w3;
+  out->ns = w4;
+  out->timestamp_ns = w5;
+  return true;
+}
+
+void TraceBuffer::Record(TraceEvent event) {
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_acq_rel);
+  event.timestamp_ns = MonotonicNs();
+  event.seq = ticket;
+  Slot& slot = slots_[ticket & mask_];
+  // Odd = in progress. A writer lapping a slower one simply wins the slot;
+  // the loser's commit leaves a sequence the reader rejects for both
+  // tickets, so at worst one stale event is dropped — never torn output.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  Encode(event, &slot);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceBuffer::LastEvents(size_t n) const {
+  std::vector<TraceEvent> out;
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  if (head == 0 || n == 0) return out;
+  const uint64_t window = std::min<uint64_t>({n, capacity_, head});
+  out.reserve(window);
+  // Oldest first; tickets in [head - window, head).
+  for (uint64_t ticket = head - window; ticket < head; ++ticket) {
+    TraceEvent e;
+    if (Decode(slots_[ticket & mask_], 2 * ticket + 2, &e)) {
+      e.seq = ticket;
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::string TraceBuffer::DumpJson(size_t n) const {
+  std::vector<TraceEvent> events = LastEvents(n);
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) os << ",";
+    os << "{\"seq\":" << e.seq << ",\"kind\":\"" << ToString(e.kind)
+       << "\",\"t_ns\":" << e.timestamp_ns << ",\"ns\":" << e.ns;
+    switch (e.kind) {
+      case TraceEventKind::kApply:
+        os << ",\"relation\":" << e.id << ",\"facts\":" << e.id2
+           << ",\"version_before\":" << e.b << ",\"version_after\":" << e.a
+           << ",\"adom_grew\":" << (e.flag_a ? "true" : "false");
+        break;
+      case TraceEventKind::kWave:
+        os << ",\"relation\":" << e.id << ",\"stream\":" << e.id2
+           << ",\"rechecked\":" << e.a << ",\"skipped\":" << e.b
+           << ",\"fallback\":\""
+           << ToString(static_cast<WaveFallbackReason>(e.detail)) << "\"";
+        break;
+      case TraceEventKind::kCheck:
+        os << ",\"query\":" << e.id << ",\"check\":\""
+           << (e.detail == 0 ? "ir" : "ltr") << "\",\"relevant\":"
+           << (e.flag_a ? "true" : "false")
+           << ",\"cached\":" << (e.flag_b ? "true" : "false");
+        break;
+      case TraceEventKind::kNone:
+        break;
+    }
+    os << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace rar

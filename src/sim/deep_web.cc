@@ -219,13 +219,17 @@ Result<MediationOutcome> Mediator::AnswerBoolean(
       performer.Submit(
           *chosen, [source, &engine, access = *chosen,
                     policy = options.policy]() -> Status {
+            const uint64_t src_t0 = MonotonicNs();
             RAR_ASSIGN_OR_RETURN(std::vector<Fact> response,
                                  source->Execute(engine, access, policy));
+            engine.obs().source_ns.Record(MonotonicNs() - src_t0);
             return engine.ApplyResponse(access, response).status();
           });
     } else {
+      const uint64_t src_t0 = MonotonicNs();
       RAR_ASSIGN_OR_RETURN(std::vector<Fact> response,
                            source->Execute(engine, *chosen, options.policy));
+      engine.obs().source_ns.Record(MonotonicNs() - src_t0);
       if (options.verbose_log) {
         outcome.log.push_back(reason + ": " +
                               chosen->ToString(schema_, acs_) + " -> " +
@@ -238,6 +242,7 @@ Result<MediationOutcome> Mediator::AnswerBoolean(
   if (!outcome.answered && engine.IsCertain(qid)) outcome.answered = true;
   outcome.final_conf = engine.SnapshotConfig();
   outcome.engine = engine.stats();
+  outcome.obs = engine.obs().Snapshot();
   return outcome;
 }
 
@@ -270,8 +275,10 @@ Result<MediationOutcome> Mediator::ExhaustiveCrawl(
       if (performer.IsInFlight(a) || engine.WasPerformed(a)) continue;
       // Pipelined: execute access i+1 against the source while response i
       // is still being absorbed, then wait for i before applying i+1.
+      const uint64_t src_t0 = MonotonicNs();
       RAR_ASSIGN_OR_RETURN(std::vector<Fact> response,
                            source->Execute(engine, a, options.policy));
+      engine.obs().source_ns.Record(MonotonicNs() - src_t0);
       ++outcome.accesses_performed;
       if (options.pipelined) {
         RAR_RETURN_NOT_OK(performer.Join());
@@ -301,6 +308,7 @@ Result<MediationOutcome> Mediator::ExhaustiveCrawl(
   if (!outcome.answered && engine.IsCertain(qid)) outcome.answered = true;
   outcome.final_conf = engine.SnapshotConfig();
   outcome.engine = engine.stats();
+  outcome.obs = engine.obs().Snapshot();
   return outcome;
 }
 
@@ -333,9 +341,11 @@ Result<MediationOutcome> Mediator::AnswerKAry(const UnionQuery& query,
     }
     if (chosen == nullptr) break;  // drained: no binding is relevant
 
+    const uint64_t src_t0 = MonotonicNs();
     RAR_ASSIGN_OR_RETURN(
         std::vector<Fact> response,
         source->Execute(engine, chosen->witness, options.policy));
+    engine.obs().source_ns.Record(MonotonicNs() - src_t0);
     if (options.verbose_log) {
       outcome.log.push_back("stream: " +
                             chosen->witness.ToString(schema_, acs_) + " -> " +
@@ -352,6 +362,7 @@ Result<MediationOutcome> Mediator::AnswerKAry(const UnionQuery& query,
   }
   outcome.final_conf = engine.SnapshotConfig();
   outcome.engine = engine.stats();
+  outcome.obs = engine.obs().Snapshot();
   outcome.relevance_checks = static_cast<long>(outcome.engine.checks());
   return outcome;
 }

@@ -82,6 +82,9 @@ struct StreamState {
   UnionQuery query;
   StreamOptions options;
   HeadInstantiator inst;
+  /// Registry id of this stream (set once at Register, before publication;
+  /// read by wave trace events).
+  StreamId id = 0;
   /// Active-domain values already expanded into bindings, per distinct
   /// head domain (`seen` is the delta-enumeration cursor).
   HeadCandidates candidates;

@@ -112,6 +112,7 @@ Result<StreamId> RelevanceStreamRegistry::Register(const UnionQuery& query,
   {
     std::unique_lock<std::shared_mutex> lock(streams_mu_);
     id = static_cast<StreamId>(streams_.size());
+    s.id = id;
     streams_.push_back(std::move(owned));
   }
   counters_.Bump(counters_.streams_registered);
@@ -474,6 +475,36 @@ void RelevanceStreamRegistry::RecheckWave(StreamState& s,
                                           size_t attribution_slot, bool force,
                                           const ApplyEvent* event,
                                           uint64_t performed_after) {
+  const uint64_t wave_t0 = MonotonicNs();
+  // Why this wave re-evaluated instead of value-gating (trace attribution;
+  // mirrors the value_gate_fallback_* counter taxonomy).
+  WaveFallbackReason wave_reason = WaveFallbackReason::kNone;
+  if (force || event == nullptr || s.options.force_full_recheck) {
+    wave_reason = WaveFallbackReason::kForcedFull;
+  } else if (event->adom_grew) {
+    wave_reason = WaveFallbackReason::kAdomGrowth;
+  } else if (!s.gate_supported && !s.extra_relations.empty()) {
+    wave_reason = WaveFallbackReason::kDependentLtr;
+  }
+  // Every exit records wave duration/width and (sampled) one kWave event.
+  auto record_wave = [&](uint64_t rechecked, uint64_t skipped_total) {
+    EngineObservability& obs = engine_->obs();
+    const uint64_t ns = MonotonicNs() - wave_t0;
+    obs.wave_ns.Record(ns);
+    obs.wave_width.Record(rechecked);
+    if (obs.trace().ShouldSample()) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kWave;
+      e.detail = static_cast<uint8_t>(wave_reason);
+      e.id = static_cast<uint32_t>(attribution_slot);
+      e.id2 = s.id;
+      e.a = rechecked;
+      e.b = skipped_total;
+      e.ns = ns;
+      obs.trace().Record(e);
+    }
+  };
+
   std::vector<size_t>& stale = s.wave_stale;
   std::vector<VersionStamp>& stamps = s.wave_stamps;  // pre-read, reused
   stale.clear();
@@ -527,7 +558,10 @@ void RelevanceStreamRegistry::RecheckWave(StreamState& s,
     counters_.Bump(counters_.value_gate_fallback_unconstrained,
                    unconstrained_rechecks);
   }
-  if (stale.empty()) return;
+  if (stale.empty()) {
+    record_wave(0, skipped + sticky + gate_skipped);
+    return;
+  }
   if (!force && event != nullptr && !s.options.force_full_recheck) {
     if (event->adom_grew) {
       counters_.Bump(counters_.value_gate_fallback_adom,
@@ -611,6 +645,8 @@ void RelevanceStreamRegistry::RecheckWave(StreamState& s,
   for (std::vector<StreamEvent>& events : wave) {
     CommitEvents(s, std::move(events));
   }
+  record_wave(static_cast<uint64_t>(stale.size()),
+              skipped + sticky + gate_skipped);
 }
 
 void RelevanceStreamRegistry::OnApply(const ApplyEvent& event) {
