@@ -30,6 +30,16 @@
 // checked exhaustively at the end and the sweep fails (non-zero exit) on
 // any mismatch or if the recheck ratio drops below 5x.
 //
+// Sweep 3 (bench "stream_gate_growth"): the Adom-growth stress. Same
+// schema and query; 32 R0 hit responses where every 4th mints a fresh D0
+// value — before per-domain delta gating each growth apply forced a full
+// wave over every live binding. The gated registry runs against a
+// force_full_recheck twin on identical applies; the sweep fails on any
+// verdict mismatch, if the gated run reports a non-zero
+// gate_fallback_adom (every binding here is relevant, so the
+// irrelevant-uncertain residual must be empty), or if the recheck ratio
+// drops below 8x.
+//
 // One JSON line per point (built with obs/export.h's JsonWriter — no
 // hand-rolled string concatenation), to stdout and written to
 // BENCH_stream.json (overwritten per run):
@@ -42,8 +52,16 @@
 //   {"bench":"stream_gate","adom":10000,"bindings":10001,"hit_applies":42,
 //    "gated_ms":...,"full_ms":...,"gated_rechecks":...,
 //    "full_rechecks":...,"recheck_ratio":...,"value_gate_skips":...,
-//    "gate_fallback_unconstrained":...,"parity":true,
+//    "gate_fallback_unconstrained":...,"gate_fallback_adom":...,
+//    "semijoin_rechecks":...,"parity":true,
 //    "ir_decider_ns":{...},"wave_ns":{...},"wave_width":{...}}
+//   {"bench":"stream_gate_growth","adom":10000,"bindings":10009,
+//    "hit_applies":32,"growth_applies":8,"gated_ms":...,"full_ms":...,
+//    "gated_rechecks":...,"full_rechecks":...,"recheck_ratio":...,
+//    "value_gate_skips":...,"gate_fallback_adom":0,
+//    "gate_fallback_unconstrained":...,"semijoin_rechecks":...,
+//    "newborn_rechecks":...,"parity":true,"ir_decider_ns":{...},
+//    "wave_ns":{...},"wave_width":{...}}
 //
 // Usage: bench_stream [--max_adom=N]  (CI smoke passes 1000).
 #include <chrono>
@@ -311,8 +329,8 @@ int main(int argc, char** argv) {
     script.push_back({Access{ms0_by0, {d0s[2]}}, {Fact(s0, {d0s[2], d0s[0]})}});
 
     auto run_mode = [&](bool force_full, double* ms, uint64_t* rechecks,
-                        uint64_t* gate_skips, uint64_t* fallback_unconstrained,
-                        StreamSnapshot* snap, ObsSnapshot* obs) -> bool {
+                        EngineStats* st_out, StreamSnapshot* snap,
+                        ObsSnapshot* obs) -> bool {
       EngineOptions eopts;
       eopts.num_threads = 1;  // keep the comparison purely algorithmic
       RelevanceEngine engine(schema, acs, initial, eopts);
@@ -330,10 +348,8 @@ int main(int argc, char** argv) {
       }
       Clock::time_point a1 = Clock::now();
       *ms = MsBetween(a0, a1);
-      EngineStats st = engine.stats();
-      *rechecks = st.stream_rechecks - at_start.stream_rechecks;
-      *gate_skips = st.stream_value_gate_skips;
-      *fallback_unconstrained = st.stream_value_gate_fallback_unconstrained;
+      *st_out = engine.stats();
+      *rechecks = st_out->stream_rechecks - at_start.stream_rechecks;
       *snap = registry.Snapshot(*sid);
       *obs = engine.obs().Snapshot();
       return true;
@@ -341,13 +357,13 @@ int main(int argc, char** argv) {
 
     double gated_ms = 0, full_ms2 = 0;
     uint64_t gated_rechecks = 0, full_rechecks = 0;
-    uint64_t gate_skips = 0, unconstrained = 0, unused_skips = 0, unused_fb = 0;
+    EngineStats gated_st, full_st;
     StreamSnapshot gated_snap, full_snap;
     ObsSnapshot gated_obs, full_obs;
-    if (!run_mode(false, &gated_ms, &gated_rechecks, &gate_skips,
-                  &unconstrained, &gated_snap, &gated_obs) ||
-        !run_mode(true, &full_ms2, &full_rechecks, &unused_skips, &unused_fb,
-                  &full_snap, &full_obs)) {
+    if (!run_mode(false, &gated_ms, &gated_rechecks, &gated_st, &gated_snap,
+                  &gated_obs) ||
+        !run_mode(true, &full_ms2, &full_rechecks, &full_st, &full_snap,
+                  &full_obs)) {
       std::fprintf(stderr, "gate sweep failed to run at adom=%ld\n", n);
       return 1;
     }
@@ -390,8 +406,179 @@ int main(int argc, char** argv) {
         .Field("gated_rechecks", gated_rechecks)
         .Field("full_rechecks", full_rechecks)
         .Field("recheck_ratio", ratio)
-        .Field("value_gate_skips", gate_skips)
-        .Field("gate_fallback_unconstrained", unconstrained)
+        .Field("value_gate_skips", gated_st.stream_value_gate_skips)
+        .Field("gate_fallback_unconstrained",
+               gated_st.stream_value_gate_fallback_unconstrained)
+        .Field("gate_fallback_adom", gated_st.stream_value_gate_fallback_adom)
+        .Field("semijoin_rechecks", gated_st.stream_value_gate_semijoin)
+        .Field("parity", true);
+    jw.Key("ir_decider_ns");
+    AppendHistogramJson(&jw, gated_obs.ir_decider_ns);
+    jw.Key("wave_ns");
+    AppendHistogramJson(&jw, gated_obs.wave_ns);
+    jw.Key("wave_width");
+    AppendHistogramJson(&jw, gated_obs.wave_width);
+    jw.EndObject();
+    std::printf("%s\n", jw.str().c_str());
+    std::fflush(stdout);
+    if (out != nullptr) std::fprintf(out, "%s\n", jw.str().c_str());
+  }
+
+  // --- Sweep 3: delta-gated vs full Adom growth waves ------------------
+  for (long n : {100L, 1000L, 10000L}) {
+    if (n > max_adom) continue;
+
+    Schema schema;
+    DomainId d0 = schema.AddDomain("D0");
+    RelationId r0 = *schema.AddRelation("R0", {{"x", d0}, {"y", d0}});
+    RelationId s0 = *schema.AddRelation("S0", {{"x", d0}, {"y", d0}});
+    AccessMethodSet acs(&schema);
+    AccessMethodId m0_free = *acs.Add("r0_free", r0, {}, /*dependent=*/false);
+    AccessMethodId m0_by0 = *acs.Add("r0_by0", r0, {0}, /*dependent=*/true);
+    AccessMethodId ms0_by0 = *acs.Add("s0_by0", s0, {0}, /*dependent=*/true);
+    (void)m0_free;
+    (void)ms0_by0;
+
+    Configuration initial(&schema);
+    std::vector<Value> d0s;
+    for (long i = 0; i < n; ++i) {
+      d0s.push_back(schema.InternConstant("v" + std::to_string(i)));
+      initial.AddSeedConstant(d0s.back(), d0);
+    }
+    // The S0 band keeps every binding relevant (a free R0 response can
+    // always complete the chain), so the gated run's irrelevant-uncertain
+    // residual — gate_fallback_adom — must stay exactly zero.
+    for (long i = 0; i + 1 < n && i < n / 2; ++i) {
+      initial.AddFact(Fact(s0, {d0s[i], d0s[i + 1]}));
+    }
+
+    ConjunctiveQuery q;
+    VarId x = q.AddVar("X", d0);
+    VarId y = q.AddVar("Y", d0);
+    VarId z = q.AddVar("Z", d0);
+    VarId w = q.AddVar("W", d0);
+    q.atoms.push_back(Atom{r0, {Term::MakeVar(x), Term::MakeVar(y)}});
+    q.atoms.push_back(Atom{s0, {Term::MakeVar(y), Term::MakeVar(z)}});
+    q.atoms.push_back(Atom{s0, {Term::MakeVar(z), Term::MakeVar(w)}});
+    q.head = {x};
+    UnionQuery uq;
+    uq.disjuncts.push_back(q);
+    if (!uq.Validate(schema).ok()) return 1;
+
+    // Growth-heavy script: 32 R0 hit responses from the hot head set;
+    // every 4th mints a brand-new D0 value in the fact's second position —
+    // an Adom-growing apply that used to force a full wave over every
+    // live binding.
+    struct Step {
+      Access access;
+      std::vector<Fact> response;
+    };
+    constexpr int kHits = 32;
+    std::vector<Step> script;
+    int growth_applies = 0;
+    for (int i = 0; i < kHits; ++i) {
+      const Value& a = d0s[(i * i) % 8];
+      if (i % 4 == 3) {
+        const Value g =
+            schema.InternConstant("g" + std::to_string(n) + "_" +
+                                  std::to_string(growth_applies));
+        script.push_back({Access{m0_by0, {a}}, {Fact(r0, {a, g})}});
+        ++growth_applies;
+      } else {
+        const Value& b = d0s[(i * 13 + 1) % n];
+        script.push_back({Access{m0_by0, {a}}, {Fact(r0, {a, b})}});
+      }
+    }
+
+    auto run_mode = [&](bool force_full, double* ms, uint64_t* rechecks,
+                        EngineStats* st_out, StreamSnapshot* snap,
+                        ObsSnapshot* obs) -> bool {
+      EngineOptions eopts;
+      eopts.num_threads = 1;  // keep the comparison purely algorithmic
+      RelevanceEngine engine(schema, acs, initial, eopts);
+      RelevanceStreamRegistry registry(&engine);
+      StreamOptions sopts;  // IR-only
+      sopts.force_full_recheck = force_full;
+      auto sid = registry.Register(uq, sopts);
+      if (!sid.ok()) return false;
+      const EngineStats at_start = engine.stats();
+      Clock::time_point a0 = Clock::now();
+      for (const Step& step : script) {
+        if (!engine.ApplyResponse(step.access, step.response).ok()) {
+          return false;
+        }
+      }
+      Clock::time_point a1 = Clock::now();
+      *ms = MsBetween(a0, a1);
+      *st_out = engine.stats();
+      *rechecks = st_out->stream_rechecks - at_start.stream_rechecks;
+      *snap = registry.Snapshot(*sid);
+      *obs = engine.obs().Snapshot();
+      return true;
+    };
+
+    double gated_ms = 0, full_ms2 = 0;
+    uint64_t gated_rechecks = 0, full_rechecks = 0;
+    EngineStats gated_st, full_st;
+    StreamSnapshot gated_snap, full_snap;
+    ObsSnapshot gated_obs, full_obs;
+    if (!run_mode(false, &gated_ms, &gated_rechecks, &gated_st, &gated_snap,
+                  &gated_obs) ||
+        !run_mode(true, &full_ms2, &full_rechecks, &full_st, &full_snap,
+                  &full_obs)) {
+      std::fprintf(stderr, "growth sweep failed to run at adom=%ld\n", n);
+      return 1;
+    }
+
+    bool parity = gated_snap.bindings_tracked == full_snap.bindings_tracked;
+    for (size_t i = 0; parity && i < gated_snap.bindings.size(); ++i) {
+      const BindingView& ga = gated_snap.bindings[i];
+      const BindingView& fa = full_snap.bindings[i];
+      parity = ga.certain == fa.certain && ga.relevant == fa.relevant &&
+               ga.has_fresh == fa.has_fresh &&
+               (ga.has_fresh || ga.binding == fa.binding);
+    }
+    if (!parity) {
+      std::fprintf(stderr, "growth parity failure at adom=%ld\n", n);
+      return 1;
+    }
+    if (gated_st.stream_value_gate_fallback_adom != 0) {
+      std::fprintf(
+          stderr, "non-zero gate_fallback_adom at adom=%ld: %llu\n", n,
+          static_cast<unsigned long long>(
+              gated_st.stream_value_gate_fallback_adom));
+      return 1;
+    }
+    const double ratio = gated_rechecks == 0
+                             ? static_cast<double>(full_rechecks)
+                             : static_cast<double>(full_rechecks) /
+                                   static_cast<double>(gated_rechecks);
+    if (ratio < 8.0) {
+      std::fprintf(stderr,
+                   "growth gate under 8x at adom=%ld: %llu vs %llu rechecks\n",
+                   n, static_cast<unsigned long long>(gated_rechecks),
+                   static_cast<unsigned long long>(full_rechecks));
+      return 1;
+    }
+
+    JsonWriter jw;
+    jw.BeginObject()
+        .Field("bench", "stream_gate_growth")
+        .Field("adom", n)
+        .Field("bindings", static_cast<uint64_t>(gated_snap.bindings_tracked))
+        .Field("hit_applies", static_cast<uint64_t>(script.size()))
+        .Field("growth_applies", growth_applies)
+        .Field("gated_ms", gated_ms)
+        .Field("full_ms", full_ms2)
+        .Field("gated_rechecks", gated_rechecks)
+        .Field("full_rechecks", full_rechecks)
+        .Field("recheck_ratio", ratio)
+        .Field("value_gate_skips", gated_st.stream_value_gate_skips)
+        .Field("gate_fallback_adom", gated_st.stream_value_gate_fallback_adom)
+        .Field("gate_fallback_unconstrained",
+               gated_st.stream_value_gate_fallback_unconstrained)
+        .Field("semijoin_rechecks", gated_st.stream_value_gate_semijoin)
+        .Field("newborn_rechecks", gated_st.stream_value_gate_newborn)
         .Field("parity", true);
     jw.Key("ir_decider_ns");
     AppendHistogramJson(&jw, gated_obs.ir_decider_ns);

@@ -65,6 +65,8 @@ std::string EngineStats::ToString() const {
        << " gate_fallbacks=[adom:" << stream_value_gate_fallback_adom
        << " dep-ltr:" << stream_value_gate_fallback_dependent_ltr
        << " unconstrained:" << stream_value_gate_fallback_unconstrained
+       << "] gate_narrowed=[semijoin:" << stream_value_gate_semijoin
+       << " newborn:" << stream_value_gate_newborn
        << "] events=" << stream_events;
     if (!stream_rechecks_by_relation.empty()) {
       os << " stream_rechecks=[";
@@ -103,6 +105,7 @@ RelevanceEngine::RelevanceEngine(const Schema& schema,
       options_(std::move(options)),
       analyzer_(schema, acs),
       num_relations_(schema.num_relations()),
+      num_domains_(schema.num_domains()),
       stripe_count_(ResolveStripes(options_.lock_stripes, num_relations_)),
       stripe_mu_(stripe_count_),
       conf_(std::move(initial)),
@@ -124,6 +127,13 @@ RelevanceEngine::RelevanceEngine(const Schema& schema,
                            std::memory_order_relaxed);
   }
   adom_version_.store(conf_.adom_version(), std::memory_order_relaxed);
+  adom_domain_versions_ = std::make_unique<std::atomic<uint64_t>[]>(
+      std::max<size_t>(num_domains_, 1));
+  for (size_t d = 0; d < num_domains_; ++d) {
+    adom_domain_versions_[d].store(
+        conf_.adom_domain_version(static_cast<DomainId>(d)),
+        std::memory_order_relaxed);
+  }
   invalidations_by_relation_ =
       std::make_unique<std::atomic<uint64_t>[]>(num_relations_ + 1);
   for (size_t r = 0; r <= num_relations_; ++r) {
@@ -160,6 +170,11 @@ VersionVector RelevanceEngine::versions() const {
     v.relations.push_back(rel_versions_[r].load(std::memory_order_acquire));
   }
   v.adom = adom_version_.load(std::memory_order_acquire);
+  v.adom_domains.reserve(num_domains_);
+  for (size_t d = 0; d < num_domains_; ++d) {
+    v.adom_domains.push_back(
+        adom_domain_versions_[d].load(std::memory_order_acquire));
+  }
   return v;
 }
 
@@ -292,6 +307,20 @@ Result<int> RelevanceEngine::ApplyLocked(const Access& access,
   event->adom_version_after = adom_now;
   if (adom_grew) {
     adom_version_.store(adom_now, std::memory_order_release);
+    // Advance the per-domain mirrors and record which domains grew (the
+    // domain count is small and static, so a full sweep is cheaper than
+    // threading domain ids through the insert loop above).
+    event->adom_versions_after.resize(num_domains_);
+    for (size_t d = 0; d < num_domains_; ++d) {
+      const uint64_t now =
+          conf_.adom_domain_version(static_cast<DomainId>(d));
+      if (now !=
+          adom_domain_versions_[d].load(std::memory_order_relaxed)) {
+        adom_domain_versions_[d].store(now, std::memory_order_release);
+        event->grown_domains.push_back(static_cast<DomainId>(d));
+      }
+      event->adom_versions_after[d] = now;
+    }
     counters_.Bump(counters_.adom_advances);
   }
   {
@@ -340,6 +369,18 @@ std::vector<Value> RelevanceEngine::AdomValuesOf(DomainId domain,
   return out;
 }
 
+std::vector<Fact> RelevanceEngine::RelationFactsSnapshot(
+    RelationId rel) const {
+  std::shared_lock<std::shared_mutex> state(state_mu_);
+  if (rel >= num_relations_) return {};
+  std::shared_lock<std::shared_mutex> stripe(stripe_mu_[StripeOf(rel)]);
+  FactSeq seq = conf_.FactsOf(rel);
+  std::vector<Fact> out;
+  out.reserve(seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) out.push_back(seq[i]);
+  return out;
+}
+
 const ConfigView& RelevanceEngine::SeededViewLocked(
     const QueryState& qs, OverlayConfiguration* overlay) const {
   bool missing = false;
@@ -367,7 +408,15 @@ VersionStamp RelevanceEngine::StampFor(const RelationFootprint& fp) const {
     stamp.push_back(relation_version(rel));
   }
   if (fp.adom_sensitive) {
-    stamp.push_back(adom_version_.load(std::memory_order_acquire));
+    if (fp.adom_domains.empty()) {
+      stamp.push_back(adom_version_.load(std::memory_order_acquire));
+    } else {
+      // Domain-refined adom dependence: growth in an untracked domain
+      // leaves the stamp valid (see RelationFootprint::adom_domains).
+      for (DomainId d : fp.adom_domains) {
+        stamp.push_back(adom_domain_version(d));
+      }
+    }
   }
   return stamp;
 }

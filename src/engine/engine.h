@@ -104,6 +104,17 @@ struct ApplyEvent {
   /// The (value, domain) entries new to the active domain (empty when
   /// `!adom_grew`).
   std::vector<TypedValue> new_adom;
+  /// The domains that gained at least one active-domain entry (sorted,
+  /// unique; empty when `!adom_grew`). Filled whether or not the delta was
+  /// collected — listeners use it to skip streams whose adom-dependence
+  /// domains are disjoint from the growth.
+  std::vector<DomainId> grown_domains;
+  /// Per-domain active-domain versions right after this apply landed,
+  /// indexed densely by DomainId (empty when `!adom_grew` — nothing
+  /// moved). With the per-domain entry counts of `new_adom` this brackets
+  /// the growth per domain, the per-domain analogue of
+  /// `relation_version_after` / `facts_added`.
+  std::vector<uint64_t> adom_versions_after;
   /// The touched relation's version right after this apply landed. With
   /// `facts_added` this brackets the delta: the pre-apply version is
   /// `relation_version_after - facts_added`, which is how listeners tell
@@ -204,6 +215,17 @@ class RelevanceEngine {
   /// The active-domain version; safe to read concurrently with applies.
   uint64_t adom_version() const {
     return adom_version_.load(std::memory_order_acquire);
+  }
+
+  /// One domain's active-domain version (its first-seen entry count); safe
+  /// to read concurrently with applies. The per-domain counters sum to
+  /// `adom_version()` — derived state keyed on a subset of domains stamps
+  /// these instead of the global counter, so growth elsewhere does not
+  /// invalidate it.
+  uint64_t adom_domain_version(DomainId domain) const {
+    return domain < num_domains_
+               ? adom_domain_versions_[domain].load(std::memory_order_acquire)
+               : 0;
   }
 
   /// Snapshot of the full version vector (mirror of
@@ -312,6 +334,13 @@ class RelevanceEngine {
   /// caller holding a previous size sees exactly the new values).
   std::vector<Value> AdomValuesOf(DomainId domain, size_t from = 0) const;
 
+  /// All current facts of one relation, copied under the engine's read
+  /// locks (state shared + the relation's stripe shared). Fact order is
+  /// append-only insertion order. Seeds the stream registry's secondary
+  /// fact index, which is then maintained delta-wise from ApplyEvent
+  /// deltas instead of re-copying.
+  std::vector<Fact> RelationFactsSnapshot(RelationId rel) const;
+
   /// The engine's worker pool, shared with CheckBatch. Attached listeners
   /// fan per-binding rechecks out over it; never call its ParallelFor
   /// from inside one of its own tasks.
@@ -408,6 +437,7 @@ class RelevanceEngine {
   const EngineOptions options_;
   RelevanceAnalyzer analyzer_;
   const size_t num_relations_;
+  const size_t num_domains_;
   const size_t stripe_count_;
 
   /// Structure lock: exclusive for whole-configuration operations
@@ -435,6 +465,9 @@ class RelevanceEngine {
   /// exclusive locks, readable anywhere — e.g. frontier scoring).
   std::unique_ptr<std::atomic<uint64_t>[]> rel_versions_;
   std::atomic<uint64_t> adom_version_{0};
+  /// Per-domain slices of adom_version_, indexed by DomainId (written under
+  /// adom_mu_ exclusive — only growth moves them).
+  std::unique_ptr<std::atomic<uint64_t>[]> adom_domain_versions_;
   std::atomic<uint64_t> epoch_{0};
 
   bool producible_valid_ = false;

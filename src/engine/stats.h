@@ -65,9 +65,12 @@ struct EngineStats {
   /// landed facts could not unify with any substituted atom of their Q_b,
   /// so the verdicts were provably unchanged (see stream/registry.h).
   uint64_t stream_value_gate_skips = 0;
-  /// Bindings rechecked because the apply grew the active domain (the
-  /// value gate falls back conservatively: Adom growth mints new frontier
-  /// accesses, which every binding may find relevant).
+  /// Bindings rechecked on an Adom-growing apply beyond what the delta
+  /// gate selected: the residual irrelevant-uncertain bindings (a freshly
+  /// minted access may become relevant to them through hypothetical
+  /// response facts, which no current-config index bounds), plus every
+  /// stale binding of streams whose Adom waves are not delta-gated (LTR
+  /// streams, >= 64 disjuncts, force_full_recheck).
   uint64_t stream_value_gate_fallback_adom = 0;
   /// Bindings rechecked because the stream tracks LTR under dependent
   /// methods (an access over any method relation can matter through a
@@ -75,9 +78,18 @@ struct EngineStats {
   /// that, so the gate is disabled for such streams).
   uint64_t stream_value_gate_fallback_dependent_ltr = 0;
   /// Bindings rechecked in a gated wave because a landed fact matched an
-  /// atom with no binding-derived constraint on the hit relation (every
-  /// such binding is reachable by the fact — nothing to narrow).
+  /// atom with no binding-derived constraint and the semijoin narrowing
+  /// could not bound its reach: no slot-anchored atom is join-connected to
+  /// the hit atom (Boolean disjuncts, disconnected components), the chase
+  /// overflowed its caps, or the binding is irrelevant-uncertain (a free
+  /// hit can flip its IR verdict through hypothetical response facts).
   uint64_t stream_value_gate_fallback_unconstrained = 0;
+  /// Gated rechecks the narrowing *selected* rather than fell back to:
+  /// bindings a landed fact reached through the secondary non-head value
+  /// index (semijoin chase over join variables to slot-anchored atoms),
+  /// and newborn bindings minted by a delta-gated Adom growth wave.
+  uint64_t stream_value_gate_semijoin = 0;
+  uint64_t stream_value_gate_newborn = 0;
   /// Stream rechecks attributed to the applied relation that triggered
   /// them, indexed by RelationId; the trailing slot counts rechecks
   /// triggered by registration / active-domain growth.

@@ -201,6 +201,8 @@ std::vector<CounterRow> StreamRows(const EngineStats& s) {
        s.stream_value_gate_fallback_dependent_ltr, false},
       {"value_gate_fallback_unconstrained",
        s.stream_value_gate_fallback_unconstrained, false},
+      {"value_gate_semijoin_rechecks", s.stream_value_gate_semijoin, false},
+      {"value_gate_newborn_rechecks", s.stream_value_gate_newborn, false},
   };
 }
 

@@ -39,6 +39,8 @@ const char* ToString(WaveFallbackReason reason) {
       return "dependent_ltr";
     case WaveFallbackReason::kForcedFull:
       return "forced_full";
+    case WaveFallbackReason::kAdomDelta:
+      return "adom_delta";
   }
   return "?";
 }

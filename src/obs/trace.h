@@ -41,9 +41,10 @@ enum class TraceEventKind : uint8_t {
 /// (mirrors the stream_value_gate_fallback_* counters).
 enum class WaveFallbackReason : uint8_t {
   kNone = 0,        ///< value-gated (or nothing was stale)
-  kAdomGrowth,      ///< the apply grew the active domain
+  kAdomGrowth,      ///< the apply grew the active domain: full recheck
   kDependentLtr,    ///< dependent-method LTR stream: gate unsupported
   kForcedFull,      ///< force_full_recheck / registration / refresh
+  kAdomDelta,       ///< Adom growth gated to {touched, newborn, residual}
 };
 
 const char* ToString(TraceEventKind kind);

@@ -29,9 +29,22 @@ RelationFootprint RelationFootprint::Of(const UnionQuery& query) {
 
 VersionStamp RelationFootprint::StampFrom(const VersionVector& versions) const {
   VersionStamp stamp;
-  stamp.reserve(relations.size() + (adom_sensitive ? 1 : 0));
+  stamp.reserve(relations.size() +
+                (adom_sensitive
+                     ? std::max<size_t>(adom_domains.size(), 1)
+                     : 0));
   for (RelationId rel : relations) stamp.push_back(versions.relation(rel));
-  if (adom_sensitive) stamp.push_back(versions.adom);
+  if (adom_sensitive) {
+    if (adom_domains.empty()) {
+      stamp.push_back(versions.adom);
+    } else {
+      // Domain-refined: one component per tracked domain, so growth of a
+      // domain outside the set leaves the stamp valid.
+      for (DomainId d : adom_domains) {
+        stamp.push_back(versions.adom_domain(d));
+      }
+    }
+  }
   return stamp;
 }
 
@@ -41,7 +54,17 @@ std::string RelationFootprint::ToString(const Schema& schema) const {
     if (i > 0) out += ", ";
     out += schema.relation(relations[i]).name;
   }
-  if (adom_sensitive) out += relations.empty() ? "+adom" : ", +adom";
+  if (adom_sensitive) {
+    out += relations.empty() ? "+adom" : ", +adom";
+    if (!adom_domains.empty()) {
+      out += "(";
+      for (size_t i = 0; i < adom_domains.size(); ++i) {
+        if (i > 0) out += ",";
+        out += schema.domain_name(adom_domains[i]);
+      }
+      out += ")";
+    }
+  }
   out += "}";
   return out;
 }

@@ -34,6 +34,12 @@ struct RelationFootprint {
   /// deciders, reachability fixpoints); such results must be revalidated
   /// whenever Adom grows, no matter which relation grew it.
   bool adom_sensitive = false;
+  /// Refinement of `adom_sensitive`: when non-empty (sorted, unique), the
+  /// computation reads only these domains' slices of the active domain, and
+  /// stamps carry one per-domain version each instead of the global Adom
+  /// version — growth of a domain outside the set invalidates nothing.
+  /// Empty means "all domains" (the conservative pre-split behaviour).
+  std::vector<DomainId> adom_domains;
 
   bool Contains(RelationId rel) const;
 

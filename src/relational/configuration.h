@@ -155,6 +155,17 @@ class Configuration : public ConfigView {
   /// access argument is monotone in.
   uint64_t adom_version() const { return adom_.size(); }
 
+  /// Monotone version of one domain's slice of the active domain: its
+  /// first-seen value count (append-only, maintained by AddFact and
+  /// AddSeedConstant exactly when the typed value is new). The per-domain
+  /// counters sum to `adom_version()`; growth of one domain leaves every
+  /// other domain's counter untouched, which is what lets derived state
+  /// stamp only the domains it reads.
+  uint64_t adom_domain_version(DomainId domain) const {
+    auto it = adom_by_domain_.find(domain);
+    return it == adom_by_domain_.end() ? 0 : it->second.size();
+  }
+
   /// Derived global epoch (total growth events); see VersionVector. O(1):
   /// both counts are cached.
   uint64_t global_version() const { return NumFacts() + adom_.size(); }
@@ -167,6 +178,13 @@ class Configuration : public ConfigView {
       v.relations.push_back(s.facts.size());
     }
     v.adom = adom_.size();
+    if (schema_ != nullptr) {
+      v.adom_domains.reserve(schema_->num_domains());
+      for (size_t d = 0; d < schema_->num_domains(); ++d) {
+        v.adom_domains.push_back(
+            adom_domain_version(static_cast<DomainId>(d)));
+      }
+    }
     return v;
   }
 

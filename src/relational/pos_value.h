@@ -32,6 +32,28 @@ struct PosValueKeyHash {
   }
 };
 
+/// \brief Key of a *cross-relation* secondary index entry: (relation,
+/// position, value). The stream registry's semijoin chase keeps one flat
+/// fact index over every (relation, position) pair its narrowing plans
+/// look up (see stream/registry.h), so the key carries the relation
+/// explicitly instead of sharding a PosValueKey map per relation.
+struct RelPosValueKey {
+  uint32_t relation = 0;
+  int position = 0;
+  Value value;
+  bool operator==(const RelPosValueKey& o) const {
+    return relation == o.relation && position == o.position &&
+           value == o.value;
+  }
+};
+
+struct RelPosValueKeyHash {
+  size_t operator()(const RelPosValueKey& k) const {
+    size_t h = ValueHash()(k.value) * 31u + static_cast<size_t>(k.position);
+    return h * 31u + static_cast<size_t>(k.relation);
+  }
+};
+
 }  // namespace rar
 
 #endif  // RAR_RELATIONAL_POS_VALUE_H_

@@ -31,6 +31,12 @@ struct VersionVector {
   std::vector<uint64_t> relations;
   /// Typed active-domain entry count (facts + seeds).
   uint64_t adom = 0;
+  /// Active-domain entry count per domain, indexed by DomainId — the
+  /// sharded refinement of `adom` (their sum). Derived state that depends
+  /// only on *some* domains (a stream whose head and dependent-method
+  /// inputs draw from one domain) stamps the sub-vector it reads, so
+  /// growth of an unrelated domain invalidates nothing.
+  std::vector<uint64_t> adom_domains;
 
   /// Derived global epoch: total growth events. Advances whenever any
   /// relation gains a fact or the active domain gains an entry — the
@@ -45,13 +51,23 @@ struct VersionVector {
     return rel < relations.size() ? relations[rel] : 0;
   }
 
+  uint64_t adom_domain(size_t dom) const {
+    return dom < adom_domains.size() ? adom_domains[dom] : 0;
+  }
+
   bool operator==(const VersionVector& o) const {
     if (adom != o.adom) return false;
     // Trailing zero entries are implicit: vectors of different lengths can
-    // still describe the same state.
+    // still describe the same state. The per-domain counters sum to `adom`,
+    // so equal totals with equal per-relation counts already imply equal
+    // state; still compare them for vectors built from partial mirrors.
     size_t n = std::max(relations.size(), o.relations.size());
     for (size_t i = 0; i < n; ++i) {
       if (relation(i) != o.relation(i)) return false;
+    }
+    size_t nd = std::max(adom_domains.size(), o.adom_domains.size());
+    for (size_t i = 0; i < nd; ++i) {
+      if (adom_domain(i) != o.adom_domain(i)) return false;
     }
     return true;
   }
@@ -73,6 +89,9 @@ struct VersionVector {
   std::string ToString() const {
     std::ostringstream os;
     os << "[adom=" << adom;
+    for (size_t i = 0; i < adom_domains.size(); ++i) {
+      os << " d" << i << "=" << adom_domains[i];
+    }
     for (size_t i = 0; i < relations.size(); ++i) {
       os << " r" << i << "=" << relations[i];
     }

@@ -112,6 +112,8 @@ void HeadInstantiator::BuildGateConstraints() {
         } else if (slot_of_var[t.var] >= 0) {
           c.required_slots.emplace_back(
               pos, static_cast<size_t>(slot_of_var[t.var]));
+        } else {
+          c.free_vars.emplace_back(pos, t.var);
         }
       }
       gate_constraints_.push_back(std::move(c));

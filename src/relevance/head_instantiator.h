@@ -60,10 +60,14 @@ struct HeadCandidates {
 /// original query constant (`required_consts`) — and the binding-dependent
 /// part: positions holding a *head* variable, which `Instantiate` replaces
 /// with the binding's slot value (`required_slots`). Positions holding
-/// non-head variables constrain nothing. The stream registry's value gate
-/// (stream/registry.h) checks landed facts against these patterns: a fact
-/// that fails every pattern of its relation for a binding is invisible to
-/// Q_b, so the binding's verdicts cannot have moved.
+/// non-head variables constrain nothing per-binding, but they carry the
+/// disjunct's *join structure* (`free_vars`): the stream registry's
+/// semijoin chase follows shared non-head variables from a landed fact
+/// through the disjunct's other atoms to reach head-slot positions. The
+/// registry's value gate (stream/registry.h) checks landed facts against
+/// these patterns: a fact that fails every pattern of its relation for a
+/// binding is invisible to Q_b, so the binding's verdicts cannot have
+/// moved.
 struct AtomGateConstraint {
   RelationId relation = kInvalidId;
   size_t disjunct = 0;  ///< index into the query's disjuncts
@@ -71,6 +75,9 @@ struct AtomGateConstraint {
   std::vector<std::pair<int, Value>> required_consts;
   /// (position, head slot) pairs the atom fixes to the binding's values.
   std::vector<std::pair<int, size_t>> required_slots;
+  /// (position, variable) pairs holding non-head variables — the join
+  /// edges of the disjunct's atom graph (VarIds are disjunct-local).
+  std::vector<std::pair<int, VarId>> free_vars;
 };
 
 /// \brief Validated head-instantiation state for one k-ary union query.

@@ -31,6 +31,10 @@
 
 namespace rar {
 
+/// Sentinel for StreamState::wave_adom_pre/post: the wave's event did not
+/// grow this domain (its stamp component must equal the fresh stamp's).
+inline constexpr uint64_t kAdomUnmoved = ~uint64_t{0};
+
 /// \brief One tracked head instantiation.
 struct BindingState {
   std::vector<Value> slot_values;  ///< deduplicated slot tuple
@@ -56,6 +60,45 @@ struct BindingState {
   uint64_t disjunct_mask = 0;
 };
 
+/// \brief One hop of a semijoin chase: an atom of the seed's disjunct,
+/// reached through a join variable that earlier hops (or the seed) already
+/// bound. Executing the step probes the stream's secondary fact index at
+/// `(relation, lookup_pos, v)` for every reachable value `v` of
+/// `lookup_var`, filters the facts by the atom's constants and by
+/// membership of the other known-variable positions, then extends the
+/// per-variable value sets (`derive_vars`) and the per-slot candidate sets
+/// (`derive_slots`). Variable value sets are tracked independently
+/// (correlations between variables are dropped) — a sound
+/// over-approximation of every homomorphism's assignments.
+struct SemijoinStep {
+  RelationId relation = kInvalidId;
+  int lookup_pos = 0;       ///< position probed through the fact index
+  VarId lookup_var = 0;     ///< already-bound variable at that position
+  /// (position, constant) filters of the atom.
+  std::vector<std::pair<int, Value>> consts;
+  /// Other positions holding already-bound variables: membership filters.
+  std::vector<std::pair<int, VarId>> known_vars;
+  /// Positions holding variables this step binds for later hops.
+  std::vector<std::pair<int, VarId>> derive_vars;
+  /// (position, head slot) pairs: matching facts' values here are slot
+  /// candidates — the anchors that let the chase mark bindings.
+  std::vector<std::pair<int, size_t>> derive_slots;
+};
+
+/// \brief The chase plan of one constraint-free pattern: from a fact
+/// landing on the seed atom, follow shared non-head variables through the
+/// disjunct's other atoms until head-slot positions are reached. A
+/// current-configuration homomorphism of Q_b that uses the landed fact at
+/// the seed atom must assign every `bounded_slots` entry a value the chase
+/// collects (DESIGN.md, "Value-gated hit waves"), so bindings outside the
+/// candidate sets need no certainty recheck. Empty `bounded_slots` means
+/// no slot-anchored atom is join-connected to the seed — no narrowing.
+struct SemijoinPlan {
+  size_t disjunct = 0;
+  std::vector<SemijoinStep> steps;
+  std::vector<size_t> bounded_slots;  ///< sorted, unique
+};
+
 /// \brief The value gate of one stream relation: the unification patterns
 /// of the stream query's atoms over it, split by whether the pattern
 /// constrains any head slot (see AtomGateConstraint).
@@ -65,9 +108,13 @@ struct RelationGate {
   /// a binding only through the value index.
   std::vector<AtomGateConstraint> slot_patterns;
   /// Patterns with no head-slot position: any fact passing the constant
-  /// check reaches every binding whose disjunct survived — the
-  /// "unconstrained position" fallback set.
+  /// check reaches every binding whose disjunct survived — narrowed by the
+  /// semijoin chase when a plan bounds some slot, the
+  /// "unconstrained position" fallback set otherwise.
   std::vector<AtomGateConstraint> free_patterns;
+  /// Chase plans, parallel to `free_patterns` (built only when the
+  /// stream's `semijoin_supported`).
+  std::vector<SemijoinPlan> free_plans;
   /// Bindings with a surviving free pattern on this relation, indexed once
   /// with the value index (append-only, like the binding list).
   std::vector<uint32_t> unconstrained_bindings;
@@ -120,6 +167,34 @@ struct StreamState {
       value_index;
   bool index_built = false;
 
+  // --- semijoin narrowing + per-domain Adom (IR-only streams) -----------
+  /// Stamps carry one Adom component per `adom_domains` entry instead of
+  /// the global Adom version. Sound for IR-only streams: their verdicts
+  /// read the active domain only through binding enumeration (head
+  /// domains) and frontier minting (input domains of dependent methods
+  /// over footprint relations) — growth elsewhere is invisible. LTR
+  /// deciders enumerate the whole Adom, so LTR streams keep the global
+  /// component.
+  bool per_domain_adom = false;
+  std::vector<DomainId> adom_domains;  ///< sorted, unique
+  /// Gated free-pattern hits narrow through semijoin plans, and Adom
+  /// growth waves gate to {fact-touched, newborn, residual}: requires the
+  /// value gate plus IR-only verdicts (the narrowing argument hinges on
+  /// IR monotonicity under configuration growth — see DESIGN.md).
+  bool semijoin_supported = false;
+  /// The (relation, position) pairs some chase step probes (sorted,
+  /// unique) — the key set of `fact_index`.
+  std::vector<std::pair<RelationId, int>> indexed_positions;
+  /// The secondary non-head value index: {relation, position, value} ->
+  /// facts. Seeded lazily from a configuration snapshot at the first
+  /// chase-carrying wave, then maintained from each apply's landed delta
+  /// (duplicates from the seed race are harmless: the chase collects
+  /// candidate *sets*). Dropped and rebuilt if a delta arrives
+  /// uncollected.
+  std::unordered_map<RelPosValueKey, std::vector<Fact>, RelPosValueKeyHash>
+      fact_index;
+  bool fact_index_built = false;
+
   // --- reusable wave scratch (guarded by mu, cleared per wave) ----------
   std::vector<size_t> wave_stale;
   std::vector<VersionStamp> wave_stamps;
@@ -127,6 +202,11 @@ struct StreamState {
   std::vector<char> wave_resolved;
   std::vector<size_t> wave_remaining;
   std::vector<char> wave_touched;  ///< per-binding gate verdict
+  /// Per-`adom_domains` version brackets of the wave's event (index i
+  /// pairs with adom_domains[i]); kAdomUnmoved marks domains the event
+  /// did not grow, whose stamp components must match the fresh stamp.
+  std::vector<uint64_t> wave_adom_pre;
+  std::vector<uint64_t> wave_adom_post;
 
   std::vector<StreamEvent> pending_events;  ///< undrained (Poll output)
   uint64_t next_sequence = 1;

@@ -1,6 +1,8 @@
 #include "stream/registry.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 namespace rar {
@@ -23,8 +25,95 @@ bool CheckApplicable(const AccessMethodSet& acs, const RelationFootprint& fp,
 
 // How a gated wave's MarkTouchedBindings reached a binding (wave_touched
 // values; 0 = untouched).
-constexpr char kTouchedSlot = 1;  ///< via the {slot, value} index
-constexpr char kTouchedFree = 2;  ///< via an unconstrained-position atom
+constexpr char kTouchedSlot = 1;      ///< via the {slot, value} index
+constexpr char kTouchedFree = 2;      ///< free pattern, chase unavailable
+constexpr char kTouchedSemijoin = 3;  ///< via the semijoin chase
+constexpr char kTouchedResidual = 4;  ///< irrelevant-uncertain residual
+
+// Chase guard rails: beyond these the wave stops narrowing and falls back
+// to the whole unconstrained set (soundness never depends on them).
+constexpr size_t kChaseValueCap = 4096;   ///< distinct values collected
+constexpr size_t kChaseProbeCap = 16384;  ///< facts examined
+
+// A fact satisfies an atom's repeated non-head variables only when it
+// carries equal values at every position of each variable.
+bool RepeatsMatch(const std::vector<std::pair<int, VarId>>& vars,
+                  const Fact& f) {
+  for (size_t i = 0; i < vars.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (vars[i].second == vars[j].second &&
+          f.values[vars[i].first] != f.values[vars[j].first]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Builds the semijoin chase plan seeded at `atoms[seed]` (a constraint-
+// free pattern): starting from the seed's non-head variables, repeatedly
+// absorb an atom of the same disjunct that shares a bound variable. Each
+// absorbed atom becomes a step when it binds new variables or anchors
+// head slots; atoms sharing no variable with the seed's join component
+// are left out (their slots stay unbounded — the chase only requires
+// membership at `bounded_slots`, so unreachable anchors never
+// over-narrow).
+SemijoinPlan BuildSemijoinPlan(const std::vector<AtomGateConstraint>& atoms,
+                               size_t seed, size_t num_vars) {
+  SemijoinPlan plan;
+  plan.disjunct = atoms[seed].disjunct;
+  std::vector<char> known(num_vars, 0);
+  for (const auto& [pos, var] : atoms[seed].free_vars) known[var] = 1;
+  std::vector<char> used(atoms.size(), 0);
+  used[seed] = 1;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t a = 0; a < atoms.size(); ++a) {
+      if (used[a] || atoms[a].disjunct != plan.disjunct) continue;
+      const AtomGateConstraint& c = atoms[a];
+      int lookup_pos = -1;
+      VarId lookup_var = 0;
+      for (const auto& [pos, var] : c.free_vars) {
+        if (known[var]) {
+          lookup_pos = pos;
+          lookup_var = var;
+          break;
+        }
+      }
+      if (lookup_pos < 0) continue;
+      used[a] = 1;
+      progress = true;
+      SemijoinStep step;
+      step.relation = c.relation;
+      step.lookup_pos = lookup_pos;
+      step.lookup_var = lookup_var;
+      step.consts = c.required_consts;
+      for (const auto& [pos, var] : c.free_vars) {
+        if (pos == lookup_pos) continue;
+        (known[var] ? step.known_vars : step.derive_vars)
+            .emplace_back(pos, var);
+      }
+      step.derive_slots = c.required_slots;
+      for (const auto& [pos, var] : step.derive_vars) known[var] = 1;
+      // A step that neither binds variables nor anchors slots cannot
+      // shrink independently-tracked value sets: drop it.
+      if (!step.derive_vars.empty() || !step.derive_slots.empty()) {
+        plan.steps.push_back(std::move(step));
+      }
+    }
+  }
+  for (const SemijoinStep& step : plan.steps) {
+    for (const auto& [pos, slot] : step.derive_slots) {
+      plan.bounded_slots.push_back(slot);
+    }
+  }
+  std::sort(plan.bounded_slots.begin(), plan.bounded_slots.end());
+  plan.bounded_slots.erase(
+      std::unique(plan.bounded_slots.begin(), plan.bounded_slots.end()),
+      plan.bounded_slots.end());
+  return plan;
+}
 
 // Maps an engine outcome to the stream's relevance verdict (out-of-scope
 // LTR verdicts fall back to the conservative default).
@@ -82,25 +171,71 @@ Result<StreamId> RelevanceStreamRegistry::Register(const UnionQuery& query,
         s.extra_relations.end());
   }
 
+  // Per-domain Adom tracking: IR-only verdicts read the active domain
+  // only through binding enumeration (head domains) and frontier minting
+  // (input domains of dependent methods over footprint relations), so the
+  // stamps track exactly those domains and growth elsewhere is invisible.
+  // LTR deciders enumerate the whole Adom — those streams keep the global
+  // version.
+  s.per_domain_adom = options.use_immediate && !options.use_long_term;
+  if (s.per_domain_adom) {
+    const Schema& schema = engine_->schema();
+    for (size_t d = 0; d < s.inst.num_domains(); ++d) {
+      s.adom_domains.push_back(s.inst.domain(d));
+    }
+    for (AccessMethodId m = 0; m < acs.size(); ++m) {
+      const AccessMethod& am = acs.method(m);
+      if (!am.dependent || !s.query_footprint.Contains(am.relation)) continue;
+      const Relation& rel = schema.relation(am.relation);
+      for (int pos : am.input_positions) {
+        s.adom_domains.push_back(rel.attributes[pos].domain);
+      }
+    }
+    std::sort(s.adom_domains.begin(), s.adom_domains.end());
+    s.adom_domains.erase(
+        std::unique(s.adom_domains.begin(), s.adom_domains.end()),
+        s.adom_domains.end());
+  }
+
   // Value gate: derivable only when verdicts are bounded by atom
   // unification (not dependent-method LTR) and the disjunct masks fit.
   s.gate_supported = s.extra_relations.empty() &&
                      query.disjuncts.size() < 64 &&
                      !options.force_full_recheck;
+  // Semijoin narrowing and Adom delta-gating additionally need IR-only
+  // verdicts (the soundness argument rests on IR monotonicity).
+  s.semijoin_supported = s.gate_supported && s.per_domain_adom;
   if (s.gate_supported) {
     for (RelationId rel : s.query_footprint.relations) {
       RelationGate gate;
       gate.relation = rel;
       s.gates.push_back(std::move(gate));
     }
-    for (const AtomGateConstraint& c : s.inst.gate_constraints()) {
+    const std::vector<AtomGateConstraint>& atoms = s.inst.gate_constraints();
+    for (size_t ci = 0; ci < atoms.size(); ++ci) {
+      const AtomGateConstraint& c = atoms[ci];
       for (RelationGate& gate : s.gates) {
         if (gate.relation != c.relation) continue;
-        (c.required_slots.empty() ? gate.free_patterns : gate.slot_patterns)
-            .push_back(c);
+        if (c.required_slots.empty()) {
+          gate.free_patterns.push_back(c);
+          if (s.semijoin_supported) {
+            gate.free_plans.push_back(BuildSemijoinPlan(
+                atoms, ci, query.disjuncts[c.disjunct].num_vars()));
+            for (const SemijoinStep& step : gate.free_plans.back().steps) {
+              s.indexed_positions.emplace_back(step.relation,
+                                               step.lookup_pos);
+            }
+          }
+        } else {
+          gate.slot_patterns.push_back(c);
+        }
         break;
       }
     }
+    std::sort(s.indexed_positions.begin(), s.indexed_positions.end());
+    s.indexed_positions.erase(
+        std::unique(s.indexed_positions.begin(), s.indexed_positions.end()),
+        s.indexed_positions.end());
   }
 
   // Publish the stream *before* reading the active domain, holding its
@@ -139,7 +274,7 @@ Result<StreamId> RelevanceStreamRegistry::Register(const UnionQuery& query,
     s.candidates.seen[d] = s.candidates.values[d].size();
   }
   RecheckWave(s, num_relations_, /*force=*/true, /*event=*/nullptr,
-              /*performed_after=*/0);
+              /*performed_after=*/0, /*adom_hit=*/false);
   return id;
 }
 
@@ -211,7 +346,8 @@ VersionStamp RelevanceStreamRegistry::StampFor(const StreamState& s,
                                                const BindingState& b) const {
   VersionStamp stamp;
   stamp.reserve(
-      2 * (b.footprint.relations.size() + s.extra_relations.size()) + 1);
+      2 * (b.footprint.relations.size() + s.extra_relations.size()) +
+      (s.per_domain_adom ? s.adom_domains.size() : 1));
   auto push = [&](RelationId rel) {
     stamp.push_back(engine_->relation_version(rel));
     stamp.push_back(rel < num_relations_
@@ -223,9 +359,17 @@ VersionStamp RelevanceStreamRegistry::StampFor(const StreamState& s,
   for (RelationId rel : s.extra_relations) {
     if (!b.footprint.Contains(rel)) push(rel);
   }
-  // The Adom version closes the frontier: new active-domain values mint
-  // new candidate accesses (and, one level up, new bindings).
-  stamp.push_back(engine_->adom_version());
+  // The Adom tail closes the frontier: new active-domain values mint new
+  // candidate accesses (and, one level up, new bindings). IR-only streams
+  // track only the domains those two channels read; everyone else tracks
+  // the global version.
+  if (s.per_domain_adom) {
+    for (DomainId d : s.adom_domains) {
+      stamp.push_back(engine_->adom_domain_version(d));
+    }
+  } else {
+    stamp.push_back(engine_->adom_version());
+  }
   return stamp;
 }
 
@@ -354,70 +498,248 @@ void RelevanceStreamRegistry::IndexBinding(StreamState& s, size_t idx) {
   }
 }
 
+void RelevanceStreamRegistry::EnsureFactIndex(StreamState& s) {
+  if (s.fact_index_built || s.indexed_positions.empty()) return;
+  s.fact_index_built = true;
+  size_t i = 0;
+  while (i < s.indexed_positions.size()) {
+    const RelationId rel = s.indexed_positions[i].first;
+    size_t end = i;
+    while (end < s.indexed_positions.size() &&
+           s.indexed_positions[end].first == rel) {
+      ++end;
+    }
+    const std::vector<Fact> facts = engine_->RelationFactsSnapshot(rel);
+    for (const Fact& f : facts) {
+      for (size_t j = i; j < end; ++j) {
+        const int pos = s.indexed_positions[j].second;
+        s.fact_index[RelPosValueKey{rel, pos, f.values[pos]}].push_back(f);
+      }
+    }
+    i = end;
+  }
+}
+
+void RelevanceStreamRegistry::AppendFactsToIndex(StreamState& s,
+                                                 const ApplyEvent& event) {
+  if (!s.fact_index_built) return;
+  if (event.new_facts.size() != static_cast<size_t>(event.facts_added)) {
+    // Uncollected delta over a possibly-indexed relation: the index can
+    // no longer be trusted to cover the configuration — rebuild lazily.
+    s.fact_index.clear();
+    s.fact_index_built = false;
+    return;
+  }
+  for (const auto& [rel, pos] : s.indexed_positions) {
+    if (rel != event.relation) continue;
+    for (const Fact& f : event.new_facts) {
+      s.fact_index[RelPosValueKey{rel, pos, f.values[pos]}].push_back(f);
+    }
+  }
+}
+
+namespace {
+
+bool ConstsMatch(const AtomGateConstraint& p, const Fact& f) {
+  for (const auto& [pos, c] : p.required_consts) {
+    if (f.values[pos] != c) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RelevanceStreamRegistry::RunSemijoinPlan(StreamState& s,
+                                              const AtomGateConstraint& seed,
+                                              const SemijoinPlan& plan,
+                                              const ApplyEvent& event) {
+  // Per-variable reachable-value sets (correlations dropped — sound
+  // over-approximation) and per-slot candidate sets.
+  std::unordered_map<VarId, std::unordered_set<Value, ValueHash>> vars;
+  std::unordered_map<size_t, std::unordered_set<Value, ValueHash>> slots;
+  size_t values = 0;
+  size_t probes = 0;
+  for (const Fact& f : event.new_facts) {
+    if (!ConstsMatch(seed, f) || !RepeatsMatch(seed.free_vars, f)) continue;
+    for (const auto& [pos, var] : seed.free_vars) {
+      if (vars[var].insert(f.values[pos]).second) ++values;
+    }
+  }
+  // Each variable is bound by exactly one step (or the seed) and only
+  // consumed afterwards, so one pass in plan order sees every value a
+  // current-configuration homomorphism could assign.
+  for (const SemijoinStep& step : plan.steps) {
+    auto lit = vars.find(step.lookup_var);
+    if (lit == vars.end() || lit->second.empty()) continue;
+    // Copy: a self-join step may derive into its own lookup variable.
+    const std::vector<Value> lookups(lit->second.begin(), lit->second.end());
+    for (const Value& lv : lookups) {
+      auto fit = s.fact_index.find(
+          RelPosValueKey{step.relation, step.lookup_pos, lv});
+      if (fit == s.fact_index.end()) continue;
+      for (const Fact& g : fit->second) {
+        if (++probes > kChaseProbeCap) return false;
+        bool ok = true;
+        for (const auto& [pos, c] : step.consts) {
+          if (g.values[pos] != c) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        for (const auto& [pos, var] : step.known_vars) {
+          auto vit = vars.find(var);
+          if (vit == vars.end() ||
+              vit->second.find(g.values[pos]) == vit->second.end()) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok || !RepeatsMatch(step.derive_vars, g)) continue;
+        for (const auto& [pos, var] : step.derive_vars) {
+          if (vars[var].insert(g.values[pos]).second) ++values;
+        }
+        for (const auto& [pos, slot] : step.derive_slots) {
+          if (slots[slot].insert(g.values[pos]).second) ++values;
+        }
+        if (values > kChaseValueCap) return false;
+      }
+    }
+  }
+  // A homomorphism using the landed fact at the seed must assign every
+  // bounded slot a collected candidate; an empty candidate set means no
+  // such homomorphism exists and nothing needs marking.
+  const std::unordered_set<Value, ValueHash>* drive = nullptr;
+  size_t drive_slot = 0;
+  for (size_t slot : plan.bounded_slots) {
+    auto it = slots.find(slot);
+    if (it == slots.end() || it->second.empty()) return true;
+    if (drive == nullptr || it->second.size() < drive->size()) {
+      drive = &it->second;
+      drive_slot = slot;
+    }
+  }
+  if (drive == nullptr) return true;  // unreachable: bounded_slots checked
+  for (const Value& v : *drive) {
+    auto it =
+        s.value_index.find(PosValueKey{static_cast<int>(drive_slot), v});
+    if (it == s.value_index.end()) continue;
+    for (uint32_t idx : it->second) {
+      if (s.wave_touched[idx]) continue;
+      const BindingState& b = s.bindings[idx];
+      if (b.unsat || b.certain) continue;
+      if (((b.disjunct_mask >> plan.disjunct) & 1) == 0) continue;
+      bool member = true;
+      for (size_t slot : plan.bounded_slots) {
+        if (slot == drive_slot) continue;
+        if (slots[slot].find(b.slot_values[slot]) == slots[slot].end()) {
+          member = false;
+          break;
+        }
+      }
+      if (member) s.wave_touched[idx] = kTouchedSemijoin;
+    }
+  }
+  return true;
+}
+
 bool RelevanceStreamRegistry::MarkTouchedBindings(StreamState& s,
-                                                  const ApplyEvent& event) {
+                                                  const ApplyEvent& event,
+                                                  bool adom_hit) {
   const RelationGate* gate = nullptr;
   for (const RelationGate& g : s.gates) {
     if (g.relation == event.relation) gate = &g;
   }
-  // A hit wave reaches here only for footprint relations (extras imply
-  // the gate is unsupported), but stay conservative on a miss. Likewise
-  // when the event's delta was not collected (it always is while a
-  // listener is attached — belt and braces).
-  if (gate == nullptr ||
-      event.new_facts.size() != static_cast<size_t>(event.facts_added)) {
+  // A non-Adom hit wave reaches here only for footprint relations (extras
+  // imply the gate is unsupported), but stay conservative on a miss; an
+  // Adom wave may legitimately carry a foreign relation (only the Adom
+  // moved for this stream). Bail when the event's delta was not collected
+  // (it always is while a listener is attached — belt and braces).
+  if (event.new_facts.size() != static_cast<size_t>(event.facts_added)) {
     return false;
   }
+  if (gate == nullptr && !adom_hit) return false;
 
   s.wave_touched.assign(s.bindings.size(), 0);
-  if (event.new_facts.empty()) return true;  // redundant response: only
-                                             // the frontier shrank
-  auto consts_match = [](const AtomGateConstraint& p, const Fact& f) {
-    for (const auto& [pos, c] : p.required_consts) {
-      if (f.values[pos] != c) return false;
-    }
-    return true;
-  };
-  // Constraint-free atoms: any fact passing the constant check reaches
-  // every binding whose disjunct survived. Marked with kTouchedFree so
-  // the wave loop can attribute the rechecks it actually causes.
   bool free_hit = false;
-  for (const AtomGateConstraint& p : gate->free_patterns) {
-    for (const Fact& f : event.new_facts) {
-      if (consts_match(p, f)) {
-        free_hit = true;
-        break;
+  if (gate != nullptr && !event.new_facts.empty()) {
+    // Slot-constrained atoms: a fact reaches a binding only when every
+    // substituted position agrees, so the first slot position's value
+    // picks the candidates out of the inverted index and the rest verify.
+    for (const AtomGateConstraint& p : gate->slot_patterns) {
+      for (const Fact& f : event.new_facts) {
+        if (!ConstsMatch(p, f)) continue;
+        const auto& [pos0, slot0] = p.required_slots[0];
+        auto it = s.value_index.find(
+            PosValueKey{static_cast<int>(slot0), f.values[pos0]});
+        if (it == s.value_index.end()) continue;
+        for (uint32_t idx : it->second) {
+          if (s.wave_touched[idx]) continue;
+          const BindingState& b = s.bindings[idx];
+          if (((b.disjunct_mask >> p.disjunct) & 1) == 0) continue;
+          bool slots_ok = true;
+          for (const auto& [pos, slot] : p.required_slots) {
+            if (b.slot_values[slot] != f.values[pos]) {
+              slots_ok = false;
+              break;
+            }
+          }
+          if (slots_ok) s.wave_touched[idx] = kTouchedSlot;
+        }
       }
     }
-    if (free_hit) break;
-  }
-  if (free_hit) {
-    for (uint32_t idx : gate->unconstrained_bindings) {
-      if (!s.wave_touched[idx]) s.wave_touched[idx] = kTouchedFree;
+    // Constraint-free atoms: a matching fact unifies under *every*
+    // binding, but the semijoin chase bounds which bindings' certainty it
+    // can flip. Patterns without a slot-bounding plan (or whose chase
+    // overflows) fall back to the whole unconstrained set.
+    bool fallback_free = false;
+    for (size_t pi = 0; pi < gate->free_patterns.size(); ++pi) {
+      const AtomGateConstraint& p = gate->free_patterns[pi];
+      bool pattern_hit = false;
+      for (const Fact& f : event.new_facts) {
+        if (ConstsMatch(p, f) && RepeatsMatch(p.free_vars, f)) {
+          pattern_hit = true;
+          break;
+        }
+      }
+      if (!pattern_hit) continue;
+      free_hit = true;
+      const SemijoinPlan* plan =
+          s.semijoin_supported && pi < gate->free_plans.size()
+              ? &gate->free_plans[pi]
+              : nullptr;
+      if (plan == nullptr || plan->bounded_slots.empty() ||
+          !RunSemijoinPlan(s, p, *plan, event)) {
+        fallback_free = true;
+      }
+    }
+    if (fallback_free) {
+      for (uint32_t idx : gate->unconstrained_bindings) {
+        if (!s.wave_touched[idx]) s.wave_touched[idx] = kTouchedFree;
+      }
     }
   }
-  // Slot-constrained atoms: a fact reaches a binding only when every
-  // substituted position agrees, so the first slot position's value picks
-  // the candidates out of the inverted index and the rest verify.
-  for (const AtomGateConstraint& p : gate->slot_patterns) {
-    for (const Fact& f : event.new_facts) {
-      if (!consts_match(p, f)) continue;
-      const auto& [pos0, slot0] = p.required_slots[0];
-      auto it = s.value_index.find(
-          PosValueKey{static_cast<int>(slot0), f.values[pos0]});
-      if (it == s.value_index.end()) continue;
-      for (uint32_t idx : it->second) {
-        if (s.wave_touched[idx]) continue;
-        const BindingState& b = s.bindings[idx];
-        if (((b.disjunct_mask >> p.disjunct) & 1) == 0) continue;
-        bool slots_ok = true;
-        for (const auto& [pos, slot] : p.required_slots) {
-          if (b.slot_values[slot] != f.values[pos]) {
-            slots_ok = false;
-            break;
-          }
-        }
-        if (slots_ok) s.wave_touched[idx] = kTouchedSlot;
+  // The irrelevant-uncertain residual: hypothetical response facts can
+  // complete an IR chain no current-configuration index bounds, so a free
+  // hit rechecks the irrelevant part of its unconstrained set and an Adom
+  // wave (freshly minted accesses) rechecks every irrelevant-uncertain
+  // binding. Relevant bindings are exempt — their pending witness stays
+  // relevant under growth, leaving certainty (covered above) as the only
+  // movable verdict.
+  if (adom_hit) {
+    for (size_t i = 0; i < s.bindings.size(); ++i) {
+      const BindingState& b = s.bindings[i];
+      if (s.wave_touched[i] == 0 && b.evaluated && !b.relevant &&
+          !b.certain && !b.unsat) {
+        s.wave_touched[i] = kTouchedResidual;
+      }
+    }
+  } else if (free_hit && gate != nullptr) {
+    for (uint32_t idx : gate->unconstrained_bindings) {
+      const BindingState& b = s.bindings[idx];
+      if (s.wave_touched[idx] == 0 && b.evaluated && !b.relevant &&
+          !b.certain && !b.unsat) {
+        s.wave_touched[idx] = kTouchedResidual;
       }
     }
   }
@@ -427,35 +749,66 @@ bool RelevanceStreamRegistry::MarkTouchedBindings(StreamState& s,
 bool RelevanceStreamRegistry::TryGateRestamp(
     const StreamState& s, BindingState& b, const ApplyEvent& event,
     uint64_t performed_after, const VersionStamp& fresh_stamp) const {
-  (void)s;  // layout facts below hold because gating implies no extras
   if (!b.evaluated) return false;
   // Locate the hit relation's (version, performed) pair: gating implies
-  // extras are empty, so the layout is the sorted footprint then Adom.
+  // extras are empty, so the layout is the sorted footprint then the Adom
+  // tail (one component per tracked domain, or the single global one).
   const std::vector<RelationId>& rels = b.footprint.relations;
+  const size_t tail_base = 2 * rels.size();
   const auto it =
       std::lower_bound(rels.begin(), rels.end(), event.relation);
-  if (it == rels.end() || *it != event.relation) return false;
-  const size_t k = 2 * static_cast<size_t>(it - rels.begin());
-  if (b.stamp.size() != fresh_stamp.size() || k + 1 >= b.stamp.size()) {
+  size_t k = b.stamp.size();  // "no relation bracket"
+  if (it != rels.end() && *it == event.relation) {
+    k = 2 * static_cast<size_t>(it - rels.begin());
+  } else if (s.wave_adom_pre.empty()) {
+    // Not an Adom-delta wave and the binding's narrowed footprint misses
+    // the hit relation: its staleness comes from some other apply.
+    return false;
+  }
+  if (b.stamp.size() != fresh_stamp.size() || tail_base > b.stamp.size()) {
     return false;
   }
   // Stale by exactly this event: the hit components sit at the event's
   // pre-values and nothing else moved. A wider delta means other (not yet
   // waved, or concurrent) applies are folded in — evaluate instead of
   // reasoning about a delta we did not see.
-  const uint64_t pre_version =
-      event.relation_version_after - static_cast<uint64_t>(event.facts_added);
-  if (b.stamp[k] != pre_version || b.stamp[k + 1] != performed_after - 1) {
-    return false;
+  if (k < b.stamp.size()) {
+    if (k + 1 >= tail_base) return false;
+    const uint64_t pre_version =
+        event.relation_version_after -
+        static_cast<uint64_t>(event.facts_added);
+    if (b.stamp[k] != pre_version || b.stamp[k + 1] != performed_after - 1) {
+      return false;
+    }
   }
-  for (size_t j = 0; j < b.stamp.size(); ++j) {
+  for (size_t j = 0; j < tail_base; ++j) {
     if (j == k || j == k + 1) continue;
     if (b.stamp[j] != fresh_stamp[j]) return false;
   }
+  // Adom tail: components of domains this event grew must sit at the
+  // event's pre-bracket; everything else must already be current.
+  for (size_t j = tail_base; j < b.stamp.size(); ++j) {
+    const size_t d = j - tail_base;
+    const uint64_t pre =
+        d < s.wave_adom_pre.size() ? s.wave_adom_pre[d] : kAdomUnmoved;
+    if (pre == kAdomUnmoved) {
+      if (b.stamp[j] != fresh_stamp[j]) return false;
+    } else if (b.stamp[j] != pre) {
+      return false;
+    }
+  }
   // Advance only by this event's delta: if a later apply already moved the
   // live versions further, the binding stays stale for that apply's wave.
-  b.stamp[k] = event.relation_version_after;
-  b.stamp[k + 1] = performed_after;
+  if (k < b.stamp.size()) {
+    b.stamp[k] = event.relation_version_after;
+    b.stamp[k + 1] = performed_after;
+  }
+  for (size_t j = tail_base; j < b.stamp.size(); ++j) {
+    const size_t d = j - tail_base;
+    if (d < s.wave_adom_pre.size() && s.wave_adom_pre[d] != kAdomUnmoved) {
+      b.stamp[j] = s.wave_adom_post[d];
+    }
+  }
   return true;
 }
 
@@ -474,14 +827,15 @@ RelevanceStreamRegistry::PendingSnapshot() {
 void RelevanceStreamRegistry::RecheckWave(StreamState& s,
                                           size_t attribution_slot, bool force,
                                           const ApplyEvent* event,
-                                          uint64_t performed_after) {
+                                          uint64_t performed_after,
+                                          bool adom_hit) {
   const uint64_t wave_t0 = MonotonicNs();
   // Why this wave re-evaluated instead of value-gating (trace attribution;
   // mirrors the value_gate_fallback_* counter taxonomy).
   WaveFallbackReason wave_reason = WaveFallbackReason::kNone;
   if (force || event == nullptr || s.options.force_full_recheck) {
     wave_reason = WaveFallbackReason::kForcedFull;
-  } else if (event->adom_grew) {
+  } else if (adom_hit) {
     wave_reason = WaveFallbackReason::kAdomGrowth;
   } else if (!s.gate_supported && !s.extra_relations.empty()) {
     wave_reason = WaveFallbackReason::kDependentLtr;
@@ -511,16 +865,57 @@ void RelevanceStreamRegistry::RecheckWave(StreamState& s,
   stamps.clear();
 
   // The value gate applies when the landed delta bounds what any binding
-  // could have observed: no Adom growth (frontier additions reach every
-  // binding) and a gate-supported stream. Registration/Refresh waves
+  // could have observed: a gate-supported stream, and — for Adom-growing
+  // applies — a semijoin-supported (IR-only) stream with the event's
+  // per-domain version brackets available. Registration/Refresh waves
   // (force) re-evaluate everything by definition.
   bool gated = false;
+  s.wave_adom_pre.clear();
+  s.wave_adom_post.clear();
   if (!force && event != nullptr && !s.options.force_full_recheck) {
-    if (event->adom_grew) {
-      // Counted per rechecked binding below.
+    if (adom_hit) {
+      if (s.semijoin_supported && !event->grown_domains.empty() &&
+          !event->adom_versions_after.empty() && !event->new_adom.empty()) {
+        s.wave_adom_pre.assign(s.adom_domains.size(), kAdomUnmoved);
+        s.wave_adom_post.assign(s.adom_domains.size(), kAdomUnmoved);
+        bool brackets_ok = true;
+        for (size_t d = 0; d < s.adom_domains.size(); ++d) {
+          const DomainId dom = s.adom_domains[d];
+          if (!std::binary_search(event->grown_domains.begin(),
+                                  event->grown_domains.end(), dom)) {
+            continue;
+          }
+          const uint64_t post =
+              dom < event->adom_versions_after.size()
+                  ? event->adom_versions_after[dom]
+                  : 0;
+          uint64_t minted = 0;
+          for (const TypedValue& tv : event->new_adom) {
+            if (tv.domain == dom) ++minted;
+          }
+          if (minted == 0 || minted > post) {
+            brackets_ok = false;  // delta incomplete: no bracket to trust
+            break;
+          }
+          s.wave_adom_pre[d] = post - minted;
+          s.wave_adom_post[d] = post;
+        }
+        if (brackets_ok) {
+          EnsureGateIndex(s);
+          EnsureFactIndex(s);
+          gated = MarkTouchedBindings(s, *event, /*adom_hit=*/true);
+        }
+        if (gated) {
+          wave_reason = WaveFallbackReason::kAdomDelta;
+        } else {
+          s.wave_adom_pre.clear();
+          s.wave_adom_post.clear();
+        }
+      }
     } else if (s.gate_supported) {
       EnsureGateIndex(s);
-      gated = MarkTouchedBindings(s, *event);
+      if (s.semijoin_supported) EnsureFactIndex(s);
+      gated = MarkTouchedBindings(s, *event, /*adom_hit=*/false);
     }
   }
 
@@ -528,6 +923,9 @@ void RelevanceStreamRegistry::RecheckWave(StreamState& s,
   uint64_t sticky = 0;
   uint64_t gate_skipped = 0;
   uint64_t unconstrained_rechecks = 0;
+  uint64_t semijoin_rechecks = 0;
+  uint64_t residual_rechecks = 0;
+  uint64_t newborn_rechecks = 0;
   for (size_t i = 0; i < s.bindings.size(); ++i) {
     BindingState& b = s.bindings[i];
     if (b.unsat || b.certain) {
@@ -545,7 +943,17 @@ void RelevanceStreamRegistry::RecheckWave(StreamState& s,
       ++gate_skipped;
       continue;
     }
-    if (gated && s.wave_touched[i] == kTouchedFree) ++unconstrained_rechecks;
+    if (gated) {
+      if (!b.evaluated) {
+        ++newborn_rechecks;  // minted by this wave's delta enumeration
+      } else if (s.wave_touched[i] == kTouchedFree) {
+        ++unconstrained_rechecks;
+      } else if (s.wave_touched[i] == kTouchedSemijoin) {
+        ++semijoin_rechecks;
+      } else if (s.wave_touched[i] == kTouchedResidual) {
+        ++residual_rechecks;
+      }
+    }
     stale.push_back(i);
     stamps.push_back(std::move(stamp));
   }
@@ -554,16 +962,31 @@ void RelevanceStreamRegistry::RecheckWave(StreamState& s,
   if (gate_skipped > 0) {
     counters_.Bump(counters_.value_gate_skips, gate_skipped);
   }
-  if (unconstrained_rechecks > 0) {
+  if (semijoin_rechecks > 0) {
+    counters_.Bump(counters_.value_gate_semijoin_rechecks,
+                   semijoin_rechecks);
+  }
+  if (newborn_rechecks > 0) {
+    counters_.Bump(counters_.value_gate_newborn_rechecks, newborn_rechecks);
+  }
+  // Residual rechecks are fallback pressure: attribute them to the event
+  // channel that forced them (freshly minted accesses on Adom waves, the
+  // unconstrained free hit otherwise).
+  if (adom_hit && residual_rechecks > 0) {
+    counters_.Bump(counters_.value_gate_fallback_adom, residual_rechecks);
+  }
+  if (unconstrained_rechecks + (adom_hit ? 0 : residual_rechecks) > 0) {
     counters_.Bump(counters_.value_gate_fallback_unconstrained,
-                   unconstrained_rechecks);
+                   unconstrained_rechecks +
+                       (adom_hit ? 0 : residual_rechecks));
   }
   if (stale.empty()) {
     record_wave(0, skipped + sticky + gate_skipped);
     return;
   }
-  if (!force && event != nullptr && !s.options.force_full_recheck) {
-    if (event->adom_grew) {
+  if (!force && event != nullptr && !s.options.force_full_recheck &&
+      !gated) {
+    if (adom_hit) {
       counters_.Bump(counters_.value_gate_fallback_adom,
                      static_cast<uint64_t>(stale.size()));
     } else if (!s.gate_supported && !s.extra_relations.empty()) {
@@ -671,8 +1094,23 @@ void RelevanceStreamRegistry::OnApply(const ApplyEvent& event) {
     StreamState& s = *sp;
     std::lock_guard<std::mutex> lock(s.mu);
     if (s.defunct) continue;
+    // Adom growth hits a per-domain stream only when some grown domain is
+    // one it tracks: foreign-domain growth mints neither bindings (head
+    // domains are tracked) nor frontier accesses its IR verdicts can see
+    // (dependent-method input domains over footprint relations are too).
+    bool adom_hit = event.adom_grew;
+    if (adom_hit && s.per_domain_adom && !event.grown_domains.empty()) {
+      adom_hit = false;
+      for (DomainId d : event.grown_domains) {
+        if (std::binary_search(s.adom_domains.begin(), s.adom_domains.end(),
+                               d)) {
+          adom_hit = true;
+          break;
+        }
+      }
+    }
     const bool hit =
-        event.adom_grew || s.query_footprint.Contains(event.relation) ||
+        adom_hit || s.query_footprint.Contains(event.relation) ||
         std::binary_search(s.extra_relations.begin(),
                            s.extra_relations.end(), event.relation);
     if (!hit) {
@@ -683,13 +1121,16 @@ void RelevanceStreamRegistry::OnApply(const ApplyEvent& event) {
       if (settled > 0) counters_.Bump(counters_.sticky_skips, settled);
       continue;
     }
+    // Keep the secondary fact index a faithful delta mirror *before* the
+    // wave's chase reads it.
+    if (s.semijoin_supported) AppendFactsToIndex(s, event);
     // New Adom values mint new head bindings; enumerate exactly those.
     // (A failure here means a binding query failed engine validation,
     // which a validated stream query cannot produce.)
-    if (event.adom_grew) (void)ExtendBindings(s);
+    if (adom_hit) (void)ExtendBindings(s);
     RecheckWave(s, event.relation < num_relations_ ? event.relation
                                                    : num_relations_,
-                /*force=*/false, &event, performed_after);
+                /*force=*/false, &event, performed_after, adom_hit);
   }
 }
 
@@ -756,7 +1197,7 @@ void RelevanceStreamRegistry::Refresh(StreamId id) {
   std::lock_guard<std::mutex> lock(s->mu);
   if (s->defunct) return;
   RecheckWave(*s, num_relations_, /*force=*/true, /*event=*/nullptr,
-              /*performed_after=*/0);
+              /*performed_after=*/0, /*adom_hit=*/false);
 }
 
 }  // namespace rar

@@ -27,15 +27,37 @@
 //     exactly: bindings a landed fact reaches through the inverted
 //     {head slot, value} -> binding index (via the per-atom constraints
 //     HeadInstantiator::gate_constraints derives once per stream), the
-//     bindings with a surviving constraint-free atom on the hit relation
-//     (indexed once — any fact reaches them), and the binding whose
-//     witness was just performed. Everything else keeps its verdicts and
-//     merely advances the hit relation's stamp components — and only by
-//     exactly this event's delta, so staleness from concurrent applies
+//     bindings a free-pattern hit can affect (below), and the binding
+//     whose witness was just performed. Everything else keeps its verdicts
+//     and merely advances the hit relation's stamp components — and only
+//     by exactly this event's delta, so staleness from concurrent applies
 //     survives for their own waves. Conservative full-wave fallbacks:
-//     Adom growth (new frontier accesses), dependent-method LTR streams
-//     (production chains escape atom unification), >= 64 disjuncts, and
-//     the StreamOptions::force_full_recheck escape hatch.
+//     dependent-method LTR streams (production chains escape atom
+//     unification), >= 64 disjuncts, and the
+//     StreamOptions::force_full_recheck escape hatch.
+//  4. *semijoin narrowing* (IR-only gated streams): a fact landing on a
+//     constraint-free atom unifies with it under *every* binding, but for
+//     a relevant binding the only verdict a landed fact can move is
+//     certainty flipping on — IR relevance of its pending witness is
+//     monotone under configuration growth — and certainty needs a
+//     homomorphism over the *current* configuration that uses the fact.
+//     The chase (SemijoinPlan) follows the hit atom's non-head join
+//     variables through the disjunct's other atoms via a secondary
+//     {relation, position, value} -> facts index, collecting candidate
+//     values for every join-connected head slot; relevant bindings whose
+//     slot values miss the candidate sets are restamped. Irrelevant-
+//     uncertain bindings stay in the recheck set (hypothetical response
+//     facts can complete their IR chains — the
+//     `value_gate_fallback_unconstrained` residual).
+//  5. *delta-gated Adom growth* (IR-only gated streams): an Adom-growing
+//     apply used to force a full wave. Per-domain Adom versions make
+//     foreign-domain growth an O(1) stream skip, and growth of a tracked
+//     domain rechecks only {fact-touched (filters 3-4), newborn bindings
+//     the delta enumeration minted, the performed witness, and the
+//     irrelevant-uncertain residual (`value_gate_fallback_adom`) — a
+//     freshly minted access may be relevant to those}; relevant untouched
+//     bindings keep their monotone witnesses and are restamped across the
+//     event's per-domain version brackets.
 //
 // Re-evaluation piggybacks on the engine: `IsCertain` / `CheckImmediate` /
 // `CheckLongTerm` run under the engine's striped locks and decision cache
@@ -119,9 +141,12 @@ class RelevanceStreamRegistry : public ApplyListener {
   /// apply-driven waves `event` carries the landed delta and
   /// `performed_after` the registry's performed counter for the event's
   /// relation as of this apply — together they drive the value gate;
-  /// registration/Refresh waves pass nullptr. Caller holds `s.mu`.
+  /// `adom_hit` says the event grew a domain this stream tracks (always
+  /// `event->adom_grew` for streams without per-domain stamps).
+  /// Registration/Refresh waves pass nullptr/false. Caller holds `s.mu`.
   void RecheckWave(StreamState& s, size_t attribution_slot, bool force,
-                   const ApplyEvent* event, uint64_t performed_after);
+                   const ApplyEvent* event, uint64_t performed_after,
+                   bool adom_hit);
 
   /// Builds the stream's {slot, value} -> bindings index and the
   /// per-relation unconstrained sets (first gated wave). Caller holds
@@ -132,14 +157,35 @@ class RelevanceStreamRegistry : public ApplyListener {
   /// holds `s.mu`; the index must be built.
   void IndexBinding(StreamState& s, size_t idx);
 
-  /// Marks in `s.wave_touched` every binding some landed fact of `event`
-  /// can reach (see the class comment); returns false when the gate cannot
-  /// be applied to this wave. Caller holds `s.mu`.
-  bool MarkTouchedBindings(StreamState& s, const ApplyEvent& event);
+  /// Seeds the secondary {relation, position, value} -> facts index from a
+  /// configuration snapshot (first chase-carrying wave; the snapshot
+  /// already contains the triggering event's facts). Caller holds `s.mu`.
+  void EnsureFactIndex(StreamState& s);
+
+  /// Appends the event's landed facts to the secondary index (no-op until
+  /// it is built; drops the index for rebuild when the delta arrived
+  /// uncollected). Caller holds `s.mu`.
+  void AppendFactsToIndex(StreamState& s, const ApplyEvent& event);
+
+  /// Marks in `s.wave_touched` every binding whose verdicts the event can
+  /// move (see the class comment): slot-index hits, semijoin-chase hits,
+  /// free-pattern fallbacks, and the irrelevant-uncertain residual
+  /// (`adom_hit` widens the residual to every such binding). Returns false
+  /// when the gate cannot be applied to this wave. Caller holds `s.mu`.
+  bool MarkTouchedBindings(StreamState& s, const ApplyEvent& event,
+                           bool adom_hit);
+
+  /// Runs one free pattern's chase over the landed facts and marks the
+  /// reachable bindings kTouchedSemijoin. Returns false when the chase
+  /// overflowed its caps (caller falls back to marking the whole
+  /// unconstrained set). Caller holds `s.mu`; both indexes must be built.
+  bool RunSemijoinPlan(StreamState& s, const AtomGateConstraint& seed,
+                       const SemijoinPlan& plan, const ApplyEvent& event);
 
   /// Value-gate restamp of one untouched stale binding: verifies the
   /// binding's stamp is stale by *exactly* this event (its hit-relation
-  /// components at the event's pre-values, everything else current) and,
+  /// components at the event's pre-values, its grown per-domain Adom
+  /// components at the wave's pre-brackets, everything else current) and,
   /// if so, advances just those components to the event's post-values.
   /// Returns false — binding must be re-evaluated — otherwise.
   bool TryGateRestamp(const StreamState& s, BindingState& b,

@@ -30,6 +30,12 @@ struct StreamCounters {
   std::atomic<uint64_t> value_gate_fallback_adom{0};
   std::atomic<uint64_t> value_gate_fallback_dependent_ltr{0};
   std::atomic<uint64_t> value_gate_fallback_unconstrained{0};
+  /// Gated rechecks the narrowing machinery *selected* (not fallbacks):
+  /// bindings a landed fact reached through the secondary non-head-value
+  /// semijoin chase, and newborn bindings minted by a delta-gated Adom
+  /// growth wave.
+  std::atomic<uint64_t> value_gate_semijoin_rechecks{0};
+  std::atomic<uint64_t> value_gate_newborn_rechecks{0};
 
   void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
     c.fetch_add(n, std::memory_order_relaxed);
@@ -52,6 +58,8 @@ struct StreamCounters {
         ld(value_gate_fallback_dependent_ltr);
     stats->stream_value_gate_fallback_unconstrained +=
         ld(value_gate_fallback_unconstrained);
+    stats->stream_value_gate_semijoin += ld(value_gate_semijoin_rechecks);
+    stats->stream_value_gate_newborn += ld(value_gate_newborn_rechecks);
   }
 };
 

@@ -567,6 +567,143 @@ TEST(EngineConcurrencyTest, ValueGatedWavesOverlapFootprintDisjointApplies) {
   }
 }
 
+// Per-domain Adom versioning under concurrency: two appliers mint fresh
+// values in *distinct* domains while two streams track one domain each.
+// Every apply grows the active domain, which before per-domain stamps
+// forced a full wave over every stream. Load-bearing assertions: each
+// stream's waves recheck exactly its own newborn bindings (the foreign-
+// domain stream takes the O(1) skip path — pinned through the per-
+// relation recheck attribution), the delta-gated waves report zero
+// gate_fallback_adom, and the run is race-free — the TSan CI job builds
+// this test, certifying the per-domain version brackets (engine-side
+// dense vector + per-stream stamp tails) against concurrent growth.
+TEST(EngineConcurrencyTest, PerDomainAdomGrowthKeepsDisjointStreamsSkipOnly) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d0 = schema->AddDomain("D0");
+  DomainId d1 = schema->AddDomain("D1");
+  // Each stream's query reads a relation nobody writes; the appliers write
+  // the w* relations, so every wave on a stream is purely Adom-driven.
+  RelationId a0 = *schema->AddRelation("A0", {{"x", d0}, {"y", d0}});
+  RelationId a1 = *schema->AddRelation("A1", {{"x", d1}, {"y", d1}});
+  RelationId w0 = *schema->AddRelation("W0", {{"x", d0}, {"y", d0}});
+  RelationId w1 = *schema->AddRelation("W1", {{"x", d1}, {"y", d1}});
+  AccessMethodSet acs(schema.get());
+  // The free methods keep a standing pending access per query relation, so
+  // every uncertain binding stays relevant — the irrelevant-uncertain
+  // residual of the delta-gated Adom waves must be empty.
+  (void)*acs.Add("a0_free", a0, {}, /*dependent=*/false);
+  (void)*acs.Add("a1_free", a1, {}, /*dependent=*/false);
+  AccessMethodId mw0 = *acs.Add("w0", w0, {0}, /*dependent=*/true);
+  AccessMethodId mw1 = *acs.Add("w1", w1, {0}, /*dependent=*/true);
+
+  Configuration conf(schema.get());
+  std::vector<Value> c0s, c1s;
+  for (int i = 0; i < 4; ++i) {
+    c0s.push_back(schema->InternConstant("c0_" + std::to_string(i)));
+    conf.AddSeedConstant(c0s.back(), d0);
+    c1s.push_back(schema->InternConstant("c1_" + std::to_string(i)));
+    conf.AddSeedConstant(c1s.back(), d1);
+  }
+
+  auto unary = [](RelationId rel, DomainId dom) {
+    ConjunctiveQuery q;
+    VarId x = q.AddVar("X", dom);
+    VarId y = q.AddVar("Y", dom);
+    q.atoms.push_back(Atom{rel, {Term::MakeVar(x), Term::MakeVar(y)}});
+    q.head = {x};
+    UnionQuery uq;
+    uq.disjuncts.push_back(q);
+    return uq;
+  };
+  UnionQuery uq0 = unary(a0, d0);
+  UnionQuery uq1 = unary(a1, d1);
+  ASSERT_TRUE(uq0.Validate(*schema).ok());
+  ASSERT_TRUE(uq1.Validate(*schema).ok());
+
+  EngineOptions opts;
+  opts.num_threads = 2;
+  RelevanceEngine engine(*schema, acs, conf, opts);
+  RelevanceStreamRegistry registry(&engine);
+  StreamOptions sopts;  // IR-only: per-domain Adom stamps active
+  sopts.parallel_threshold = 2;
+  StreamId sid0 = *registry.Register(uq0, sopts);
+  StreamId sid1 = *registry.Register(uq1, sopts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  constexpr int kMints = 40;
+  // Fresh values are interned up front (the schema's intern table is not
+  // a concurrent structure); they enter the active domain only when the
+  // appliers land them.
+  std::vector<Value> fresh0, fresh1;
+  for (int i = 0; i < kMints; ++i) {
+    fresh0.push_back(schema->InternConstant("g0_" + std::to_string(i)));
+    fresh1.push_back(schema->InternConstant("g1_" + std::to_string(i)));
+  }
+  // Two growth appliers, one per domain: every apply mints one fresh
+  // value, so every apply is an Adom-growing event.
+  auto applier = [&](AccessMethodId m, RelationId rel,
+                     const std::vector<Value>& seeds,
+                     const std::vector<Value>& fresh) {
+    for (int i = 0; i < kMints; ++i) {
+      const Value& in = seeds[i % seeds.size()];
+      Access acc{m, {in}};
+      std::vector<Fact> response = {Fact(rel, {in, fresh[i]})};
+      if (!engine.ApplyResponse(acc, response).ok()) {
+        errors.fetch_add(1);
+      }
+    }
+  };
+  std::thread grow0([&]() { applier(mw0, w0, c0s, fresh0); });
+  std::thread grow1([&]() { applier(mw1, w1, c1s, fresh1); });
+  // Reader: snapshots both streams while growth waves land.
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)registry.Snapshot(sid0);
+      (void)registry.Snapshot(sid1);
+      (void)registry.AnyRelevant(sid0);
+      (void)engine.stats();
+    }
+  });
+  grow0.join();
+  grow1.join();
+  stop.store(true);
+  reader.join();
+  ASSERT_EQ(errors.load(), 0);
+
+  // Each stream minted exactly its own domain's newborns.
+  StreamSnapshot snap0 = registry.Snapshot(sid0);
+  StreamSnapshot snap1 = registry.Snapshot(sid1);
+  EXPECT_EQ(snap0.bindings_tracked, 4u + kMints + 1);  // seeds+minted+fresh
+  EXPECT_EQ(snap1.bindings_tracked, 4u + kMints + 1);
+  // Nothing was ever written to the query relations: every binding must
+  // have stayed uncertain and relevant (the standing free access).
+  for (const StreamSnapshot* snap : {&snap0, &snap1}) {
+    for (const BindingView& bv : snap->bindings) {
+      EXPECT_FALSE(bv.certain);
+      EXPECT_TRUE(bv.relevant);
+    }
+  }
+
+  // The sharp wave contract: a W0 apply's wave on stream 0 evaluates
+  // exactly the one newborn binding (relevant survivors restamp across
+  // the per-domain bracket; the residual is empty), and stream 1 skips it
+  // outright — so each relation's recheck attribution is exactly kMints.
+  EngineStats st = engine.stats();
+  ASSERT_EQ(st.stream_rechecks_by_relation.size(),
+            schema->num_relations() + 1);
+  EXPECT_EQ(st.stream_rechecks_by_relation[w0], static_cast<uint64_t>(kMints));
+  EXPECT_EQ(st.stream_rechecks_by_relation[w1], static_cast<uint64_t>(kMints));
+  EXPECT_EQ(st.stream_rechecks_by_relation[a0], 0u);
+  EXPECT_EQ(st.stream_rechecks_by_relation[a1], 0u);
+  EXPECT_EQ(st.stream_value_gate_newborn, 2u * kMints);
+  EXPECT_EQ(st.stream_value_gate_fallback_adom, 0u);
+  EXPECT_GT(st.stream_value_gate_skips, 0u)
+      << "relevant survivors must restamp across the per-domain bracket";
+  EXPECT_GT(st.stream_skips, 0u)
+      << "foreign-domain growth must take the O(1) skip path";
+}
+
 // Observability under concurrency: trace spans and histograms record from
 // every hot path (appliers, checkers, worker pool) while footprint-
 // disjoint applies overlap checks. Load-bearing assertions: histogram

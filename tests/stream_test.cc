@@ -621,8 +621,10 @@ TEST_F(StreamTest, ValueGateSkipsAndFallbackAttribution) {
   EXPECT_LE(after.stream_rechecks - before.stream_rechecks, 2u * 4u);
   ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "skewed");
 
-  // Unconstrained-position hit: the S0 atoms impose no head constraint,
-  // so the fact reaches every binding — attributed fallback.
+  // Unconstrained-position hit: the S0 atom imposes no head constraint.
+  // The semijoin chase narrows the certainty side, but the binding set
+  // here is mostly irrelevant-uncertain (R0 reaches only v0), and that
+  // residual stays in the wave — attributed fallback.
   before = after;
   ASSERT_TRUE(engine
                   .ApplyResponse(Access{ms0, {vals[1]}},
@@ -633,7 +635,9 @@ TEST_F(StreamTest, ValueGateSkipsAndFallbackAttribution) {
             before.stream_value_gate_fallback_unconstrained);
   ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "unconstrained");
 
-  // Adom-growing apply: conservative full wave, attributed.
+  // Adom-growing apply: the wave is delta-gated, but the irrelevant-
+  // uncertain residual (freshly minted accesses may be relevant to those
+  // bindings) is rechecked and attributed.
   before = after;
   Value fresh_val = schema->InternConstant("grown");
   ASSERT_TRUE(engine
@@ -660,6 +664,249 @@ TEST_F(StreamTest, ValueGateSkipsAndFallbackAttribution) {
   EngineStats ltr_stats = ltr_engine.stats();
   EXPECT_GT(ltr_stats.stream_value_gate_fallback_dependent_ltr, 0u);
   EXPECT_EQ(ltr_stats.stream_value_gate_skips, 0u);
+}
+
+// Counter contract on a fully gateable workload: with a standing free
+// method keeping every binding relevant, the irrelevant-uncertain
+// residual is empty, so an unconstrained-position hit narrows through the
+// semijoin chase (zero fallback_unconstrained) and an Adom-growing apply
+// gates to {touched, newborn} (zero fallback_adom).
+TEST_F(StreamTest, SemijoinAndAdomDeltaGateZeroFallbacks) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d = schema->AddDomain("D");
+  RelationId r0 = *schema->AddRelation("R0", {{"x", d}, {"y", d}});
+  RelationId s0 = *schema->AddRelation("S0", {{"x", d}, {"y", d}});
+  AccessMethodSet acs(schema.get());
+  // The free R0 method keeps one access pending forever: with the S0 band
+  // below, its hypothetical response completes every binding's chain, so
+  // every binding stays relevant until it turns certain.
+  AccessMethodId m_free = *acs.Add("r0_free", r0, {}, /*dependent=*/false);
+  AccessMethodId m0 = *acs.Add("r0", r0, {0}, /*dependent=*/true);
+  AccessMethodId ms0 = *acs.Add("s0", s0, {0}, /*dependent=*/true);
+  (void)m_free;
+
+  // Q(X) :- R0(X, Y), S0(Y, Z).
+  ConjunctiveQuery q;
+  VarId x = q.AddVar("X", d);
+  VarId y = q.AddVar("Y", d);
+  VarId z = q.AddVar("Z", d);
+  q.atoms.push_back(Atom{r0, {Term::MakeVar(x), Term::MakeVar(y)}});
+  q.atoms.push_back(Atom{s0, {Term::MakeVar(y), Term::MakeVar(z)}});
+  q.head = {x};
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  ASSERT_TRUE(uq.Validate(*schema).ok());
+
+  std::vector<Value> vals;
+  Configuration conf(schema.get());
+  for (int i = 0; i < 4; ++i) {
+    vals.push_back(schema->InternConstant("v" + std::to_string(i)));
+    conf.AddSeedConstant(vals.back(), d);
+  }
+  // The S0 band: S0(v0,v1), S0(v1,v2), S0(v2,v3).
+  for (int i = 0; i + 1 < 4; ++i) {
+    conf.AddFact(Fact(s0, {vals[i], vals[i + 1]}));
+  }
+
+  RelevanceEngine engine(*schema, acs, conf);
+  RelevanceStreamRegistry registry(&engine);
+  StreamOptions sopts;  // IR-only: semijoin + per-domain Adom active
+  StreamId sid = *registry.Register(uq, sopts);
+
+  // Precondition of the zero-fallback contract: no binding is
+  // irrelevant-uncertain.
+  for (const BindingView& b : registry.Snapshot(sid).bindings) {
+    ASSERT_TRUE(b.certain || b.relevant) << "workload is not gateable";
+  }
+
+  // Slot hit: R0(v0, v3) marks only the v0 binding (kept uncertain —
+  // S0(v3, _) is missing) and seeds the chase's fact index.
+  ASSERT_TRUE(engine
+                  .ApplyResponse(Access{m0, {vals[0]}},
+                                 {Fact(r0, {vals[0], vals[3]})})
+                  .ok());
+  ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "slot hit");
+
+  // Unconstrained-position hit: S0(v3, v1) lands on an atom with no head
+  // variable. The chase follows Y=v3 into R0's fact index, finds
+  // R0(v0, v3), and bounds slot X to {v0}: exactly the v0 binding is
+  // rechecked (it flips certain), everything else gate-restamps.
+  EngineStats before = engine.stats();
+  ASSERT_TRUE(engine
+                  .ApplyResponse(Access{ms0, {vals[3]}},
+                                 {Fact(s0, {vals[3], vals[1]})})
+                  .ok());
+  EngineStats after = engine.stats();
+  EXPECT_GE(after.stream_value_gate_semijoin - before.stream_value_gate_semijoin,
+            1u);
+  EXPECT_EQ(after.stream_value_gate_fallback_unconstrained,
+            before.stream_value_gate_fallback_unconstrained);
+  ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "semijoin hit");
+  EXPECT_TRUE(registry.Snapshot(sid).bindings[0].certain);
+
+  // Adom-growing apply: the delta-gated wave evaluates the newborn
+  // binding and the slot-touched one; relevant untouched bindings
+  // restamp across the per-domain version bracket — zero fallback_adom.
+  before = after;
+  Value grown = schema->InternConstant("grown");
+  ASSERT_TRUE(engine
+                  .ApplyResponse(Access{m0, {vals[1]}},
+                                 {Fact(r0, {vals[1], grown})})
+                  .ok());
+  after = engine.stats();
+  EXPECT_GE(after.stream_value_gate_newborn - before.stream_value_gate_newborn,
+            1u);
+  EXPECT_EQ(after.stream_value_gate_fallback_adom,
+            before.stream_value_gate_fallback_adom);
+  ExpectStreamParity(engine, registry, sid, uq, sopts, acs, "adom delta");
+
+  // Whole-run contract: both fallback classes stayed at zero while the
+  // gate did real work.
+  EXPECT_EQ(after.stream_value_gate_fallback_unconstrained, 0u);
+  EXPECT_EQ(after.stream_value_gate_fallback_adom, 0u);
+  EXPECT_GT(after.stream_value_gate_skips, 0u);
+}
+
+// Triple parity (gated vs forced-full vs fresh one-shot deciders) under a
+// random growth script over a two-domain schema: fresh D0 values mint
+// bindings mid-stream through delta-gated Adom waves, while fresh D1
+// values (foreign to everything the stream reads) must be O(1) skips
+// under the per-domain Adom stamps.
+TEST_F(StreamTest, DeltaGatedAdomTripleParityUnderRandomGrowth) {
+  auto schema = std::make_shared<Schema>();
+  DomainId d0 = schema->AddDomain("D0");
+  DomainId d1 = schema->AddDomain("D1");
+  RelationId r0 = *schema->AddRelation("R0", {{"x", d0}, {"y", d0}});
+  RelationId s0 = *schema->AddRelation("S0", {{"x", d0}, {"y", d0}});
+  RelationId t1 = *schema->AddRelation("T1", {{"x", d1}, {"y", d1}});
+  AccessMethodSet acs(schema.get());
+  AccessMethodId mr0 = *acs.Add("r0", r0, {0}, /*dependent=*/true);
+  AccessMethodId ms0 = *acs.Add("s0", s0, {0}, /*dependent=*/true);
+  AccessMethodId mt1 = *acs.Add("t1", t1, {}, /*dependent=*/true);
+
+  // Q(X) :- R0(X, Y), S0(Y, Z): D0 is the only domain the stream reads
+  // (head enumeration and the dependent methods' input positions).
+  ConjunctiveQuery q;
+  VarId x = q.AddVar("X", d0);
+  VarId y = q.AddVar("Y", d0);
+  VarId z = q.AddVar("Z", d0);
+  q.atoms.push_back(Atom{r0, {Term::MakeVar(x), Term::MakeVar(y)}});
+  q.atoms.push_back(Atom{s0, {Term::MakeVar(y), Term::MakeVar(z)}});
+  q.head = {x};
+  UnionQuery uq;
+  uq.disjuncts.push_back(q);
+  ASSERT_TRUE(uq.Validate(*schema).ok());
+
+  std::vector<Value> pool0, pool1;
+  Configuration conf(schema.get());
+  for (int i = 0; i < 4; ++i) {
+    pool0.push_back(schema->InternConstant("a" + std::to_string(i)));
+    conf.AddSeedConstant(pool0.back(), d0);
+    pool1.push_back(schema->InternConstant("e" + std::to_string(i)));
+    conf.AddSeedConstant(pool1.back(), d1);
+  }
+
+  RelevanceEngine gated_engine(*schema, acs, conf);
+  RelevanceStreamRegistry gated(&gated_engine);
+  StreamOptions gated_opts;  // IR-only
+  StreamId gated_id = *gated.Register(uq, gated_opts);
+
+  RelevanceEngine forced_engine(*schema, acs, conf);
+  RelevanceStreamRegistry forced(&forced_engine);
+  StreamOptions forced_opts;
+  forced_opts.force_full_recheck = true;
+  StreamId forced_id = *forced.Register(uq, forced_opts);
+
+  auto expect_same = [&](const char* where) {
+    StreamSnapshot a = gated.Snapshot(gated_id);
+    StreamSnapshot b = forced.Snapshot(forced_id);
+    ASSERT_EQ(a.bindings_tracked, b.bindings_tracked) << where;
+    for (size_t i = 0; i < a.bindings.size(); ++i) {
+      const BindingView& ba = a.bindings[i];
+      const BindingView& bb = b.bindings[i];
+      EXPECT_EQ(ba.has_fresh, bb.has_fresh) << where << " binding " << i;
+      if (!ba.has_fresh) {
+        EXPECT_EQ(ba.binding, bb.binding) << where << " binding " << i;
+      }
+      EXPECT_EQ(ba.certain, bb.certain) << where << " binding " << i;
+      EXPECT_EQ(ba.relevant, bb.relevant) << where << " binding " << i;
+    }
+  };
+
+  Rng rng(20260807);
+  int minted0 = 0, minted1 = 0;
+  const size_t bindings_at_start = gated.Snapshot(gated_id).bindings_tracked;
+  for (int step = 0; step < 30; ++step) {
+    Access access;
+    std::vector<Fact> response;
+    const double roll = rng.Chance(0.45) ? 0.0 : (rng.Chance(0.55) ? 1.0 : 2.0);
+    if (roll == 0.0) {
+      const Value& a = pool0[rng.Below(pool0.size())];
+      Value b = rng.Chance(0.2)
+                    ? schema->InternConstant("f0_" + std::to_string(minted0++))
+                    : pool0[rng.Below(pool0.size())];
+      access = Access{mr0, {a}};
+      response.push_back(Fact(r0, {a, b}));
+      if (std::find(pool0.begin(), pool0.end(), b) == pool0.end()) {
+        pool0.push_back(b);
+      }
+    } else if (roll == 1.0) {
+      const Value& a = pool0[rng.Below(pool0.size())];
+      Value b = rng.Chance(0.2)
+                    ? schema->InternConstant("f0_" + std::to_string(minted0++))
+                    : pool0[rng.Below(pool0.size())];
+      access = Access{ms0, {a}};
+      response.push_back(Fact(s0, {a, b}));
+      if (std::find(pool0.begin(), pool0.end(), b) == pool0.end()) {
+        pool0.push_back(b);
+      }
+    } else {
+      const Value& a = pool1[rng.Below(pool1.size())];
+      Value b = rng.Chance(0.3)
+                    ? schema->InternConstant("f1_" + std::to_string(minted1++))
+                    : pool1[rng.Below(pool1.size())];
+      access = Access{mt1, {}};
+      response.push_back(Fact(t1, {a, b}));
+      if (std::find(pool1.begin(), pool1.end(), b) == pool1.end()) {
+        pool1.push_back(b);
+      }
+    }
+    ASSERT_TRUE(gated_engine.ApplyResponse(access, response).ok());
+    ASSERT_TRUE(forced_engine.ApplyResponse(access, response).ok());
+    const std::string where = "step " + std::to_string(step);
+    expect_same(where.c_str());
+    ExpectStreamParity(gated_engine, gated, gated_id, uq, gated_opts, acs,
+                       where.c_str());
+  }
+  // Fresh D0 values minted bindings mid-stream.
+  EXPECT_GT(gated.Snapshot(gated_id).bindings_tracked, bindings_at_start);
+
+  // Foreign-domain growth burst: fresh D1 values grow the active domain,
+  // but D1 is invisible to the stream — per-domain Adom stamps make every
+  // one of these an O(1) skip with zero rechecks on both registries.
+  const uint64_t rechecks_before = gated_engine.stats().stream_rechecks;
+  const uint64_t skips_before = gated_engine.stats().stream_skips;
+  uint64_t live = 0;  // the skip counter bumps once per live binding
+  for (const BindingView& b : gated.Snapshot(gated_id).bindings) {
+    if (!b.certain && !b.unsat) ++live;
+  }
+  ASSERT_GT(live, 0u);
+  for (int i = 0; i < 3; ++i) {
+    Value g = schema->InternConstant("g1_" + std::to_string(i));
+    std::vector<Fact> response = {Fact(t1, {pool1[0], g})};
+    ASSERT_TRUE(gated_engine.ApplyResponse(Access{mt1, {}}, response).ok());
+    ASSERT_TRUE(forced_engine.ApplyResponse(Access{mt1, {}}, response).ok());
+  }
+  EXPECT_EQ(gated_engine.stats().stream_rechecks, rechecks_before);
+  EXPECT_EQ(gated_engine.stats().stream_skips, skips_before + 3 * live);
+  expect_same("foreign growth");
+  ExpectStreamParity(gated_engine, gated, gated_id, uq, gated_opts, acs,
+                     "foreign growth");
+
+  // The gate carried the run: strictly fewer rechecks than the twin.
+  EXPECT_GT(gated_engine.stats().stream_value_gate_skips, 0u);
+  EXPECT_LT(gated_engine.stats().stream_rechecks,
+            forced_engine.stats().stream_rechecks);
 }
 
 // --- Delta protocol ----------------------------------------------------
