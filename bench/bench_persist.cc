@@ -1,0 +1,233 @@
+// Durability cost and recovery throughput (src/persist/).
+//
+// Sweep 1 (bench "persist_commit"): the write path. A DurableSession logs
+// every ApplyResponse inside the engine's apply critical section and makes
+// it durable (fsync) before the apply returns. Group commit amortizes the
+// fsync: concurrent committers park behind a leader who flushes the whole
+// pending batch with one fsync. The sweep drives T ∈ {1, 4} committer
+// threads through the engine's apply path under FsyncPolicy::kGroupCommit
+// and reports applies/sec plus the two latency histograms that matter:
+// wal_fsync_ns (each physical fsync) and wal_commit_ns (WaitDurable end to
+// end, i.e. what an apply pays for durability) — p50/p99 come from the
+// histogram snapshots. With T=4 the batching ratio (records per fsync)
+// must exceed 1, or the leader election is broken.
+//
+// Sweep 2 (bench "persist_replay"): the read path. Reopen the directory
+// written by sweep 1 and time DurableSession::Open end to end — WAL scan,
+// frame CRC checks, and the engine replay that re-absorbs every fact. The
+// line reports replay records/sec and facts/sec. The recovered session
+// must be VersionVector-identical to the writer it replaced; any
+// divergence is a hard failure (non-zero exit), not a bench number.
+//
+// One strict-JSON line per point (obs/export.h JsonWriter), to stdout and
+// to BENCH_persist.json (overwritten per run):
+//
+//   {"bench":"persist_commit","threads":4,"applies":2000,"facts":6000,
+//    "wall_ms":...,"applies_per_sec":...,"fsyncs":...,"records":...,
+//    "records_per_fsync":...,"fsync_ns":{"count":...,"p50":...,
+//    "p99":...},"commit_ns":{...}}
+//   {"bench":"persist_replay","records":...,"facts":...,"open_ms":...,
+//    "records_per_sec":...,"facts_per_sec":...,"parity":true}
+//
+// Usage: bench_persist [--applies=N] [--dir=PATH]  (CI smoke passes
+// --applies=200).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "obs/export.h"
+#include "persist/durable.h"
+#include "persist/io.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(const Clock::time_point& t0, const Clock::time_point& t1) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+             .count() /
+         1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rar;
+  long applies = 2000;
+  std::string base_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--applies=", 10) == 0) {
+      applies = std::atol(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--dir=", 6) == 0) {
+      base_dir = argv[i] + 6;
+    }
+  }
+  if (base_dir.empty()) {
+    base_dir = "/tmp/rar_bench_persist_" + std::to_string(::getpid());
+  }
+  std::FILE* out = std::fopen("BENCH_persist.json", "w");
+
+  Schema schema;
+  DomainId d = schema.AddDomain("D");
+  RelationId r = *schema.AddRelation("R", {{"x", d}, {"y", d}});
+  AccessMethodSet acs(&schema);
+  AccessMethodId mr = *acs.Add("get_r", r, {0}, /*dependent=*/true);
+
+  const int kThreads[] = {1, 4};
+  const int kFactsPerApply = 3;
+  for (int threads : kThreads) {
+    // Pre-intern every constant the committers will touch: the interner
+    // is not a concurrent structure, and a real writer would hold interned
+    // values already.
+    Configuration bootstrap(&schema);
+    std::vector<Value> seeds;
+    for (int t = 0; t < threads; ++t) {
+      seeds.push_back(
+          schema.InternConstant("seed_t" + std::to_string(t)));
+      bootstrap.AddSeedConstant(seeds.back(), d);
+    }
+    std::vector<std::vector<Value>> minted(threads);
+    const long per_thread = applies / threads;
+    for (int t = 0; t < threads; ++t) {
+      for (long i = 0; i < per_thread * kFactsPerApply; ++i) {
+        minted[t].push_back(schema.InternConstant(
+            "c_t" + std::to_string(t) + "_" + std::to_string(i)));
+      }
+    }
+
+    const std::string dir = base_dir + "_t" + std::to_string(threads);
+    PersistOptions popts;
+    popts.fsync_policy = FsyncPolicy::kGroupCommit;
+    auto session_or =
+        DurableSession::Open(schema, acs, bootstrap, dir, popts, {});
+    if (!session_or.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   session_or.status().ToString().c_str());
+      return 1;
+    }
+    DurableSession& session = **session_or;
+
+    // Committers drive the engine's apply path directly: DurableSession's
+    // own mutex serializes its convenience Apply, and the point here is
+    // the group-commit behaviour of concurrent appliers. (No snapshots
+    // run, so the session's bookkeeping is not in play.)
+    const Clock::time_point t0 = Clock::now();
+    std::vector<std::thread> workers;
+    std::atomic<bool> failed{false};
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (long i = 0; i < per_thread; ++i) {
+          std::vector<Fact> response;
+          for (int f = 0; f < kFactsPerApply; ++f) {
+            response.push_back(
+                Fact(r, {seeds[t], minted[t][i * kFactsPerApply + f]}));
+          }
+          auto added =
+              session.engine().ApplyResponse(Access{mr, {seeds[t]}}, response);
+          if (!added.ok()) {
+            failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    const Clock::time_point t1 = Clock::now();
+    if (failed.load() || !session.Flush().ok()) {
+      std::fprintf(stderr, "apply/flush failed at threads=%d\n", threads);
+      return 1;
+    }
+
+    const double wall_ms = MsBetween(t0, t1);
+    EngineStats st = session.engine().stats();
+    ObsSnapshot obs = session.engine().obs().Snapshot();
+    const uint64_t records = st.wal_records;
+    const uint64_t fsyncs = st.wal_fsyncs;
+    const double per_fsync =
+        fsyncs == 0 ? 0.0
+                    : static_cast<double>(records) / static_cast<double>(fsyncs);
+    if (threads > 1 && per_fsync <= 1.0) {
+      std::fprintf(stderr,
+                   "group commit did not batch at threads=%d: "
+                   "%llu records / %llu fsyncs\n",
+                   threads, static_cast<unsigned long long>(records),
+                   static_cast<unsigned long long>(fsyncs));
+      return 1;
+    }
+
+    JsonWriter jw;
+    jw.BeginObject()
+        .Field("bench", "persist_commit")
+        .Field("threads", threads)
+        .Field("applies", static_cast<uint64_t>(per_thread * threads))
+        .Field("facts",
+               static_cast<uint64_t>(per_thread * threads * kFactsPerApply))
+        .Field("wall_ms", wall_ms)
+        .Field("applies_per_sec",
+               wall_ms == 0.0 ? 0.0
+                              : 1e3 * static_cast<double>(per_thread * threads) /
+                                    wall_ms)
+        .Field("fsyncs", fsyncs)
+        .Field("records", records)
+        .Field("records_per_fsync", per_fsync);
+    jw.Key("fsync_ns");
+    AppendHistogramJson(&jw, obs.wal_fsync_ns);
+    jw.Key("commit_ns");
+    AppendHistogramJson(&jw, obs.wal_commit_ns);
+    jw.EndObject();
+    std::printf("%s\n", jw.str().c_str());
+    std::fflush(stdout);
+    if (out != nullptr) std::fprintf(out, "%s\n", jw.str().c_str());
+
+    // ------------------------------------------------ replay (sweep 2)
+    const VersionVector want = session.engine().versions();
+    session_or->reset();
+
+    const Clock::time_point r0_tp = Clock::now();
+    auto recovered =
+        DurableSession::Open(schema, acs, bootstrap, dir, popts, {});
+    const Clock::time_point r1_tp = Clock::now();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    const bool parity = (*recovered)->engine().versions() == want;
+    if (!parity) {
+      std::fprintf(stderr, "replay parity failure at threads=%d\n", threads);
+      return 1;
+    }
+    const double open_ms = MsBetween(r0_tp, r1_tp);
+    const RecoveryInfo& info = (*recovered)->recovery();
+
+    JsonWriter rw;
+    rw.BeginObject()
+        .Field("bench", "persist_replay")
+        .Field("threads", threads)
+        .Field("records", info.replayed_records)
+        .Field("facts", info.replayed_facts)
+        .Field("open_ms", open_ms)
+        .Field("records_per_sec",
+               open_ms == 0.0
+                   ? 0.0
+                   : 1e3 * static_cast<double>(info.replayed_records) /
+                         open_ms)
+        .Field("facts_per_sec",
+               open_ms == 0.0
+                   ? 0.0
+                   : 1e3 * static_cast<double>(info.replayed_facts) / open_ms)
+        .Field("parity", parity)
+        .EndObject();
+    std::printf("%s\n", rw.str().c_str());
+    std::fflush(stdout);
+    if (out != nullptr) std::fprintf(out, "%s\n", rw.str().c_str());
+  }
+  if (out != nullptr) std::fclose(out);
+  return 0;
+}

@@ -82,6 +82,14 @@ std::string EngineStats::ToString() const {
       os << "]";
     }
   }
+  if (wal_records > 0 || replay_records > 0) {
+    os << " wal=" << wal_records << " records/" << wal_bytes << " bytes"
+       << " fsyncs=" << wal_fsyncs << " commit_batches=" << wal_commit_batches
+       << " (+" << wal_commit_waiters << " absorbed)"
+       << " snapshots=" << snapshots_written
+       << " replayed=" << replay_records << " records/" << replay_facts
+       << " facts torn_tails=" << wal_truncated_tails;
+  }
   return os.str();
 }
 
@@ -239,6 +247,14 @@ Result<int> RelevanceEngine::ApplyResponse(const Access& access,
   // into the engine (checks, certainty, query registration) freely.
   if (applied.ok()) {
     event.facts_added = *applied;
+    // Durability before visibility: listeners (and through them stream
+    // subscribers) must never observe an apply that a crash could undo —
+    // recovered cursors would have a gap. On a log failure the in-memory
+    // apply stands but the commit is reported failed; the session is
+    // effectively dead (the WAL error is sticky).
+    if (persist_hook_ != nullptr && event.wal_sequence != 0) {
+      RAR_RETURN_NOT_OK(persist_hook_->WaitDurable(event.wal_sequence));
+    }
     NotifyApplied(event);
     // End-to-end: locks + absorb + listener maintenance (wave time also
     // shows up on its own in wave_ns, attributed per stream).
@@ -296,6 +312,13 @@ Result<int> RelevanceEngine::ApplyLocked(const Access& access,
       counters_.Bump(counters_.facts_applied, static_cast<uint64_t>(added));
     }
     event->relation_version_after = conf_.relation_version(rel);
+    // WAL ordering: the sequence is assigned while the stripe (and the
+    // Adom lock) are still held, so log order agrees with every
+    // serialization the engine's locks admit. Redundant responses are
+    // logged too — they still mark the access performed below.
+    if (persist_hook_ != nullptr) {
+      event->wal_sequence = persist_hook_->LogApply(access, response);
+    }
   }
   // Only true when the caller holds adom_mu_ exclusive (the pre-scan is
   // monotone-stable), so the version store and frontier sync below are
@@ -782,6 +805,16 @@ std::vector<Access> RelevanceEngine::PendingAccesses() {
 bool RelevanceEngine::WasPerformed(const Access& access) const {
   std::lock_guard<std::mutex> fl(frontier_mu_);
   return frontier_.WasPerformed(access);
+}
+
+std::vector<Access> RelevanceEngine::PerformedAccesses() const {
+  std::lock_guard<std::mutex> fl(frontier_mu_);
+  return frontier_.PerformedList();
+}
+
+void RelevanceEngine::RestorePerformed(const std::vector<Access>& accesses) {
+  std::lock_guard<std::mutex> fl(frontier_mu_);
+  for (const Access& a : accesses) frontier_.MarkPerformed(a);
 }
 
 std::unordered_set<DomainId> RelevanceEngine::producible_domains() {

@@ -122,6 +122,8 @@ struct ApplyEvent {
   uint64_t relation_version_after = 0;
   /// The active-domain version right after this apply landed.
   uint64_t adom_version_after = 0;
+  /// WAL sequence the attached PersistHook assigned (0 when no hook).
+  uint64_t wal_sequence = 0;
 };
 
 /// \brief Hook for subsystems that maintain state derived from the
@@ -141,6 +143,29 @@ class ApplyListener {
   /// Merges the listener's counters into an engine stats snapshot (the
   /// stream fields of EngineStats stay zero without a registry attached).
   virtual void ContributeStats(EngineStats* stats) const { (void)stats; }
+};
+
+/// \brief Write-ahead-log hook (src/persist/). Unlike ApplyListener, the
+/// logging half runs *inside* the apply's critical section: `LogApply` is
+/// called at the end of ApplyLocked while the relation stripe (and the
+/// Adom lock) are still held, so the sequence it assigns is consistent
+/// with every serialization the engine's locks admit — same-relation
+/// applies serialize on the stripe, Adom-growing applies on the Adom
+/// lock, and anything else commutes. It must be fast and must not call
+/// back into the engine. `WaitDurable` runs after every lock is released
+/// and *before* listeners are notified, so no subscriber ever observes an
+/// apply that could vanish in a crash.
+class PersistHook {
+ public:
+  virtual ~PersistHook() = default;
+
+  /// Records the apply (including redundant ones — they still mark the
+  /// access performed) and returns its WAL sequence number.
+  virtual uint64_t LogApply(const Access& access,
+                            const std::vector<Fact>& response) = 0;
+
+  /// Blocks until the record is durable under the configured policy.
+  virtual Status WaitDurable(uint64_t sequence) = 0;
 };
 
 /// \brief Outcome of one engine check.
@@ -304,6 +329,15 @@ class RelevanceEngine {
   /// True when (method, binding) was already applied through the engine.
   bool WasPerformed(const Access& access) const;
 
+  /// Every access ever marked performed, in unspecified order. Snapshot
+  /// input for the persistence layer.
+  std::vector<Access> PerformedAccesses() const;
+
+  /// Re-marks accesses as performed (recovery: the snapshot's performed
+  /// set is not derivable from the configuration — a redundant response
+  /// leaves no fact behind). Idempotent.
+  void RestorePerformed(const std::vector<Access>& accesses);
+
   /// The ProducibleDomains fixpoint at the current configuration, computed
   /// at most once per Adom version (the fixpoint reads only the typed
   /// active domain and the method set). A hook for external schedulers and
@@ -323,6 +357,10 @@ class RelevanceEngine {
   /// Detaches a listener. Call only while no apply is in flight (the
   /// notification path reads the listener list without the state lock).
   void RemoveApplyListener(ApplyListener* listener);
+
+  /// Attaches (or with nullptr detaches) the WAL hook. Call only while no
+  /// apply is in flight — recovery installs it after replay completes.
+  void SetPersistHook(PersistHook* hook) { persist_hook_ = hook; }
 
   /// The engine's schema / access-method set (shared with attached
   /// subsystems such as the stream registry).
@@ -480,6 +518,8 @@ class RelevanceEngine {
   /// Lock-free mirror of listeners_.size(): the apply path skips delta
   /// collection when nobody listens.
   std::atomic<size_t> num_listeners_{0};
+  /// WAL hook, set while quiescent (see SetPersistHook); read per apply.
+  PersistHook* persist_hook_ = nullptr;
 
   mutable DecisionCache cache_;
   /// Declared before pool_: the pool's queue-wait histogram lives here.

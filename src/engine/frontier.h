@@ -58,6 +58,18 @@ class AccessFrontier {
 
   size_t pending_size() const { return candidates_.size() - performed_count_; }
   size_t performed_size() const { return performed_.size(); }
+
+  /// Every performed access, in unspecified order (set-iteration). Input
+  /// to persistence snapshots; restoring marks each back via
+  /// MarkPerformed, which is order-insensitive.
+  std::vector<Access> PerformedList() const {
+    std::vector<Access> out;
+    out.reserve(performed_.size());
+    for (const AccessKey& k : performed_) {
+      out.push_back(Access{k.method, k.binding});
+    }
+    return out;
+  }
   size_t enumerated_size() const { return candidates_.size(); }
 
  private:

@@ -95,6 +95,19 @@ struct EngineStats {
   /// triggered by registration / active-domain growth.
   std::vector<uint64_t> stream_rechecks_by_relation;
 
+  // Persistence counters (src/persist/), contributed by an attached
+  // DurableSession; all zero when the engine runs in-memory only.
+  uint64_t wal_records = 0;        ///< records appended to the WAL
+  uint64_t wal_bytes = 0;          ///< framed bytes appended
+  uint64_t wal_fsyncs = 0;         ///< physical fsyncs issued
+  uint64_t wal_commit_batches = 0; ///< group-commit leader rounds
+  uint64_t wal_commit_waiters = 0; ///< commits absorbed into another's fsync
+  uint64_t snapshots_written = 0;  ///< snapshot files sealed
+  uint64_t snapshot_bytes = 0;     ///< bytes in the last sealed snapshot
+  uint64_t replay_records = 0;     ///< WAL records replayed at recovery
+  uint64_t replay_facts = 0;       ///< facts re-absorbed from replay
+  uint64_t wal_truncated_tails = 0;  ///< torn/corrupt tails truncated
+
   uint64_t checks() const { return ir_checks + ltr_checks; }
   double cache_hit_rate() const {
     uint64_t probes = cache_hits + cache_misses;

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace rar {
@@ -65,6 +66,12 @@ JsonWriter& JsonWriter::Value(int64_t v) {
 
 JsonWriter& JsonWriter::Value(double v) {
   Separate();
+  // JSON has no NaN/Inf tokens; a degenerate histogram snapshot (e.g. an
+  // empty percentile) must not break a strict parser downstream.
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
   // Fixed-point, trimmed: deterministic, never scientific, always a
   // decimal point (stays a JSON number and survives strict parsers).
   char buf[64];
@@ -206,6 +213,21 @@ std::vector<CounterRow> StreamRows(const EngineStats& s) {
   };
 }
 
+std::vector<CounterRow> PersistRows(const EngineStats& s) {
+  return {
+      {"wal_records", s.wal_records, false},
+      {"wal_bytes", s.wal_bytes, false},
+      {"wal_fsyncs", s.wal_fsyncs, false},
+      {"wal_commit_batches", s.wal_commit_batches, false},
+      {"wal_commit_waiters", s.wal_commit_waiters, false},
+      {"snapshots_written", s.snapshots_written, false},
+      {"snapshot_bytes", s.snapshot_bytes, true},
+      {"replay_records", s.replay_records, false},
+      {"replay_facts", s.replay_facts, false},
+      {"wal_truncated_tails", s.wal_truncated_tails, false},
+  };
+}
+
 struct HistRow {
   const char* name;
   const HistogramSnapshot* h;
@@ -221,6 +243,8 @@ std::vector<HistRow> HistRows(const ObsSnapshot& o) {
       {"wave_width", &o.wave_width},
       {"queue_wait_ns", &o.queue_wait_ns},
       {"source_ns", &o.source_ns},
+      {"wal_fsync_ns", &o.wal_fsync_ns},
+      {"wal_commit_ns", &o.wal_commit_ns},
   };
 }
 
@@ -279,6 +303,12 @@ std::string ExportMetricsJson(const MetricsExport& m) {
   AppendAttribution(&w, m.schema, m.stats.stream_rechecks_by_relation);
   w.EndObject();
 
+  w.Key("persist").BeginObject();
+  for (const CounterRow& row : PersistRows(m.stats)) {
+    w.Field(row.name, row.value);
+  }
+  w.EndObject();
+
   w.Key("latency").BeginObject();
   for (const HistRow& row : HistRows(m.obs)) {
     w.Key(row.name);
@@ -311,6 +341,11 @@ std::string ExportMetricsPrometheus(const MetricsExport& m) {
   }
   for (const CounterRow& row : StreamRows(m.stats)) {
     counter("rar_stream_" + std::string(row.name) +
+                (row.gauge ? "" : "_total"),
+            row.value, row.gauge);
+  }
+  for (const CounterRow& row : PersistRows(m.stats)) {
+    counter("rar_persist_" + std::string(row.name) +
                 (row.gauge ? "" : "_total"),
             row.value, row.gauge);
   }

@@ -34,6 +34,8 @@ struct ObsSnapshot {
   HistogramSnapshot wave_width;      ///< bindings re-evaluated per wave
   HistogramSnapshot queue_wait_ns;   ///< worker-pool task queue wait
   HistogramSnapshot source_ns;       ///< simulated source round-trip
+  HistogramSnapshot wal_fsync_ns;    ///< each physical WAL fsync
+  HistogramSnapshot wal_commit_ns;   ///< WaitDurable end-to-end (group commit)
 
   void Merge(const ObsSnapshot& other) {
     ir_decider_ns.Merge(other.ir_decider_ns);
@@ -44,6 +46,8 @@ struct ObsSnapshot {
     wave_width.Merge(other.wave_width);
     queue_wait_ns.Merge(other.queue_wait_ns);
     source_ns.Merge(other.source_ns);
+    wal_fsync_ns.Merge(other.wal_fsync_ns);
+    wal_commit_ns.Merge(other.wal_commit_ns);
   }
 };
 
@@ -65,6 +69,8 @@ class EngineObservability {
   Histogram wave_width;
   Histogram queue_wait_ns;
   Histogram source_ns;
+  Histogram wal_fsync_ns;
+  Histogram wal_commit_ns;
 
   TraceBuffer& trace() { return trace_; }
   const TraceBuffer& trace() const { return trace_; }
@@ -79,6 +85,8 @@ class EngineObservability {
     s.wave_width = wave_width.Snapshot();
     s.queue_wait_ns = queue_wait_ns.Snapshot();
     s.source_ns = source_ns.Snapshot();
+    s.wal_fsync_ns = wal_fsync_ns.Snapshot();
+    s.wal_commit_ns = wal_commit_ns.Snapshot();
     return s;
   }
 

@@ -1,0 +1,344 @@
+#include "persist/durable.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "persist/wal_format.h"
+
+namespace rar {
+
+namespace {
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableSession>> DurableSession::Open(
+    const Schema& schema, const AccessMethodSet& acs,
+    const Configuration& bootstrap, const std::string& dir,
+    PersistOptions options, EngineOptions engine_options) {
+  PersistEnv* env = options.env != nullptr ? options.env : GetPosixEnv();
+  RAR_RETURN_NOT_OK(env->CreateDir(dir));
+  std::unique_ptr<DurableSession> s(
+      new DurableSession(schema, acs, env, dir, options));
+
+  SnapshotState snap;
+  bool have_snapshot = false;
+  RAR_RETURN_NOT_OK(
+      LoadLatestSnapshot(env, dir, schema, acs, &snap, &have_snapshot));
+
+  // Rebuild the configuration in version-exact order: every active-domain
+  // value as a seed first (fixing each domain's first-seen order), then
+  // the facts in insertion order. The resulting VersionVector equals the
+  // snapshotted engine's.
+  Configuration conf(&schema);
+  if (have_snapshot) {
+    for (const auto& [domain, values] : snap.adom) {
+      for (Value v : values) conf.AddSeedConstant(v, domain);
+    }
+    for (const auto& [rel, facts] : snap.facts) {
+      for (const Fact& f : facts) conf.AddFact(f);
+    }
+  } else {
+    conf = bootstrap;
+  }
+  s->engine_ = std::make_unique<RelevanceEngine>(schema, acs, std::move(conf),
+                                                 engine_options);
+  s->registry_ = std::make_unique<RelevanceStreamRegistry>(s->engine_.get());
+  if (have_snapshot) {
+    s->engine_->RestorePerformed(snap.performed);
+    for (const UnionQuery& q : snap.queries) {
+      RAR_ASSIGN_OR_RETURN(QueryId qid, s->engine_->RegisterQuery(q));
+      s->direct_queries_.push_back(q);
+      s->direct_qids_.push_back(qid);
+    }
+    for (SnapshotStreamState& st : snap.streams) {
+      StreamRecoveryInfo info;
+      info.fresh_pool = std::move(st.fresh_pool);
+      info.quiet = true;
+      info.next_sequence = st.next_sequence;
+      info.acked_sequence = st.acked_sequence;
+      info.retained_events = std::move(st.retained_events);
+      RAR_ASSIGN_OR_RETURN(
+          StreamId sid,
+          s->registry_->RegisterRecovered(st.query, st.options, info));
+      (void)sid;  // ids are dense registration order, restored exactly
+    }
+    s->recovery_.from_snapshot = true;
+    s->recovery_.snapshot_sequence = snap.last_sequence;
+  }
+
+  // Replay the log tail. The hook is not attached yet, so replayed applies
+  // are not re-logged; the registry *is* attached, so stream events
+  // regenerate in original order.
+  RAR_ASSIGN_OR_RETURN(WalReadResult log,
+                       ReadWal(env, dir, have_snapshot ? snap.last_sequence
+                                                       : 0));
+  for (const WalRecord& rec : log.records) {
+    RAR_RETURN_NOT_OK(s->ReplayRecord(rec));
+  }
+  s->recovery_.replayed_records = log.records.size();
+  s->recovery_.truncated_tails = log.truncated_tails;
+
+  const uint64_t next_sequence =
+      (log.records.empty() ? (have_snapshot ? snap.last_sequence : 0)
+                           : log.records.back().sequence) +
+      1;
+
+  if (!log.last_segment_path.empty()) {
+    // Cut the torn tail so the writer appends after the last intact
+    // record, and drop stray segments past the one replay stopped in
+    // (after a sequence gap everything beyond is untrusted; zero-padded
+    // names sort by sequence).
+    RAR_RETURN_NOT_OK(
+        env->Truncate(log.last_segment_path, log.last_segment_valid_bytes));
+    const std::string last_name = Basename(log.last_segment_path);
+    RAR_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+    bool removed = false;
+    for (const std::string& name : names) {
+      uint64_t first = 0;
+      if (ParseWalSegmentName(name, &first) && name > last_name) {
+        RAR_RETURN_NOT_OK(env->RemoveFile(dir + "/" + name));
+        removed = true;
+      }
+    }
+    if (removed) RAR_RETURN_NOT_OK(env->SyncDir(dir));
+  }
+
+  WalWriterOptions wopts;
+  wopts.fsync_policy = options.fsync_policy;
+  wopts.fsync_ns = &s->engine_->obs().wal_fsync_ns;
+  wopts.commit_ns = &s->engine_->obs().wal_commit_ns;
+  RAR_ASSIGN_OR_RETURN(s->wal_, WalWriter::Open(env, dir, next_sequence,
+                                                log.last_segment_path, wopts));
+
+  s->engine_->SetPersistHook(s.get());
+  s->engine_->AddApplyListener(s.get());
+  return s;
+}
+
+DurableSession::~DurableSession() {
+  if (engine_ != nullptr) {
+    engine_->SetPersistHook(nullptr);
+    engine_->RemoveApplyListener(this);
+  }
+  if (wal_ != nullptr) {
+    (void)wal_->Flush();  // best effort; Close()/Flush() report errors
+  }
+}
+
+Status DurableSession::ReplayRecord(const WalRecord& rec) {
+  switch (rec.type) {
+    case WalRecordType::kApply: {
+      Access access;
+      std::vector<Fact> response;
+      RAR_RETURN_NOT_OK(DecodeApplyPayload(*schema_, *acs_, rec.payload,
+                                           &access, &response));
+      RAR_ASSIGN_OR_RETURN(int added, engine_->ApplyResponse(access, response));
+      recovery_.replayed_facts += static_cast<uint64_t>(added);
+      return Status::OK();
+    }
+    case WalRecordType::kQueryRegister: {
+      UnionQuery q;
+      RAR_RETURN_NOT_OK(DecodeQueryRegisterPayload(*schema_, rec.payload, &q));
+      RAR_ASSIGN_OR_RETURN(QueryId qid, engine_->RegisterQuery(q));
+      direct_queries_.push_back(std::move(q));
+      direct_qids_.push_back(qid);
+      return Status::OK();
+    }
+    case WalRecordType::kStreamRegister: {
+      StreamRegisterPayload p;
+      RAR_RETURN_NOT_OK(
+          DecodeStreamRegisterPayload(*schema_, rec.payload, &p));
+      StreamRecoveryInfo info;  // !quiet: events regenerate from sequence 1
+      info.fresh_pool.reserve(p.fresh_pool.size());
+      for (const auto& [domain, spelling] : p.fresh_pool) {
+        info.fresh_pool.push_back(
+            TypedValue{schema_->InternConstant(spelling), domain});
+      }
+      RAR_ASSIGN_OR_RETURN(
+          StreamId id, registry_->RegisterRecovered(p.query, p.options, info));
+      (void)id;
+      return Status::OK();
+    }
+    case WalRecordType::kStreamCursor: {
+      uint32_t sid = 0;
+      uint64_t acked = 0;
+      RAR_RETURN_NOT_OK(DecodeStreamCursorPayload(rec.payload, &sid, &acked));
+      return registry_->Acknowledge(sid, acked);
+    }
+  }
+  return Status::ParseError("unknown WAL record type");
+}
+
+Result<int> DurableSession::Apply(const Access& access,
+                                  const std::vector<Fact>& response) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  // The engine calls back into LogApply inside its critical section and
+  // WaitDurable before notifying listeners (see PersistHook in engine.h).
+  RAR_ASSIGN_OR_RETURN(int added, engine_->ApplyResponse(access, response));
+  records_since_snapshot_ += 1;
+  RAR_RETURN_NOT_OK(MaybeAutoSnapshotLocked());
+  return added;
+}
+
+Result<QueryId> DurableSession::RegisterQuery(const UnionQuery& query) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  // Mutate first, log on success: the WAL then holds only registrations
+  // replay can repeat verbatim. A crash between the two loses a
+  // registration the caller was never told succeeded.
+  RAR_ASSIGN_OR_RETURN(QueryId qid, engine_->RegisterQuery(query));
+  uint64_t seq = wal_->Append(WalRecordType::kQueryRegister,
+                              EncodeQueryRegisterPayload(*schema_, query));
+  RAR_RETURN_NOT_OK(wal_->WaitDurable(seq));
+  direct_queries_.push_back(query);
+  direct_qids_.push_back(qid);
+  records_since_snapshot_ += 1;
+  return qid;
+}
+
+Result<StreamId> DurableSession::RegisterStream(const UnionQuery& query,
+                                                StreamOptions options) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  options.retain_events = true;  // persisted cursors need retained events
+  RAR_ASSIGN_OR_RETURN(StreamId id, registry_->Register(query, options));
+  RAR_ASSIGN_OR_RETURN(RelevanceStreamRegistry::StreamPersistState ps,
+                       registry_->DumpPersistState(id));
+  StreamRegisterPayload p;
+  p.query = query;
+  p.options = options;
+  p.fresh_pool.reserve(ps.fresh_pool.size());
+  for (const TypedValue& tv : ps.fresh_pool) {
+    p.fresh_pool.emplace_back(tv.domain, schema_->ConstantSpelling(tv.value));
+  }
+  uint64_t seq = wal_->Append(WalRecordType::kStreamRegister,
+                              EncodeStreamRegisterPayload(*schema_, p));
+  RAR_RETURN_NOT_OK(wal_->WaitDurable(seq));
+  records_since_snapshot_ += 1;
+  return id;
+}
+
+Status DurableSession::Acknowledge(StreamId id, uint64_t upto) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  RAR_RETURN_NOT_OK(registry_->Acknowledge(id, upto));
+  uint64_t seq = wal_->Append(WalRecordType::kStreamCursor,
+                              EncodeStreamCursorPayload(id, upto));
+  RAR_RETURN_NOT_OK(wal_->WaitDurable(seq));
+  records_since_snapshot_ += 1;
+  return Status::OK();
+}
+
+Status DurableSession::Flush() {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  return wal_->Flush();
+}
+
+Status DurableSession::WriteSnapshot() {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  return WriteSnapshotLocked();
+}
+
+Status DurableSession::WriteSnapshotLocked() {
+  // Everything logged must be durable before the snapshot claims to cover
+  // it (the snapshot's last_sequence authorizes segment deletion).
+  RAR_RETURN_NOT_OK(wal_->Flush());
+  SnapshotState st;
+  st.last_sequence = wal_->last_sequence();
+  Configuration conf = engine_->SnapshotConfig();
+  for (size_t d = 0; d < schema_->num_domains(); ++d) {
+    std::vector<Value> values =
+        conf.AdomOfDomain(static_cast<DomainId>(d)).ToVector();
+    if (!values.empty()) {
+      st.adom.emplace_back(static_cast<DomainId>(d), std::move(values));
+    }
+  }
+  for (size_t r = 0; r < schema_->num_relations(); ++r) {
+    std::vector<Fact> facts =
+        conf.FactsOf(static_cast<RelationId>(r)).ToVector();
+    if (!facts.empty()) {
+      st.facts.emplace_back(static_cast<RelationId>(r), std::move(facts));
+    }
+  }
+  st.performed = engine_->PerformedAccesses();
+  st.queries = direct_queries_;
+  const size_t n = registry_->num_streams();
+  st.streams.reserve(n);
+  for (StreamId id = 0; id < n; ++id) {
+    RAR_ASSIGN_OR_RETURN(RelevanceStreamRegistry::StreamPersistState ps,
+                         registry_->DumpPersistState(id));
+    SnapshotStreamState ss;
+    ss.query = std::move(ps.query);
+    ss.options = ps.options;
+    ss.fresh_pool = std::move(ps.fresh_pool);
+    ss.next_sequence = ps.next_sequence;
+    ss.acked_sequence = ps.acked_sequence;
+    ss.retained_events = std::move(ps.retained_events);
+    st.streams.push_back(std::move(ss));
+  }
+  uint64_t bytes = 0;
+  RAR_RETURN_NOT_OK(
+      WriteSnapshotFile(env_, dir_, *schema_, *acs_, st, &bytes));
+  snapshots_written_ += 1;
+  snapshot_bytes_ += bytes;
+
+  // Seal the log at the snapshot boundary, then drop every fully covered
+  // segment and every older snapshot. A crash mid-cleanup is safe: load
+  // walks snapshots newest-first and replay skips covered records.
+  RAR_RETURN_NOT_OK(wal_->Rotate());
+  const std::string current_name = Basename(wal_->current_segment_path());
+  RAR_ASSIGN_OR_RETURN(std::vector<std::string> names, env_->ListDir(dir_));
+  bool removed = false;
+  for (const std::string& name : names) {
+    uint64_t first = 0;
+    if (ParseWalSegmentName(name, &first) && name < current_name) {
+      RAR_RETURN_NOT_OK(env_->RemoveFile(dir_ + "/" + name));
+      removed = true;
+    }
+    uint64_t covered = 0;
+    if (ParseSnapshotFileName(name, &covered) && covered < st.last_sequence) {
+      RAR_RETURN_NOT_OK(env_->RemoveFile(dir_ + "/" + name));
+      removed = true;
+    }
+  }
+  if (removed) RAR_RETURN_NOT_OK(env_->SyncDir(dir_));
+  records_since_snapshot_ = 0;
+  return Status::OK();
+}
+
+Status DurableSession::MaybeAutoSnapshotLocked() {
+  if (options_.snapshot_every_records == 0 ||
+      records_since_snapshot_ < options_.snapshot_every_records) {
+    return Status::OK();
+  }
+  return WriteSnapshotLocked();
+}
+
+uint64_t DurableSession::LogApply(const Access& access,
+                                  const std::vector<Fact>& response) {
+  return wal_->Append(WalRecordType::kApply,
+                      EncodeApplyPayload(*schema_, *acs_, access, response));
+}
+
+Status DurableSession::WaitDurable(uint64_t sequence) {
+  return wal_->WaitDurable(sequence);
+}
+
+void DurableSession::ContributeStats(EngineStats* stats) const {
+  WalWriterCounters c = wal_->counters();
+  stats->wal_records += c.records;
+  stats->wal_bytes += c.bytes;
+  stats->wal_fsyncs += c.fsyncs;
+  stats->wal_commit_batches += c.commit_batches;
+  stats->wal_commit_waiters += c.commit_waiters;
+  std::lock_guard<std::mutex> lock(session_mu_);
+  stats->snapshots_written += snapshots_written_;
+  stats->snapshot_bytes += snapshot_bytes_;
+  stats->replay_records += recovery_.replayed_records;
+  stats->replay_facts += recovery_.replayed_facts;
+  stats->wal_truncated_tails += recovery_.truncated_tails;
+}
+
+}  // namespace rar

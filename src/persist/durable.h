@@ -1,0 +1,160 @@
+// DurableSession: a crash-recoverable engine + stream registry.
+//
+// The session owns a RelevanceEngine and its RelevanceStreamRegistry and
+// funnels every mutating operation — ApplyResponse, direct query
+// registration, stream registration, subscriber acknowledgements — through
+// one mutex and the WAL. Applies are logged *inside* the engine's apply
+// critical section (PersistHook::LogApply, see engine.h) and made durable
+// before any listener observes them; the other operations are serialized
+// by the session mutex, so WAL sequence order equals execution order and
+// sequential replay is deterministic.
+//
+// `Open` is also recovery: it loads the newest readable snapshot (if
+// any), rebuilds the configuration in version-exact order, re-registers
+// direct queries and streams, truncates the WAL's torn tail, replays the
+// records past the snapshot, and only then attaches the hook and opens
+// the log for appending. A session recovered from `dir` is
+// VersionVector-identical to the crashed one and its streams resume from
+// their persisted cursors (`PollAfter(acked)` is gap-free).
+//
+// Contract: after Open, drive all mutations through the session — calling
+// `engine().ApplyResponse` directly would still be logged (the hook is
+// attached) but would race the session's snapshot bookkeeping.
+#ifndef RAR_PERSIST_DURABLE_H_
+#define RAR_PERSIST_DURABLE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "persist/io.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "stream/registry.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief Durability knobs of one session.
+struct PersistOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kGroupCommit;
+  /// Write a snapshot (and truncate covered WAL segments) automatically
+  /// after this many WAL records since the last one. 0 = only explicit
+  /// WriteSnapshot calls.
+  uint64_t snapshot_every_records = 0;
+  /// Filesystem to run against; nullptr = the real PosixEnv. Fault tests
+  /// pass a FaultInjectingEnv.
+  PersistEnv* env = nullptr;
+};
+
+/// \brief What Open's recovery pass found and did.
+struct RecoveryInfo {
+  bool from_snapshot = false;
+  uint64_t snapshot_sequence = 0;  ///< last WAL seq the snapshot covered
+  uint64_t replayed_records = 0;
+  uint64_t replayed_facts = 0;   ///< facts re-absorbed by replayed applies
+  uint64_t truncated_tails = 0;  ///< torn/corrupt WAL tails dropped
+};
+
+class DurableSession : public PersistHook, public ApplyListener {
+ public:
+  /// Opens (or recovers) the session persisted under `dir`. `bootstrap`
+  /// is the first-boot configuration; it must be passed identically on
+  /// every Open — it is not logged, it is the replay origin until the
+  /// first snapshot subsumes it. `schema` and `acs` must outlive the
+  /// session and match what the directory was written with.
+  static Result<std::unique_ptr<DurableSession>> Open(
+      const Schema& schema, const AccessMethodSet& acs,
+      const Configuration& bootstrap, const std::string& dir,
+      PersistOptions options = {}, EngineOptions engine_options = {});
+
+  ~DurableSession() override;
+
+  DurableSession(const DurableSession&) = delete;
+  DurableSession& operator=(const DurableSession&) = delete;
+
+  RelevanceEngine& engine() { return *engine_; }
+  const RelevanceEngine& engine() const { return *engine_; }
+  RelevanceStreamRegistry& streams() { return *registry_; }
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  /// Logged, durable ApplyResponse. Returns the number of new facts.
+  Result<int> Apply(const Access& access, const std::vector<Fact>& response);
+
+  /// Logged direct query registration. Engine QueryIds are stable across
+  /// WAL replay but can shift across a snapshot restore (streams register
+  /// their binding queries too); `direct_query_ids()` maps registration
+  /// order to the current engine id either way.
+  Result<QueryId> RegisterQuery(const UnionQuery& query);
+  const std::vector<QueryId>& direct_query_ids() const {
+    return direct_qids_;
+  }
+
+  /// Logged stream registration. Forces StreamOptions::retain_events so
+  /// the persisted cursor always has events to resume into.
+  Result<StreamId> RegisterStream(const UnionQuery& query,
+                                  StreamOptions options = {});
+
+  // Reads pass straight through to the registry.
+  StreamDelta Poll(StreamId id) { return registry_->Poll(id); }
+  StreamDelta PollAfter(StreamId id, uint64_t cursor) {
+    return registry_->PollAfter(id, cursor);
+  }
+
+  /// Logged, durable subscriber acknowledgement: the cursor survives a
+  /// crash, so a restarted subscriber resumes with PollAfter(acked).
+  Status Acknowledge(StreamId id, uint64_t upto);
+
+  /// Makes everything logged so far durable (graceful-shutdown flush).
+  Status Flush();
+
+  /// Writes a snapshot now and deletes the WAL segments it covers.
+  Status WriteSnapshot();
+
+  /// Highest WAL sequence assigned so far.
+  uint64_t last_sequence() const { return wal_->last_sequence(); }
+
+  // PersistHook (called by the engine's apply path):
+  uint64_t LogApply(const Access& access,
+                    const std::vector<Fact>& response) override;
+  Status WaitDurable(uint64_t sequence) override;
+
+  // ApplyListener (stats only; apply maintenance lives in the registry):
+  void OnApply(const ApplyEvent& event) override { (void)event; }
+  void ContributeStats(EngineStats* stats) const override;
+
+ private:
+  DurableSession(const Schema& schema, const AccessMethodSet& acs,
+                 PersistEnv* env, std::string dir, PersistOptions options)
+      : schema_(&schema), acs_(&acs), env_(env), dir_(std::move(dir)),
+        options_(options) {}
+
+  Status ReplayRecord(const WalRecord& rec);
+  Status WriteSnapshotLocked();
+  Status MaybeAutoSnapshotLocked();
+
+  const Schema* schema_;
+  const AccessMethodSet* acs_;
+  PersistEnv* env_;
+  const std::string dir_;
+  const PersistOptions options_;
+
+  std::unique_ptr<RelevanceEngine> engine_;
+  std::unique_ptr<RelevanceStreamRegistry> registry_;
+  std::unique_ptr<WalWriter> wal_;
+
+  /// Serializes every mutating operation (WAL order = execution order).
+  mutable std::mutex session_mu_;
+  std::vector<UnionQuery> direct_queries_;  ///< registration order
+  std::vector<QueryId> direct_qids_;
+  RecoveryInfo recovery_;
+  uint64_t records_since_snapshot_ = 0;
+  uint64_t snapshots_written_ = 0;
+  uint64_t snapshot_bytes_ = 0;
+};
+
+}  // namespace rar
+
+#endif  // RAR_PERSIST_DURABLE_H_

@@ -1,0 +1,141 @@
+// Persistence I/O: a minimal file abstraction with a fault-injecting shim.
+//
+// The WAL and snapshot layers never touch the filesystem directly; they go
+// through PersistEnv, which hands out WritableFile / ReadableFile handles.
+// PosixEnv is the real thing (fd-based, so Sync() is a true fsync).
+// FaultInjectingEnv wraps another env and injects the failures the on-disk
+// format claims to survive: torn tail writes (fail after N bytes), short
+// reads, single-byte bit flips, and a visible-size cap that simulates a
+// crash at an arbitrary byte of an otherwise intact file. Recovery tests
+// drive every one of these against real recovery paths.
+#ifndef RAR_PERSIST_IO_H_
+#define RAR_PERSIST_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief Append-only writable file. Append buffers nothing: bytes reach
+/// the OS before it returns (durability still requires Sync).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const void* data, size_t n) = 0;
+  /// Flushes OS buffers to stable storage (fsync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// \brief Random-access readable file.
+class ReadableFile {
+ public:
+  virtual ~ReadableFile() = default;
+  /// Reads up to `n` bytes at `offset`; returns the count actually read
+  /// (0 at EOF). May return fewer than `n` even before EOF — callers must
+  /// loop (the fault shim exercises exactly this).
+  virtual Result<size_t> ReadAt(uint64_t offset, void* buf, size_t n) = 0;
+  virtual Result<uint64_t> Size() = 0;
+};
+
+/// \brief Filesystem facade the persistence layer runs against.
+class PersistEnv {
+ public:
+  virtual ~PersistEnv() = default;
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) = 0;
+  virtual Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) = 0;
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  virtual Status CreateDir(const std::string& dir) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+  /// fsyncs the directory entry itself (needed after create/rename so the
+  /// name survives a crash, not just the bytes).
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// The real, fd-backed environment (process-wide singleton).
+PersistEnv* GetPosixEnv();
+
+/// Reads an entire file through `env` into `out`, looping over short
+/// reads. Used by snapshot load and the WAL reader.
+Status ReadFileFully(PersistEnv* env, const std::string& path,
+                     std::string* out);
+
+/// Writes `data` to `path` atomically: tmp file + fsync + rename + dir
+/// fsync. A crash leaves either the old file or the complete new one.
+Status AtomicWriteFile(PersistEnv* env, const std::string& path,
+                       const std::string& data);
+
+/// \brief One injected fault schedule, applied to files whose basename
+/// contains `path_substring` (empty = every file).
+struct FaultPlan {
+  std::string path_substring;
+  /// Write side: writes succeed for the first N bytes of the file's
+  /// lifetime under this env, then fail — the classic torn tail. -1 = off.
+  int64_t fail_appends_after_bytes = -1;
+  /// Read side: XOR this mask into the byte at this file offset. -1 = off.
+  int64_t flip_byte_at = -1;
+  uint8_t flip_mask = 0x01;
+  /// Read side: cap every ReadAt to at most this many bytes (short
+  /// reads; readers must loop). 0 = off.
+  size_t max_read_chunk = 0;
+  /// Read side: pretend the file ends here — a crash at byte N of an
+  /// otherwise intact file. -1 = off.
+  int64_t visible_size_cap = -1;
+};
+
+/// \brief PersistEnv decorator that applies FaultPlans to matching files.
+/// Not thread-safe for plan mutation; install plans before handing the
+/// env to a session.
+class FaultInjectingEnv : public PersistEnv {
+ public:
+  explicit FaultInjectingEnv(PersistEnv* base) : base_(base) {}
+
+  void AddPlan(FaultPlan plan) { plans_.push_back(std::move(plan)); }
+  void ClearPlans() { plans_.clear(); }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override;
+  Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Status CreateDir(const std::string& dir) override {
+    return base_->CreateDir(dir);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return base_->RemoveFile(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  Status Truncate(const std::string& path, uint64_t size) override {
+    return base_->Truncate(path, size);
+  }
+  Result<bool> FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Status SyncDir(const std::string& dir) override {
+    return base_->SyncDir(dir);
+  }
+
+ private:
+  const FaultPlan* MatchPlan(const std::string& path) const;
+
+  PersistEnv* base_;
+  std::vector<FaultPlan> plans_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_PERSIST_IO_H_

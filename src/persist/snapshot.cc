@@ -1,0 +1,327 @@
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "persist/wal_format.h"
+
+namespace rar {
+
+namespace {
+
+// 8 bytes: format name + version. Bumping the version invalidates old
+// images (recovery falls back to full WAL replay).
+constexpr char kMagic[8] = {'R', 'A', 'R', 'S', 'N', 'P', '0', '1'};
+
+void EncodeAccess(const Schema& schema, const AccessMethodSet& acs,
+                  const Access& a, BinWriter* w) {
+  w->Str(acs.method(a.method).name);
+  w->U32(static_cast<uint32_t>(a.binding.size()));
+  for (const Value& v : a.binding) EncodeValue(schema, v, w);
+}
+
+Status DecodeAccess(const Schema& schema, const AccessMethodSet& acs,
+                    BinReader* r, Access* out) {
+  std::string method_name;
+  RAR_RETURN_NOT_OK(r->Str(&method_name));
+  AccessMethodId m = acs.Find(method_name);
+  if (m == kInvalidId) {
+    return Status::ParseError("snapshot references unknown access method '" +
+                              method_name + "'");
+  }
+  out->method = m;
+  uint32_t n = 0;
+  RAR_RETURN_NOT_OK(r->U32(&n));
+  if (n != static_cast<uint32_t>(acs.method(m).num_inputs())) {
+    return Status::ParseError("snapshot access binding arity mismatch");
+  }
+  out->binding.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    RAR_RETURN_NOT_OK(DecodeValue(schema, r, &out->binding[i]));
+  }
+  return Status::OK();
+}
+
+void EncodeEvent(const Schema& schema, const StreamEvent& e, BinWriter* w) {
+  w->U8(static_cast<uint8_t>(e.kind));
+  w->U64(e.sequence);
+  w->U32(static_cast<uint32_t>(e.binding.size()));
+  for (const Value& v : e.binding) EncodeValue(schema, v, w);
+}
+
+Status DecodeEvent(const Schema& schema, BinReader* r, StreamEvent* out) {
+  uint8_t kind = 0;
+  RAR_RETURN_NOT_OK(r->U8(&kind));
+  if (kind > static_cast<uint8_t>(StreamEventKind::kBecameIrrelevant)) {
+    return Status::ParseError("snapshot stream event kind out of range");
+  }
+  out->kind = static_cast<StreamEventKind>(kind);
+  RAR_RETURN_NOT_OK(r->U64(&out->sequence));
+  uint32_t n = 0;
+  RAR_RETURN_NOT_OK(r->U32(&n));
+  if (n > r->remaining()) {
+    return Status::ParseError("snapshot stream event binding overruns body");
+  }
+  out->binding.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    RAR_RETURN_NOT_OK(DecodeValue(schema, r, &out->binding[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const Schema& schema, const AccessMethodSet& acs,
+                           const SnapshotState& state) {
+  std::string body;
+  BinWriter w(&body);
+  w.U64(state.last_sequence);
+
+  w.U32(static_cast<uint32_t>(state.adom.size()));
+  for (const auto& [domain, values] : state.adom) {
+    w.Str(schema.domain_name(domain));
+    w.U32(static_cast<uint32_t>(values.size()));
+    for (Value v : values) EncodeValue(schema, v, &w);
+  }
+
+  w.U32(static_cast<uint32_t>(state.facts.size()));
+  for (const auto& [rel, facts] : state.facts) {
+    w.Str(schema.relation(rel).name);
+    w.U32(static_cast<uint32_t>(facts.size()));
+    for (const Fact& f : facts) {
+      for (const Value& v : f.values) EncodeValue(schema, v, &w);
+    }
+  }
+
+  w.U32(static_cast<uint32_t>(state.performed.size()));
+  for (const Access& a : state.performed) EncodeAccess(schema, acs, a, &w);
+
+  w.U32(static_cast<uint32_t>(state.queries.size()));
+  for (const UnionQuery& q : state.queries) EncodeUnionQuery(schema, q, &w);
+
+  w.U32(static_cast<uint32_t>(state.streams.size()));
+  for (const SnapshotStreamState& s : state.streams) {
+    EncodeUnionQuery(schema, s.query, &w);
+    EncodeStreamOptions(s.options, &w);
+    w.U32(static_cast<uint32_t>(s.fresh_pool.size()));
+    for (const TypedValue& tv : s.fresh_pool) {
+      w.Str(schema.domain_name(tv.domain));
+      w.Str(schema.ConstantSpelling(tv.value));
+    }
+    w.U64(s.next_sequence);
+    w.U64(s.acked_sequence);
+    w.U32(static_cast<uint32_t>(s.retained_events.size()));
+    for (const StreamEvent& e : s.retained_events) EncodeEvent(schema, e, &w);
+  }
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  BinWriter h(&out);
+  h.U32(static_cast<uint32_t>(body.size()));
+  h.U32(Crc32(body.data(), body.size()));
+  out.append(body);
+  return out;
+}
+
+Status DecodeSnapshot(const Schema& schema, const AccessMethodSet& acs,
+                      std::string_view data, SnapshotState* out) {
+  if (data.size() < sizeof(kMagic) + 8 ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not a snapshot file (bad magic)");
+  }
+  std::string_view header = data.substr(sizeof(kMagic), 8);
+  uint32_t len = 0, crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
+    crc |= static_cast<uint32_t>(static_cast<uint8_t>(header[4 + i]))
+           << (8 * i);
+  }
+  std::string_view body = data.substr(sizeof(kMagic) + 8);
+  if (body.size() != len) {
+    return Status::ParseError("snapshot body length mismatch");
+  }
+  if (Crc32(body.data(), body.size()) != crc) {
+    return Status::ParseError("snapshot body CRC mismatch");
+  }
+
+  BinReader r(body);
+  RAR_RETURN_NOT_OK(r.U64(&out->last_sequence));
+
+  uint32_t num_domains = 0;
+  RAR_RETURN_NOT_OK(r.U32(&num_domains));
+  out->adom.clear();
+  out->adom.reserve(num_domains);
+  for (uint32_t d = 0; d < num_domains; ++d) {
+    std::string name;
+    RAR_RETURN_NOT_OK(r.Str(&name));
+    DomainId domain = schema.FindDomain(name);
+    if (domain == kInvalidId) {
+      return Status::ParseError("snapshot references unknown domain '" + name +
+                                "'");
+    }
+    uint32_t count = 0;
+    RAR_RETURN_NOT_OK(r.U32(&count));
+    if (count > r.remaining()) {
+      return Status::ParseError("snapshot adom list overruns body");
+    }
+    std::vector<Value> values(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      RAR_RETURN_NOT_OK(DecodeValue(schema, &r, &values[i]));
+    }
+    out->adom.emplace_back(domain, std::move(values));
+  }
+
+  uint32_t num_relations = 0;
+  RAR_RETURN_NOT_OK(r.U32(&num_relations));
+  out->facts.clear();
+  out->facts.reserve(num_relations);
+  for (uint32_t ri = 0; ri < num_relations; ++ri) {
+    std::string name;
+    RAR_RETURN_NOT_OK(r.Str(&name));
+    RelationId rel = schema.FindRelation(name);
+    if (rel == kInvalidId) {
+      return Status::ParseError("snapshot references unknown relation '" +
+                                name + "'");
+    }
+    const int arity = schema.relation(rel).arity();
+    uint32_t count = 0;
+    RAR_RETURN_NOT_OK(r.U32(&count));
+    if (count > r.remaining()) {
+      return Status::ParseError("snapshot fact list overruns body");
+    }
+    std::vector<Fact> facts(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      facts[i].relation = rel;
+      facts[i].values.resize(arity);
+      for (int p = 0; p < arity; ++p) {
+        RAR_RETURN_NOT_OK(DecodeValue(schema, &r, &facts[i].values[p]));
+      }
+    }
+    out->facts.emplace_back(rel, std::move(facts));
+  }
+
+  uint32_t num_performed = 0;
+  RAR_RETURN_NOT_OK(r.U32(&num_performed));
+  if (num_performed > r.remaining()) {
+    return Status::ParseError("snapshot performed list overruns body");
+  }
+  out->performed.assign(num_performed, Access{});
+  for (uint32_t i = 0; i < num_performed; ++i) {
+    RAR_RETURN_NOT_OK(DecodeAccess(schema, acs, &r, &out->performed[i]));
+  }
+
+  uint32_t num_queries = 0;
+  RAR_RETURN_NOT_OK(r.U32(&num_queries));
+  if (num_queries > r.remaining()) {
+    return Status::ParseError("snapshot query list overruns body");
+  }
+  out->queries.assign(num_queries, UnionQuery{});
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    RAR_RETURN_NOT_OK(DecodeUnionQuery(schema, &r, &out->queries[i]));
+  }
+
+  uint32_t num_streams = 0;
+  RAR_RETURN_NOT_OK(r.U32(&num_streams));
+  if (num_streams > r.remaining()) {
+    return Status::ParseError("snapshot stream list overruns body");
+  }
+  out->streams.assign(num_streams, SnapshotStreamState{});
+  for (uint32_t i = 0; i < num_streams; ++i) {
+    SnapshotStreamState& s = out->streams[i];
+    RAR_RETURN_NOT_OK(DecodeUnionQuery(schema, &r, &s.query));
+    RAR_RETURN_NOT_OK(DecodeStreamOptions(&r, &s.options));
+    uint32_t fresh = 0;
+    RAR_RETURN_NOT_OK(r.U32(&fresh));
+    if (fresh > r.remaining()) {
+      return Status::ParseError("snapshot fresh pool overruns body");
+    }
+    s.fresh_pool.resize(fresh);
+    for (uint32_t f = 0; f < fresh; ++f) {
+      std::string domain_name, spelling;
+      RAR_RETURN_NOT_OK(r.Str(&domain_name));
+      RAR_RETURN_NOT_OK(r.Str(&spelling));
+      DomainId domain = schema.FindDomain(domain_name);
+      if (domain == kInvalidId) {
+        return Status::ParseError("snapshot fresh pool unknown domain '" +
+                                  domain_name + "'");
+      }
+      s.fresh_pool[f] =
+          TypedValue{schema.InternConstant(spelling), domain};
+    }
+    RAR_RETURN_NOT_OK(r.U64(&s.next_sequence));
+    RAR_RETURN_NOT_OK(r.U64(&s.acked_sequence));
+    uint32_t retained = 0;
+    RAR_RETURN_NOT_OK(r.U32(&retained));
+    if (retained > r.remaining()) {
+      return Status::ParseError("snapshot retained events overrun body");
+    }
+    s.retained_events.resize(retained);
+    for (uint32_t e = 0; e < retained; ++e) {
+      RAR_RETURN_NOT_OK(DecodeEvent(schema, &r, &s.retained_events[e]));
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::ParseError("snapshot body has trailing bytes");
+  }
+  return Status::OK();
+}
+
+std::string SnapshotFileName(uint64_t last_sequence) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "snapshot-%020" PRIu64 ".snap",
+                last_sequence);
+  return buf;
+}
+
+bool ParseSnapshotFileName(const std::string& name, uint64_t* last_sequence) {
+  if (name.size() < 15 || name.compare(0, 9, "snapshot-") != 0 ||
+      name.compare(name.size() - 5, 5, ".snap") != 0) {
+    return false;
+  }
+  uint64_t seq = 0;
+  for (size_t i = 9; i < name.size() - 5; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *last_sequence = seq;
+  return true;
+}
+
+Status WriteSnapshotFile(PersistEnv* env, const std::string& dir,
+                         const Schema& schema, const AccessMethodSet& acs,
+                         const SnapshotState& state, uint64_t* bytes_written) {
+  std::string image = EncodeSnapshot(schema, acs, state);
+  if (bytes_written != nullptr) *bytes_written = image.size();
+  return AtomicWriteFile(env, dir + "/" + SnapshotFileName(state.last_sequence),
+                         image);
+}
+
+Status LoadLatestSnapshot(PersistEnv* env, const std::string& dir,
+                          const Schema& schema, const AccessMethodSet& acs,
+                          SnapshotState* out, bool* found) {
+  *found = false;
+  RAR_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseSnapshotFileName(name, &seq)) candidates.emplace_back(seq, name);
+  }
+  // Newest first; a corrupt image degrades to the previous one plus a
+  // longer WAL replay.
+  std::sort(candidates.rbegin(), candidates.rend());
+  for (const auto& [seq, name] : candidates) {
+    std::string data;
+    Status read = ReadFileFully(env, dir + "/" + name, &data);
+    if (!read.ok()) continue;
+    SnapshotState state;
+    if (!DecodeSnapshot(schema, acs, data, &state).ok()) continue;
+    *out = std::move(state);
+    *found = true;
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace rar

@@ -1,0 +1,98 @@
+// Snapshots: a point-in-time durable image of a session's state.
+//
+// A snapshot captures everything `RecoverEngine` needs to rebuild a
+// session without replaying history from sequence 1: the configuration
+// (typed active domain in per-domain first-seen order, then per-relation
+// fact lists in insertion order — restoring in that order reproduces the
+// exact VersionVector), the frontier's performed-access set, the direct
+// queries in registration order, and each stream's durable state (query,
+// options, fresh pool, cursors, retained events). `last_sequence` is the
+// highest WAL sequence the image covers; recovery replays only records
+// after it, and the writer may delete WAL segments whose records are all
+// covered once the snapshot is durably renamed into place.
+//
+// On disk: [8-byte magic][u32 body length][u32 crc32(body)][body],
+// written via AtomicWriteFile (tmp + fsync + rename + dir fsync), so a
+// crash mid-write leaves no partial snapshot under the real name. Loading
+// walks snapshots newest-first and takes the first one that passes magic,
+// length and CRC — a corrupted newest image degrades to the previous one
+// plus a longer WAL replay, never to a failed recovery.
+#ifndef RAR_PERSIST_SNAPSHOT_H_
+#define RAR_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "access/access_method.h"
+#include "persist/io.h"
+#include "query/query.h"
+#include "relational/fact.h"
+#include "relational/schema.h"
+#include "stream/stream.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief One stream's durable state inside a snapshot.
+struct SnapshotStreamState {
+  UnionQuery query;
+  StreamOptions options;
+  /// The registration's fresh pool in slot-class order (see
+  /// HeadInstantiator::fresh_constants).
+  std::vector<TypedValue> fresh_pool;
+  uint64_t next_sequence = 1;
+  uint64_t acked_sequence = 0;
+  std::vector<StreamEvent> retained_events;
+};
+
+/// \brief The decoded image of one snapshot file.
+struct SnapshotState {
+  /// Highest WAL sequence covered; replay resumes after it.
+  uint64_t last_sequence = 0;
+  /// Per domain (DomainId order): active-domain values in first-seen
+  /// order. Restoring each as a seed constant, domain by domain, before
+  /// any fact reproduces the per-domain Adom versions exactly.
+  std::vector<std::pair<DomainId, std::vector<Value>>> adom;
+  /// Per relation (RelationId order): facts in insertion order.
+  std::vector<std::pair<RelationId, std::vector<Fact>>> facts;
+  /// The frontier's performed accesses (order-insensitive).
+  std::vector<Access> performed;
+  /// Direct queries in registration order (replay re-registers them so
+  /// QueryIds line up).
+  std::vector<UnionQuery> queries;
+  /// Streams in StreamId order.
+  std::vector<SnapshotStreamState> streams;
+};
+
+/// Serializes a snapshot body (magic + CRC framing included).
+std::string EncodeSnapshot(const Schema& schema, const AccessMethodSet& acs,
+                           const SnapshotState& state);
+
+/// Decodes and validates a snapshot file image (magic, length, CRC, then
+/// every name and value against `schema`/`acs`).
+Status DecodeSnapshot(const Schema& schema, const AccessMethodSet& acs,
+                      std::string_view data, SnapshotState* out);
+
+/// The canonical file name: snapshot-<sequence, zero-padded>.snap.
+std::string SnapshotFileName(uint64_t last_sequence);
+
+/// Parses a snapshot file name; returns false for other files.
+bool ParseSnapshotFileName(const std::string& name, uint64_t* last_sequence);
+
+/// Atomically writes `state` into `dir` and fsyncs the directory.
+Status WriteSnapshotFile(PersistEnv* env, const std::string& dir,
+                         const Schema& schema, const AccessMethodSet& acs,
+                         const SnapshotState& state, uint64_t* bytes_written);
+
+/// Loads the newest readable snapshot in `dir` into `out`; `*found` is
+/// false when the directory holds no usable snapshot (fresh start).
+/// Corrupt candidates are skipped, newest-first.
+Status LoadLatestSnapshot(PersistEnv* env, const std::string& dir,
+                          const Schema& schema, const AccessMethodSet& acs,
+                          SnapshotState* out, bool* found);
+
+}  // namespace rar
+
+#endif  // RAR_PERSIST_SNAPSHOT_H_

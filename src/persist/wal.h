@@ -1,0 +1,138 @@
+// Write-ahead log: segment files of framed records, group-commit fsync.
+//
+// A log directory holds segments `wal-<firstseq>.log` (zero-padded, so
+// name order is sequence order). The writer appends frames to the newest
+// segment; `Rotate` seals it and starts the next (the snapshot protocol
+// rotates so every pre-snapshot segment can be deleted whole). Records
+// are assigned sequences at Append time — under the engine's apply locks,
+// so WAL order is consistent with every engine serialization — and become
+// durable in batches: the first WaitDurable caller becomes the commit
+// leader, writes everything buffered, fsyncs once, and wakes the group.
+//
+// The reader tolerates exactly the failures the format is built for: a
+// final frame cut short, CRC-corrupted, or length-overrunning is a torn
+// tail — replay stops at the last intact record and the writer truncates
+// the garbage before appending again. It never poisons replay.
+#ifndef RAR_PERSIST_WAL_H_
+#define RAR_PERSIST_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "persist/io.h"
+#include "persist/wal_format.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// When appended records reach stable storage.
+enum class FsyncPolicy : uint8_t {
+  kNone,         ///< OS write only; a machine crash can lose the tail
+  kAlways,       ///< fsync on every WaitDurable (simplest, slowest)
+  kGroupCommit,  ///< leader batches concurrent commits into one fsync
+};
+
+struct WalWriterOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kGroupCommit;
+  /// Optional latency sinks (owned by the engine's observability).
+  Histogram* fsync_ns = nullptr;   ///< each physical fsync
+  Histogram* commit_ns = nullptr;  ///< each WaitDurable, end to end
+};
+
+/// Monotone totals, snapshotted under the writer mutex.
+struct WalWriterCounters {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t commit_batches = 0;  ///< leader rounds (writes+fsyncs amortized)
+  uint64_t commit_waiters = 0;  ///< WaitDurable calls satisfied by a leader
+};
+
+class WalWriter {
+ public:
+  /// Opens a writer appending to `segment_path` (must exist; pass the
+  /// reader's last segment after truncating its torn tail), or starts a
+  /// fresh segment `wal-<next_sequence>.log` when `segment_path` is empty.
+  static Result<std::unique_ptr<WalWriter>> Open(PersistEnv* env,
+                                                 const std::string& dir,
+                                                 uint64_t next_sequence,
+                                                 const std::string& segment_path,
+                                                 WalWriterOptions options);
+
+  /// Assigns the next sequence to a framed record and buffers it. Never
+  /// blocks on I/O — durability is WaitDurable's job. Thread-safe.
+  uint64_t Append(WalRecordType type, std::string_view payload);
+
+  /// Blocks until every record with sequence <= `sequence` is durable
+  /// under the configured policy. Returns the sticky I/O error if the
+  /// log has failed.
+  Status WaitDurable(uint64_t sequence);
+
+  /// Makes everything appended so far durable.
+  Status Flush();
+
+  /// Seals the current segment (flushing it) and starts
+  /// `wal-<next-sequence>.log`. Callers must ensure no concurrent Append.
+  Status Rotate();
+
+  uint64_t last_sequence() const;
+  std::string current_segment_path() const;
+  WalWriterCounters counters() const;
+
+ private:
+  WalWriter(PersistEnv* env, std::string dir, uint64_t next_sequence,
+            WalWriterOptions options)
+      : env_(env), dir_(std::move(dir)), options_(options),
+        next_sequence_(next_sequence), durable_sequence_(next_sequence - 1) {}
+
+  Status OpenSegmentLocked(uint64_t first_sequence);
+
+  PersistEnv* env_;
+  const std::string dir_;
+  const WalWriterOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unique_ptr<WritableFile> file_;
+  std::string segment_path_;
+  std::string pending_;  ///< encoded frames not yet handed to the OS
+  uint64_t next_sequence_;
+  uint64_t durable_sequence_;
+  bool leader_active_ = false;
+  Status io_status_;  ///< sticky: a failed log never claims durability again
+  WalWriterCounters counters_;
+};
+
+/// \brief Everything replay needs from a log directory.
+struct WalReadResult {
+  /// Intact records with sequence > `after_sequence`, contiguous and
+  /// ascending. Reading stops at the first torn/corrupt frame or
+  /// sequence gap.
+  std::vector<WalRecord> records;
+  /// Torn or corrupt tails encountered (0 or 1 per read in practice).
+  uint64_t truncated_tails = 0;
+  /// Last segment visited, and the byte offset of its intact prefix —
+  /// the writer truncates to this before appending.
+  std::string last_segment_path;
+  uint64_t last_segment_valid_bytes = 0;
+};
+
+/// Reads every `wal-*.log` under `dir` in sequence order, skipping
+/// records at or below `after_sequence` (already covered by a snapshot).
+Result<WalReadResult> ReadWal(PersistEnv* env, const std::string& dir,
+                              uint64_t after_sequence);
+
+/// Segment name for a first sequence ("wal-00000000000000000042.log").
+std::string WalSegmentName(uint64_t first_sequence);
+
+/// Parses a segment name; returns false for non-WAL files.
+bool ParseWalSegmentName(const std::string& name, uint64_t* first_sequence);
+
+}  // namespace rar
+
+#endif  // RAR_PERSIST_WAL_H_

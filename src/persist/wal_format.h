@@ -1,0 +1,155 @@
+// WAL frame format and payload codecs.
+//
+// Every durable record is one frame:
+//
+//   [u32 length][u32 crc32][u64 sequence][u8 type][payload...]
+//
+// `length` covers sequence + type + payload; `crc32` (polynomial
+// 0xEDB88320, i.e. zlib's) covers the same bytes. All integers are
+// little-endian fixed-width. A reader that hits a frame whose length
+// overruns the file, or whose CRC fails, treats everything from that
+// frame on as a torn tail: replay stops cleanly at the last intact
+// record. Sequences are assigned monotonically at the engine's apply
+// point, so "last intact record" is a well-defined prefix of history.
+//
+// Payloads reference schema objects by *name* (relation / domain /
+// access-method names, constant spellings) — never by dense id — so a
+// log replays correctly into any engine built over an identical schema,
+// regardless of interner state.
+#ifndef RAR_PERSIST_WAL_FORMAT_H_
+#define RAR_PERSIST_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "access/access_method.h"
+#include "query/query.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "stream/stream.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) of `data`.
+uint32_t Crc32(const void* data, size_t n);
+
+/// \brief Appends fixed-width little-endian primitives to a string.
+class BinWriter {
+ public:
+  explicit BinWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_->push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_->push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// \brief Bounds-checked reader over a byte span. Every getter returns a
+/// ParseError instead of reading past the end, so corrupt payloads are
+/// rejected, never over-read.
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status Str(std::string* v);
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// \brief Durable record kinds. Values are on-disk; never renumber.
+enum class WalRecordType : uint8_t {
+  kApply = 1,           ///< one ApplyResponse (access + response facts)
+  kQueryRegister = 2,   ///< a direct RegisterQuery
+  kStreamRegister = 3,  ///< a stream registration (query+options+fresh pool)
+  kStreamCursor = 4,    ///< a subscriber acknowledgement (stream, sequence)
+};
+
+struct WalRecord {
+  uint64_t sequence = 0;
+  WalRecordType type = WalRecordType::kApply;
+  std::string payload;
+};
+
+/// Appends one framed record to `out`.
+void EncodeFrame(uint64_t sequence, WalRecordType type,
+                 std::string_view payload, std::string* out);
+
+enum class FrameResult {
+  kRecord,  ///< a record was decoded; *offset advanced past it
+  kEnd,     ///< clean end, torn tail, or CRC failure — stop reading
+};
+
+/// Decodes the frame at `*offset`. Never fails: anything that is not a
+/// complete, CRC-clean frame is kEnd (the torn-tail contract).
+FrameResult DecodeFrame(std::string_view data, size_t* offset, WalRecord* out);
+
+// ---------------------------------------------------------------------------
+// Payload codecs. Encoders assume in-memory objects are valid (they came
+// from a live engine); decoders validate everything (they read disk).
+
+void EncodeValue(const Schema& schema, Value v, BinWriter* w);
+Status DecodeValue(const Schema& schema, BinReader* r, Value* out);
+
+void EncodeUnionQuery(const Schema& schema, const UnionQuery& q, BinWriter* w);
+Status DecodeUnionQuery(const Schema& schema, BinReader* r, UnionQuery* out);
+
+void EncodeStreamOptions(const StreamOptions& o, BinWriter* w);
+Status DecodeStreamOptions(BinReader* r, StreamOptions* out);
+
+/// kApply payload: method name, binding values, response facts.
+std::string EncodeApplyPayload(const Schema& schema, const AccessMethodSet& acs,
+                               const Access& access,
+                               const std::vector<Fact>& response);
+Status DecodeApplyPayload(const Schema& schema, const AccessMethodSet& acs,
+                          std::string_view payload, Access* access,
+                          std::vector<Fact>* response);
+
+/// kQueryRegister payload: the query.
+std::string EncodeQueryRegisterPayload(const Schema& schema,
+                                       const UnionQuery& q);
+Status DecodeQueryRegisterPayload(const Schema& schema,
+                                  std::string_view payload, UnionQuery* out);
+
+/// kStreamRegister payload: query + options + the fresh-constant pool the
+/// original registration minted (one (domain, spelling) pair per head slot
+/// class, in slot-class order). Replay pre-seeds the instantiator with
+/// these so recovered bindings use the *same* check constants.
+struct StreamRegisterPayload {
+  UnionQuery query;
+  StreamOptions options;
+  std::vector<std::pair<DomainId, std::string>> fresh_pool;
+};
+std::string EncodeStreamRegisterPayload(const Schema& schema,
+                                        const StreamRegisterPayload& p);
+Status DecodeStreamRegisterPayload(const Schema& schema,
+                                   std::string_view payload,
+                                   StreamRegisterPayload* out);
+
+/// kStreamCursor payload: stream id + acknowledged sequence.
+std::string EncodeStreamCursorPayload(uint32_t stream_id, uint64_t acked);
+Status DecodeStreamCursorPayload(std::string_view payload, uint32_t* stream_id,
+                                 uint64_t* acked);
+
+}  // namespace rar
+
+#endif  // RAR_PERSIST_WAL_FORMAT_H_

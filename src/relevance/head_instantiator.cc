@@ -8,7 +8,8 @@
 namespace rar {
 
 HeadInstantiator::HeadInstantiator(const Schema& schema,
-                                   const UnionQuery& query)
+                                   const UnionQuery& query,
+                                   const std::vector<TypedValue>* preset_fresh)
     : schema_(&schema), query_(query), status_(Status::OK()) {
   if (query_.disjuncts.empty()) {
     status_ = Status::InvalidArgument("empty union query");
@@ -66,6 +67,11 @@ HeadInstantiator::HeadInstantiator(const Schema& schema,
   // Distinct domains and the fresh pool: one fresh constant per slot,
   // pooled per domain so repetition patterns across same-domain slots are
   // all reachable.
+  if (preset_fresh != nullptr && preset_fresh->size() != slot_domains_.size()) {
+    status_ = Status::InvalidArgument(
+        "preset fresh pool size disagrees with the query's slot classes");
+    return;
+  }
   slot_domain_index_.resize(slot_domains_.size());
   for (size_t s = 0; s < slot_domains_.size(); ++s) {
     size_t dix = domains_.size();
@@ -80,8 +86,18 @@ HeadInstantiator::HeadInstantiator(const Schema& schema,
       fresh_by_domain_.emplace_back();
     }
     slot_domain_index_[s] = dix;
-    Value c =
-        schema_->MintFreshConstant("ck_" + schema_->domain_name(domains_[dix]));
+    Value c;
+    if (preset_fresh != nullptr) {
+      if ((*preset_fresh)[s].domain != domains_[dix]) {
+        status_ = Status::InvalidArgument(
+            "preset fresh pool domain disagrees with slot class");
+        return;
+      }
+      c = (*preset_fresh)[s].value;
+    } else {
+      c = schema_->MintFreshConstant("ck_" +
+                                     schema_->domain_name(domains_[dix]));
+    }
     fresh_by_domain_[dix].push_back(c);
     fresh_.push_back(TypedValue{c, domains_[dix]});
   }

@@ -86,7 +86,17 @@ class HeadInstantiator {
   /// Validates the head shape (disjuncts agree on arity and output
   /// domains), computes slots, and mints the fresh pool. Check `status()`
   /// before any other call.
-  HeadInstantiator(const Schema& schema, const UnionQuery& query);
+  ///
+  /// `preset_fresh` (recovery): instead of minting, reuse an earlier
+  /// instantiation's fresh pool — one typed value per slot class, in slot
+  /// -class order, exactly as a previous `fresh_constants()` returned it.
+  /// Minting probes the schema's shared constant interner for an unused
+  /// spelling, so a replayed registration would otherwise coin *different*
+  /// check constants than the run being recovered, and every persisted
+  /// fresh-binding row would fail to line up. Domains must match the
+  /// query's slot classes; size or domain mismatch fails `status()`.
+  HeadInstantiator(const Schema& schema, const UnionQuery& query,
+                   const std::vector<TypedValue>* preset_fresh = nullptr);
 
   const Status& status() const { return status_; }
   const UnionQuery& query() const { return query_; }

@@ -123,8 +123,9 @@ struct RelationGate {
 /// \brief One stream's resident state. Owned by the registry; all fields
 /// after construction are guarded by `mu`.
 struct StreamState {
-  StreamState(const Schema& schema, const UnionQuery& q, StreamOptions opts)
-      : query(q), options(opts), inst(schema, q) {}
+  StreamState(const Schema& schema, const UnionQuery& q, StreamOptions opts,
+              const std::vector<TypedValue>* preset_fresh = nullptr)
+      : query(q), options(opts), inst(schema, q, preset_fresh) {}
 
   UnionQuery query;
   StreamOptions options;
@@ -210,6 +211,11 @@ struct StreamState {
 
   std::vector<StreamEvent> pending_events;  ///< undrained (Poll output)
   uint64_t next_sequence = 1;
+  /// Retained-mode cursors (options.retain_events; see stream.h). Events
+  /// stay in pending_events until acknowledged; Poll copies everything
+  /// past poll_cursor instead of draining.
+  uint64_t poll_cursor = 0;     ///< last sequence handed out by Poll
+  uint64_t acked_sequence = 0;  ///< last sequence the subscriber confirmed
 
   mutable std::mutex mu;
 };

@@ -151,8 +151,21 @@ StreamState* RelevanceStreamRegistry::stream(StreamId id) const {
 
 Result<StreamId> RelevanceStreamRegistry::Register(const UnionQuery& query,
                                                    StreamOptions options) {
-  auto owned =
-      std::make_unique<StreamState>(engine_->schema(), query, options);
+  return RegisterInternal(query, options, /*info=*/nullptr);
+}
+
+Result<StreamId> RelevanceStreamRegistry::RegisterRecovered(
+    const UnionQuery& query, StreamOptions options,
+    const StreamRecoveryInfo& info) {
+  return RegisterInternal(query, options, &info);
+}
+
+Result<StreamId> RelevanceStreamRegistry::RegisterInternal(
+    const UnionQuery& query, StreamOptions options,
+    const StreamRecoveryInfo* info) {
+  auto owned = std::make_unique<StreamState>(
+      engine_->schema(), query, options,
+      info != nullptr ? &info->fresh_pool : nullptr);
   StreamState& s = *owned;
   RAR_RETURN_NOT_OK(s.inst.status());
   s.query_footprint = RelationFootprint::Of(query);
@@ -275,6 +288,17 @@ Result<StreamId> RelevanceStreamRegistry::Register(const UnionQuery& query,
   }
   RecheckWave(s, num_relations_, /*force=*/true, /*event=*/nullptr,
               /*performed_after=*/0, /*adom_hit=*/false);
+  if (info != nullptr && info->quiet) {
+    // Snapshot restore: the subscriber already consumed everything through
+    // its acknowledged cursor, so the re-registration's own events are
+    // noise — replace them with the persisted un-acknowledged tail and
+    // force the cursors. The verdict/binding state itself regenerated
+    // identically above (same configuration, same fresh pool).
+    s.pending_events = info->retained_events;
+    s.next_sequence = info->next_sequence;
+    s.acked_sequence = info->acked_sequence;
+    s.poll_cursor = info->acked_sequence;
+  }
   return id;
 }
 
@@ -1150,10 +1174,67 @@ StreamDelta RelevanceStreamRegistry::Poll(StreamId id) {
   StreamState* s = stream(id);
   if (s == nullptr) return delta;
   std::lock_guard<std::mutex> lock(s->mu);
-  delta.events = std::move(s->pending_events);
-  s->pending_events.clear();
+  if (s->options.retain_events) {
+    // Retained mode: copy past the poll cursor; events survive until
+    // Acknowledge so a reconnecting subscriber can PollAfter(acked).
+    for (const StreamEvent& e : s->pending_events) {
+      if (e.sequence > s->poll_cursor) delta.events.push_back(e);
+    }
+    if (!delta.events.empty()) {
+      s->poll_cursor = delta.events.back().sequence;
+    }
+  } else {
+    delta.events = std::move(s->pending_events);
+    s->pending_events.clear();
+  }
   delta.last_sequence = s->next_sequence - 1;
   return delta;
+}
+
+StreamDelta RelevanceStreamRegistry::PollAfter(StreamId id, uint64_t cursor) {
+  StreamState* s = stream(id);
+  if (s == nullptr) return StreamDelta{};
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->options.retain_events && cursor < s->poll_cursor) {
+      s->poll_cursor = cursor;
+    }
+  }
+  return Poll(id);
+}
+
+Status RelevanceStreamRegistry::Acknowledge(StreamId id, uint64_t upto) {
+  StreamState* s = stream(id);
+  if (s == nullptr) return Status::NotFound("no such stream");
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (!s->options.retain_events) {
+    return Status::FailedPrecondition(
+        "stream does not retain events (StreamOptions::retain_events)");
+  }
+  if (upto > s->acked_sequence) s->acked_sequence = upto;
+  // Acknowledged implies delivered: never re-deliver at or below `upto`.
+  if (upto > s->poll_cursor) s->poll_cursor = upto;
+  std::vector<StreamEvent>& evs = s->pending_events;
+  evs.erase(std::remove_if(
+                evs.begin(), evs.end(),
+                [&](const StreamEvent& e) { return e.sequence <= upto; }),
+            evs.end());
+  return Status::OK();
+}
+
+Result<RelevanceStreamRegistry::StreamPersistState>
+RelevanceStreamRegistry::DumpPersistState(StreamId id) const {
+  StreamState* s = stream(id);
+  if (s == nullptr) return Status::NotFound("no such stream");
+  std::lock_guard<std::mutex> lock(s->mu);
+  StreamPersistState ps;
+  ps.query = s->query;
+  ps.options = s->options;
+  ps.fresh_pool = s->inst.fresh_constants();
+  ps.next_sequence = s->next_sequence;
+  ps.acked_sequence = s->acked_sequence;
+  ps.retained_events = s->pending_events;
+  return ps;
 }
 
 StreamSnapshot RelevanceStreamRegistry::Snapshot(StreamId id) const {

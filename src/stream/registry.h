@@ -86,6 +86,30 @@
 
 namespace rar {
 
+/// \brief Everything recovery needs to rebuild one stream identically
+/// (src/persist/). Two modes:
+///
+///  * `quiet` (snapshot restore): the subscriber already consumed events
+///    up to its acknowledged cursor, so the re-registration's own events
+///    are discarded, the sequence counter is forced to its persisted
+///    value, and the retained un-acknowledged tail is spliced back in —
+///    `PollAfter(acked)` then resumes exactly where the subscriber left
+///    off.
+///  * `!quiet` (WAL replay of the original registration): events
+///    regenerate naturally from sequence 1, exactly as the original
+///    emitted them; only the fresh pool is preset.
+struct StreamRecoveryInfo {
+  /// The original registration's fresh pool, in
+  /// `HeadInstantiator::fresh_constants()` order (values already
+  /// interned). Without it a replayed registration would mint different
+  /// check constants and no persisted binding would line up.
+  std::vector<TypedValue> fresh_pool;
+  bool quiet = false;
+  uint64_t next_sequence = 1;
+  uint64_t acked_sequence = 0;
+  std::vector<StreamEvent> retained_events;
+};
+
 class RelevanceStreamRegistry : public ApplyListener {
  public:
   /// Attaches to `engine` (must outlive the registry).
@@ -101,10 +125,42 @@ class RelevanceStreamRegistry : public ApplyListener {
   Result<StreamId> Register(const UnionQuery& query,
                             StreamOptions options = {});
 
+  /// Re-registers a stream from persisted state (see StreamRecoveryInfo).
+  /// Recovery only: the engine's configuration must already hold the state
+  /// the info was captured against.
+  Result<StreamId> RegisterRecovered(const UnionQuery& query,
+                                     StreamOptions options,
+                                     const StreamRecoveryInfo& info);
+
   size_t num_streams() const;
 
-  /// Drains the events accumulated since the previous Poll.
+  /// Drains the events accumulated since the previous Poll. Retaining
+  /// streams (StreamOptions::retain_events) copy instead: events stay
+  /// queued until Acknowledge, and Poll hands out only those past the
+  /// stream's poll cursor.
   StreamDelta Poll(StreamId id);
+
+  /// Retained-mode Poll from an explicit cursor: rewinds the poll cursor
+  /// to `cursor` (when behind it) and re-delivers every retained event
+  /// after it — the reconnect/recovery path (`PollAfter(acked)` is gap-
+  /// free). Equivalent to Poll for non-retaining streams.
+  StreamDelta PollAfter(StreamId id, uint64_t cursor);
+
+  /// Confirms delivery through sequence `upto`: drops retained events at
+  /// or below it and advances the acknowledged cursor (what snapshots
+  /// persist). Fails on non-retaining streams.
+  Status Acknowledge(StreamId id, uint64_t upto);
+
+  /// \brief A stream's durable state, as snapshots capture it.
+  struct StreamPersistState {
+    UnionQuery query;
+    StreamOptions options;
+    std::vector<TypedValue> fresh_pool;  ///< inst.fresh_constants() order
+    uint64_t next_sequence = 1;
+    uint64_t acked_sequence = 0;
+    std::vector<StreamEvent> retained_events;  ///< un-acknowledged tail
+  };
+  Result<StreamPersistState> DumpPersistState(StreamId id) const;
 
   /// Point-in-time state (bindings included).
   StreamSnapshot Snapshot(StreamId id) const;
@@ -126,6 +182,11 @@ class RelevanceStreamRegistry : public ApplyListener {
 
  private:
   StreamState* stream(StreamId id) const;
+
+  /// Shared registration body; `info` non-null on the recovery path.
+  Result<StreamId> RegisterInternal(const UnionQuery& query,
+                                    StreamOptions options,
+                                    const StreamRecoveryInfo* info);
 
   /// Appends one binding for a slot tuple (registers Q_b with the engine).
   /// Caller holds `s.mu`.

@@ -52,6 +52,13 @@ struct StreamOptions {
   /// gating bug; verdicts must be identical either way (the stream_test
   /// property tests pin that).
   bool force_full_recheck = false;
+  /// Retain delivered events until the subscriber acknowledges them
+  /// (`Acknowledge`), instead of draining on Poll. Required for resumable
+  /// cursors: after a crash or reconnect, `PollAfter(acked)` re-delivers
+  /// everything past the acknowledged sequence, gap-free. DurableSession
+  /// forces this on so persisted cursors always have events to resume
+  /// into.
+  bool retain_events = false;
 };
 
 /// \brief Binding lifecycle events a stream emits.
