@@ -256,10 +256,11 @@ int main() {
                   s.schema->ValueToString(ev.binding[0]).c_str());
     }
 
-    // A snapshot seals the history: covered WAL segments are deleted and
-    // the next restart restores the image instead of replaying from 1.
+    // A snapshot seals the history: the next restart restores the image
+    // instead of replaying from 1. Cleanup keeps the previous image and
+    // the WAL back to it as a fallback against a corrupt newest image.
     if (!(*recovered)->WriteSnapshot().ok()) return 1;
-    std::printf("snapshot written at sequence %llu; wal truncated\n",
+    std::printf("snapshot written at sequence %llu; wal pruned\n",
                 static_cast<unsigned long long>((*recovered)->last_sequence()));
   }
 

@@ -25,6 +25,22 @@ Result<std::unique_ptr<DurableSession>> DurableSession::Open(
   std::unique_ptr<DurableSession> s(
       new DurableSession(schema, acs, env, dir, options));
 
+  // A crash inside AtomicWriteFile (between creating `*.tmp` and the
+  // rename) strands a temp file no other path ever matches; sweep them
+  // here so they cannot accumulate across crash cycles.
+  {
+    RAR_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+    bool removed = false;
+    for (const std::string& name : names) {
+      if (name.size() > 4 &&
+          name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        RAR_RETURN_NOT_OK(env->RemoveFile(dir + "/" + name));
+        removed = true;
+      }
+    }
+    if (removed) RAR_RETURN_NOT_OK(env->SyncDir(dir));
+  }
+
   SnapshotState snap;
   bool have_snapshot = false;
   RAR_RETURN_NOT_OK(
@@ -77,6 +93,16 @@ Result<std::unique_ptr<DurableSession>> DurableSession::Open(
   RAR_ASSIGN_OR_RETURN(WalReadResult log,
                        ReadWal(env, dir, have_snapshot ? snap.last_sequence
                                                        : 0));
+  if (log.damaged) {
+    // The log holds real records replay cannot bridge to (typically: the
+    // snapshot that covered the missing prefix is gone or unreadable).
+    // Truncating here would silently destroy durable data — refuse.
+    return Status::Internal(
+        "WAL recovery refused for " + dir + ": " + log.damage +
+        (have_snapshot
+             ? ""
+             : "; no readable snapshot covers the missing records"));
+  }
   for (const WalRecord& rec : log.records) {
     RAR_RETURN_NOT_OK(s->ReplayRecord(rec));
   }
@@ -284,21 +310,44 @@ Status DurableSession::WriteSnapshotLocked() {
   snapshots_written_ += 1;
   snapshot_bytes_ += bytes;
 
-  // Seal the log at the snapshot boundary, then drop every fully covered
-  // segment and every older snapshot. A crash mid-cleanup is safe: load
-  // walks snapshots newest-first and replay skips covered records.
+  // Seal the log at the snapshot boundary, then clean up — keeping a
+  // one-deep fallback chain: the previous snapshot survives, along with
+  // every WAL segment holding records past it, so recovery from a
+  // corrupt newest image degrades to the older image plus a longer
+  // replay instead of data loss. Only state the fallback also covers is
+  // deleted. A crash mid-cleanup is safe: load walks snapshots
+  // newest-first and replay skips covered records.
   RAR_RETURN_NOT_OK(wal_->Rotate());
-  const std::string current_name = Basename(wal_->current_segment_path());
   RAR_ASSIGN_OR_RETURN(std::vector<std::string> names, env_->ListDir(dir_));
-  bool removed = false;
+  uint64_t prev_covered = 0;  // newest older snapshot = the fallback image
+  for (const std::string& name : names) {
+    uint64_t covered = 0;
+    if (ParseSnapshotFileName(name, &covered) &&
+        covered < st.last_sequence && covered > prev_covered) {
+      prev_covered = covered;
+    }
+  }
+  std::vector<std::pair<uint64_t, std::string>> segments;
   for (const std::string& name : names) {
     uint64_t first = 0;
-    if (ParseWalSegmentName(name, &first) && name < current_name) {
-      RAR_RETURN_NOT_OK(env_->RemoveFile(dir_ + "/" + name));
+    if (ParseWalSegmentName(name, &first)) segments.emplace_back(first, name);
+  }
+  std::sort(segments.begin(), segments.end());
+  bool removed = false;
+  // A segment ends where the next one starts, so it is deletable once
+  // the next segment's first sequence is <= prev_covered+1: every record
+  // in it is then covered by the fallback image too. With no previous
+  // snapshot (prev_covered == 0) nothing qualifies — the full log *is*
+  // the fallback. The just-rotated segment is last and never deletable.
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1].first <= prev_covered + 1) {
+      RAR_RETURN_NOT_OK(env_->RemoveFile(dir_ + "/" + segments[i].second));
       removed = true;
     }
+  }
+  for (const std::string& name : names) {
     uint64_t covered = 0;
-    if (ParseSnapshotFileName(name, &covered) && covered < st.last_sequence) {
+    if (ParseSnapshotFileName(name, &covered) && covered < prev_covered) {
       RAR_RETURN_NOT_OK(env_->RemoveFile(dir_ + "/" + name));
       removed = true;
     }

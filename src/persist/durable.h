@@ -110,7 +110,11 @@ class DurableSession : public PersistHook, public ApplyListener {
   /// Makes everything logged so far durable (graceful-shutdown flush).
   Status Flush();
 
-  /// Writes a snapshot now and deletes the WAL segments it covers.
+  /// Writes a snapshot now and prunes durable state down to a one-deep
+  /// fallback chain: the new image, the previous image, and the WAL
+  /// segments holding records past the previous image. A corrupt newest
+  /// snapshot therefore always degrades to the previous one plus a
+  /// longer replay, never to data loss.
   Status WriteSnapshot();
 
   /// Highest WAL sequence assigned so far.

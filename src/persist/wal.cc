@@ -65,6 +65,30 @@ uint64_t WalWriter::Append(WalRecordType type, std::string_view payload) {
 Status WalWriter::WaitDurable(uint64_t sequence) {
   ScopedTimer commit_timer(options_.commit_ns);
   std::unique_lock<std::mutex> lock(mu_);
+  if (options_.fsync_policy == FsyncPolicy::kAlways) {
+    // Per-commit fsync: no leader batching. The mutex is held across the
+    // write+fsync, so commits serialize and each one that is not already
+    // durable pays its own fsync.
+    if (!io_status_.ok()) return io_status_;
+    if (durable_sequence_ >= sequence) return Status::OK();
+    std::string batch = std::move(pending_);
+    pending_.clear();
+    const uint64_t batch_end = next_sequence_ - 1;
+    counters_.commit_batches += 1;
+    Status s;
+    if (!batch.empty()) s = file_->Append(batch.data(), batch.size());
+    if (s.ok()) {
+      ScopedTimer fsync_timer(options_.fsync_ns);
+      s = file_->Sync();
+    }
+    if (!s.ok()) {
+      io_status_ = s;
+      return s;
+    }
+    counters_.fsyncs += 1;
+    durable_sequence_ = std::max(durable_sequence_, batch_end);
+    return Status::OK();
+  }
   bool led = false;
   while (true) {
     if (!io_status_.ok()) return io_status_;
@@ -152,10 +176,19 @@ Result<WalReadResult> ReadWal(PersistEnv* env, const std::string& dir,
   uint64_t expected = after_sequence + 1;
   bool stopped = false;
   for (const auto& [first, name] : segments) {
-    if (stopped) break;
     const std::string path = dir + "/" + name;
     std::string data;
     RAR_RETURN_NOT_OK(ReadFileFully(env, path, &data));
+    if (stopped) {
+      // A crash tears only the *last* appended segment, so bytes in any
+      // segment past a stop point mean the log is damaged mid-history.
+      if (!data.empty() && !result.damaged) {
+        result.damaged = true;
+        result.damage = "bytes present in segment " + name +
+                        " past a torn/corrupt tail";
+      }
+      continue;
+    }
     size_t offset = 0;
     size_t record_start = 0;
     WalRecord rec;
@@ -163,9 +196,14 @@ Result<WalReadResult> ReadWal(PersistEnv* env, const std::string& dir,
            DecodeFrame(data, &offset, &rec) == FrameResult::kRecord) {
       if (rec.sequence < expected) continue;  // covered by the snapshot
       if (rec.sequence != expected) {
-        // A gap means the log was damaged beyond a tail tear; everything
-        // from here on is untrusted. Stop at the last contiguous record
-        // and truncate the stray frame with the rest of the tail.
+        // Intact frames that skip sequences mean records are *missing*
+        // (a snapshot that covered them is gone or unreadable, or
+        // segments were deleted) — not a tail tear. Report it instead
+        // of silently dropping everything from here on.
+        result.damaged = true;
+        result.damage = "sequence gap in segment " + name + ": expected " +
+                        std::to_string(expected) + ", found " +
+                        std::to_string(rec.sequence);
         offset = record_start;
         stopped = true;
         break;
@@ -174,7 +212,7 @@ Result<WalReadResult> ReadWal(PersistEnv* env, const std::string& dir,
       rec = WalRecord{};
       ++expected;
     }
-    if (offset < data.size()) {
+    if (offset < data.size() && !result.damaged) {
       // Bytes remain past the last intact frame: a torn or corrupt tail.
       result.truncated_tails += 1;
       stopped = true;

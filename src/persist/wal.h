@@ -32,8 +32,11 @@ namespace rar {
 
 /// When appended records reach stable storage.
 enum class FsyncPolicy : uint8_t {
-  kNone,         ///< OS write only; a machine crash can lose the tail
-  kAlways,       ///< fsync on every WaitDurable (simplest, slowest)
+  kNone,  ///< OS write only; a machine crash can lose the tail
+  /// Every WaitDurable whose sequence is not yet durable performs its
+  /// own write+fsync under the writer mutex — no leader batching, one
+  /// fsync per commit (simplest, slowest).
+  kAlways,
   kGroupCommit,  ///< leader batches concurrent commits into one fsync
 };
 
@@ -120,6 +123,13 @@ struct WalReadResult {
   /// the writer truncates to this before appending.
   std::string last_segment_path;
   uint64_t last_segment_valid_bytes = 0;
+  /// Set when the log is damaged beyond a terminal torn tail: intact
+  /// frames skip sequence numbers (records are *missing*, e.g. the
+  /// snapshot that covered them is unreadable), or bytes exist in
+  /// segments past a tear. Truncating through that would destroy real
+  /// data — recovery must fail loudly instead.
+  bool damaged = false;
+  std::string damage;  ///< human-readable description when `damaged`
 };
 
 /// Reads every `wal-*.log` under `dir` in sequence order, skipping

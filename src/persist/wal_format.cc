@@ -26,9 +26,13 @@ constexpr size_t kFrameHeader = 8;  // u32 length + u32 crc
 constexpr size_t kFrameBodyMin = 9;  // u64 sequence + u8 type
 
 uint32_t LoadU32(const char* p) {
-  uint32_t v;
-  std::memcpy(&v, p, 4);
-  return v;  // little-endian hosts only (matches the writer)
+  // Explicit little-endian, matching BinWriter::U32 — a native memcpy
+  // would misparse every frame on a big-endian host and read the whole
+  // log as a torn tail.
+  const uint8_t* b = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
 }
 
 }  // namespace

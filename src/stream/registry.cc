@@ -1211,6 +1211,15 @@ Status RelevanceStreamRegistry::Acknowledge(StreamId id, uint64_t upto) {
     return Status::FailedPrecondition(
         "stream does not retain events (StreamOptions::retain_events)");
   }
+  if (upto >= s->next_sequence) {
+    // An ack past the last emitted event would push the cursor into the
+    // future — events emitted later with sequence <= upto would silently
+    // never be delivered, and the bogus cursor would be persisted.
+    return Status::InvalidArgument(
+        "acknowledge beyond last emitted event (upto " +
+        std::to_string(upto) + ", last emitted " +
+        std::to_string(s->next_sequence - 1) + ")");
+  }
   if (upto > s->acked_sequence) s->acked_sequence = upto;
   // Acknowledged implies delivered: never re-deliver at or below `upto`.
   if (upto > s->poll_cursor) s->poll_cursor = upto;

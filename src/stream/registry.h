@@ -148,7 +148,9 @@ class RelevanceStreamRegistry : public ApplyListener {
 
   /// Confirms delivery through sequence `upto`: drops retained events at
   /// or below it and advances the acknowledged cursor (what snapshots
-  /// persist). Fails on non-retaining streams.
+  /// persist). Fails on non-retaining streams and when `upto` exceeds
+  /// the last emitted sequence (a cursor in the future would suppress
+  /// delivery of events not yet emitted).
   Status Acknowledge(StreamId id, uint64_t upto);
 
   /// \brief A stream's durable state, as snapshots capture it.

@@ -474,44 +474,56 @@ TEST(DurableSessionTest, CloseReopenParityAndResume) {
   EXPECT_TRUE((*again)->engine().versions() == after);
 }
 
-TEST(DurableSessionTest, SnapshotTruncatesWalAndRestores) {
+TEST(DurableSessionTest, SnapshotPrunesToFallbackChainAndRestores) {
   PersistFixture fx;
   const std::string dir = TestDir("snapshot");
-  uint64_t snap_seq = 0;
+  uint64_t snap1 = 0, snap2 = 0;
   {
     std::vector<ExpectedState> expected = RunScript(fx, dir, {});
     (void)expected;
   }
   std::vector<ExpectedState> expected;
   {
-    // Reopen, snapshot, then two more applies past the snapshot.
+    // Reopen, snapshot twice with applies in between, then two applies
+    // past the second snapshot.
     auto s = DurableSession::Open(fx.schema, fx.acs, fx.bootstrap, dir, {},
                                   fx.quiet_engine());
     ASSERT_TRUE(s.ok());
     ASSERT_TRUE((*s)->WriteSnapshot().ok());
-    snap_seq = (*s)->last_sequence();
+    snap1 = (*s)->last_sequence();
     ASSERT_TRUE(
         (*s)->Apply(Access{fx.mr, {fx.C("n2")}},
                     {Fact(fx.r, {fx.C("n2"), fx.C("n2")})})
             .ok());
     ASSERT_TRUE(
         (*s)->Apply(Access{fx.ms, {}}, {Fact(fx.s_rel, {fx.C("a")})}).ok());
+    ASSERT_TRUE((*s)->WriteSnapshot().ok());
+    snap2 = (*s)->last_sequence();
+    ASSERT_TRUE(
+        (*s)->Apply(Access{fx.mr, {fx.C("n2")}},
+                    {Fact(fx.r, {fx.C("n2"), fx.C("a")})})
+            .ok());
+    ASSERT_TRUE(
+        (*s)->Apply(Access{fx.ms, {}}, {Fact(fx.s_rel, {fx.C("n2")})}).ok());
 
-    // Old segments are gone: only the post-rotate segment and the one
-    // snapshot remain.
+    // Cleanup keeps a one-deep fallback chain: the newest two snapshots
+    // and only the WAL segments holding records past the *previous*
+    // snapshot. Everything older is gone.
     auto names = GetPosixEnv()->ListDir(dir);
     ASSERT_TRUE(names.ok());
-    size_t wal_files = 0, snap_files = 0;
+    std::vector<uint64_t> wal_firsts, snap_seqs;
     for (const std::string& name : *names) {
       uint64_t n = 0;
-      if (ParseWalSegmentName(name, &n)) {
-        ++wal_files;
-        EXPECT_GT(n, snap_seq);
-      }
-      if (ParseSnapshotFileName(name, &n)) ++snap_files;
+      if (ParseWalSegmentName(name, &n)) wal_firsts.push_back(n);
+      if (ParseSnapshotFileName(name, &n)) snap_seqs.push_back(n);
     }
-    EXPECT_EQ(wal_files, 1u);
-    EXPECT_EQ(snap_files, 1u);
+    std::sort(wal_firsts.begin(), wal_firsts.end());
+    std::sort(snap_seqs.begin(), snap_seqs.end());
+    EXPECT_EQ(snap_seqs, (std::vector<uint64_t>{snap1, snap2}));
+    ASSERT_EQ(wal_firsts.size(), 2u);
+    EXPECT_EQ(wal_firsts[0], snap1 + 1)
+        << "the log must reach back to the fallback image";
+    EXPECT_EQ(wal_firsts[1], snap2 + 1);
 
     // Oracle state for the recovered side: cumulative events are what a
     // fresh subscriber can see, i.e. the retained (un-acked) tail.
@@ -526,7 +538,7 @@ TEST(DurableSessionTest, SnapshotTruncatesWalAndRestores) {
                                         {}, fx.quiet_engine());
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   EXPECT_TRUE((*recovered)->recovery().from_snapshot);
-  EXPECT_EQ((*recovered)->recovery().snapshot_sequence, snap_seq);
+  EXPECT_EQ((*recovered)->recovery().snapshot_sequence, snap2);
   EXPECT_EQ((*recovered)->recovery().replayed_records, 2u);
   ExpectStateParity(fx, expected.back(), **recovered, "snapshot restore");
 
@@ -549,7 +561,8 @@ TEST(DurableSessionTest, AutoSnapshotKeepsParity) {
     uint64_t n = 0;
     if (ParseSnapshotFileName(name, &n)) ++snap_files;
   }
-  EXPECT_EQ(snap_files, 1u) << "auto-snapshots keep only the newest image";
+  EXPECT_EQ(snap_files, 2u)
+      << "auto-snapshots keep the newest image plus its fallback";
 
   auto recovered = DurableSession::Open(fx.schema, fx.acs, fx.bootstrap, dir,
                                         popts, fx.quiet_engine());
@@ -774,23 +787,42 @@ TEST(DurableSessionTest, ForceFullRecheckRecoveredVsFreshParity) {
   EXPECT_EQ(got_canon.second, want_canon.second) << "fresh binding flags";
 }
 
-// Satellite: snapshot codec rejects corruption and skips to the previous
-// image instead of failing recovery.
+// The fallback the retention policy exists for: corrupt the newest
+// snapshot a real session wrote and recovery must degrade to the
+// retained previous image plus a longer WAL replay — full parity, no
+// forged files, no data loss.
 TEST(SnapshotTest, CorruptNewestImageFallsBackToOlder) {
   PersistFixture fx;
   const std::string dir = TestDir("snapfall");
   RunScript(fx, dir, {});
-  uint64_t first_snap_seq = 0;
+  uint64_t snap1 = 0, snap2 = 0;
+  std::vector<ExpectedState> expected;
   {
     auto s = DurableSession::Open(fx.schema, fx.acs, fx.bootstrap, dir, {},
                                   fx.quiet_engine());
     ASSERT_TRUE(s.ok());
     ASSERT_TRUE((*s)->WriteSnapshot().ok());
-    first_snap_seq = (*s)->last_sequence();
+    snap1 = (*s)->last_sequence();
+    ASSERT_TRUE(
+        (*s)->Apply(Access{fx.mr, {fx.C("n2")}},
+                    {Fact(fx.r, {fx.C("n2"), fx.C("n2")})})
+            .ok());
+    ASSERT_TRUE((*s)->WriteSnapshot().ok());
+    snap2 = (*s)->last_sequence();
+    ASSERT_TRUE(
+        (*s)->Apply(Access{fx.ms, {}}, {Fact(fx.s_rel, {fx.C("a")})}).ok());
+
+    auto ps = (*s)->streams().DumpPersistState(0);
+    ASSERT_TRUE(ps.ok());
+    std::vector<StreamEvent> events = ps->retained_events;
+    expected.push_back(
+        CaptureState(fx, **s, events, ps->acked_sequence, true));
   }
-  // Forge a newer, corrupt snapshot next to the good one.
-  const std::string bogus = dir + "/" + SnapshotFileName(first_snap_seq + 7);
-  WriteRawFile(bogus, "RARSNP01 this is not a snapshot body");
+  ASSERT_GT(snap2, snap1);
+
+  // Corrupt the newest image in place (valid magic, garbage body).
+  WriteRawFile(dir + "/" + SnapshotFileName(snap2),
+               "RARSNP01 this is not a snapshot body");
 
   SnapshotState state;
   bool found = false;
@@ -798,13 +830,140 @@ TEST(SnapshotTest, CorruptNewestImageFallsBackToOlder) {
                                  &state, &found)
                   .ok());
   ASSERT_TRUE(found);
-  EXPECT_EQ(state.last_sequence, first_snap_seq)
+  EXPECT_EQ(state.last_sequence, snap1)
       << "the corrupt newer image must be skipped";
 
   auto recovered = DurableSession::Open(fx.schema, fx.acs, fx.bootstrap, dir,
                                         {}, fx.quiet_engine());
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
-  EXPECT_EQ((*recovered)->recovery().snapshot_sequence, first_snap_seq);
+  EXPECT_TRUE((*recovered)->recovery().from_snapshot);
+  EXPECT_EQ((*recovered)->recovery().snapshot_sequence, snap1);
+  EXPECT_EQ((*recovered)->recovery().replayed_records, 2u)
+      << "the WAL retained past the fallback image must bridge the gap";
+  ExpectStateParity(fx, expected.back(), **recovered, "fallback restore");
+}
+
+// If no snapshot loads and the surviving WAL does not start at the
+// expected first sequence, the old behavior was to truncate the first
+// segment to zero and delete the rest — silent total data loss. Open
+// must instead fail loudly and leave the log untouched.
+TEST(DurableSessionTest, MissingSnapshotWithGappedWalFailsLoudly) {
+  PersistFixture fx;
+  const std::string dir = TestDir("gapfail");
+  RunScript(fx, dir, {});
+  uint64_t snap_seq = 0;
+  {
+    auto s = DurableSession::Open(fx.schema, fx.acs, fx.bootstrap, dir, {},
+                                  fx.quiet_engine());
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE((*s)->WriteSnapshot().ok());
+    snap_seq = (*s)->last_sequence();
+    ASSERT_TRUE(
+        (*s)->Apply(Access{fx.mr, {fx.C("n2")}},
+                    {Fact(fx.r, {fx.C("n2"), fx.C("b")})})
+            .ok());
+  }
+  // Simulate external damage (or the pre-retention cleanup): the only
+  // snapshot is unreadable and the WAL prefix it covered is gone.
+  ASSERT_TRUE(GetPosixEnv()
+                  ->RemoveFile(dir + "/" + WalSegmentName(1))
+                  .ok());
+  WriteRawFile(dir + "/" + SnapshotFileName(snap_seq), "garbage");
+  const std::string tail_path = dir + "/" + WalSegmentName(snap_seq + 1);
+  const std::string tail_before = ReadRawFile(tail_path);
+  ASSERT_FALSE(tail_before.empty());
+
+  auto recovered = DurableSession::Open(fx.schema, fx.acs, fx.bootstrap, dir,
+                                        {}, fx.quiet_engine());
+  ASSERT_FALSE(recovered.ok()) << "recovery must refuse a gapped log";
+  EXPECT_NE(recovered.status().ToString().find("sequence gap"),
+            std::string::npos)
+      << recovered.status().ToString();
+  // The surviving records were not truncated or deleted.
+  EXPECT_EQ(ReadRawFile(tail_path), tail_before);
+}
+
+// A crash between AtomicWriteFile's tmp creation and its rename strands
+// a `*.tmp` file; Open sweeps it so temp files cannot accumulate.
+TEST(DurableSessionTest, StaleTmpFilesSweptOnOpen) {
+  PersistFixture fx;
+  const std::string dir = TestDir("tmpsweep");
+  ASSERT_TRUE(GetPosixEnv()->CreateDir(dir).ok());
+  const std::string stale = dir + "/" + SnapshotFileName(42) + ".tmp";
+  WriteRawFile(stale, "half-written snapshot image");
+
+  auto s = DurableSession::Open(fx.schema, fx.acs, fx.bootstrap, dir, {},
+                                fx.quiet_engine());
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  auto exists = GetPosixEnv()->FileExists(stale);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists) << "stale tmp file must be swept during recovery";
+}
+
+// FsyncPolicy::kAlways really is per-commit fsync: each WaitDurable that
+// isn't already covered pays its own fsync, and already-durable
+// sequences don't fsync again.
+TEST(WalTest, FsyncAlwaysPolicyFsyncsPerCommit) {
+  const std::string dir = TestDir("walalways");
+  PersistEnv* env = GetPosixEnv();
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  WalWriterOptions opts;
+  opts.fsync_policy = FsyncPolicy::kAlways;
+  auto w = WalWriter::Open(env, dir, /*next_sequence=*/1, "", opts);
+  ASSERT_TRUE(w.ok());
+
+  uint64_t s1 = (*w)->Append(WalRecordType::kApply, "one");
+  ASSERT_TRUE((*w)->WaitDurable(s1).ok());
+  EXPECT_EQ((*w)->counters().fsyncs, 1u);
+  ASSERT_TRUE((*w)->WaitDurable(s1).ok());
+  EXPECT_EQ((*w)->counters().fsyncs, 1u) << "already durable: no new fsync";
+
+  (*w)->Append(WalRecordType::kApply, "two");
+  uint64_t s3 = (*w)->Append(WalRecordType::kApply, "three");
+  ASSERT_TRUE((*w)->WaitDurable(s3).ok());
+  EXPECT_EQ((*w)->counters().fsyncs, 2u);
+  EXPECT_EQ((*w)->counters().commit_batches, 2u);
+
+  auto read = ReadWal(env, dir, 0);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 3u);
+  EXPECT_EQ(read->records[2].payload, "three");
+}
+
+// Acknowledging past the last emitted sequence must be rejected — a
+// cursor in the future would silently suppress delivery of events
+// emitted later, and would be persisted to the WAL.
+TEST(DurableSessionTest, AcknowledgeBeyondLastEmittedIsRejected) {
+  PersistFixture fx;
+  const std::string dir = TestDir("overack");
+  auto s = DurableSession::Open(fx.schema, fx.acs, fx.bootstrap, dir, {},
+                                fx.quiet_engine());
+  ASSERT_TRUE(s.ok());
+  auto sid = (*s)->RegisterStream(fx.stream_q);
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE((*s)
+                  ->Apply(Access{fx.mr, {fx.C("a")}},
+                          {Fact(fx.r, {fx.C("a"), fx.C("a")})})
+                  .ok());
+  StreamDelta delta = (*s)->Poll(*sid);
+  const uint64_t last = delta.last_sequence;
+
+  const uint64_t wal_before = (*s)->last_sequence();
+  Status over = (*s)->Acknowledge(*sid, last + 1);
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ((*s)->last_sequence(), wal_before)
+      << "a rejected ack must not be logged";
+  EXPECT_TRUE((*s)->Acknowledge(*sid, last).ok());
+
+  // Events emitted after the rejected over-ack are still delivered.
+  ASSERT_TRUE((*s)
+                  ->Apply(Access{fx.ms, {}}, {Fact(fx.s_rel, {fx.C("a")})})
+                  .ok());
+  StreamDelta next = (*s)->Poll(*sid);
+  for (const StreamEvent& e : next.events) {
+    EXPECT_GT(e.sequence, last);
+  }
+  EXPECT_GE(next.last_sequence, last);
 }
 
 // Satellite: JSON export must emit null for non-finite doubles (NaN/Inf
