@@ -1,0 +1,513 @@
+// Closed-loop subscriber bench for the session server (src/server/).
+//
+// Sweep 1 (bench "server_closed_loop"): capacity. One RelevanceEngine +
+// RelevanceStreamRegistry behind a SessionServer with open admission;
+// S subscriber sessions (default 1000) each hold their own loopback
+// channel + client, register a per-group stream, and are driven closed
+// loop by a bounded worker pool (poll → verify gap-free contiguous
+// sequences → acknowledge), while A applier sessions replay the hidden
+// instance's crawl scripts. Every request crosses the real wire codec
+// (LoopbackChannel encodes and re-parses frames, CRC included). The line
+// reports sustained request throughput and the server-side latency
+// histograms (p50/p99 of server_request_ns / server_apply_ns /
+// server_poll_ns). When the dust settles, every subscriber's served
+// snapshot must match a fresh engine + registry fed the same responses
+// — the parity gate; any mismatch, sequence gap, or failed call is a
+// hard failure (non-zero exit), not a bench number.
+//
+// Sweep 2 (bench "server_shed"): overload. The same workload offered to
+// a server with a session cap below the offered load, a tight backlog
+// budget, and engine apply admission (max_inflight_applies=1). The three
+// shed layers must all fire: admission rejections (kRetryLater, counted
+// in sessions_shed), hot streams degraded to force_full_recheck mode
+// (streams_degraded — verdict-identical, so the parity gate still
+// applies to the survivors), and appliers bounced by the engine
+// (applies_shed) retrying until their script lands. Zero sheds or zero
+// degrades under this configuration is a hard failure.
+//
+// One strict-JSON line per sweep (obs/export.h JsonWriter), to stdout
+// and to BENCH_server.json (overwritten per run):
+//
+//   {"bench":"server_closed_loop","subscribers":1000,"groups":8,...,
+//    "requests":...,"requests_per_sec":...,"polls":...,"applies":...,
+//    "request_ns":{"count":...,"p50":...,"p99":...},"poll_ns":{...},
+//    "apply_ns":{...},"parity":true}
+//   {"bench":"server_shed","offered_sessions":...,"admitted":...,
+//    "sessions_shed":...,"streams_degraded":...,"applies_shed":...,
+//    "cursor_evictions":...,"parity":true}
+//
+// Usage: bench_server [--subscribers=N] [--groups=N] [--rounds=N]
+//   [--pollers=N]  (CI smoke passes --subscribers=64 --rounds=2).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/export.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "stream/registry.h"
+#include "workload/generators.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(const Clock::time_point& t0, const Clock::time_point& t1) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+             .count() /
+         1e6;
+}
+
+using rar::Access;
+using rar::Fact;
+using rar::MultiRelationFamily;
+using rar::Schema;
+using rar::StreamSnapshot;
+using rar::UnionQuery;
+
+/// Per-group (access, response) crawl script of the hidden instance;
+/// idempotent, so appliers can replay it any number of rounds.
+std::vector<std::vector<std::pair<Access, std::vector<Fact>>>> BuildScripts(
+    const MultiRelationFamily& f) {
+  std::vector<std::vector<std::pair<Access, std::vector<Fact>>>> scripts(
+      f.group_relations.size());
+  for (size_t g = 0; g < f.group_relations.size(); ++g) {
+    const std::string tag = std::to_string(g);
+    rar::AccessMethodId am = f.scenario.acs.Find("a" + tag);
+    rar::AccessMethodId bm = f.scenario.acs.Find("b" + tag);
+    for (const Fact& fact : f.hidden.FactsOf(f.group_relations[g][0])) {
+      scripts[g].push_back({Access{am, {fact.values[0]}}, {fact}});
+    }
+    for (const Fact& fact : f.hidden.FactsOf(f.group_relations[g][1])) {
+      scripts[g].push_back({Access{bm, {fact.values[0]}}, {fact}});
+    }
+  }
+  return scripts;
+}
+
+/// Q_g(X) :- Ag(X, Y): the per-group subscription query.
+UnionQuery GroupStreamQuery(const MultiRelationFamily& f, size_t g) {
+  const Schema& schema = *f.scenario.schema;
+  rar::RelationId a = f.group_relations[g][0];
+  rar::DomainId dom = schema.relation(a).attributes[0].domain;
+  rar::ConjunctiveQuery cq;
+  rar::VarId x = cq.AddVar("X", dom);
+  rar::VarId y = cq.AddVar("Y", dom);
+  cq.atoms.push_back(rar::Atom{a, {rar::Term::MakeVar(x), rar::Term::MakeVar(y)}});
+  cq.head = {x};
+  UnionQuery uq;
+  uq.disjuncts.push_back(cq);
+  return uq;
+}
+
+/// Snapshot bindings keyed for parity comparison. Fresh constants are
+/// minted per registration (two registries spell the same Prop 2.2
+/// witness differently), so has_fresh bindings collapse to one key.
+std::map<std::string, std::pair<bool, bool>> SnapshotKey(
+    const Schema& schema, const StreamSnapshot& snap) {
+  std::map<std::string, std::pair<bool, bool>> out;
+  for (const rar::BindingView& b : snap.bindings) {
+    std::string key;
+    if (b.has_fresh) {
+      key = "<fresh>";
+    } else {
+      for (const rar::Value& v : b.binding) {
+        key += schema.ValueToString(v) + ",";
+      }
+    }
+    out[key] = {b.certain, b.relevant};
+  }
+  return out;
+}
+
+/// One subscriber session: its own channel, client, stream handle, and
+/// poll cursor. Owned by exactly one poller thread at a time.
+struct Subscriber {
+  std::unique_ptr<rar::LoopbackChannel> channel;
+  std::unique_ptr<rar::RarClient> client;
+  uint32_t handle = 0;
+  uint64_t cursor = 0;
+  uint64_t expected = 0;  ///< last sequence seen; next must be +1
+  int group = 0;
+  bool admitted = false;
+  bool done = false;
+  StreamSnapshot final_snapshot;
+};
+
+struct SweepOutcome {
+  uint64_t gaps = 0;
+  uint64_t call_errors = 0;
+  uint64_t applies_sent = 0;
+  uint64_t retries = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rar;
+  long subscribers = 1000;
+  long groups = 8;
+  long rounds = 4;
+  long pollers = static_cast<long>(std::thread::hardware_concurrency());
+  if (pollers < 2) pollers = 2;
+  if (pollers > 16) pollers = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--subscribers=", 14) == 0) {
+      subscribers = std::atol(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--groups=", 9) == 0) {
+      groups = std::atol(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds = std::atol(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--pollers=", 10) == 0) {
+      pollers = std::atol(argv[i] + 10);
+    }
+  }
+  if (groups < 1) groups = 1;
+  if (subscribers < groups) subscribers = groups;
+  std::FILE* out = std::fopen("BENCH_server.json", "w");
+  bool failed = false;
+
+  // Both sweeps run the same closed loop; only the server options and
+  // the offered session count differ.
+  auto run_sweep = [&](const char* name, long offered, long groups,
+                       long rounds, ServerOptions sopts,
+                       EngineOptions eopts) -> bool {
+    MultiRelationFamily f =
+        MakeMultiRelationFamily(static_cast<int>(groups), 5);
+    const Scenario& s = f.scenario;
+    auto scripts = BuildScripts(f);
+    std::vector<UnionQuery> queries;
+    for (long g = 0; g < groups; ++g) {
+      queries.push_back(GroupStreamQuery(f, static_cast<size_t>(g)));
+    }
+
+    RelevanceEngine engine(*s.schema, s.acs, s.conf, eopts);
+    RelevanceStreamRegistry registry(&engine);
+    SessionServer server(&engine, &registry, sopts);
+
+    std::vector<Subscriber> subs(static_cast<size_t>(offered));
+    for (long i = 0; i < offered; ++i) {
+      subs[i].channel = std::make_unique<LoopbackChannel>(&server);
+      subs[i].client = std::make_unique<RarClient>(subs[i].channel.get(),
+                                                   s.schema.get(), &s.acs);
+      subs[i].group = static_cast<int>(i % groups);
+    }
+
+    SweepOutcome outcome;
+    std::atomic<uint64_t> gaps{0};
+    std::atomic<uint64_t> call_errors{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<bool> appliers_done{false};
+
+    const Clock::time_point t0 = Clock::now();
+
+    // Appliers reserve their sessions before the floodgates open (a
+    // deployment provisions its writers first; under the shed sweep the
+    // admission cap must bounce subscribers, not the crawl).
+    std::vector<std::unique_ptr<LoopbackChannel>> applier_channels;
+    std::vector<std::unique_ptr<RarClient>> applier_clients;
+    for (long g = 0; g < groups; ++g) {
+      applier_channels.push_back(std::make_unique<LoopbackChannel>(&server));
+      applier_clients.push_back(std::make_unique<RarClient>(
+          applier_channels.back().get(), s.schema.get(), &s.acs));
+      if (!applier_clients.back()->Hello().ok()) call_errors.fetch_add(1);
+    }
+
+    // Admission + registration, striped across the poller pool (this is
+    // part of the offered load: sessions arrive concurrently).
+    std::vector<std::thread> pool;
+    for (long p = 0; p < pollers; ++p) {
+      pool.emplace_back([&, p] {
+        for (long i = p; i < offered; i += pollers) {
+          Subscriber& sub = subs[i];
+          Status hello = sub.client->Hello();
+          if (!hello.ok()) {
+            // Shed at admission: expected under the overload sweep.
+            if (hello.code() != StatusCode::kResourceExhausted) {
+              call_errors.fetch_add(1);
+            }
+            sub.done = true;
+            continue;
+          }
+          Result<uint32_t> handle =
+              sub.client->RegisterStream(queries[sub.group]);
+          if (!handle.ok()) {
+            call_errors.fetch_add(1);
+            sub.done = true;
+            continue;
+          }
+          sub.handle = *handle;
+          sub.admitted = true;
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    pool.clear();
+
+    // Appliers: one session per group, replaying the group's script
+    // `rounds` times; engine-admission bounces back off and retry.
+    std::vector<std::thread> appliers;
+    std::atomic<uint64_t> applies_sent{0};
+    std::atomic<long> appliers_ready{0};
+    std::atomic<bool> appliers_go{false};
+    // With apply admission on, the sweep must witness at least one
+    // engine-level bounce. Collisions are probabilistic (on a one-core
+    // host an applier's whole volley can fit inside a scheduler
+    // timeslice), so appliers keep replaying their idempotent scripts —
+    // bounded — until somebody gets bounced.
+    const bool chase_shed = eopts.max_inflight_applies > 0;
+    const long max_rounds = rounds * 16;
+    for (long g = 0; g < groups; ++g) {
+      appliers.emplace_back([&, g] {
+        RarClient& client = *applier_clients[g];
+        // Rendezvous so every applier fires its first volley at once —
+        // the shed sweep needs genuinely concurrent applies to contend
+        // for the in-flight budget.
+        appliers_ready.fetch_add(1);
+        while (!appliers_go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        for (long round = 0;
+             round < rounds ||
+             (chase_shed && round < max_rounds &&
+              retries.load(std::memory_order_relaxed) == 0);
+             ++round) {
+          for (const auto& [access, response] : scripts[g]) {
+            for (;;) {
+              Result<ApplyResult> r = client.Apply(access, response);
+              if (r.ok()) {
+                applies_sent.fetch_add(1);
+                break;
+              }
+              if (r.status().code() == StatusCode::kResourceExhausted) {
+                retries.fetch_add(1);
+                std::this_thread::yield();
+                continue;
+              }
+              call_errors.fetch_add(1);
+              break;
+            }
+          }
+        }
+        if (!client.Goodbye().ok()) call_errors.fetch_add(1);
+      });
+    }
+    while (appliers_ready.load(std::memory_order_acquire) < groups) {
+      std::this_thread::yield();
+    }
+    appliers_go.store(true, std::memory_order_release);
+
+    // Closed-loop pollers: each worker owns a stripe of subscribers and
+    // cycles poll → gap check → acknowledge until its stripe drains.
+    for (long p = 0; p < pollers; ++p) {
+      pool.emplace_back([&, p] {
+        bool stripe_live = true;
+        while (stripe_live) {
+          stripe_live = false;
+          const bool drain = appliers_done.load(std::memory_order_acquire);
+          for (long i = p; i < offered; i += pollers) {
+            Subscriber& sub = subs[i];
+            if (sub.done || !sub.admitted) continue;
+            stripe_live = true;
+            Result<StreamDelta> delta =
+                sub.client->Poll(sub.handle, sub.cursor);
+            if (!delta.ok()) {
+              if (delta.status().code() == StatusCode::kFailedPrecondition &&
+                  sub.client->last_error().code ==
+                      WireErrorCode::kCursorEvicted) {
+                // Typed eviction: resume from the server's horizon. The
+                // replayed prefix is gone, so resynchronize the gap
+                // check at the horizon too.
+                sub.cursor = sub.client->last_error().detail;
+                sub.expected = sub.cursor;
+                continue;
+              }
+              call_errors.fetch_add(1);
+              sub.done = true;
+              continue;
+            }
+            for (const StreamEvent& ev : delta->events) {
+              if (ev.sequence != sub.expected + 1) gaps.fetch_add(1);
+              sub.expected = ev.sequence;
+            }
+            if (!delta->events.empty()) {
+              sub.cursor = delta->last_sequence;
+              if (!sub.client->Acknowledge(sub.handle, sub.cursor).ok()) {
+                call_errors.fetch_add(1);
+              }
+            } else if (drain) {
+              Result<StreamSnapshot> snap = sub.client->Snapshot(sub.handle);
+              if (snap.ok()) {
+                sub.final_snapshot = std::move(*snap);
+              } else {
+                call_errors.fetch_add(1);
+              }
+              if (!sub.client->Goodbye().ok()) call_errors.fetch_add(1);
+              sub.done = true;
+            }
+          }
+        }
+      });
+    }
+
+    for (std::thread& t : appliers) t.join();
+    appliers_done.store(true, std::memory_order_release);
+    for (std::thread& t : pool) t.join();
+    const Clock::time_point t1 = Clock::now();
+
+    outcome.gaps = gaps.load();
+    outcome.call_errors = call_errors.load();
+    outcome.applies_sent = applies_sent.load();
+    outcome.retries = retries.load();
+
+    // Parity gate: a fresh engine + registry fed one pass of the same
+    // idempotent scripts must agree with every admitted subscriber's
+    // served snapshot, binding for binding.
+    RelevanceEngine mirror(*s.schema, s.acs, s.conf, {});
+    RelevanceStreamRegistry mirror_reg(&mirror);
+    std::vector<StreamId> mirror_sids;
+    bool parity = true;
+    for (long g = 0; g < groups; ++g) {
+      Result<StreamId> sid = mirror_reg.Register(queries[g], {});
+      if (!sid.ok()) {
+        parity = false;
+        break;
+      }
+      mirror_sids.push_back(*sid);
+    }
+    if (parity) {
+      for (long g = 0; g < groups; ++g) {
+        for (const auto& [access, response] : scripts[g]) {
+          if (!mirror.ApplyResponse(access, response).ok()) parity = false;
+        }
+      }
+    }
+    long admitted = 0;
+    if (parity) {
+      for (const Subscriber& sub : subs) {
+        if (!sub.admitted) continue;
+        ++admitted;
+        StreamSnapshot direct = mirror_reg.Snapshot(mirror_sids[sub.group]);
+        if (SnapshotKey(*s.schema, sub.final_snapshot) !=
+            SnapshotKey(*s.schema, direct)) {
+          parity = false;
+          break;
+        }
+      }
+    } else {
+      for (const Subscriber& sub : subs) {
+        if (sub.admitted) ++admitted;
+      }
+    }
+
+    const EngineStats stats = engine.stats();
+    const ObsSnapshot obs = engine.obs().Snapshot();
+    const double wall_ms = MsBetween(t0, t1);
+
+    JsonWriter jw;
+    jw.BeginObject()
+        .Field("bench", name)
+        .Field("subscribers", static_cast<uint64_t>(offered))
+        .Field("admitted", static_cast<uint64_t>(admitted))
+        .Field("groups", static_cast<uint64_t>(groups))
+        .Field("rounds", static_cast<uint64_t>(rounds))
+        .Field("pollers", static_cast<uint64_t>(pollers))
+        .Field("wall_ms", wall_ms)
+        .Field("requests", stats.server_requests)
+        .Field("requests_per_sec",
+               wall_ms > 0 ? stats.server_requests / (wall_ms / 1e3) : 0.0)
+        .Field("polls", stats.server_requests_poll)
+        .Field("applies", stats.server_requests_apply)
+        .Field("apply_retries", outcome.retries)
+        .Field("sessions_shed", stats.server_sessions_shed)
+        .Field("applies_shed", stats.server_applies_shed)
+        .Field("streams_degraded", stats.server_streams_degraded)
+        .Field("cursor_evictions", stats.server_cursor_evictions)
+        .Field("backlog_high_water", stats.server_backlog_high_water)
+        .Field("gaps", outcome.gaps)
+        .Field("call_errors", outcome.call_errors);
+    jw.Key("request_ns");
+    AppendHistogramJson(&jw, obs.server_request_ns);
+    jw.Key("poll_ns");
+    AppendHistogramJson(&jw, obs.server_poll_ns);
+    jw.Key("apply_ns");
+    AppendHistogramJson(&jw, obs.server_apply_ns);
+    jw.Field("parity", parity).EndObject();
+    std::printf("%s\n", jw.str().c_str());
+    if (out != nullptr) std::fprintf(out, "%s\n", jw.str().c_str());
+
+    bool ok = parity && outcome.gaps == 0 && outcome.call_errors == 0;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "%s failed: parity=%d gaps=%llu call_errors=%llu\n", name,
+                   parity ? 1 : 0,
+                   static_cast<unsigned long long>(outcome.gaps),
+                   static_cast<unsigned long long>(outcome.call_errors));
+    }
+    if (std::strcmp(name, "server_shed") == 0) {
+      // The overload sweep must actually overload: every shed layer has
+      // to fire or the backpressure machinery is dead code.
+      if (stats.server_sessions_shed == 0 ||
+          stats.server_streams_degraded == 0 ||
+          stats.server_applies_shed == 0) {
+        std::fprintf(stderr,
+                     "server_shed failed: sessions_shed=%llu "
+                     "streams_degraded=%llu applies_shed=%llu (all must be "
+                     "non-zero)\n",
+                     static_cast<unsigned long long>(stats.server_sessions_shed),
+                     static_cast<unsigned long long>(
+                         stats.server_streams_degraded),
+                     static_cast<unsigned long long>(stats.server_applies_shed));
+        ok = false;
+      }
+    }
+    return ok;
+  };
+
+  // Sweep 1: open admission, default engine — capacity and parity.
+  {
+    ServerOptions sopts;
+    EngineOptions eopts;
+    eopts.num_threads = 2;
+    if (!run_sweep("server_closed_loop", subscribers, groups, rounds, sopts,
+                   eopts)) {
+      failed = true;
+    }
+  }
+
+  // Sweep 2: overload. Cap sessions below the offered count (half the
+  // offered subscribers bounce), keep per-stream backlogs tiny so hot
+  // streams degrade and slow cursors evict, and bound in-flight applies
+  // at 1 so concurrent appliers hit engine admission. Applier count and
+  // rounds get floors: engine-admission collisions need enough writer
+  // threads to preempt each other even on small hosts.
+  {
+    long shed_groups = groups < 16 ? 16 : groups;
+    long shed_rounds = rounds < 8 ? 8 : rounds;
+    long offered = subscribers < 128 ? subscribers : 128;
+    if (offered < 2 * shed_groups) offered = 2 * shed_groups;
+    ServerOptions sopts;
+    sopts.max_sessions =
+        static_cast<uint32_t>(offered / 2 + shed_groups + 1);  // appliers too
+    sopts.retry_after_ms = 5;
+    sopts.max_backlog_events = 6;
+    sopts.degrade_backlog_events = 2;
+    EngineOptions eopts;
+    eopts.max_inflight_applies = 1;
+    if (!run_sweep("server_shed", offered, shed_groups, shed_rounds, sopts,
+                   eopts)) {
+      failed = true;
+    }
+  }
+
+  if (out != nullptr) std::fclose(out);
+  return failed ? 1 : 0;
+}

@@ -1,22 +1,34 @@
-// The RelevanceEngine as a resident service: one long-lived engine
-// absorbing a stream of accesses and answering relevance checks online.
+// The RelevanceEngine as a network service: a SessionServer (src/server/)
+// fronting one engine + stream registry, with clients speaking the
+// length-prefixed CRC-framed wire protocol through real TCP sockets
+// (falling back to the in-process loopback channel where the sandbox
+// forbids sockets — same bytes, same codecs, no port).
 //
-// A generated clique workload plays the role of the request stream: at
-// each tick the "server" (1) batch-checks every pending candidate access
-// for immediate relevance across its worker pool, (2) performs the
-// highest-ranked relevant access against a simulated deep-Web source, and
-// (3) absorbs the response, which advances the configuration epoch and
-// incrementally extends the access frontier. The engine's counters show
-// what a per-call architecture would leave on the table: cache hit rate,
-// certainty/fixpoint reuse, and decider time actually spent.
-#include <unistd.h>
-
+// The cast:
+//   * crawler client    — registers the clique query, performs accesses
+//                         against a simulated deep-Web source, and ships
+//                         every response through kApply frames;
+//   * subscriber client — registers a standing k-ary stream, polls
+//                         deltas, acknowledges, then *drops its
+//                         connection* and resumes by session token on a
+//                         fresh one: sessions are token-bound, not
+//                         connection-bound, so nothing is lost;
+//   * operator client   — scrapes kMetrics over the wire (JSON and
+//                         Prometheus text exposition).
+//
+// Everything that mutates the engine crosses the wire; only the crawl
+// *planning* (which access to do next) reads the engine in-process,
+// standing in for the sources a real deployment would consult.
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
 #include "obs/export.h"
-#include "persist/durable.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
 #include "sim/deep_web.h"
 #include "stream/registry.h"
 #include "util/rng.h"
@@ -25,7 +37,7 @@
 int main() {
   using namespace rar;
 
-  std::printf("=== rar engine server demo ===\n\n");
+  std::printf("=== rar session server demo ===\n\n");
 
   Rng rng(2024);
   CliqueFamily family = MakeCliqueFamily(&rng, 3, 12, 0.5);
@@ -39,69 +51,45 @@ int main() {
   }
   DeepWebSource source(s.schema.get(), &s.acs, s.conf);
 
+  // ---- server side ---------------------------------------------------
   EngineOptions eopts;
-  eopts.num_threads = 4;
-  // Record every apply/wave/check into the trace ring for the postmortem
-  // dump below (production default is 0: sampled off, near-zero cost).
-  eopts.obs.trace_sample_period = 1;
+  eopts.num_threads = 2;
   RelevanceEngine engine(*s.schema, s.acs, initial, eopts);
-  auto qid = engine.RegisterQuery(family.query);
-  if (!qid.ok()) {
-    std::printf("register failed: %s\n", qid.status().ToString().c_str());
-    return 1;
-  }
-
-  std::printf("query: %s\n\n", family.query.ToString(*s.schema).c_str());
-  std::printf("%-5s %-6s %-10s %-10s %-9s %-10s %s\n", "tick", "epoch",
-              "pending", "batch_ir+", "applied", "hit_rate", "certain");
-
-  int performed = 0;
-  for (int tick = 0; tick < 64; ++tick) {
-    if (engine.IsCertain(*qid)) break;
-
-    std::vector<Access> candidates = engine.CandidateAccesses(*qid);
-    if (candidates.empty()) break;
-
-    // Fan the whole frontier out over the worker pool.
-    std::vector<CheckOutcome> verdicts =
-        engine.CheckBatch(*qid, CheckKind::kImmediate, candidates);
-    int relevant = 0;
-    const Access* chosen = nullptr;
-    for (size_t i = 0; i < verdicts.size(); ++i) {
-      if (verdicts[i].ok() && verdicts[i].relevant) {
-        ++relevant;
-        if (chosen == nullptr) chosen = &candidates[i];
-      }
-    }
-    if (chosen == nullptr) break;  // nothing immediately relevant: stop
-
-    auto response = source.Execute(engine, *chosen);
-    if (!response.ok()) {
-      std::printf("source error: %s\n", response.status().ToString().c_str());
-      return 1;
-    }
-    auto added = engine.ApplyResponse(*chosen, *response);
-    if (!added.ok()) {
-      std::printf("apply error: %s\n", added.status().ToString().c_str());
-      return 1;
-    }
-    ++performed;
-
-    EngineStats st = engine.stats();
-    std::printf("%-5d %-6llu %-10llu %-10d %-9d %-10.3f %s\n", tick,
-                static_cast<unsigned long long>(engine.epoch()),
-                static_cast<unsigned long long>(st.frontier_pending),
-                relevant, *added, st.cache_hit_rate(),
-                engine.IsCertain(*qid) ? "yes" : "no");
-  }
-
-  // --- Standing k-ary stream on the same engine -----------------------
-  // Q(X) :- E(X, Y): which nodes verifiably have an outgoing edge, and
-  // for which is some pending access still relevant? The registry keeps
-  // the per-binding answer resident; each further response recomputes
-  // only the bindings it invalidated (here: every E apply hits the
-  // footprint, but settled bindings stay skipped).
   RelevanceStreamRegistry registry(&engine);
+
+  ServerOptions sopts;
+  sopts.max_sessions = 64;           // admission cap (kRetryLater beyond)
+  sopts.max_backlog_events = 1024;   // per-stream retention bound
+  sopts.degrade_backlog_events = 512;
+  SessionServer server(&engine, &registry, sopts);
+
+  TcpServer tcp(&server);
+  auto port = tcp.Start();
+  const bool over_tcp = port.ok();
+  std::printf("transport: %s\n\n",
+              over_tcp ? ("tcp 127.0.0.1:" + std::to_string(*port)).c_str()
+                       : "loopback (sockets unavailable here)");
+
+  // Each client owns one channel; on TCP that is one connection.
+  auto make_channel = [&]() -> std::unique_ptr<ClientChannel> {
+    if (over_tcp) {
+      auto ch = TcpChannel::Connect("127.0.0.1", *port);
+      if (ch.ok()) return std::move(*ch);
+    }
+    return std::make_unique<LoopbackChannel>(&server);
+  };
+
+  // ---- crawler client ------------------------------------------------
+  std::unique_ptr<ClientChannel> crawler_ch = make_channel();
+  RarClient crawler(crawler_ch.get(), s.schema.get(), &s.acs);
+  if (!crawler.Hello().ok()) return 1;
+  if (!crawler.RegisterQuery(family.query).ok()) return 1;
+  std::printf("crawler: session open, query registered: %s\n",
+              family.query.ToString(*s.schema).c_str());
+
+  // ---- subscriber client ---------------------------------------------
+  // Q(X) :- E(X, Y): which nodes verifiably have an outgoing edge.
+  UnionQuery kuq;
   {
     const RelationId e = s.schema->FindRelation("E");
     ConjunctiveQuery kq;
@@ -109,173 +97,102 @@ int main() {
     VarId y = kq.AddVar("Y", 0);
     kq.atoms.push_back(Atom{e, {Term::MakeVar(x), Term::MakeVar(y)}});
     kq.head = {x};
-    UnionQuery kuq;
     kuq.disjuncts.push_back(kq);
-    auto sid = registry.Register(kuq, StreamOptions{});
-    if (!sid.ok()) {
-      std::printf("stream register failed: %s\n",
-                  sid.status().ToString().c_str());
-      return 1;
-    }
-    // Absorb a few more responses and drain the delta stream.
-    for (int extra = 0; extra < 4; ++extra) {
-      std::vector<Access> pending = engine.PendingAccesses();
-      const Access* next = nullptr;
-      for (const Access& a : pending) {
-        if (!engine.WasPerformed(a)) {
-          next = &a;
-          break;
-        }
-      }
-      if (next == nullptr) break;
-      auto response = source.Execute(engine, *next);
-      if (!response.ok() ||
-          !engine.ApplyResponse(*next, *response).ok()) {
+  }
+  std::unique_ptr<ClientChannel> sub_ch = make_channel();
+  RarClient subscriber(sub_ch.get(), s.schema.get(), &s.acs);
+  if (!subscriber.Hello().ok()) return 1;
+  auto handle = subscriber.RegisterStream(kuq);
+  if (!handle.ok()) return 1;
+  const SessionToken sub_token = subscriber.token();
+
+  // ---- the crawl, over the wire --------------------------------------
+  uint64_t cursor = 0;
+  int performed = 0;
+  for (int tick = 0; tick < 12; ++tick) {
+    const Access* next = nullptr;
+    std::vector<Access> pending = engine.PendingAccesses();
+    for (const Access& a : pending) {
+      if (!engine.WasPerformed(a)) {
+        next = &a;
         break;
       }
-      StreamDelta delta = registry.Poll(*sid);
-      std::printf("stream tick %d: %zu event(s)\n", extra,
-                  delta.events.size());
-      for (const StreamEvent& ev : delta.events) {
+    }
+    if (next == nullptr) break;
+    auto response = source.Execute(engine, *next);
+    if (!response.ok()) break;
+    auto applied = crawler.Apply(*next, *response);
+    if (!applied.ok()) {
+      std::printf("apply bounced: %s\n",
+                  applied.status().ToString().c_str());
+      break;
+    }
+    ++performed;
+
+    auto delta = subscriber.Poll(*handle, cursor);
+    if (!delta.ok()) return 1;
+    if (!delta->events.empty()) {
+      std::printf("tick %-2d apply +%u fact(s) -> %zu stream event(s):\n",
+                  tick, applied->facts_added, delta->events.size());
+      for (const StreamEvent& ev : delta->events) {
         std::printf("  #%llu %s %s\n",
                     static_cast<unsigned long long>(ev.sequence),
                     ToString(ev.kind),
                     s.schema->ValueToString(ev.binding[0]).c_str());
       }
+      cursor = delta->last_sequence;
+      if (!subscriber.Acknowledge(*handle, cursor).ok()) return 1;
     }
-    StreamSnapshot snap = registry.Snapshot(*sid);
-    std::printf(
-        "stream snapshot: %zu bindings tracked, %zu certain, %zu still "
-        "relevant\n",
-        snap.bindings_tracked, snap.certain, snap.relevant);
   }
 
-  // --- Durability: the same pipeline, crash-safe ----------------------
-  // A DurableSession wraps engine + stream registry behind a WAL: every
-  // apply is fsynced (group commit) before it becomes visible, stream
-  // acknowledgements persist the subscriber cursor, and reopening the
-  // directory replays the log back to the identical VersionVector. The
-  // block below runs a short durable session, flushes it on graceful
-  // shutdown, "restarts the server", and resumes the stream exactly where
-  // the acknowledged cursor left it.
-  {
-    std::printf("\n--- durable session demo ---\n");
-    const std::string dir =
-        "/tmp/rar_engine_server_wal_" + std::to_string(::getpid());
+  // ---- reconnect-and-resume ------------------------------------------
+  // Drop the subscriber's connection outright; the session survives on
+  // the server. A fresh channel + the old token resumes it, and the
+  // cursor-addressed poll redelivers exactly what was never acknowledged.
+  sub_ch.reset();
+  std::unique_ptr<ClientChannel> sub_ch2 = make_channel();
+  RarClient resumed(sub_ch2.get(), s.schema.get(), &s.acs);
+  if (!resumed.Resume(sub_token).ok()) return 1;
+  auto tail = resumed.Poll(*handle, cursor);
+  if (!tail.ok()) return 1;
+  std::printf(
+      "\nsubscriber reconnected (resumed=%s): %zu event(s) after acked "
+      "cursor #%llu\n",
+      resumed.resumed() ? "yes" : "no", tail->events.size(),
+      static_cast<unsigned long long>(cursor));
+  auto snap = resumed.Snapshot(*handle);
+  if (!snap.ok()) return 1;
+  std::printf("stream snapshot: %llu bindings tracked, %llu certain, %llu "
+              "still relevant\n",
+              static_cast<unsigned long long>(snap->bindings_tracked),
+              static_cast<unsigned long long>(snap->certain),
+              static_cast<unsigned long long>(snap->relevant));
 
-    UnionQuery kuq;
-    {
-      const RelationId e = s.schema->FindRelation("E");
-      ConjunctiveQuery kq;
-      VarId x = kq.AddVar("X", 0);
-      VarId y = kq.AddVar("Y", 0);
-      kq.atoms.push_back(Atom{e, {Term::MakeVar(x), Term::MakeVar(y)}});
-      kq.head = {x};
-      kuq.disjuncts.push_back(kq);
+  // ---- operator client: metrics over the wire ------------------------
+  std::unique_ptr<ClientChannel> ops_ch = make_channel();
+  RarClient ops(ops_ch.get(), s.schema.get(), &s.acs);
+  if (!ops.Hello().ok()) return 1;
+  auto prom = ops.Metrics(MetricsFormat::kPrometheus);
+  if (!prom.ok()) return 1;
+  std::printf("\n--- rar_server_* rows of the Prometheus exposition ---\n");
+  size_t pos = 0;
+  while (pos < prom->size()) {
+    size_t eol = prom->find('\n', pos);
+    if (eol == std::string::npos) eol = prom->size();
+    const std::string line = prom->substr(pos, eol - pos);
+    if (line.find("rar_server_") != std::string::npos &&
+        line[0] != '#') {
+      std::printf("%s\n", line.c_str());
     }
-
-    VersionVector versions_at_shutdown;
-    uint64_t acked = 0;
-    int performed_durably = 0;
-    {
-      auto session = DurableSession::Open(*s.schema, s.acs, initial, dir);
-      if (!session.ok()) {
-        std::printf("durable open failed: %s\n",
-                    session.status().ToString().c_str());
-        return 1;
-      }
-      if (!(*session)->RegisterQuery(family.query).ok()) return 1;
-      auto sid = (*session)->RegisterStream(kuq);
-      if (!sid.ok()) return 1;
-
-      // Drive real accesses through the durable path: each Apply is on
-      // disk before the next line runs.
-      for (int i = 0; i < 6; ++i) {
-        const Access* next = nullptr;
-        std::vector<Access> pending = (*session)->engine().PendingAccesses();
-        for (const Access& a : pending) {
-          if (!(*session)->engine().WasPerformed(a)) {
-            next = &a;
-            break;
-          }
-        }
-        if (next == nullptr) break;
-        auto response = source.Execute((*session)->engine(), *next);
-        if (!response.ok()) break;
-        if (!(*session)->Apply(*next, *response).ok()) break;
-        ++performed_durably;
-      }
-
-      // The subscriber consumes some events and acknowledges them; the
-      // cursor is itself a WAL record, so it survives the restart.
-      StreamDelta delta = (*session)->Poll(*sid);
-      acked = delta.events.empty() ? 0
-                                   : delta.events[delta.events.size() / 2]
-                                         .sequence;
-      if (acked != 0 && !(*session)->Acknowledge(*sid, acked).ok()) return 1;
-      std::printf(
-          "session: %d durable applies, %zu stream events, acked through "
-          "#%llu, wal sequence %llu\n",
-          performed_durably, delta.events.size(),
-          static_cast<unsigned long long>(acked),
-          static_cast<unsigned long long>((*session)->last_sequence()));
-
-      versions_at_shutdown = (*session)->engine().versions();
-      // Graceful shutdown: everything logged is already durable; Flush is
-      // belt and braces before the destructor detaches the hook.
-      if (!(*session)->Flush().ok()) return 1;
-    }
-
-    // "Restart": recover the same directory. Replay rebuilds the engine,
-    // re-registers the query and the stream, and the persisted cursor
-    // resumes the subscriber gap-free.
-    auto recovered = DurableSession::Open(*s.schema, s.acs, initial, dir);
-    if (!recovered.ok()) {
-      std::printf("recovery failed: %s\n",
-                  recovered.status().ToString().c_str());
-      return 1;
-    }
-    const RecoveryInfo& info = (*recovered)->recovery();
-    const bool parity =
-        (*recovered)->engine().versions() == versions_at_shutdown;
-    std::printf(
-        "recovered: %llu records replayed (%llu facts), snapshot=%s, "
-        "version parity=%s\n",
-        static_cast<unsigned long long>(info.replayed_records),
-        static_cast<unsigned long long>(info.replayed_facts),
-        info.from_snapshot ? "yes" : "no", parity ? "yes" : "no");
-    if (!parity) return 1;
-
-    StreamDelta resumed = (*recovered)->PollAfter(0, acked);
-    std::printf("stream resumed after #%llu: %zu event(s) redelivered\n",
-                static_cast<unsigned long long>(acked), resumed.events.size());
-    for (const StreamEvent& ev : resumed.events) {
-      std::printf("  #%llu %s %s\n",
-                  static_cast<unsigned long long>(ev.sequence),
-                  ToString(ev.kind),
-                  s.schema->ValueToString(ev.binding[0]).c_str());
-    }
-
-    // A snapshot seals the history: the next restart restores the image
-    // instead of replaying from 1. Cleanup keeps the previous image and
-    // the WAL back to it as a fallback against a corrupt newest image.
-    if (!(*recovered)->WriteSnapshot().ok()) return 1;
-    std::printf("snapshot written at sequence %llu; wal pruned\n",
-                static_cast<unsigned long long>((*recovered)->last_sequence()));
+    pos = eol + 1;
   }
 
-  // One exporter renders counters, latency percentiles, per-relation
-  // attribution and the recent trace — as canonical JSON and as
-  // Prometheus text (serve the latter as text/plain and scrape it).
-  MetricsExport metrics;
-  metrics.stats = engine.stats();
-  metrics.obs = engine.obs().Snapshot();
-  metrics.schema = s.schema.get();
-  metrics.trace_json = engine.obs().trace().DumpJson(8);
-  std::printf("\n--- final metrics after %d accesses (JSON) ---\n%s\n",
-              performed, ExportMetricsJson(metrics).c_str());
-  std::printf("\n--- the same metrics, Prometheus exposition format ---\n%s",
-              ExportMetricsPrometheus(metrics).c_str());
-  std::printf("answered=%s\n", engine.IsCertain(*qid) ? "yes" : "no");
+  if (!crawler.Goodbye().ok() || !resumed.Goodbye().ok() ||
+      !ops.Goodbye().ok()) {
+    return 1;
+  }
+  tcp.Stop();
+  std::printf("\nperformed %d accesses over the wire; %zu session(s) left\n",
+              performed, server.num_sessions());
   return 0;
 }

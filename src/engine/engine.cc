@@ -200,6 +200,30 @@ Status RelevanceEngine::ValidateAccess(const Access& access) const {
 Result<int> RelevanceEngine::ApplyResponse(const Access& access,
                                            const std::vector<Fact>& response) {
   const uint64_t apply_t0 = MonotonicNs();
+  // Admission control: bound outstanding apply waves. The gauge counts
+  // applies from entry to listener completion (listeners run the stream
+  // recheck waves, which is where an overloaded engine actually drowns),
+  // so the serving layer can bounce excess appliers with a typed
+  // retry-after instead of queueing unboundedly on the stripe locks.
+  if (options_.max_inflight_applies > 0) {
+    const int limit = static_cast<int>(options_.max_inflight_applies);
+    int inflight = inflight_applies_.load(std::memory_order_relaxed);
+    do {
+      if (inflight >= limit) {
+        counters_.Bump(counters_.apply_admission_rejections);
+        return Status::ResourceExhausted(
+            "apply admission: " + std::to_string(limit) +
+            " applies already in flight; retry later");
+      }
+    } while (!inflight_applies_.compare_exchange_weak(
+        inflight, inflight + 1, std::memory_order_relaxed));
+  } else {
+    inflight_applies_.fetch_add(1, std::memory_order_relaxed);
+  }
+  struct InflightGuard {
+    std::atomic<int>* gauge;
+    ~InflightGuard() { gauge->fetch_sub(1, std::memory_order_relaxed); }
+  } inflight_guard{&inflight_applies_};
   ApplyEvent event;
   event.access = access;
   // Guarded lookup: the access is only validated inside the locked

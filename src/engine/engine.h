@@ -74,6 +74,12 @@ struct EngineOptions {
   /// Lock stripes for the per-relation state shards. 0 = one stripe per
   /// relation, capped at 64; relations hash onto stripes beyond the cap.
   int lock_stripes = 0;
+  /// Admission bound on concurrently outstanding ApplyResponse calls
+  /// (entry through listener completion); excess applies are rejected
+  /// with ResourceExhausted instead of queueing on the stripe locks.
+  /// 0 = unbounded. The serving layer maps the rejection to a typed
+  /// retry-after error.
+  size_t max_inflight_applies = 0;
   /// Options forwarded to the underlying relevance deciders.
   RelevanceOptions relevance;
   /// Observability bundle options (trace capacity / sampling).
@@ -532,6 +538,10 @@ class RelevanceEngine {
   /// Overlap gauges.
   mutable std::atomic<int> active_checks_{0};
   mutable std::atomic<int> active_applies_{0};
+  /// Admission gauge: ApplyResponse calls between entry and listener
+  /// completion (wider than active_applies_, which tracks only the locked
+  /// section).
+  std::atomic<int> inflight_applies_{0};
 };
 
 }  // namespace rar

@@ -90,6 +90,12 @@ struct EngineStats {
   /// and newborn bindings minted by a delta-gated Adom growth wave.
   uint64_t stream_value_gate_semijoin = 0;
   uint64_t stream_value_gate_newborn = 0;
+  /// Retained events evicted by StreamOptions::retain_cap — each one is a
+  /// gap some lagging subscriber will have to re-snapshot across.
+  uint64_t stream_retained_evicted = 0;
+  /// Streams degraded to conservative full-recheck mode (gate indexes
+  /// dropped) by RelevanceStreamRegistry::Degrade.
+  uint64_t stream_degraded = 0;
   /// Stream rechecks attributed to the applied relation that triggered
   /// them, indexed by RelationId; the trailing slot counts rechecks
   /// triggered by registration / active-domain growth.
@@ -107,6 +113,35 @@ struct EngineStats {
   uint64_t replay_records = 0;     ///< WAL records replayed at recovery
   uint64_t replay_facts = 0;       ///< facts re-absorbed from replay
   uint64_t wal_truncated_tails = 0;  ///< torn/corrupt tails truncated
+
+  /// ApplyResponse calls rejected at admission because
+  /// EngineOptions::max_inflight_applies outstanding applies were already
+  /// in flight (the caller should back off and retry).
+  uint64_t apply_admission_rejections = 0;
+
+  // Session-server counters (src/server/), contributed by an attached
+  // SessionServer; all zero when the engine is driven in-process.
+  uint64_t server_sessions_opened = 0;   ///< fresh sessions admitted
+  uint64_t server_sessions_resumed = 0;  ///< Hello calls that resumed a token
+  uint64_t server_sessions_retired = 0;  ///< sessions closed by Goodbye
+  uint64_t server_sessions_reaped = 0;   ///< idle sessions reaped
+  uint64_t server_sessions_shed = 0;     ///< Hellos rejected (admission cap)
+  uint64_t server_sessions_active = 0;   ///< live sessions (gauge)
+  uint64_t server_requests = 0;          ///< frames dispatched (all types)
+  uint64_t server_requests_hello = 0;
+  uint64_t server_requests_register_query = 0;
+  uint64_t server_requests_register_stream = 0;
+  uint64_t server_requests_apply = 0;
+  uint64_t server_requests_poll = 0;
+  uint64_t server_requests_acknowledge = 0;
+  uint64_t server_requests_snapshot = 0;
+  uint64_t server_requests_metrics = 0;
+  uint64_t server_errors = 0;        ///< kError responses served (all codes)
+  uint64_t server_bad_frames = 0;    ///< connections closed on framing damage
+  uint64_t server_applies_shed = 0;  ///< applies bounced by engine admission
+  uint64_t server_streams_degraded = 0;  ///< hot streams forced conservative
+  uint64_t server_cursor_evictions = 0;  ///< polls answered "cursor evicted"
+  uint64_t server_backlog_high_water = 0;  ///< max retained backlog seen
 
   uint64_t checks() const { return ir_checks + ltr_checks; }
   double cache_hit_rate() const {
@@ -154,6 +189,7 @@ struct EngineCounters {
   std::atomic<uint64_t> uncached_ltr_checks{0};
   std::atomic<uint64_t> ir_time_ns{0};
   std::atomic<uint64_t> ltr_time_ns{0};
+  std::atomic<uint64_t> apply_admission_rejections{0};
 
   void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
     c.fetch_add(n, std::memory_order_relaxed);
@@ -187,6 +223,7 @@ struct EngineCounters {
     s.uncached_ltr_checks = ld(uncached_ltr_checks);
     s.ir_time_ns = ld(ir_time_ns);
     s.ltr_time_ns = ld(ltr_time_ns);
+    s.apply_admission_rejections = ld(apply_admission_rejections);
     return s;
   }
 };

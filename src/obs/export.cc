@@ -210,6 +210,34 @@ std::vector<CounterRow> StreamRows(const EngineStats& s) {
        s.stream_value_gate_fallback_unconstrained, false},
       {"value_gate_semijoin_rechecks", s.stream_value_gate_semijoin, false},
       {"value_gate_newborn_rechecks", s.stream_value_gate_newborn, false},
+      {"retained_evicted", s.stream_retained_evicted, false},
+      {"degraded", s.stream_degraded, false},
+  };
+}
+
+std::vector<CounterRow> ServerRows(const EngineStats& s) {
+  return {
+      {"sessions_opened", s.server_sessions_opened, false},
+      {"sessions_resumed", s.server_sessions_resumed, false},
+      {"sessions_retired", s.server_sessions_retired, false},
+      {"sessions_reaped", s.server_sessions_reaped, false},
+      {"sessions_shed", s.server_sessions_shed, false},
+      {"sessions_active", s.server_sessions_active, true},
+      {"requests", s.server_requests, false},
+      {"requests_hello", s.server_requests_hello, false},
+      {"requests_register_query", s.server_requests_register_query, false},
+      {"requests_register_stream", s.server_requests_register_stream, false},
+      {"requests_apply", s.server_requests_apply, false},
+      {"requests_poll", s.server_requests_poll, false},
+      {"requests_acknowledge", s.server_requests_acknowledge, false},
+      {"requests_snapshot", s.server_requests_snapshot, false},
+      {"requests_metrics", s.server_requests_metrics, false},
+      {"errors", s.server_errors, false},
+      {"bad_frames", s.server_bad_frames, false},
+      {"applies_shed", s.server_applies_shed, false},
+      {"streams_degraded", s.server_streams_degraded, false},
+      {"cursor_evictions", s.server_cursor_evictions, false},
+      {"backlog_high_water", s.server_backlog_high_water, true},
   };
 }
 
@@ -245,6 +273,10 @@ std::vector<HistRow> HistRows(const ObsSnapshot& o) {
       {"source_ns", &o.source_ns},
       {"wal_fsync_ns", &o.wal_fsync_ns},
       {"wal_commit_ns", &o.wal_commit_ns},
+      {"server_request_ns", &o.server_request_ns},
+      {"server_apply_ns", &o.server_apply_ns},
+      {"server_poll_ns", &o.server_poll_ns},
+      {"server_register_ns", &o.server_register_ns},
   };
 }
 
@@ -288,6 +320,7 @@ std::string ExportMetricsJson(const MetricsExport& m) {
   for (const CounterRow& row : EngineRows(m.stats)) {
     w.Field(row.name, row.value);
   }
+  w.Field("apply_admission_rejections", m.stats.apply_admission_rejections);
   w.Field("cache_hit_rate", m.stats.cache_hit_rate());
   w.Field("mean_ir_decider_ns", m.stats.mean_ir_decider_ns());
   w.Field("mean_ltr_decider_ns", m.stats.mean_ltr_decider_ns());
@@ -305,6 +338,12 @@ std::string ExportMetricsJson(const MetricsExport& m) {
 
   w.Key("persist").BeginObject();
   for (const CounterRow& row : PersistRows(m.stats)) {
+    w.Field(row.name, row.value);
+  }
+  w.EndObject();
+
+  w.Key("server").BeginObject();
+  for (const CounterRow& row : ServerRows(m.stats)) {
     w.Field(row.name, row.value);
   }
   w.EndObject();
@@ -346,6 +385,13 @@ std::string ExportMetricsPrometheus(const MetricsExport& m) {
   }
   for (const CounterRow& row : PersistRows(m.stats)) {
     counter("rar_persist_" + std::string(row.name) +
+                (row.gauge ? "" : "_total"),
+            row.value, row.gauge);
+  }
+  counter("rar_engine_apply_admission_rejections_total",
+          m.stats.apply_admission_rejections, false);
+  for (const CounterRow& row : ServerRows(m.stats)) {
+    counter("rar_server_" + std::string(row.name) +
                 (row.gauge ? "" : "_total"),
             row.value, row.gauge);
   }

@@ -36,6 +36,10 @@ struct ObsSnapshot {
   HistogramSnapshot source_ns;       ///< simulated source round-trip
   HistogramSnapshot wal_fsync_ns;    ///< each physical WAL fsync
   HistogramSnapshot wal_commit_ns;   ///< WaitDurable end-to-end (group commit)
+  HistogramSnapshot server_request_ns;   ///< session-server dispatch, any type
+  HistogramSnapshot server_apply_ns;     ///< kApply requests end-to-end
+  HistogramSnapshot server_poll_ns;      ///< kPoll requests end-to-end
+  HistogramSnapshot server_register_ns;  ///< kRegisterQuery/Stream requests
 
   void Merge(const ObsSnapshot& other) {
     ir_decider_ns.Merge(other.ir_decider_ns);
@@ -48,6 +52,10 @@ struct ObsSnapshot {
     source_ns.Merge(other.source_ns);
     wal_fsync_ns.Merge(other.wal_fsync_ns);
     wal_commit_ns.Merge(other.wal_commit_ns);
+    server_request_ns.Merge(other.server_request_ns);
+    server_apply_ns.Merge(other.server_apply_ns);
+    server_poll_ns.Merge(other.server_poll_ns);
+    server_register_ns.Merge(other.server_register_ns);
   }
 };
 
@@ -71,6 +79,10 @@ class EngineObservability {
   Histogram source_ns;
   Histogram wal_fsync_ns;
   Histogram wal_commit_ns;
+  Histogram server_request_ns;
+  Histogram server_apply_ns;
+  Histogram server_poll_ns;
+  Histogram server_register_ns;
 
   TraceBuffer& trace() { return trace_; }
   const TraceBuffer& trace() const { return trace_; }
@@ -87,6 +99,10 @@ class EngineObservability {
     s.source_ns = source_ns.Snapshot();
     s.wal_fsync_ns = wal_fsync_ns.Snapshot();
     s.wal_commit_ns = wal_commit_ns.Snapshot();
+    s.server_request_ns = server_request_ns.Snapshot();
+    s.server_apply_ns = server_apply_ns.Snapshot();
+    s.server_poll_ns = server_poll_ns.Snapshot();
+    s.server_register_ns = server_register_ns.Snapshot();
     return s;
   }
 

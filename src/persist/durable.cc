@@ -77,6 +77,7 @@ Result<std::unique_ptr<DurableSession>> DurableSession::Open(
       info.quiet = true;
       info.next_sequence = st.next_sequence;
       info.acked_sequence = st.acked_sequence;
+      info.evicted_through = st.evicted_through;
       info.retained_events = std::move(st.retained_events);
       RAR_ASSIGN_OR_RETURN(
           StreamId sid,
@@ -301,6 +302,7 @@ Status DurableSession::WriteSnapshotLocked() {
     ss.fresh_pool = std::move(ps.fresh_pool);
     ss.next_sequence = ps.next_sequence;
     ss.acked_sequence = ps.acked_sequence;
+    ss.evicted_through = ps.evicted_through;
     ss.retained_events = std::move(ps.retained_events);
     st.streams.push_back(std::move(ss));
   }

@@ -99,7 +99,7 @@ class DurableSession : public PersistHook, public ApplyListener {
 
   // Reads pass straight through to the registry.
   StreamDelta Poll(StreamId id) { return registry_->Poll(id); }
-  StreamDelta PollAfter(StreamId id, uint64_t cursor) {
+  Result<StreamDelta> PollAfter(StreamId id, uint64_t cursor) {
     return registry_->PollAfter(id, cursor);
   }
 

@@ -13,7 +13,7 @@ namespace {
 
 // 8 bytes: format name + version. Bumping the version invalidates old
 // images (recovery falls back to full WAL replay).
-constexpr char kMagic[8] = {'R', 'A', 'R', 'S', 'N', 'P', '0', '1'};
+constexpr char kMagic[8] = {'R', 'A', 'R', 'S', 'N', 'P', '0', '2'};
 
 void EncodeAccess(const Schema& schema, const AccessMethodSet& acs,
                   const Access& a, BinWriter* w) {
@@ -112,6 +112,7 @@ std::string EncodeSnapshot(const Schema& schema, const AccessMethodSet& acs,
     }
     w.U64(s.next_sequence);
     w.U64(s.acked_sequence);
+    w.U64(s.evicted_through);
     w.U32(static_cast<uint32_t>(s.retained_events.size()));
     for (const StreamEvent& e : s.retained_events) EncodeEvent(schema, e, &w);
   }
@@ -252,6 +253,7 @@ Status DecodeSnapshot(const Schema& schema, const AccessMethodSet& acs,
     }
     RAR_RETURN_NOT_OK(r.U64(&s.next_sequence));
     RAR_RETURN_NOT_OK(r.U64(&s.acked_sequence));
+    RAR_RETURN_NOT_OK(r.U64(&s.evicted_through));
     uint32_t retained = 0;
     RAR_RETURN_NOT_OK(r.U32(&retained));
     if (retained > r.remaining()) {

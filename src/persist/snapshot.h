@@ -44,6 +44,7 @@ struct SnapshotStreamState {
   std::vector<TypedValue> fresh_pool;
   uint64_t next_sequence = 1;
   uint64_t acked_sequence = 0;
+  uint64_t evicted_through = 0;  ///< retention-cap horizon (0 = none)
   std::vector<StreamEvent> retained_events;
 };
 

@@ -270,19 +270,22 @@ void EncodeStreamOptions(const StreamOptions& o, BinWriter* w) {
   if (o.retain_events) flags |= 1u << 4;
   w->U8(flags);
   w->U64(static_cast<uint64_t>(o.parallel_threshold));
+  w->U64(o.retain_cap);
 }
 
 Status DecodeStreamOptions(BinReader* r, StreamOptions* out) {
   uint8_t flags;
-  uint64_t threshold;
+  uint64_t threshold, retain_cap;
   RAR_RETURN_NOT_OK(r->U8(&flags));
   RAR_RETURN_NOT_OK(r->U64(&threshold));
+  RAR_RETURN_NOT_OK(r->U64(&retain_cap));
   out->use_immediate = (flags & (1u << 0)) != 0;
   out->use_long_term = (flags & (1u << 1)) != 0;
   out->conservative_on_unknown = (flags & (1u << 2)) != 0;
   out->force_full_recheck = (flags & (1u << 3)) != 0;
   out->retain_events = (flags & (1u << 4)) != 0;
   out->parallel_threshold = static_cast<size_t>(threshold);
+  out->retain_cap = retain_cap;
   return Status::OK();
 }
 

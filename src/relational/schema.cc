@@ -61,12 +61,14 @@ Result<Value> Schema::FindConstant(std::string_view spelling) const {
 }
 
 Value Schema::MintFreshConstant(std::string_view prefix) const {
-  // Probe spellings prefix#0, prefix#1, ... until an unused one is found.
+  // Probe spellings prefix#0, prefix#1, ... until this caller wins an
+  // unused one (InternIfAbsent is atomic — a concurrent mint probing the
+  // same candidate loses the insert and moves on to the next).
   for (uint64_t i = constants_->size();; ++i) {
     std::string candidate = std::string(prefix) + "#" + std::to_string(i);
-    if (constants_->Lookup(candidate) == Interner::kInvalid) {
-      return InternConstant(candidate);
-    }
+    bool inserted = false;
+    Interner::Id id = constants_->InternIfAbsent(candidate, &inserted);
+    if (inserted) return Value::Constant(id);
   }
 }
 

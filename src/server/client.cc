@@ -1,0 +1,129 @@
+#include "server/client.h"
+
+namespace rar {
+
+namespace {
+
+Status MapWireError(const WireError& e) {
+  const std::string msg = std::string(ToString(e.code)) + ": " + e.message;
+  switch (e.code) {
+    case WireErrorCode::kRetryLater:
+      return Status::ResourceExhausted(msg);
+    case WireErrorCode::kCursorEvicted:
+    case WireErrorCode::kUnknownSession:
+    case WireErrorCode::kVersionMismatch:
+      return Status::FailedPrecondition(msg);
+    case WireErrorCode::kNotFound:
+      return Status::NotFound(msg);
+    case WireErrorCode::kBadRequest:
+      return Status::InvalidArgument(msg);
+    case WireErrorCode::kBadFrame:
+      return Status::ParseError(msg);
+    default:
+      return Status::Internal(msg);
+  }
+}
+
+}  // namespace
+
+Result<std::string> RarClient::Call(MessageType request,
+                                    std::string_view payload) {
+  Result<WireFrame> frame = channel_->Call(request, payload);
+  RAR_RETURN_NOT_OK(frame.status());
+  if (frame->type == MessageType::kError) {
+    WireError e;
+    RAR_RETURN_NOT_OK(DecodeWireError(frame->payload, &e));
+    last_error_ = e;
+    return MapWireError(e);
+  }
+  const auto expected = static_cast<MessageType>(
+      static_cast<uint8_t>(request) + 64);
+  if (frame->type != expected) {
+    return Status::Internal(std::string("unexpected response type ") +
+                            ToString(frame->type) + " to " +
+                            ToString(request));
+  }
+  return std::move(frame->payload);
+}
+
+Status RarClient::Hello() { return Resume(SessionToken{}); }
+
+Status RarClient::Resume(const SessionToken& token) {
+  HelloRequest req;
+  req.resume = token;
+  RAR_ASSIGN_OR_RETURN(std::string payload,
+                       Call(MessageType::kHello, EncodeHelloRequest(req)));
+  HelloResponse resp;
+  RAR_RETURN_NOT_OK(DecodeHelloResponse(payload, &resp));
+  token_ = resp.token;
+  resumed_ = resp.resumed;
+  return Status::OK();
+}
+
+Result<uint32_t> RarClient::RegisterQuery(const UnionQuery& query) {
+  RAR_ASSIGN_OR_RETURN(
+      std::string payload,
+      Call(MessageType::kRegisterQuery,
+           EncodeRegisterQueryRequest(*schema_, token_, query)));
+  BinReader r(payload);
+  uint32_t handle = 0;
+  RAR_RETURN_NOT_OK(r.U32(&handle));
+  return handle;
+}
+
+Result<uint32_t> RarClient::RegisterStream(const UnionQuery& query,
+                                           const StreamOptions& options) {
+  RAR_ASSIGN_OR_RETURN(
+      std::string payload,
+      Call(MessageType::kRegisterStream,
+           EncodeRegisterStreamRequest(*schema_, token_, query, options)));
+  BinReader r(payload);
+  uint32_t handle = 0;
+  RAR_RETURN_NOT_OK(r.U32(&handle));
+  return handle;
+}
+
+Result<ApplyResult> RarClient::Apply(const Access& access,
+                                     const std::vector<Fact>& response) {
+  RAR_ASSIGN_OR_RETURN(
+      std::string payload,
+      Call(MessageType::kApply,
+           EncodeApplyRequest(*schema_, *acs_, token_, access, response)));
+  ApplyResult result;
+  RAR_RETURN_NOT_OK(DecodeApplyResult(payload, &result));
+  return result;
+}
+
+Result<StreamDelta> RarClient::Poll(uint32_t handle, uint64_t cursor) {
+  RAR_ASSIGN_OR_RETURN(
+      std::string payload,
+      Call(MessageType::kPoll, EncodePollRequest(token_, handle, cursor)));
+  StreamDelta delta;
+  RAR_RETURN_NOT_OK(DecodePollResponse(*schema_, payload, &delta));
+  return delta;
+}
+
+Status RarClient::Acknowledge(uint32_t handle, uint64_t upto) {
+  return Call(MessageType::kAcknowledge,
+              EncodeAckRequest(token_, handle, upto))
+      .status();
+}
+
+Result<StreamSnapshot> RarClient::Snapshot(uint32_t handle) {
+  RAR_ASSIGN_OR_RETURN(
+      std::string payload,
+      Call(MessageType::kSnapshot, EncodeSnapshotRequest(token_, handle)));
+  StreamSnapshot snap;
+  RAR_RETURN_NOT_OK(DecodeSnapshotResponse(*schema_, payload, &snap));
+  return snap;
+}
+
+Result<std::string> RarClient::Metrics(MetricsFormat format) {
+  return Call(MessageType::kMetrics, EncodeMetricsRequest(token_, format));
+}
+
+Status RarClient::Goodbye() {
+  return Call(MessageType::kGoodbye, EncodeGoodbyeRequest(token_)).status();
+}
+
+}  // namespace rar

@@ -1,0 +1,73 @@
+// RarClient: the typed client over any ClientChannel. Owns the session
+// token (Hello mints it, Resume re-presents it after a reconnect) and
+// turns wire errors back into Status codes:
+//
+//   kRetryLater     -> ResourceExhausted  (backoff hint in last_error())
+//   kCursorEvicted  -> FailedPrecondition (resume point in last_error().detail)
+//   kNotFound       -> NotFound
+//   kBadRequest     -> InvalidArgument
+//   everything else -> Internal / FailedPrecondition
+//
+// After any failed call, `last_error()` holds the decoded WireError —
+// retry_after_ms for shed requests, the evicted-through sequence for
+// evicted cursors. One client per thread; share the SessionServer, not
+// the channel.
+#ifndef RAR_SERVER_CLIENT_H_
+#define RAR_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/transport.h"
+
+namespace rar {
+
+class RarClient {
+ public:
+  /// `schema`/`acs` are the client's copies for payload codecs; they must
+  /// agree with the server's by name (that is all the wire format needs).
+  RarClient(ClientChannel* channel, const Schema* schema,
+            const AccessMethodSet* acs)
+      : channel_(channel), schema_(schema), acs_(acs) {}
+
+  /// Opens a fresh session.
+  Status Hello();
+  /// Resumes the session `token` names (after a reconnect or a client
+  /// restart); fails with FailedPrecondition if the server reaped it.
+  Status Resume(const SessionToken& token);
+
+  const SessionToken& token() const { return token_; }
+  bool resumed() const { return resumed_; }
+
+  Result<uint32_t> RegisterQuery(const UnionQuery& query);
+  Result<uint32_t> RegisterStream(const UnionQuery& query,
+                                  const StreamOptions& options = {});
+  Result<ApplyResult> Apply(const Access& access,
+                            const std::vector<Fact>& response);
+  Result<StreamDelta> Poll(uint32_t handle, uint64_t cursor);
+  Status Acknowledge(uint32_t handle, uint64_t upto);
+  Result<StreamSnapshot> Snapshot(uint32_t handle);
+  /// Returns the exposition body (JSON or Prometheus text).
+  Result<std::string> Metrics(MetricsFormat format = MetricsFormat::kJson);
+  Status Goodbye();
+
+  /// The last kError payload received; meaningful right after a failure.
+  const WireError& last_error() const { return last_error_; }
+
+ private:
+  /// One call: send, await, unwrap kError, check the response type.
+  Result<std::string> Call(MessageType request, std::string_view payload);
+
+  ClientChannel* channel_;
+  const Schema* schema_;
+  const AccessMethodSet* acs_;
+  SessionToken token_;
+  bool resumed_ = false;
+  WireError last_error_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_SERVER_CLIENT_H_

@@ -1,0 +1,583 @@
+#include "server/server.h"
+
+#include <chrono>
+
+#include "obs/export.h"
+#include "obs/histogram.h"
+
+namespace rar {
+
+namespace {
+
+// Sentinel meaning "handler succeeded"; real codes start at kBadFrame=1.
+constexpr WireErrorCode kNoError = static_cast<WireErrorCode>(0);
+
+void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
+  c.fetch_add(n, std::memory_order_relaxed);
+}
+
+void MaxInto(std::atomic<uint64_t>& gauge, uint64_t v) {
+  uint64_t cur = gauge.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !gauge.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string EncodeHandle(uint32_t handle) {
+  std::string out;
+  BinWriter w(&out);
+  w.U32(handle);
+  return out;
+}
+
+}  // namespace
+
+SessionServer::SessionServer(RelevanceEngine* engine,
+                             RelevanceStreamRegistry* registry,
+                             ServerOptions options)
+    : engine_(engine),
+      registry_(registry),
+      durable_(nullptr),
+      options_(options),
+      nonce_seed_(static_cast<uint64_t>(
+                      std::chrono::steady_clock::now().time_since_epoch()
+                          .count()) ^
+                  reinterpret_cast<uintptr_t>(this)) {
+  engine_->AddApplyListener(this);
+}
+
+SessionServer::SessionServer(DurableSession* durable, ServerOptions options)
+    : engine_(&durable->engine()),
+      registry_(&durable->streams()),
+      durable_(durable),
+      options_(options),
+      nonce_seed_(static_cast<uint64_t>(
+                      std::chrono::steady_clock::now().time_since_epoch()
+                          .count()) ^
+                  reinterpret_cast<uintptr_t>(this)) {
+  engine_->AddApplyListener(this);
+}
+
+SessionServer::~SessionServer() { engine_->RemoveApplyListener(this); }
+
+uint64_t SessionServer::NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string SessionServer::HandleFrame(const WireFrame& frame) {
+  const uint64_t t0 = MonotonicNs();
+  Bump(counters_.requests);
+
+  WireError err;
+  err.code = kNoError;
+  std::string payload;
+  MessageType response_type = MessageType::kError;
+
+  EngineObservability& obs = engine_->obs();
+  switch (frame.type) {
+    case MessageType::kHello:
+      Bump(counters_.requests_hello);
+      payload = HandleHello(frame.payload, &err);
+      response_type = MessageType::kHelloOk;
+      break;
+    case MessageType::kRegisterQuery:
+      Bump(counters_.requests_register_query);
+      payload = HandleRegisterQuery(frame.payload, &err);
+      response_type = MessageType::kRegisterQueryOk;
+      obs.server_register_ns.Record(MonotonicNs() - t0);
+      break;
+    case MessageType::kRegisterStream:
+      Bump(counters_.requests_register_stream);
+      payload = HandleRegisterStream(frame.payload, &err);
+      response_type = MessageType::kRegisterStreamOk;
+      obs.server_register_ns.Record(MonotonicNs() - t0);
+      break;
+    case MessageType::kApply:
+      Bump(counters_.requests_apply);
+      payload = HandleApply(frame.payload, &err);
+      response_type = MessageType::kApplyOk;
+      obs.server_apply_ns.Record(MonotonicNs() - t0);
+      break;
+    case MessageType::kPoll:
+      Bump(counters_.requests_poll);
+      payload = HandlePoll(frame.payload, &err);
+      response_type = MessageType::kPollOk;
+      obs.server_poll_ns.Record(MonotonicNs() - t0);
+      break;
+    case MessageType::kAcknowledge:
+      Bump(counters_.requests_acknowledge);
+      payload = HandleAcknowledge(frame.payload, &err);
+      response_type = MessageType::kAcknowledgeOk;
+      break;
+    case MessageType::kSnapshot:
+      Bump(counters_.requests_snapshot);
+      payload = HandleSnapshot(frame.payload, &err);
+      response_type = MessageType::kSnapshotOk;
+      break;
+    case MessageType::kMetrics:
+      Bump(counters_.requests_metrics);
+      payload = HandleMetrics(frame.payload, &err);
+      response_type = MessageType::kMetricsOk;
+      break;
+    case MessageType::kGoodbye:
+      payload = HandleGoodbye(frame.payload, &err);
+      response_type = MessageType::kGoodbyeOk;
+      break;
+    default:
+      // The frame parser maps intact frames with an unknown type byte to
+      // kError with the raw byte as payload; any response type landing
+      // here is equally unanswerable.
+      err.code = WireErrorCode::kUnknownType;
+      err.message = "server does not speak this message type";
+      break;
+  }
+
+  obs.server_request_ns.Record(MonotonicNs() - t0);
+
+  std::string out;
+  if (err.code != kNoError) {
+    Bump(counters_.errors);
+    EncodeWireFrame(frame.request_id, MessageType::kError,
+                    EncodeWireError(err), &out);
+  } else {
+    EncodeWireFrame(frame.request_id, response_type, payload, &out);
+  }
+  return out;
+}
+
+void SessionServer::NoteBadFrame() {
+  Bump(counters_.bad_frames);
+  Bump(counters_.errors);
+}
+
+std::shared_ptr<SessionServer::ServerSession> SessionServer::FindSession(
+    const SessionToken& token, WireError* error) {
+  {
+    std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+    auto it = sessions_.find(token.session_id);
+    if (it != sessions_.end() && it->second->nonce == token.nonce) {
+      it->second->last_active_ms.store(NowMs(), std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  error->code = WireErrorCode::kUnknownSession;
+  error->message = "unknown session token (bad nonce, reaped, or retired)";
+  return nullptr;
+}
+
+std::string SessionServer::HandleHello(std::string_view payload,
+                                       WireError* error) {
+  HelloRequest req;
+  Status st = DecodeHelloRequest(payload, &req);
+  if (!st.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = st.ToString();
+    return "";
+  }
+  if (req.protocol_version != kWireProtocolVersion) {
+    error->code = WireErrorCode::kVersionMismatch;
+    error->detail = kWireProtocolVersion;
+    error->message = "server speaks wire protocol version " +
+                     std::to_string(kWireProtocolVersion);
+    return "";
+  }
+
+  // Resume path: the token must match exactly (id + nonce) — a stale or
+  // forged nonce gets kUnknownSession, never someone else's session.
+  if (req.resume.session_id != 0 || req.resume.nonce != 0) {
+    WireError find_err;
+    std::shared_ptr<ServerSession> session = FindSession(req.resume, &find_err);
+    if (session == nullptr) {
+      *error = find_err;
+      return "";
+    }
+    Bump(counters_.sessions_resumed);
+    HelloResponse resp;
+    resp.token = {session->id, session->nonce};
+    resp.resumed = true;
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      resp.num_streams = static_cast<uint32_t>(session->streams.size());
+      resp.num_queries = static_cast<uint32_t>(session->queries.size());
+    }
+    return EncodeHelloResponse(resp);
+  }
+
+  // Fresh session: reap first so idle sessions do not hold admission slots.
+  ReapIdleSessions();
+  auto session = std::make_shared<ServerSession>();
+  {
+    std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+    if (options_.max_sessions > 0 &&
+        sessions_.size() >= options_.max_sessions) {
+      Bump(counters_.sessions_shed);
+      error->code = WireErrorCode::kRetryLater;
+      error->retry_after_ms = options_.retry_after_ms;
+      error->message = "session admission: " +
+                       std::to_string(options_.max_sessions) +
+                       " sessions already live; retry later";
+      return "";
+    }
+    session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    // splitmix64 finalizer over (seed, id): unguessable enough that a
+    // client cannot trivially forge another session's nonce, cheap enough
+    // to mint under the lock.
+    uint64_t z = nonce_seed_ + session->id * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    session->nonce = z ^ (z >> 31);
+    session->last_active_ms.store(NowMs(), std::memory_order_relaxed);
+    sessions_.emplace(session->id, session);
+  }
+  Bump(counters_.sessions_opened);
+
+  HelloResponse resp;
+  resp.token = {session->id, session->nonce};
+  resp.resumed = false;
+  return EncodeHelloResponse(resp);
+}
+
+std::string SessionServer::HandleRegisterQuery(std::string_view payload,
+                                               WireError* error) {
+  SessionToken token;
+  UnionQuery query;
+  Status st = DecodeRegisterQueryRequest(engine_->schema(), payload, &token,
+                                         &query);
+  if (!st.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = st.ToString();
+    return "";
+  }
+  std::shared_ptr<ServerSession> session = FindSession(token, error);
+  if (session == nullptr) return "";
+
+  Result<QueryId> qid = Status::Internal("unreached");
+  {
+    std::lock_guard<std::mutex> reg(register_mu_);
+    qid = durable_ != nullptr ? durable_->RegisterQuery(query)
+                              : engine_->RegisterQuery(query);
+  }
+  if (!qid.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = qid.status().ToString();
+    return "";
+  }
+  uint32_t handle;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    handle = static_cast<uint32_t>(session->queries.size());
+    session->queries.push_back(*qid);
+  }
+  return EncodeHandle(handle);
+}
+
+std::string SessionServer::HandleRegisterStream(std::string_view payload,
+                                                WireError* error) {
+  SessionToken token;
+  UnionQuery query;
+  StreamOptions opts;
+  Status st = DecodeRegisterStreamRequest(engine_->schema(), payload, &token,
+                                          &query, &opts);
+  if (!st.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = st.ToString();
+    return "";
+  }
+  std::shared_ptr<ServerSession> session = FindSession(token, error);
+  if (session == nullptr) return "";
+
+  // Server-side stream policy: cursors must be resumable (reconnect), and
+  // the backlog cap only ever tightens — a client cannot opt out of the
+  // server's memory bound.
+  opts.retain_events = true;
+  if (options_.max_backlog_events > 0 &&
+      (opts.retain_cap == 0 || opts.retain_cap > options_.max_backlog_events)) {
+    opts.retain_cap = options_.max_backlog_events;
+  }
+
+  Result<StreamId> sid = Status::Internal("unreached");
+  {
+    std::lock_guard<std::mutex> reg(register_mu_);
+    sid = durable_ != nullptr ? durable_->RegisterStream(query, opts)
+                              : registry_->Register(query, opts);
+  }
+  if (!sid.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = sid.status().ToString();
+    return "";
+  }
+  uint32_t handle;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    handle = static_cast<uint32_t>(session->streams.size());
+    session->streams.push_back(*sid);
+    session->degraded.push_back(0);
+  }
+  return EncodeHandle(handle);
+}
+
+std::string SessionServer::HandleApply(std::string_view payload,
+                                       WireError* error) {
+  SessionToken token;
+  Access access;
+  std::vector<Fact> response;
+  Status st = DecodeApplyRequest(engine_->schema(), engine_->access_methods(),
+                                 payload, &token, &access, &response);
+  if (!st.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = st.ToString();
+    return "";
+  }
+  std::shared_ptr<ServerSession> session = FindSession(token, error);
+  if (session == nullptr) return "";
+
+  Result<int> added = durable_ != nullptr
+                          ? durable_->Apply(access, response)
+                          : engine_->ApplyResponse(access, response);
+  if (!added.ok()) {
+    if (added.status().code() == StatusCode::kResourceExhausted) {
+      // Engine apply admission shed the request: typed backoff, not a
+      // failure — the client retries after retry_after_ms.
+      Bump(counters_.applies_shed);
+      error->code = WireErrorCode::kRetryLater;
+      error->retry_after_ms = options_.retry_after_ms;
+    } else {
+      error->code = WireErrorCode::kBadRequest;
+    }
+    error->message = added.status().ToString();
+    return "";
+  }
+  ApplyResult result;
+  result.facts_added = static_cast<uint32_t>(*added);
+  result.wal_sequence = durable_ != nullptr ? durable_->last_sequence() : 0;
+  return EncodeApplyResult(result);
+}
+
+std::string SessionServer::HandlePoll(std::string_view payload,
+                                      WireError* error) {
+  SessionToken token;
+  uint32_t handle = 0;
+  uint64_t cursor = 0;
+  Status st = DecodePollRequest(payload, &token, &handle, &cursor);
+  if (!st.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = st.ToString();
+    return "";
+  }
+  std::shared_ptr<ServerSession> session = FindSession(token, error);
+  if (session == nullptr) return "";
+
+  StreamId sid;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (handle >= session->streams.size()) {
+      error->code = WireErrorCode::kNotFound;
+      error->message = "unknown stream handle " + std::to_string(handle);
+      return "";
+    }
+    sid = session->streams[handle];
+  }
+
+  Result<StreamDelta> delta = registry_->PollAfter(sid, cursor);
+  if (!delta.ok()) {
+    if (delta.status().code() == StatusCode::kFailedPrecondition) {
+      // Retention cap dropped events this cursor still needed: tell the
+      // client where the horizon is so it can re-snapshot and resume.
+      Bump(counters_.cursor_evictions);
+      error->code = WireErrorCode::kCursorEvicted;
+      error->detail = registry_->EvictedThrough(sid);
+    } else {
+      error->code = WireErrorCode::kBadRequest;
+    }
+    error->message = delta.status().ToString();
+    return "";
+  }
+  PoliceBacklog(*session, handle, sid);
+  return EncodePollResponse(engine_->schema(), *delta);
+}
+
+void SessionServer::PoliceBacklog(ServerSession& session, uint32_t handle,
+                                  StreamId sid) {
+  const uint64_t retained = registry_->RetainedCount(sid);
+  MaxInto(counters_.backlog_high_water, retained);
+  if (options_.degrade_backlog_events == 0 ||
+      retained <= options_.degrade_backlog_events) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(session.mu);
+    if (handle >= session.degraded.size() || session.degraded[handle]) return;
+    session.degraded[handle] = 1;
+  }
+  // The stream is running hot: shed its gate indexes and fall back to
+  // conservative full-recheck waves. Verdict-identical (the flag is
+  // consulted per wave), so parity holds — only the wave cost changes.
+  if (registry_->Degrade(sid).ok()) Bump(counters_.streams_degraded);
+}
+
+std::string SessionServer::HandleAcknowledge(std::string_view payload,
+                                             WireError* error) {
+  SessionToken token;
+  uint32_t handle = 0;
+  uint64_t upto = 0;
+  Status st = DecodeAckRequest(payload, &token, &handle, &upto);
+  if (!st.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = st.ToString();
+    return "";
+  }
+  std::shared_ptr<ServerSession> session = FindSession(token, error);
+  if (session == nullptr) return "";
+
+  StreamId sid;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (handle >= session->streams.size()) {
+      error->code = WireErrorCode::kNotFound;
+      error->message = "unknown stream handle " + std::to_string(handle);
+      return "";
+    }
+    sid = session->streams[handle];
+  }
+  st = durable_ != nullptr ? durable_->Acknowledge(sid, upto)
+                           : registry_->Acknowledge(sid, upto);
+  if (!st.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = st.ToString();
+    return "";
+  }
+  return "";
+}
+
+std::string SessionServer::HandleSnapshot(std::string_view payload,
+                                          WireError* error) {
+  SessionToken token;
+  uint32_t handle = 0;
+  Status st = DecodeSnapshotRequest(payload, &token, &handle);
+  if (!st.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = st.ToString();
+    return "";
+  }
+  std::shared_ptr<ServerSession> session = FindSession(token, error);
+  if (session == nullptr) return "";
+
+  StreamId sid;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (handle >= session->streams.size()) {
+      error->code = WireErrorCode::kNotFound;
+      error->message = "unknown stream handle " + std::to_string(handle);
+      return "";
+    }
+    sid = session->streams[handle];
+  }
+  return EncodeSnapshotResponse(engine_->schema(), registry_->Snapshot(sid));
+}
+
+std::string SessionServer::HandleMetrics(std::string_view payload,
+                                         WireError* error) {
+  SessionToken token;
+  MetricsFormat format = MetricsFormat::kJson;
+  Status st = DecodeMetricsRequest(payload, &token, &format);
+  if (!st.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = st.ToString();
+    return "";
+  }
+  std::shared_ptr<ServerSession> session = FindSession(token, error);
+  if (session == nullptr) return "";
+
+  // engine_->stats() folds in this server's ContributeStats, so the
+  // rar_server_* rows ride the same exposition as the engine's.
+  MetricsExport metrics;
+  metrics.stats = engine_->stats();
+  metrics.obs = engine_->obs().Snapshot();
+  metrics.schema = &engine_->schema();
+  return format == MetricsFormat::kPrometheus
+             ? ExportMetricsPrometheus(metrics)
+             : ExportMetricsJson(metrics);
+}
+
+std::string SessionServer::HandleGoodbye(std::string_view payload,
+                                         WireError* error) {
+  SessionToken token;
+  Status st = DecodeGoodbyeRequest(payload, &token);
+  if (!st.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = st.ToString();
+    return "";
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+    auto it = sessions_.find(token.session_id);
+    if (it == sessions_.end() || it->second->nonce != token.nonce) {
+      error->code = WireErrorCode::kUnknownSession;
+      error->message = "unknown session token";
+      return "";
+    }
+    sessions_.erase(it);
+  }
+  Bump(counters_.sessions_retired);
+  return "";
+}
+
+size_t SessionServer::ReapIdleSessions() {
+  if (options_.idle_timeout_ms == 0) return 0;
+  const uint64_t now = NowMs();
+  size_t reaped = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      const uint64_t last =
+          it->second->last_active_ms.load(std::memory_order_relaxed);
+      if (now - last > options_.idle_timeout_ms) {
+        it = sessions_.erase(it);
+        ++reaped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  Bump(counters_.sessions_reaped, reaped);
+  return reaped;
+}
+
+size_t SessionServer::num_sessions() const {
+  std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+void SessionServer::ContributeStats(EngineStats* stats) const {
+  const auto load = [](const std::atomic<uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  stats->server_sessions_opened += load(counters_.sessions_opened);
+  stats->server_sessions_resumed += load(counters_.sessions_resumed);
+  stats->server_sessions_retired += load(counters_.sessions_retired);
+  stats->server_sessions_reaped += load(counters_.sessions_reaped);
+  stats->server_sessions_shed += load(counters_.sessions_shed);
+  stats->server_sessions_active += num_sessions();
+  stats->server_requests += load(counters_.requests);
+  stats->server_requests_hello += load(counters_.requests_hello);
+  stats->server_requests_register_query +=
+      load(counters_.requests_register_query);
+  stats->server_requests_register_stream +=
+      load(counters_.requests_register_stream);
+  stats->server_requests_apply += load(counters_.requests_apply);
+  stats->server_requests_poll += load(counters_.requests_poll);
+  stats->server_requests_acknowledge += load(counters_.requests_acknowledge);
+  stats->server_requests_snapshot += load(counters_.requests_snapshot);
+  stats->server_requests_metrics += load(counters_.requests_metrics);
+  stats->server_errors += load(counters_.errors);
+  stats->server_bad_frames += load(counters_.bad_frames);
+  stats->server_applies_shed += load(counters_.applies_shed);
+  stats->server_streams_degraded += load(counters_.streams_degraded);
+  stats->server_cursor_evictions += load(counters_.cursor_evictions);
+  stats->server_backlog_high_water += load(counters_.backlog_high_water);
+}
+
+}  // namespace rar

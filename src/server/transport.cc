@@ -1,0 +1,324 @@
+#include "server/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace rar {
+
+// --------------------------------------------------------------------------
+// LoopbackChannel
+
+Result<WireFrame> LoopbackChannel::Call(MessageType type,
+                                        std::string_view payload) {
+  const uint64_t id = next_request_id_++;
+  std::string wire;
+  EncodeWireFrame(id, type, payload, &wire);
+
+  // Round-trip through the parser so loopback requests take the same
+  // validation path TCP requests do.
+  size_t offset = 0;
+  WireFrame request;
+  std::string parse_error;
+  if (ParseWireFrame(wire, &offset, &request, &parse_error) !=
+      FrameParse::kFrame) {
+    return Status::Internal("loopback frame failed to round-trip: " +
+                            parse_error);
+  }
+
+  const std::string response_bytes = server_->HandleFrame(request);
+  offset = 0;
+  WireFrame response;
+  if (ParseWireFrame(response_bytes, &offset, &response, &parse_error) !=
+      FrameParse::kFrame) {
+    return Status::Internal("server response failed to parse: " + parse_error);
+  }
+  if (response.request_id != id) {
+    return Status::Internal("response id mismatch");
+  }
+  return response;
+}
+
+// --------------------------------------------------------------------------
+// TcpServer
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Per-connection state owned by the poll loop.
+struct Conn {
+  FrameAssembler assembler;
+  std::string outbox;     ///< encoded responses not yet written
+  size_t out_pos = 0;     ///< bytes of outbox already written
+  bool closing = false;   ///< flush outbox, then close (framing damage)
+};
+
+}  // namespace
+
+Result<uint16_t> TcpServer::Start(uint16_t port) {
+  if (running_.load()) return Status::FailedPrecondition("already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status st = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    Status st = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_fds_) != 0) {
+    Status st = Errno("pipe");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  SetNonBlocking(listen_fd_);
+  SetNonBlocking(wake_fds_[0]);
+
+  running_.store(true);
+  thread_ = std::thread(&TcpServer::Loop, this);
+  return port_;
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Wake the poll loop; it observes running_ == false and drains out.
+  const char byte = 'x';
+  (void)!::write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void TcpServer::Loop() {
+  std::unordered_map<int, Conn> conns;
+  std::vector<pollfd> fds;
+  char buf[64 * 1024];
+
+  while (running_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns) {
+      short events = conn.closing ? 0 : POLLIN;
+      if (conn.out_pos < conn.outbox.size()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+    }
+
+    if (::poll(fds.data(), fds.size(), 500) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    // New connections.
+    if (fds[1].revents & POLLIN) {
+      for (;;) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        SetNonBlocking(fd);
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        conns.emplace(fd, Conn{});
+      }
+    }
+
+    std::vector<int> dead;
+    for (size_t i = 2; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      Conn& conn = conns[fd];
+      bool drop = (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+                  !(fds[i].revents & POLLIN);
+
+      if (!drop && (fds[i].revents & POLLIN)) {
+        for (;;) {
+          const ssize_t n = ::read(fd, buf, sizeof(buf));
+          if (n > 0) {
+            conn.assembler.Feed(buf, static_cast<size_t>(n));
+            continue;
+          }
+          if (n == 0) drop = true;  // peer closed; mid-frame bytes discard
+          if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) drop = true;
+          break;
+        }
+        WireFrame frame;
+        std::string error;
+        for (;;) {
+          const FrameParse verdict = conn.assembler.Next(&frame, &error);
+          if (verdict == FrameParse::kFrame) {
+            conn.outbox += server_->HandleFrame(frame);
+            continue;
+          }
+          if (verdict == FrameParse::kCorrupt) {
+            // Framing is lost beyond recovery: answer with one final
+            // typed error, flush, close. The engine never saw the bytes.
+            server_->NoteBadFrame();
+            WireError we;
+            we.code = WireErrorCode::kBadFrame;
+            we.message = error;
+            EncodeWireFrame(0, MessageType::kError, EncodeWireError(we),
+                            &conn.outbox);
+            conn.closing = true;
+          }
+          break;
+        }
+      }
+
+      if (!drop && (fds[i].revents & POLLOUT) &&
+          conn.out_pos < conn.outbox.size()) {
+        const ssize_t n = ::write(fd, conn.outbox.data() + conn.out_pos,
+                                  conn.outbox.size() - conn.out_pos);
+        if (n > 0) {
+          conn.out_pos += static_cast<size_t>(n);
+          if (conn.out_pos == conn.outbox.size()) {
+            conn.outbox.clear();
+            conn.out_pos = 0;
+          }
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+          drop = true;
+        }
+      }
+
+      if (drop || (conn.closing && conn.out_pos >= conn.outbox.size())) {
+        dead.push_back(fd);
+      }
+    }
+    for (int fd : dead) {
+      ::close(fd);
+      conns.erase(fd);
+    }
+  }
+
+  for (const auto& [fd, conn] : conns) ::close(fd);
+}
+
+// --------------------------------------------------------------------------
+// TcpChannel
+
+TcpChannel::~TcpChannel() { Close(); }
+
+void TcpChannel::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(const std::string& host,
+                                                        uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+}
+
+Result<WireFrame> TcpChannel::Call(MessageType type, std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("channel closed");
+
+  const uint64_t id = next_request_id_++;
+  std::string wire;
+  EncodeWireFrame(id, type, payload, &wire);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::write(fd_, wire.data() + sent, wire.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("write");
+      Close();
+      return st;
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  char buf[64 * 1024];
+  for (;;) {
+    WireFrame frame;
+    std::string error;
+    const FrameParse verdict = assembler_.Next(&frame, &error);
+    if (verdict == FrameParse::kFrame) {
+      // A bad-frame error the server emits before closing carries id 0;
+      // everything else must answer our id (one call in flight at a time).
+      if (frame.request_id != id && frame.request_id != 0) {
+        Close();
+        return Status::Internal("response id mismatch");
+      }
+      return frame;
+    }
+    if (verdict == FrameParse::kCorrupt) {
+      Close();
+      return Status::ParseError("corrupt response stream: " + error);
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      Close();
+      return Status::Internal("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("read");
+      Close();
+      return st;
+    }
+    assembler_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace rar

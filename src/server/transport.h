@@ -1,0 +1,119 @@
+// Transport seam for the session server: how request frames reach
+// SessionServer::HandleFrame and responses come back.
+//
+// Two implementations behind one client-side interface:
+//
+//  * LoopbackChannel — in-process: the request is *encoded to wire bytes
+//    and re-parsed* (so every call exercises the real frame codec, CRC
+//    included), then dispatched directly. Hermetic — the tests and the
+//    bench drive thousands of concurrent subscribers through it with no
+//    sockets, no ports, no flakes.
+//
+//  * TcpServer + TcpChannel — a real byte stream: a poll(2)-loop thread
+//    owns non-blocking connections, each with its own FrameAssembler and
+//    write backlog. Framing corruption on a connection sends a final
+//    kBadFrame error and closes it (the engine is untouched — no mutation
+//    happens before a frame passes its CRC). Sessions are token-bound,
+//    not connection-bound, so a dropped connection loses nothing: the
+//    client reconnects and resumes with its token.
+//
+// Both channels are synchronous call/response and single-threaded per
+// channel; concurrency comes from many channels (one per client thread),
+// which is also the natural one-connection-per-client shape on TCP.
+#ifndef RAR_SERVER_TRANSPORT_H_
+#define RAR_SERVER_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "server/protocol.h"
+#include "server/server.h"
+#include "util/status.h"
+
+namespace rar {
+
+/// \brief Client-side transport interface: one request frame out, one
+/// response frame back (a *Ok or a kError; transport failures surface as
+/// a non-ok Status). Implementations assign request ids.
+class ClientChannel {
+ public:
+  virtual ~ClientChannel() = default;
+  virtual Result<WireFrame> Call(MessageType type,
+                                 std::string_view payload) = 0;
+};
+
+/// \brief In-process channel: encode → re-parse → HandleFrame. The codec
+/// round-trip is deliberate — loopback traffic is byte-identical to TCP
+/// traffic, minus the socket.
+class LoopbackChannel : public ClientChannel {
+ public:
+  explicit LoopbackChannel(SessionServer* server) : server_(server) {}
+
+  Result<WireFrame> Call(MessageType type, std::string_view payload) override;
+
+ private:
+  SessionServer* server_;
+  uint64_t next_request_id_ = 1;
+};
+
+/// \brief TCP front end: accepts connections on a loopback port and
+/// pumps them through one poll(2) loop thread. Start() may fail where
+/// sockets are unavailable (sandboxes); callers treat that as "TCP not
+/// supported here", not as a server bug.
+class TcpServer {
+ public:
+  explicit TcpServer(SessionServer* server) : server_(server) {}
+  ~TcpServer() { Stop(); }
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), starts the loop thread, and
+  /// returns the bound port.
+  Result<uint16_t> Start(uint16_t port = 0);
+
+  /// Stops the loop thread and closes every connection. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Loop();
+
+  SessionServer* server_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: Stop() wakes poll()
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+/// \brief Blocking client connection to a TcpServer.
+class TcpChannel : public ClientChannel {
+ public:
+  ~TcpChannel() override;
+
+  static Result<std::unique_ptr<TcpChannel>> Connect(const std::string& host,
+                                                     uint16_t port);
+
+  Result<WireFrame> Call(MessageType type, std::string_view payload) override;
+
+  /// Severs the connection mid-stream (negative tests: the server must
+  /// discard the partial frame and stay healthy).
+  void Close();
+
+ private:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+
+  int fd_;
+  uint64_t next_request_id_ = 1;
+  FrameAssembler assembler_;
+};
+
+}  // namespace rar
+
+#endif  // RAR_SERVER_TRANSPORT_H_

@@ -216,6 +216,9 @@ struct StreamState {
   /// past poll_cursor instead of draining.
   uint64_t poll_cursor = 0;     ///< last sequence handed out by Poll
   uint64_t acked_sequence = 0;  ///< last sequence the subscriber confirmed
+  /// Highest sequence evicted by StreamOptions::retain_cap (0 = none).
+  /// A PollAfter cursor behind this is a gap the stream cannot fill.
+  uint64_t evicted_sequence = 0;
 
   mutable std::mutex mu;
 };

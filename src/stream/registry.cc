@@ -298,6 +298,7 @@ Result<StreamId> RelevanceStreamRegistry::RegisterInternal(
     s.next_sequence = info->next_sequence;
     s.acked_sequence = info->acked_sequence;
     s.poll_cursor = info->acked_sequence;
+    s.evicted_sequence = info->evicted_through;
   }
   return id;
 }
@@ -496,6 +497,19 @@ void RelevanceStreamRegistry::CommitEvents(StreamState& s,
     e.sequence = s.next_sequence++;
     counters_.Bump(counters_.events);
     s.pending_events.push_back(std::move(e));
+  }
+  // Retention cap: evict the oldest retained events beyond the cap, so a
+  // subscriber that stopped polling cannot pin memory forever. Poll-mode
+  // (non-retaining) streams drain on Poll and never hit this. The horizon
+  // is sticky; a cursor behind it gets the typed PollAfter error.
+  const uint64_t cap = s.options.retain_cap;
+  if (s.options.retain_events && cap > 0 && s.pending_events.size() > cap) {
+    const size_t excess = s.pending_events.size() - static_cast<size_t>(cap);
+    s.evicted_sequence = s.pending_events[excess - 1].sequence;
+    s.pending_events.erase(s.pending_events.begin(),
+                           s.pending_events.begin() + excess);
+    if (s.poll_cursor < s.evicted_sequence) s.poll_cursor = s.evicted_sequence;
+    counters_.Bump(counters_.retained_evicted, excess);
   }
 }
 
@@ -1188,14 +1202,25 @@ StreamDelta RelevanceStreamRegistry::Poll(StreamId id) {
     s->pending_events.clear();
   }
   delta.last_sequence = s->next_sequence - 1;
+  delta.evicted_through = s->evicted_sequence;
   return delta;
 }
 
-StreamDelta RelevanceStreamRegistry::PollAfter(StreamId id, uint64_t cursor) {
+Result<StreamDelta> RelevanceStreamRegistry::PollAfter(StreamId id,
+                                                       uint64_t cursor) {
   StreamState* s = stream(id);
   if (s == nullptr) return StreamDelta{};
   {
     std::lock_guard<std::mutex> lock(s->mu);
+    if (s->options.retain_events && cursor < s->evicted_sequence) {
+      // The retention cap dropped events past this cursor: the gap cannot
+      // be filled. The subscriber must re-Snapshot for current state, then
+      // resume from the eviction horizon (EvictedThrough).
+      return Status::FailedPrecondition(
+          "cursor evicted: retention cap dropped events through sequence " +
+          std::to_string(s->evicted_sequence) + " (cursor " +
+          std::to_string(cursor) + "); re-snapshot and resume from there");
+    }
     if (s->options.retain_events && cursor < s->poll_cursor) {
       s->poll_cursor = cursor;
     }
@@ -1242,6 +1267,7 @@ RelevanceStreamRegistry::DumpPersistState(StreamId id) const {
   ps.fresh_pool = s->inst.fresh_constants();
   ps.next_sequence = s->next_sequence;
   ps.acked_sequence = s->acked_sequence;
+  ps.evicted_through = s->evicted_sequence;
   ps.retained_events = s->pending_events;
   return ps;
 }
@@ -1288,6 +1314,42 @@ void RelevanceStreamRegistry::Refresh(StreamId id) {
   if (s->defunct) return;
   RecheckWave(*s, num_relations_, /*force=*/true, /*event=*/nullptr,
               /*performed_after=*/0, /*adom_hit=*/false);
+}
+
+Status RelevanceStreamRegistry::Degrade(StreamId id) {
+  StreamState* s = stream(id);
+  if (s == nullptr) return Status::NotFound("no such stream");
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->options.force_full_recheck) return Status::OK();  // already degraded
+  // force_full_recheck is consulted at the top of every wave, so flipping
+  // it here (under s.mu, which waves hold) takes effect on the next wave;
+  // the gate indexes become dead weight and are dropped. Verdicts are
+  // unaffected: a full recheck decides exactly what a gated wave would
+  // have (the gate only ever *skips* provably-unchanged bindings).
+  s->options.force_full_recheck = true;
+  s->gate_supported = false;
+  s->semijoin_supported = false;
+  s->gates.clear();
+  s->value_index.clear();
+  s->index_built = false;
+  s->fact_index.clear();
+  s->fact_index_built = false;
+  counters_.Bump(counters_.streams_degraded);
+  return Status::OK();
+}
+
+size_t RelevanceStreamRegistry::RetainedCount(StreamId id) const {
+  StreamState* s = stream(id);
+  if (s == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->options.retain_events ? s->pending_events.size() : 0;
+}
+
+uint64_t RelevanceStreamRegistry::EvictedThrough(StreamId id) const {
+  StreamState* s = stream(id);
+  if (s == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->evicted_sequence;
 }
 
 }  // namespace rar

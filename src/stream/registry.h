@@ -107,6 +107,7 @@ struct StreamRecoveryInfo {
   bool quiet = false;
   uint64_t next_sequence = 1;
   uint64_t acked_sequence = 0;
+  uint64_t evicted_through = 0;  ///< persisted retention-cap horizon
   std::vector<StreamEvent> retained_events;
 };
 
@@ -143,8 +144,11 @@ class RelevanceStreamRegistry : public ApplyListener {
   /// Retained-mode Poll from an explicit cursor: rewinds the poll cursor
   /// to `cursor` (when behind it) and re-delivers every retained event
   /// after it — the reconnect/recovery path (`PollAfter(acked)` is gap-
-  /// free). Equivalent to Poll for non-retaining streams.
-  StreamDelta PollAfter(StreamId id, uint64_t cursor);
+  /// free). Equivalent to Poll for non-retaining streams. Fails with
+  /// FailedPrecondition when the retention cap has evicted events past
+  /// `cursor` (the gap cannot be filled — re-Snapshot, then resume from
+  /// `EvictedThrough`).
+  Result<StreamDelta> PollAfter(StreamId id, uint64_t cursor);
 
   /// Confirms delivery through sequence `upto`: drops retained events at
   /// or below it and advances the acknowledged cursor (what snapshots
@@ -160,6 +164,7 @@ class RelevanceStreamRegistry : public ApplyListener {
     std::vector<TypedValue> fresh_pool;  ///< inst.fresh_constants() order
     uint64_t next_sequence = 1;
     uint64_t acked_sequence = 0;
+    uint64_t evicted_through = 0;  ///< retention-cap horizon (0 = none)
     std::vector<StreamEvent> retained_events;  ///< un-acknowledged tail
   };
   Result<StreamPersistState> DumpPersistState(StreamId id) const;
@@ -177,6 +182,22 @@ class RelevanceStreamRegistry : public ApplyListener {
   /// Forces a full re-evaluation of every non-settled binding (testing /
   /// recovery hook; normal maintenance is apply-driven).
   void Refresh(StreamId id);
+
+  /// Degrades the stream to conservative mode: sets
+  /// StreamOptions::force_full_recheck and drops the value/fact gate
+  /// indexes (the stream's resident memory beyond the bindings
+  /// themselves). The serving layer's load-shedding hook for hot streams.
+  /// Sound: force_full_recheck is consulted per wave and full rechecks
+  /// are verdict-identical to gated ones by the gate's soundness argument
+  /// (DESIGN.md, "Value-gated hit waves"). Idempotent; sticky.
+  Status Degrade(StreamId id);
+
+  /// Retained events currently queued (retain_events streams; the serving
+  /// layer's backlog gauge). 0 for unknown or non-retaining streams.
+  size_t RetainedCount(StreamId id) const;
+
+  /// Highest sequence the retention cap has evicted (0 = none).
+  uint64_t EvictedThrough(StreamId id) const;
 
   // ApplyListener:
   void OnApply(const ApplyEvent& event) override;

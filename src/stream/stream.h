@@ -59,6 +59,13 @@ struct StreamOptions {
   /// forces this on so persisted cursors always have events to resume
   /// into.
   bool retain_events = false;
+  /// Cap on retained events (retain_events only; 0 = unbounded). When the
+  /// queue exceeds the cap, the oldest events are evicted — a dead or
+  /// lagging subscriber cannot pin memory forever. A cursor behind the
+  /// eviction horizon gets a typed FailedPrecondition from `PollAfter`
+  /// ("cursor evicted"): the subscriber must re-`Snapshot` and resume from
+  /// `StreamDelta::evicted_through`.
+  uint64_t retain_cap = 0;
 };
 
 /// \brief Binding lifecycle events a stream emits.
@@ -84,6 +91,11 @@ struct StreamEvent {
 struct StreamDelta {
   std::vector<StreamEvent> events;
   uint64_t last_sequence = 0;
+  /// Highest sequence the retention cap has evicted (0 = none). Events at
+  /// or below it are gone: a subscriber whose cursor is behind must
+  /// re-Snapshot instead of assuming `events` is gap-free back to its
+  /// cursor.
+  uint64_t evicted_through = 0;
 };
 
 /// \brief Read-only view of one tracked binding.

@@ -8,17 +8,23 @@
 #define RAR_UTIL_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace rar {
 
 /// \brief Bidirectional string <-> dense-id table.
 ///
 /// Ids are assigned in insertion order starting at 0 and are stable for the
-/// lifetime of the interner. Not thread-safe; engines own their interners.
+/// lifetime of the interner. Thread-safe: the session server interns
+/// constants while decoding concurrent client requests and mints fresh
+/// constants during stream registration, so lookups take a shared lock and
+/// inserts an exclusive one. Spellings live in a deque — references stay
+/// valid across later inserts, so `Spelling()` can hand them out unlocked.
 class Interner {
  public:
   using Id = uint32_t;
@@ -26,27 +32,53 @@ class Interner {
 
   /// Returns the id for `s`, interning it on first sight.
   Id Intern(std::string_view s) {
+    bool inserted;
+    return InternIfAbsent(s, &inserted);
+  }
+
+  /// Returns the id for `s`, interning it on first sight; `*inserted`
+  /// reports whether this call created the entry (false: someone got
+  /// there first). The check-and-insert is atomic — fresh-constant
+  /// minting relies on exactly one caller winning a spelling.
+  Id InternIfAbsent(std::string_view s, bool* inserted) {
+    *inserted = false;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = ids_.find(std::string(s));
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = ids_.find(std::string(s));
     if (it != ids_.end()) return it->second;
     Id id = static_cast<Id>(strings_.size());
     strings_.emplace_back(s);
     ids_.emplace(strings_.back(), id);
+    *inserted = true;
     return id;
   }
 
   /// Returns the id for `s`, or `kInvalid` when `s` was never interned.
   Id Lookup(std::string_view s) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = ids_.find(std::string(s));
     return it == ids_.end() ? kInvalid : it->second;
   }
 
-  /// Returns the spelling for an id produced by this interner.
-  const std::string& Spelling(Id id) const { return strings_[id]; }
+  /// Returns the spelling for an id produced by this interner. The
+  /// reference stays valid for the interner's lifetime.
+  const std::string& Spelling(Id id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return strings_[id];
+  }
 
-  size_t size() const { return strings_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return strings_.size();
+  }
 
  private:
-  std::vector<std::string> strings_;
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> strings_;
   std::unordered_map<std::string, Id> ids_;
 };
 

@@ -363,7 +363,9 @@ void ExpectStateParity(const PersistFixture& fx, const ExpectedState& want,
 
   // Resumable cursor: PollAfter(acked) re-delivers exactly the events
   // past the acknowledged sequence, gap-free and content-identical.
-  StreamDelta delta = got.PollAfter(0, want.acked);
+  Result<StreamDelta> polled = got.PollAfter(0, want.acked);
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  StreamDelta delta = std::move(polled).value();
   std::vector<StreamEvent> expect_tail;
   for (const StreamEvent& e : want.events) {
     if (e.sequence > want.acked) expect_tail.push_back(e);
