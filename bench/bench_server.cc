@@ -25,6 +25,17 @@
 // (applies_shed) retrying until their script lands. Zero sheds or zero
 // degrades under this configuration is a hard failure.
 //
+// Sweep 3 (bench "server_lossy"): fault-tolerance cost. The same crawl
+// offered twice — once over clean loopback channels, once over seeded
+// ChaosChannels that drop requests, drop responses after execution and
+// duplicate frames — with retrying clients (RetryPolicy + request-id
+// dedup on the server). Reports goodput (successful applies/sec), retry
+// amplification (attempts / logical calls) and client-observed p50/p99
+// end-to-end latency for both modes side by side. Gates: every apply
+// eventually lands, the chaos plan actually fired, amplification under
+// loss exceeds 1, and the served state keeps exact parity with a fresh
+// engine fed every response once — the exactly-once-effect check.
+//
 // One strict-JSON line per sweep (obs/export.h JsonWriter), to stdout
 // and to BENCH_server.json (overwritten per run):
 //
@@ -35,11 +46,18 @@
 //   {"bench":"server_shed","offered_sessions":...,"admitted":...,
 //    "sessions_shed":...,"streams_degraded":...,"applies_shed":...,
 //    "cursor_evictions":...,"parity":true}
+//   {"bench":"server_lossy","seed":...,"clean_goodput_per_sec":...,
+//    "lossy_goodput_per_sec":...,"lossy_amplification":...,
+//    "clean_p99_ns":...,"lossy_p99_ns":...,"dedup_hits":...,"parity":true}
 //
 // Usage: bench_server [--subscribers=N] [--groups=N] [--rounds=N]
-//   [--pollers=N]  (CI smoke passes --subscribers=64 --rounds=2).
+//   [--pollers=N] [--seed=N]  (CI smoke passes --subscribers=64
+//   --rounds=2; --seed makes the lossy sweep's fault schedule and retry
+//   jitter replayable).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -50,6 +68,7 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "server/chaos.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "server/transport.h"
@@ -149,6 +168,28 @@ struct SweepOutcome {
   uint64_t retries = 0;
 };
 
+uint64_t Percentile(std::vector<uint64_t>& sorted_ns, double p) {
+  if (sorted_ns.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * (sorted_ns.size() - 1));
+  return sorted_ns[idx];
+}
+
+/// One mode of the lossy sweep: the whole crawl replayed by G retrying
+/// applier clients over either clean loopback or seeded chaos channels.
+struct LossyModeResult {
+  double wall_ms = 0;
+  uint64_t applies_ok = 0;
+  uint64_t calls = 0;
+  uint64_t attempts = 0;
+  uint64_t call_errors = 0;
+  uint64_t faults_dropped = 0;     ///< request + response drops
+  uint64_t faults_duplicated = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  bool parity = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,6 +198,7 @@ int main(int argc, char** argv) {
   long groups = 8;
   long rounds = 4;
   long pollers = static_cast<long>(std::thread::hardware_concurrency());
+  uint64_t seed = 1;
   if (pollers < 2) pollers = 2;
   if (pollers > 16) pollers = 16;
   for (int i = 1; i < argc; ++i) {
@@ -168,6 +210,8 @@ int main(int argc, char** argv) {
       rounds = std::atol(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--pollers=", 10) == 0) {
       pollers = std::atol(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
     }
   }
   if (groups < 1) groups = 1;
@@ -504,6 +548,205 @@ int main(int argc, char** argv) {
     eopts.max_inflight_applies = 1;
     if (!run_sweep("server_shed", offered, shed_groups, shed_rounds, sopts,
                    eopts)) {
+      failed = true;
+    }
+  }
+
+  // Sweep 3: lossy transport. The crawl replayed twice by retrying
+  // clients — clean loopback as baseline, then seeded chaos (dropped
+  // requests, dropped responses, duplicated frames). Goodput, retry
+  // amplification and client-observed latency, side by side, with the
+  // exactly-once parity gate on the lossy run.
+  {
+    const long lossy_groups = groups < 4 ? 4 : groups;
+    const long lossy_rounds = rounds < 2 ? 2 : rounds;
+
+    MultiRelationFamily f =
+        MakeMultiRelationFamily(static_cast<int>(lossy_groups), 5);
+    const Scenario& s = f.scenario;
+    auto scripts = BuildScripts(f);
+    std::vector<UnionQuery> queries;
+    for (long g = 0; g < lossy_groups; ++g) {
+      queries.push_back(GroupStreamQuery(f, static_cast<size_t>(g)));
+    }
+
+    auto run_mode = [&](bool lossy) -> LossyModeResult {
+      LossyModeResult mode;
+      RelevanceEngine engine(*s.schema, s.acs, s.conf, {});
+      RelevanceStreamRegistry registry(&engine);
+      SessionServer server(&engine, &registry, {});
+
+      std::vector<std::vector<uint64_t>> latencies(
+          static_cast<size_t>(lossy_groups));
+      std::atomic<uint64_t> applies_ok{0};
+      std::atomic<uint64_t> calls{0};
+      std::atomic<uint64_t> attempts{0};
+      std::atomic<uint64_t> call_errors{0};
+      std::atomic<uint64_t> dropped{0};
+      std::atomic<uint64_t> duplicated{0};
+
+      const Clock::time_point t0 = Clock::now();
+      std::vector<std::thread> threads;
+      for (long g = 0; g < lossy_groups; ++g) {
+        threads.emplace_back([&, g] {
+          std::unique_ptr<ClientChannel> channel;
+          ChaosChannel* chaos = nullptr;
+          if (lossy) {
+            ChaosPlan plan;
+            plan.seed = seed * 1000 + static_cast<uint64_t>(g);
+            plan.drop_request = 0.05;
+            plan.drop_response = 0.08;
+            plan.duplicate_request = 0.05;
+            auto owned = std::make_unique<ChaosChannel>(&server, plan);
+            chaos = owned.get();
+            channel = std::move(owned);
+          } else {
+            channel = std::make_unique<LoopbackChannel>(&server);
+          }
+          RetryPolicy retry;
+          retry.max_attempts = 40;
+          retry.base_backoff_ms = 1;
+          retry.max_backoff_ms = 8;
+          retry.jitter_seed = seed * 7777 + static_cast<uint64_t>(g);
+          RarClient client(channel.get(), s.schema.get(), &s.acs, retry);
+          if (!client.Hello().ok()) {
+            call_errors.fetch_add(1);
+            return;
+          }
+          for (long round = 0; round < lossy_rounds; ++round) {
+            for (const auto& [access, response] : scripts[g]) {
+              const Clock::time_point a0 = Clock::now();
+              Result<ApplyResult> r = client.Apply(access, response);
+              const Clock::time_point a1 = Clock::now();
+              if (r.ok()) {
+                applies_ok.fetch_add(1);
+                latencies[g].push_back(static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        a1 - a0)
+                        .count()));
+              } else {
+                call_errors.fetch_add(1);
+              }
+            }
+          }
+          if (!client.Goodbye().ok()) call_errors.fetch_add(1);
+          calls.fetch_add(client.calls_issued());
+          attempts.fetch_add(client.attempts_issued());
+          if (chaos != nullptr) {
+            dropped.fetch_add(chaos->log().dropped_requests +
+                              chaos->log().dropped_responses);
+            duplicated.fetch_add(chaos->log().duplicated);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      mode.wall_ms = MsBetween(t0, Clock::now());
+
+      mode.applies_ok = applies_ok.load();
+      mode.calls = calls.load();
+      mode.attempts = attempts.load();
+      mode.call_errors = call_errors.load();
+      mode.faults_dropped = dropped.load();
+      mode.faults_duplicated = duplicated.load();
+      mode.dedup_hits = engine.stats().server_dedup_hits;
+
+      std::vector<uint64_t> all;
+      for (auto& per_thread : latencies) {
+        all.insert(all.end(), per_thread.begin(), per_thread.end());
+      }
+      std::sort(all.begin(), all.end());
+      mode.p50_ns = Percentile(all, 0.50);
+      mode.p99_ns = Percentile(all, 0.99);
+
+      // Exactly-once parity: the served state must equal a fresh engine
+      // fed every response once, no matter how many times the transport
+      // made the server see each request.
+      RelevanceEngine mirror(*s.schema, s.acs, s.conf, {});
+      RelevanceStreamRegistry mirror_reg(&mirror);
+      mode.parity = true;
+      for (long g = 0; g < lossy_groups && mode.parity; ++g) {
+        for (const auto& [access, response] : scripts[g]) {
+          if (!mirror.ApplyResponse(access, response).ok()) {
+            mode.parity = false;
+          }
+        }
+      }
+      if (mode.parity) {
+        LoopbackChannel audit_channel(&server);
+        RarClient auditor(&audit_channel, s.schema.get(), &s.acs);
+        if (!auditor.Hello().ok()) mode.parity = false;
+        for (long g = 0; g < lossy_groups && mode.parity; ++g) {
+          Result<uint32_t> handle = auditor.RegisterStream(queries[g]);
+          Result<StreamId> mirror_sid = mirror_reg.Register(queries[g], {});
+          if (!handle.ok() || !mirror_sid.ok()) {
+            mode.parity = false;
+            break;
+          }
+          Result<StreamSnapshot> served = auditor.Snapshot(*handle);
+          if (!served.ok()) {
+            mode.parity = false;
+            break;
+          }
+          StreamSnapshot direct = mirror_reg.Snapshot(*mirror_sid);
+          if (SnapshotKey(*s.schema, *served) !=
+              SnapshotKey(*s.schema, direct)) {
+            mode.parity = false;
+          }
+        }
+      }
+      return mode;
+    };
+
+    LossyModeResult clean = run_mode(/*lossy=*/false);
+    LossyModeResult lossy = run_mode(/*lossy=*/true);
+
+    auto goodput = [](const LossyModeResult& m) {
+      return m.wall_ms > 0 ? m.applies_ok / (m.wall_ms / 1e3) : 0.0;
+    };
+    auto amplification = [](const LossyModeResult& m) {
+      return m.calls > 0 ? static_cast<double>(m.attempts) / m.calls : 0.0;
+    };
+
+    JsonWriter jw;
+    jw.BeginObject()
+        .Field("bench", "server_lossy")
+        .Field("seed", seed)
+        .Field("groups", static_cast<uint64_t>(lossy_groups))
+        .Field("rounds", static_cast<uint64_t>(lossy_rounds))
+        .Field("applies", clean.applies_ok)
+        .Field("clean_goodput_per_sec", goodput(clean))
+        .Field("clean_amplification", amplification(clean))
+        .Field("clean_p50_ns", clean.p50_ns)
+        .Field("clean_p99_ns", clean.p99_ns)
+        .Field("lossy_goodput_per_sec", goodput(lossy))
+        .Field("lossy_amplification", amplification(lossy))
+        .Field("lossy_p50_ns", lossy.p50_ns)
+        .Field("lossy_p99_ns", lossy.p99_ns)
+        .Field("faults_dropped", lossy.faults_dropped)
+        .Field("faults_duplicated", lossy.faults_duplicated)
+        .Field("dedup_hits", lossy.dedup_hits)
+        .Field("call_errors", clean.call_errors + lossy.call_errors)
+        .Field("parity", clean.parity && lossy.parity)
+        .EndObject();
+    std::printf("%s\n", jw.str().c_str());
+    if (out != nullptr) std::fprintf(out, "%s\n", jw.str().c_str());
+
+    // Gates: every apply landed in both modes, the fault plan actually
+    // fired, amplification shows the retries that papered over it, and
+    // exactly-once effect held.
+    if (clean.call_errors + lossy.call_errors != 0 || !clean.parity ||
+        !lossy.parity ||
+        lossy.faults_dropped + lossy.faults_duplicated == 0 ||
+        amplification(lossy) <= 1.0) {
+      std::fprintf(stderr,
+                   "server_lossy failed: call_errors=%llu parity=%d "
+                   "faults=%llu amplification=%.3f\n",
+                   static_cast<unsigned long long>(clean.call_errors +
+                                                   lossy.call_errors),
+                   (clean.parity && lossy.parity) ? 1 : 0,
+                   static_cast<unsigned long long>(lossy.faults_dropped +
+                                                   lossy.faults_duplicated),
+                   amplification(lossy));
       failed = true;
     }
   }

@@ -187,6 +187,20 @@ int main() {
     pos = eol + 1;
   }
 
+  // ---- graceful drain ------------------------------------------------
+  // Heartbeats see the drain flag flip; fresh mutations shed with
+  // kShuttingDown + a retry hint while the live clients wind down
+  // (reads, acks and goodbyes keep working throughout).
+  auto pong = ops.Ping();
+  if (!pong.ok() || pong->draining) return 1;
+  if (!server.BeginDrain().ok()) return 1;
+  pong = ops.Ping();
+  if (!pong.ok() || !pong->draining) return 1;
+  std::printf("\ndrain: heartbeat reports draining=%s; mutations now shed "
+              "with kShuttingDown (retry hint %u ms)\n",
+              pong->draining ? "true" : "false",
+              server.options().drain_retry_after_ms);
+
   if (!crawler.Goodbye().ok() || !resumed.Goodbye().ok() ||
       !ops.Goodbye().ok()) {
     return 1;

@@ -873,10 +873,16 @@ EngineStats RelevanceEngine::stats() const {
     s.frontier_pending = frontier_.pending_size();
     s.frontier_performed = frontier_.performed_size();
   }
+  std::vector<ApplyListener*> listeners;
   {
     std::lock_guard<std::mutex> ll(listeners_mu_);
-    for (const ApplyListener* l : listeners_) l->ContributeStats(&s);
+    listeners = listeners_;
   }
+  // Contribute outside listeners_mu_ (same discipline as NotifyApplied):
+  // a listener's ContributeStats may take locks that are also held
+  // around engine applies — e.g. DurableSession's session mutex — and
+  // holding listeners_mu_ across the call would invert that order.
+  for (const ApplyListener* l : listeners) l->ContributeStats(&s);
   return s;
 }
 

@@ -136,12 +136,18 @@ struct EngineStats {
   uint64_t server_requests_acknowledge = 0;
   uint64_t server_requests_snapshot = 0;
   uint64_t server_requests_metrics = 0;
+  uint64_t server_requests_ping = 0;     ///< heartbeats received
   uint64_t server_errors = 0;        ///< kError responses served (all codes)
   uint64_t server_bad_frames = 0;    ///< connections closed on framing damage
   uint64_t server_applies_shed = 0;  ///< applies bounced by engine admission
   uint64_t server_streams_degraded = 0;  ///< hot streams forced conservative
   uint64_t server_cursor_evictions = 0;  ///< polls answered "cursor evicted"
   uint64_t server_backlog_high_water = 0;  ///< max retained backlog seen
+  uint64_t server_dedup_hits = 0;   ///< retried requests answered from cache
+  uint64_t server_dedup_stale = 0;  ///< retries older than the dedup window
+  uint64_t server_deadline_rejections = 0;  ///< frames expired before dispatch
+  uint64_t server_drain_sheds = 0;  ///< requests bounced while draining
+  uint64_t server_sessions_recovered = 0;  ///< tokens re-seeded from disk
 
   uint64_t checks() const { return ir_checks + ltr_checks; }
   double cache_hit_rate() const {

@@ -232,12 +232,18 @@ std::vector<CounterRow> ServerRows(const EngineStats& s) {
       {"requests_acknowledge", s.server_requests_acknowledge, false},
       {"requests_snapshot", s.server_requests_snapshot, false},
       {"requests_metrics", s.server_requests_metrics, false},
+      {"requests_ping", s.server_requests_ping, false},
       {"errors", s.server_errors, false},
       {"bad_frames", s.server_bad_frames, false},
       {"applies_shed", s.server_applies_shed, false},
       {"streams_degraded", s.server_streams_degraded, false},
       {"cursor_evictions", s.server_cursor_evictions, false},
       {"backlog_high_water", s.server_backlog_high_water, true},
+      {"dedup_hits", s.server_dedup_hits, false},
+      {"dedup_stale", s.server_dedup_stale, false},
+      {"deadline_rejections", s.server_deadline_rejections, false},
+      {"drain_sheds", s.server_drain_sheds, false},
+      {"sessions_recovered", s.server_sessions_recovered, false},
   };
 }
 

@@ -14,6 +14,33 @@ std::string Basename(const std::string& path) {
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
+// Wire request-type bytes the tagged WAL records correspond to. These
+// mirror server/protocol.h's MessageType (wire-stable, never renumbered);
+// they are duplicated here so the persist layer does not depend on the
+// serving layer it backs.
+constexpr uint8_t kWireRegisterQueryByte = 2;
+constexpr uint8_t kWireRegisterStreamByte = 3;
+constexpr uint8_t kWireApplyByte = 4;
+
+std::string EncodeCachedApplyResult(uint32_t facts_added,
+                                    uint64_t wal_sequence) {
+  // Byte-identical to the wire's EncodeApplyResult, so the server can
+  // serve a cached outcome verbatim as the kApplyOk payload.
+  std::string out;
+  BinWriter w(&out);
+  w.U32(facts_added);
+  w.U64(wal_sequence);
+  return out;
+}
+
+std::string EncodeCachedHandle(uint32_t handle) {
+  // Byte-identical to the wire's register response payload (u32 handle).
+  std::string out;
+  BinWriter w(&out);
+  w.U32(handle);
+  return out;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<DurableSession>> DurableSession::Open(
@@ -83,6 +110,18 @@ Result<std::unique_ptr<DurableSession>> DurableSession::Open(
           StreamId sid,
           s->registry_->RegisterRecovered(st.query, st.options, info));
       (void)sid;  // ids are dense registration order, restored exactly
+    }
+    for (SnapshotSessionState& ss : snap.sessions) {
+      DurableServerSession ds;
+      ds.nonce = ss.nonce;
+      ds.query_regs = std::move(ss.query_regs);
+      ds.streams.assign(ss.streams.begin(), ss.streams.end());
+      ds.dedup = DedupWindow(options.dedup_window);
+      ds.dedup.RestoreWatermark(ss.dedup_watermark);
+      for (SnapshotSessionState::DedupEntry& e : ss.dedup) {
+        ds.dedup.Record(e.request_id, e.type, std::move(e.response_payload));
+      }
+      s->server_sessions_.emplace(ss.id, std::move(ds));
     }
     s->recovery_.from_snapshot = true;
     s->recovery_.snapshot_sequence = snap.last_sequence;
@@ -197,6 +236,88 @@ Status DurableSession::ReplayRecord(const WalRecord& rec) {
       RAR_RETURN_NOT_OK(DecodeStreamCursorPayload(rec.payload, &sid, &acked));
       return registry_->Acknowledge(sid, acked);
     }
+    case WalRecordType::kSessionOpen: {
+      uint64_t id = 0, nonce = 0;
+      RAR_RETURN_NOT_OK(DecodeSessionOpenPayload(rec.payload, &id, &nonce));
+      DurableServerSession ds;
+      ds.nonce = nonce;
+      ds.dedup = DedupWindow(options_.dedup_window);
+      server_sessions_[id] = std::move(ds);
+      return Status::OK();
+    }
+    case WalRecordType::kSessionRetire: {
+      uint64_t id = 0;
+      RAR_RETURN_NOT_OK(DecodeSessionRetirePayload(rec.payload, &id));
+      server_sessions_.erase(id);
+      return Status::OK();
+    }
+    case WalRecordType::kApplyTagged: {
+      uint64_t session_id = 0, request_id = 0;
+      std::string_view inner;
+      RAR_RETURN_NOT_OK(
+          SplitTaggedPayload(rec.payload, &session_id, &request_id, &inner));
+      Access access;
+      std::vector<Fact> response;
+      RAR_RETURN_NOT_OK(
+          DecodeApplyPayload(*schema_, *acs_, inner, &access, &response));
+      RAR_ASSIGN_OR_RETURN(int added, engine_->ApplyResponse(access, response));
+      recovery_.replayed_facts += static_cast<uint64_t>(added);
+      auto it = server_sessions_.find(session_id);
+      if (it != server_sessions_.end()) {
+        // Re-record the outcome exactly as the original served it, so a
+        // retry that straddles the crash still answers from the window.
+        it->second.dedup.Record(
+            request_id, kWireApplyByte,
+            EncodeCachedApplyResult(static_cast<uint32_t>(added),
+                                    rec.sequence));
+      }
+      return Status::OK();
+    }
+    case WalRecordType::kQueryRegisterTagged: {
+      uint64_t session_id = 0, request_id = 0;
+      std::string_view inner;
+      RAR_RETURN_NOT_OK(
+          SplitTaggedPayload(rec.payload, &session_id, &request_id, &inner));
+      UnionQuery q;
+      RAR_RETURN_NOT_OK(DecodeQueryRegisterPayload(*schema_, inner, &q));
+      RAR_ASSIGN_OR_RETURN(QueryId qid, engine_->RegisterQuery(q));
+      direct_queries_.push_back(std::move(q));
+      direct_qids_.push_back(qid);
+      auto it = server_sessions_.find(session_id);
+      if (it != server_sessions_.end()) {
+        const uint32_t handle =
+            static_cast<uint32_t>(it->second.query_regs.size());
+        it->second.query_regs.push_back(
+            static_cast<uint32_t>(direct_qids_.size() - 1));
+        it->second.dedup.Record(request_id, kWireRegisterQueryByte,
+                                EncodeCachedHandle(handle));
+      }
+      return Status::OK();
+    }
+    case WalRecordType::kStreamRegisterTagged: {
+      uint64_t session_id = 0, request_id = 0;
+      std::string_view inner;
+      RAR_RETURN_NOT_OK(
+          SplitTaggedPayload(rec.payload, &session_id, &request_id, &inner));
+      StreamRegisterPayload p;
+      RAR_RETURN_NOT_OK(DecodeStreamRegisterPayload(*schema_, inner, &p));
+      StreamRecoveryInfo info;  // !quiet: events regenerate from sequence 1
+      info.fresh_pool.reserve(p.fresh_pool.size());
+      for (const auto& [domain, spelling] : p.fresh_pool) {
+        info.fresh_pool.push_back(
+            TypedValue{schema_->InternConstant(spelling), domain});
+      }
+      RAR_ASSIGN_OR_RETURN(
+          StreamId id, registry_->RegisterRecovered(p.query, p.options, info));
+      auto it = server_sessions_.find(session_id);
+      if (it != server_sessions_.end()) {
+        const uint32_t handle = static_cast<uint32_t>(it->second.streams.size());
+        it->second.streams.push_back(id);
+        it->second.dedup.Record(request_id, kWireRegisterStreamByte,
+                                EncodeCachedHandle(handle));
+      }
+      return Status::OK();
+    }
   }
   return Status::ParseError("unknown WAL record type");
 }
@@ -263,6 +384,193 @@ Status DurableSession::Flush() {
   return wal_->Flush();
 }
 
+Status DurableSession::OpenServerSession(uint64_t session_id, uint64_t nonce) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  uint64_t seq = wal_->Append(WalRecordType::kSessionOpen,
+                              EncodeSessionOpenPayload(session_id, nonce));
+  RAR_RETURN_NOT_OK(wal_->WaitDurable(seq));
+  DurableServerSession ds;
+  ds.nonce = nonce;
+  ds.dedup = DedupWindow(options_.dedup_window);
+  server_sessions_[session_id] = std::move(ds);
+  records_since_snapshot_ += 1;
+  return Status::OK();
+}
+
+Status DurableSession::RetireServerSession(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  if (server_sessions_.erase(session_id) == 0) return Status::OK();
+  uint64_t seq = wal_->Append(WalRecordType::kSessionRetire,
+                              EncodeSessionRetirePayload(session_id));
+  RAR_RETURN_NOT_OK(wal_->WaitDurable(seq));
+  records_since_snapshot_ += 1;
+  return Status::OK();
+}
+
+std::vector<DurableSession::RecoveredServerSession>
+DurableSession::server_sessions() const {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  std::vector<RecoveredServerSession> out;
+  out.reserve(server_sessions_.size());
+  for (const auto& [id, s] : server_sessions_) {
+    RecoveredServerSession r;
+    r.id = id;
+    r.nonce = s.nonce;
+    r.query_regs = s.query_regs;
+    r.streams = s.streams;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<DurableSession::TaggedOutcome> DurableSession::ApplyTagged(
+    uint64_t session_id, uint64_t request_id, const Access& access,
+    const std::vector<Fact>& response) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  auto it = server_sessions_.find(session_id);
+  if (it == server_sessions_.end()) {
+    return Status::FailedPrecondition("unknown durable serving session " +
+                                      std::to_string(session_id));
+  }
+  DedupWindow& win = it->second.dedup;
+  const DedupWindow::Entry* cached = nullptr;
+  switch (win.Probe(request_id, &cached)) {
+    case DedupWindow::Verdict::kHit: {
+      TaggedOutcome o;
+      o.kind = TaggedOutcome::Kind::kHit;
+      o.type = cached->type;
+      o.response = cached->response_payload;
+      return o;
+    }
+    case DedupWindow::Verdict::kStale: {
+      TaggedOutcome o;
+      o.kind = TaggedOutcome::Kind::kStale;
+      return o;
+    }
+    case DedupWindow::Verdict::kFresh:
+      break;
+  }
+  // The engine calls back into LogApply inside its critical section (same
+  // thread); the tag rides this stack slot so the WAL record carries it.
+  const std::pair<uint64_t, uint64_t> tag{session_id, request_id};
+  pending_apply_tag_ = &tag;
+  Result<int> added = engine_->ApplyResponse(access, response);
+  pending_apply_tag_ = nullptr;
+  RAR_RETURN_NOT_OK(added.status());
+  TaggedOutcome o;
+  o.kind = TaggedOutcome::Kind::kFresh;
+  o.type = kWireApplyByte;
+  o.facts_added = *added;
+  o.response = EncodeCachedApplyResult(static_cast<uint32_t>(*added),
+                                       wal_->last_sequence());
+  win.Record(request_id, kWireApplyByte, o.response);
+  records_since_snapshot_ += 1;
+  RAR_RETURN_NOT_OK(MaybeAutoSnapshotLocked());
+  return o;
+}
+
+Result<DurableSession::TaggedOutcome> DurableSession::RegisterQueryTagged(
+    uint64_t session_id, uint64_t request_id, const UnionQuery& query) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  auto it = server_sessions_.find(session_id);
+  if (it == server_sessions_.end()) {
+    return Status::FailedPrecondition("unknown durable serving session " +
+                                      std::to_string(session_id));
+  }
+  DedupWindow& win = it->second.dedup;
+  const DedupWindow::Entry* cached = nullptr;
+  switch (win.Probe(request_id, &cached)) {
+    case DedupWindow::Verdict::kHit: {
+      TaggedOutcome o;
+      o.kind = TaggedOutcome::Kind::kHit;
+      o.type = cached->type;
+      o.response = cached->response_payload;
+      return o;
+    }
+    case DedupWindow::Verdict::kStale: {
+      TaggedOutcome o;
+      o.kind = TaggedOutcome::Kind::kStale;
+      return o;
+    }
+    case DedupWindow::Verdict::kFresh:
+      break;
+  }
+  RAR_ASSIGN_OR_RETURN(QueryId qid, engine_->RegisterQuery(query));
+  uint64_t seq = wal_->Append(
+      WalRecordType::kQueryRegisterTagged,
+      EncodeTaggedPayload(session_id, request_id,
+                          EncodeQueryRegisterPayload(*schema_, query)));
+  RAR_RETURN_NOT_OK(wal_->WaitDurable(seq));
+  direct_queries_.push_back(query);
+  direct_qids_.push_back(qid);
+  TaggedOutcome o;
+  o.kind = TaggedOutcome::Kind::kFresh;
+  o.type = kWireRegisterQueryByte;
+  o.query_id = qid;
+  o.handle = static_cast<uint32_t>(it->second.query_regs.size());
+  it->second.query_regs.push_back(
+      static_cast<uint32_t>(direct_qids_.size() - 1));
+  o.response = EncodeCachedHandle(o.handle);
+  win.Record(request_id, kWireRegisterQueryByte, o.response);
+  records_since_snapshot_ += 1;
+  return o;
+}
+
+Result<DurableSession::TaggedOutcome> DurableSession::RegisterStreamTagged(
+    uint64_t session_id, uint64_t request_id, const UnionQuery& query,
+    StreamOptions options) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  auto it = server_sessions_.find(session_id);
+  if (it == server_sessions_.end()) {
+    return Status::FailedPrecondition("unknown durable serving session " +
+                                      std::to_string(session_id));
+  }
+  DedupWindow& win = it->second.dedup;
+  const DedupWindow::Entry* cached = nullptr;
+  switch (win.Probe(request_id, &cached)) {
+    case DedupWindow::Verdict::kHit: {
+      TaggedOutcome o;
+      o.kind = TaggedOutcome::Kind::kHit;
+      o.type = cached->type;
+      o.response = cached->response_payload;
+      return o;
+    }
+    case DedupWindow::Verdict::kStale: {
+      TaggedOutcome o;
+      o.kind = TaggedOutcome::Kind::kStale;
+      return o;
+    }
+    case DedupWindow::Verdict::kFresh:
+      break;
+  }
+  options.retain_events = true;  // persisted cursors need retained events
+  RAR_ASSIGN_OR_RETURN(StreamId id, registry_->Register(query, options));
+  RAR_ASSIGN_OR_RETURN(RelevanceStreamRegistry::StreamPersistState ps,
+                       registry_->DumpPersistState(id));
+  StreamRegisterPayload p;
+  p.query = query;
+  p.options = options;
+  p.fresh_pool.reserve(ps.fresh_pool.size());
+  for (const TypedValue& tv : ps.fresh_pool) {
+    p.fresh_pool.emplace_back(tv.domain, schema_->ConstantSpelling(tv.value));
+  }
+  uint64_t seq = wal_->Append(
+      WalRecordType::kStreamRegisterTagged,
+      EncodeTaggedPayload(session_id, request_id,
+                          EncodeStreamRegisterPayload(*schema_, p)));
+  RAR_RETURN_NOT_OK(wal_->WaitDurable(seq));
+  TaggedOutcome o;
+  o.kind = TaggedOutcome::Kind::kFresh;
+  o.type = kWireRegisterStreamByte;
+  o.stream_id = id;
+  o.handle = static_cast<uint32_t>(it->second.streams.size());
+  it->second.streams.push_back(id);
+  o.response = EncodeCachedHandle(o.handle);
+  win.Record(request_id, kWireRegisterStreamByte, o.response);
+  records_since_snapshot_ += 1;
+  return o;
+}
+
 Status DurableSession::WriteSnapshot() {
   std::lock_guard<std::mutex> lock(session_mu_);
   return WriteSnapshotLocked();
@@ -305,6 +613,19 @@ Status DurableSession::WriteSnapshotLocked() {
     ss.evicted_through = ps.evicted_through;
     ss.retained_events = std::move(ps.retained_events);
     st.streams.push_back(std::move(ss));
+  }
+  st.sessions.reserve(server_sessions_.size());
+  for (const auto& [id, sess] : server_sessions_) {
+    SnapshotSessionState ss;
+    ss.id = id;
+    ss.nonce = sess.nonce;
+    ss.query_regs = sess.query_regs;
+    ss.streams.assign(sess.streams.begin(), sess.streams.end());
+    ss.dedup_watermark = sess.dedup.evicted_watermark();
+    sess.dedup.ForEach([&ss](uint64_t rid, const DedupWindow::Entry& e) {
+      ss.dedup.push_back({rid, e.type, e.response_payload});
+    });
+    st.sessions.push_back(std::move(ss));
   }
   uint64_t bytes = 0;
   RAR_RETURN_NOT_OK(
@@ -369,8 +690,14 @@ Status DurableSession::MaybeAutoSnapshotLocked() {
 
 uint64_t DurableSession::LogApply(const Access& access,
                                   const std::vector<Fact>& response) {
-  return wal_->Append(WalRecordType::kApply,
-                      EncodeApplyPayload(*schema_, *acs_, access, response));
+  std::string payload = EncodeApplyPayload(*schema_, *acs_, access, response);
+  if (pending_apply_tag_ != nullptr) {
+    return wal_->Append(
+        WalRecordType::kApplyTagged,
+        EncodeTaggedPayload(pending_apply_tag_->first,
+                            pending_apply_tag_->second, payload));
+  }
+  return wal_->Append(WalRecordType::kApply, payload);
 }
 
 Status DurableSession::WaitDurable(uint64_t sequence) {

@@ -26,9 +26,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/engine.h"
+#include "persist/dedup.h"
 #include "persist/io.h"
 #include "persist/snapshot.h"
 #include "persist/wal.h"
@@ -47,6 +50,10 @@ struct PersistOptions {
   /// Filesystem to run against; nullptr = the real PosixEnv. Fault tests
   /// pass a FaultInjectingEnv.
   PersistEnv* env = nullptr;
+  /// Capacity of each serving session's request-dedup window (see
+  /// persist/dedup.h); entries beyond it evict FIFO into the stale
+  /// watermark. Only meaningful when a SessionServer fronts the session.
+  size_t dedup_window = 256;
 };
 
 /// \brief What Open's recovery pass found and did.
@@ -110,6 +117,61 @@ class DurableSession : public PersistHook, public ApplyListener {
   /// Makes everything logged so far durable (graceful-shutdown flush).
   Status Flush();
 
+  // ---- serving-session registry -----------------------------------------
+  // A SessionServer over this durable session persists its token table,
+  // per-session handle tables and request-dedup windows here, so that a
+  // client whose response was lost can retry the same request id across a
+  // server crash without double-applying (at-least-once delivery,
+  // exactly-once effect).
+
+  /// \brief What a tagged (deduped) mutation did.
+  struct TaggedOutcome {
+    enum class Kind {
+      kFresh,  ///< executed now; response is the new outcome
+      kHit,    ///< answered from the dedup window; engine untouched
+      kStale,  ///< evicted from the window long ago; must be rejected
+    };
+    Kind kind = Kind::kFresh;
+    uint8_t type = 0;      ///< wire type byte of the original request
+    std::string response;  ///< encoded response payload (kFresh / kHit)
+    int facts_added = 0;   ///< kFresh applies
+    uint32_t handle = 0;   ///< kFresh registrations: the session handle
+    QueryId query_id = 0;  ///< kFresh query registrations
+    StreamId stream_id = 0;  ///< kFresh stream registrations
+  };
+
+  /// \brief One recovered serving session (for re-seeding a server's
+  /// token and handle tables after Open).
+  struct RecoveredServerSession {
+    uint64_t id = 0;
+    uint64_t nonce = 0;
+    std::vector<uint32_t> query_regs;  ///< handle -> direct-reg. index
+    std::vector<StreamId> streams;     ///< handle -> StreamId
+  };
+
+  /// Logs + persists a serving session's identity (WAL kSessionOpen).
+  Status OpenServerSession(uint64_t session_id, uint64_t nonce);
+  /// Logs the retirement (Goodbye or idle reap); drops its dedup state.
+  Status RetireServerSession(uint64_t session_id);
+  /// Live serving sessions, for post-recovery seeding.
+  std::vector<RecoveredServerSession> server_sessions() const;
+
+  /// Exactly-once apply: probes the session's dedup window first; fresh
+  /// requests run through the engine + WAL (tagged, so crash replay
+  /// re-records the outcome) and cache their encoded ApplyResult payload.
+  Result<TaggedOutcome> ApplyTagged(uint64_t session_id, uint64_t request_id,
+                                    const Access& access,
+                                    const std::vector<Fact>& response);
+  /// Deduped registrations: a retried registration answers the original
+  /// handle instead of minting a duplicate query/stream.
+  Result<TaggedOutcome> RegisterQueryTagged(uint64_t session_id,
+                                            uint64_t request_id,
+                                            const UnionQuery& query);
+  Result<TaggedOutcome> RegisterStreamTagged(uint64_t session_id,
+                                             uint64_t request_id,
+                                             const UnionQuery& query,
+                                             StreamOptions options);
+
   /// Writes a snapshot now and prunes durable state down to a one-deep
   /// fallback chain: the new image, the previous image, and the WAL
   /// segments holding records past the previous image. A corrupt newest
@@ -135,6 +197,14 @@ class DurableSession : public PersistHook, public ApplyListener {
       : schema_(&schema), acs_(&acs), env_(env), dir_(std::move(dir)),
         options_(options) {}
 
+  /// \brief A serving session's durable state (under session_mu_).
+  struct DurableServerSession {
+    uint64_t nonce = 0;
+    std::vector<uint32_t> query_regs;  ///< handle -> direct-reg. index
+    std::vector<StreamId> streams;     ///< handle -> StreamId
+    DedupWindow dedup;
+  };
+
   Status ReplayRecord(const WalRecord& rec);
   Status WriteSnapshotLocked();
   Status MaybeAutoSnapshotLocked();
@@ -153,6 +223,11 @@ class DurableSession : public PersistHook, public ApplyListener {
   mutable std::mutex session_mu_;
   std::vector<UnionQuery> direct_queries_;  ///< registration order
   std::vector<QueryId> direct_qids_;
+  std::unordered_map<uint64_t, DurableServerSession> server_sessions_;
+  /// {session_id, request_id} of the tagged apply in flight (stack slot of
+  /// ApplyTagged, read by LogApply inside the engine's critical section on
+  /// the same thread); nullptr for untagged applies.
+  const std::pair<uint64_t, uint64_t>* pending_apply_tag_ = nullptr;
   RecoveryInfo recovery_;
   uint64_t records_since_snapshot_ = 0;
   uint64_t snapshots_written_ = 0;

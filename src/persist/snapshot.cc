@@ -13,7 +13,7 @@ namespace {
 
 // 8 bytes: format name + version. Bumping the version invalidates old
 // images (recovery falls back to full WAL replay).
-constexpr char kMagic[8] = {'R', 'A', 'R', 'S', 'N', 'P', '0', '2'};
+constexpr char kMagic[8] = {'R', 'A', 'R', 'S', 'N', 'P', '0', '3'};
 
 void EncodeAccess(const Schema& schema, const AccessMethodSet& acs,
                   const Access& a, BinWriter* w) {
@@ -115,6 +115,23 @@ std::string EncodeSnapshot(const Schema& schema, const AccessMethodSet& acs,
     w.U64(s.evicted_through);
     w.U32(static_cast<uint32_t>(s.retained_events.size()));
     for (const StreamEvent& e : s.retained_events) EncodeEvent(schema, e, &w);
+  }
+
+  w.U32(static_cast<uint32_t>(state.sessions.size()));
+  for (const SnapshotSessionState& s : state.sessions) {
+    w.U64(s.id);
+    w.U64(s.nonce);
+    w.U32(static_cast<uint32_t>(s.query_regs.size()));
+    for (uint32_t idx : s.query_regs) w.U32(idx);
+    w.U32(static_cast<uint32_t>(s.streams.size()));
+    for (uint32_t sid : s.streams) w.U32(sid);
+    w.U64(s.dedup_watermark);
+    w.U32(static_cast<uint32_t>(s.dedup.size()));
+    for (const SnapshotSessionState::DedupEntry& e : s.dedup) {
+      w.U64(e.request_id);
+      w.U8(e.type);
+      w.Str(e.response_payload);
+    }
   }
 
   std::string out;
@@ -264,6 +281,49 @@ Status DecodeSnapshot(const Schema& schema, const AccessMethodSet& acs,
       RAR_RETURN_NOT_OK(DecodeEvent(schema, &r, &s.retained_events[e]));
     }
   }
+
+  uint32_t num_sessions = 0;
+  RAR_RETURN_NOT_OK(r.U32(&num_sessions));
+  if (num_sessions > r.remaining()) {
+    return Status::ParseError("snapshot session list overruns body");
+  }
+  out->sessions.assign(num_sessions, SnapshotSessionState{});
+  for (uint32_t i = 0; i < num_sessions; ++i) {
+    SnapshotSessionState& s = out->sessions[i];
+    RAR_RETURN_NOT_OK(r.U64(&s.id));
+    RAR_RETURN_NOT_OK(r.U64(&s.nonce));
+    uint32_t nq = 0;
+    RAR_RETURN_NOT_OK(r.U32(&nq));
+    if (nq > r.remaining()) {
+      return Status::ParseError("snapshot session query table overruns body");
+    }
+    s.query_regs.resize(nq);
+    for (uint32_t q = 0; q < nq; ++q) {
+      RAR_RETURN_NOT_OK(r.U32(&s.query_regs[q]));
+    }
+    uint32_t ns = 0;
+    RAR_RETURN_NOT_OK(r.U32(&ns));
+    if (ns > r.remaining()) {
+      return Status::ParseError("snapshot session stream table overruns body");
+    }
+    s.streams.resize(ns);
+    for (uint32_t t = 0; t < ns; ++t) {
+      RAR_RETURN_NOT_OK(r.U32(&s.streams[t]));
+    }
+    RAR_RETURN_NOT_OK(r.U64(&s.dedup_watermark));
+    uint32_t nd = 0;
+    RAR_RETURN_NOT_OK(r.U32(&nd));
+    if (nd > r.remaining()) {
+      return Status::ParseError("snapshot dedup window overruns body");
+    }
+    s.dedup.resize(nd);
+    for (uint32_t d = 0; d < nd; ++d) {
+      RAR_RETURN_NOT_OK(r.U64(&s.dedup[d].request_id));
+      RAR_RETURN_NOT_OK(r.U8(&s.dedup[d].type));
+      RAR_RETURN_NOT_OK(r.Str(&s.dedup[d].response_payload));
+    }
+  }
+
   if (!r.AtEnd()) {
     return Status::ParseError("snapshot body has trailing bytes");
   }

@@ -48,6 +48,25 @@ struct SnapshotStreamState {
   std::vector<StreamEvent> retained_events;
 };
 
+/// \brief One serving session's durable state inside a snapshot: its
+/// token, its wire-handle tables (query handles as direct-registration
+/// indices, stream handles as StreamIds — both stable across recovery),
+/// and its request-dedup window so a retry that straddles a crash still
+/// answers from cache instead of re-applying.
+struct SnapshotSessionState {
+  uint64_t id = 0;
+  uint64_t nonce = 0;
+  std::vector<uint32_t> query_regs;  ///< handle -> direct-registration index
+  std::vector<uint32_t> streams;     ///< handle -> StreamId
+  uint64_t dedup_watermark = 0;      ///< highest request id ever evicted
+  struct DedupEntry {
+    uint64_t request_id = 0;
+    uint8_t type = 0;  ///< wire MessageType byte of the original request
+    std::string response_payload;
+  };
+  std::vector<DedupEntry> dedup;  ///< oldest-first completion order
+};
+
 /// \brief The decoded image of one snapshot file.
 struct SnapshotState {
   /// Highest WAL sequence covered; replay resumes after it.
@@ -65,6 +84,9 @@ struct SnapshotState {
   std::vector<UnionQuery> queries;
   /// Streams in StreamId order.
   std::vector<SnapshotStreamState> streams;
+  /// Live serving sessions (empty when no SessionServer fronts the
+  /// session, or none are open).
+  std::vector<SnapshotSessionState> sessions;
 };
 
 /// Serializes a snapshot body (magic + CRC framing included).

@@ -414,4 +414,53 @@ Status DecodeStreamCursorPayload(std::string_view payload, uint32_t* stream_id,
   return Status::OK();
 }
 
+std::string EncodeSessionOpenPayload(uint64_t session_id, uint64_t nonce) {
+  std::string out;
+  BinWriter w(&out);
+  w.U64(session_id);
+  w.U64(nonce);
+  return out;
+}
+
+Status DecodeSessionOpenPayload(std::string_view payload, uint64_t* session_id,
+                                uint64_t* nonce) {
+  BinReader r(payload);
+  RAR_RETURN_NOT_OK(r.U64(session_id));
+  RAR_RETURN_NOT_OK(r.U64(nonce));
+  return Status::OK();
+}
+
+std::string EncodeSessionRetirePayload(uint64_t session_id) {
+  std::string out;
+  BinWriter w(&out);
+  w.U64(session_id);
+  return out;
+}
+
+Status DecodeSessionRetirePayload(std::string_view payload,
+                                  uint64_t* session_id) {
+  BinReader r(payload);
+  RAR_RETURN_NOT_OK(r.U64(session_id));
+  return Status::OK();
+}
+
+std::string EncodeTaggedPayload(uint64_t session_id, uint64_t request_id,
+                                std::string_view inner) {
+  std::string out;
+  BinWriter w(&out);
+  w.U64(session_id);
+  w.U64(request_id);
+  out.append(inner.data(), inner.size());
+  return out;
+}
+
+Status SplitTaggedPayload(std::string_view payload, uint64_t* session_id,
+                          uint64_t* request_id, std::string_view* inner) {
+  BinReader r(payload);
+  RAR_RETURN_NOT_OK(r.U64(session_id));
+  RAR_RETURN_NOT_OK(r.U64(request_id));
+  *inner = payload.substr(16);
+  return Status::OK();
+}
+
 }  // namespace rar

@@ -82,6 +82,18 @@ enum class WalRecordType : uint8_t {
   kQueryRegister = 2,   ///< a direct RegisterQuery
   kStreamRegister = 3,  ///< a stream registration (query+options+fresh pool)
   kStreamCursor = 4,    ///< a subscriber acknowledgement (stream, sequence)
+  // Serving-layer records (src/server/ over a durable session): the
+  // session identity + per-session dedup state must survive a crash, or a
+  // client retrying a request whose response was lost could double-apply
+  // against the recovered engine.
+  kSessionOpen = 5,    ///< a serving session opened: {session_id, nonce}
+  kSessionRetire = 6,  ///< a serving session retired: {session_id}
+  /// A mutation tagged with its originating {session_id, request_id} so
+  /// replay rebuilds the dedup window. Payload = tag + the untagged
+  /// record's payload.
+  kApplyTagged = 7,
+  kQueryRegisterTagged = 8,
+  kStreamRegisterTagged = 9,
 };
 
 struct WalRecord {
@@ -149,6 +161,24 @@ Status DecodeStreamRegisterPayload(const Schema& schema,
 std::string EncodeStreamCursorPayload(uint32_t stream_id, uint64_t acked);
 Status DecodeStreamCursorPayload(std::string_view payload, uint32_t* stream_id,
                                  uint64_t* acked);
+
+/// kSessionOpen payload: session id + nonce.
+std::string EncodeSessionOpenPayload(uint64_t session_id, uint64_t nonce);
+Status DecodeSessionOpenPayload(std::string_view payload, uint64_t* session_id,
+                                uint64_t* nonce);
+
+/// kSessionRetire payload: session id.
+std::string EncodeSessionRetirePayload(uint64_t session_id);
+Status DecodeSessionRetirePayload(std::string_view payload,
+                                  uint64_t* session_id);
+
+/// k*Tagged payloads: a 16-byte {session_id, request_id} tag followed by
+/// the untagged record's payload verbatim. Split here so each tagged
+/// record reuses the existing payload codec for its body.
+std::string EncodeTaggedPayload(uint64_t session_id, uint64_t request_id,
+                                std::string_view inner);
+Status SplitTaggedPayload(std::string_view payload, uint64_t* session_id,
+                          uint64_t* request_id, std::string_view* inner);
 
 }  // namespace rar
 

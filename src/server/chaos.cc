@@ -1,0 +1,135 @@
+#include "server/chaos.h"
+
+#include <chrono>
+#include <thread>
+
+namespace rar {
+
+Result<std::string> ChaosChannel::Dispatch(const std::string& wire) {
+  size_t offset = 0;
+  WireFrame request;
+  std::string parse_error;
+  if (ParseWireFrame(wire, &offset, &request, &parse_error) !=
+      FrameParse::kFrame) {
+    return Status::Internal("chaos frame failed to round-trip: " +
+                            parse_error);
+  }
+  return server_->HandleFrame(request);
+}
+
+Result<WireFrame> ChaosChannel::Call(MessageType type,
+                                     std::string_view payload,
+                                     const CallContext& ctx) {
+  ++log_.calls;
+  const uint64_t id =
+      ctx.request_id != 0 ? ctx.request_id : next_request_id_++;
+  std::string wire;
+  EncodeWireFrame(id, type, payload, &wire, ctx.deadline_unix_ms);
+
+  // A downed link fails fast — no server contact, no fault draws — until
+  // it heals. The draw order below is otherwise fixed so a seed replays
+  // the exact same schedule.
+  if (severed_remaining_ > 0) {
+    --severed_remaining_;
+    ++log_.severed;
+    return Status::Unavailable("chaos: link severed");
+  }
+
+  if (plan_.delay_ms_max > 0) {
+    const uint64_t ms = rng_.Below(plan_.delay_ms_max + 1);
+    log_.delays_ms += ms;
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+
+  if (plan_.sever > 0 && rng_.Chance(plan_.sever)) {
+    severed_remaining_ = plan_.heal_after > 0 ? plan_.heal_after - 1 : 0;
+    ++log_.severed;
+    return Status::Unavailable("chaos: link severed");
+  }
+
+  if (plan_.drop_request > 0 && rng_.Chance(plan_.drop_request)) {
+    ++log_.dropped_requests;
+    return Status::Unavailable("chaos: request dropped");
+  }
+
+  if (plan_.truncate > 0 && rng_.Chance(plan_.truncate)) {
+    // Cut the frame short and drop the connection: the server-side
+    // assembler parks the partial bytes as kNeedMore and the close
+    // discards them — mid-frame truncation is NOT corruption, and the
+    // engine never hears about it.
+    ++log_.truncated;
+    FrameAssembler assembler;
+    const size_t cut = 1 + rng_.Below(wire.size() - 1);
+    assembler.Feed(wire.data(), cut);
+    WireFrame frame;
+    std::string error;
+    if (assembler.Next(&frame, &error) == FrameParse::kCorrupt) {
+      // Only possible if the cut somehow exposed a corrupt prefix —
+      // count it the way a transport would.
+      server_->NoteBadFrame();
+    }
+    return Status::Unavailable("chaos: frame truncated, connection dropped");
+  }
+
+  if (plan_.corrupt > 0 && rng_.Chance(plan_.corrupt)) {
+    // Flip one byte past the length prefix: CRC must catch it, the
+    // server answers nothing (a real transport closes the connection).
+    ++log_.corrupted;
+    std::string damaged = wire;
+    const size_t pos = 4 + rng_.Below(damaged.size() - 4);
+    damaged[pos] = static_cast<char>(damaged[pos] ^ 0x40);
+    FrameAssembler assembler;
+    assembler.Feed(damaged.data(), damaged.size());
+    WireFrame frame;
+    std::string error;
+    if (assembler.Next(&frame, &error) == FrameParse::kCorrupt) {
+      server_->NoteBadFrame();
+    } else {
+      // The flip landed in the payload of a frame that still passed CRC
+      // (impossible) or produced a shorter valid parse — either way the
+      // connection is closed without an answer.
+    }
+    return Status::Unavailable("chaos: frame corrupted, connection closed");
+  }
+
+  if (plan_.replay_previous > 0 && !previous_request_.empty() &&
+      rng_.Chance(plan_.replay_previous)) {
+    // A stale retransmit of the previous request lands first; its
+    // response goes nowhere. Dedup must make this a no-op.
+    ++log_.replayed;
+    Result<std::string> ignored = Dispatch(previous_request_);
+    RAR_RETURN_NOT_OK(ignored.status());
+  }
+
+  Result<std::string> response_bytes = Dispatch(wire);
+  RAR_RETURN_NOT_OK(response_bytes.status());
+
+  if (plan_.duplicate_request > 0 && rng_.Chance(plan_.duplicate_request)) {
+    // The network delivered the frame twice; the client reads the second
+    // response. With dedup both answers are byte-identical.
+    ++log_.duplicated;
+    response_bytes = Dispatch(wire);
+    RAR_RETURN_NOT_OK(response_bytes.status());
+  }
+
+  previous_request_ = wire;
+
+  if (plan_.drop_response > 0 && rng_.Chance(plan_.drop_response)) {
+    ++log_.dropped_responses;
+    return Status::Unavailable("chaos: response dropped");
+  }
+
+  size_t offset = 0;
+  WireFrame response;
+  std::string parse_error;
+  if (ParseWireFrame(*response_bytes, &offset, &response, &parse_error) !=
+      FrameParse::kFrame) {
+    return Status::Internal("chaos response failed to parse: " + parse_error);
+  }
+  if (response.request_id != id) {
+    return Status::Internal("chaos response id mismatch");
+  }
+  return response;
+}
+
+}  // namespace rar

@@ -1,0 +1,100 @@
+// ChaosChannel: the network twin of persist/io.h's FaultInjectingEnv.
+//
+// Wraps the in-process dispatch path (encode → parse → HandleFrame) in a
+// seeded fault plan that misbehaves the way real networks do: requests
+// vanish, responses vanish after the server executed them, frames arrive
+// twice or replay out of order, bytes corrupt in flight, links sever and
+// later heal, and everything can be delayed. Every fault is drawn from a
+// SplitMix64 stream, so a failing soak replays exactly from its seed.
+//
+// The faults compose with the retry stack above (RarClient re-sends the
+// same request id) and the dedup window below (the server answers the
+// duplicate from cache), which is exactly the claim the chaos soak test
+// gates on: at-least-once delivery, exactly-once effect, no lost or
+// double-applied facts, gap-free cursors.
+//
+// Like every ClientChannel, one ChaosChannel serves one client thread.
+#ifndef RAR_SERVER_CHAOS_H_
+#define RAR_SERVER_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/transport.h"
+#include "util/rng.h"
+
+namespace rar {
+
+/// \brief A seeded fault schedule. Probabilities are per-call draws in
+/// [0,1]; zero (the default) disables that fault.
+struct ChaosPlan {
+  uint64_t seed = 1;
+  /// The request frame never reaches the server (caller sees
+  /// kUnavailable; the server did nothing — a retry is mandatory).
+  double drop_request = 0.0;
+  /// The server executes, but the response vanishes (the nastiest case:
+  /// only request-id dedup makes the retry safe).
+  double drop_response = 0.0;
+  /// The request frame is delivered twice back to back (duplicated
+  /// packet); the caller reads the second response.
+  double duplicate_request = 0.0;
+  /// The *previous* request frame is re-delivered before this one (a
+  /// stale retransmit surfacing late); its response is discarded.
+  double replay_previous = 0.0;
+  /// A byte of the frame is flipped in flight: the server's frame
+  /// assembler must reject it (CRC) without touching the engine.
+  double corrupt = 0.0;
+  /// The frame is cut short mid-flight and the connection drops; the
+  /// server discards the partial bytes (caller sees kUnavailable).
+  double truncate = 0.0;
+  /// The link severs: this call and the next `heal_after - 1` calls fail
+  /// fast with kUnavailable, then the link heals.
+  double sever = 0.0;
+  uint32_t heal_after = 3;
+  /// Uniform delivery delay in [0, delay_ms_max] before dispatch.
+  uint32_t delay_ms_max = 0;
+};
+
+/// \brief What the plan actually did (test assertions / soak reports).
+struct ChaosLog {
+  uint64_t calls = 0;
+  uint64_t dropped_requests = 0;
+  uint64_t dropped_responses = 0;
+  uint64_t duplicated = 0;
+  uint64_t replayed = 0;
+  uint64_t corrupted = 0;
+  uint64_t truncated = 0;
+  uint64_t severed = 0;        ///< calls failed while the link was down
+  uint64_t delays_ms = 0;      ///< total injected latency
+};
+
+class ChaosChannel : public ClientChannel {
+ public:
+  ChaosChannel(SessionServer* server, ChaosPlan plan)
+      : server_(server), plan_(plan), rng_(plan.seed) {}
+
+  Result<WireFrame> Call(MessageType type, std::string_view payload,
+                         const CallContext& ctx = {}) override;
+
+  const ChaosLog& log() const { return log_; }
+  /// True while a sever is in effect (the next calls will fail fast).
+  bool severed() const { return severed_remaining_ > 0; }
+
+ private:
+  /// Parses `wire` and dispatches it to the server, returning the
+  /// encoded response bytes.
+  Result<std::string> Dispatch(const std::string& wire);
+
+  SessionServer* server_;
+  const ChaosPlan plan_;
+  Rng rng_;
+  ChaosLog log_;
+  std::string previous_request_;  ///< last request's wire bytes (replay)
+  uint32_t severed_remaining_ = 0;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace rar
+
+#endif  // RAR_SERVER_CHAOS_H_

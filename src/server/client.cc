@@ -1,5 +1,9 @@
 #include "server/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace rar {
 
 namespace {
@@ -9,9 +13,14 @@ Status MapWireError(const WireError& e) {
   switch (e.code) {
     case WireErrorCode::kRetryLater:
       return Status::ResourceExhausted(msg);
+    case WireErrorCode::kShuttingDown:
+      return Status::Unavailable(msg);
+    case WireErrorCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(msg);
     case WireErrorCode::kCursorEvicted:
     case WireErrorCode::kUnknownSession:
     case WireErrorCode::kVersionMismatch:
+    case WireErrorCode::kStaleRequest:
       return Status::FailedPrecondition(msg);
     case WireErrorCode::kNotFound:
       return Status::NotFound(msg);
@@ -24,26 +33,115 @@ Status MapWireError(const WireError& e) {
   }
 }
 
+uint64_t WallUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Server sheds worth waiting out: the request had no effect.
+bool IsRetryableWireCode(WireErrorCode code) {
+  return code == WireErrorCode::kRetryLater ||
+         code == WireErrorCode::kShuttingDown;
+}
+
 }  // namespace
 
 Result<std::string> RarClient::Call(MessageType request,
                                     std::string_view payload) {
-  Result<WireFrame> frame = channel_->Call(request, payload);
-  RAR_RETURN_NOT_OK(frame.status());
-  if (frame->type == MessageType::kError) {
-    WireError e;
-    RAR_RETURN_NOT_OK(DecodeWireError(frame->payload, &e));
-    last_error_ = e;
-    return MapWireError(e);
+  // The id outlives the loop: every attempt of one logical call shares
+  // it, which is what lets the server's dedup window recognise a retry.
+  const uint64_t request_id = next_request_id_++;
+  ++calls_issued_;
+  const uint64_t deadline =
+      retry_.call_timeout_ms != 0 ? WallUnixMs() + retry_.call_timeout_ms : 0;
+
+  uint64_t prev_backoff_ms = retry_.base_backoff_ms;
+  Status last_status = Status::OK();
+
+  for (uint32_t attempt = 1;; ++attempt) {
+    if (deadline != 0 && WallUnixMs() >= deadline) {
+      return last_status.ok()
+                 ? Status::DeadlineExceeded("call deadline expired")
+                 : Status::DeadlineExceeded("call deadline expired; last: " +
+                                            last_status.ToString());
+    }
+    ++attempts_issued_;
+    CallContext ctx;
+    ctx.request_id = request_id;
+    ctx.deadline_unix_ms = deadline;
+    Result<WireFrame> frame = channel_->Call(request, payload, ctx);
+
+    bool retryable = false;
+    if (!frame.ok()) {
+      // Transport-level failure: the channel is the suspect, not the
+      // request. Only kUnavailable is retry-safe (a deadline or parse
+      // failure retried would just fail again or double-spend budget).
+      if (++consecutive_transport_failures_ >= retry_.suspect_after) {
+        peer_suspected_ = true;
+      }
+      last_status = frame.status();
+      retryable = last_status.code() == StatusCode::kUnavailable;
+    } else {
+      consecutive_transport_failures_ = 0;
+      peer_suspected_ = false;
+      if (frame->type != MessageType::kError) {
+        const auto expected =
+            static_cast<MessageType>(static_cast<uint8_t>(request) + 64);
+        if (frame->type != expected) {
+          return Status::Internal(std::string("unexpected response type ") +
+                                  ToString(frame->type) + " to " +
+                                  ToString(request));
+        }
+        return std::move(frame->payload);
+      }
+      WireError e;
+      RAR_RETURN_NOT_OK(DecodeWireError(frame->payload, &e));
+      last_error_ = e;
+      // A Goodbye that finds the session already gone proves an earlier
+      // delivery landed — a retry after a lost response, or a network
+      // duplicate of this very frame retiring the session before the
+      // answer we read was produced. Either way the goal state (session
+      // retired) holds: that is success.
+      if (request == MessageType::kGoodbye &&
+          e.code == WireErrorCode::kUnknownSession) {
+        return std::string();
+      }
+      last_status = MapWireError(e);
+      retryable = IsRetryableWireCode(e.code);
+      // The server's hint floors the next sleep.
+      if (retryable && e.retry_after_ms > prev_backoff_ms) {
+        prev_backoff_ms = e.retry_after_ms;
+      }
+    }
+
+    if (!retryable || attempt >= std::max(retry_.max_attempts, 1u)) {
+      if (retryable) ++retries_exhausted_;
+      return last_status;
+    }
+
+    // Decorrelated jitter: sleep uniform in [base, prev*3], capped. The
+    // spread de-synchronises a fleet of clients all shed at once.
+    uint64_t hi = std::min<uint64_t>(
+        retry_.max_backoff_ms,
+        std::max<uint64_t>(prev_backoff_ms * 3, retry_.base_backoff_ms));
+    uint64_t sleep_ms =
+        retry_.base_backoff_ms >= hi
+            ? hi
+            : retry_.base_backoff_ms +
+                  jitter_.Below(hi - retry_.base_backoff_ms + 1);
+    if (deadline != 0) {
+      const uint64_t now = WallUnixMs();
+      if (now >= deadline) {
+        return Status::DeadlineExceeded("call deadline expired; last: " +
+                                        last_status.ToString());
+      }
+      sleep_ms = std::min<uint64_t>(sleep_ms, deadline - now);
+    }
+    prev_backoff_ms = std::max<uint64_t>(sleep_ms, 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
-  const auto expected = static_cast<MessageType>(
-      static_cast<uint8_t>(request) + 64);
-  if (frame->type != expected) {
-    return Status::Internal(std::string("unexpected response type ") +
-                            ToString(frame->type) + " to " +
-                            ToString(request));
-  }
-  return std::move(frame->payload);
 }
 
 Status RarClient::Hello() { return Resume(SessionToken{}); }
@@ -120,6 +218,14 @@ Result<StreamSnapshot> RarClient::Snapshot(uint32_t handle) {
 
 Result<std::string> RarClient::Metrics(MetricsFormat format) {
   return Call(MessageType::kMetrics, EncodeMetricsRequest(token_, format));
+}
+
+Result<PingResponse> RarClient::Ping() {
+  RAR_ASSIGN_OR_RETURN(std::string payload,
+                       Call(MessageType::kPing, EncodePingRequest(token_)));
+  PingResponse resp;
+  RAR_RETURN_NOT_OK(DecodePingResponse(payload, &resp));
+  return resp;
 }
 
 Status RarClient::Goodbye() {

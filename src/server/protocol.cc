@@ -13,6 +13,7 @@ const char* ToString(MessageType type) {
     case MessageType::kSnapshot: return "snapshot";
     case MessageType::kMetrics: return "metrics";
     case MessageType::kGoodbye: return "goodbye";
+    case MessageType::kPing: return "ping";
     case MessageType::kHelloOk: return "hello_ok";
     case MessageType::kRegisterQueryOk: return "register_query_ok";
     case MessageType::kRegisterStreamOk: return "register_stream_ok";
@@ -22,6 +23,7 @@ const char* ToString(MessageType type) {
     case MessageType::kSnapshotOk: return "snapshot_ok";
     case MessageType::kMetricsOk: return "metrics_ok";
     case MessageType::kGoodbyeOk: return "goodbye_ok";
+    case MessageType::kPingOk: return "ping_ok";
     case MessageType::kError: return "error";
   }
   return "unknown";
@@ -38,6 +40,9 @@ const char* ToString(WireErrorCode code) {
     case WireErrorCode::kCursorEvicted: return "cursor_evicted";
     case WireErrorCode::kNotFound: return "not_found";
     case WireErrorCode::kInternal: return "internal";
+    case WireErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case WireErrorCode::kShuttingDown: return "shutting_down";
+    case WireErrorCode::kStaleRequest: return "stale_request";
   }
   return "unknown";
 }
@@ -49,7 +54,7 @@ namespace {
 /// The valid request/response type values (wire bytes are untrusted; an
 /// out-of-range cast would be UB to switch on elsewhere).
 bool IsKnownWireByte(uint8_t t) {
-  return (t >= 1 && t <= 9) || (t >= 65 && t <= 73) || t == 127;
+  return (t >= 1 && t <= 10) || (t >= 65 && t <= 74) || t == 127;
 }
 
 uint32_t ReadLE32(const char* p) {
@@ -67,11 +72,13 @@ uint64_t ReadLE64(const char* p) {
 }  // namespace
 
 void EncodeWireFrame(uint64_t request_id, MessageType type,
-                     std::string_view payload, std::string* out) {
+                     std::string_view payload, std::string* out,
+                     uint64_t deadline_unix_ms) {
   std::string body;
   BinWriter w(&body);
   w.U64(request_id);
   w.U8(static_cast<uint8_t>(type));
+  w.U64(deadline_unix_ms);
   body.append(payload.data(), payload.size());
 
   BinWriter header(out);
@@ -87,10 +94,10 @@ FrameParse ParseWireFrame(std::string_view data, size_t* offset,
   const char* p = data.data() + *offset;
   const uint32_t length = ReadLE32(p);
   const uint32_t crc = ReadLE32(p + 4);
-  if (length < 9) {
+  if (length < 17) {
     if (error != nullptr) {
       *error = "frame length " + std::to_string(length) +
-               " below the 9-byte header minimum";
+               " below the 17-byte header minimum";
     }
     return FrameParse::kCorrupt;
   }
@@ -110,6 +117,7 @@ FrameParse ParseWireFrame(std::string_view data, size_t* offset,
   }
   const uint8_t type_byte = static_cast<uint8_t>(body[8]);
   out->request_id = ReadLE64(body);
+  out->deadline_unix_ms = ReadLE64(body + 9);
   // An unknown type is *not* framing corruption: the frame is intact, so
   // the server can answer kUnknownType and keep the connection. Map it to
   // kError here so no out-of-enum value escapes into a switch.
@@ -120,7 +128,7 @@ FrameParse ParseWireFrame(std::string_view data, size_t* offset,
     *offset += 8 + length;
     return FrameParse::kFrame;
   }
-  out->payload.assign(body + 9, length - 9);
+  out->payload.assign(body + 17, length - 17);
   *offset += 8 + length;
   return FrameParse::kFrame;
 }
@@ -483,6 +491,36 @@ Status DecodeGoodbyeRequest(std::string_view payload, SessionToken* out) {
   return ExpectEnd(r, "goodbye");
 }
 
+std::string EncodePingRequest(const SessionToken& token) {
+  std::string out;
+  BinWriter w(&out);
+  EncodeToken(token, &w);
+  return out;
+}
+
+Status DecodePingRequest(std::string_view payload, SessionToken* out) {
+  BinReader r(payload);
+  RAR_RETURN_NOT_OK(DecodeToken(&r, out));
+  return ExpectEnd(r, "ping");
+}
+
+std::string EncodePingResponse(const PingResponse& resp) {
+  std::string out;
+  BinWriter w(&out);
+  w.U8(resp.draining ? 1 : 0);
+  w.U64(resp.server_unix_ms);
+  return out;
+}
+
+Status DecodePingResponse(std::string_view payload, PingResponse* out) {
+  BinReader r(payload);
+  uint8_t draining;
+  RAR_RETURN_NOT_OK(r.U8(&draining));
+  out->draining = draining != 0;
+  RAR_RETURN_NOT_OK(r.U64(&out->server_unix_ms));
+  return ExpectEnd(r, "ping_ok");
+}
+
 std::string EncodeWireError(const WireError& e) {
   std::string out;
   BinWriter w(&out);
@@ -497,7 +535,7 @@ Status DecodeWireError(std::string_view payload, WireError* out) {
   BinReader r(payload);
   uint8_t code;
   RAR_RETURN_NOT_OK(r.U8(&code));
-  if (code < 1 || code > static_cast<uint8_t>(WireErrorCode::kInternal)) {
+  if (code < 1 || code > static_cast<uint8_t>(WireErrorCode::kStaleRequest)) {
     return Status::ParseError("unknown wire error code " +
                               std::to_string(code));
   }

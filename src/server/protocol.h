@@ -3,10 +3,18 @@
 //
 // Every message is one frame:
 //
-//   [u32 length][u32 crc32][u64 request_id][u8 type][payload...]
+//   [u32 length][u32 crc32][u64 request_id][u8 type]
+//   [u64 deadline_unix_ms][payload...]
 //
-// `length` covers request_id + type + payload; `crc32` (zlib polynomial,
-// the same Crc32 the WAL uses) covers the same bytes. All integers are
+// `length` covers request_id + type + deadline + payload; `crc32` (zlib
+// polynomial, the same Crc32 the WAL uses) covers the same bytes.
+// `deadline_unix_ms` is the client's absolute deadline in Unix
+// milliseconds (wall clock, so it survives crossing a process or machine
+// boundary); 0 means "no deadline". The server rejects already-expired
+// frames with kDeadlineExceeded before doing any work. Request ids are
+// *client-owned*: a retry of the same logical call re-sends the same id,
+// which is what lets the server's per-session dedup window collapse
+// at-least-once delivery into exactly-once effect. All integers are
 // little-endian fixed-width. Unlike the WAL reader — where anything
 // damaged is a torn tail and replay stops cleanly — a *connection* must
 // distinguish three cases: a complete frame, "need more bytes" (the
@@ -40,7 +48,8 @@ namespace rar {
 
 /// Protocol version spoken by this build; Hello carries the client's and
 /// the server rejects a mismatch with kVersionMismatch.
-inline constexpr uint32_t kWireProtocolVersion = 1;
+/// v2: frames carry a deadline; Ping/PingOk; dedup-aware request ids.
+inline constexpr uint32_t kWireProtocolVersion = 2;
 
 /// Hard cap on one frame's `length` field (request_id + type + payload).
 /// An honest client never gets near it; a corrupt or hostile length
@@ -59,6 +68,7 @@ enum class MessageType : uint8_t {
   kSnapshot = 7,        ///< point-in-time stream state
   kMetrics = 8,         ///< exporter output (JSON or Prometheus)
   kGoodbye = 9,         ///< retire the session
+  kPing = 10,           ///< heartbeat/keepalive (refreshes idle clock)
 
   kHelloOk = 65,
   kRegisterQueryOk = 66,
@@ -69,6 +79,7 @@ enum class MessageType : uint8_t {
   kSnapshotOk = 71,
   kMetricsOk = 72,
   kGoodbyeOk = 73,
+  kPingOk = 74,
 
   kError = 127,
 };
@@ -87,6 +98,11 @@ enum class WireErrorCode : uint8_t {
                          ///< then resume from `detail` (evicted-through seq)
   kNotFound = 8,         ///< unknown stream/query handle
   kInternal = 9,         ///< server-side invariant failure
+  kDeadlineExceeded = 10,  ///< the frame's deadline passed before dispatch
+  kShuttingDown = 11,    ///< server draining: retry elsewhere/later
+                         ///< (retry_after_ms set)
+  kStaleRequest = 12,    ///< request id evicted from the dedup window:
+                         ///< provably completed long ago, never re-applied
 };
 
 const char* ToString(WireErrorCode code);
@@ -107,11 +123,14 @@ struct WireFrame {
   uint64_t request_id = 0;
   MessageType type = MessageType::kError;
   std::string payload;
+  /// Absolute deadline (Unix ms, wall clock); 0 = none. Responses carry 0.
+  uint64_t deadline_unix_ms = 0;
 };
 
 /// Appends one framed message to `out`.
 void EncodeWireFrame(uint64_t request_id, MessageType type,
-                     std::string_view payload, std::string* out);
+                     std::string_view payload, std::string* out,
+                     uint64_t deadline_unix_ms = 0);
 
 enum class FrameParse {
   kFrame,     ///< a frame was decoded; *offset advanced past it
@@ -246,6 +265,20 @@ Status DecodeMetricsRequest(std::string_view payload, SessionToken* token,
 /// kGoodbye: token only. Response: empty payload.
 std::string EncodeGoodbyeRequest(const SessionToken& token);
 Status DecodeGoodbyeRequest(std::string_view payload, SessionToken* out);
+
+/// kPing: token only — a heartbeat. Refreshes the session's idle clock
+/// and reports whether the server is draining, so a well-behaved client
+/// can migrate before its next real request is shed.
+std::string EncodePingRequest(const SessionToken& token);
+Status DecodePingRequest(std::string_view payload, SessionToken* out);
+
+/// \brief kPingOk: liveness + drain signal.
+struct PingResponse {
+  bool draining = false;
+  uint64_t server_unix_ms = 0;  ///< server wall clock (skew diagnostics)
+};
+std::string EncodePingResponse(const PingResponse& resp);
+Status DecodePingResponse(std::string_view payload, PingResponse* out);
 
 /// kError payload.
 std::string EncodeWireError(const WireError& e);

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <chrono>
+#include <thread>
 
 #include "obs/export.h"
 #include "obs/histogram.h"
@@ -30,6 +31,22 @@ std::string EncodeHandle(uint32_t handle) {
   return out;
 }
 
+/// Scoped in-flight mutation count for the drain protocol: increment
+/// *before* the draining check (seq_cst on both sides), so a mutation
+/// that raced past the flag is still visible to BeginDrain's quiesce.
+class MutationGuard {
+ public:
+  explicit MutationGuard(std::atomic<uint64_t>* c) : c_(c) {
+    c_->fetch_add(1, std::memory_order_seq_cst);
+  }
+  ~MutationGuard() { c_->fetch_sub(1, std::memory_order_seq_cst); }
+  MutationGuard(const MutationGuard&) = delete;
+  MutationGuard& operator=(const MutationGuard&) = delete;
+
+ private:
+  std::atomic<uint64_t>* c_;
+};
+
 }  // namespace
 
 SessionServer::SessionServer(RelevanceEngine* engine,
@@ -56,6 +73,32 @@ SessionServer::SessionServer(DurableSession* durable, ServerOptions options)
                           .count()) ^
                   reinterpret_cast<uintptr_t>(this)) {
   engine_->AddApplyListener(this);
+
+  // Re-seed the token table from the durable session registry: a client
+  // whose server crashed resumes its pre-crash token (handles, cursors,
+  // dedup window) against this process as if nothing happened.
+  const std::vector<QueryId>& direct = durable->direct_query_ids();
+  uint64_t max_id = 0;
+  for (const DurableSession::RecoveredServerSession& rs :
+       durable->server_sessions()) {
+    auto session = std::make_shared<ServerSession>(options_.dedup_window);
+    session->id = rs.id;
+    session->nonce = rs.nonce;
+    session->queries.reserve(rs.query_regs.size());
+    for (uint32_t idx : rs.query_regs) {
+      session->queries.push_back(idx < direct.size() ? direct[idx]
+                                                     : QueryId{0});
+    }
+    session->streams = rs.streams;
+    session->degraded.assign(rs.streams.size(), 0);
+    session->last_active_ms.store(NowMs(), std::memory_order_relaxed);
+    sessions_.emplace(rs.id, std::move(session));
+    if (rs.id > max_id) max_id = rs.id;
+    Bump(counters_.sessions_recovered);
+  }
+  if (max_id != 0) {
+    next_session_id_.store(max_id + 1, std::memory_order_relaxed);
+  }
 }
 
 SessionServer::~SessionServer() { engine_->RemoveApplyListener(this); }
@@ -64,6 +107,13 @@ uint64_t SessionServer::NowMs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t SessionServer::UnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
           .count());
 }
 
@@ -77,62 +127,75 @@ std::string SessionServer::HandleFrame(const WireFrame& frame) {
   MessageType response_type = MessageType::kError;
 
   EngineObservability& obs = engine_->obs();
-  switch (frame.type) {
-    case MessageType::kHello:
-      Bump(counters_.requests_hello);
-      payload = HandleHello(frame.payload, &err);
-      response_type = MessageType::kHelloOk;
-      break;
-    case MessageType::kRegisterQuery:
-      Bump(counters_.requests_register_query);
-      payload = HandleRegisterQuery(frame.payload, &err);
-      response_type = MessageType::kRegisterQueryOk;
-      obs.server_register_ns.Record(MonotonicNs() - t0);
-      break;
-    case MessageType::kRegisterStream:
-      Bump(counters_.requests_register_stream);
-      payload = HandleRegisterStream(frame.payload, &err);
-      response_type = MessageType::kRegisterStreamOk;
-      obs.server_register_ns.Record(MonotonicNs() - t0);
-      break;
-    case MessageType::kApply:
-      Bump(counters_.requests_apply);
-      payload = HandleApply(frame.payload, &err);
-      response_type = MessageType::kApplyOk;
-      obs.server_apply_ns.Record(MonotonicNs() - t0);
-      break;
-    case MessageType::kPoll:
-      Bump(counters_.requests_poll);
-      payload = HandlePoll(frame.payload, &err);
-      response_type = MessageType::kPollOk;
-      obs.server_poll_ns.Record(MonotonicNs() - t0);
-      break;
-    case MessageType::kAcknowledge:
-      Bump(counters_.requests_acknowledge);
-      payload = HandleAcknowledge(frame.payload, &err);
-      response_type = MessageType::kAcknowledgeOk;
-      break;
-    case MessageType::kSnapshot:
-      Bump(counters_.requests_snapshot);
-      payload = HandleSnapshot(frame.payload, &err);
-      response_type = MessageType::kSnapshotOk;
-      break;
-    case MessageType::kMetrics:
-      Bump(counters_.requests_metrics);
-      payload = HandleMetrics(frame.payload, &err);
-      response_type = MessageType::kMetricsOk;
-      break;
-    case MessageType::kGoodbye:
-      payload = HandleGoodbye(frame.payload, &err);
-      response_type = MessageType::kGoodbyeOk;
-      break;
-    default:
-      // The frame parser maps intact frames with an unknown type byte to
-      // kError with the raw byte as payload; any response type landing
-      // here is equally unanswerable.
-      err.code = WireErrorCode::kUnknownType;
-      err.message = "server does not speak this message type";
-      break;
+  if (frame.deadline_unix_ms != 0 && UnixMs() > frame.deadline_unix_ms) {
+    // The client has already given up on this frame; doing the work would
+    // only burn server time on a response nobody is waiting for.
+    Bump(counters_.deadline_rejections);
+    err.code = WireErrorCode::kDeadlineExceeded;
+    err.message = "deadline expired before dispatch";
+  } else {
+    switch (frame.type) {
+      case MessageType::kHello:
+        Bump(counters_.requests_hello);
+        payload = HandleHello(frame, &err);
+        response_type = MessageType::kHelloOk;
+        break;
+      case MessageType::kRegisterQuery:
+        Bump(counters_.requests_register_query);
+        payload = HandleRegisterQuery(frame, &err);
+        response_type = MessageType::kRegisterQueryOk;
+        obs.server_register_ns.Record(MonotonicNs() - t0);
+        break;
+      case MessageType::kRegisterStream:
+        Bump(counters_.requests_register_stream);
+        payload = HandleRegisterStream(frame, &err);
+        response_type = MessageType::kRegisterStreamOk;
+        obs.server_register_ns.Record(MonotonicNs() - t0);
+        break;
+      case MessageType::kApply:
+        Bump(counters_.requests_apply);
+        payload = HandleApply(frame, &err);
+        response_type = MessageType::kApplyOk;
+        obs.server_apply_ns.Record(MonotonicNs() - t0);
+        break;
+      case MessageType::kPoll:
+        Bump(counters_.requests_poll);
+        payload = HandlePoll(frame, &err);
+        response_type = MessageType::kPollOk;
+        obs.server_poll_ns.Record(MonotonicNs() - t0);
+        break;
+      case MessageType::kAcknowledge:
+        Bump(counters_.requests_acknowledge);
+        payload = HandleAcknowledge(frame, &err);
+        response_type = MessageType::kAcknowledgeOk;
+        break;
+      case MessageType::kSnapshot:
+        Bump(counters_.requests_snapshot);
+        payload = HandleSnapshot(frame, &err);
+        response_type = MessageType::kSnapshotOk;
+        break;
+      case MessageType::kMetrics:
+        Bump(counters_.requests_metrics);
+        payload = HandleMetrics(frame, &err);
+        response_type = MessageType::kMetricsOk;
+        break;
+      case MessageType::kGoodbye:
+        payload = HandleGoodbye(frame, &err);
+        response_type = MessageType::kGoodbyeOk;
+        break;
+      case MessageType::kPing:
+        Bump(counters_.requests_ping);
+        payload = HandlePing(frame, &err);
+        response_type = MessageType::kPingOk;
+        break;
+      default:
+        // The frame parser maps intact frames with an unknown type byte to
+        // kError with the raw byte as payload; any response type landing
+        // here is equally unanswerable.
+        err.code = WireErrorCode::kUnknownType;
+        err.message = "server does not speak this message type";
+        break;
+    }
   }
 
   obs.server_request_ns.Record(MonotonicNs() - t0);
@@ -153,6 +216,41 @@ void SessionServer::NoteBadFrame() {
   Bump(counters_.errors);
 }
 
+void SessionServer::ShedDraining(WireError* error) {
+  Bump(counters_.drain_sheds);
+  error->code = WireErrorCode::kShuttingDown;
+  error->retry_after_ms = options_.drain_retry_after_ms;
+  error->message = "server is draining; retry against another replica";
+}
+
+bool SessionServer::AnswerFromOutcome(
+    const DurableSession::TaggedOutcome& outcome, uint8_t request_type,
+    std::string* payload, WireError* error) {
+  using Kind = DurableSession::TaggedOutcome::Kind;
+  switch (outcome.kind) {
+    case Kind::kHit:
+      if (outcome.type != request_type) {
+        error->code = WireErrorCode::kBadRequest;
+        error->message =
+            "request id was already used by a different message type";
+        return true;
+      }
+      Bump(counters_.dedup_hits);
+      *payload = outcome.response;
+      return true;
+    case Kind::kStale:
+      Bump(counters_.dedup_stale);
+      error->code = WireErrorCode::kStaleRequest;
+      error->message =
+          "request id predates the dedup window: the original completed "
+          "long ago; re-issuing it would risk a double-apply";
+      return true;
+    case Kind::kFresh:
+      return false;
+  }
+  return false;
+}
+
 std::shared_ptr<SessionServer::ServerSession> SessionServer::FindSession(
     const SessionToken& token, WireError* error) {
   {
@@ -168,10 +266,10 @@ std::shared_ptr<SessionServer::ServerSession> SessionServer::FindSession(
   return nullptr;
 }
 
-std::string SessionServer::HandleHello(std::string_view payload,
+std::string SessionServer::HandleHello(const WireFrame& frame,
                                        WireError* error) {
   HelloRequest req;
-  Status st = DecodeHelloRequest(payload, &req);
+  Status st = DecodeHelloRequest(frame.payload, &req);
   if (!st.ok()) {
     error->code = WireErrorCode::kBadRequest;
     error->message = st.ToString();
@@ -187,6 +285,8 @@ std::string SessionServer::HandleHello(std::string_view payload,
 
   // Resume path: the token must match exactly (id + nonce) — a stale or
   // forged nonce gets kUnknownSession, never someone else's session.
+  // Resumes are allowed while draining: an existing client needs its
+  // session to poll out remaining events and say Goodbye.
   if (req.resume.session_id != 0 || req.resume.nonce != 0) {
     WireError find_err;
     std::shared_ptr<ServerSession> session = FindSession(req.resume, &find_err);
@@ -206,9 +306,14 @@ std::string SessionServer::HandleHello(std::string_view payload,
     return EncodeHelloResponse(resp);
   }
 
+  if (draining()) {
+    ShedDraining(error);
+    return "";
+  }
+
   // Fresh session: reap first so idle sessions do not hold admission slots.
   ReapIdleSessions();
-  auto session = std::make_shared<ServerSession>();
+  auto session = std::make_shared<ServerSession>(options_.dedup_window);
   {
     std::unique_lock<std::shared_mutex> lock(sessions_mu_);
     if (options_.max_sessions > 0 &&
@@ -232,6 +337,21 @@ std::string SessionServer::HandleHello(std::string_view payload,
     session->last_active_ms.store(NowMs(), std::memory_order_relaxed);
     sessions_.emplace(session->id, session);
   }
+
+  // Persist the token before answering: if the server crashes after the
+  // client learns the token, recovery must still recognise it.
+  if (durable_ != nullptr) {
+    Status open = durable_->OpenServerSession(session->id, session->nonce);
+    if (!open.ok()) {
+      {
+        std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+        sessions_.erase(session->id);
+      }
+      error->code = WireErrorCode::kInternal;
+      error->message = open.ToString();
+      return "";
+    }
+  }
   Bump(counters_.sessions_opened);
 
   HelloResponse resp;
@@ -240,12 +360,17 @@ std::string SessionServer::HandleHello(std::string_view payload,
   return EncodeHelloResponse(resp);
 }
 
-std::string SessionServer::HandleRegisterQuery(std::string_view payload,
+std::string SessionServer::HandleRegisterQuery(const WireFrame& frame,
                                                WireError* error) {
+  MutationGuard inflight(&inflight_mutations_);
+  if (draining()) {
+    ShedDraining(error);
+    return "";
+  }
   SessionToken token;
   UnionQuery query;
-  Status st = DecodeRegisterQueryRequest(engine_->schema(), payload, &token,
-                                         &query);
+  Status st = DecodeRegisterQueryRequest(engine_->schema(), frame.payload,
+                                         &token, &query);
   if (!st.ok()) {
     error->code = WireErrorCode::kBadRequest;
     error->message = st.ToString();
@@ -254,33 +379,83 @@ std::string SessionServer::HandleRegisterQuery(std::string_view payload,
   std::shared_ptr<ServerSession> session = FindSession(token, error);
   if (session == nullptr) return "";
 
-  Result<QueryId> qid = Status::Internal("unreached");
-  {
-    std::lock_guard<std::mutex> reg(register_mu_);
-    qid = durable_ != nullptr ? durable_->RegisterQuery(query)
-                              : engine_->RegisterQuery(query);
+  const uint8_t type_byte = static_cast<uint8_t>(frame.type);
+  std::lock_guard<std::mutex> reg(register_mu_);
+
+  if (durable_ != nullptr) {
+    Result<DurableSession::TaggedOutcome> outcome =
+        durable_->RegisterQueryTagged(session->id, frame.request_id, query);
+    if (!outcome.ok()) {
+      error->code = WireErrorCode::kBadRequest;
+      error->message = outcome.status().ToString();
+      return "";
+    }
+    std::string payload;
+    if (AnswerFromOutcome(*outcome, type_byte, &payload, error)) {
+      return payload;
+    }
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->queries.size() != outcome->handle) {
+      error->code = WireErrorCode::kInternal;
+      error->message = "session handle table out of sync with durable state";
+      return "";
+    }
+    session->queries.push_back(outcome->query_id);
+    return outcome->response;
   }
+
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    const DedupWindow::Entry* entry = nullptr;
+    switch (session->dedup.Probe(frame.request_id, &entry)) {
+      case DedupWindow::Verdict::kHit:
+        if (entry->type != type_byte) {
+          error->code = WireErrorCode::kBadRequest;
+          error->message =
+              "request id was already used by a different message type";
+          return "";
+        }
+        Bump(counters_.dedup_hits);
+        return entry->response_payload;
+      case DedupWindow::Verdict::kStale:
+        Bump(counters_.dedup_stale);
+        error->code = WireErrorCode::kStaleRequest;
+        error->message = "request id predates the dedup window";
+        return "";
+      case DedupWindow::Verdict::kFresh:
+        break;
+    }
+  }
+
+  Result<QueryId> qid = engine_->RegisterQuery(query);
   if (!qid.ok()) {
     error->code = WireErrorCode::kBadRequest;
     error->message = qid.status().ToString();
     return "";
   }
-  uint32_t handle;
+  std::string payload;
   {
     std::lock_guard<std::mutex> lock(session->mu);
-    handle = static_cast<uint32_t>(session->queries.size());
+    const uint32_t handle = static_cast<uint32_t>(session->queries.size());
     session->queries.push_back(*qid);
+    payload = EncodeHandle(handle);
+    session->dedup.Record(frame.request_id, type_byte, payload);
   }
-  return EncodeHandle(handle);
+  return payload;
 }
 
-std::string SessionServer::HandleRegisterStream(std::string_view payload,
+std::string SessionServer::HandleRegisterStream(const WireFrame& frame,
                                                 WireError* error) {
+  MutationGuard inflight(&inflight_mutations_);
+  if (draining()) {
+    ShedDraining(error);
+    return "";
+  }
   SessionToken token;
   UnionQuery query;
   StreamOptions opts;
-  Status st = DecodeRegisterStreamRequest(engine_->schema(), payload, &token,
-                                          &query, &opts);
+  Status st = DecodeRegisterStreamRequest(engine_->schema(), frame.payload,
+                                          &token, &query, &opts);
   if (!st.ok()) {
     error->code = WireErrorCode::kBadRequest;
     error->message = st.ToString();
@@ -298,34 +473,85 @@ std::string SessionServer::HandleRegisterStream(std::string_view payload,
     opts.retain_cap = options_.max_backlog_events;
   }
 
-  Result<StreamId> sid = Status::Internal("unreached");
-  {
-    std::lock_guard<std::mutex> reg(register_mu_);
-    sid = durable_ != nullptr ? durable_->RegisterStream(query, opts)
-                              : registry_->Register(query, opts);
+  const uint8_t type_byte = static_cast<uint8_t>(frame.type);
+  std::lock_guard<std::mutex> reg(register_mu_);
+
+  if (durable_ != nullptr) {
+    Result<DurableSession::TaggedOutcome> outcome = durable_->
+        RegisterStreamTagged(session->id, frame.request_id, query, opts);
+    if (!outcome.ok()) {
+      error->code = WireErrorCode::kBadRequest;
+      error->message = outcome.status().ToString();
+      return "";
+    }
+    std::string payload;
+    if (AnswerFromOutcome(*outcome, type_byte, &payload, error)) {
+      return payload;
+    }
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->streams.size() != outcome->handle) {
+      error->code = WireErrorCode::kInternal;
+      error->message = "session handle table out of sync with durable state";
+      return "";
+    }
+    session->streams.push_back(outcome->stream_id);
+    session->degraded.push_back(0);
+    return outcome->response;
   }
+
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    const DedupWindow::Entry* entry = nullptr;
+    switch (session->dedup.Probe(frame.request_id, &entry)) {
+      case DedupWindow::Verdict::kHit:
+        if (entry->type != type_byte) {
+          error->code = WireErrorCode::kBadRequest;
+          error->message =
+              "request id was already used by a different message type";
+          return "";
+        }
+        Bump(counters_.dedup_hits);
+        return entry->response_payload;
+      case DedupWindow::Verdict::kStale:
+        Bump(counters_.dedup_stale);
+        error->code = WireErrorCode::kStaleRequest;
+        error->message = "request id predates the dedup window";
+        return "";
+      case DedupWindow::Verdict::kFresh:
+        break;
+    }
+  }
+
+  Result<StreamId> sid = registry_->Register(query, opts);
   if (!sid.ok()) {
     error->code = WireErrorCode::kBadRequest;
     error->message = sid.status().ToString();
     return "";
   }
-  uint32_t handle;
+  std::string payload;
   {
     std::lock_guard<std::mutex> lock(session->mu);
-    handle = static_cast<uint32_t>(session->streams.size());
+    const uint32_t handle = static_cast<uint32_t>(session->streams.size());
     session->streams.push_back(*sid);
     session->degraded.push_back(0);
+    payload = EncodeHandle(handle);
+    session->dedup.Record(frame.request_id, type_byte, payload);
   }
-  return EncodeHandle(handle);
+  return payload;
 }
 
-std::string SessionServer::HandleApply(std::string_view payload,
+std::string SessionServer::HandleApply(const WireFrame& frame,
                                        WireError* error) {
+  MutationGuard inflight(&inflight_mutations_);
+  if (draining()) {
+    ShedDraining(error);
+    return "";
+  }
   SessionToken token;
   Access access;
   std::vector<Fact> response;
   Status st = DecodeApplyRequest(engine_->schema(), engine_->access_methods(),
-                                 payload, &token, &access, &response);
+                                 frame.payload, &token, &access, &response);
   if (!st.ok()) {
     error->code = WireErrorCode::kBadRequest;
     error->message = st.ToString();
@@ -334,9 +560,54 @@ std::string SessionServer::HandleApply(std::string_view payload,
   std::shared_ptr<ServerSession> session = FindSession(token, error);
   if (session == nullptr) return "";
 
-  Result<int> added = durable_ != nullptr
-                          ? durable_->Apply(access, response)
-                          : engine_->ApplyResponse(access, response);
+  const uint8_t type_byte = static_cast<uint8_t>(frame.type);
+
+  if (durable_ != nullptr) {
+    Result<DurableSession::TaggedOutcome> outcome =
+        durable_->ApplyTagged(session->id, frame.request_id, access, response);
+    if (!outcome.ok()) {
+      if (outcome.status().code() == StatusCode::kResourceExhausted) {
+        Bump(counters_.applies_shed);
+        error->code = WireErrorCode::kRetryLater;
+        error->retry_after_ms = options_.retry_after_ms;
+      } else {
+        error->code = WireErrorCode::kBadRequest;
+      }
+      error->message = outcome.status().ToString();
+      return "";
+    }
+    std::string payload;
+    if (AnswerFromOutcome(*outcome, type_byte, &payload, error)) {
+      return payload;
+    }
+    return outcome->response;
+  }
+
+  // In-memory: hold the session mutex across probe + apply + record, so a
+  // concurrent retry of the same request id (a second connection replaying
+  // the same frame) serializes behind the original instead of racing it.
+  std::lock_guard<std::mutex> lock(session->mu);
+  const DedupWindow::Entry* entry = nullptr;
+  switch (session->dedup.Probe(frame.request_id, &entry)) {
+    case DedupWindow::Verdict::kHit:
+      if (entry->type != type_byte) {
+        error->code = WireErrorCode::kBadRequest;
+        error->message =
+            "request id was already used by a different message type";
+        return "";
+      }
+      Bump(counters_.dedup_hits);
+      return entry->response_payload;
+    case DedupWindow::Verdict::kStale:
+      Bump(counters_.dedup_stale);
+      error->code = WireErrorCode::kStaleRequest;
+      error->message = "request id predates the dedup window";
+      return "";
+    case DedupWindow::Verdict::kFresh:
+      break;
+  }
+
+  Result<int> added = engine_->ApplyResponse(access, response);
   if (!added.ok()) {
     if (added.status().code() == StatusCode::kResourceExhausted) {
       // Engine apply admission shed the request: typed backoff, not a
@@ -352,16 +623,18 @@ std::string SessionServer::HandleApply(std::string_view payload,
   }
   ApplyResult result;
   result.facts_added = static_cast<uint32_t>(*added);
-  result.wal_sequence = durable_ != nullptr ? durable_->last_sequence() : 0;
-  return EncodeApplyResult(result);
+  result.wal_sequence = 0;
+  std::string payload = EncodeApplyResult(result);
+  session->dedup.Record(frame.request_id, type_byte, payload);
+  return payload;
 }
 
-std::string SessionServer::HandlePoll(std::string_view payload,
+std::string SessionServer::HandlePoll(const WireFrame& frame,
                                       WireError* error) {
   SessionToken token;
   uint32_t handle = 0;
   uint64_t cursor = 0;
-  Status st = DecodePollRequest(payload, &token, &handle, &cursor);
+  Status st = DecodePollRequest(frame.payload, &token, &handle, &cursor);
   if (!st.ok()) {
     error->code = WireErrorCode::kBadRequest;
     error->message = st.ToString();
@@ -418,12 +691,18 @@ void SessionServer::PoliceBacklog(ServerSession& session, uint32_t handle,
   if (registry_->Degrade(sid).ok()) Bump(counters_.streams_degraded);
 }
 
-std::string SessionServer::HandleAcknowledge(std::string_view payload,
+std::string SessionServer::HandleAcknowledge(const WireFrame& frame,
                                              WireError* error) {
+  // Acks are mutations (they advance the durable cursor) but are *not*
+  // shed while draining: winding a subscriber down is exactly what drain
+  // is for. The guard still counts them so the quiesce covers an ack in
+  // flight; each durable ack is individually fsynced (WaitDurable), so
+  // one arriving after the drain flush is durable on its own.
+  MutationGuard inflight(&inflight_mutations_);
   SessionToken token;
   uint32_t handle = 0;
   uint64_t upto = 0;
-  Status st = DecodeAckRequest(payload, &token, &handle, &upto);
+  Status st = DecodeAckRequest(frame.payload, &token, &handle, &upto);
   if (!st.ok()) {
     error->code = WireErrorCode::kBadRequest;
     error->message = st.ToString();
@@ -452,11 +731,11 @@ std::string SessionServer::HandleAcknowledge(std::string_view payload,
   return "";
 }
 
-std::string SessionServer::HandleSnapshot(std::string_view payload,
+std::string SessionServer::HandleSnapshot(const WireFrame& frame,
                                           WireError* error) {
   SessionToken token;
   uint32_t handle = 0;
-  Status st = DecodeSnapshotRequest(payload, &token, &handle);
+  Status st = DecodeSnapshotRequest(frame.payload, &token, &handle);
   if (!st.ok()) {
     error->code = WireErrorCode::kBadRequest;
     error->message = st.ToString();
@@ -478,11 +757,11 @@ std::string SessionServer::HandleSnapshot(std::string_view payload,
   return EncodeSnapshotResponse(engine_->schema(), registry_->Snapshot(sid));
 }
 
-std::string SessionServer::HandleMetrics(std::string_view payload,
+std::string SessionServer::HandleMetrics(const WireFrame& frame,
                                          WireError* error) {
   SessionToken token;
   MetricsFormat format = MetricsFormat::kJson;
-  Status st = DecodeMetricsRequest(payload, &token, &format);
+  Status st = DecodeMetricsRequest(frame.payload, &token, &format);
   if (!st.ok()) {
     error->code = WireErrorCode::kBadRequest;
     error->message = st.ToString();
@@ -502,10 +781,10 @@ std::string SessionServer::HandleMetrics(std::string_view payload,
              : ExportMetricsJson(metrics);
 }
 
-std::string SessionServer::HandleGoodbye(std::string_view payload,
+std::string SessionServer::HandleGoodbye(const WireFrame& frame,
                                          WireError* error) {
   SessionToken token;
-  Status st = DecodeGoodbyeRequest(payload, &token);
+  Status st = DecodeGoodbyeRequest(frame.payload, &token);
   if (!st.ok()) {
     error->code = WireErrorCode::kBadRequest;
     error->message = st.ToString();
@@ -521,29 +800,70 @@ std::string SessionServer::HandleGoodbye(std::string_view payload,
     }
     sessions_.erase(it);
   }
+  if (durable_ != nullptr) {
+    // Best-effort: if the retirement record cannot be logged the session
+    // merely resurrects on recovery and is reaped as idle — harmless.
+    (void)durable_->RetireServerSession(token.session_id);
+  }
   Bump(counters_.sessions_retired);
   return "";
+}
+
+std::string SessionServer::HandlePing(const WireFrame& frame,
+                                      WireError* error) {
+  SessionToken token;
+  Status st = DecodePingRequest(frame.payload, &token);
+  if (!st.ok()) {
+    error->code = WireErrorCode::kBadRequest;
+    error->message = st.ToString();
+    return "";
+  }
+  // FindSession refreshes last_active_ms — the heartbeat's whole job.
+  std::shared_ptr<ServerSession> session = FindSession(token, error);
+  if (session == nullptr) return "";
+
+  PingResponse resp;
+  resp.draining = draining();
+  resp.server_unix_ms = UnixMs();
+  return EncodePingResponse(resp);
 }
 
 size_t SessionServer::ReapIdleSessions() {
   if (options_.idle_timeout_ms == 0) return 0;
   const uint64_t now = NowMs();
-  size_t reaped = 0;
+  std::vector<uint64_t> reaped_ids;
   {
     std::unique_lock<std::shared_mutex> lock(sessions_mu_);
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       const uint64_t last =
           it->second->last_active_ms.load(std::memory_order_relaxed);
       if (now - last > options_.idle_timeout_ms) {
+        reaped_ids.push_back(it->first);
         it = sessions_.erase(it);
-        ++reaped;
       } else {
         ++it;
       }
     }
   }
-  Bump(counters_.sessions_reaped, reaped);
-  return reaped;
+  if (durable_ != nullptr) {
+    for (uint64_t id : reaped_ids) {
+      (void)durable_->RetireServerSession(id);
+    }
+  }
+  Bump(counters_.sessions_reaped, reaped_ids.size());
+  return reaped_ids.size();
+}
+
+Status SessionServer::BeginDrain() {
+  draining_.store(true, std::memory_order_seq_cst);
+  // Every mutator increments inflight before checking the flag, so once
+  // the count reads zero here, no shed-exempt mutation predating the flag
+  // is still running.
+  while (inflight_mutations_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (durable_ != nullptr) return durable_->Flush();
+  return Status::OK();
 }
 
 size_t SessionServer::num_sessions() const {
@@ -560,6 +880,7 @@ void SessionServer::ContributeStats(EngineStats* stats) const {
   stats->server_sessions_retired += load(counters_.sessions_retired);
   stats->server_sessions_reaped += load(counters_.sessions_reaped);
   stats->server_sessions_shed += load(counters_.sessions_shed);
+  stats->server_sessions_recovered += load(counters_.sessions_recovered);
   stats->server_sessions_active += num_sessions();
   stats->server_requests += load(counters_.requests);
   stats->server_requests_hello += load(counters_.requests_hello);
@@ -572,12 +893,17 @@ void SessionServer::ContributeStats(EngineStats* stats) const {
   stats->server_requests_acknowledge += load(counters_.requests_acknowledge);
   stats->server_requests_snapshot += load(counters_.requests_snapshot);
   stats->server_requests_metrics += load(counters_.requests_metrics);
+  stats->server_requests_ping += load(counters_.requests_ping);
   stats->server_errors += load(counters_.errors);
   stats->server_bad_frames += load(counters_.bad_frames);
   stats->server_applies_shed += load(counters_.applies_shed);
   stats->server_streams_degraded += load(counters_.streams_degraded);
   stats->server_cursor_evictions += load(counters_.cursor_evictions);
   stats->server_backlog_high_water += load(counters_.backlog_high_water);
+  stats->server_dedup_hits += load(counters_.dedup_hits);
+  stats->server_dedup_stale += load(counters_.dedup_stale);
+  stats->server_deadline_rejections += load(counters_.deadline_rejections);
+  stats->server_drain_sheds += load(counters_.drain_sheds);
 }
 
 }  // namespace rar

@@ -16,6 +16,23 @@
 // restart against a durable server — resumes its handles and stream
 // cursors by replaying the token, until idle reaping retires the session.
 //
+// Fault tolerance (src/persist/dedup.h, DESIGN.md "Fault tolerance"):
+//  * exactly-once effect — every mutating request (apply, register) is
+//    keyed by its client-owned request id through a per-session dedup
+//    window; a retry whose original executed answers the cached response
+//    instead of re-executing. Durable-backed servers persist the window
+//    (WAL-tagged records + snapshot sessions section), so a retry that
+//    straddles a server crash still cannot double-apply.
+//  * deadlines — frames carry an absolute deadline; expired work is
+//    rejected with kDeadlineExceeded before any engine mutation.
+//  * heartbeats — kPing refreshes the session's idle clock and reports
+//    the drain flag, giving both ends dead-peer detection.
+//  * graceful drain — BeginDrain stops admitting fresh sessions, sheds
+//    mutations with kShuttingDown + a retry hint, waits for in-flight
+//    mutations to quiesce, and flushes durable state. Reads (poll,
+//    snapshot, metrics, ping, goodbye) keep working so clients can wind
+//    down cleanly.
+//
 // Load shedding, three layers (each surfaced as a typed wire error and a
 // counter):
 //  * admission — Hello beyond ServerOptions::max_sessions is bounced with
@@ -44,6 +61,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "persist/dedup.h"
 #include "persist/durable.h"
 #include "server/protocol.h"
 #include "stream/registry.h"
@@ -57,6 +75,8 @@ struct ServerOptions {
   uint32_t max_sessions = 0;
   /// Backoff hint carried by kRetryLater errors.
   uint32_t retry_after_ms = 50;
+  /// Backoff hint carried by kShuttingDown errors while draining.
+  uint32_t drain_retry_after_ms = 200;
   /// Per-stream retained-event cap stamped onto every RegisterStream
   /// (tightens a client-supplied StreamOptions::retain_cap, never loosens
   /// it). 0 = leave the client's cap (possibly unbounded).
@@ -67,6 +87,10 @@ struct ServerOptions {
   /// Reap sessions idle longer than this (checked opportunistically on
   /// Hello and via ReapIdleSessions). 0 = never reap.
   uint64_t idle_timeout_ms = 0;
+  /// Per-session request-dedup window capacity (in-memory serving; the
+  /// durable path takes its capacity from PersistOptions::dedup_window).
+  /// 0 disables dedup — retried mutations re-execute.
+  size_t dedup_window = 256;
 };
 
 /// \brief The session layer. Construct over a live engine+registry (in-
@@ -80,7 +104,9 @@ class SessionServer : public ApplyListener {
                 ServerOptions options = {});
   /// Durable-backed: every mutation (apply, registration, acknowledge)
   /// funnels through `durable`, so served state survives a crash and
-  /// tokens resume across server restarts.
+  /// tokens resume across server restarts. Serving sessions recovered
+  /// from the durable directory are re-seeded into the token table, so a
+  /// client can resume its pre-crash token against the new process.
   explicit SessionServer(DurableSession* durable, ServerOptions options = {});
   ~SessionServer() override;
 
@@ -100,6 +126,17 @@ class SessionServer : public ApplyListener {
   /// number reaped. Also run opportunistically by Hello admission.
   size_t ReapIdleSessions();
 
+  /// Graceful drain: stop admitting fresh sessions, shed mutations with
+  /// kShuttingDown + drain_retry_after_ms, wait until in-flight mutations
+  /// quiesce, then flush durable state. Reads keep working. Idempotent;
+  /// blocks until quiescent. The server stays usable for reads (and for
+  /// Goodbye) afterwards — destruction remains the caller's job. Returns
+  /// the durable flush's status (OK for in-memory serving).
+  Status BeginDrain();
+  bool draining() const {
+    return draining_.load(std::memory_order_seq_cst);
+  }
+
   size_t num_sessions() const;
 
   RelevanceEngine& engine() { return *engine_; }
@@ -111,32 +148,52 @@ class SessionServer : public ApplyListener {
 
  private:
   struct ServerSession {
+    explicit ServerSession(size_t dedup_capacity) : dedup(dedup_capacity) {}
     uint64_t id = 0;
     uint64_t nonce = 0;
-    std::mutex mu;  ///< guards the handle tables below
+    std::mutex mu;  ///< guards the handle tables + dedup window below
     std::vector<QueryId> queries;   ///< wire handle -> engine QueryId
     std::vector<StreamId> streams;  ///< wire handle -> registry StreamId
     std::vector<char> degraded;     ///< parallel to streams
+    /// In-memory request dedup (durable serving probes the persisted
+    /// window in DurableSession instead). Guarded by mu — holding mu
+    /// across probe+execute+record is what makes a concurrent retry of
+    /// the same id on a second connection safe, not just a same-channel
+    /// retry.
+    DedupWindow dedup;
     std::atomic<uint64_t> last_active_ms{0};
   };
 
   /// Monotonic wall clock for idle accounting (ms).
   static uint64_t NowMs();
+  /// Real wall clock (Unix ms) — deadlines cross process boundaries.
+  static uint64_t UnixMs();
 
   std::shared_ptr<ServerSession> FindSession(const SessionToken& token,
                                              WireError* error);
 
-  // Per-type handlers: payload in, (response payload | error) out. The
+  // Per-type handlers: frame in, (response payload | error) out. The
   // response MessageType is the request's + 64 on success.
-  std::string HandleHello(std::string_view payload, WireError* error);
-  std::string HandleRegisterQuery(std::string_view payload, WireError* error);
-  std::string HandleRegisterStream(std::string_view payload, WireError* error);
-  std::string HandleApply(std::string_view payload, WireError* error);
-  std::string HandlePoll(std::string_view payload, WireError* error);
-  std::string HandleAcknowledge(std::string_view payload, WireError* error);
-  std::string HandleSnapshot(std::string_view payload, WireError* error);
-  std::string HandleMetrics(std::string_view payload, WireError* error);
-  std::string HandleGoodbye(std::string_view payload, WireError* error);
+  std::string HandleHello(const WireFrame& frame, WireError* error);
+  std::string HandleRegisterQuery(const WireFrame& frame, WireError* error);
+  std::string HandleRegisterStream(const WireFrame& frame, WireError* error);
+  std::string HandleApply(const WireFrame& frame, WireError* error);
+  std::string HandlePoll(const WireFrame& frame, WireError* error);
+  std::string HandleAcknowledge(const WireFrame& frame, WireError* error);
+  std::string HandleSnapshot(const WireFrame& frame, WireError* error);
+  std::string HandleMetrics(const WireFrame& frame, WireError* error);
+  std::string HandleGoodbye(const WireFrame& frame, WireError* error);
+  std::string HandlePing(const WireFrame& frame, WireError* error);
+
+  /// Fills `error` with the kShuttingDown shed and counts it.
+  void ShedDraining(WireError* error);
+
+  /// Maps a durable TaggedOutcome probe hit/stale to a response or error.
+  /// Returns true when the outcome fully answered the request (hit or
+  /// stale); false means kFresh — the caller finishes the fresh path.
+  bool AnswerFromOutcome(const DurableSession::TaggedOutcome& outcome,
+                         uint8_t request_type, std::string* payload,
+                         WireError* error);
 
   /// Post-poll backlog policing for one stream handle: high-water
   /// tracking and the degrade threshold.
@@ -151,10 +208,20 @@ class SessionServer : public ApplyListener {
   std::unordered_map<uint64_t, std::shared_ptr<ServerSession>> sessions_;
   /// Registration mints fresh constants (Prop 2.2) through the shared
   /// interner, which is not thread-safe; with many clients registering
-  /// concurrently the server is the one place to serialize them.
+  /// concurrently the server is the one place to serialize them. Also
+  /// keeps the server's handle tables in lockstep with the durable
+  /// session's (both append under this mutex).
   std::mutex register_mu_;
   std::atomic<uint64_t> next_session_id_{1};
   const uint64_t nonce_seed_;
+
+  /// Drain protocol: mutators increment inflight_mutations_ *then* check
+  /// draining_ (both seq_cst); BeginDrain sets draining_ *then* waits for
+  /// inflight to reach zero. Any mutation that missed the flag is
+  /// therefore visible in the count BeginDrain watches — no mutation can
+  /// slip between the flag and the quiesce.
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> inflight_mutations_{0};
 
   struct Counters {
     std::atomic<uint64_t> sessions_opened{0};
@@ -162,6 +229,7 @@ class SessionServer : public ApplyListener {
     std::atomic<uint64_t> sessions_retired{0};
     std::atomic<uint64_t> sessions_reaped{0};
     std::atomic<uint64_t> sessions_shed{0};
+    std::atomic<uint64_t> sessions_recovered{0};
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> requests_hello{0};
     std::atomic<uint64_t> requests_register_query{0};
@@ -171,12 +239,17 @@ class SessionServer : public ApplyListener {
     std::atomic<uint64_t> requests_acknowledge{0};
     std::atomic<uint64_t> requests_snapshot{0};
     std::atomic<uint64_t> requests_metrics{0};
+    std::atomic<uint64_t> requests_ping{0};
     std::atomic<uint64_t> errors{0};
     std::atomic<uint64_t> bad_frames{0};
     std::atomic<uint64_t> applies_shed{0};
     std::atomic<uint64_t> streams_degraded{0};
     std::atomic<uint64_t> cursor_evictions{0};
     std::atomic<uint64_t> backlog_high_water{0};
+    std::atomic<uint64_t> dedup_hits{0};
+    std::atomic<uint64_t> dedup_stale{0};
+    std::atomic<uint64_t> deadline_rejections{0};
+    std::atomic<uint64_t> drain_sheds{0};
   };
   mutable Counters counters_;
 };

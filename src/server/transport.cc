@@ -9,20 +9,34 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <unordered_map>
 #include <vector>
 
 namespace rar {
 
+namespace {
+
+uint64_t WallUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 // --------------------------------------------------------------------------
 // LoopbackChannel
 
 Result<WireFrame> LoopbackChannel::Call(MessageType type,
-                                        std::string_view payload) {
-  const uint64_t id = next_request_id_++;
+                                        std::string_view payload,
+                                        const CallContext& ctx) {
+  const uint64_t id =
+      ctx.request_id != 0 ? ctx.request_id : next_request_id_++;
   std::string wire;
-  EncodeWireFrame(id, type, payload, &wire);
+  EncodeWireFrame(id, type, payload, &wire, ctx.deadline_unix_ms);
 
   // Round-trip through the parser so loopback requests take the same
   // validation path TCP requests do.
@@ -57,6 +71,11 @@ Status Errno(const char* what) {
   return Status::Internal(std::string(what) + ": " + std::strerror(errno));
 }
 
+/// Client-side transport failures: retry-safe by classification.
+Status UnavailableErrno(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " + std::strerror(errno));
+}
+
 bool SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
@@ -69,6 +88,11 @@ struct Conn {
   size_t out_pos = 0;     ///< bytes of outbox already written
   bool closing = false;   ///< flush outbox, then close (framing damage)
 };
+
+/// How often the poll loop sweeps for idle sessions. Long-lived
+/// deployments (examples/engine_server) rely on this tick — without it
+/// ReapIdleSessions only runs when a fresh Hello happens to arrive.
+constexpr uint64_t kReapTickMs = 250;
 
 }  // namespace
 
@@ -140,6 +164,7 @@ void TcpServer::Loop() {
   std::unordered_map<int, Conn> conns;
   std::vector<pollfd> fds;
   char buf[64 * 1024];
+  auto last_reap = std::chrono::steady_clock::now();
 
   while (running_.load(std::memory_order_relaxed)) {
     fds.clear();
@@ -151,9 +176,18 @@ void TcpServer::Loop() {
       fds.push_back({fd, events, 0});
     }
 
-    if (::poll(fds.data(), fds.size(), 500) < 0) {
+    if (::poll(fds.data(), fds.size(), 250) < 0) {
       if (errno == EINTR) continue;
       break;
+    }
+
+    // Idle-session reaping runs on a timer tick, not just on Hello: a
+    // server with a stable client set would otherwise never reap.
+    const auto now = std::chrono::steady_clock::now();
+    if (std::chrono::duration_cast<std::chrono::milliseconds>(now - last_reap)
+            .count() >= static_cast<int64_t>(kReapTickMs)) {
+      last_reap = now;
+      server_->ReapIdleSessions();
     }
 
     // New connections.
@@ -247,8 +281,8 @@ void TcpChannel::Close() {
   fd_ = -1;
 }
 
-Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(const std::string& host,
-                                                        uint16_t port) {
+Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
+    const std::string& host, uint16_t port, uint32_t connect_timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
 
@@ -260,28 +294,63 @@ Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(const std::string& host,
     ::close(fd);
     return Status::InvalidArgument("bad host address: " + host);
   }
+
+  // Non-blocking connect + poll: a dead or absent peer answers within
+  // connect_timeout_ms as kUnavailable instead of hanging the caller for
+  // the kernel's (minutes-long) SYN retry budget.
+  SetNonBlocking(fd);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Errno("connect");
-    ::close(fd);
-    return st;
+    if (errno != EINPROGRESS) {
+      Status st = UnavailableErrno("connect");
+      ::close(fd);
+      return st;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int r =
+        ::poll(&pfd, 1, static_cast<int>(connect_timeout_ms));
+    if (r == 0) {
+      ::close(fd);
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) + " timed out after " +
+                                 std::to_string(connect_timeout_ms) + "ms");
+    }
+    if (r < 0) {
+      Status st = UnavailableErrno("connect poll");
+      ::close(fd);
+      return st;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return Status::Unavailable(
+          std::string("connect: ") +
+          std::strerror(err != 0 ? err : errno));  // ECONNREFUSED lands here
+    }
   }
+
+  // Back to blocking for the synchronous call/response path.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
 }
 
-Result<WireFrame> TcpChannel::Call(MessageType type, std::string_view payload) {
-  if (fd_ < 0) return Status::FailedPrecondition("channel closed");
+Result<WireFrame> TcpChannel::Call(MessageType type, std::string_view payload,
+                                   const CallContext& ctx) {
+  if (fd_ < 0) return Status::Unavailable("channel closed");
 
-  const uint64_t id = next_request_id_++;
+  const uint64_t id =
+      ctx.request_id != 0 ? ctx.request_id : next_request_id_++;
   std::string wire;
-  EncodeWireFrame(id, type, payload, &wire);
+  EncodeWireFrame(id, type, payload, &wire, ctx.deadline_unix_ms);
   size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t n = ::write(fd_, wire.data() + sent, wire.size() - sent);
     if (n < 0) {
       if (errno == EINTR) continue;
-      Status st = Errno("write");
+      Status st = UnavailableErrno("write");
       Close();
       return st;
     }
@@ -306,14 +375,39 @@ Result<WireFrame> TcpChannel::Call(MessageType type, std::string_view payload) {
       Close();
       return Status::ParseError("corrupt response stream: " + error);
     }
+
+    // Bound the wait by the caller's deadline: poll before the blocking
+    // read so a lost response cannot strand the call forever.
+    if (ctx.deadline_unix_ms != 0) {
+      const uint64_t now = WallUnixMs();
+      if (now >= ctx.deadline_unix_ms) {
+        // The response may still arrive later; this connection is one
+        // call at a time, so close it rather than desync the next call.
+        Close();
+        return Status::DeadlineExceeded("deadline expired awaiting response");
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int r = ::poll(&pfd, 1,
+                           static_cast<int>(ctx.deadline_unix_ms - now));
+      if (r == 0) {
+        Close();
+        return Status::DeadlineExceeded("deadline expired awaiting response");
+      }
+      if (r < 0 && errno != EINTR) {
+        Status st = UnavailableErrno("poll");
+        Close();
+        return st;
+      }
+    }
+
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n == 0) {
       Close();
-      return Status::Internal("connection closed by server");
+      return Status::Unavailable("connection closed by server");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      Status st = Errno("read");
+      Status st = UnavailableErrno("read");
       Close();
       return st;
     }

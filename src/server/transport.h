@@ -17,9 +17,19 @@
 //    not connection-bound, so a dropped connection loses nothing: the
 //    client reconnects and resumes with its token.
 //
+// (A third, ChaosChannel in server/chaos.h, wraps the loopback path in a
+// seeded fault plan for the chaos soak tests.)
+//
 // Both channels are synchronous call/response and single-threaded per
 // channel; concurrency comes from many channels (one per client thread),
 // which is also the natural one-connection-per-client shape on TCP.
+//
+// Transport failures (refused connection, reset, timeout, peer close)
+// surface as StatusCode::kUnavailable so RetryPolicy (server/client.h)
+// can classify them as retry-safe; a deadline that expires waiting for
+// the response surfaces as kDeadlineExceeded and closes the connection
+// (the response may still be in flight, and this protocol is one call
+// per connection at a time — the session token makes reconnect cheap).
 #ifndef RAR_SERVER_TRANSPORT_H_
 #define RAR_SERVER_TRANSPORT_H_
 
@@ -36,14 +46,23 @@
 
 namespace rar {
 
+/// \brief Per-call wire metadata the *caller* controls. Request ids are
+/// the retry key: RarClient re-sends a retried call under its original
+/// id so the server's dedup window can answer from cache. id 0 lets the
+/// channel assign one (fine for never-retried fire-and-forget callers).
+struct CallContext {
+  uint64_t request_id = 0;
+  uint64_t deadline_unix_ms = 0;  ///< absolute, Unix ms; 0 = no deadline
+};
+
 /// \brief Client-side transport interface: one request frame out, one
 /// response frame back (a *Ok or a kError; transport failures surface as
-/// a non-ok Status). Implementations assign request ids.
+/// a non-ok Status).
 class ClientChannel {
  public:
   virtual ~ClientChannel() = default;
-  virtual Result<WireFrame> Call(MessageType type,
-                                 std::string_view payload) = 0;
+  virtual Result<WireFrame> Call(MessageType type, std::string_view payload,
+                                 const CallContext& ctx = {}) = 0;
 };
 
 /// \brief In-process channel: encode → re-parse → HandleFrame. The codec
@@ -53,7 +72,8 @@ class LoopbackChannel : public ClientChannel {
  public:
   explicit LoopbackChannel(SessionServer* server) : server_(server) {}
 
-  Result<WireFrame> Call(MessageType type, std::string_view payload) override;
+  Result<WireFrame> Call(MessageType type, std::string_view payload,
+                         const CallContext& ctx = {}) override;
 
  private:
   SessionServer* server_;
@@ -97,10 +117,15 @@ class TcpChannel : public ClientChannel {
  public:
   ~TcpChannel() override;
 
-  static Result<std::unique_ptr<TcpChannel>> Connect(const std::string& host,
-                                                     uint16_t port);
+  /// Connects with a bounded wait (non-blocking connect + poll). A
+  /// refused, unreachable, or slow peer comes back as kUnavailable —
+  /// the retry policy's signal — never as an indefinite hang.
+  static Result<std::unique_ptr<TcpChannel>> Connect(
+      const std::string& host, uint16_t port,
+      uint32_t connect_timeout_ms = 5000);
 
-  Result<WireFrame> Call(MessageType type, std::string_view payload) override;
+  Result<WireFrame> Call(MessageType type, std::string_view payload,
+                         const CallContext& ctx = {}) override;
 
   /// Severs the connection mid-stream (negative tests: the server must
   /// discard the partial frame and stay healthy).

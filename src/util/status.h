@@ -22,6 +22,8 @@ enum class StatusCode {
   kResourceExhausted, ///< a search budget was exhausted before a decision
   kParseError,        ///< query / schema text could not be parsed
   kInternal,          ///< invariant violation inside the library
+  kUnavailable,       ///< transient transport/peer failure — safe to retry
+  kDeadlineExceeded,  ///< the caller's deadline passed before completion
 };
 
 /// \brief Outcome of an operation that can fail but returns no value.
@@ -51,6 +53,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -869,5 +869,71 @@ TEST(ServerConcurrencyTest, ConcurrentSessionsGapFreeDeliveryAndParity) {
   EXPECT_EQ(st.server_errors, 0u);
 }
 
+TEST(TcpTransportTest, ConnectRefusedAndTimeoutAreTypedUnavailable) {
+  ChainWorld world(2);
+  RelevanceEngine engine(world.schema, world.acs, world.conf, {});
+  RelevanceStreamRegistry registry(&engine);
+  SessionServer server(&engine, &registry, {});
+
+  // Borrow an ephemeral port from a live listener, then shut it down:
+  // connecting to it afterwards must be refused, and the refusal must
+  // surface as a typed kUnavailable — the retry-safe transport code —
+  // not a hang or an Internal error.
+  uint16_t dead_port = 0;
+  {
+    TcpServer tcp(&server);
+    Result<uint16_t> port = tcp.Start();
+    if (!port.ok()) {
+      GTEST_SKIP() << "sockets unavailable here: " << port.status().ToString();
+    }
+    dead_port = *port;
+    tcp.Stop();
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  auto refused =
+      TcpChannel::Connect("127.0.0.1", dead_port, /*connect_timeout_ms=*/500);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable)
+      << refused.status().ToString();
+  // A refusal answers immediately; only an unreachable host would need
+  // the timeout. Either way the bound holds.
+  EXPECT_LE(elapsed.count(), 2000);
+}
+
+TEST(TcpTransportTest, ReapTickRetiresIdleSessionsWithoutTraffic) {
+  ChainWorld world(2);
+  RelevanceEngine engine(world.schema, world.acs, world.conf, {});
+  RelevanceStreamRegistry registry(&engine);
+  ServerOptions opts;
+  opts.idle_timeout_ms = 50;
+  SessionServer server(&engine, &registry, opts);
+  TcpServer tcp(&server);
+  Result<uint16_t> port = tcp.Start();
+  if (!port.ok()) {
+    GTEST_SKIP() << "sockets unavailable here: " << port.status().ToString();
+  }
+
+  auto channel = TcpChannel::Connect("127.0.0.1", *port);
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+  RarClient client(channel->get(), &world.schema, &world.acs);
+  ASSERT_TRUE(client.Hello().ok());
+  ASSERT_EQ(server.num_sessions(), 1u);
+
+  // No further requests from anyone: the poll loop's own reap tick must
+  // retire the idle session (before this tick existed, a quiet server
+  // held idle sessions until the next Hello happened to sweep them).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server.num_sessions() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  EXPECT_EQ(server.num_sessions(), 0u);
+  EXPECT_GE(engine.stats().server_sessions_reaped, 1u);
+}
+
 }  // namespace
 }  // namespace rar
